@@ -1,0 +1,78 @@
+package star
+
+// One benchmark per table/figure of the paper's evaluation (§7). Each
+// executes the corresponding experiment from internal/bench on the
+// deterministic simulation runtime at reduced scale (use
+// cmd/star-bench for paper-scale runs) and reports throughput-style
+// metrics via b.ReportMetric. Run all of them with:
+//
+//	go test -bench=. -benchmem
+import (
+	"io"
+	"os"
+	"testing"
+
+	"star/internal/bench"
+)
+
+// benchOut mirrors experiment tables to stdout once per benchmark so
+// `go test -bench` output doubles as the figure data.
+func runFig(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := bench.Experiments[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		var out io.Writer = io.Discard
+		if i == 0 {
+			out = os.Stdout
+		}
+		fn(bench.Options{Out: out, Short: true, Seed: 42})
+	}
+}
+
+// BenchmarkFig03Model regenerates Figure 3 (analytical speedup model).
+func BenchmarkFig03Model(b *testing.B) { runFig(b, "fig3") }
+
+// BenchmarkFig10Model regenerates Figure 10 (analytical improvements).
+func BenchmarkFig10Model(b *testing.B) { runFig(b, "fig10") }
+
+// BenchmarkFig11aYCSBAsync regenerates Figure 11(a).
+func BenchmarkFig11aYCSBAsync(b *testing.B) { runFig(b, "fig11a") }
+
+// BenchmarkFig11bTPCCAsync regenerates Figure 11(b).
+func BenchmarkFig11bTPCCAsync(b *testing.B) { runFig(b, "fig11b") }
+
+// BenchmarkFig11cYCSBSync regenerates Figure 11(c).
+func BenchmarkFig11cYCSBSync(b *testing.B) { runFig(b, "fig11c") }
+
+// BenchmarkFig11dTPCCSync regenerates Figure 11(d).
+func BenchmarkFig11dTPCCSync(b *testing.B) { runFig(b, "fig11d") }
+
+// BenchmarkFig12Latency regenerates the Figure 12 latency table.
+func BenchmarkFig12Latency(b *testing.B) { runFig(b, "fig12") }
+
+// BenchmarkFig13aYCSBCalvin regenerates Figure 13(a).
+func BenchmarkFig13aYCSBCalvin(b *testing.B) { runFig(b, "fig13a") }
+
+// BenchmarkFig13bTPCCCalvin regenerates Figure 13(b).
+func BenchmarkFig13bTPCCCalvin(b *testing.B) { runFig(b, "fig13b") }
+
+// BenchmarkFig14aIterationTime regenerates Figure 14(a).
+func BenchmarkFig14aIterationTime(b *testing.B) { runFig(b, "fig14a") }
+
+// BenchmarkFig14bOverheadNodes regenerates Figure 14(b).
+func BenchmarkFig14bOverheadNodes(b *testing.B) { runFig(b, "fig14b") }
+
+// BenchmarkFig15aReplication regenerates Figure 15(a).
+func BenchmarkFig15aReplication(b *testing.B) { runFig(b, "fig15a") }
+
+// BenchmarkFig15bDurability regenerates Figure 15(b).
+func BenchmarkFig15bDurability(b *testing.B) { runFig(b, "fig15b") }
+
+// BenchmarkFig16aScalabilityYCSB regenerates Figure 16(a).
+func BenchmarkFig16aScalabilityYCSB(b *testing.B) { runFig(b, "fig16a") }
+
+// BenchmarkFig16bScalabilityTPCC regenerates Figure 16(b).
+func BenchmarkFig16bScalabilityTPCC(b *testing.B) { runFig(b, "fig16b") }

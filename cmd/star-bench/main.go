@@ -1,0 +1,54 @@
+// Command star-bench regenerates the paper's evaluation tables and
+// figures (§7) on the deterministic simulation runtime.
+//
+// Usage:
+//
+//	star-bench -list
+//	star-bench -experiment fig11a
+//	star-bench -experiment all -short
+//
+// Paper-scale runs (12 workers/node, the default) take a few minutes per
+// figure on one core; -short shrinks workers, data and measured time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"star/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+	short := flag.Bool("short", false, "reduced scale for quick runs")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	opt := bench.Options{Out: os.Stdout, Short: *short, Seed: *seed}
+	run := func(id string) {
+		fn, ok := bench.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fn(opt)
+		fmt.Printf("# (%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *experiment == "all" {
+		for _, id := range bench.Order {
+			run(id)
+		}
+		return
+	}
+	run(*experiment)
+}

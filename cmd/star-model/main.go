@@ -1,0 +1,17 @@
+// Command star-model prints the paper's analytical model (§6.3):
+// Figure 3 (speedup of asymmetric replication over a single node) and
+// Figure 10 (improvement over partitioning-based and non-partitioned
+// systems on four nodes).
+package main
+
+import (
+	"os"
+
+	"star/internal/bench"
+)
+
+func main() {
+	opt := bench.Options{Out: os.Stdout}
+	bench.Fig03(opt)
+	bench.Fig10(opt)
+}

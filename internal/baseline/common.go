@@ -1,0 +1,350 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§7.1.2): PB. OCC (primary/backup non-partitioned Silo),
+// Dist. OCC (distributed OCC), Dist. S2PL (distributed strict 2PL with
+// NO_WAIT), and Calvin (deterministic execution with Calvin-x lock
+// managers) — each under synchronous replication or asynchronous
+// replication + epoch-based group commit.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"star/internal/core"
+	"star/internal/metrics"
+	"star/internal/replication"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/txn"
+	"star/internal/workload"
+)
+
+// Config parameterises a baseline cluster.
+type Config struct {
+	RT             rt.Runtime
+	Nodes          int
+	WorkersPerNode int
+	Workload       workload.Workload
+	Net            simnet.Config
+
+	// SyncRepl selects synchronous replication (with 2PC for the
+	// distributed engines); otherwise asynchronous replication with an
+	// epoch-based group commit every Epoch.
+	SyncRepl bool
+	// Epoch is the group-commit interval (paper default 10ms).
+	Epoch time.Duration
+
+	// LockManagers is Calvin-x's x (ignored by other engines).
+	LockManagers int
+	// BatchSize is Calvin's per-node sequencer batch (0 = auto).
+	BatchSize int
+
+	Cost       core.CostModel
+	Seed       int64
+	FlushEvery int
+}
+
+// installSpinWait mirrors core.installSpinWait for the baseline engines.
+func installSpinWait(r rt.Runtime) {
+	if _, isSim := r.(*rt.Sim); isSim {
+		storage.SpinWait = func() { r.Sleep(200 * time.Nanosecond) }
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = 4
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 10 * time.Millisecond
+	}
+	if c.Cost == (core.CostModel{}) {
+		c.Cost = core.DefaultCosts()
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 16
+	}
+	if c.LockManagers == 0 {
+		c.LockManagers = 2
+	}
+	if c.Net.Nodes == 0 {
+		c.Net = simnet.Config{
+			Nodes:     c.Nodes + 1, // +1 endpoint for the sequencer/ticker
+			Latency:   50 * time.Microsecond,
+			Jitter:    10 * time.Microsecond,
+			Bandwidth: 600e6,
+			Seed:      c.Seed,
+		}
+	}
+	return c
+}
+
+// NumPartitions mirrors §7.1: partitions == total workers.
+func (c Config) NumPartitions() int { return c.Nodes * c.WorkersPerNode }
+
+// MasterOf maps partitions to nodes block-wise.
+func (c Config) MasterOf(p int) int { return p / c.WorkersPerNode }
+
+// BackupOf is the partition's replica node (replication factor 2,
+// primary and secondary on different nodes, §7.1.3).
+func (c Config) BackupOf(p int) int { return (c.MasterOf(p) + 1) % c.Nodes }
+
+// HoldsMask returns the partitions node materialises (masters + backups).
+func (c Config) HoldsMask(node int) []bool {
+	mask := make([]bool, c.NumPartitions())
+	for p := range mask {
+		mask[p] = c.MasterOf(p) == node || c.BackupOf(p) == node
+	}
+	return mask
+}
+
+func (c Config) tickerID() int { return c.Nodes }
+
+// stats is the shared metrics bundle.
+type stats struct {
+	committed  metrics.Counter
+	aborted    metrics.Counter
+	userAborts metrics.Counter
+	latency    *metrics.Hist
+	frozen     atomic.Bool
+}
+
+// pause sleeps briefly when the engine is frozen, returning true if the
+// caller should skip generating work (tests quiesce engines this way).
+func (s *stats) pause(r rt.Runtime) bool {
+	if s.frozen.Load() {
+		r.Sleep(time.Millisecond)
+		return true
+	}
+	return false
+}
+
+func (s *stats) snapshot(name string, r rt.Runtime, net *simnet.Network) metrics.Stats {
+	return metrics.Stats{
+		Engine:           name,
+		Duration:         r.Now(),
+		Committed:        s.committed.Load(),
+		Aborted:          s.aborted.Load() + s.userAborts.Load(),
+		Latency:          s.latency,
+		ReplicationBytes: net.Bytes(simnet.Replication),
+		NetworkBytes:     net.TotalBytes(),
+		Extra:            map[string]float64{"user_aborts": float64(s.userAborts.Load())},
+	}
+}
+
+// bnode is the per-node state shared by the distributed baselines.
+type bnode struct {
+	id      int
+	db      *storage.DB
+	tracker *replication.Tracker
+	net     *simnet.Network
+	// onDrainMsg handles engine-specific messages that arrive while the
+	// node is blocked in a group-commit drain.
+	onDrainMsg func(any)
+
+	// mu guards pendingLat on the real runtime.
+	mu         sync.Mutex
+	pendingLat []int64
+}
+
+func (n *bnode) addPending(genAt int64) {
+	n.mu.Lock()
+	n.pendingLat = append(n.pendingLat, genAt)
+	n.mu.Unlock()
+}
+
+func (n *bnode) release(now time.Duration, lat *metrics.Hist) {
+	n.mu.Lock()
+	pend := n.pendingLat
+	n.pendingLat = nil
+	n.mu.Unlock()
+	for _, g := range pend {
+		lat.Observe(time.Duration(int64(now) - g))
+	}
+}
+
+// ---- common wire messages ----
+
+type rpcKind uint8
+
+const (
+	rpcRead rpcKind = iota
+	rpcLockRead
+	rpcLockValidate
+	rpcCommitWrites
+	rpcAbort
+	rpcPrepare
+)
+
+// rpcReq is a generic engine RPC; Payload is engine-specific and, being
+// in-process, shipped by pointer with an explicit modelled size.
+type rpcReq struct {
+	Kind    rpcKind
+	From    int // node
+	Worker  int
+	Seq     uint64
+	Payload any
+	Bytes   int
+}
+
+func (m *rpcReq) Size() int { return 32 + m.Bytes }
+
+type rpcResp struct {
+	Worker  int
+	Seq     uint64
+	OK      bool
+	Payload any
+	Bytes   int
+}
+
+func (m *rpcResp) Size() int { return 24 + m.Bytes }
+
+// tickMsgs drive the epoch-based group commit for async variants.
+type msgTickDone struct {
+	Node  int
+	Epoch uint64
+	Sent  []int64
+}
+
+func (m msgTickDone) Size() int { return 24 + 8*len(m.Sent) }
+
+type msgTickDrain struct {
+	Epoch    uint64
+	Expected []int64
+}
+
+func (m msgTickDrain) Size() int { return 16 + 8*len(m.Expected) }
+
+type msgTickAck struct {
+	Node  int
+	Epoch uint64
+}
+
+func (msgTickAck) Size() int { return 16 }
+
+type msgTick struct{ Epoch uint64 }
+
+func (msgTick) Size() int { return 16 }
+
+// epochTicker runs the group-commit protocol for the async baselines: a
+// fence every cfg.Epoch (drain replication streams, then release
+// results), mirroring Silo's epoch design as the paper's baselines do.
+type epochTicker struct {
+	cfg   Config
+	net   *simnet.Network
+	nodes []*bnode
+	lat   *metrics.Hist
+	// epochNow is read by workers to stamp TIDs.
+	mu    sync.Mutex
+	epoch uint64
+}
+
+func newEpochTicker(cfg Config, net *simnet.Network, nodes []*bnode, lat *metrics.Hist) *epochTicker {
+	return &epochTicker{cfg: cfg, net: net, nodes: nodes, lat: lat, epoch: 2}
+}
+
+func (t *epochTicker) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+func (t *epochTicker) bump() uint64 {
+	t.mu.Lock()
+	t.epoch++
+	e := t.epoch
+	t.mu.Unlock()
+	return e
+}
+
+// loop drives ticks from the dedicated ticker endpoint. The node routers
+// answer the fence messages (see nodeFence).
+func (t *epochTicker) loop() {
+	r := t.cfg.RT
+	in := t.net.Inbox(t.cfg.tickerID())
+	for {
+		r.Sleep(t.cfg.Epoch)
+		epoch := t.Epoch()
+		for i := range t.nodes {
+			t.net.Send(t.cfg.tickerID(), i, simnet.Control, msgTick{Epoch: epoch})
+		}
+		// Gather sent vectors.
+		done := map[int]msgTickDone{}
+		deadline := r.Now() + 10*t.cfg.Epoch
+		for len(done) < len(t.nodes) && r.Now() < deadline {
+			m, ok := in.RecvTimeout(deadline - r.Now())
+			if !ok {
+				break
+			}
+			if d, isDone := m.(msgTickDone); isDone && d.Epoch == epoch {
+				done[d.Node] = d
+			}
+		}
+		// Drain phase.
+		for i := range t.nodes {
+			expected := make([]int64, len(t.nodes))
+			for src, d := range done {
+				expected[src] = d.Sent[i]
+			}
+			t.net.Send(t.cfg.tickerID(), i, simnet.Control, msgTickDrain{Epoch: epoch, Expected: expected})
+		}
+		acks := 0
+		deadline = r.Now() + 10*t.cfg.Epoch
+		for acks < len(t.nodes) && r.Now() < deadline {
+			m, ok := in.RecvTimeout(deadline - r.Now())
+			if !ok {
+				break
+			}
+			if a, isAck := m.(msgTickAck); isAck && a.Epoch == epoch {
+				acks++
+			}
+		}
+		t.bump()
+	}
+}
+
+// rpcPort is a worker's private response channel registry entry.
+type rpcPort struct {
+	resp rt.Chan
+	seq  uint64
+}
+
+func newRPCPort(r rt.Runtime) *rpcPort { return &rpcPort{resp: r.NewChan(16)} }
+
+// call performs a blocking RPC from worker w on node src to node dst.
+// Handling happens in the destination's router process.
+func (p *rpcPort) call(net *simnet.Network, src, dst, worker int, kind rpcKind, payload any, bytes int) *rpcResp {
+	p.seq++
+	net.Send(src, dst, simnet.Data, &rpcReq{
+		Kind: kind, From: src, Worker: worker, Seq: p.seq, Payload: payload, Bytes: bytes,
+	})
+	for {
+		v, ok := p.resp.RecvTimeout(time.Second)
+		if !ok {
+			return &rpcResp{OK: false}
+		}
+		resp := v.(*rpcResp)
+		if resp.Seq == p.seq {
+			return resp
+		}
+	}
+}
+
+// workerSeed derives a deterministic per-worker seed.
+func workerSeed(base int64, node, worker int) int64 {
+	return base*1_000_003 + int64(node)*257 + int64(worker) + 1
+}
+
+func newRNG(base int64, node, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(workerSeed(base, node, worker) ^ 0x5eed))
+}
+
+func procName(kind string, node, worker int) string {
+	return fmt.Sprintf("%s-%d-%d", kind, node, worker)
+}
+
+var _ = txn.ErrConflict

@@ -1,0 +1,536 @@
+package baseline
+
+import (
+	"time"
+
+	"star/internal/lock"
+	"star/internal/occ"
+	"star/internal/replication"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/txn"
+)
+
+// callAll issues one RPC per destination in parallel and collects all
+// responses. Local destinations must be handled by the caller directly.
+func (p *rpcPort) callAll(net *simnet.Network, src, worker int, reqs map[int]*rpcReq) map[int]*rpcResp {
+	bySeq := map[uint64]int{}
+	for dst, req := range reqs {
+		p.seq++
+		req.Seq = p.seq
+		bySeq[p.seq] = dst
+		net.Send(src, dst, simnet.Data, req)
+	}
+	out := make(map[int]*rpcResp, len(reqs))
+	for len(out) < len(reqs) {
+		v, ok := p.resp.RecvTimeout(time.Second)
+		if !ok {
+			break
+		}
+		resp := v.(*rpcResp)
+		if dst, want := bySeq[resp.Seq]; want {
+			delete(bySeq, resp.Seq)
+			out[dst] = resp
+		}
+	}
+	return out
+}
+
+// ---- participant-side operations (called via RPC or directly) ----
+
+func (e *Dist) doRead(node int, p *readPayload) (*readReply, bool) {
+	rec := e.nodes[node].db.Table(p.Table).Get(p.Part, p.Key)
+	if rec == nil {
+		return nil, false
+	}
+	// Bounded read: if the record is latched by an in-flight commit we
+	// fail the read (conflict abort) rather than spin — the router
+	// serving this read is also the process that must deliver the
+	// latch-holder's commit, so unbounded spinning would deadlock.
+	val, tidv, present, ok := rec.TryReadStable(nil, 16)
+	if !ok || !present {
+		return nil, false
+	}
+	return &readReply{Row: val, TID: tidv}, true
+}
+
+func (e *Dist) doLockRead(node int, p *readPayload) (*readReply, bool) {
+	nm := lock.Name{Table: p.Table, Key: p.Key}
+	if !e.locks[node].TryLock(nm, p.Owner, p.Write) {
+		return nil, false // NO_WAIT: abort on conflict
+	}
+	rec := e.nodes[node].db.Table(p.Table).Get(p.Part, p.Key)
+	if rec == nil {
+		e.locks[node].Unlock(nm, p.Owner)
+		return nil, false
+	}
+	val, tidv, _, ok := rec.TryReadStable(nil, 64)
+	if !ok {
+		e.locks[node].Unlock(nm, p.Owner)
+		return nil, false
+	}
+	return &readReply{Row: val, TID: tidv}, true
+}
+
+func (e *Dist) doLockValidate(node int, p *lvPayload) (*lvReply, bool) {
+	n := e.nodes[node]
+	var locked []*storage.Record
+	fail := func() bool {
+		for _, rec := range locked {
+			rec.Unlock()
+		}
+		return false
+	}
+	maxTID := uint64(0)
+	for idx, nm := range p.Writes {
+		part := int(p.Parts[idx])
+		rec := n.db.Table(nm.Table).Partition(part).GetOrCreate(nm.Key)
+		if !rec.TryLock() { // NO_WAIT on write locks
+			return nil, fail()
+		}
+		locked = append(locked, rec)
+		if t := storage.TIDClean(rec.TID()); t > maxTID {
+			maxTID = t
+		}
+	}
+	for idx := range p.Reads {
+		re := &p.Reads[idx]
+		rec := n.db.Table(re.Table).Get(re.Part, re.Key)
+		if rec == nil {
+			return nil, fail()
+		}
+		cur := rec.TID()
+		if storage.TIDClean(cur) != storage.TIDClean(re.TID) {
+			return nil, fail()
+		}
+		if storage.TIDLocked(cur) && !recIn(locked, rec) {
+			return nil, fail()
+		}
+	}
+	return &lvReply{MaxWriteTID: maxTID}, true
+}
+
+// doCommitAsync applies the writes, releases locks, and streams value
+// rows to the partition block's backup. Returns the backup entries sent.
+func (e *Dist) doCommitAsync(node int, p *commitPayload) {
+	n := e.nodes[node]
+	if len(p.Entries) == 0 {
+		// Release-only participant (read locks, no writes here).
+		for _, nm := range p.Release {
+			e.locks[node].Unlock(nm, p.Owner)
+		}
+		return
+	}
+	epoch := storage.TIDEpoch(p.TID)
+	backup := e.cfg.BackupOf(int(p.Entries[0].Part))
+	ents := make([]replication.Entry, 0, len(p.Entries))
+	for idx := range p.Entries {
+		en := &p.Entries[idx]
+		rec := e.applyEntry(node, en, epoch, p.TID)
+		row, _, _ := rec.ReadStable(nil)
+		ents = append(ents, replication.Entry{
+			Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row,
+		})
+	}
+	for _, nm := range p.Release {
+		e.locks[node].Unlock(nm, p.Owner)
+	}
+	if backup != node {
+		n.tracker.AddSent(backup, int64(len(ents)))
+		e.net.Send(node, backup, simnet.Replication, &replication.Batch{From: node, Entries: ents})
+	}
+}
+
+// applyEntry installs one write on the participant's primary copy.
+// For OCC the record latch is already held (from doLockValidate) and is
+// released with the new TID here; S2PL latches briefly (its isolation
+// comes from the lock table).
+func (e *Dist) applyEntry(node int, en *replication.Entry, epoch, tid uint64) *storage.Record {
+	n := e.nodes[node]
+	tbl := n.db.Table(en.Table)
+	part := tbl.Partition(int(en.Part))
+	rec := part.GetOrCreate(en.Key)
+	if e.proto == DistS2PL {
+		rec.Lock()
+	}
+	var first bool
+	if en.IsOp() {
+		first, _ = rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, en.Ops)
+	} else {
+		first = rec.WriteLocked(epoch, tid, en.Row)
+	}
+	if first {
+		part.MarkDirty(rec)
+	}
+	rec.UnlockWithTID(storage.TIDClean(tid))
+	return rec
+}
+
+func (e *Dist) doAbort(node int, p *abortPayload) {
+	n := e.nodes[node]
+	for idx, nm := range p.Writes {
+		rec := n.db.Table(nm.Table).Get(int(p.Parts[idx]), nm.Key)
+		if rec != nil && storage.TIDLocked(rec.TID()) {
+			rec.Unlock()
+		}
+	}
+	for _, nm := range p.Release {
+		e.locks[node].Unlock(nm, p.Owner)
+	}
+}
+
+// ---- coordinator-side transaction execution ----
+
+// distCtx serves procedure reads/writes for both distributed protocols.
+type distCtx struct {
+	e      *Dist
+	node   int
+	wi     int
+	port   *rpcPort
+	set    *txn.RWSet
+	reads  int
+	writes int
+	failed bool
+
+	// S2PL state
+	s2pl      bool
+	owner     int
+	writeMode map[lock.Name]bool
+	held      map[int][]lock.Name // participant → lock names held
+}
+
+func (c *distCtx) counts() (int, int) { return c.reads, c.writes }
+
+func (c *distCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bool) {
+	c.reads++
+	e := c.e
+	tbl := e.nodes[c.node].db.Table(t)
+	if tbl.Replicated() {
+		rec := tbl.Get(part, key)
+		if rec == nil {
+			return nil, false
+		}
+		val, _, present := rec.ReadStable(nil)
+		return val, present
+	}
+	owner := e.cfg.MasterOf(part)
+	if c.s2pl {
+		nm := lock.Name{Table: t, Key: key}
+		payload := &readPayload{Table: t, Part: part, Key: key, Write: c.writeMode[nm], Owner: c.owner}
+		var rep *readReply
+		var ok bool
+		if owner == c.node {
+			rep, ok = e.doLockRead(owner, payload)
+		} else {
+			resp := c.port.call(e.net, c.node, owner, c.wi, rpcLockRead, payload, 32)
+			if resp.OK {
+				rep, ok = resp.Payload.(*readReply), true
+			}
+		}
+		if !ok {
+			c.failed = true
+			return nil, false
+		}
+		c.held[owner] = append(c.held[owner], nm)
+		c.set.AddRead(t, part, key, nil, rep.TID)
+		return rep.Row, true
+	}
+	// OCC: plain read; remote reads are an RPC round trip (§7.2.2).
+	payload := &readPayload{Table: t, Part: part, Key: key}
+	var rep *readReply
+	var ok bool
+	if owner == c.node {
+		rep, ok = e.doRead(owner, payload)
+	} else {
+		resp := c.port.call(e.net, c.node, owner, c.wi, rpcRead, payload, 28)
+		if resp.OK {
+			rep, ok = resp.Payload.(*readReply), true
+		}
+	}
+	if !ok {
+		c.failed = true
+		return nil, false
+	}
+	c.set.AddRead(t, part, key, nil, rep.TID)
+	return rep.Row, true
+}
+
+func (c *distCtx) Write(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
+	c.writes++
+	c.set.AddWrite(t, part, key, ops...)
+}
+
+func (c *distCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
+	c.writes++
+	c.set.AddInsert(t, part, key, row)
+}
+
+// participantEntries groups the write set per mastering node.
+func (e *Dist) participantEntries(set *txn.RWSet, tid uint64) map[int][]replication.Entry {
+	out := map[int][]replication.Entry{}
+	for _, en := range replication.OpEntries(set, tid) {
+		owner := e.cfg.MasterOf(int(en.Part))
+		out[owner] = append(out[owner], en)
+	}
+	return out
+}
+
+func (e *Dist) runOCC(node, wi int, req *txn.Request) {
+	r := e.cfg.RT
+	port := e.ports[node][wi]
+	rng := newRNG(e.cfg.Seed^0x0cc, node, wi)
+	var set txn.RWSet
+	for {
+		set.Reset()
+		ctx := &distCtx{e: e, node: node, wi: wi, port: port, set: &set}
+		err := req.Proc.Run(ctx)
+		r.Compute(execCost(e.cfg, ctx))
+		if err == txn.ErrUserAbort {
+			e.st.userAborts.Inc()
+			return
+		}
+		if err == nil && !ctx.failed && e.commitOCC(node, wi, port, &set, req) {
+			return
+		}
+		e.st.aborted.Inc()
+		// Randomised backoff avoids livelock between mutual aborters.
+		r.Sleep(time.Duration(5+rng.Intn(40)) * time.Microsecond)
+	}
+}
+
+// commitOCC runs the two commit rounds: lock+validate, then apply (2PC
+// when synchronous replication is on, §7.1.3).
+func (e *Dist) commitOCC(node, wi int, port *rpcPort, set *txn.RWSet, req *txn.Request) bool {
+	set.SortWrites()
+	// Group the footprint by participant.
+	lvs := map[int]*lvPayload{}
+	at := func(owner int) *lvPayload {
+		p := lvs[owner]
+		if p == nil {
+			p = &lvPayload{}
+			lvs[owner] = p
+		}
+		return p
+	}
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		p := at(e.cfg.MasterOf(w.Part))
+		p.Writes = append(p.Writes, lock.Name{Table: w.Table, Key: w.Key})
+		p.Parts = append(p.Parts, int32(w.Part))
+	}
+	for i := range set.Reads {
+		rd := &set.Reads[i]
+		p := at(e.cfg.MasterOf(rd.Part))
+		p.Reads = append(p.Reads, *rd)
+	}
+
+	// Round 1: lock + validate everywhere (NO_WAIT).
+	reqs := map[int]*rpcReq{}
+	okLocal := true
+	maxTID := set.MaxReadTID()
+	var localReply *lvReply
+	for owner, payload := range lvs {
+		if owner == node {
+			localReply, okLocal = e.doLockValidate(node, payload)
+			continue
+		}
+		reqs[owner] = &rpcReq{Kind: rpcLockValidate, From: node, Worker: wi,
+			Payload: payload, Bytes: 24 * (len(payload.Reads) + len(payload.Writes))}
+	}
+	resps := port.callAll(e.net, node, wi, reqs)
+	allOK := okLocal && len(resps) == len(reqs)
+	for _, resp := range resps {
+		if !resp.OK {
+			allOK = false
+			continue
+		}
+		if rep := resp.Payload.(*lvReply); rep.MaxWriteTID > maxTID {
+			maxTID = rep.MaxWriteTID
+		}
+	}
+	if localReply != nil && localReply.MaxWriteTID > maxTID {
+		maxTID = localReply.MaxWriteTID
+	}
+	if !allOK {
+		// Round 2 (abort): unlock whoever voted yes.
+		abrt := map[int]*rpcReq{}
+		for owner, payload := range lvs {
+			ap := &abortPayload{Writes: payload.Writes, Parts: payload.Parts}
+			if owner == node {
+				if okLocal {
+					e.doAbort(node, ap)
+				}
+				continue
+			}
+			if resp, ok := resps[owner]; ok && resp.OK {
+				abrt[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap, Bytes: 16 * len(ap.Writes)}
+			}
+		}
+		port.callAll(e.net, node, wi, abrt)
+		return false
+	}
+
+	// Round 2 (commit): apply + replicate.
+	tid := genNext(e.tidGen(node, wi), e.ticker.Epoch(), maxTID)
+	byOwner := e.participantEntries(set, tid)
+	creqs := map[int]*rpcReq{}
+	for owner, ents := range byOwner {
+		payload := &commitPayload{TID: tid, Entries: ents, Sync: e.cfg.SyncRepl}
+		if owner == node {
+			e.commitLocal(node, wi, port, payload)
+			continue
+		}
+		creqs[owner] = &rpcReq{Kind: rpcCommitWrites, From: node, Worker: wi, Payload: payload, Bytes: batchBytes(ents)}
+	}
+	port.callAll(e.net, node, wi, creqs)
+	e.finish(node, req)
+	return true
+}
+
+// commitLocal is the coordinator applying its own portion; under
+// synchronous replication it waits for its backup's ack while holding
+// the locks (the worker may block; routers may not).
+func (e *Dist) commitLocal(node, wi int, port *rpcPort, p *commitPayload) {
+	if !p.Sync || len(p.Entries) == 0 {
+		e.doCommitAsync(node, p)
+		return
+	}
+	n := e.nodes[node]
+	epoch := storage.TIDEpoch(p.TID)
+	backup := e.cfg.BackupOf(int(p.Entries[0].Part))
+	ents := make([]replication.Entry, 0, len(p.Entries))
+	recs := make([]*storage.Record, 0, len(p.Entries))
+	for idx := range p.Entries {
+		en := &p.Entries[idx]
+		rec := e.applyEntry(node, en, epoch, p.TID)
+		recs = append(recs, rec)
+		row, _, _ := rec.ReadStable(nil)
+		ents = append(ents, replication.Entry{Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row})
+	}
+	if backup != node {
+		n.tracker.AddSent(backup, int64(len(ents)))
+		resp := port.call(e.net, node, backup, wi, rpcCommitWrites,
+			&commitPayload{TID: p.TID, Entries: ents}, batchBytes(ents))
+		_ = resp
+	}
+	for _, nm := range p.Release {
+		e.locks[node].Unlock(nm, p.Owner)
+	}
+	_ = recs
+}
+
+func (e *Dist) runS2PL(node, wi int, req *txn.Request) {
+	r := e.cfg.RT
+	port := e.ports[node][wi]
+	owner := node*e.cfg.WorkersPerNode + wi + 1
+	rng := newRNG(e.cfg.Seed^0x52b, node, wi)
+	var set txn.RWSet
+	for {
+		set.Reset()
+		ctx := &distCtx{
+			e: e, node: node, wi: wi, port: port, set: &set,
+			s2pl: true, owner: owner,
+			writeMode: make(map[lock.Name]bool, 8),
+			held:      make(map[int][]lock.Name, 4),
+		}
+		for _, a := range req.Proc.Accesses() {
+			if a.Write {
+				ctx.writeMode[lock.Name{Table: a.Table, Key: a.Key}] = true
+			}
+		}
+		err := req.Proc.Run(ctx)
+		r.Compute(execCost(e.cfg, ctx))
+		if err == nil && !ctx.failed && e.commitS2PL(node, wi, port, ctx, &set, req) {
+			return
+		}
+		// Release everything we hold, then retry or stop.
+		e.abortS2PL(node, wi, port, ctx)
+		if err == txn.ErrUserAbort {
+			e.st.userAborts.Inc()
+			return
+		}
+		e.st.aborted.Inc()
+		r.Sleep(time.Duration(5+rng.Intn(40)) * time.Microsecond)
+	}
+}
+
+func (e *Dist) abortS2PL(node, wi int, port *rpcPort, ctx *distCtx) {
+	reqs := map[int]*rpcReq{}
+	for owner, names := range ctx.held {
+		ap := &abortPayload{Owner: ctx.owner, Release: names}
+		if owner == node {
+			e.doAbort(node, ap)
+			continue
+		}
+		reqs[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap, Bytes: 16 * len(names)}
+	}
+	port.callAll(e.net, node, wi, reqs)
+}
+
+func (e *Dist) commitS2PL(node, wi int, port *rpcPort, ctx *distCtx, set *txn.RWSet, req *txn.Request) bool {
+	// 2PC prepare round under synchronous replication (§7.1.3: "must use
+	// two-phase commit when synchronous replication is used").
+	participants := map[int]bool{node: true}
+	for owner := range ctx.held {
+		participants[owner] = true
+	}
+	for i := range set.Writes {
+		participants[e.cfg.MasterOf(set.Writes[i].Part)] = true
+	}
+	if e.cfg.SyncRepl {
+		preps := map[int]*rpcReq{}
+		for owner := range participants {
+			if owner == node {
+				continue
+			}
+			preps[owner] = &rpcReq{Kind: rpcPrepare, From: node, Worker: wi, Bytes: 16}
+		}
+		port.callAll(e.net, node, wi, preps)
+	}
+	tid := genNext(e.tidGen(node, wi), e.ticker.Epoch(), set.MaxReadTID())
+	byOwner := e.participantEntries(set, tid)
+	creqs := map[int]*rpcReq{}
+	for owner := range participants {
+		payload := &commitPayload{
+			TID: tid, Entries: byOwner[owner],
+			Owner: ctx.owner, Release: ctx.held[owner], Sync: e.cfg.SyncRepl,
+		}
+		if len(payload.Entries) == 0 && len(payload.Release) == 0 {
+			continue
+		}
+		if owner == node {
+			if len(payload.Entries) == 0 {
+				// Locks only: release directly.
+				for _, nm := range payload.Release {
+					e.locks[node].Unlock(nm, ctx.owner)
+				}
+				continue
+			}
+			e.commitLocal(node, wi, port, payload)
+			continue
+		}
+		creqs[owner] = &rpcReq{Kind: rpcCommitWrites, From: node, Worker: wi,
+			Payload: payload, Bytes: batchBytes(payload.Entries) + 16*len(payload.Release)}
+	}
+	port.callAll(e.net, node, wi, creqs)
+	e.finish(node, req)
+	return true
+}
+
+func (e *Dist) finish(node int, req *txn.Request) {
+	e.st.committed.Inc()
+	if e.cfg.SyncRepl {
+		e.st.latency.Observe(time.Duration(int64(e.cfg.RT.Now()) - req.GenAt))
+		return
+	}
+	e.nodes[node].addPending(req.GenAt)
+}
+
+// tidGen returns the per-worker TID generator.
+func (e *Dist) tidGen(node, wi int) *occ.TIDGen {
+	return &e.tids[node*e.cfg.WorkersPerNode+wi]
+}
+
+func genNext(g *occ.TIDGen, epoch, maxSeen uint64) uint64 {
+	return g.Next(epoch, maxSeen)
+}

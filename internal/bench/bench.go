@@ -1,0 +1,530 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7). Each runner sweeps the figure's x-axis, executes the
+// relevant engines on the deterministic simulation runtime, and prints
+// the same series the paper plots. Absolute numbers depend on the cost
+// model; the reproduction target is the shape: who wins, by what factor,
+// and where the crossovers sit (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"star/internal/baseline"
+	"star/internal/core"
+	"star/internal/metrics"
+	"star/internal/model"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/workload"
+	"star/internal/workload/tpcc"
+	"star/internal/workload/ycsb"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Out receives the table rows.
+	Out io.Writer
+	// Short shrinks workers, data and measured time for CI-speed runs.
+	Short bool
+	Seed  int64
+}
+
+func (o Options) workers() int {
+	if o.Short {
+		return 4
+	}
+	return 12 // §7.1: 12 worker threads per node
+}
+
+func (o Options) duration() time.Duration {
+	if o.Short {
+		return 60 * time.Millisecond
+	}
+	return 250 * time.Millisecond
+}
+
+func (o Options) ycsbRecords() int {
+	if o.Short {
+		return 4096
+	}
+	return 20000
+}
+
+func (o Options) tpccCfg(warehouses int) tpcc.Config {
+	c := tpcc.Config{Warehouses: warehouses}
+	if o.Short {
+		c.Districts = 4
+		c.CustomersPerDistrict = 96
+		c.Items = 512
+	} else {
+		c.Districts = 10
+		c.CustomersPerDistrict = 600
+		c.Items = 4000
+	}
+	return c
+}
+
+func (o Options) printf(format string, args ...any) {
+	fmt.Fprintf(o.Out, format, args...)
+}
+
+// bandwidth is the modelled per-node egress capacity. It is scaled with
+// the worker count so that TPC-C saturates the wire around 4 nodes, as
+// on the paper's 4.8 Gbit/s EC2 network (§7.6).
+func (o Options) bandwidth() float64 {
+	if o.Short {
+		return 800e6
+	}
+	return 2.4e9
+}
+
+func (o Options) netCfg(nodes int) simnet.Config {
+	return simnet.Config{
+		Nodes:     nodes + 1,
+		Latency:   50 * time.Microsecond,
+		Jitter:    10 * time.Microsecond,
+		Bandwidth: o.bandwidth(),
+		Seed:      o.Seed,
+	}
+}
+
+// runSim executes build on a fresh simulation, measures `dur` of virtual
+// time, then returns the engine's stats.
+func runSim(dur time.Duration, build func(s *rt.Sim) func() metrics.Stats) metrics.Stats {
+	s := rt.NewSim()
+	stats := build(s)
+	s.Run(dur)
+	st := stats()
+	st.Duration = s.Now()
+	s.Stop()
+	return st
+}
+
+func (o Options) ycsbWorkload(nodes, crossPct int) workload.Workload {
+	if crossPct < 0 {
+		crossPct = 10 // the paper's YCSB default (§7.1.1)
+	}
+	return ycsb.New(ycsb.Config{
+		Partitions:          nodes * o.workers(),
+		RecordsPerPartition: o.ycsbRecords(),
+		CrossPct:            crossPct,
+	})
+}
+
+func (o Options) tpccWorkload(nodes, crossPct int) workload.Workload {
+	cfg := o.tpccCfg(nodes * o.workers())
+	if crossPct >= 0 {
+		cfg.SetCrossPct(crossPct)
+	}
+	return tpcc.New(cfg)
+}
+
+// ---- engine builders ----
+
+func (o Options) star(nodes int, wl workload.Workload, mod func(*core.Config)) func(*rt.Sim) func() metrics.Stats {
+	return func(s *rt.Sim) func() metrics.Stats {
+		cfg := core.Config{
+			RT: s, Nodes: nodes, WorkersPerNode: o.workers(),
+			Workload: wl, Seed: o.Seed, Net: o.netCfg(nodes),
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		e := core.New(cfg)
+		return e.Stats
+	}
+}
+
+func (o Options) pbocc(wl workload.Workload, sync bool) func(*rt.Sim) func() metrics.Stats {
+	return func(s *rt.Sim) func() metrics.Stats {
+		e := baseline.NewPBOCC(baseline.Config{
+			RT: s, WorkersPerNode: o.workers(), Workload: wl,
+			SyncRepl: sync, Seed: o.Seed, Net: o.netCfg(2),
+		})
+		return e.Stats
+	}
+}
+
+func (o Options) dist(nodes int, wl workload.Workload, proto baseline.Protocol, sync bool) func(*rt.Sim) func() metrics.Stats {
+	return func(s *rt.Sim) func() metrics.Stats {
+		e := baseline.NewDist(baseline.Config{
+			RT: s, Nodes: nodes, WorkersPerNode: o.workers(), Workload: wl,
+			SyncRepl: sync, Seed: o.Seed, Net: o.netCfg(nodes),
+		}, proto)
+		return e.Stats
+	}
+}
+
+func (o Options) calvin(nodes int, wl workload.Workload, lms int) func(*rt.Sim) func() metrics.Stats {
+	return func(s *rt.Sim) func() metrics.Stats {
+		e := baseline.NewCalvin(baseline.Config{
+			RT: s, Nodes: nodes, WorkersPerNode: o.workers(), Workload: wl,
+			LockManagers: lms, Seed: o.Seed, Net: o.netCfg(nodes),
+		})
+		return e.Stats
+	}
+}
+
+// pbWorkload builds the PB. OCC workload: the primary/backup pair holds
+// the whole database, so its partition count is 2 × workers.
+func (o Options) pbYCSB(crossPct int) workload.Workload { return o.ycsbWorkload(2, crossPct) }
+func (o Options) pbTPCC(crossPct int) workload.Workload { return o.tpccWorkload(2, crossPct) }
+
+// crossPoints is the x-axis of the Fig 11/13/15 sweeps.
+func (o Options) crossPoints() []int {
+	if o.Short {
+		return []int{0, 20, 50, 80, 100}
+	}
+	return []int{0, 10, 20, 40, 60, 80, 100}
+}
+
+// kTxnsPerSec formats throughput in thousands of transactions/second.
+func kTxnsPerSec(st metrics.Stats) float64 { return st.Throughput() / 1000 }
+
+// ---- Figure 3 and Figure 10: the analytical model ----
+
+// Fig03 prints the model speedup of STAR over one node (Figure 3).
+func Fig03(o Options) {
+	o.printf("# Figure 3: modelled speedup of STAR over single-node execution\n")
+	o.printf("%-8s", "nodes")
+	for _, p := range []float64{0.01, 0.05, 0.10, 0.15} {
+		o.printf("  %-8s", fmt.Sprintf("P=%.0f%%", p*100))
+	}
+	o.printf("\n")
+	for n := 1; n <= 16; n++ {
+		o.printf("%-8d", n)
+		for _, p := range []float64{0.01, 0.05, 0.10, 0.15} {
+			o.printf("  %-8.2f", model.Speedup(n, p))
+		}
+		o.printf("\n")
+	}
+}
+
+// Fig10 prints the model improvement of STAR over both system classes on
+// four nodes (Figure 10).
+func Fig10(o Options) {
+	o.printf("# Figure 10: modelled improvement of STAR (4 nodes) in %%\n")
+	o.printf("%-8s", "P%")
+	for _, k := range []float64{2, 4, 8, 16} {
+		o.printf("  K=%-6.0f", k)
+	}
+	o.printf("  %s\n", "NonPart")
+	for p := 0; p <= 100; p += 10 {
+		pf := float64(p) / 100
+		o.printf("%-8d", p)
+		for _, k := range []float64{2, 4, 8, 16} {
+			o.printf("  %-8.0f", 100*model.ImprovementOverPartitioned(4, k, pf))
+		}
+		o.printf("  %-8.0f\n", 100*model.ImprovementOverNonPartitioned(4, pf))
+	}
+}
+
+// ---- Figure 11: throughput vs %% cross-partition ----
+
+// Fig11a: YCSB, asynchronous replication + epoch group commit.
+func Fig11a(o Options) {
+	o.fig11(true, false)
+}
+
+// Fig11b: TPC-C, asynchronous replication + epoch group commit.
+func Fig11b(o Options) {
+	o.fig11(false, false)
+}
+
+// Fig11c: YCSB, synchronous replication baselines.
+func Fig11c(o Options) {
+	o.fig11(true, true)
+}
+
+// Fig11d: TPC-C, synchronous replication baselines.
+func Fig11d(o Options) {
+	o.fig11(false, true)
+}
+
+func (o Options) fig11(isYCSB, sync bool) {
+	name, mk := "TPC-C", o.tpccWorkload
+	pbmk := o.pbTPCC
+	if isYCSB {
+		name, mk = "YCSB", o.ycsbWorkload
+		pbmk = o.pbYCSB
+	}
+	mode := "async replication + epoch group commit"
+	if sync {
+		mode = "synchronous replication"
+	}
+	o.printf("# Figure 11 (%s, %s): throughput (k txns/s) vs %%cross-partition, 4 nodes\n", name, mode)
+	if sync {
+		o.printf("%-8s %-12s %-12s %-12s\n", "P%", "PB.OCC", "Dist.OCC", "Dist.S2PL")
+	} else {
+		o.printf("%-8s %-12s %-12s %-12s %-12s\n", "P%", "STAR", "PB.OCC", "Dist.OCC", "Dist.S2PL")
+	}
+	const nodes = 4
+	for _, p := range o.crossPoints() {
+		row := []float64{}
+		if !sync {
+			row = append(row, kTxnsPerSec(runSim(o.duration(), o.star(nodes, mk(nodes, p), nil))))
+		}
+		row = append(row,
+			kTxnsPerSec(runSim(o.duration(), o.pbocc(pbmk(p), sync))),
+			kTxnsPerSec(runSim(o.duration(), o.dist(nodes, mk(nodes, p), baseline.DistOCC, sync))),
+			kTxnsPerSec(runSim(o.duration(), o.dist(nodes, mk(nodes, p), baseline.DistS2PL, sync))),
+		)
+		o.printf("%-8d", p)
+		for _, v := range row {
+			o.printf(" %-12.0f", v)
+		}
+		o.printf("\n")
+	}
+}
+
+// ---- Figure 12: latency table ----
+
+// Fig12 prints p50/p99 latency (ms) for the sync baselines at P ∈
+// {10,50,90} plus the async group-commit row.
+func Fig12(o Options) {
+	o.printf("# Figure 12: latency ms (p50/p99), 4 nodes\n")
+	o.printf("%-24s %-10s %-16s %-16s\n", "system", "workload", "P=10%", "P=50%/90%...")
+	ps := []int{10, 50, 90}
+	type mkfn struct {
+		label string
+		run   func(p int) metrics.Stats
+	}
+	const nodes = 4
+	for _, wlName := range []string{"YCSB", "TPC-C"} {
+		mk := o.ycsbWorkload
+		pbmk := o.pbYCSB
+		if wlName == "TPC-C" {
+			mk = o.tpccWorkload
+			pbmk = o.pbTPCC
+		}
+		rows := []mkfn{
+			{"PB.OCC (sync)", func(p int) metrics.Stats {
+				return runSim(o.duration(), o.pbocc(pbmk(p), true))
+			}},
+			{"Dist.OCC (sync)", func(p int) metrics.Stats {
+				return runSim(o.duration(), o.dist(nodes, mk(nodes, p), baseline.DistOCC, true))
+			}},
+			{"Dist.S2PL (sync)", func(p int) metrics.Stats {
+				return runSim(o.duration(), o.dist(nodes, mk(nodes, p), baseline.DistS2PL, true))
+			}},
+		}
+		for _, r := range rows {
+			o.printf("%-24s %-10s", r.label, wlName)
+			for _, p := range ps {
+				st := r.run(p)
+				o.printf(" %5.2f/%-8.2f", ms(st.Latency.Quantile(.5)), ms(st.Latency.Quantile(.99)))
+			}
+			o.printf("\n")
+		}
+	}
+	// Async rows (latency dominated by the epoch/iteration, §7.2.3).
+	st := runSim(o.duration(), o.star(4, o.ycsbWorkload(4, 10), nil))
+	o.printf("%-24s %-10s %5.2f/%-8.2f (group commit)\n", "STAR", "YCSB",
+		ms(st.Latency.Quantile(.5)), ms(st.Latency.Quantile(.99)))
+	st = runSim(o.duration(), o.pbocc(o.pbYCSB(10), false))
+	o.printf("%-24s %-10s %5.2f/%-8.2f (group commit)\n", "PB.OCC (async)", "YCSB",
+		ms(st.Latency.Quantile(.5)), ms(st.Latency.Quantile(.99)))
+	st = runSim(o.duration(), o.dist(4, o.ycsbWorkload(4, 10), baseline.DistOCC, false))
+	o.printf("%-24s %-10s %5.2f/%-8.2f (group commit)\n", "Dist.OCC (async)", "YCSB",
+		ms(st.Latency.Quantile(.5)), ms(st.Latency.Quantile(.99)))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ---- Figure 13: Calvin comparison ----
+
+// Fig13a: YCSB vs Calvin-x.
+func Fig13a(o Options) { o.fig13(true) }
+
+// Fig13b: TPC-C vs Calvin-x.
+func Fig13b(o Options) { o.fig13(false) }
+
+func (o Options) fig13(isYCSB bool) {
+	name, mk := "TPC-C", o.tpccWorkload
+	if isYCSB {
+		name, mk = "YCSB", o.ycsbWorkload
+	}
+	lms := []int{2, 4, 6}
+	if o.workers() <= 4 {
+		lms = []int{1, 2, 3}
+	}
+	o.printf("# Figure 13 (%s): STAR vs Calvin-x, 4 nodes, k txns/s\n", name)
+	o.printf("%-8s %-12s", "P%", "STAR")
+	for _, x := range lms {
+		o.printf(" %-12s", fmt.Sprintf("Calvin-%d", x))
+	}
+	o.printf("\n")
+	const nodes = 4
+	for _, p := range o.crossPoints() {
+		o.printf("%-8d %-12.0f", p, kTxnsPerSec(runSim(o.duration(), o.star(nodes, mk(nodes, p), nil))))
+		for _, x := range lms {
+			o.printf(" %-12.0f", kTxnsPerSec(runSim(o.duration(), o.calvin(nodes, mk(nodes, p), x))))
+		}
+		o.printf("\n")
+	}
+}
+
+// ---- Figure 14: phase transition overhead ----
+
+// Fig14a sweeps the iteration time (YCSB, 4 nodes): throughput plus the
+// overhead relative to a 200ms iteration.
+func Fig14a(o Options) {
+	o.printf("# Figure 14a: iteration time vs throughput and overhead (YCSB, 4 nodes, P=10%%)\n")
+	o.printf("%-10s %-14s %-10s %-12s\n", "iter(ms)", "ktxns/s", "overhead", "fence-share")
+	iters := []time.Duration{1, 2, 5, 10, 20, 50, 100, 200}
+	base := -1.0
+	for i := len(iters) - 1; i >= 0; i-- {
+		it := iters[i] * time.Millisecond
+		// Steady state needs several complete iterations per point.
+		dur := o.duration() * 2
+		if min := 6 * it; dur < min {
+			dur = min
+		}
+		st := runSim(dur, o.star(4, o.ycsbWorkload(4, 10), func(c *core.Config) { c.Iteration = it }))
+		tput := st.Throughput()
+		if base < 0 {
+			base = tput // 200ms reference, measured first
+		}
+		overhead := 100 * (1 - tput/base)
+		if overhead < 0 {
+			overhead = 0
+		}
+		o.printf("%-10d %-14.0f %-9.1f%% %-12.3f\n",
+			iters[i], tput/1000, overhead, st.Extra["fence_share"])
+	}
+}
+
+// Fig14b sweeps the node count at 10ms and 20ms iterations.
+func Fig14b(o Options) {
+	o.printf("# Figure 14b: phase-transition overhead vs nodes (YCSB, P=10%%)\n")
+	o.printf("%-8s %-14s %-14s\n", "nodes", "ovh@10ms", "ovh@20ms")
+	nodesList := []int{2, 4, 8, 16}
+	if o.Short {
+		nodesList = []int{2, 4, 8}
+	}
+	refIter := 200 * time.Millisecond
+	for _, n := range nodesList {
+		wl := o.ycsbWorkload(n, 10)
+		ref := runSim(6*refIter, o.star(n, wl, func(c *core.Config) { c.Iteration = refIter })).Throughput()
+		row := []float64{}
+		for _, it := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond} {
+			dur := o.duration()
+			if min := 6 * it; dur < min {
+				dur = min
+			}
+			tput := runSim(dur, o.star(n, wl, func(c *core.Config) { c.Iteration = it })).Throughput()
+			ovh := 100 * (1 - tput/ref)
+			if ovh < 0 {
+				ovh = 0
+			}
+			row = append(row, ovh)
+		}
+		o.printf("%-8d %-13.1f%% %-13.1f%%\n", n, row[0], row[1])
+	}
+}
+
+// ---- Figure 15: replication strategies and durability ----
+
+// Fig15a compares SYNC STAR, STAR and STAR w/ hybrid replication on
+// TPC-C, reporting throughput and replication bytes per transaction.
+func Fig15a(o Options) {
+	o.printf("# Figure 15a: replication strategies (TPC-C, 4 nodes), k txns/s [bytes/txn]\n")
+	o.printf("%-8s %-22s %-22s %-22s\n", "P%", "SYNC STAR", "STAR", "STAR w/ Hybrid Rep.")
+	const nodes = 4
+	for _, p := range o.crossPoints() {
+		wl := func() workload.Workload { return o.tpccWorkload(nodes, p) }
+		sync := runSim(o.duration(), o.star(nodes, wl(), func(c *core.Config) { c.SyncRepl = true }))
+		async := runSim(o.duration(), o.star(nodes, wl(), nil))
+		hybrid := runSim(o.duration(), o.star(nodes, wl(), func(c *core.Config) { c.HybridRepl = true }))
+		cell := func(st metrics.Stats) string {
+			per := int64(0)
+			if st.Committed > 0 {
+				per = st.ReplicationBytes / st.Committed
+			}
+			return fmt.Sprintf("%.0f [%dB]", kTxnsPerSec(st), per)
+		}
+		o.printf("%-8d %-22s %-22s %-22s\n", p, cell(sync), cell(async), cell(hybrid))
+	}
+}
+
+// Fig15b reports the disk-logging overhead on YCSB and TPC-C.
+func Fig15b(o Options) {
+	o.printf("# Figure 15b: durability overhead (4 nodes), k txns/s\n")
+	o.printf("%-8s %-12s %-16s %-10s\n", "wl", "STAR", "STAR+logging", "overhead")
+	const nodes = 4
+	for _, wlName := range []string{"YCSB", "TPC-C"} {
+		mk := func() workload.Workload {
+			if wlName == "YCSB" {
+				return o.ycsbWorkload(nodes, 10)
+			}
+			return o.tpccWorkload(nodes, -1) // paper default mix
+		}
+		plain := runSim(o.duration(), o.star(nodes, mk(), nil)).Throughput()
+		logged := runSim(o.duration(), o.star(nodes, mk(), func(c *core.Config) { c.Logging = true })).Throughput()
+		ovh := 100 * (1 - logged/plain)
+		if ovh < 0 {
+			ovh = 0
+		}
+		o.printf("%-8s %-12.0f %-16.0f %-9.1f%%\n", wlName, plain/1000, logged/1000, ovh)
+	}
+}
+
+// ---- Figure 16: scalability ----
+
+// Fig16a: YCSB scalability, 2..16 nodes.
+func Fig16a(o Options) { o.fig16(true) }
+
+// Fig16b: TPC-C scalability (network-bound beyond ~4 nodes).
+func Fig16b(o Options) { o.fig16(false) }
+
+func (o Options) fig16(isYCSB bool) {
+	name, mk := "TPC-C", o.tpccWorkload
+	if isYCSB {
+		name, mk = "YCSB", o.ycsbWorkload
+	}
+	o.printf("# Figure 16 (%s): scalability, k txns/s\n", name)
+	o.printf("%-8s %-12s %-12s %-12s %-12s\n", "nodes", "STAR", "Dist.OCC", "Dist.S2PL", "Calvin")
+	nodesList := []int{2, 4, 8, 16}
+	if o.Short {
+		nodesList = []int{2, 4, 8}
+	}
+	lm := 4
+	if o.workers() <= 4 {
+		lm = 2
+	}
+	for _, n := range nodesList {
+		o.printf("%-8d %-12.0f %-12.0f %-12.0f %-12.0f\n", n,
+			kTxnsPerSec(runSim(o.duration(), o.star(n, mk(n, -1), nil))),
+			kTxnsPerSec(runSim(o.duration(), o.dist(n, mk(n, -1), baseline.DistOCC, false))),
+			kTxnsPerSec(runSim(o.duration(), o.dist(n, mk(n, -1), baseline.DistS2PL, false))),
+			kTxnsPerSec(runSim(o.duration(), o.calvin(n, mk(n, -1), lm))))
+	}
+}
+
+// Experiments maps experiment ids to their runners.
+var Experiments = map[string]func(Options){
+	"fig3":   Fig03,
+	"fig10":  Fig10,
+	"fig11a": Fig11a,
+	"fig11b": Fig11b,
+	"fig11c": Fig11c,
+	"fig11d": Fig11d,
+	"fig12":  Fig12,
+	"fig13a": Fig13a,
+	"fig13b": Fig13b,
+	"fig14a": Fig14a,
+	"fig14b": Fig14b,
+	"fig15a": Fig15a,
+	"fig15b": Fig15b,
+	"fig16a": Fig16a,
+	"fig16b": Fig16b,
+}
+
+// Order lists experiment ids in paper order.
+var Order = []string{
+	"fig3", "fig10", "fig11a", "fig11b", "fig11c", "fig11d", "fig12",
+	"fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
+	"fig16a", "fig16b",
+}

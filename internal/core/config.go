@@ -1,0 +1,193 @@
+// Package core implements the STAR engine itself: a cluster of f full
+// replicas and k partial replicas that alternates between a partitioned
+// phase (single-partition transactions run serially on every partition's
+// master, no concurrency control) and a single-master phase (deferred
+// cross-partition transactions run under Silo-style OCC on one full
+// replica), separated by replication fences that make every phase switch
+// an epoch boundary and a group commit (paper §3–§5).
+package core
+
+import (
+	"time"
+
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/workload"
+)
+
+// CostModel assigns virtual CPU costs to engine actions so the
+// simulation runtime reproduces compute/communication ratios; on the
+// real runtime these are ignored (real work takes real time).
+type CostModel struct {
+	// Read is the CPU cost of one record read (hash probe + copy).
+	Read time.Duration
+	// Write is the CPU cost of one buffered write's commit application.
+	Write time.Duration
+	// TxnOverhead is per-transaction bookkeeping (generation, TID, ...).
+	TxnOverhead time.Duration
+	// MsgHandling is the CPU cost of handling one network message.
+	MsgHandling time.Duration
+	// ApplyEntry is the CPU cost of applying one replication entry.
+	ApplyEntry time.Duration
+	// LogPerKB is the CPU+IO cost per KiB written to the recovery log.
+	LogPerKB time.Duration
+}
+
+// DefaultCosts returns the cost model calibrated so 4-node sim
+// throughput lands near the paper's absolute numbers (§7.1).
+func DefaultCosts() CostModel {
+	return CostModel{
+		Read:        900 * time.Nanosecond,
+		Write:       350 * time.Nanosecond,
+		TxnOverhead: 1200 * time.Nanosecond,
+		MsgHandling: 1500 * time.Nanosecond,
+		ApplyEntry:  400 * time.Nanosecond,
+		LogPerKB:    2 * time.Microsecond,
+	}
+}
+
+// Config parameterises a STAR cluster.
+type Config struct {
+	RT             rt.Runtime
+	Nodes          int // f + k
+	FullReplicas   int // f (≥1); node ids [0,f) hold full copies
+	WorkersPerNode int
+	Workload       workload.Workload
+	Net            simnet.Config
+
+	// Iteration is the phase-switch iteration time e (τp+τs); the paper
+	// defaults to 10ms.
+	Iteration time.Duration
+
+	// SyncRepl makes the single-master phase hold write locks until all
+	// replicas ack each transaction's writes (the SYNC STAR baseline of
+	// Fig 15a). Default is asynchronous replication + fence.
+	SyncRepl bool
+
+	// HybridRepl enables operation replication in the partitioned phase
+	// (STAR w/ Hybrid Rep. in Fig 15a); otherwise whole rows are shipped
+	// in both phases.
+	HybridRepl bool
+
+	// Logging enables per-worker value logging with fence flushes; its
+	// virtual cost is LogPerKB (Fig 15b).
+	Logging bool
+
+	// LogDir, when non-empty, additionally writes real recovery-log
+	// files (one per worker and per applier thread, §4.5.1) under this
+	// directory; wal.Recover can rebuild a node's database from them
+	// (§4.5.3 case 4). Implies Logging.
+	LogDir string
+
+	// Checkpoint enables a dedicated checkpointing process per node
+	// (§4.5.1): every CheckpointEvery (default 10 iterations) it writes a
+	// fuzzy snapshot to LogDir; logs older than the checkpoint's epoch
+	// may then be deleted. Requires LogDir.
+	Checkpoint      bool
+	CheckpointEvery time.Duration
+
+	// ReadCommitted runs single-master transactions under READ COMMITTED
+	// instead of serializability (§3: read validation is skipped).
+	ReadCommitted bool
+
+	Cost CostModel
+	Seed int64
+
+	// FlushEvery bounds replication batch size in entries.
+	FlushEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FullReplicas == 0 {
+		c.FullReplicas = 1
+	}
+	if c.LogDir != "" {
+		c.Logging = true
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 100 * time.Millisecond
+	}
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = 4
+	}
+	if c.Iteration == 0 {
+		c.Iteration = 10 * time.Millisecond
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCosts()
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 16
+	}
+	if c.Net.Nodes == 0 {
+		c.Net = simnet.Config{
+			Nodes:   c.Nodes + 1, // +1 endpoint for the coordinator
+			Latency: 50 * time.Microsecond,
+			Jitter:  10 * time.Microsecond,
+			// ~4.8 Gbit/s, as measured on the paper's EC2 cluster.
+			Bandwidth: 600e6,
+			Seed:      c.Seed,
+		}
+	}
+	return c
+}
+
+// NumPartitions returns the cluster partition count (workers == owned
+// partitions per node, matching §7.1: "the number of partitions equal to
+// the total number of worker threads").
+func (c Config) NumPartitions() int { return c.Nodes * c.WorkersPerNode }
+
+// MasterOf returns the partition's mastering node in the partitioned
+// phase (block assignment: node i masters [i*w, (i+1)*w)).
+func (c Config) MasterOf(p int) int { return p / c.WorkersPerNode }
+
+// SecondaryOf returns the partial replica that stores partition p as a
+// secondary when p is mastered by a full-replica node; partitions
+// mastered by partial nodes are already duplicated on the full replicas.
+// Returns -1 when no extra copy is needed. Together the partial replicas
+// hold a complete copy of the database (paper Fig 2).
+func (c Config) SecondaryOf(p int) int {
+	m := c.MasterOf(p)
+	if m >= c.FullReplicas {
+		return -1 // full replicas already duplicate it
+	}
+	k := c.Nodes - c.FullReplicas
+	if k <= 0 {
+		return -1
+	}
+	return c.FullReplicas + p%k
+}
+
+// HoldersOf returns every node that stores partition p.
+func (c Config) HoldersOf(p int) []int {
+	holders := make([]int, 0, c.FullReplicas+2)
+	for i := 0; i < c.FullReplicas; i++ {
+		holders = append(holders, i)
+	}
+	if m := c.MasterOf(p); m >= c.FullReplicas {
+		holders = append(holders, m)
+	}
+	if s := c.SecondaryOf(p); s >= 0 {
+		holders = append(holders, s)
+	}
+	return holders
+}
+
+// HoldsMask returns the partition residency mask for a node.
+func (c Config) HoldsMask(node int) []bool {
+	n := c.NumPartitions()
+	mask := make([]bool, n)
+	for p := 0; p < n; p++ {
+		if node < c.FullReplicas {
+			mask[p] = true
+			continue
+		}
+		if c.MasterOf(p) == node || c.SecondaryOf(p) == node {
+			mask[p] = true
+		}
+	}
+	return mask
+}
+
+// coordID is the simnet endpoint index used by the phase coordinator.
+func (c Config) coordID() int { return c.Nodes }

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"star/internal/simnet"
+)
+
+// msgUpdateMasters installs a new partition→master map outside of a
+// revert (used when a recovered node takes its partitions back).
+type msgUpdateMasters struct{ Masters []int32 }
+
+func (m msgUpdateMasters) Size() int { return 8 + 4*len(m.Masters) }
+
+// coordinator drives the phase-switching algorithm (§4.3, Fig 5): start
+// a phase, wait it out, run the replication fence, commit the epoch,
+// recompute τp/τs from the monitored throughputs, repeat. It also serves
+// as the view service for failure detection (§4.5.2).
+type coordinator struct {
+	e       *Engine
+	alive   []bool
+	masters []int32
+	epoch   uint64
+	phase   Phase
+	master  int
+
+	// Monitored quantities (EWMA).
+	tp, ts, pEst float64
+
+	// Per-iteration accumulators.
+	iterCommitP, iterCommitS int64
+	iterGenSingle, iterGenX  int64
+
+	// statMu guards the fields below, which Engine.Stats reads from
+	// other goroutines on the real runtime.
+	statMu             sync.Mutex
+	lastTauP, lastTauS time.Duration
+	fenceTime          time.Duration
+	startTime          time.Duration
+}
+
+func newCoordinator(e *Engine) *coordinator {
+	c := &coordinator{
+		e:       e,
+		alive:   make([]bool, e.cfg.Nodes),
+		masters: make([]int32, e.cfg.NumPartitions()),
+		epoch:   2, // epoch 1 is the initial load
+		phase:   Partitioned,
+		master:  0,
+	}
+	for i := range c.alive {
+		c.alive[i] = true
+	}
+	for p := range c.masters {
+		c.masters[p] = int32(e.cfg.MasterOf(p))
+	}
+	c.lastTauP = e.cfg.Iteration / 2
+	c.lastTauS = e.cfg.Iteration / 2
+	return c
+}
+
+func (c *coordinator) id() int { return c.e.cfg.coordID() }
+
+func (c *coordinator) failedList() []int {
+	var f []int
+	for i, a := range c.alive {
+		if !a {
+			f = append(f, i)
+		}
+	}
+	return f
+}
+
+func (c *coordinator) broadcast(m simnet.Message) {
+	for i, a := range c.alive {
+		if a {
+			c.e.net.Send(c.id(), i, simnet.Control, m)
+		}
+	}
+}
+
+func (c *coordinator) fenceShare() float64 {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	total := c.e.cfg.RT.Now() - c.startTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(c.fenceTime) / float64(total)
+}
+
+// taus returns the current phase durations for Stats.
+func (c *coordinator) taus() (tauP, tauS time.Duration) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.lastTauP, c.lastTauS
+}
+
+func (c *coordinator) curTau(phase Phase) time.Duration {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	if phase == SingleMaster {
+		return c.lastTauS
+	}
+	return c.lastTauP
+}
+
+func (c *coordinator) setTaus(tauP, tauS time.Duration) {
+	c.statMu.Lock()
+	c.lastTauP, c.lastTauS = tauP, tauS
+	c.statMu.Unlock()
+}
+
+func (c *coordinator) addFenceTime(d time.Duration) {
+	c.statMu.Lock()
+	c.fenceTime += d
+	c.statMu.Unlock()
+}
+
+func (c *coordinator) loop() {
+	r := c.e.cfg.RT
+	c.statMu.Lock()
+	c.startTime = r.Now()
+	c.statMu.Unlock()
+	for {
+		if c.e.halted.Load() {
+			r.Sleep(10 * time.Millisecond)
+			continue
+		}
+		tau := c.curTau(c.phase)
+		if tau <= 0 {
+			c.advancePhase()
+			continue
+		}
+		c.runPhase(tau)
+	}
+}
+
+// runPhase executes one phase plus its replication fence.
+func (c *coordinator) runPhase(tau time.Duration) {
+	r := c.e.cfg.RT
+	prop := 2 * c.e.cfg.Net.Latency // command propagation allowance
+	deadline := r.Now() + prop + tau
+	c.broadcast(msgStartPhase{
+		Phase:    c.phase,
+		Epoch:    c.epoch,
+		Deadline: deadline,
+		Master:   c.master,
+		Failed:   c.failedList(),
+	})
+	grace := 10*tau + 20*time.Millisecond
+
+	// Phase execution: gather per-node sent vectors and monitors.
+	done := map[int]msgPhaseDone{}
+	if !c.gather(deadline-r.Now()+grace, func(m any) bool {
+		if pd, ok := m.(msgPhaseDone); ok && pd.Epoch == c.epoch && c.alive[pd.Node] {
+			done[pd.Node] = pd
+		}
+		return len(done) == c.aliveCount()
+	}) {
+		c.onFailure(missingFrom(done, c.alive))
+		return
+	}
+	fenceStart := r.Now()
+
+	// Replication fence: every node drains what the others sent (§4.3).
+	for i, a := range c.alive {
+		if !a {
+			continue
+		}
+		expected := make([]int64, c.e.cfg.Nodes)
+		for src, pd := range done {
+			expected[src] = pd.Sent[i]
+		}
+		c.e.net.Send(c.id(), i, simnet.Control, msgFenceDrain{Epoch: c.epoch, Expected: expected})
+	}
+	acks := map[int]bool{}
+	if !c.gather(grace, func(m any) bool {
+		if a, ok := m.(msgFenceAck); ok && a.Epoch == c.epoch && c.alive[a.Node] {
+			acks[a.Node] = true
+		}
+		return len(acks) == c.aliveCount()
+	}) {
+		c.onFailure(missingBool(acks, c.alive))
+		return
+	}
+	// Epoch committed. Account monitors, handle rejoins, next phase.
+	c.addFenceTime(r.Now() - fenceStart)
+	c.accountPhase(done, tau)
+	c.handleRejoins(done)
+	c.epoch++
+	c.advancePhase()
+}
+
+func (c *coordinator) aliveCount() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// gather pumps the coordinator inbox until pred is satisfied or the
+// timeout expires.
+func (c *coordinator) gather(timeout time.Duration, take func(any) bool) bool {
+	r := c.e.cfg.RT
+	in := c.e.net.Inbox(c.id())
+	deadline := r.Now() + timeout
+	for {
+		if take(nil) {
+			return true
+		}
+		d := deadline - r.Now()
+		if d <= 0 {
+			return false
+		}
+		m, ok := in.RecvTimeout(d)
+		if !ok {
+			return take(nil)
+		}
+		if take(m) {
+			return true
+		}
+	}
+}
+
+func missingFrom(done map[int]msgPhaseDone, alive []bool) []int {
+	var out []int
+	for i, a := range alive {
+		if a {
+			if _, ok := done[i]; !ok {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func missingBool(done map[int]bool, alive []bool) []int {
+	var out []int
+	for i, a := range alive {
+		if a && !done[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// accountPhase folds the nodes' monitors into the EWMA throughput
+// estimates and, after a full iteration, recomputes τp and τs from
+// equations (1) and (2).
+func (c *coordinator) accountPhase(done map[int]msgPhaseDone, tau time.Duration) {
+	var committed, genS, genX int64
+	for _, pd := range done {
+		committed += pd.Committed
+		genS += pd.GenSingle
+		genX += pd.GenCross
+	}
+	rate := float64(committed) / tau.Seconds()
+	const alpha = 0.5
+	if c.phase == Partitioned {
+		c.iterCommitP = committed
+		c.iterGenSingle = genS
+		c.iterGenX = genX
+		if c.tp == 0 {
+			c.tp = rate
+		} else {
+			c.tp = alpha*rate + (1-alpha)*c.tp
+		}
+		return
+	}
+	c.iterCommitS = committed
+	if c.ts == 0 {
+		c.ts = rate
+	} else {
+		c.ts = alpha*rate + (1-alpha)*c.ts
+	}
+	c.retune()
+}
+
+// retune solves equations (1)–(2) of §4.3:
+//
+//	τp + τs = e
+//	τs·ts / (τp·tp + τs·ts) = P
+//
+// giving τs = e·P·tp / ((1−P)·ts + P·tp).
+func (c *coordinator) retune() {
+	gen := float64(c.iterGenSingle + c.iterGenX)
+	if gen > 0 {
+		p := float64(c.iterGenX) / gen
+		c.pEst = 0.7*p + 0.3*c.pEst
+	}
+	e := c.e.cfg.Iteration
+	minSlice := e / 50 // probe slice so P keeps being measured
+	p := c.pEst
+	tp, ts := c.tp, c.ts
+	if ts == 0 {
+		ts = tp
+	}
+	switch {
+	case c.iterGenX == 0:
+		// No cross-partition work observed: τp = e, τs = 0 (§4.3).
+		c.setTaus(e, 0)
+	case c.iterGenSingle == 0:
+		// Pure cross-partition workload: behave like a non-partitioned
+		// system, keeping a small partitioned probe slice.
+		c.setTaus(minSlice, e-minSlice)
+	default:
+		tauS := time.Duration(float64(e) * p * tp / ((1-p)*ts + p*tp))
+		if tauS < minSlice {
+			tauS = minSlice
+		}
+		if tauS > e-minSlice {
+			tauS = e - minSlice
+		}
+		c.setTaus(e-tauS, tauS)
+	}
+}
+
+func (c *coordinator) advancePhase() {
+	tauP, tauS := c.taus()
+	if c.phase == Partitioned {
+		if tauS > 0 && c.hasAliveFull() {
+			c.phase = SingleMaster
+			return
+		}
+		c.epochTickWithoutPhase()
+		return
+	}
+	c.phase = Partitioned
+	if tauP == 0 {
+		c.epochTickWithoutPhase()
+		c.phase = SingleMaster
+	}
+}
+
+// epochTickWithoutPhase handles degenerate tunings (P=0 or P=1) where
+// one phase has zero duration: the other phase simply repeats.
+func (c *coordinator) epochTickWithoutPhase() {}
+
+func (c *coordinator) hasAliveFull() bool {
+	for i := 0; i < c.e.cfg.FullReplicas; i++ {
+		if c.alive[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// onFailure is the §4.5 path: mark nodes failed, revert the in-flight
+// epoch everywhere, re-master lost partitions, and carry on (or halt if
+// no complete replica remains — case 4).
+func (c *coordinator) onFailure(missing []int) {
+	if len(missing) == 0 {
+		return
+	}
+	for _, m := range missing {
+		c.alive[m] = false
+	}
+	cfg := c.e.cfg
+	lost := 0
+	for p := range c.masters {
+		if c.alive[c.masters[p]] {
+			continue
+		}
+		switch {
+		case c.aliveHolder(p) >= 0:
+			c.masters[p] = int32(c.aliveHolder(p))
+		default:
+			lost++
+		}
+	}
+	if lost > 0 {
+		c.e.halted.Store(true)
+		c.e.haltReason.Store(fmt.Sprintf(
+			"case 4: %d partitions lost every replica; recover from checkpoints + logs", lost))
+		return
+	}
+	if !c.hasAliveFull() {
+		// Case 2: no full replicas remain. The paper falls back to a
+		// distributed concurrency-control mode; this engine halts the
+		// phase-switching loop and reports the condition (the Dist. OCC
+		// engine provides that execution mode).
+		c.e.halted.Store(true)
+		c.e.haltReason.Store("case 2: no full replica alive; distributed CC fallback required")
+		return
+	}
+	// Choose the designated master among alive full replicas.
+	for i := 0; i < cfg.FullReplicas; i++ {
+		if c.alive[i] {
+			c.master = i
+			break
+		}
+	}
+	c.broadcast(msgRevert{
+		Epoch:      c.epoch,
+		Failed:     c.failedList(),
+		NewMasters: append([]int32(nil), c.masters...),
+	})
+	// Give the revert time to land before restarting the epoch.
+	c.e.cfg.RT.Sleep(4 * cfg.Net.Latency)
+	c.phase = Partitioned
+}
+
+// aliveHolder prefers the partition's secondary, then any full replica.
+func (c *coordinator) aliveHolder(p int) int {
+	if s := c.e.cfg.SecondaryOf(p); s >= 0 && c.alive[s] {
+		return s
+	}
+	for i := 0; i < c.e.cfg.FullReplicas; i++ {
+		if c.alive[i] {
+			return i
+		}
+	}
+	m := c.e.cfg.MasterOf(p)
+	if c.alive[m] {
+		return m
+	}
+	return -1
+}
+
+// handleRejoins runs at a quiesced fence boundary: restore connectivity,
+// let the node copy state from healthy holders, align its counters, and
+// hand its partitions back.
+func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
+	reqs := c.e.takeRecoverReqs()
+	if len(reqs) == 0 {
+		return
+	}
+	for _, id := range reqs {
+		if id < 0 || id >= c.e.cfg.Nodes || c.alive[id] {
+			continue
+		}
+		c.e.net.SetDown(id, false)
+		// Revert whatever half-epoch state the node accumulated when it
+		// died; it will be re-fetched.
+		c.e.net.Send(c.id(), id, simnet.Control, msgRevert{
+			Epoch:      c.epoch,
+			Failed:     c.failedList(),
+			NewMasters: append([]int32(nil), c.masters...),
+		})
+		mask := c.e.cfg.HoldsMask(id)
+		var parts, from []int32
+		for p, holds := range mask {
+			if !holds {
+				continue
+			}
+			h := c.aliveHolder(p)
+			if h == -1 || h == id {
+				continue
+			}
+			parts = append(parts, int32(p))
+			from = append(from, int32(h))
+		}
+		c.e.net.Send(c.id(), id, simnet.Control, msgStartRecovery{Parts: parts, From: from})
+		// Snapshot transfer is bandwidth-paced; allow plenty of time.
+		okDone := c.gather(30*time.Second, func(m any) bool {
+			rd, ok := m.(msgRecoveryDone)
+			return ok && rd.Node == id
+		})
+		if !okDone {
+			c.e.net.SetDown(id, true)
+			continue
+		}
+		applied := make([]int64, c.e.cfg.Nodes)
+		for src, pd := range done {
+			applied[src] = pd.Sent[id]
+		}
+		c.e.net.Send(c.id(), id, simnet.Control, msgResetCounters{Applied: applied})
+		c.alive[id] = true
+	}
+	// Hand partitions back to their configured masters where possible.
+	for p := range c.masters {
+		if m := c.e.cfg.MasterOf(p); c.alive[m] {
+			c.masters[p] = int32(m)
+		}
+	}
+	c.master = 0
+	for i := 0; i < c.e.cfg.FullReplicas; i++ {
+		if c.alive[i] {
+			c.master = i
+			break
+		}
+	}
+	c.broadcast(msgUpdateMasters{Masters: append([]int32(nil), c.masters...)})
+}

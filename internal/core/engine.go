@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"star/internal/metrics"
+	"star/internal/replication"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/wal"
+)
+
+// Engine is one STAR cluster: f full replicas, k partial replicas, a
+// phase-switch coordinator, and the network between them.
+type Engine struct {
+	cfg   Config
+	net   *simnet.Network
+	nodes []*node
+	coord *coordinator
+
+	committed  metrics.Counter
+	aborted    metrics.Counter // concurrency-conflict retries
+	userAborts metrics.Counter
+	deferred   metrics.Counter
+	rejected   metrics.Counter // deferred requests dropped by admission control
+	latency    *metrics.Hist
+	logBytes   atomic.Int64
+
+	logFiles   []string
+	mu         sync.Mutex
+	recoverReq []int // nodes waiting to rejoin at the next fence
+	halted     atomic.Bool
+	haltReason atomic.Value // string
+	frozen     atomic.Bool
+}
+
+// New builds a STAR cluster: databases are created and loaded, processes
+// are spawned, and the phase coordinator starts immediately.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		panic("core: need at least 2 nodes (one full replica, one partial)")
+	}
+	e := &Engine{cfg: cfg, latency: &metrics.Hist{}}
+	installSpinWait(cfg.RT)
+	e.net = simnet.New(cfg.RT, cfg.Net)
+
+	masters := make([]int32, cfg.NumPartitions())
+	for p := range masters {
+		masters[p] = int32(cfg.MasterOf(p))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		var holds []bool
+		if i >= cfg.FullReplicas {
+			holds = cfg.HoldsMask(i)
+		}
+		db := cfg.Workload.BuildDB(cfg.NumPartitions(), holds)
+		cfg.Workload.Load(db)
+		db.CommitEpoch()
+		n := &node{
+			e:       e,
+			id:      i,
+			db:      db,
+			tracker: replication.NewTracker(cfg.Nodes),
+			masters: append([]int32(nil), masters...),
+			failed:  make([]bool, cfg.Nodes),
+		}
+		n.masterQ = cfg.RT.NewChan(1 << 16)
+		n.workers = make([]*worker, cfg.WorkersPerNode)
+		for wi := range n.workers {
+			n.workers[wi] = newWorker(n, wi)
+		}
+		e.nodes = append(e.nodes, n)
+	}
+	e.coord = newCoordinator(e)
+	if cfg.LogDir != "" {
+		e.openLogs()
+	}
+	e.start()
+	return e
+}
+
+// openLogs creates the per-thread recovery-log files (§4.5.1).
+func (e *Engine) openLogs() {
+	mustCreate := func(path string) *wal.Logger {
+		l, err := wal.Create(path)
+		if err != nil {
+			panic("core: open log: " + err.Error())
+		}
+		e.logFiles = append(e.logFiles, path)
+		return l
+	}
+	for _, n := range e.nodes {
+		n.routerLog = mustCreate(filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-router.log", n.id)))
+		for a := 0; a < e.cfg.WorkersPerNode; a++ {
+			n.applierLogs = append(n.applierLogs,
+				mustCreate(filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-applier%d.log", n.id, a))))
+		}
+		for _, w := range n.workers {
+			w.logger = mustCreate(filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-worker%d.log", n.id, w.idx)))
+		}
+	}
+}
+
+// LogFiles returns the recovery-log paths written in LogDir mode.
+// Node i's database can be rebuilt with wal.Recover from the subset of
+// files whose name starts with "node<i>-" (a full replica's set covers
+// the whole database).
+func (e *Engine) LogFiles(node int) []string {
+	var out []string
+	prefix := fmt.Sprintf("node%d-", node)
+	for _, f := range e.logFiles {
+		if strings.HasPrefix(filepath.Base(f), prefix) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CloseLogs flushes and closes the recovery logs (call after the runtime
+// has stopped).
+func (e *Engine) CloseLogs() error {
+	var first error
+	for _, n := range e.nodes {
+		logs := append([]*wal.Logger{n.routerLog}, n.applierLogs...)
+		for _, w := range n.workers {
+			logs = append(logs, w.logger)
+		}
+		for _, l := range logs {
+			if l == nil {
+				continue
+			}
+			if err := l.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (e *Engine) start() {
+	for _, n := range e.nodes {
+		n := n
+		e.cfg.RT.Go(fmt.Sprintf("star-node-%d", n.id), n.routerLoop)
+		// Parallel replication replay, one applier per worker thread
+		// (SiloR-style parallel value replay, §8 Recoverable Systems).
+		for a := 0; a < e.cfg.WorkersPerNode; a++ {
+			a := a
+			ch := e.cfg.RT.NewChan(1 << 14)
+			n.appliers = append(n.appliers, ch)
+			e.cfg.RT.Go(fmt.Sprintf("star-applier-%d-%d", n.id, a), func() { n.applierLoop(a, ch) })
+		}
+		for _, w := range n.workers {
+			w := w
+			e.cfg.RT.Go(fmt.Sprintf("star-worker-%d-%d", n.id, w.idx), w.loop)
+		}
+	}
+	e.cfg.RT.Go("star-coordinator", e.coord.loop)
+	if e.cfg.Checkpoint && e.cfg.LogDir != "" {
+		for _, n := range e.nodes {
+			n := n
+			e.cfg.RT.Go(fmt.Sprintf("star-ckpt-%d", n.id), func() { e.checkpointLoop(n) })
+		}
+	}
+}
+
+// checkpointLoop periodically writes a fuzzy checkpoint of the node's
+// database (§4.5.1: "a checkpoint does not need to be a consistent
+// snapshot ... on recovery, STAR uses the logs since the checkpoint to
+// correct the inconsistent snapshot with the Thomas write rule").
+func (e *Engine) checkpointLoop(n *node) {
+	seq := 0
+	for {
+		e.cfg.RT.Sleep(e.cfg.CheckpointEvery)
+		epoch := n.epoch
+		path := filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-ckpt%d", n.id, seq))
+		if _, err := wal.WriteCheckpoint(n.db, path, epoch); err != nil {
+			panic("core: checkpoint: " + err.Error())
+		}
+		n.mu.Lock()
+		n.lastCheckpoint = path
+		n.mu.Unlock()
+		seq++
+	}
+}
+
+// LastCheckpoint returns the most recent checkpoint file written for a
+// node ("" when none yet).
+func (e *Engine) LastCheckpoint(node int) string {
+	n := e.nodes[node]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastCheckpoint
+}
+
+// installSpinWait redirects record-latch spinning to a virtual-time
+// sleep on the simulation runtime (see storage.SpinWait).
+func installSpinWait(r rt.Runtime) {
+	if _, isSim := r.(*rt.Sim); isSim {
+		storage.SpinWait = func() { r.Sleep(200 * time.Nanosecond) }
+	}
+}
+
+// Net exposes the cluster network (tests and benches read its byte
+// accounting; failure tests flip link state through the engine methods).
+func (e *Engine) Net() *simnet.Network { return e.net }
+
+// Node returns node i's database (tests check replica consistency).
+func (e *Engine) Node(i int) *node { return e.nodes[i] }
+
+// DB returns node i's database copy (read-only inspection).
+func (e *Engine) DB(i int) *storage.DB { return e.nodes[i].db }
+
+// Halted reports whether the cluster stopped processing (case 4: no
+// complete replica remains).
+func (e *Engine) Halted() (bool, string) {
+	r, _ := e.haltReason.Load().(string)
+	return e.halted.Load(), r
+}
+
+// FailNode simulates a fail-stop crash of a node: its traffic is dropped
+// and the coordinator will detect it at the next replication fence.
+func (e *Engine) FailNode(id int) { e.net.SetDown(id, true) }
+
+// RecoverNode schedules a failed node's rejoin: at the next fence the
+// coordinator restores connectivity, the node copies partition state
+// from healthy holders (Thomas write rule), and it rejoins the cluster.
+func (e *Engine) RecoverNode(id int) {
+	e.mu.Lock()
+	e.recoverReq = append(e.recoverReq, id)
+	e.mu.Unlock()
+}
+
+func (e *Engine) takeRecoverReqs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.recoverReq
+	e.recoverReq = nil
+	return r
+}
+
+// Stats snapshots the run so far.
+func (e *Engine) Stats() metrics.Stats {
+	st := metrics.Stats{
+		Engine:           e.name(),
+		Duration:         e.cfg.RT.Now(),
+		Committed:        e.committed.Load(),
+		Aborted:          e.aborted.Load() + e.userAborts.Load(),
+		Latency:          e.latency,
+		ReplicationBytes: e.net.Bytes(simnet.Replication),
+		NetworkBytes:     e.net.TotalBytes(),
+		LogBytes:         e.logBytes.Load(),
+		Extra:            map[string]float64{},
+	}
+	st.Extra["user_aborts"] = float64(e.userAborts.Load())
+	st.Extra["deferred"] = float64(e.deferred.Load())
+	st.Extra["rejected"] = float64(e.rejected.Load())
+	st.Extra["fence_share"] = e.coord.fenceShare()
+	tauP, tauS := e.coord.taus()
+	st.Extra["tau_p_ms"] = tauP.Seconds() * 1000
+	st.Extra["tau_s_ms"] = tauS.Seconds() * 1000
+	return st
+}
+
+func (e *Engine) name() string {
+	switch {
+	case e.cfg.SyncRepl:
+		return "SYNC STAR"
+	case e.cfg.HybridRepl:
+		return "STAR w/ Hybrid Rep."
+	default:
+		return "STAR"
+	}
+}
+
+// Freeze pauses workload generation (phase switching continues), letting
+// in-flight replication settle; tests use it to compare replicas at a
+// quiesced boundary. Unfreeze resumes.
+func (e *Engine) Freeze() { e.frozen.Store(true) }
+
+// Unfreeze resumes workload generation after Freeze.
+func (e *Engine) Unfreeze() { e.frozen.Store(false) }
+
+// CheckReplicaConsistency verifies that every live holder of every
+// partition agrees on its checksum. Meaningful only after Freeze has
+// settled (a couple of iterations). Failed nodes are skipped.
+func (e *Engine) CheckReplicaConsistency() error {
+	for p := 0; p < e.cfg.NumPartitions(); p++ {
+		base := uint64(0)
+		baseNode := -1
+		for _, h := range e.cfg.HoldersOf(p) {
+			if e.net.IsDown(h) {
+				continue
+			}
+			sum := e.nodes[h].db.PartitionChecksum(p)
+			if baseNode == -1 {
+				base, baseNode = sum, h
+				continue
+			}
+			if sum != base {
+				return fmt.Errorf("partition %d: node %d checksum %x != node %d checksum %x",
+					p, h, sum, baseNode, base)
+			}
+		}
+	}
+	return nil
+}
+
+// replicaTargets returns the replica destinations for a write to
+// partition p, excluding self and failed nodes.
+func (e *Engine) replicaTargets(n *node, p int) []int {
+	holders := e.cfg.HoldersOf(p)
+	out := holders[:0:0]
+	for _, h := range holders {
+		if h != n.id && !n.failed[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"time"
+
+	"star/internal/txn"
+)
+
+// Phase enumerates STAR's two execution phases.
+type Phase uint8
+
+const (
+	// Partitioned: every node runs single-partition transactions on the
+	// partitions it masters.
+	Partitioned Phase = iota
+	// SingleMaster: one full replica masters every record and runs the
+	// deferred cross-partition transactions.
+	SingleMaster
+)
+
+func (p Phase) String() string {
+	if p == Partitioned {
+		return "partitioned"
+	}
+	return "single-master"
+}
+
+// msgStartPhase begins a phase on every node (coordinator → nodes).
+// Receiving it also commits the previous epoch: revert information is
+// discarded and the group-committed transactions' results are released.
+type msgStartPhase struct {
+	Phase    Phase
+	Epoch    uint64
+	Deadline time.Duration // workers stop at this virtual time
+	Master   int           // the designated master node
+	Failed   []int         // currently failed nodes (empty normally)
+}
+
+func (msgStartPhase) Size() int { return 64 }
+
+// msgPhaseDone reports a node's workers finished the phase; Sent carries
+// the node's cumulative per-destination replication entry counts
+// (the coordinator aggregates them for the fence, §4.3) and the phase
+// monitors feeding the τp/τs equations.
+type msgPhaseDone struct {
+	Node  int
+	Epoch uint64
+	Sent  []int64
+	// Monitors for equations (1)-(2): commits this phase, and the
+	// single-/cross-partition generation counts estimating P.
+	Committed int64
+	GenSingle int64
+	GenCross  int64
+}
+
+func (m msgPhaseDone) Size() int { return 48 + 8*len(m.Sent) }
+
+// msgFenceDrain tells a node how many replication entries to expect from
+// each source before the fence may complete.
+type msgFenceDrain struct {
+	Epoch    uint64
+	Expected []int64
+}
+
+func (m msgFenceDrain) Size() int { return 16 + 8*len(m.Expected) }
+
+// msgFenceAck acknowledges a completed drain (node → coordinator).
+type msgFenceAck struct {
+	Node  int
+	Epoch uint64
+}
+
+func (msgFenceAck) Size() int { return 24 }
+
+// msgDefer routes a cross-partition request to the master node's queue
+// (§4.3: "the system would re-route the request to the master node").
+type msgDefer struct {
+	Req *txn.Request
+}
+
+func (m msgDefer) Size() int { return 48 + 24*len(m.Req.Parts) }
+
+// msgReplAck acknowledges application of a synchronously replicated
+// batch (SYNC STAR only).
+type msgReplAck struct {
+	Worker int
+	Seq    uint64
+}
+
+func (msgReplAck) Size() int { return 24 }
+
+// msgRevert orders a node to revert the in-flight epoch after a failure
+// (coordinator → nodes) and describes the new cluster layout.
+type msgRevert struct {
+	Epoch uint64
+	// Failed lists all currently failed nodes.
+	Failed []int
+	// NewMasters maps partition → new mastering node for partitions
+	// whose master failed (re-mastering, §4.5.3 cases 1 and 3).
+	NewMasters []int32
+}
+
+func (m msgRevert) Size() int { return 32 + 4*len(m.NewMasters) + 8*len(m.Failed) }
+
+// msgSnapshotReq asks a healthy holder for a partition's records
+// (recovering-node catch-up, §4.5.3 case 1).
+type msgSnapshotReq struct {
+	From int
+	Part int
+}
+
+func (msgSnapshotReq) Size() int { return 24 }
+
+// msgSnapshot carries partition state back to a recovering node. Bytes
+// models the wire size of the copied records.
+type msgSnapshot struct {
+	Part    int
+	Bytes   int
+	Entries int
+	Payload any // *snapshotPayload; opaque to the network
+}
+
+func (m msgSnapshot) Size() int { return 24 + m.Bytes }

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"star/internal/replication"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/wal"
+)
+
+// drainPoll is how often a node re-checks its replication counters while
+// waiting for a fence drain.
+const drainPoll = 20 * time.Microsecond
+
+// node is one STAR server: its copy of the database, its workers, and a
+// router process that owns the network inbox (actor-style: replication
+// application, fence participation and request routing all happen here).
+type node struct {
+	e       *Engine
+	id      int
+	db      *storage.DB
+	tracker *replication.Tracker
+	workers []*worker
+
+	// masterQ holds deferred cross-partition requests (meaningful on the
+	// designated master).
+	masterQ rt.Chan
+
+	// Cluster view, updated by coordinator messages.
+	epoch   uint64
+	phase   Phase
+	master  int
+	masters []int32 // partition → mastering node
+	failed  []bool
+
+	// Fence bookkeeping.
+	workersDone  int
+	drainAborted bool
+	draining     bool
+
+	// mu guards the worker-shared fields below (workers on the real
+	// runtime run concurrently; on the sim runtime it is uncontended).
+	mu sync.Mutex
+	// pendingLat holds GenAt of transactions committed in the current
+	// epoch, released (group commit) at the next phase switch.
+	pendingLat []int64
+	// Phase monitors reported to the coordinator (reset each phase).
+	phaseCommitted int64
+	genSingle      int64
+	genCross       int64
+
+	// snapshotsPending counts outstanding snapshot messages during a
+	// rejoin catch-up.
+	snapshotsPending int
+
+	// appliers parallelise replication replay (SiloR-style): entries are
+	// sharded by partition so operation entries keep their per-partition
+	// FIFO order.
+	appliers []rt.Chan
+
+	// Real recovery-log writers (LogDir mode): one per applier plus the
+	// router's own (which carries the epoch marks).
+	routerLog   *wal.Logger
+	applierLogs []*wal.Logger
+	// lastCheckpoint (guarded by mu) is the newest fuzzy checkpoint path.
+	lastCheckpoint string
+}
+
+// applierBatch is one applier's share of a replication batch.
+type applierBatch struct {
+	from    int
+	entries []replication.Entry
+}
+
+// workerDoneMsg is sent node-locally when a worker finishes a phase.
+type workerDoneMsg struct{ Worker int }
+
+func (workerDoneMsg) Size() int { return 8 }
+
+// syncBatch wraps a replication batch that must be acknowledged before
+// the writer releases its locks (SYNC STAR).
+type syncBatch struct {
+	Batch   *replication.Batch
+	Worker  int
+	Seq     uint64
+	ReplyTo int
+}
+
+func (s syncBatch) Size() int { return s.Batch.Size() + 24 }
+
+// msgResetCounters aligns a rejoined node's applied counters with the
+// cluster's cumulative sent counts (its snapshot subsumes them).
+type msgResetCounters struct{ Applied []int64 }
+
+func (m msgResetCounters) Size() int { return 8 + 8*len(m.Applied) }
+
+// msgRecoveryDone tells the coordinator a rejoining node finished its
+// snapshot catch-up.
+type msgRecoveryDone struct{ Node int }
+
+func (msgRecoveryDone) Size() int { return 8 }
+
+// msgStartRecovery orders a rejoining node to copy the listed partitions
+// from the given healthy holders.
+type msgStartRecovery struct {
+	Parts []int32
+	From  []int32
+}
+
+func (m msgStartRecovery) Size() int { return 8 + 8*len(m.Parts) }
+
+type snapshotPayload struct {
+	table   storage.TableID
+	part    int
+	keys    []storage.Key
+	tids    []uint64
+	rows    [][]byte
+	last    bool
+	elapsed int
+}
+
+func (n *node) inbox() rt.Chan { return n.e.net.Inbox(n.id) }
+
+func (n *node) routerLoop() {
+	in := n.inbox()
+	for {
+		n.handle(in.Recv())
+	}
+}
+
+func (n *node) handle(m any) {
+	r := n.e.cfg.RT
+	switch msg := m.(type) {
+	case *replication.Batch:
+		r.Compute(n.e.cfg.Cost.MsgHandling)
+		n.applyBatch(msg)
+	case syncBatch:
+		r.Compute(n.e.cfg.Cost.MsgHandling)
+		// Synchronous replication: the ack may only be sent after the
+		// entries are durably applied, so bypass the async appliers.
+		n.applyEntries(msg.Batch.From, msg.Batch.Entries)
+		n.e.net.Send(n.id, msg.ReplyTo, simnet.Control, msgReplAck{Worker: msg.Worker, Seq: msg.Seq})
+	case msgStartPhase:
+		n.startPhase(msg)
+	case msgFenceDrain:
+		n.drainFence(msg)
+	case msgDefer:
+		n.e.deferred.Inc()
+		// Admission control: when the deferred queue is full the request
+		// is rejected (clients re-submit later); a blocking enqueue here
+		// would wedge the router that the single-master phase depends on.
+		if !n.masterQ.TrySend(msg.Req) {
+			n.e.rejected.Inc()
+		}
+	case msgReplAck:
+		n.workers[msg.Worker].resp.Send(msg)
+	case workerDoneMsg:
+		n.workersDone++
+		if n.workersDone == len(n.workers) {
+			n.reportPhaseDone()
+		}
+	case msgRevert:
+		n.revert(msg)
+	case msgResetCounters:
+		for src, v := range msg.Applied {
+			if d := v - n.tracker.Applied(src); d > 0 {
+				n.tracker.AddApplied(src, d)
+			}
+		}
+	case msgSnapshotReq:
+		n.serveSnapshot(msg)
+	case *msgSnapshot:
+		n.applySnapshot(msg)
+	case msgStartRecovery:
+		n.startRecovery(msg)
+	case msgUpdateMasters:
+		copy(n.masters, msg.Masters)
+	default:
+		panic("core: unknown message")
+	}
+}
+
+// startRecovery fetches partition snapshots from healthy holders
+// (§4.5.3 case 1: "it copies data from remote nodes and applies them to
+// its database ... using the Thomas write rule").
+func (n *node) startRecovery(m msgStartRecovery) {
+	nonRepl := 0
+	for ti := 0; ti < n.db.NumTables(); ti++ {
+		if !n.db.Table(storage.TableID(ti)).Replicated() {
+			nonRepl++
+		}
+	}
+	if len(m.Parts) == 0 {
+		n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgRecoveryDone{Node: n.id})
+		return
+	}
+	n.snapshotsPending = nonRepl * len(m.Parts)
+	for i, p := range m.Parts {
+		n.e.net.Send(n.id, int(m.From[i]), simnet.Data, msgSnapshotReq{From: n.id, Part: int(p)})
+	}
+}
+
+// startPhase commits the previous epoch (revert info dropped, group-
+// committed results released to clients) and kicks the workers.
+func (n *node) startPhase(m msgStartPhase) {
+	if n.routerLog != nil && m.Epoch > n.epoch && n.epoch > 0 {
+		// The fence for the previous epoch completed: mark it durable.
+		n.routerLog.AppendEpochMark(n.epoch)
+		n.routerLog.Flush(false)
+	}
+	n.db.CommitEpoch()
+	n.releaseResults()
+	n.epoch = m.Epoch
+	n.phase = m.Phase
+	n.master = m.Master
+	for i := range n.failed {
+		n.failed[i] = false
+	}
+	for _, f := range m.Failed {
+		n.failed[f] = true
+	}
+	n.workersDone = 0
+	n.mu.Lock()
+	n.phaseCommitted, n.genSingle, n.genCross = 0, 0, 0
+	n.mu.Unlock()
+	for _, w := range n.workers {
+		w.ctl.Send(m)
+	}
+}
+
+// releaseResults observes group-commit latency for every transaction
+// committed in the epoch that just closed.
+func (n *node) releaseResults() {
+	now := int64(n.e.cfg.RT.Now())
+	n.mu.Lock()
+	pend := n.pendingLat
+	n.pendingLat = nil
+	n.mu.Unlock()
+	for _, genAt := range pend {
+		n.e.latency.Observe(time.Duration(now - genAt))
+	}
+}
+
+func (n *node) reportPhaseDone() {
+	n.mu.Lock()
+	committed, genS, genX := n.phaseCommitted, n.genSingle, n.genCross
+	n.mu.Unlock()
+	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgPhaseDone{
+		Node:      n.id,
+		Epoch:     n.epoch,
+		Sent:      n.tracker.SentVector(),
+		Committed: committed,
+		GenSingle: genS,
+		GenCross:  genX,
+	})
+}
+
+// drainFence waits until every replication entry the other nodes claim
+// to have sent has been applied locally, then acks the coordinator.
+// Incoming messages (including the outstanding batches themselves) keep
+// being served while waiting. A revert aborts the drain.
+func (n *node) drainFence(m msgFenceDrain) {
+	if n.draining {
+		panic("core: nested fence drain")
+	}
+	n.draining = true
+	defer func() { n.draining = false }()
+	in := n.inbox()
+	for !n.tracker.Drained(m.Expected) {
+		if n.drainAborted {
+			n.drainAborted = false
+			return
+		}
+		if msg, ok := in.RecvTimeout(drainPoll); ok {
+			n.handle(msg)
+		}
+	}
+	if n.e.cfg.Logging {
+		// Fence flush: logs are durable at every epoch boundary (§4.5.1).
+		n.chargeLog(64)
+	}
+	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgFenceAck{Node: n.id, Epoch: m.Epoch})
+}
+
+// applyBatch shards a replication batch across the node's applier
+// processes by partition (value entries commute under the Thomas write
+// rule; operation entries need per-partition FIFO, which sharding by
+// partition preserves).
+func (n *node) applyBatch(b *replication.Batch) {
+	shards := len(n.appliers)
+	if shards == 0 {
+		n.applyEntries(b.From, b.Entries)
+		return
+	}
+	var per [][]replication.Entry
+	per = make([][]replication.Entry, shards)
+	for i := range b.Entries {
+		sh := int(b.Entries[i].Part) % shards
+		per[sh] = append(per[sh], b.Entries[i])
+	}
+	for sh, ents := range per {
+		if len(ents) > 0 {
+			n.appliers[sh].Send(applierBatch{from: b.From, entries: ents})
+		}
+	}
+}
+
+// applierLoop is one parallel replay thread.
+func (n *node) applierLoop(idx int, ch rt.Chan) {
+	var lg *wal.Logger
+	if idx >= 0 && idx < len(n.applierLogs) {
+		lg = n.applierLogs[idx]
+	}
+	for {
+		ab := ch.Recv().(applierBatch)
+		n.applyEntriesLogged(ab.from, ab.entries, lg)
+	}
+}
+
+func (n *node) applyEntries(from int, entries []replication.Entry) {
+	n.applyEntriesLogged(from, entries, nil)
+}
+
+func (n *node) applyEntriesLogged(from int, entries []replication.Entry, lg *wal.Logger) {
+	cost := n.e.cfg.Cost
+	for i := range entries {
+		en := &entries[i]
+		row, err := replication.Apply(n.db, n.epoch, en, n.e.cfg.Logging)
+		if err != nil {
+			panic("core: replication apply: " + err.Error())
+		}
+		if n.e.cfg.Logging {
+			sz := len(row) + len(en.Row) + 32
+			n.chargeLog(sz)
+		}
+		if lg != nil {
+			// §5: operation entries are transformed into whole rows
+			// before logging, so recovery can replay in any order.
+			if row == nil {
+				row = en.Row
+			}
+			lg.AppendWrite(en.Table, en.Part, en.Key, en.TID, en.Absent, row)
+		}
+	}
+	if lg != nil {
+		lg.Flush(false)
+	}
+	n.e.cfg.RT.Compute(time.Duration(len(entries)) * cost.ApplyEntry)
+	n.tracker.AddApplied(from, int64(len(entries)))
+}
+
+// chargeLog accounts log bytes and models their virtual IO/CPU cost.
+func (n *node) chargeLog(bytes int) {
+	n.e.logBytes.Add(int64(bytes))
+	n.e.cfg.RT.Compute(time.Duration(float64(bytes) / 1024 * float64(n.e.cfg.Cost.LogPerKB)))
+}
+
+// revert rolls the in-flight epoch back after a failure (paper Fig 6)
+// and installs the post-failure partition mastership.
+func (n *node) revert(m msgRevert) {
+	n.db.RevertEpoch(m.Epoch)
+	n.mu.Lock()
+	n.pendingLat = nil // uncommitted: results never released
+	n.mu.Unlock()
+	for i := range n.failed {
+		n.failed[i] = false
+	}
+	for _, f := range m.Failed {
+		n.failed[f] = true
+	}
+	copy(n.masters, m.NewMasters)
+	// Re-mastered partitions may need local materialisation on a full
+	// replica that already holds them (no-op) or a partial that was the
+	// secondary (also already holds them); nothing to copy (§4.5.3:
+	// re-mastering transfers no data).
+	if n.draining {
+		n.drainAborted = true
+	}
+}
+
+// ownedPartitions returns the partitions this node currently masters,
+// for the given worker index (striped across workers).
+func (n *node) ownedPartitions(workerIdx int) []int {
+	var out []int
+	for p := 0; p < len(n.masters); p++ {
+		if int(n.masters[p]) == n.id && p%len(n.workers) == workerIdx {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// serveSnapshot streams a partition's records to a recovering node.
+func (n *node) serveSnapshot(m msgSnapshotReq) {
+	for ti := 0; ti < n.db.NumTables(); ti++ {
+		tbl := n.db.Table(storage.TableID(ti))
+		if tbl.Replicated() {
+			continue
+		}
+		part := tbl.Partition(m.Part)
+		if part == nil {
+			continue
+		}
+		pl := &snapshotPayload{table: tbl.ID(), part: m.Part}
+		bytes := 0
+		part.Range(func(key storage.Key, tid uint64, val []byte) bool {
+			pl.keys = append(pl.keys, key)
+			pl.tids = append(pl.tids, tid)
+			pl.rows = append(pl.rows, append([]byte(nil), val...))
+			bytes += storage.KeySize + 8 + len(val)
+			return true
+		})
+		pl.last = ti == n.db.NumTables()-1
+		n.e.net.Send(n.id, m.From, simnet.Data, &msgSnapshot{
+			Part: m.Part, Bytes: bytes, Entries: len(pl.keys), Payload: pl,
+		})
+	}
+}
+
+func (n *node) applySnapshot(m *msgSnapshot) {
+	pl := m.Payload.(*snapshotPayload)
+	tbl := n.db.Table(pl.table)
+	part := tbl.Partition(pl.part)
+	if part == nil {
+		return
+	}
+	for i, key := range pl.keys {
+		rec := part.GetOrCreate(key)
+		rec.ApplyValueThomas(n.epoch, pl.tids[i], pl.rows[i], false)
+	}
+	n.snapshotsPending--
+	if n.snapshotsPending == 0 {
+		n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgRecoveryDone{Node: n.id})
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"star/internal/rt"
+	"star/internal/storage"
+	"star/internal/wal"
+	"star/internal/workload/ycsb"
+)
+
+// TestCase4DiskRecovery exercises §4.5.3 case 4 end to end: the cluster
+// runs with real per-thread recovery logs; after a total stop, a fresh
+// full-replica database is rebuilt from the full replica's log files
+// alone and must match the in-memory state at the last durable epoch.
+func TestCase4DiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := rt.NewSim()
+	wl := ycsb.New(ycsb.Config{
+		Partitions:          6,
+		RecordsPerPartition: 128,
+		CrossPct:            20,
+	})
+	e := New(Config{
+		RT:             s,
+		Nodes:          3,
+		WorkersPerNode: 2,
+		Workload:       wl,
+		Iteration:      2 * time.Millisecond,
+		LogDir:         dir,
+		Seed:           9,
+	})
+	s.Run(40 * time.Millisecond)
+	// Freeze and let several more fences pass so every flushed entry is
+	// covered by a durable epoch mark.
+	e.Freeze()
+	s.Run(s.Now() + 20*time.Millisecond)
+	s.Stop()
+	if err := e.CloseLogs(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Committed == 0 {
+		t.Fatal("no commits")
+	}
+	logs := e.LogFiles(0)
+	if len(logs) == 0 {
+		t.Fatal("full replica wrote no log files")
+	}
+
+	// "Power outage": rebuild node 0 from disk alone.
+	recovered := wl.BuildDB(6, nil)
+	wl.Load(recovered) // checkpoint-equivalent: the initial load
+	epoch, applied, err := wal.Recover(recovered, "", logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch < 2 || applied == 0 {
+		t.Fatalf("recovered epoch=%d applied=%d", epoch, applied)
+	}
+	for p := 0; p < 6; p++ {
+		if got, want := recovered.PartitionChecksum(p), e.DB(0).PartitionChecksum(p); got != want {
+			t.Fatalf("partition %d: recovered state %x != live state %x", p, got, want)
+		}
+	}
+}
+
+// TestLogFilesCoverEveryWrite checks that the union of a full replica's
+// worker logs (its own commits) and applier logs (replicated commits)
+// contains an entry for every record the live database holds beyond the
+// initial load.
+func TestLogFilesCoverEveryWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := rt.NewSim()
+	wl := ycsb.New(ycsb.Config{
+		Partitions:          4,
+		RecordsPerPartition: 64,
+		CrossPct:            30,
+	})
+	e := New(Config{
+		RT:             s,
+		Nodes:          2,
+		WorkersPerNode: 2,
+		Workload:       wl,
+		Iteration:      2 * time.Millisecond,
+		LogDir:         dir,
+		Seed:           4,
+	})
+	s.Run(20 * time.Millisecond)
+	e.Freeze()
+	s.Run(s.Now() + 10*time.Millisecond)
+	s.Stop()
+	if err := e.CloseLogs(); err != nil {
+		t.Fatal(err)
+	}
+
+	logged := map[storage.Key]uint64{}
+	for _, path := range e.LogFiles(0) {
+		entries, err := readAll(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, en := range entries {
+			if en.Kind != 1 { // writes only
+				continue
+			}
+			if en.TID > logged[en.Key] {
+				logged[en.Key] = en.TID
+			}
+		}
+	}
+	if len(logged) == 0 {
+		t.Fatal("no write entries logged")
+	}
+	// Every record whose TID is beyond the load epoch must be logged
+	// with exactly that TID.
+	checked := 0
+	for p := 0; p < 4; p++ {
+		e.DB(0).Table(0).Partition(p).Range(func(key storage.Key, tid uint64, val []byte) bool {
+			if storage.TIDEpoch(tid) <= 1 {
+				return true // initial load
+			}
+			if logged[key] != tid {
+				t.Fatalf("key %v: live TID %s, logged TID %s",
+					key, storage.FormatTID(tid), storage.FormatTID(logged[key]))
+			}
+			checked++
+			return true
+		})
+	}
+	if checked == 0 {
+		t.Fatal("no post-load records to check")
+	}
+}
+
+func readAll(path string) ([]*wal.Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	var out []*wal.Entry
+	for {
+		e, err := r.Next()
+		if err != nil {
+			return out, nil
+		}
+		out = append(out, e)
+	}
+}
+
+// TestCheckpointPlusLogRecovery runs the engine with the dedicated
+// checkpointing process (§4.5.1) and rebuilds the full replica from the
+// latest fuzzy checkpoint plus the logs; the Thomas write rule corrects
+// any newer versions the fuzzy scan captured.
+func TestCheckpointPlusLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := rt.NewSim()
+	wl := ycsb.New(ycsb.Config{
+		Partitions:          4,
+		RecordsPerPartition: 64,
+		CrossPct:            20,
+	})
+	e := New(Config{
+		RT:              s,
+		Nodes:           2,
+		WorkersPerNode:  2,
+		Workload:        wl,
+		Iteration:       2 * time.Millisecond,
+		LogDir:          dir,
+		Checkpoint:      true,
+		CheckpointEvery: 10 * time.Millisecond,
+		Seed:            13,
+	})
+	s.Run(45 * time.Millisecond)
+	e.Freeze()
+	s.Run(s.Now() + 15*time.Millisecond)
+	s.Stop()
+	if err := e.CloseLogs(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := e.LastCheckpoint(0)
+	if ckpt == "" {
+		t.Fatal("checkpointer never ran")
+	}
+	if epoch, err := wal.CheckpointEpoch(ckpt); err != nil || epoch < 2 {
+		t.Fatalf("checkpoint epoch %d err=%v", epoch, err)
+	}
+
+	// Recover from checkpoint + logs onto an EMPTY database: the
+	// checkpoint supplies the base state (including the initial load),
+	// the logs supply everything after it.
+	recovered := wl.BuildDB(4, nil)
+	if _, _, err := wal.Recover(recovered, ckpt, e.LogFiles(0)); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if got, want := recovered.PartitionChecksum(p), e.DB(0).PartitionChecksum(p); got != want {
+			t.Fatalf("partition %d: recovered %x != live %x", p, got, want)
+		}
+	}
+}
+
+// TestReadCommittedCommitsWithoutValidation checks §3's read-committed
+// mode: the single-master phase skips read validation, so contended
+// cross-partition transactions stop aborting.
+func TestReadCommittedCommitsWithoutValidation(t *testing.T) {
+	run := func(rc bool) (committed, aborted int64) {
+		s := rt.NewSim()
+		wl := ycsb.New(ycsb.Config{
+			Partitions:          4,
+			RecordsPerPartition: 8, // tiny: heavy contention on the master
+			CrossPct:            100,
+		})
+		e := New(Config{
+			RT:             s,
+			Nodes:          2,
+			WorkersPerNode: 2,
+			Workload:       wl,
+			Iteration:      2 * time.Millisecond,
+			ReadCommitted:  rc,
+			Seed:           5,
+		})
+		s.Run(30 * time.Millisecond)
+		st := e.Stats()
+		s.Stop()
+		return st.Committed, st.Aborted
+	}
+	serCommitted, serAborted := run(false)
+	rcCommitted, rcAborted := run(true)
+	if serCommitted == 0 || rcCommitted == 0 {
+		t.Fatal("no commits")
+	}
+	if serAborted == 0 {
+		t.Fatal("expected OCC validation aborts under contention at serializability")
+	}
+	if rcAborted >= serAborted {
+		t.Fatalf("read committed must abort less: %d vs %d", rcAborted, serAborted)
+	}
+}

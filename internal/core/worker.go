@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"star/internal/occ"
+	"star/internal/replication"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/txn"
+	"star/internal/wal"
+	"star/internal/workload"
+)
+
+// worker is one execution thread. In the partitioned phase it serially
+// runs single-partition transactions on the partitions it masters; in
+// the single-master phase (on the designated master only) it runs
+// cross-partition transactions under OCC.
+type worker struct {
+	n    *node
+	idx  int
+	gen  workload.Gen
+	rng  *rand.Rand
+	tid  occ.TIDGen
+	strm *replication.Stream
+	ctl  rt.Chan // phase commands from the router
+	resp rt.Chan // replication acks (SYNC STAR)
+	set  txn.RWSet
+	seq  uint64 // sync-batch sequence
+	// logger is the worker's real recovery log (LogDir mode).
+	logger *wal.Logger
+}
+
+func newWorker(n *node, idx int) *worker {
+	e := n.e
+	seed := e.cfg.Seed*1_000_003 + int64(n.id)*257 + int64(idx) + 1
+	return &worker{
+		n:    n,
+		idx:  idx,
+		gen:  e.cfg.Workload.NewGen(seed),
+		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+		strm: replication.NewStream(e.net, n.tracker, n.id, e.cfg.FlushEvery),
+		ctl:  e.cfg.RT.NewChan(4),
+		resp: e.cfg.RT.NewChan(16),
+	}
+}
+
+func (w *worker) loop() {
+	for {
+		cmd := w.ctl.Recv().(msgStartPhase)
+		switch {
+		case cmd.Phase == Partitioned:
+			w.runPartitioned(cmd)
+		case cmd.Phase == SingleMaster && w.n.id == cmd.Master:
+			w.runSingleMaster(cmd)
+		default:
+			// Standing by for replication (§4.3): the router applies the
+			// master's stream; this worker just waits the phase out.
+			if d := cmd.Deadline - w.n.e.cfg.RT.Now(); d > 0 {
+				w.n.e.cfg.RT.Sleep(d)
+			}
+		}
+		w.strm.Flush()
+		if w.logger != nil {
+			w.logger.Flush(false) // fence flush (§4.5.1)
+		}
+		w.n.e.net.Send(w.n.id, w.n.id, simnet.Control, workerDoneMsg{Worker: w.idx})
+	}
+}
+
+// ---- partitioned phase ----
+
+func (w *worker) runPartitioned(cmd msgStartPhase) {
+	r := w.n.e.cfg.RT
+	parts := w.n.ownedPartitions(w.idx)
+	if len(parts) == 0 {
+		if d := cmd.Deadline - r.Now(); d > 0 {
+			r.Sleep(d)
+		}
+		return
+	}
+	pi := 0
+	for r.Now() < cmd.Deadline {
+		if w.n.e.frozen.Load() {
+			break
+		}
+		home := parts[pi]
+		pi = (pi + 1) % len(parts)
+		req := txn.NewRequest(w.gen.Mixed(home), int64(r.Now()))
+		if req.Cross {
+			// Defer to the master node's queue (§4.1).
+			w.n.mu.Lock()
+			w.n.genCross++
+			w.n.mu.Unlock()
+			w.n.e.net.Send(w.n.id, cmd.Master, simnet.Data, msgDefer{Req: req})
+			r.Compute(w.n.e.cfg.Cost.TxnOverhead / 2)
+			continue
+		}
+		w.n.mu.Lock()
+		w.n.genSingle++
+		w.n.mu.Unlock()
+		w.execSerial(req, cmd.Epoch)
+	}
+}
+
+// execSerial runs a single-partition transaction with no concurrency
+// control (§4.1) and replicates its writes.
+func (w *worker) execSerial(req *txn.Request, epoch uint64) {
+	e := w.n.e
+	r := e.cfg.RT
+	w.set.Reset()
+	ctx := &localCtx{w: w}
+	err := req.Proc.Run(ctx)
+	r.Compute(w.execCost(ctx))
+	if err != nil {
+		// Single-partition transactions only abort for application
+		// reasons (no concurrent access to the partition).
+		e.userAborts.Inc()
+		return
+	}
+	collectRows := !e.cfg.HybridRepl || w.logger != nil
+	tidv, ok := occ.CommitSerial(w.n.db, &w.set, epoch, &w.tid, collectRows)
+	if !ok {
+		e.aborted.Inc()
+		return
+	}
+	var entries []replication.Entry
+	if e.cfg.HybridRepl {
+		entries = replication.OpEntries(&w.set, tidv)
+	} else {
+		entries = replication.ValueEntries(&w.set, tidv)
+	}
+	for i := range entries {
+		for _, dst := range e.replicaTargets(w.n, int(entries[i].Part)) {
+			w.strm.Append(dst, entries[i])
+		}
+	}
+	if e.cfg.Logging {
+		w.chargeTxnLog()
+	}
+	w.finishCommit(req)
+}
+
+// ---- single-master phase ----
+
+func (w *worker) runSingleMaster(cmd msgStartPhase) {
+	e := w.n.e
+	r := e.cfg.RT
+	nparts := e.cfg.NumPartitions()
+	for r.Now() < cmd.Deadline {
+		if e.frozen.Load() {
+			break
+		}
+		var req *txn.Request
+		if v, ok := w.n.masterQ.TryRecv(); ok {
+			req = v.(*txn.Request)
+		} else {
+			// Queue drained: generate fresh cross-partition work (§7.1:
+			// workers generate and run transactions back to back).
+			home := w.rng.Intn(nparts)
+			req = txn.NewRequest(w.gen.Cross(home), int64(r.Now()))
+			w.n.mu.Lock()
+			w.n.genCross++
+			w.n.mu.Unlock()
+		}
+		w.execOCC(req, cmd)
+	}
+}
+
+// execOCC runs one transaction to commit (retrying concurrency aborts)
+// under the Silo-variant protocol of §4.2.
+func (w *worker) execOCC(req *txn.Request, cmd msgStartPhase) {
+	e := w.n.e
+	r := e.cfg.RT
+	for {
+		w.set.Reset()
+		ctx := &localCtx{w: w}
+		err := req.Proc.Run(ctx)
+		// Yield for the modelled execution time BEFORE commit: the OCC
+		// validation window is exposed to concurrent workers.
+		r.Compute(w.execCost(ctx))
+		if err == txn.ErrUserAbort {
+			e.userAborts.Inc()
+			return
+		}
+		if err == nil && !ctx.failed {
+			if e.cfg.SyncRepl {
+				if w.commitSync(req, cmd.Epoch) {
+					return
+				}
+			} else {
+				commit := occ.Commit
+				if e.cfg.ReadCommitted {
+					commit = occ.CommitReadCommitted
+				}
+				tidv, ok := commit(w.n.db, &w.set, cmd.Epoch, &w.tid, true)
+				if ok {
+					w.replicateValue(tidv)
+					if e.cfg.Logging {
+						w.chargeTxnLog()
+					}
+					w.finishCommit(req)
+					return
+				}
+			}
+		}
+		e.aborted.Inc()
+		req.Retries++
+		if r.Now() >= cmd.Deadline {
+			// Phase over: requeue so the transaction is not lost.
+			w.n.masterQ.Send(req)
+			return
+		}
+	}
+}
+
+// commitSync implements SYNC STAR: locks are held while every replica
+// acknowledges the writes (§6.1 & Fig 15a).
+func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
+	e := w.n.e
+	if !occ.LockAndValidate(w.n.db, &w.set) {
+		return false
+	}
+	tidv := w.tid.Next(epoch, w.set.MaxReadTID())
+	occ.ApplyWrites(w.n.db, &w.set, epoch, tidv, true)
+
+	entries := replication.ValueEntries(&w.set, tidv)
+	perDst := map[int][]replication.Entry{}
+	for i := range entries {
+		for _, dst := range e.replicaTargets(w.n, int(entries[i].Part)) {
+			perDst[dst] = append(perDst[dst], entries[i])
+		}
+	}
+	w.seq++
+	want := 0
+	for dst, ents := range perDst {
+		w.n.tracker.AddSent(dst, int64(len(ents)))
+		e.net.Send(w.n.id, dst, simnet.Replication, syncBatch{
+			Batch:   &replication.Batch{From: w.n.id, Entries: ents},
+			Worker:  w.idx,
+			Seq:     w.seq,
+			ReplyTo: w.n.id,
+		})
+		want++
+	}
+	for got := 0; got < want; {
+		v, ok := w.resp.RecvTimeout(50 * time.Millisecond)
+		if !ok {
+			break // replica lost; the fence will sort it out
+		}
+		if a := v.(msgReplAck); a.Seq == w.seq {
+			got++
+		}
+	}
+	occ.ReleaseLocks(&w.set)
+	if e.cfg.Logging {
+		w.chargeTxnLog()
+	}
+	w.finishCommit(req)
+	return true
+}
+
+func (w *worker) replicateValue(tidv uint64) {
+	e := w.n.e
+	entries := replication.ValueEntries(&w.set, tidv)
+	for i := range entries {
+		for _, dst := range e.replicaTargets(w.n, int(entries[i].Part)) {
+			w.strm.Append(dst, entries[i])
+		}
+	}
+}
+
+func (w *worker) finishCommit(req *txn.Request) {
+	w.n.e.committed.Inc()
+	w.n.mu.Lock()
+	w.n.phaseCommitted++
+	w.n.pendingLat = append(w.n.pendingLat, req.GenAt)
+	w.n.mu.Unlock()
+}
+
+// chargeTxnLog models logging the write set locally (§4.5.1) and, in
+// LogDir mode, writes the whole-row entries to the worker's real log.
+func (w *worker) chargeTxnLog() {
+	bytes := 0
+	for i := range w.set.Writes {
+		bytes += 32 + len(w.set.Writes[i].Row)
+	}
+	w.n.chargeLog(bytes)
+	if w.logger == nil {
+		return
+	}
+	for i := range w.set.Writes {
+		wr := &w.set.Writes[i]
+		tid := storage.TIDClean(wr.Rec.TID())
+		w.logger.AppendWrite(wr.Table, int32(wr.Part), wr.Key, tid, false, wr.Row)
+	}
+}
+
+func (w *worker) execCost(ctx *localCtx) time.Duration {
+	c := w.n.e.cfg.Cost
+	return c.TxnOverhead +
+		time.Duration(ctx.reads)*c.Read +
+		time.Duration(ctx.writes)*c.Write
+}
+
+// ---- transaction contexts ----
+
+// localCtx executes against the local database with no validation —
+// partitioned-phase execution (reads are still tracked so the TID rules
+// see them).
+type localCtx struct {
+	w      *worker
+	reads  int
+	writes int
+	failed bool
+}
+
+func (c *localCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bool) {
+	c.reads++
+	w := c.w
+	tbl := w.n.db.Table(t)
+	if tbl.Replicated() {
+		rec := tbl.Get(part, key)
+		if rec == nil {
+			return nil, false
+		}
+		val, _, present := rec.ReadStable(nil)
+		return val, present
+	}
+	rec := tbl.Get(part, key)
+	if rec == nil {
+		c.failed = true
+		return nil, false
+	}
+	val, tid, present := rec.ReadStable(nil)
+	if !present {
+		c.failed = true
+		return nil, false
+	}
+	w.set.AddRead(t, part, key, rec, tid)
+	return val, true
+}
+
+func (c *localCtx) Write(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
+	c.writes++
+	c.w.set.AddWrite(t, part, key, ops...)
+}
+
+func (c *localCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
+	c.writes++
+	c.w.set.AddInsert(t, part, key, row)
+}

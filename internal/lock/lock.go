@@ -1,0 +1,245 @@
+// Package lock provides the two lock managers the baselines need:
+//
+//   - NoWait: a read/write lock table with the NO_WAIT deadlock-
+//     prevention policy (abort on conflict), used by Dist. S2PL — the
+//     most scalable policy per Harding et al., as cited by the paper.
+//   - Det: Calvin's deterministic lock manager, which grants locks to
+//     transactions strictly in their global batch order; waiters queue
+//     FIFO so no deadlock is possible.
+package lock
+
+import (
+	"sync"
+
+	"star/internal/storage"
+)
+
+// Name identifies a lockable object.
+type Name struct {
+	Table storage.TableID
+	Key   storage.Key
+}
+
+// NoWait is a lock table with shared/exclusive modes and abort-on-
+// conflict acquisition. Safe for concurrent use.
+type NoWait struct {
+	mu sync.Mutex
+	m  map[Name]*nwEntry
+}
+
+type nwEntry struct {
+	readers map[int]struct{} // owner ids
+	writer  int              // owner id, -1 if none
+}
+
+// NewNoWait returns an empty lock table.
+func NewNoWait() *NoWait {
+	return &NoWait{m: make(map[Name]*nwEntry)}
+}
+
+// TryLock attempts to acquire (Name) in the given mode for owner.
+// It returns false on any conflict (NO_WAIT). Re-acquisition by the same
+// owner succeeds; a read-held lock cannot be upgraded (callers acquire at
+// write mode up front using the declared footprint).
+func (t *NoWait) TryLock(n Name, owner int, write bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.m[n]
+	if e == nil {
+		e = &nwEntry{readers: make(map[int]struct{}), writer: -1}
+		t.m[n] = e
+	}
+	if write {
+		if e.writer == owner {
+			return true
+		}
+		if e.writer != -1 || len(e.readers) > 0 {
+			// Sole-reader upgrade is allowed; anything else conflicts.
+			if _, r := e.readers[owner]; r && len(e.readers) == 1 && e.writer == -1 {
+				delete(e.readers, owner)
+				e.writer = owner
+				return true
+			}
+			return false
+		}
+		e.writer = owner
+		return true
+	}
+	if e.writer == owner {
+		return true // write lock covers reads
+	}
+	if e.writer != -1 {
+		return false
+	}
+	e.readers[owner] = struct{}{}
+	return true
+}
+
+// Unlock releases owner's hold on n (either mode). Unknown holds are
+// ignored so abort paths can blanket-release.
+func (t *NoWait) Unlock(n Name, owner int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.m[n]
+	if e == nil {
+		return
+	}
+	if e.writer == owner {
+		e.writer = -1
+	}
+	delete(e.readers, owner)
+	if e.writer == -1 && len(e.readers) == 0 {
+		delete(t.m, n)
+	}
+}
+
+// Held reports whether owner holds n in any mode (test helper).
+func (t *NoWait) Held(n Name, owner int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.m[n]
+	if e == nil {
+		return false
+	}
+	if e.writer == owner {
+		return true
+	}
+	_, ok := e.readers[owner]
+	return ok
+}
+
+// Len returns the number of locked names (test helper).
+func (t *NoWait) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// ---- deterministic (Calvin) lock manager ----
+
+// DetTxn tracks how many lock grants a transaction is still waiting for.
+// When the count reaches zero the onReady callback fires exactly once
+// (on the goroutine that performed the final grant).
+type DetTxn struct {
+	ID      uint64
+	pending int
+	onReady func()
+}
+
+// NewDetTxn builds a transaction handle expecting `locks` grants.
+func NewDetTxn(id uint64, locks int, onReady func()) *DetTxn {
+	return &DetTxn{ID: id, pending: locks, onReady: onReady}
+}
+
+func (d *DetTxn) granted() {
+	d.pending--
+	if d.pending == 0 && d.onReady != nil {
+		d.onReady()
+	}
+}
+
+// Ready reports whether all locks are held.
+func (d *DetTxn) Ready() bool { return d.pending <= 0 }
+
+// Det is one lock-manager thread's shard of Calvin's lock table.
+// Acquire must be called in global transaction order; releases may happen
+// in any order. Not internally synchronised: each shard is owned by one
+// lock-manager process (Calvin-x partitions the lock space x ways).
+type Det struct {
+	m map[Name]*detEntry
+}
+
+type detEntry struct {
+	holders map[*DetTxn]bool // value: held in write mode
+	queue   []detReq
+}
+
+type detReq struct {
+	txn   *DetTxn
+	write bool
+}
+
+// NewDet returns an empty deterministic lock shard.
+func NewDet() *Det { return &Det{m: make(map[Name]*detEntry)} }
+
+// Acquire requests n for txn. If the lock is free (or read-compatible
+// with all current holders and no one queues ahead), it is granted
+// immediately; otherwise the request queues FIFO.
+func (d *Det) Acquire(n Name, txn *DetTxn, write bool) {
+	e := d.m[n]
+	if e == nil {
+		e = &detEntry{holders: make(map[*DetTxn]bool)}
+		d.m[n] = e
+	}
+	if held, ok := e.holders[txn]; ok {
+		// Re-acquisition by the same transaction (duplicate declared
+		// access): keep the stronger mode, count the grant.
+		if write && !held {
+			e.holders[txn] = true
+		}
+		txn.granted()
+		return
+	}
+	if e.grantable(write) {
+		e.holders[txn] = write
+		txn.granted()
+		return
+	}
+	e.queue = append(e.queue, detReq{txn: txn, write: write})
+}
+
+func (e *detEntry) grantable(write bool) bool {
+	if len(e.queue) > 0 {
+		return false // strict FIFO: no barging past earlier txns
+	}
+	if len(e.holders) == 0 {
+		return true
+	}
+	if write {
+		return false
+	}
+	for _, w := range e.holders {
+		if w {
+			return false
+		}
+	}
+	return true
+}
+
+// Release drops txn's hold on n and grants to queued requests in order
+// (a freed write lock may admit a run of consecutive readers).
+func (d *Det) Release(n Name, txn *DetTxn) {
+	e := d.m[n]
+	if e == nil {
+		return
+	}
+	delete(e.holders, txn)
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if len(e.holders) == 0 {
+			// grant head unconditionally
+		} else if head.write {
+			break
+		} else {
+			compatible := true
+			for _, w := range e.holders {
+				if w {
+					compatible = false
+					break
+				}
+			}
+			if !compatible {
+				break
+			}
+		}
+		e.holders[head.txn] = head.write
+		e.queue = e.queue[1:]
+		head.txn.granted()
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(d.m, n)
+	}
+}
+
+// Len returns the number of active lock entries (test helper).
+func (d *Det) Len() int { return len(d.m) }

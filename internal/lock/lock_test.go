@@ -1,0 +1,216 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"star/internal/storage"
+)
+
+func nm(k uint64) Name { return Name{Table: 1, Key: storage.K1(k)} }
+
+func TestNoWaitBasicModes(t *testing.T) {
+	lt := NewNoWait()
+	if !lt.TryLock(nm(1), 10, false) || !lt.TryLock(nm(1), 11, false) {
+		t.Fatal("shared locks must coexist")
+	}
+	if lt.TryLock(nm(1), 12, true) {
+		t.Fatal("write lock over readers must fail (NO_WAIT)")
+	}
+	lt.Unlock(nm(1), 10)
+	lt.Unlock(nm(1), 11)
+	if !lt.TryLock(nm(1), 12, true) {
+		t.Fatal("write lock on free entry failed")
+	}
+	if lt.TryLock(nm(1), 13, false) || lt.TryLock(nm(1), 13, true) {
+		t.Fatal("locks over a writer must fail")
+	}
+	lt.Unlock(nm(1), 12)
+	if lt.Len() != 0 {
+		t.Fatalf("entries leaked: %d", lt.Len())
+	}
+}
+
+func TestNoWaitReentrancyAndUpgrade(t *testing.T) {
+	lt := NewNoWait()
+	if !lt.TryLock(nm(1), 1, true) || !lt.TryLock(nm(1), 1, true) {
+		t.Fatal("write reentry must succeed")
+	}
+	if !lt.TryLock(nm(1), 1, false) {
+		t.Fatal("read under own write must succeed")
+	}
+	lt.Unlock(nm(1), 1)
+
+	// Sole-reader upgrade succeeds; contended upgrade fails.
+	if !lt.TryLock(nm(2), 1, false) || !lt.TryLock(nm(2), 1, true) {
+		t.Fatal("sole-reader upgrade must succeed")
+	}
+	lt.Unlock(nm(2), 1)
+	lt.TryLock(nm(3), 1, false)
+	lt.TryLock(nm(3), 2, false)
+	if lt.TryLock(nm(3), 1, true) {
+		t.Fatal("upgrade with other readers must fail")
+	}
+	lt.Unlock(nm(3), 1)
+	lt.Unlock(nm(3), 2)
+}
+
+func TestNoWaitUnlockUnknownIsNoop(t *testing.T) {
+	lt := NewNoWait()
+	lt.Unlock(nm(9), 1) // must not panic
+	lt.TryLock(nm(9), 2, true)
+	lt.Unlock(nm(9), 3) // not the owner: ignored
+	if !lt.Held(nm(9), 2) {
+		t.Fatal("wrong owner's unlock must not release")
+	}
+	lt.Unlock(nm(9), 2)
+}
+
+// Property: NO_WAIT never deadlocks by construction (no waiting), and a
+// random interleave of TryLock/Unlock keeps the invariant that a writer
+// excludes everyone else.
+func TestNoWaitExclusionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt := NewNoWait()
+		type hold struct {
+			owner int
+			write bool
+		}
+		held := map[uint64][]hold{}
+		for i := 0; i < 300; i++ {
+			k := uint64(rng.Intn(5))
+			owner := rng.Intn(4)
+			write := rng.Intn(2) == 0
+			if rng.Intn(3) == 0 {
+				lt.Unlock(nm(k), owner)
+				var kept []hold
+				for _, h := range held[k] {
+					if h.owner != owner {
+						kept = append(kept, h)
+					}
+				}
+				held[k] = kept
+				continue
+			}
+			if lt.TryLock(nm(k), owner, write) {
+				// Model the resulting state.
+				var kept []hold
+				for _, h := range held[k] {
+					if h.owner != owner {
+						kept = append(kept, h)
+					}
+				}
+				held[k] = append(kept, hold{owner, write})
+				// Invariant: at most one writer, and no readers with it.
+				writers, readers := 0, 0
+				for _, h := range held[k] {
+					if h.write {
+						writers++
+					} else {
+						readers++
+					}
+				}
+				if writers > 1 || (writers == 1 && readers > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetGrantsInOrder(t *testing.T) {
+	d := NewDet()
+	var order []uint64
+	mk := func(id uint64, n int) *DetTxn {
+		var tx *DetTxn
+		tx = NewDetTxn(id, n, func() { order = append(order, tx.ID) })
+		return tx
+	}
+	t1 := mk(1, 1)
+	t2 := mk(2, 1)
+	t3 := mk(3, 1)
+	d.Acquire(nm(1), t1, true) // granted immediately
+	d.Acquire(nm(1), t2, true) // queues
+	d.Acquire(nm(1), t3, true) // queues behind t2
+	if !t1.Ready() || t2.Ready() || t3.Ready() {
+		t.Fatal("initial grant state wrong")
+	}
+	d.Release(nm(1), t1)
+	if !t2.Ready() || t3.Ready() {
+		t.Fatal("t2 must be granted next, t3 must wait")
+	}
+	d.Release(nm(1), t2)
+	d.Release(nm(1), t3)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("grant order %v, want [1 2 3]", order)
+	}
+	if d.Len() != 0 {
+		t.Fatal("entries leaked")
+	}
+}
+
+func TestDetReaderRunGrantedTogether(t *testing.T) {
+	d := NewDet()
+	ready := map[uint64]bool{}
+	mk := func(id uint64, n int) *DetTxn {
+		var tx *DetTxn
+		tx = NewDetTxn(id, n, func() { ready[tx.ID] = true })
+		return tx
+	}
+	w := mk(1, 1)
+	r1 := mk(2, 1)
+	r2 := mk(3, 1)
+	w2 := mk(4, 1)
+	d.Acquire(nm(5), w, true)
+	d.Acquire(nm(5), r1, false)
+	d.Acquire(nm(5), r2, false)
+	d.Acquire(nm(5), w2, true)
+	d.Release(nm(5), w)
+	if !ready[2] || !ready[3] {
+		t.Fatal("consecutive readers must be granted together")
+	}
+	if ready[4] {
+		t.Fatal("writer must wait for readers")
+	}
+	d.Release(nm(5), r1)
+	d.Release(nm(5), r2)
+	if !ready[4] {
+		t.Fatal("writer granted after readers release")
+	}
+	d.Release(nm(5), w2)
+}
+
+func TestDetNoBargingPastQueue(t *testing.T) {
+	d := NewDet()
+	mk := func(id uint64, n int) *DetTxn { return NewDetTxn(id, n, nil) }
+	r1 := mk(1, 1)
+	w := mk(2, 1)
+	r2 := mk(3, 1)
+	d.Acquire(nm(1), r1, false) // granted
+	d.Acquire(nm(1), w, true)   // queues
+	d.Acquire(nm(1), r2, false) // must NOT barge past the queued writer
+	if r2.Ready() {
+		t.Fatal("reader barged past a queued writer: determinism violated")
+	}
+}
+
+func TestDetMultiLockTxnReadyOnlyWhenAllGranted(t *testing.T) {
+	d := NewDet()
+	fired := 0
+	var tx *DetTxn
+	tx = NewDetTxn(1, 2, func() { fired++ })
+	d.Acquire(nm(1), tx, true)
+	if tx.Ready() || fired != 0 {
+		t.Fatal("must wait for both locks")
+	}
+	d.Acquire(nm(2), tx, true)
+	if !tx.Ready() || fired != 1 {
+		t.Fatalf("ready=%v fired=%d", tx.Ready(), fired)
+	}
+}

@@ -1,0 +1,167 @@
+// Package metrics provides the counters and latency histograms used by
+// every engine to report the quantities the paper's evaluation plots:
+// committed/aborted transactions, throughput, p50/p99 latency, and
+// replication byte counts.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter. The zero value is ready to use.
+// Engines running on the sim runtime are single-threaded, but the same
+// code runs on real goroutines, so all mutation is atomic.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Hist is a log-scale latency histogram covering 100ns..100s with ~4%
+// relative bucket width. The zero value is ready to use.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+}
+
+const (
+	histBuckets = 400
+	histMinNs   = 100.0 // 100ns
+	// growth chosen so bucket 399 is ~100s: 100ns * g^399 = 1e11ns.
+)
+
+var histGrowth = math.Pow(1e11/histMinNs, 1.0/float64(histBuckets-1))
+var histLogGrowth = math.Log(histGrowth)
+
+func bucketFor(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns <= histMinNs {
+		return 0
+	}
+	b := int(math.Log(ns/histMinNs) / histLogGrowth)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the upper-bound latency of bucket b.
+func bucketUpper(b int) time.Duration {
+	return time.Duration(histMinNs * math.Pow(histGrowth, float64(b+1)))
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	for {
+		m := h.max.Load()
+		if int64(d) <= m || h.max.CompareAndSwap(m, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed sample.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the latency at quantile q in [0,1], interpolated to the
+// bucket upper bound, or 0 with no samples.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= rank {
+			if b == histBuckets-1 {
+				// Overflow bucket: the upper bound is unknown.
+				return h.Max()
+			}
+			u := bucketUpper(b)
+			if m := h.Max(); u > m {
+				return m
+			}
+			return u
+		}
+	}
+	return h.Max()
+}
+
+// Stats is the per-run result bundle every engine returns.
+type Stats struct {
+	Engine    string
+	Duration  time.Duration // measured (virtual) run time
+	Committed int64
+	Aborted   int64
+	// Latency of committed transactions from generation to result release
+	// (group commit included, matching the paper's measurement).
+	Latency *Hist
+	// ReplicationBytes is the total bytes shipped on replication streams.
+	ReplicationBytes int64
+	// NetworkBytes is total bytes on the wire, replication included.
+	NetworkBytes int64
+	// LogBytes is bytes written to the recovery logs (0 if disabled).
+	LogBytes int64
+	// Extra carries experiment-specific values (e.g. fence time share).
+	Extra map[string]float64
+}
+
+// Throughput returns committed transactions per second.
+func (s Stats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / s.Duration.Seconds()
+}
+
+// AbortRate returns aborted/(committed+aborted).
+func (s Stats) AbortRate() float64 {
+	t := s.Committed + s.Aborted
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(t)
+}
+
+// String summarises the stats on one line.
+func (s Stats) String() string {
+	p50, p99 := time.Duration(0), time.Duration(0)
+	if s.Latency != nil {
+		p50, p99 = s.Latency.Quantile(0.50), s.Latency.Quantile(0.99)
+	}
+	return fmt.Sprintf("%s: %.0f txn/s (committed=%d aborted=%d) p50=%v p99=%v repl=%dB",
+		s.Engine, s.Throughput(), s.Committed, s.Aborted, p50, p99, s.ReplicationBytes)
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("got %d, want 42", c.Load())
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := &Hist{}
+	rng := rand.New(rand.NewSource(1))
+	var samples []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform between 1µs and 100ms.
+		d := time.Duration(float64(time.Microsecond) * pow10(rng.Float64()*5))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.12 {
+			t.Errorf("q=%.2f: got %v, exact %v (ratio %.3f)", q, got, exact, ratio)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// linear remainder is fine for test data
+	return r * (1 + 9*x/1)
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+	h.Observe(-5) // clamped
+	h.Observe(0)
+	h.Observe(200 * time.Second) // beyond range: clamped to last bucket
+	if h.Count() != 3 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.Max() != 200*time.Second {
+		t.Fatalf("max=%v", h.Max())
+	}
+	if q := h.Quantile(1.0); q != 200*time.Second {
+		t.Fatalf("p100=%v, want max", q)
+	}
+}
+
+func TestHistQuantileMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		h := &Hist{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+		prev := time.Duration(0)
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Engine: "x", Duration: 2 * time.Second, Committed: 100, Aborted: 25}
+	if s.Throughput() != 50 {
+		t.Fatalf("throughput=%v", s.Throughput())
+	}
+	if s.AbortRate() != 0.2 {
+		t.Fatalf("abort rate=%v", s.AbortRate())
+	}
+	var zero Stats
+	if zero.Throughput() != 0 || zero.AbortRate() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+	if zero.String() == "" {
+		t.Fatal("String must work with nil Latency")
+	}
+}

@@ -1,0 +1,50 @@
+// Package model implements the paper's analytical model (§6.3):
+// completion-time formulas for partitioning-based systems, non-
+// partitioned systems and STAR, and the speedup/improvement curves of
+// Figures 3 and 10.
+package model
+
+// TimePartitioned returns T(n) for a partitioning-based system running
+// ns single-partition and nc cross-partition transactions with costs ts
+// and tc (equation 3): (ns·ts + nc·tc)/n.
+func TimePartitioned(n int, ns, nc, ts, tc float64) float64 {
+	return (ns*ts + nc*tc) / float64(n)
+}
+
+// TimeNonPartitioned returns T(n) for a non-partitioned system
+// (equation 4): (ns+nc)·ts — cross-partition work costs the same as
+// single-partition work on a single master.
+func TimeNonPartitioned(ns, nc, ts float64) float64 {
+	return (ns + nc) * ts
+}
+
+// TimeSTAR returns T(n) for STAR (equation 5): single-partition work is
+// spread over n nodes, cross-partition work runs on one master.
+func TimeSTAR(n int, ns, nc, ts float64) float64 {
+	return (ns/float64(n) + nc) * ts
+}
+
+// Speedup returns I(n) = T_STAR(1)/T_STAR(n) = n/(nP − P + 1): the
+// speedup of STAR with n nodes over a single node for a workload with
+// cross-partition fraction P (Figure 3).
+func Speedup(n int, p float64) float64 {
+	return float64(n) / (float64(n)*p - p + 1)
+}
+
+// ImprovementOverPartitioned returns I_partitioning-based(n) =
+// (KP − P + 1)/(nP − P + 1), where K = tc/ts (Figure 10).
+func ImprovementOverPartitioned(n int, k, p float64) float64 {
+	return (k*p - p + 1) / (float64(n)*p - p + 1)
+}
+
+// ImprovementOverNonPartitioned returns I_non-partitioned(n) =
+// n/(nP − P + 1) (Figure 10's dashed line).
+func ImprovementOverNonPartitioned(n int, p float64) float64 {
+	return Speedup(n, p)
+}
+
+// CrossoverK returns the K above which STAR beats a partitioning-based
+// system on n nodes (§6.3: "the average time of running a cross-
+// partition transaction must exceed n times that of a single-partition
+// transaction", i.e. K > n).
+func CrossoverK(n int) float64 { return float64(n) }

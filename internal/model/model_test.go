@@ -1,0 +1,84 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSpeedupMatchesPaperFigure3(t *testing.T) {
+	// Fig 3: with P=1% STAR approaches ~14x at 16 nodes; with P=15% the
+	// curve flattens near 1/P ≈ 6.7 well before 16 nodes.
+	if got := Speedup(16, 0.01); !approx(got, 13.9, 0.2) {
+		t.Fatalf("speedup(16, 1%%)=%.2f, want ≈13.9", got)
+	}
+	if got := Speedup(16, 0.15); got > 5.3 || got < 4.5 {
+		t.Fatalf("speedup(16, 15%%)=%.2f, want ≈4.9", got)
+	}
+	if got := Speedup(1, 0.10); got != 1 {
+		t.Fatalf("speedup(1)=%v, want 1", got)
+	}
+}
+
+func TestSpeedupAsymptote(t *testing.T) {
+	// As n→∞ the speedup approaches 1/P: the single-master phase is the
+	// sequential fraction (Amdahl form).
+	if got := Speedup(10000, 0.10); !approx(got, 10, 0.05) {
+		t.Fatalf("asymptote=%.3f, want ≈1/P=10", got)
+	}
+}
+
+func TestImprovementCrossover(t *testing.T) {
+	// §6.3: STAR beats partitioning-based systems iff K > n.
+	n := 4
+	if got := ImprovementOverPartitioned(n, 4.0, 0.5); !approx(got, 1, 1e-9) {
+		t.Fatalf("at K=n improvement must be 1, got %v", got)
+	}
+	if ImprovementOverPartitioned(n, 8.0, 0.5) <= 1 {
+		t.Fatal("K=8>n=4 must favour STAR")
+	}
+	if ImprovementOverPartitioned(n, 2.0, 0.5) >= 1 {
+		t.Fatal("K=2<n=4 must favour the partitioning-based system")
+	}
+	if CrossoverK(n) != 4 {
+		t.Fatal("crossover")
+	}
+}
+
+func TestImprovementOverNonPartitionedAlwaysWins(t *testing.T) {
+	// Fig 10: STAR beats the non-partitioned system whenever any
+	// single-partition work exists (improvement ≥ 1, equal only at P=1).
+	f := func(nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		p := float64(pRaw%100) / 100
+		imp := ImprovementOverNonPartitioned(n, p)
+		if p < 1 && imp <= 1 {
+			return false
+		}
+		return imp <= float64(n)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormulasConsistent(t *testing.T) {
+	// The improvement ratios must equal the ratio of the raw time
+	// formulas (equations 3–5).
+	ns, nc, ts := 900.0, 100.0, 1.0
+	k := 8.0
+	n := 4
+	p := nc / (ns + nc)
+	lhs := TimePartitioned(n, ns, nc, ts, k*ts) / TimeSTAR(n, ns, nc, ts)
+	rhs := ImprovementOverPartitioned(n, k, p)
+	if !approx(lhs, rhs, 1e-9) {
+		t.Fatalf("eq3/eq5 ratio %.6f != closed form %.6f", lhs, rhs)
+	}
+	lhs = TimeNonPartitioned(ns, nc, ts) / TimeSTAR(n, ns, nc, ts)
+	rhs = ImprovementOverNonPartitioned(n, p)
+	if !approx(lhs, rhs, 1e-9) {
+		t.Fatalf("eq4/eq5 ratio %.6f != closed form %.6f", lhs, rhs)
+	}
+}

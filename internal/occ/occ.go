@@ -1,0 +1,240 @@
+// Package occ implements the Silo-variant optimistic concurrency control
+// STAR uses in its single-master phase (§4.2), decomposed so engines can
+// compose the pieces: sorted write locking, read validation, TID
+// assignment (Silo's three rules), write application and lock release.
+// The same pieces also power the PB. OCC and Dist. OCC baselines.
+package occ
+
+import (
+	"star/internal/storage"
+	"star/internal/txn"
+)
+
+// TIDGen issues per-worker transaction IDs obeying Silo's rules:
+// (a) larger than any TID in the read/write set, (b) larger than this
+// worker's last TID, (c) within the current global epoch.
+type TIDGen struct {
+	last uint64
+}
+
+// Last returns the most recently issued TID.
+func (g *TIDGen) Last() uint64 { return g.last }
+
+// Next returns the next TID for a transaction whose read/write-set
+// maximum is maxSeen, in the given epoch.
+func (g *TIDGen) Next(epoch, maxSeen uint64) uint64 {
+	cand := maxSeen
+	if g.last > cand {
+		cand = g.last
+	}
+	var tid uint64
+	if storage.TIDEpoch(cand) < epoch {
+		tid = storage.MakeTID(epoch, 1)
+	} else {
+		tid = storage.MakeTID(storage.TIDEpoch(cand), storage.TIDSeq(cand)+1)
+	}
+	g.last = tid
+	return tid
+}
+
+// LockAndValidate resolves and locks the write set in global order, then
+// validates the read set (unchanged TIDs, no foreign locks). On failure
+// everything is unlocked and false is returned; the transaction must
+// abort and may retry.
+func LockAndValidate(db *storage.DB, set *txn.RWSet) bool {
+	set.SortWrites()
+	locked := 0
+	abort := func() bool {
+		for i := 0; i < locked; i++ {
+			if r := set.Writes[i].Rec; r != nil {
+				r.Unlock()
+			}
+		}
+		return false
+	}
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		tbl := db.Table(w.Table)
+		if w.Insert {
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+		} else if w.Rec == nil {
+			w.Rec = tbl.Get(w.Part, w.Key)
+			if w.Rec == nil {
+				return abort()
+			}
+		}
+		w.Rec.Lock()
+		locked++
+		absent := storage.TIDAbsent(w.Rec.TID())
+		if w.Insert && !absent {
+			return abort() // uniqueness violation
+		}
+		if !w.Insert && absent {
+			return abort() // update of a vanished record
+		}
+	}
+	for i := range set.Reads {
+		r := &set.Reads[i]
+		cur := r.Rec.TID()
+		if storage.TIDClean(cur) != storage.TIDClean(r.TID) {
+			return abort()
+		}
+		if storage.TIDLocked(cur) && !inWriteSet(set, r.Rec) {
+			return abort()
+		}
+	}
+	return true
+}
+
+func inWriteSet(set *txn.RWSet, rec *storage.Record) bool {
+	for i := range set.Writes {
+		if set.Writes[i].Rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyWrites installs the write set under the locks taken by
+// LockAndValidate, tagging records with tid. Locks remain held (the
+// paper's synchronous-replication variant replicates before release).
+// When collectRows is true each entry's Row is set to a copy of the final
+// record value — the payload for value replication and logging.
+// It returns the FirstTouch flags used for dirty registration.
+func ApplyWrites(db *storage.DB, set *txn.RWSet, epoch, tid uint64, collectRows bool) {
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		tbl := db.Table(w.Table)
+		part := tbl.Partition(w.Part)
+		var first bool
+		if w.Insert {
+			first = w.Rec.WriteLocked(epoch, tid, w.Row)
+		} else {
+			var err error
+			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
+			if err != nil {
+				panic("occ: bad field op: " + err.Error())
+			}
+		}
+		if first {
+			part.MarkDirty(w.Rec)
+		}
+		if collectRows {
+			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
+		}
+	}
+}
+
+// ReleaseLocks unlocks the write set after ApplyWrites.
+func ReleaseLocks(set *txn.RWSet) {
+	for i := range set.Writes {
+		if r := set.Writes[i].Rec; r != nil {
+			r.Unlock()
+		}
+	}
+}
+
+// Commit is the common fast path: lock+validate, assign a TID, apply,
+// release. It returns the TID and whether the transaction committed.
+func Commit(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
+	if !LockAndValidate(db, set) {
+		return 0, false
+	}
+	tid := gen.Next(epoch, set.MaxReadTID())
+	ApplyWrites(db, set, epoch, tid, collectRows)
+	ReleaseLocks(set)
+	return tid, true
+}
+
+// CommitReadCommitted commits under READ COMMITTED (§3: "a transaction
+// runs under read committed by skipping read validation on commit, since
+// STAR uses OCC and uncommitted data never occurs in the database").
+// Write locks are still taken in global order; only the read-set check
+// is skipped, so lost-update anomalies become possible by design.
+func CommitReadCommitted(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
+	if !lockWrites(db, set) {
+		return 0, false
+	}
+	tid := gen.Next(epoch, set.MaxReadTID())
+	ApplyWrites(db, set, epoch, tid, collectRows)
+	ReleaseLocks(set)
+	return tid, true
+}
+
+// lockWrites is LockAndValidate without the read-validation step.
+func lockWrites(db *storage.DB, set *txn.RWSet) bool {
+	set.SortWrites()
+	locked := 0
+	abort := func() bool {
+		for i := 0; i < locked; i++ {
+			if r := set.Writes[i].Rec; r != nil {
+				r.Unlock()
+			}
+		}
+		return false
+	}
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		tbl := db.Table(w.Table)
+		if w.Insert {
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+		} else if w.Rec == nil {
+			w.Rec = tbl.Get(w.Part, w.Key)
+			if w.Rec == nil {
+				return abort()
+			}
+		}
+		w.Rec.Lock()
+		locked++
+		absent := storage.TIDAbsent(w.Rec.TID())
+		if (w.Insert && !absent) || (!w.Insert && absent) {
+			return abort()
+		}
+	}
+	return true
+}
+
+// CommitSerial commits without locking or validation — the partitioned
+// phase, where a single worker owns the partition (§4.1: "it's not
+// necessary to lock any record in the write set and do read validation").
+// A TID is still generated and tagged onto the updated records.
+func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
+	tid := gen.Next(epoch, set.MaxReadTID())
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		tbl := db.Table(w.Table)
+		part := tbl.Partition(w.Part)
+		var first bool
+		if w.Insert {
+			w.Rec = part.GetOrCreate(w.Key)
+			w.Rec.Lock()
+			if !storage.TIDAbsent(w.Rec.TID()) {
+				w.Rec.Unlock()
+				return 0, false // uniqueness violation
+			}
+			first = w.Rec.WriteLocked(epoch, tid, w.Row)
+		} else {
+			if w.Rec == nil {
+				w.Rec = tbl.Get(w.Part, w.Key)
+			}
+			if w.Rec == nil {
+				return 0, false
+			}
+			w.Rec.Lock()
+			var err error
+			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
+			if err != nil {
+				w.Rec.Unlock()
+				panic("occ: bad field op: " + err.Error())
+			}
+		}
+		if first {
+			part.MarkDirty(w.Rec)
+		}
+		if collectRows {
+			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
+		}
+		w.Rec.Unlock()
+	}
+	return tid, true
+}

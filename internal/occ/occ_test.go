@@ -1,0 +1,241 @@
+package occ
+
+import (
+	"sync"
+	"testing"
+
+	"star/internal/storage"
+	"star/internal/txn"
+)
+
+func newBankDB(accounts int) (*storage.DB, *storage.Table) {
+	db := storage.NewDB(1, nil)
+	schema := storage.NewSchema(Field("balance"))
+	tbl := db.AddTable("account", schema, false)
+	for i := 0; i < accounts; i++ {
+		row := schema.NewRow()
+		schema.SetInt64(row, 0, 100)
+		tbl.Insert(0, storage.K1(uint64(i)), 1, storage.MakeTID(1, uint64(i+1)), row)
+	}
+	return db, tbl
+}
+
+// Field is a small helper for single-int64 schemas in tests.
+func Field(name string) storage.Field {
+	return storage.Field{Name: name, Type: storage.FieldInt64}
+}
+
+func TestTIDGenRules(t *testing.T) {
+	var g TIDGen
+	t1 := g.Next(2, 0)
+	if storage.TIDEpoch(t1) != 2 || storage.TIDSeq(t1) != 1 {
+		t.Fatalf("t1=%s", storage.FormatTID(t1))
+	}
+	// Rule b: larger than the worker's last TID.
+	t2 := g.Next(2, 0)
+	if t2 <= t1 {
+		t.Fatalf("t2=%s not > t1=%s", storage.FormatTID(t2), storage.FormatTID(t1))
+	}
+	// Rule a: larger than anything in the read/write set.
+	big := storage.MakeTID(2, 500)
+	t3 := g.Next(2, big)
+	if t3 <= big {
+		t.Fatalf("t3=%s not > maxSeen=%s", storage.FormatTID(t3), storage.FormatTID(big))
+	}
+	// Rule c: in the current epoch.
+	t4 := g.Next(3, 0)
+	if storage.TIDEpoch(t4) != 3 || storage.TIDSeq(t4) != 1 {
+		t.Fatalf("t4=%s", storage.FormatTID(t4))
+	}
+}
+
+func readInto(set *txn.RWSet, tbl *storage.Table, key storage.Key) []byte {
+	rec := tbl.Get(0, key)
+	val, tid, _ := rec.ReadStable(nil)
+	set.AddRead(tbl.ID(), 0, key, rec, tid)
+	return val
+}
+
+func TestCommitTransfersMoney(t *testing.T) {
+	db, tbl := newBankDB(2)
+	s := tbl.Schema()
+	var g TIDGen
+	var set txn.RWSet
+	readInto(&set, tbl, storage.K1(0))
+	readInto(&set, tbl, storage.K1(1))
+	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, -30))
+	set.AddWrite(tbl.ID(), 0, storage.K1(1), storage.AddInt64Op(0, 30))
+	tid, ok := Commit(db, &set, 2, &g, true)
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	v0, _, _ := tbl.Get(0, storage.K1(0)).ReadStable(nil)
+	v1, _, _ := tbl.Get(0, storage.K1(1)).ReadStable(nil)
+	if s.GetInt64(v0, 0) != 70 || s.GetInt64(v1, 0) != 130 {
+		t.Fatalf("balances %d/%d", s.GetInt64(v0, 0), s.GetInt64(v1, 0))
+	}
+	// collectRows populated the value-replication payload.
+	for _, w := range set.Writes {
+		if len(w.Row) != s.RowSize() {
+			t.Fatal("collectRows did not capture the final row")
+		}
+	}
+	if storage.TIDEpoch(tid) != 2 {
+		t.Fatalf("tid=%s", storage.FormatTID(tid))
+	}
+}
+
+func TestValidationAbortsOnConflictingWrite(t *testing.T) {
+	db, tbl := newBankDB(1)
+	var g TIDGen
+	var set txn.RWSet
+	readInto(&set, tbl, storage.K1(0))
+	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, 1))
+
+	// Another transaction sneaks in and bumps the record's TID.
+	var other txn.RWSet
+	other.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, 5))
+	var g2 TIDGen
+	if _, ok := Commit(db, &other, 2, &g2, false); !ok {
+		t.Fatal("interfering commit failed")
+	}
+
+	if _, ok := Commit(db, &set, 2, &g, false); ok {
+		t.Fatal("stale read must fail validation")
+	}
+	// The abort path must leave no locks behind.
+	if storage.TIDLocked(tbl.Get(0, storage.K1(0)).TID()) {
+		t.Fatal("lock leaked after abort")
+	}
+}
+
+func TestValidationAbortsOnForeignLock(t *testing.T) {
+	db, tbl := newBankDB(2)
+	var g TIDGen
+	var set txn.RWSet
+	readInto(&set, tbl, storage.K1(0))
+	// A foreign transaction holds the lock on the record we read.
+	tbl.Get(0, storage.K1(0)).Lock()
+	if _, ok := Commit(db, &set, 2, &g, false); ok {
+		t.Fatal("read of foreign-locked record must fail validation")
+	}
+	tbl.Get(0, storage.K1(0)).Unlock()
+}
+
+func TestOwnWriteLockPassesValidation(t *testing.T) {
+	db, tbl := newBankDB(1)
+	var g TIDGen
+	var set txn.RWSet
+	readInto(&set, tbl, storage.K1(0))
+	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, 1))
+	// RMW: our own write lock must not fail our read validation.
+	if _, ok := Commit(db, &set, 2, &g, false); !ok {
+		t.Fatal("read-modify-write must commit")
+	}
+}
+
+func TestInsertCommitAndUniqueness(t *testing.T) {
+	db, tbl := newBankDB(1)
+	s := tbl.Schema()
+	var g TIDGen
+	row := s.NewRow()
+	s.SetInt64(row, 0, 55)
+
+	var set txn.RWSet
+	set.AddInsert(tbl.ID(), 0, storage.K1(100), row)
+	if _, ok := Commit(db, &set, 2, &g, false); !ok {
+		t.Fatal("insert commit failed")
+	}
+	var dup txn.RWSet
+	dup.AddInsert(tbl.ID(), 0, storage.K1(100), row)
+	if _, ok := Commit(db, &dup, 2, &g, false); ok {
+		t.Fatal("duplicate insert must abort")
+	}
+	if storage.TIDLocked(tbl.Get(0, storage.K1(100)).TID()) {
+		t.Fatal("lock leaked after duplicate-insert abort")
+	}
+}
+
+func TestHeldLocksForSyncReplication(t *testing.T) {
+	db, tbl := newBankDB(1)
+	var g TIDGen
+	var set txn.RWSet
+	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, 7))
+	if !LockAndValidate(db, &set) {
+		t.Fatal("lock failed")
+	}
+	tid := g.Next(2, set.MaxReadTID())
+	ApplyWrites(db, &set, 2, tid, true)
+	// Paper §6.1: with synchronous replication the primary holds write
+	// locks during the replication round trip.
+	if !storage.TIDLocked(tbl.Get(0, storage.K1(0)).TID()) {
+		t.Fatal("locks must still be held after ApplyWrites")
+	}
+	ReleaseLocks(&set)
+	if storage.TIDLocked(tbl.Get(0, storage.K1(0)).TID()) {
+		t.Fatal("locks must be released")
+	}
+}
+
+func TestCommitSerialPartitionedPhase(t *testing.T) {
+	db, tbl := newBankDB(1)
+	s := tbl.Schema()
+	var g TIDGen
+	var set txn.RWSet
+	readInto(&set, tbl, storage.K1(0))
+	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, -10))
+	row := s.NewRow()
+	set.AddInsert(tbl.ID(), 0, storage.K1(200), row)
+	tid, ok := CommitSerial(db, &set, 3, &g, true)
+	if !ok || storage.TIDEpoch(tid) != 3 {
+		t.Fatalf("serial commit: ok=%v tid=%s", ok, storage.FormatTID(tid))
+	}
+	v, _, _ := tbl.Get(0, storage.K1(0)).ReadStable(nil)
+	if s.GetInt64(v, 0) != 90 {
+		t.Fatalf("balance=%d", s.GetInt64(v, 0))
+	}
+	if tbl.Get(0, storage.K1(200)) == nil {
+		t.Fatal("serial insert missing")
+	}
+}
+
+// Serializability smoke test: concurrent transfers conserve total money.
+func TestConcurrentTransfersConserveMoney(t *testing.T) {
+	const accounts, workers, txns = 8, 4, 300
+	db, tbl := newBankDB(accounts)
+	s := tbl.Schema()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var g TIDGen
+			for i := 0; i < txns; i++ {
+				from := uint64((seed + i) % accounts)
+				to := uint64((seed + i + 1 + i%3) % accounts)
+				if from == to {
+					continue
+				}
+				for {
+					var set txn.RWSet
+					readInto(&set, tbl, storage.K1(from))
+					readInto(&set, tbl, storage.K1(to))
+					set.AddWrite(tbl.ID(), 0, storage.K1(from), storage.AddInt64Op(0, -1))
+					set.AddWrite(tbl.ID(), 0, storage.K1(to), storage.AddInt64Op(0, 1))
+					if _, ok := Commit(db, &set, 2, &g, false); ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for i := 0; i < accounts; i++ {
+		v, _, _ := tbl.Get(0, storage.K1(uint64(i))).ReadStable(nil)
+		total += s.GetInt64(v, 0)
+	}
+	if total != int64(accounts)*100 {
+		t.Fatalf("money not conserved: %d, want %d", total, accounts*100)
+	}
+}

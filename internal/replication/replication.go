@@ -1,0 +1,231 @@
+// Package replication implements STAR's replication machinery (§3, §5):
+// value entries (full records, applied in any order under the Thomas
+// write rule), operation entries (small field deltas, applied FIFO per
+// partition), per-destination batched streams, and the sent/applied
+// counters the replication fence reconciles at every phase switch.
+package replication
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/txn"
+)
+
+// Entry is one replicated write. Exactly one of Row/Ops is meaningful:
+// a value entry carries the whole row (or a tombstone), an operation
+// entry carries field deltas.
+type Entry struct {
+	Table  storage.TableID
+	Part   int32
+	Key    storage.Key
+	TID    uint64
+	Row    []byte
+	Absent bool
+	Ops    []storage.FieldOp
+}
+
+// IsOp reports whether this is an operation-replication entry.
+func (e *Entry) IsOp() bool { return e.Ops != nil }
+
+// Size returns the modelled wire size in bytes.
+func (e *Entry) Size() int {
+	n := 1 + 1 + 4 + storage.KeySize + 8 // kind+table+part+key+tid
+	if e.IsOp() {
+		for _, op := range e.Ops {
+			n += op.Size()
+		}
+		return n
+	}
+	return n + 2 + len(e.Row)
+}
+
+// Apply installs the entry into db for the given epoch. Value entries use
+// the Thomas write rule; operation entries apply unconditionally in
+// arrival order (FIFO per partition is guaranteed by the transport).
+// When wantRow is true it returns a copy of the record's value after
+// application (the §5 op→value transformation used before disk logging);
+// for value entries the entry's own Row serves and nil is returned.
+func Apply(db *storage.DB, epoch uint64, e *Entry, wantRow bool) ([]byte, error) {
+	tbl := db.Table(e.Table)
+	part := tbl.Partition(int(e.Part))
+	if part == nil {
+		return nil, fmt.Errorf("replication: partition %d not held", e.Part)
+	}
+	rec := part.GetOrCreate(e.Key)
+	if e.IsOp() {
+		rec.Lock()
+		first, err := rec.ApplyOpsLocked(tbl.Schema(), epoch, e.TID, e.Ops)
+		if err != nil {
+			rec.Unlock()
+			return nil, err
+		}
+		var row []byte
+		if wantRow {
+			row = append(row, rec.ValueLocked()...)
+		}
+		rec.UnlockWithTID(storage.TIDClean(e.TID))
+		if first {
+			part.MarkDirty(rec)
+		}
+		return row, nil
+	}
+	_, first := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
+	if first {
+		part.MarkDirty(rec)
+	}
+	return nil, nil
+}
+
+// ValueEntries builds value entries from a committed write set whose
+// final rows were collected at commit (occ collectRows=true).
+func ValueEntries(set *txn.RWSet, tid uint64) []Entry {
+	out := make([]Entry, 0, len(set.Writes))
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		out = append(out, Entry{
+			Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid,
+			Row: append([]byte(nil), w.Row...),
+		})
+	}
+	return out
+}
+
+// OpEntries builds operation entries from a committed write set; inserts
+// (which have no delta form) become value entries.
+func OpEntries(set *txn.RWSet, tid uint64) []Entry {
+	out := make([]Entry, 0, len(set.Writes))
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		if w.Insert {
+			out = append(out, Entry{
+				Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid,
+				Row: append([]byte(nil), w.Row...),
+			})
+			continue
+		}
+		ops := make([]storage.FieldOp, len(w.Ops))
+		copy(ops, w.Ops)
+		out = append(out, Entry{
+			Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid, Ops: ops,
+		})
+	}
+	return out
+}
+
+// Batch is the wire message carrying entries from one node to another.
+type Batch struct {
+	From    int
+	Entries []Entry
+}
+
+// Size implements simnet.Message.
+func (b *Batch) Size() int {
+	n := 16
+	for i := range b.Entries {
+		n += b.Entries[i].Size()
+	}
+	return n
+}
+
+// Tracker counts entries sent to and applied from each peer; the
+// replication fence compares the two sides (§4.3: "each node learns how
+// many outstanding writes it is waiting to see").
+type Tracker struct {
+	sent    []atomic.Int64 // indexed by destination
+	applied []atomic.Int64 // indexed by source
+}
+
+// NewTracker creates a tracker for a cluster of n nodes.
+func NewTracker(n int) *Tracker {
+	return &Tracker{sent: make([]atomic.Int64, n), applied: make([]atomic.Int64, n)}
+}
+
+// AddSent records n entries shipped to dst.
+func (t *Tracker) AddSent(dst int, n int64) { t.sent[dst].Add(n) }
+
+// AddApplied records n entries applied from src.
+func (t *Tracker) AddApplied(src int, n int64) { t.applied[src].Add(n) }
+
+// SentVector snapshots the per-destination sent counts.
+func (t *Tracker) SentVector() []int64 {
+	v := make([]int64, len(t.sent))
+	for i := range t.sent {
+		v[i] = t.sent[i].Load()
+	}
+	return v
+}
+
+// Applied returns the count applied from src.
+func (t *Tracker) Applied(src int) int64 { return t.applied[src].Load() }
+
+// Drained reports whether everything expected from each source has been
+// applied. expected[i] is the count source i claims to have sent us.
+func (t *Tracker) Drained(expected []int64) bool {
+	for i, want := range expected {
+		if t.applied[i].Load() < want {
+			return false
+		}
+	}
+	return true
+}
+
+// Stream accumulates entries per destination and ships them in batches.
+// One stream per worker thread keeps it contention-free; the shared
+// Tracker is atomic.
+type Stream struct {
+	net     *simnet.Network
+	tracker *Tracker
+	src     int
+	flushAt int
+	buf     map[int][]Entry
+}
+
+// NewStream creates a stream for worker threads on node src; batches
+// flush automatically after flushAt entries per destination.
+func NewStream(net *simnet.Network, tracker *Tracker, src, flushAt int) *Stream {
+	if flushAt <= 0 {
+		flushAt = 16
+	}
+	return &Stream{net: net, tracker: tracker, src: src, flushAt: flushAt, buf: make(map[int][]Entry)}
+}
+
+// Append queues e for dst, flushing the destination's batch when full.
+// Local (src==dst) appends are dropped: a node does not replicate to
+// itself.
+func (s *Stream) Append(dst int, e Entry) {
+	if dst == s.src {
+		return
+	}
+	s.buf[dst] = append(s.buf[dst], e)
+	if len(s.buf[dst]) >= s.flushAt {
+		s.flushDst(dst)
+	}
+}
+
+// Broadcast appends e for every destination in dsts.
+func (s *Stream) Broadcast(dsts []int, e Entry) {
+	for _, d := range dsts {
+		s.Append(d, e)
+	}
+}
+
+func (s *Stream) flushDst(dst int) {
+	entries := s.buf[dst]
+	if len(entries) == 0 {
+		return
+	}
+	s.buf[dst] = nil
+	s.tracker.AddSent(dst, int64(len(entries)))
+	s.net.Send(s.src, dst, simnet.Replication, &Batch{From: s.src, Entries: entries})
+}
+
+// Flush ships all buffered batches (called at commit boundaries and
+// before every replication fence).
+func (s *Stream) Flush() {
+	for dst := range s.buf {
+		s.flushDst(dst)
+	}
+}

@@ -1,0 +1,135 @@
+package rt
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is the wall-clock Runtime backed by ordinary goroutines and Go
+// channels. It is the substrate for the public API and the examples.
+type Real struct {
+	start time.Time
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// NewReal returns a running real-time runtime.
+func NewReal() *Real {
+	return &Real{start: time.Now(), stop: make(chan struct{})}
+}
+
+// Now returns wall-clock time elapsed since NewReal.
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+// Sleep blocks for d or until the runtime stops.
+func (r *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		r.checkStopped()
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.stop:
+		panic(ErrStopped)
+	}
+}
+
+// Compute is a no-op in real mode: the modelled work took real time.
+func (r *Real) Compute(time.Duration) {}
+
+// Go spawns fn on a goroutine tracked by Stop.
+func (r *Real) Go(name string, fn func()) {
+	_ = name
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer recoverStopped()
+		fn()
+	}()
+}
+
+// Stopped reports whether Stop has been called.
+func (r *Real) Stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Real) checkStopped() {
+	if r.Stopped() {
+		panic(ErrStopped)
+	}
+}
+
+// Stop unblocks every process parked in a runtime primitive and waits for
+// all of them to unwind. It is idempotent.
+func (r *Real) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// NewChan returns a mailbox backed by a Go channel.
+func (r *Real) NewChan(capacity int) Chan {
+	return &realChan{rt: r, ch: make(chan any, capacity)}
+}
+
+type realChan struct {
+	rt *Real
+	ch chan any
+}
+
+func (c *realChan) Send(v any) {
+	select {
+	case c.ch <- v:
+	case <-c.rt.stop:
+		panic(ErrStopped)
+	}
+}
+
+func (c *realChan) TrySend(v any) bool {
+	select {
+	case c.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *realChan) Recv() any {
+	select {
+	case v := <-c.ch:
+		return v
+	case <-c.rt.stop:
+		panic(ErrStopped)
+	}
+}
+
+func (c *realChan) TryRecv() (any, bool) {
+	select {
+	case v := <-c.ch:
+		return v, true
+	default:
+		return nil, false
+	}
+}
+
+func (c *realChan) RecvTimeout(d time.Duration) (any, bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v := <-c.ch:
+		return v, true
+	case <-t.C:
+		return nil, false
+	case <-c.rt.stop:
+		panic(ErrStopped)
+	}
+}
+
+func (c *realChan) Len() int { return len(c.ch) }

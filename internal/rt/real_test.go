@@ -1,0 +1,93 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealChanRoundTrip(t *testing.T) {
+	r := NewReal()
+	ch := r.NewChan(1)
+	var got atomic.Int64
+	r.Go("producer", func() {
+		for i := 1; i <= 3; i++ {
+			ch.Send(i)
+		}
+	})
+	r.Go("consumer", func() {
+		for i := 0; i < 3; i++ {
+			got.Add(int64(ch.Recv().(int)))
+		}
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 6 {
+		t.Fatalf("sum=%d, want 6", got.Load())
+	}
+	r.Stop()
+}
+
+func TestRealStopUnblocksSleepers(t *testing.T) {
+	r := NewReal()
+	exited := make(chan struct{})
+	r.Go("sleeper", func() {
+		defer close(exited)
+		r.Sleep(time.Hour)
+	})
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not unblock a parked sleeper")
+	}
+	<-exited
+}
+
+func TestRealStopUnblocksChannelWaiters(t *testing.T) {
+	r := NewReal()
+	ch := r.NewChan(0)
+	r.Go("recv", func() { ch.Recv() })
+	r.Go("send", func() { ch2 := r.NewChan(0); ch2.Send(1) })
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not unblock channel waiters")
+	}
+}
+
+func TestRealRecvTimeout(t *testing.T) {
+	r := NewReal()
+	ch := r.NewChan(1)
+	res := make(chan bool, 1)
+	r.Go("waiter", func() {
+		_, ok := ch.RecvTimeout(20 * time.Millisecond)
+		res <- ok
+	})
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("expected timeout")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvTimeout never returned")
+	}
+	r.Stop()
+}
+
+func TestRealComputeIsNoOp(t *testing.T) {
+	r := NewReal()
+	start := time.Now()
+	r.Compute(time.Hour)
+	if time.Since(start) > time.Second {
+		t.Fatal("Compute must not block in real mode")
+	}
+	r.Stop()
+}

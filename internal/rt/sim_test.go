@@ -1,0 +1,293 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSimSleepAdvancesVirtualTime(t *testing.T) {
+	s := NewSim()
+	var woke time.Duration
+	s.Go("sleeper", func() {
+		s.Sleep(5 * time.Millisecond)
+		woke = s.Now()
+	})
+	end := s.Run(time.Second)
+	if woke != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if end != 5*time.Millisecond {
+		t.Fatalf("run ended at %v, want 5ms (quiescent)", end)
+	}
+	if !s.Quiescent() {
+		t.Fatal("expected quiescent simulation")
+	}
+	s.Stop()
+}
+
+func TestSimComputeRunsInParallelVirtualTime(t *testing.T) {
+	// N processes each computing 10ms finish at 10ms total, not N*10ms:
+	// each simulated worker has its own core.
+	s := NewSim()
+	finish := make([]time.Duration, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go(fmt.Sprintf("w%d", i), func() {
+			s.Compute(10 * time.Millisecond)
+			finish[i] = s.Now()
+		})
+	}
+	s.Run(time.Second)
+	for i, f := range finish {
+		if f != 10*time.Millisecond {
+			t.Fatalf("worker %d finished at %v, want 10ms", i, f)
+		}
+	}
+	s.Stop()
+}
+
+func TestSimChanFIFOAndBlocking(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(2)
+	var got []int
+	s.Go("producer", func() {
+		for i := 0; i < 5; i++ {
+			ch.Send(i) // blocks when buffer full
+		}
+	})
+	s.Go("consumer", func() {
+		for i := 0; i < 5; i++ {
+			s.Sleep(time.Millisecond)
+			got = append(got, ch.Recv().(int))
+		}
+	})
+	s.Run(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d]=%d, want %d (FIFO)", i, v, i)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d values, want 5", len(got))
+	}
+	s.Stop()
+}
+
+func TestSimRendezvousChan(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(0)
+	var sentAt, recvAt time.Duration
+	s.Go("sender", func() {
+		ch.Send("x")
+		sentAt = s.Now()
+	})
+	s.Go("receiver", func() {
+		s.Sleep(3 * time.Millisecond)
+		if v := ch.Recv(); v != "x" {
+			t.Errorf("recv %v", v)
+		}
+		recvAt = s.Now()
+	})
+	s.Run(time.Second)
+	if sentAt != 3*time.Millisecond || recvAt != 3*time.Millisecond {
+		t.Fatalf("sentAt=%v recvAt=%v, want 3ms", sentAt, recvAt)
+	}
+	s.Stop()
+}
+
+func TestSimRecvTimeout(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(1)
+	var timedOut bool
+	var v any
+	var at time.Duration
+	s.Go("waiter", func() {
+		_, ok := ch.RecvTimeout(2 * time.Millisecond)
+		timedOut = !ok
+		at = s.Now()
+		// Second wait succeeds before the deadline.
+		v, ok = ch.RecvTimeout(10 * time.Millisecond)
+		if !ok {
+			t.Error("second RecvTimeout timed out")
+		}
+	})
+	s.Go("sender", func() {
+		s.Sleep(5 * time.Millisecond)
+		ch.Send(42)
+	})
+	s.Run(time.Second)
+	if !timedOut || at != 2*time.Millisecond {
+		t.Fatalf("timedOut=%v at=%v, want timeout at 2ms", timedOut, at)
+	}
+	if v != 42 {
+		t.Fatalf("v=%v, want 42", v)
+	}
+	s.Stop()
+}
+
+func TestSimDeterminism(t *testing.T) {
+	runOnce := func() []string {
+		s := NewSim()
+		ch := s.NewChan(4)
+		var trace []string
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Go(fmt.Sprintf("p%d", i), func() {
+				for j := 0; j < 3; j++ {
+					s.Sleep(time.Duration(i+1) * time.Millisecond)
+					ch.Send(fmt.Sprintf("p%d-%d@%v", i, j, s.Now()))
+				}
+			})
+		}
+		s.Go("drain", func() {
+			for k := 0; k < 9; k++ {
+				trace = append(trace, ch.Recv().(string))
+			}
+		})
+		s.Run(time.Second)
+		s.Stop()
+		return trace
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != 9 || len(b) != 9 {
+		t.Fatalf("trace lengths %d, %d; want 9", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterminism at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimStopUnwindsParkedProcs(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(0)
+	cleaned := 0
+	for i := 0; i < 3; i++ {
+		s.Go("blocked", func() {
+			defer func() { cleaned++ }()
+			ch.Recv() // parked forever
+		})
+	}
+	s.Run(10 * time.Millisecond)
+	if got := len(s.DumpParked()); got != 3 {
+		t.Fatalf("parked=%d, want 3", got)
+	}
+	s.Stop()
+	if cleaned != 3 {
+		t.Fatalf("cleaned=%d, want 3 (defers must run on Stop)", cleaned)
+	}
+	if s.LiveProcs() != 0 {
+		t.Fatalf("live=%d, want 0", s.LiveProcs())
+	}
+}
+
+func TestSimRunHorizon(t *testing.T) {
+	s := NewSim()
+	ticks := 0
+	s.Go("ticker", func() {
+		for {
+			s.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	end := s.Run(10 * time.Millisecond)
+	if end != 10*time.Millisecond {
+		t.Fatalf("end=%v, want 10ms", end)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks=%d, want 10", ticks)
+	}
+	// Resuming the same sim continues where it left off.
+	s.Run(15 * time.Millisecond)
+	if ticks != 15 {
+		t.Fatalf("ticks=%d after resume, want 15", ticks)
+	}
+	s.Stop()
+}
+
+func TestSimTrySendTryRecv(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(1)
+	s.Go("p", func() {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		if !ch.TrySend(1) {
+			t.Error("TrySend on empty chan failed")
+		}
+		if ch.TrySend(2) {
+			t.Error("TrySend on full chan succeeded")
+		}
+		if v, ok := ch.TryRecv(); !ok || v != 1 {
+			t.Errorf("TryRecv got %v,%v", v, ok)
+		}
+	})
+	s.Run(time.Second)
+	s.Stop()
+}
+
+func TestSimGoFromInsideProcess(t *testing.T) {
+	s := NewSim()
+	done := false
+	s.Go("parent", func() {
+		s.Go("child", func() {
+			s.Sleep(time.Millisecond)
+			done = true
+		})
+		s.Sleep(2 * time.Millisecond)
+	})
+	s.Run(time.Second)
+	if !done {
+		t.Fatal("child process did not run")
+	}
+	s.Stop()
+}
+
+func TestSimRecvTimeoutZeroNeverBlocks(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(1)
+	s.Go("p", func() {
+		if _, ok := ch.RecvTimeout(0); ok {
+			t.Error("RecvTimeout(0) on empty chan must fail")
+		}
+		ch.Send(7)
+		if v, ok := ch.RecvTimeout(0); !ok || v != 7 {
+			t.Errorf("RecvTimeout(0) with buffered value: %v %v", v, ok)
+		}
+	})
+	s.Run(time.Millisecond)
+	if !s.Quiescent() {
+		t.Fatal("must be quiescent")
+	}
+	s.Stop()
+}
+
+func TestSimNegativeSleepIsImmediate(t *testing.T) {
+	s := NewSim()
+	var at time.Duration = -1
+	s.Go("p", func() {
+		s.Sleep(-5 * time.Millisecond)
+		at = s.Now()
+	})
+	s.Run(time.Second)
+	if at != 0 {
+		t.Fatalf("negative sleep woke at %v", at)
+	}
+	s.Stop()
+}
+
+func TestSimStoppedPrimitivesPanicCleanly(t *testing.T) {
+	s := NewSim()
+	ch := s.NewChan(1)
+	s.Go("p", func() { s.Sleep(time.Hour) })
+	s.Run(time.Millisecond)
+	s.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send after Stop must panic with ErrStopped")
+		}
+	}()
+	ch.Send(1)
+}

@@ -1,0 +1,230 @@
+// Package simnet provides the cluster network substrate: a full mesh of
+// FIFO links between nodes with configurable one-way latency, jitter and
+// per-node egress bandwidth (token-bucket pacing, modelling the ~4.8
+// Gbit/s NIC the paper's EC2 nodes had). It runs on either rt runtime.
+//
+// Per-link FIFO ordering is guaranteed, which is what STAR's operation
+// replication relies on (§5: deltas from a partition's single writer
+// thread arrive in commit order).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"star/internal/rt"
+)
+
+// Message is anything sent over the network. Size is the modelled wire
+// size in bytes, used for bandwidth pacing and byte accounting.
+type Message interface{ Size() int }
+
+// Class buckets traffic for accounting.
+type Class uint8
+
+const (
+	// Control is coordination traffic (fences, phase switches, acks).
+	Control Class = iota
+	// Data is transaction execution traffic (remote reads, lock
+	// requests, 2PC rounds).
+	Data
+	// Replication is the replication stream.
+	Replication
+	numClasses
+)
+
+// Config parameterises the network.
+type Config struct {
+	Nodes int
+	// Latency is the one-way propagation delay between distinct nodes.
+	Latency time.Duration
+	// Jitter adds a uniform [0,Jitter) delay per message.
+	Jitter time.Duration
+	// Bandwidth is each node's egress capacity in bytes/second;
+	// 0 disables pacing.
+	Bandwidth float64
+	// InboxCap bounds each node's inbox (backpressure); 0 means 65536.
+	InboxCap int
+	// Seed drives the jitter RNG.
+	Seed int64
+}
+
+type envelope struct {
+	at  time.Duration
+	msg Message
+}
+
+type link struct {
+	queue  rt.Chan
+	lastAt time.Duration
+}
+
+// Network is a full mesh of FIFO links plus per-node inboxes.
+type Network struct {
+	r   rt.Runtime
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nextFree []time.Duration // per-node egress availability
+	links    [][]*link
+	down     []bool
+
+	inboxes []rt.Chan
+
+	bytesByClass [numClasses]int64
+	msgsByClass  [numClasses]int64
+	bytesFrom    []int64
+	dropped      int64
+}
+
+// New builds the network and spawns one deliverer process per link.
+func New(r rt.Runtime, cfg Config) *Network {
+	if cfg.InboxCap == 0 {
+		cfg.InboxCap = 65536
+	}
+	n := &Network{
+		r:         r,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nextFree:  make([]time.Duration, cfg.Nodes),
+		links:     make([][]*link, cfg.Nodes),
+		down:      make([]bool, cfg.Nodes),
+		inboxes:   make([]rt.Chan, cfg.Nodes),
+		bytesFrom: make([]int64, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.inboxes[i] = r.NewChan(cfg.InboxCap)
+	}
+	for src := 0; src < cfg.Nodes; src++ {
+		n.links[src] = make([]*link, cfg.Nodes)
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			l := &link{queue: r.NewChan(cfg.InboxCap)}
+			n.links[src][dst] = l
+			n.spawnDeliverer(src, dst, l)
+		}
+	}
+	return n
+}
+
+func (n *Network) spawnDeliverer(src, dst int, l *link) {
+	n.r.Go(fmt.Sprintf("net-link-%d-%d", src, dst), func() {
+		for {
+			env := l.queue.Recv().(envelope)
+			if d := env.at - n.r.Now(); d > 0 {
+				n.r.Sleep(d)
+			}
+			n.mu.Lock()
+			drop := n.down[src] || n.down[dst]
+			n.mu.Unlock()
+			if drop {
+				continue
+			}
+			n.inboxes[dst].Send(env.msg)
+		}
+	})
+}
+
+// Inbox returns node dst's receive mailbox.
+func (n *Network) Inbox(dst int) rt.Chan { return n.inboxes[dst] }
+
+// Send ships m from src to dst. Local sends (src==dst) bypass the wire
+// and still preserve FIFO order with respect to other local sends.
+// Send never blocks unless the link queue is full (backpressure).
+func (n *Network) Send(src, dst int, class Class, m Message) {
+	size := m.Size()
+	n.mu.Lock()
+	if n.down[src] || n.down[dst] {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.bytesByClass[class] += int64(size)
+	n.msgsByClass[class]++
+	n.bytesFrom[src] += int64(size)
+	if src == dst {
+		n.mu.Unlock()
+		n.inboxes[dst].Send(m)
+		return
+	}
+	now := n.r.Now()
+	start := now
+	if n.nextFree[src] > start {
+		start = n.nextFree[src]
+	}
+	var tx time.Duration
+	if n.cfg.Bandwidth > 0 {
+		tx = time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+	}
+	n.nextFree[src] = start + tx
+	at := start + tx + n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		at += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	l := n.links[src][dst]
+	if at < l.lastAt {
+		at = l.lastAt // enforce per-link FIFO
+	}
+	l.lastAt = at
+	n.mu.Unlock()
+	l.queue.Send(envelope{at: at, msg: m})
+}
+
+// SetDown marks a node failed (true) or healthy (false). Messages to or
+// from a down node are silently dropped, as with a crashed process.
+func (n *Network) SetDown(node int, down bool) {
+	n.mu.Lock()
+	n.down[node] = down
+	n.mu.Unlock()
+}
+
+// IsDown reports the failure flag for node.
+func (n *Network) IsDown(node int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[node]
+}
+
+// Bytes returns the bytes sent in the given class.
+func (n *Network) Bytes(c Class) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytesByClass[c]
+}
+
+// Messages returns the message count in the given class.
+func (n *Network) Messages(c Class) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgsByClass[c]
+}
+
+// TotalBytes returns all bytes sent.
+func (n *Network) TotalBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var t int64
+	for _, b := range n.bytesByClass {
+		t += b
+	}
+	return t
+}
+
+// BytesFrom returns the bytes node src has sent.
+func (n *Network) BytesFrom(src int) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytesFrom[src]
+}
+
+// Dropped returns the number of messages dropped due to down nodes.
+func (n *Network) Dropped() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}

@@ -1,0 +1,223 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"star/internal/rt"
+)
+
+type testMsg struct {
+	id    int
+	bytes int
+}
+
+func (m testMsg) Size() int { return m.bytes }
+
+func TestLatencyApplied(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 2, Latency: 100 * time.Microsecond})
+	var recvAt time.Duration
+	s.Go("sender", func() { n.Send(0, 1, Data, testMsg{1, 64}) })
+	s.Go("receiver", func() {
+		n.Inbox(1).Recv()
+		recvAt = s.Now()
+	})
+	s.Run(time.Second)
+	if recvAt != 100*time.Microsecond {
+		t.Fatalf("delivered at %v, want 100µs", recvAt)
+	}
+	s.Stop()
+}
+
+func TestPerLinkFIFOWithJitter(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 2, Latency: 50 * time.Microsecond, Jitter: 200 * time.Microsecond, Seed: 7})
+	var got []int
+	s.Go("sender", func() {
+		for i := 0; i < 50; i++ {
+			n.Send(0, 1, Replication, testMsg{i, 32})
+		}
+	})
+	s.Go("receiver", func() {
+		for i := 0; i < 50; i++ {
+			got = append(got, n.Inbox(1).Recv().(testMsg).id)
+		}
+	})
+	s.Run(time.Second)
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("message %d arrived out of order (got id %d); FIFO violated", i, id)
+		}
+	}
+	s.Stop()
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	s := rt.NewSim()
+	// 1 MB/s: a 100 KB message takes 100ms of wire time.
+	n := New(s, Config{Nodes: 2, Latency: 0, Bandwidth: 1 << 20})
+	var last time.Duration
+	s.Go("sender", func() {
+		for i := 0; i < 5; i++ {
+			n.Send(0, 1, Data, testMsg{i, 100 << 10})
+		}
+	})
+	s.Go("receiver", func() {
+		for i := 0; i < 5; i++ {
+			n.Inbox(1).Recv()
+			last = s.Now()
+		}
+	})
+	s.Run(10 * time.Second)
+	// 5 * 100KB at 1MB/s ≈ 488ms serialisation.
+	want := time.Duration(5 * float64(100<<10) / float64(1<<20) * float64(time.Second))
+	if last < want-10*time.Millisecond || last > want+10*time.Millisecond {
+		t.Fatalf("last delivery at %v, want ≈%v (bandwidth pacing)", last, want)
+	}
+	s.Stop()
+}
+
+func TestEgressSharedAcrossDestinations(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 3, Latency: 0, Bandwidth: 1 << 20})
+	var t1, t2 time.Duration
+	s.Go("sender", func() {
+		n.Send(0, 1, Data, testMsg{1, 512 << 10})
+		n.Send(0, 2, Data, testMsg{2, 512 << 10})
+	})
+	s.Go("r1", func() { n.Inbox(1).Recv(); t1 = s.Now() })
+	s.Go("r2", func() { n.Inbox(2).Recv(); t2 = s.Now() })
+	s.Run(10 * time.Second)
+	// Second message waits for the first on the shared NIC: ~0.5s then ~1s.
+	if t1 < 400*time.Millisecond || t2 < 900*time.Millisecond {
+		t.Fatalf("t1=%v t2=%v; egress must be shared per node", t1, t2)
+	}
+	s.Stop()
+}
+
+func TestLocalSendIsImmediate(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 2, Latency: time.Millisecond})
+	var at time.Duration = -1
+	s.Go("p", func() {
+		n.Send(0, 0, Control, testMsg{1, 8})
+		n.Inbox(0).Recv()
+		at = s.Now()
+	})
+	s.Run(time.Second)
+	if at != 0 {
+		t.Fatalf("local delivery at %v, want 0", at)
+	}
+	s.Stop()
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 2, Latency: 10 * time.Microsecond})
+	n.SetDown(1, true)
+	delivered := false
+	s.Go("sender", func() { n.Send(0, 1, Data, testMsg{1, 8}) })
+	s.Go("receiver", func() { n.Inbox(1).Recv(); delivered = true })
+	s.Run(10 * time.Millisecond)
+	if delivered {
+		t.Fatal("message delivered to a down node")
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped=%d, want 1", n.Dropped())
+	}
+	if !n.IsDown(1) {
+		t.Fatal("IsDown")
+	}
+	// Recovery: traffic flows again.
+	n.SetDown(1, false)
+	s.Go("sender2", func() { n.Send(0, 1, Data, testMsg{2, 8}) })
+	s.Run(20 * time.Millisecond)
+	if !delivered {
+		t.Fatal("message not delivered after node recovered")
+	}
+	s.Stop()
+}
+
+func TestByteAccounting(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{Nodes: 2, Latency: time.Microsecond})
+	s.Go("p", func() {
+		n.Send(0, 1, Replication, testMsg{1, 100})
+		n.Send(0, 1, Replication, testMsg{2, 150})
+		n.Send(1, 0, Data, testMsg{3, 50})
+		n.Send(0, 1, Control, testMsg{4, 10})
+	})
+	s.Go("drain1", func() {
+		for i := 0; i < 3; i++ {
+			n.Inbox(1).Recv()
+		}
+	})
+	s.Go("drain0", func() { n.Inbox(0).Recv() })
+	s.Run(time.Second)
+	if n.Bytes(Replication) != 250 || n.Messages(Replication) != 2 {
+		t.Fatalf("replication: %d bytes %d msgs", n.Bytes(Replication), n.Messages(Replication))
+	}
+	if n.Bytes(Data) != 50 || n.Bytes(Control) != 10 {
+		t.Fatalf("data=%d control=%d", n.Bytes(Data), n.Bytes(Control))
+	}
+	if n.TotalBytes() != 310 {
+		t.Fatalf("total=%d", n.TotalBytes())
+	}
+	if n.BytesFrom(0) != 260 || n.BytesFrom(1) != 50 {
+		t.Fatalf("from0=%d from1=%d", n.BytesFrom(0), n.BytesFrom(1))
+	}
+	s.Stop()
+}
+
+func TestRealRuntimeSmoke(t *testing.T) {
+	r := rt.NewReal()
+	n := New(r, Config{Nodes: 2, Latency: time.Millisecond})
+	done := make(chan int, 1)
+	r.Go("receiver", func() { done <- n.Inbox(1).Recv().(testMsg).id })
+	r.Go("sender", func() { n.Send(0, 1, Data, testMsg{42, 64}) })
+	select {
+	case id := <-done:
+		if id != 42 {
+			t.Fatalf("got %d", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered on real runtime")
+	}
+	r.Stop()
+}
+
+// FIFO must survive the combination of jitter and bandwidth pacing —
+// exactly the conditions STAR's operation replication depends on (§5).
+func TestPerLinkFIFOUnderBandwidthAndJitter(t *testing.T) {
+	s := rt.NewSim()
+	n := New(s, Config{
+		Nodes:     2,
+		Latency:   30 * time.Microsecond,
+		Jitter:    500 * time.Microsecond,
+		Bandwidth: 1 << 22, // 4 MB/s: pacing interleaves with jitter
+		Seed:      99,
+	})
+	const msgs = 200
+	var got []int
+	s.Go("sender", func() {
+		for i := 0; i < msgs; i++ {
+			n.Send(0, 1, Replication, testMsg{i, 100 + i%700})
+		}
+	})
+	s.Go("receiver", func() {
+		for i := 0; i < msgs; i++ {
+			got = append(got, n.Inbox(1).Recv().(testMsg).id)
+		}
+	})
+	s.Run(10 * time.Second)
+	if len(got) != msgs {
+		t.Fatalf("delivered %d/%d", len(got), msgs)
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("message %d out of order (id %d)", i, id)
+		}
+	}
+	s.Stop()
+}

@@ -1,0 +1,158 @@
+package storage
+
+import "fmt"
+
+// DB is one node's copy of the database: every table's schema plus the
+// hash partitions this node materialises. A full replica holds every
+// partition; a partial replica holds a subset (paper Fig. 2).
+type DB struct {
+	tables []*Table
+	byName map[string]*Table
+	nparts int
+	holds  []bool
+}
+
+// NewDB creates an empty database with nparts partitions. holds[p] says
+// whether this node materialises partition p; nil means all (full
+// replica).
+func NewDB(nparts int, holds []bool) *DB {
+	if holds == nil {
+		holds = make([]bool, nparts)
+		for i := range holds {
+			holds[i] = true
+		}
+	}
+	if len(holds) != nparts {
+		panic(fmt.Sprintf("storage: holds length %d != nparts %d", len(holds), nparts))
+	}
+	return &DB{byName: make(map[string]*Table), nparts: nparts, holds: append([]bool(nil), holds...)}
+}
+
+// NumPartitions returns the partition count of the database.
+func (db *DB) NumPartitions() int { return db.nparts }
+
+// Holds reports whether this node materialises partition p.
+func (db *DB) Holds(p int) bool { return db.holds[p] }
+
+// SetHolds changes partition residency (used when re-mastering lost
+// partitions onto a full replica during recovery).
+func (db *DB) SetHolds(p int, h bool) {
+	db.holds[p] = h
+	for _, t := range db.tables {
+		if t.replicated {
+			continue
+		}
+		if h && t.parts[p] == nil {
+			t.parts[p] = newPartition()
+		}
+	}
+}
+
+// AddTable registers a table. Replicated tables have one logical
+// partition materialised regardless of holds.
+func (db *DB) AddTable(name string, schema *Schema, replicated bool) *Table {
+	if _, dup := db.byName[name]; dup {
+		panic("storage: duplicate table " + name)
+	}
+	t := &Table{
+		id:         TableID(len(db.tables)),
+		name:       name,
+		schema:     schema,
+		replicated: replicated,
+	}
+	if replicated {
+		t.parts = []*Partition{newPartition()}
+	} else {
+		t.parts = make([]*Partition, db.nparts)
+		for p := 0; p < db.nparts; p++ {
+			if db.holds[p] {
+				t.parts[p] = newPartition()
+			}
+		}
+	}
+	db.tables = append(db.tables, t)
+	db.byName[name] = t
+	return t
+}
+
+// Table returns the table with the given id.
+func (db *DB) Table(id TableID) *Table { return db.tables[int(id)] }
+
+// TableByName returns the named table, or nil.
+func (db *DB) TableByName(name string) *Table { return db.byName[name] }
+
+// NumTables returns the table count.
+func (db *DB) NumTables() int { return len(db.tables) }
+
+// RevertEpoch restores all partitions to their pre-epoch state.
+// Returns the number of reverted records.
+func (db *DB) RevertEpoch(epoch uint64) int {
+	n := 0
+	for _, t := range db.tables {
+		for _, p := range t.parts {
+			if p != nil {
+				n += p.RevertEpoch(epoch)
+			}
+		}
+	}
+	return n
+}
+
+// CommitEpoch discards revert information across all partitions.
+func (db *DB) CommitEpoch() {
+	for _, t := range db.tables {
+		for _, p := range t.parts {
+			if p != nil {
+				p.CommitEpoch()
+			}
+		}
+	}
+}
+
+// PartitionChecksum folds every present record of partition p (across all
+// partitioned tables) into an order-independent checksum. Replicas
+// holding the same partition must agree after a replication fence; tests
+// use this to check consistency.
+func (db *DB) PartitionChecksum(p int) uint64 {
+	var sum uint64
+	for _, t := range db.tables {
+		if t.replicated {
+			continue
+		}
+		part := t.parts[p]
+		if part == nil {
+			continue
+		}
+		tid := uint64(t.id)
+		part.Range(func(key Key, recTID uint64, val []byte) bool {
+			h := fnv64(tid, key, recTID, val)
+			sum += h // addition is order-independent
+			return true
+		})
+	}
+	return sum
+}
+
+func fnv64(tableID uint64, key Key, tid uint64, val []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(tableID)
+	mix(key.Hi)
+	mix(key.Lo)
+	mix(tid)
+	for _, b := range val {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinWait is invoked while spinning on a held record latch. The default
+// yields the OS thread. The simulation runtime replaces it (via the
+// engines' constructors) with a small virtual-time sleep so that a
+// spinning process advances the clock instead of wedging the cooperative
+// scheduler — e.g. when synchronous replication parks a worker that
+// still holds its write latches (§6.1).
+var SpinWait = func() { runtime.Gosched() }
+
+// Record is one row version chain: the current value plus, while an epoch
+// is in flight, the last value committed before that epoch. The prior
+// version implements the paper's epoch revert on failure (§4.5.2: "the
+// database maintains two versions of each record").
+//
+// The TID word doubles as the record latch. Readers take the latch
+// briefly while copying (a deviation from Silo's optimistic retry loop
+// chosen to keep the Go implementation free of data races; semantics are
+// identical because OCC still validates the TID at commit).
+type Record struct {
+	tid  atomic.Uint64
+	data []byte
+
+	// Epoch-revert snapshot, guarded by the record latch.
+	priorTID   uint64
+	priorData  []byte
+	priorValid bool
+	savedEpoch uint64
+}
+
+// NewRecord builds a present record with the given value and TID.
+// The row is copied.
+func NewRecord(tid uint64, row []byte) *Record {
+	r := &Record{data: append([]byte(nil), row...)}
+	r.tid.Store(TIDClean(tid))
+	return r
+}
+
+// NewAbsentRecord builds a tombstone placeholder (used when an insert is
+// being replicated before the base version exists).
+func NewAbsentRecord(tid uint64) *Record {
+	r := &Record{}
+	r.tid.Store(TIDClean(tid) | TIDAbsentBit)
+	return r
+}
+
+// TID returns the current TID word (possibly with lock/absent bits set).
+func (r *Record) TID() uint64 { return r.tid.Load() }
+
+// TryLock attempts to set the lock bit; it fails if already locked.
+func (r *Record) TryLock() bool {
+	for {
+		cur := r.tid.Load()
+		if TIDLocked(cur) {
+			return false
+		}
+		if r.tid.CompareAndSwap(cur, cur|TIDLockBit) {
+			return true
+		}
+	}
+}
+
+// Lock spins until the lock bit is acquired.
+func (r *Record) Lock() {
+	for !r.TryLock() {
+		SpinWait()
+	}
+}
+
+// Unlock clears the lock bit.
+func (r *Record) Unlock() {
+	for {
+		cur := r.tid.Load()
+		if !TIDLocked(cur) {
+			panic("storage: Unlock of unlocked record")
+		}
+		if r.tid.CompareAndSwap(cur, cur&^TIDLockBit) {
+			return
+		}
+	}
+}
+
+// UnlockWithTID installs a new TID word (the caller controls the absent
+// bit; the lock bit is cleared) and releases the latch in one step.
+func (r *Record) UnlockWithTID(tid uint64) {
+	r.tid.Store(tid &^ TIDLockBit)
+}
+
+// ReadStable copies the record's value into buf (grown as needed) and
+// returns the value, its TID, and whether the record is present.
+// It takes the latch briefly.
+func (r *Record) ReadStable(buf []byte) (val []byte, tid uint64, present bool) {
+	r.Lock()
+	cur := r.tid.Load()
+	tid = TIDClean(cur)
+	present = !TIDAbsent(cur)
+	if present {
+		if cap(buf) < len(r.data) {
+			buf = make([]byte, len(r.data))
+		}
+		buf = buf[:len(r.data)]
+		copy(buf, r.data)
+	}
+	r.Unlock()
+	return buf, tid, present
+}
+
+// TryReadStable is ReadStable with bounded latch acquisition: after
+// `attempts` failed TryLocks (with SpinWait between them) it gives up
+// and returns ok=false. Message-router contexts use this so that a
+// record latched by an in-flight transaction cannot wedge the router
+// that must deliver that very transaction's commit.
+func (r *Record) TryReadStable(buf []byte, attempts int) (val []byte, tid uint64, present, ok bool) {
+	for i := 0; i < attempts; i++ {
+		if r.TryLock() {
+			cur := r.tid.Load()
+			tid = TIDClean(cur)
+			present = !TIDAbsent(cur)
+			if present {
+				if cap(buf) < len(r.data) {
+					buf = make([]byte, len(r.data))
+				}
+				buf = buf[:len(r.data)]
+				copy(buf, r.data)
+			}
+			r.Unlock()
+			return buf, tid, present, true
+		}
+		SpinWait()
+	}
+	return nil, 0, false, false
+}
+
+// ValueLocked returns the in-place value; the caller must hold the latch.
+func (r *Record) ValueLocked() []byte { return r.data }
+
+// savePriorLocked snapshots the current version the first time the record
+// is written in the given epoch. Caller holds the latch.
+func (r *Record) savePriorLocked(epoch uint64) (firstTouch bool) {
+	if r.savedEpoch == epoch {
+		return false
+	}
+	cur := r.tid.Load()
+	r.priorTID = TIDClean(cur) | (cur & TIDAbsentBit)
+	if TIDAbsent(cur) {
+		r.priorData = nil
+		r.priorValid = true
+	} else {
+		r.priorData = append(r.priorData[:0], r.data...)
+		r.priorValid = true
+	}
+	r.savedEpoch = epoch
+	return true
+}
+
+// WriteLocked installs a new value and TID while the caller holds the
+// latch. The row is copied. It returns true if this was the record's
+// first write in the epoch (the caller must then register the record in
+// the partition's dirty set for revert).
+func (r *Record) WriteLocked(epoch, newTID uint64, row []byte) (firstTouch bool) {
+	firstTouch = r.savePriorLocked(epoch)
+	if cap(r.data) < len(row) {
+		r.data = make([]byte, len(row))
+	}
+	r.data = r.data[:len(row)]
+	copy(r.data, row)
+	r.tid.Store(TIDClean(newTID) | TIDLockBit) // still locked; caller unlocks
+	return firstTouch
+}
+
+// ApplyOpsLocked applies field ops in place under the latch, bumping the
+// TID. Same firstTouch contract as WriteLocked.
+func (r *Record) ApplyOpsLocked(s *Schema, epoch, newTID uint64, ops []FieldOp) (bool, error) {
+	firstTouch := r.savePriorLocked(epoch)
+	if TIDAbsent(r.tid.Load()) && len(r.data) == 0 {
+		r.data = make([]byte, s.RowSize())
+	}
+	for _, op := range ops {
+		if err := op.Apply(s, r.data); err != nil {
+			return firstTouch, err
+		}
+	}
+	r.tid.Store(TIDClean(newTID) | TIDLockBit)
+	return firstTouch, nil
+}
+
+// DeleteLocked marks the record absent under the latch.
+func (r *Record) DeleteLocked(epoch, newTID uint64) (firstTouch bool) {
+	firstTouch = r.savePriorLocked(epoch)
+	r.tid.Store(TIDClean(newTID) | TIDAbsentBit | TIDLockBit)
+	return firstTouch
+}
+
+// revertLocked restores the pre-epoch version; caller holds the latch.
+// It reports whether the record is absent after the revert (so the
+// partition can drop placeholder inserts).
+func (r *Record) revertLocked(epoch uint64) (absent bool) {
+	if r.savedEpoch != epoch || !r.priorValid {
+		return TIDAbsent(r.tid.Load())
+	}
+	if TIDAbsent(r.priorTID) {
+		r.data = r.data[:0]
+		r.tid.Store(TIDClean(r.priorTID) | TIDAbsentBit | TIDLockBit)
+	} else {
+		r.data = append(r.data[:0], r.priorData...)
+		r.tid.Store(TIDClean(r.priorTID) | TIDLockBit)
+	}
+	r.savedEpoch = 0
+	r.priorValid = false
+	return TIDAbsent(r.priorTID)
+}
+
+// ApplyValueThomas applies a full-row replicated write using the Thomas
+// write rule: the write lands only if its TID is newer than the record's.
+// Returns whether the write was applied.
+func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (applied, firstTouch bool) {
+	r.Lock()
+	cur := TIDClean(r.tid.Load())
+	if TIDClean(tid) <= cur {
+		r.Unlock()
+		return false, false
+	}
+	if absent {
+		firstTouch = r.DeleteLocked(epoch, tid)
+	} else {
+		firstTouch = r.WriteLocked(epoch, tid, row)
+	}
+	r.UnlockWithTID(tid | boolBit(absent))
+	return true, firstTouch
+}
+
+func boolBit(absent bool) uint64 {
+	if absent {
+		return TIDAbsentBit
+	}
+	return 0
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordReadWrite(t *testing.T) {
+	r := NewRecord(MakeTID(1, 1), []byte("hello"))
+	val, tid, present := r.ReadStable(nil)
+	if !present || tid != MakeTID(1, 1) || !bytes.Equal(val, []byte("hello")) {
+		t.Fatalf("read: %q %s %v", val, FormatTID(tid), present)
+	}
+	r.Lock()
+	r.WriteLocked(2, MakeTID(2, 5), []byte("world"))
+	r.UnlockWithTID(MakeTID(2, 5))
+	val, tid, _ = r.ReadStable(val)
+	if !bytes.Equal(val, []byte("world")) || tid != MakeTID(2, 5) {
+		t.Fatalf("after write: %q %s", val, FormatTID(tid))
+	}
+}
+
+func TestRecordLockSemantics(t *testing.T) {
+	r := NewRecord(1<<tidSeqShift, []byte("x"))
+	if !r.TryLock() {
+		t.Fatal("TryLock on unlocked record failed")
+	}
+	if r.TryLock() {
+		t.Fatal("TryLock on locked record succeeded")
+	}
+	r.Unlock()
+	if !r.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	r.Unlock()
+}
+
+func TestRecordUnlockPanicsWhenUnlocked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecord(0, nil).Unlock()
+}
+
+func TestRecordEpochRevert(t *testing.T) {
+	r := NewRecord(MakeTID(1, 3), []byte("committed"))
+	r.Lock()
+	if first := r.WriteLocked(2, MakeTID(2, 1), []byte("uncommitted-1")); !first {
+		t.Fatal("first write in epoch must report firstTouch")
+	}
+	r.UnlockWithTID(MakeTID(2, 1))
+	r.Lock()
+	if first := r.WriteLocked(2, MakeTID(2, 2), []byte("uncommitted-2")); first {
+		t.Fatal("second write in same epoch must not report firstTouch")
+	}
+	r.UnlockWithTID(MakeTID(2, 2))
+
+	r.Lock()
+	r.revertLocked(2)
+	r.Unlock()
+	val, tid, present := r.ReadStable(nil)
+	if !present || !bytes.Equal(val, []byte("committed")) || tid != MakeTID(1, 3) {
+		t.Fatalf("revert: %q %s %v", val, FormatTID(tid), present)
+	}
+}
+
+func TestRecordRevertOfInsert(t *testing.T) {
+	r := NewAbsentRecord(0)
+	r.Lock()
+	r.WriteLocked(5, MakeTID(5, 1), []byte("new"))
+	r.UnlockWithTID(MakeTID(5, 1))
+	r.Lock()
+	if absent := r.revertLocked(5); !absent {
+		t.Fatal("reverting an insert must leave the record absent")
+	}
+	r.Unlock()
+	if _, _, present := r.ReadStable(nil); present {
+		t.Fatal("record should be absent after revert")
+	}
+}
+
+func TestRecordDeleteAndRevert(t *testing.T) {
+	r := NewRecord(MakeTID(1, 1), []byte("v"))
+	r.Lock()
+	r.DeleteLocked(2, MakeTID(2, 9))
+	r.UnlockWithTID(MakeTID(2, 9) | TIDAbsentBit)
+	if _, _, present := r.ReadStable(nil); present {
+		t.Fatal("record should read absent after delete")
+	}
+	r.Lock()
+	r.revertLocked(2)
+	r.Unlock()
+	if val, _, present := r.ReadStable(nil); !present || !bytes.Equal(val, []byte("v")) {
+		t.Fatal("delete not reverted")
+	}
+}
+
+// Property (paper §3/§5): applying value-replication writes in ANY order
+// with the Thomas write rule converges to the value of the largest TID.
+func TestThomasWriteRuleConvergence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		type w struct {
+			tid uint64
+			val []byte
+		}
+		writes := make([]w, 0, n)
+		for i := uint8(0); i < n; i++ {
+			writes = append(writes, w{
+				tid: MakeTID(1, uint64(i)+1),
+				val: []byte{byte(i), byte(i >> 4), 0xAB},
+			})
+		}
+		maxVal := writes[len(writes)-1].val
+		maxTID := writes[len(writes)-1].tid
+		rng.Shuffle(len(writes), func(i, j int) { writes[i], writes[j] = writes[j], writes[i] })
+
+		r := NewAbsentRecord(0)
+		for _, wr := range writes {
+			r.ApplyValueThomas(1, wr.tid, wr.val, false)
+		}
+		val, tid, present := r.ReadStable(nil)
+		return present && tid == maxTID && bytes.Equal(val, maxVal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThomasWriteRuleRejectsStale(t *testing.T) {
+	r := NewRecord(MakeTID(3, 10), []byte("new"))
+	applied, _ := r.ApplyValueThomas(3, MakeTID(3, 9), []byte("old"), false)
+	if applied {
+		t.Fatal("stale write must be rejected")
+	}
+	applied, _ = r.ApplyValueThomas(3, MakeTID(3, 10), []byte("same"), false)
+	if applied {
+		t.Fatal("equal-TID write must be rejected")
+	}
+	if applied, _ = r.ApplyValueThomas(3, MakeTID(3, 11), []byte("newer"), false); !applied {
+		t.Fatal("newer write must apply")
+	}
+}
+
+func TestRecordConcurrentReadersWriters(t *testing.T) {
+	// Race-detector exercise: concurrent latched reads and writes.
+	r := NewRecord(MakeTID(1, 1), bytes.Repeat([]byte{1}, 64))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					val, _, _ := r.ReadStable(buf)
+					buf = val
+					// A stable read must never see a torn row: all bytes equal.
+					for _, b := range val[1:] {
+						if b != val[0] {
+							t.Error("torn read")
+							return
+						}
+					}
+				} else {
+					row := bytes.Repeat([]byte{byte(i)}, 64)
+					r.Lock()
+					r.WriteLocked(2, MakeTID(2, uint64(i+1)), row)
+					r.UnlockWithTID(MakeTID(2, uint64(i+1)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestApplyOpsLocked(t *testing.T) {
+	s := testSchema()
+	row := s.NewRow()
+	s.SetFloat64(row, 1, 100)
+	r := NewRecord(MakeTID(1, 1), row)
+	r.Lock()
+	first, err := r.ApplyOpsLocked(s, 2, MakeTID(2, 1), []FieldOp{AddFloat64Op(1, -30)})
+	r.UnlockWithTID(MakeTID(2, 1))
+	if err != nil || !first {
+		t.Fatalf("err=%v first=%v", err, first)
+	}
+	val, _, _ := r.ReadStable(nil)
+	if got := s.GetFloat64(val, 1); got != 70 {
+		t.Fatalf("balance=%v", got)
+	}
+}

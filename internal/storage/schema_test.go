@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Field{Name: "id", Type: FieldUint64},
+		Field{Name: "balance", Type: FieldFloat64},
+		Field{Name: "count", Type: FieldInt64},
+		Field{Name: "data", Type: FieldBytes, Cap: 16},
+	)
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema()
+	if s.RowSize() != 8+8+8+2+16 {
+		t.Fatalf("row size %d", s.RowSize())
+	}
+	if s.NumFields() != 4 || s.FieldIndex("data") != 3 || s.FieldIndex("nope") != -1 {
+		t.Fatal("field lookup broken")
+	}
+}
+
+func TestSchemaAccessorsRoundTrip(t *testing.T) {
+	s := testSchema()
+	f := func(id uint64, bal float64, cnt int64, data []byte) bool {
+		row := s.NewRow()
+		s.SetUint64(row, 0, id)
+		s.SetFloat64(row, 1, bal)
+		s.SetInt64(row, 2, cnt)
+		s.SetBytes(row, 3, data)
+		want := data
+		if len(want) > 16 {
+			want = want[:16]
+		}
+		return s.GetUint64(row, 0) == id &&
+			(s.GetFloat64(row, 1) == bal || bal != bal) && // NaN-safe
+			s.GetInt64(row, 2) == cnt &&
+			bytes.Equal(s.GetBytes(row, 3), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaStringTruncation(t *testing.T) {
+	s := testSchema()
+	row := s.NewRow()
+	s.SetString(row, 3, "0123456789abcdefOVERFLOW")
+	if got := s.GetString(row, 3); got != "0123456789abcdef" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSchemaPanicsOnBadField(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for FieldBytes without Cap")
+		}
+	}()
+	NewSchema(Field{Name: "bad", Type: FieldBytes})
+}
+
+func TestFieldOpsApply(t *testing.T) {
+	s := testSchema()
+	row := s.NewRow()
+	s.SetFloat64(row, 1, 10)
+	s.SetInt64(row, 2, 5)
+	s.SetString(row, 3, "world")
+
+	ops := []FieldOp{
+		AddFloat64Op(1, 2.5),
+		AddInt64Op(2, -3),
+		PrependOp(3, []byte("hello ")),
+	}
+	for _, op := range ops {
+		if err := op.Apply(s, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.GetFloat64(row, 1) != 12.5 || s.GetInt64(row, 2) != 2 {
+		t.Fatalf("numeric ops: %v %v", s.GetFloat64(row, 1), s.GetInt64(row, 2))
+	}
+	if got := s.GetString(row, 3); got != "hello world" {
+		t.Fatalf("prepend: %q", got)
+	}
+	// Prepend truncates at capacity like TPC-C's C_DATA.
+	if err := PrependOp(3, bytes.Repeat([]byte("x"), 20)).Apply(s, row); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetString(row, 3); got != "xxxxxxxxxxxxxxxx" {
+		t.Fatalf("truncated prepend: %q", got)
+	}
+}
+
+func TestSetFieldOpCarriesRawEncoding(t *testing.T) {
+	s := testSchema()
+	src := s.NewRow()
+	s.SetString(src, 3, "abc")
+	op := SetFieldOp(s, src, 3)
+	dst := s.NewRow()
+	s.SetString(dst, 3, "zzzzzzzz")
+	if err := op.Apply(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetString(dst, 3); got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	if op.Size() >= s.RowSize() {
+		t.Fatalf("field op (%dB) should be smaller than the row (%dB)", op.Size(), s.RowSize())
+	}
+}
+
+func TestSetRowOp(t *testing.T) {
+	s := testSchema()
+	src := s.NewRow()
+	s.SetUint64(src, 0, 42)
+	op := SetRowOp(src)
+	dst := s.NewRow()
+	if err := op.Apply(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetUint64(dst, 0) != 42 {
+		t.Fatal("row not copied")
+	}
+	if err := op.Apply(s, make([]byte, 3)); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+// Property: applying the ops a single-writer partition emits, in order,
+// yields the same row as the direct writes — the correctness condition
+// for operation replication (paper §5, right side of Fig. 8).
+func TestOpReplicationEquivalence(t *testing.T) {
+	s := testSchema()
+	f := func(deltas []int8, strs [][]byte) bool {
+		direct := s.NewRow()
+		replica := s.NewRow()
+		var stream []FieldOp
+		for _, d := range deltas {
+			AddInt64Op(2, int64(d)).Apply(s, direct)
+			stream = append(stream, AddInt64Op(2, int64(d)))
+		}
+		for _, str := range strs {
+			PrependOp(3, str).Apply(s, direct)
+			stream = append(stream, PrependOp(3, str))
+		}
+		for _, op := range stream {
+			if err := op.Apply(s, replica); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(direct, replica)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Key is a fixed-width composite key. Workloads pack their key components
+// into the two words (helpers live with each workload's schema).
+type Key struct{ Hi, Lo uint64 }
+
+// K1 builds a single-component key.
+func K1(a uint64) Key { return Key{Lo: a} }
+
+// K2 builds a two-component key.
+func K2(a, b uint64) Key { return Key{Hi: a, Lo: b} }
+
+// KeySize is the wire size of a Key.
+const KeySize = 16
+
+// Partition is one hash-partition of a table. During the partitioned
+// phase a partition has exactly one writer; during the single-master
+// phase any master worker may touch it, so map mutations take mu.
+type Partition struct {
+	mu   sync.RWMutex
+	recs map[Key]*Record
+
+	// dirty tracks records first-written in the current epoch, and the
+	// keys inserted in it, for O(writes) epoch revert.
+	dirtyMu   sync.Mutex
+	dirty     []*Record
+	dirtyKeys []Key
+}
+
+func newPartition() *Partition {
+	return &Partition{recs: make(map[Key]*Record)}
+}
+
+// Get returns the record for key, or nil.
+func (p *Partition) Get(key Key) *Record {
+	p.mu.RLock()
+	r := p.recs[key]
+	p.mu.RUnlock()
+	return r
+}
+
+// GetOrCreate returns the record for key, creating an absent placeholder
+// when missing (used by replication appliers and inserts).
+func (p *Partition) GetOrCreate(key Key) *Record {
+	if r := p.Get(key); r != nil {
+		return r
+	}
+	p.mu.Lock()
+	r := p.recs[key]
+	if r == nil {
+		r = NewAbsentRecord(0)
+		p.recs[key] = r
+		p.mu.Unlock()
+		p.dirtyMu.Lock()
+		p.dirtyKeys = append(p.dirtyKeys, key)
+		p.dirtyMu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	return r
+}
+
+// MarkDirty registers a record whose pre-epoch version was just saved.
+func (p *Partition) MarkDirty(r *Record) {
+	p.dirtyMu.Lock()
+	p.dirty = append(p.dirty, r)
+	p.dirtyMu.Unlock()
+}
+
+// Len returns the number of present records.
+func (p *Partition) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, r := range p.recs {
+		if !TIDAbsent(r.TID()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every present record with a stable copy of its
+// value. fn must not call back into the partition. Used by checkpointing
+// and consistency checks; the iteration is fuzzy (not a snapshot).
+func (p *Partition) Range(fn func(key Key, tid uint64, val []byte) bool) {
+	p.mu.RLock()
+	keys := make([]Key, 0, len(p.recs))
+	for k := range p.recs {
+		keys = append(keys, k)
+	}
+	p.mu.RUnlock()
+	var buf []byte
+	for _, k := range keys {
+		r := p.Get(k)
+		if r == nil {
+			continue
+		}
+		val, tid, present := r.ReadStable(buf)
+		buf = val
+		if !present {
+			continue
+		}
+		if !fn(k, tid, val) {
+			return
+		}
+	}
+}
+
+// RevertEpoch restores every record written in the epoch to its prior
+// version and removes records inserted in it (paper Fig. 6: "Revert to
+// Epoch 1"). Returns the number of reverted records.
+func (p *Partition) RevertEpoch(epoch uint64) int {
+	p.dirtyMu.Lock()
+	dirty := p.dirty
+	inserted := p.dirtyKeys
+	p.dirty = nil
+	p.dirtyKeys = nil
+	p.dirtyMu.Unlock()
+
+	n := 0
+	for _, r := range dirty {
+		r.Lock()
+		r.revertLocked(epoch)
+		r.Unlock()
+		n++
+	}
+	// Placeholders created this epoch that reverted to absent are removed.
+	p.mu.Lock()
+	for _, k := range inserted {
+		if r := p.recs[k]; r != nil && TIDAbsent(r.TID()) {
+			delete(p.recs, k)
+		}
+	}
+	p.mu.Unlock()
+	return n
+}
+
+// CommitEpoch discards the revert information collected for the epoch.
+func (p *Partition) CommitEpoch() {
+	p.dirtyMu.Lock()
+	p.dirty = nil
+	p.dirtyKeys = nil
+	p.dirtyMu.Unlock()
+}
+
+// TableID identifies a table within a database.
+type TableID uint8
+
+// Table is a named, partitioned collection of records with one fixed
+// schema, implemented as per-partition hash tables (paper §3: "Tables in
+// STAR are implemented as collections of hash tables").
+type Table struct {
+	id     TableID
+	name   string
+	schema *Schema
+	parts  []*Partition
+
+	// replicated marks read-mostly tables materialised on every node in
+	// a single logical partition (TPC-C's ITEM table).
+	replicated bool
+
+	indexes []*SecondaryIndex
+}
+
+// ID returns the table's id.
+func (t *Table) ID() TableID { return t.id }
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Replicated reports whether the table is fully replicated (unpartitioned).
+func (t *Table) Replicated() bool { return t.replicated }
+
+// NumPartitions returns the partition count (1 for replicated tables).
+func (t *Table) NumPartitions() int { return len(t.parts) }
+
+// Partition returns partition p, or nil when this node does not hold it.
+func (t *Table) Partition(p int) *Partition {
+	if t.replicated {
+		return t.parts[0]
+	}
+	return t.parts[p]
+}
+
+// Get returns the record at (partition, key), or nil. It panics if the
+// node does not hold the partition — routing bugs should be loud.
+func (t *Table) Get(part int, key Key) *Record {
+	p := t.Partition(part)
+	if p == nil {
+		panic(fmt.Sprintf("storage: table %s: partition %d not held by this node", t.name, part))
+	}
+	return p.Get(key)
+}
+
+// Insert creates a record at (partition, key). It returns the record and
+// whether a *present* record already existed (callers treat that as a
+// uniqueness violation).
+func (t *Table) Insert(part int, key Key, epoch, tid uint64, row []byte) (*Record, bool) {
+	p := t.Partition(part)
+	r := p.GetOrCreate(key)
+	r.Lock()
+	if !TIDAbsent(r.tid.Load()) {
+		r.Unlock()
+		return r, false
+	}
+	if r.WriteLocked(epoch, tid, row) {
+		p.MarkDirty(r)
+	}
+	r.UnlockWithTID(TIDClean(tid))
+	return r, true
+}
+
+// SecondaryIndex maps an indexed byte value to the primary keys holding
+// it. STAR's tables may carry zero or more of these (§3). The index is
+// maintained explicitly by loaders/transactions (our workloads never
+// update indexed fields).
+type SecondaryIndex struct {
+	name string
+	mu   sync.RWMutex
+	m    map[string][]Key
+}
+
+// AddIndex attaches a named secondary index to the table.
+func (t *Table) AddIndex(name string) *SecondaryIndex {
+	idx := &SecondaryIndex{name: name, m: make(map[string][]Key)}
+	t.indexes = append(t.indexes, idx)
+	return idx
+}
+
+// Index returns the named index, or nil.
+func (t *Table) Index(name string) *SecondaryIndex {
+	for _, idx := range t.indexes {
+		if idx.name == name {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Put adds key under the index value.
+func (ix *SecondaryIndex) Put(val []byte, key Key) {
+	ix.mu.Lock()
+	ix.m[string(val)] = append(ix.m[string(val)], key)
+	ix.mu.Unlock()
+}
+
+// Lookup returns the keys stored under val (shared slice; do not mutate).
+func (ix *SecondaryIndex) Lookup(val []byte) []Key {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.m[string(val)]
+}

@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTIDRoundTrip(t *testing.T) {
+	f := func(epoch, seq uint32) bool {
+		e := uint64(epoch) & (1<<30 - 1)
+		s := uint64(seq)
+		tid := MakeTID(e, s)
+		return TIDEpoch(tid) == e && TIDSeq(tid) == s &&
+			!TIDLocked(tid) && !TIDAbsent(tid) && TIDClean(tid) == tid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIDOrderingMatchesEpochSeq(t *testing.T) {
+	// Within an epoch, larger sequence => larger TID; across epochs,
+	// larger epoch always wins. This total order is what makes the
+	// Thomas write rule equivalent to serial order.
+	f := func(e1, e2 uint16, s1, s2 uint32) bool {
+		t1 := MakeTID(uint64(e1), uint64(s1))
+		t2 := MakeTID(uint64(e2), uint64(s2))
+		if e1 != e2 {
+			return (t1 < t2) == (e1 < e2)
+		}
+		return (t1 < t2) == (s1 < s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIDBits(t *testing.T) {
+	tid := MakeTID(7, 9)
+	if got := tid | TIDLockBit; !TIDLocked(got) || TIDEpoch(got) != 7 || TIDSeq(got) != 9 {
+		t.Fatalf("lock bit broke fields: %s", FormatTID(got))
+	}
+	if got := tid | TIDAbsentBit; !TIDAbsent(got) || TIDClean(got) != tid {
+		t.Fatalf("absent bit handling: %s", FormatTID(got))
+	}
+	if FormatTID(tid|TIDLockBit|TIDAbsentBit) != "e7.s9+L+A" {
+		t.Fatalf("FormatTID: %s", FormatTID(tid|TIDLockBit|TIDAbsentBit))
+	}
+}

@@ -1,0 +1,198 @@
+// Package txn defines the stored-procedure programming model shared by
+// the STAR engine and every baseline engine: transactions are pre-defined
+// procedures with declared access footprints (as in H-Store, Silo and
+// Calvin), executed against a Ctx supplied by the engine.
+package txn
+
+import (
+	"errors"
+	"sort"
+
+	"star/internal/storage"
+)
+
+// ErrUserAbort is returned by a procedure that aborts for application
+// reasons (e.g. TPC-C NewOrder with an invalid item id). Engines do not
+// retry user aborts.
+var ErrUserAbort = errors.New("txn: aborted by application")
+
+// ErrConflict is used by engine Ctx implementations to signal a
+// concurrency-control abort (lock failure, failed validation, remote
+// timeout). Engines retry conflicted transactions.
+var ErrConflict = errors.New("txn: concurrency conflict")
+
+// Access declares one element of a transaction's footprint.
+type Access struct {
+	Table storage.TableID
+	Part  int
+	Key   storage.Key
+	Write bool
+	// LockOnly marks a synthetic lock name (insert intents for
+	// deterministic engines); no record is read or validated for it.
+	LockOnly bool
+}
+
+// Procedure is one transaction instance: parameters plus logic.
+type Procedure interface {
+	// Name identifies the transaction type, e.g. "tpcc.payment".
+	Name() string
+	// Accesses returns the declared footprint. Engines that do not need
+	// a-priori sets (OCC) may ignore it; deterministic engines (Calvin)
+	// lock exactly this set before running.
+	Accesses() []Access
+	// Run executes against ctx. Returning ErrUserAbort rolls back.
+	Run(ctx Ctx) error
+}
+
+// Ctx is the data access interface engines hand to procedures.
+type Ctx interface {
+	// Read returns a stable copy of a row; ok is false if the record is
+	// absent or the engine has already decided to abort (procedures
+	// should then return an error promptly).
+	Read(t storage.TableID, part int, key storage.Key) (row []byte, ok bool)
+	// Write buffers field mutations for commit.
+	Write(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp)
+	// Insert buffers a new row for commit.
+	Insert(t storage.TableID, part int, key storage.Key, row []byte)
+}
+
+// Request wraps a generated procedure with its bookkeeping.
+type Request struct {
+	Proc Procedure
+	// Home is the partition the request is routed to (its master node
+	// executes it in partitioned-phase systems).
+	Home int
+	// Parts is the set of partitions the footprint touches.
+	Parts []int
+	// Cross reports len(Parts) > 1.
+	Cross bool
+	// GenAt is the (virtual) time the client issued the request;
+	// latency is measured from here to result release.
+	GenAt int64
+	// Retries counts concurrency-conflict re-executions.
+	Retries int
+}
+
+// NewRequest computes routing metadata from the procedure's footprint.
+func NewRequest(p Procedure, genAt int64) *Request {
+	accs := p.Accesses()
+	seen := make(map[int]struct{}, 4)
+	parts := make([]int, 0, 4)
+	for _, a := range accs {
+		if _, dup := seen[a.Part]; !dup {
+			seen[a.Part] = struct{}{}
+			parts = append(parts, a.Part)
+		}
+	}
+	home := 0
+	if len(parts) > 0 {
+		home = parts[0]
+	}
+	return &Request{Proc: p, Home: home, Parts: parts, Cross: len(parts) > 1, GenAt: genAt}
+}
+
+// ReadEntry is one validated read.
+type ReadEntry struct {
+	Table storage.TableID
+	Part  int
+	Key   storage.Key
+	Rec   *storage.Record
+	TID   uint64
+}
+
+// WriteEntry is one buffered write (update via ops, or insert via Row).
+type WriteEntry struct {
+	Table  storage.TableID
+	Part   int
+	Key    storage.Key
+	Rec    *storage.Record // resolved at commit when nil (inserts, remote)
+	Ops    []storage.FieldOp
+	Insert bool
+	Row    []byte
+}
+
+// RWSet accumulates a transaction's reads and writes.
+type RWSet struct {
+	Reads  []ReadEntry
+	Writes []WriteEntry
+}
+
+// Reset clears the set for reuse.
+func (s *RWSet) Reset() {
+	s.Reads = s.Reads[:0]
+	s.Writes = s.Writes[:0]
+}
+
+// AddRead records a validated read.
+func (s *RWSet) AddRead(t storage.TableID, part int, key storage.Key, rec *storage.Record, tid uint64) {
+	s.Reads = append(s.Reads, ReadEntry{Table: t, Part: part, Key: key, Rec: rec, TID: tid})
+}
+
+// AddWrite merges ops into an existing entry for the same record or
+// appends a new one.
+func (s *RWSet) AddWrite(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
+	for i := range s.Writes {
+		w := &s.Writes[i]
+		if w.Table == t && w.Part == part && w.Key == key && !w.Insert {
+			w.Ops = append(w.Ops, ops...)
+			return
+		}
+	}
+	s.Writes = append(s.Writes, WriteEntry{Table: t, Part: part, Key: key, Ops: ops})
+}
+
+// AddInsert records a new-row write.
+func (s *RWSet) AddInsert(t storage.TableID, part int, key storage.Key, row []byte) {
+	s.Writes = append(s.Writes, WriteEntry{
+		Table: t, Part: part, Key: key, Insert: true,
+		Row: append([]byte(nil), row...),
+	})
+}
+
+// FindWrite returns the pending write for a key, or nil.
+func (s *RWSet) FindWrite(t storage.TableID, part int, key storage.Key) *WriteEntry {
+	for i := range s.Writes {
+		w := &s.Writes[i]
+		if w.Table == t && w.Part == part && w.Key == key {
+			return w
+		}
+	}
+	return nil
+}
+
+// SortWrites orders the write set globally (table, partition, key) —
+// the deadlock-free lock order used at commit (§4.2).
+func (s *RWSet) SortWrites() {
+	sort.Slice(s.Writes, func(i, j int) bool {
+		a, b := &s.Writes[i], &s.Writes[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		if a.Key.Hi != b.Key.Hi {
+			return a.Key.Hi < b.Key.Hi
+		}
+		return a.Key.Lo < b.Key.Lo
+	})
+}
+
+// MaxReadTID returns the largest clean TID across reads and resolved
+// write records — inputs to Silo TID rule (a).
+func (s *RWSet) MaxReadTID() uint64 {
+	var m uint64
+	for i := range s.Reads {
+		if t := storage.TIDClean(s.Reads[i].TID); t > m {
+			m = t
+		}
+	}
+	for i := range s.Writes {
+		if r := s.Writes[i].Rec; r != nil {
+			if t := storage.TIDClean(r.TID()); t > m {
+				m = t
+			}
+		}
+	}
+	return m
+}

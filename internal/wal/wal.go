@@ -1,0 +1,358 @@
+// Package wal implements STAR's durability layer (§4.5.1): per-worker
+// value logging (each entry is a single whole-record write tagged with
+// its TID, so logs replay in any order under the Thomas write rule),
+// epoch markers written at every replication fence (the group-commit
+// boundary), fuzzy checkpoints that do not freeze the database, and
+// recovery that corrects an inconsistent checkpoint by replaying logs.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"star/internal/storage"
+)
+
+// Record kinds on disk.
+const (
+	kindWrite     = 1
+	kindEpochMark = 2
+)
+
+// Entry is one durable record: a whole-row write or an epoch marker.
+type Entry struct {
+	Kind   uint8
+	Table  storage.TableID
+	Part   int32
+	Key    storage.Key
+	TID    uint64
+	Absent bool
+	Row    []byte
+	Epoch  uint64 // for epoch marks
+}
+
+// Logger frames entries onto a writer with length+CRC headers.
+// One logger per worker thread, as in the paper.
+type Logger struct {
+	w     *bufio.Writer
+	f     *os.File // nil when backed by a plain writer
+	bytes int64
+	buf   []byte
+}
+
+// NewLogger wraps any writer (benchmarks use counting sinks).
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Create opens a log file for appending.
+func Create(path string) (*Logger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLogger(f)
+	l.f = f
+	return l, nil
+}
+
+// Bytes returns the total payload bytes appended so far.
+func (l *Logger) Bytes() int64 { return l.bytes }
+
+func (l *Logger) append(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.bytes += int64(len(hdr) + len(payload))
+	return nil
+}
+
+func encodeWrite(buf []byte, table storage.TableID, part int32, key storage.Key, tid uint64, absent bool, row []byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, kindWrite, byte(table))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(part))
+	buf = binary.LittleEndian.AppendUint64(buf, key.Hi)
+	buf = binary.LittleEndian.AppendUint64(buf, key.Lo)
+	buf = binary.LittleEndian.AppendUint64(buf, tid)
+	if absent {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(row)))
+	buf = append(buf, row...)
+	return buf
+}
+
+// AppendWrite logs one whole-record write.
+func (l *Logger) AppendWrite(table storage.TableID, part int32, key storage.Key, tid uint64, absent bool, row []byte) error {
+	l.buf = encodeWrite(l.buf, table, part, key, tid, absent, row)
+	return l.append(l.buf)
+}
+
+// AppendEpochMark logs a group-commit boundary: every entry of epoch e is
+// durable once the mark for e is.
+func (l *Logger) AppendEpochMark(epoch uint64) error {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, kindEpochMark)
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, epoch)
+	return l.append(l.buf)
+}
+
+// Flush drains buffers; when sync is true and the logger is file-backed
+// it also fsyncs (the fence flush, §4.5.1).
+func (l *Logger) Flush(sync bool) error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if sync && l.f != nil {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file, if any.
+func (l *Logger) Close() error {
+	if err := l.Flush(true); err != nil {
+		return err
+	}
+	if l.f != nil {
+		return l.f.Close()
+	}
+	return nil
+}
+
+// ---- reading ----
+
+// Reader iterates a log stream, stopping cleanly at a torn tail.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps a reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
+
+// Next returns the next entry. It returns io.EOF at a clean end and also
+// at a torn/corrupt tail (the damaged suffix is ignored, as recovery
+// treats unsynced bytes as never written).
+func (r *Reader) Next() (*Entry, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return nil, io.EOF
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n > 1<<20 {
+		return nil, io.EOF // implausible length: torn tail
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, io.EOF
+	}
+	if crc32.ChecksumIEEE(r.buf) != crc {
+		return nil, io.EOF
+	}
+	return decode(r.buf)
+}
+
+func decode(b []byte) (*Entry, error) {
+	if len(b) < 1 {
+		return nil, errors.New("wal: empty payload")
+	}
+	switch b[0] {
+	case kindEpochMark:
+		if len(b) != 9 {
+			return nil, errors.New("wal: bad epoch mark")
+		}
+		return &Entry{Kind: kindEpochMark, Epoch: binary.LittleEndian.Uint64(b[1:])}, nil
+	case kindWrite:
+		if len(b) < 2+4+16+8+1+2 {
+			return nil, errors.New("wal: short write entry")
+		}
+		e := &Entry{Kind: kindWrite, Table: storage.TableID(b[1])}
+		off := 2
+		e.Part = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.Key.Hi = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		e.Key.Lo = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		e.TID = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		e.Absent = b[off] == 1
+		off++
+		rl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b) != off+rl {
+			return nil, fmt.Errorf("wal: row length mismatch")
+		}
+		e.Row = append([]byte(nil), b[off:]...)
+		return e, nil
+	default:
+		return nil, fmt.Errorf("wal: unknown kind %d", b[0])
+	}
+}
+
+// ---- checkpointing ----
+
+// WriteCheckpoint scans the database fuzzily (no freeze, §4.5.1) and
+// writes every present record plus a starting epoch header. Returns
+// bytes written.
+func WriteCheckpoint(db *storage.DB, path string, epochStart uint64) (int64, error) {
+	l, err := Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.AppendEpochMark(epochStart); err != nil {
+		return 0, err
+	}
+	for ti := 0; ti < db.NumTables(); ti++ {
+		tbl := db.Table(storage.TableID(ti))
+		nparts := db.NumPartitions()
+		if tbl.Replicated() {
+			nparts = 1
+		}
+		for p := 0; p < nparts; p++ {
+			if !tbl.Replicated() && !db.Holds(p) {
+				continue
+			}
+			part := tbl.Partition(p)
+			if part == nil {
+				continue
+			}
+			var ferr error
+			part.Range(func(key storage.Key, tid uint64, val []byte) bool {
+				ferr = l.AppendWrite(tbl.ID(), int32(p), key, tid, false, val)
+				return ferr == nil
+			})
+			if ferr != nil {
+				return l.Bytes(), ferr
+			}
+		}
+	}
+	n := l.Bytes()
+	return n, l.Close()
+}
+
+// CheckpointEpoch reads the starting-epoch header of a checkpoint.
+func CheckpointEpoch(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	e, err := NewReader(f).Next()
+	if err != nil || e.Kind != kindEpochMark {
+		return 0, errors.New("wal: checkpoint missing epoch header")
+	}
+	return e.Epoch, nil
+}
+
+// ---- recovery ----
+
+// MaxDurableEpoch scans log files for the largest epoch mark: the last
+// group commit known durable.
+func MaxDurableEpoch(paths []string) (uint64, error) {
+	var max uint64
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return 0, err
+		}
+		r := NewReader(f)
+		for {
+			e, err := r.Next()
+			if err != nil {
+				break
+			}
+			if e.Kind == kindEpochMark && e.Epoch > max {
+				max = e.Epoch
+			}
+		}
+		f.Close()
+	}
+	return max, nil
+}
+
+// Recover rebuilds db from a checkpoint (optional, "" to skip) plus log
+// files, applying writes with the Thomas write rule and discarding
+// entries newer than the last durable epoch (they were never group-
+// committed). Returns the recovered epoch and the number of applied
+// writes.
+func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, applied int, err error) {
+	durable, err := MaxDurableEpoch(logs)
+	if err != nil {
+		return 0, 0, err
+	}
+	apply := func(e *Entry) error {
+		if e.Kind != kindWrite {
+			return nil
+		}
+		if storage.TIDEpoch(e.TID) > durable && durable > 0 {
+			return nil // beyond the last group commit: discard
+		}
+		tbl := db.Table(e.Table)
+		part := tbl.Partition(int(e.Part))
+		if part == nil {
+			return nil // not held here
+		}
+		rec := part.GetOrCreate(e.Key)
+		if ok, _ := rec.ApplyValueThomas(storage.TIDEpoch(e.TID), e.TID, e.Row, e.Absent); ok {
+			applied++
+		}
+		return nil
+	}
+	if checkpoint != "" {
+		f, err := os.Open(checkpoint)
+		if err != nil {
+			return 0, 0, err
+		}
+		r := NewReader(f)
+		for {
+			e, rerr := r.Next()
+			if rerr != nil {
+				break
+			}
+			if err := apply(e); err != nil {
+				f.Close()
+				return 0, 0, err
+			}
+		}
+		f.Close()
+	}
+	for _, p := range logs {
+		f, err := os.Open(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		r := NewReader(f)
+		for {
+			e, rerr := r.Next()
+			if rerr != nil {
+				break
+			}
+			if err := apply(e); err != nil {
+				f.Close()
+				return 0, 0, err
+			}
+		}
+		f.Close()
+	}
+	db.CommitEpoch()
+	return durable, applied, nil
+}

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"star/internal/storage"
+)
+
+func schema() *storage.Schema {
+	return storage.NewSchema(storage.Field{Name: "v", Type: storage.FieldInt64})
+}
+
+func newDB(vals map[uint64]int64, epoch uint64) *storage.DB {
+	db := storage.NewDB(2, nil)
+	tbl := db.AddTable("t", schema(), false)
+	s := tbl.Schema()
+	seq := uint64(1)
+	for k, v := range vals {
+		row := s.NewRow()
+		s.SetInt64(row, 0, v)
+		tbl.Insert(int(k%2), storage.K1(k), epoch, storage.MakeTID(epoch, seq), row)
+		seq++
+	}
+	return db
+}
+
+func dbValue(db *storage.DB, k uint64) (int64, bool) {
+	rec := db.Table(0).Get(int(k%2), storage.K1(k))
+	if rec == nil {
+		return 0, false
+	}
+	val, _, present := rec.ReadStable(nil)
+	if !present {
+		return 0, false
+	}
+	return schema().GetInt64(val, 0), true
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w0.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := schema().NewRow()
+	schema().SetInt64(row, 0, 42)
+	if err := l.AppendWrite(0, 1, storage.K1(7), storage.MakeTID(2, 3), false, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEpochMark(2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Bytes() == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := os.Open(path)
+	defer f.Close()
+	r := NewReader(f)
+	e1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Kind != kindWrite || e1.Key != storage.K1(7) || e1.TID != storage.MakeTID(2, 3) ||
+		!bytes.Equal(e1.Row, row) || e1.Part != 1 {
+		t.Fatalf("entry mismatch: %+v", e1)
+	}
+	e2, err := r.Next()
+	if err != nil || e2.Kind != kindEpochMark || e2.Epoch != 2 {
+		t.Fatalf("epoch mark: %+v err=%v", e2, err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("expected EOF")
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.log")
+	l, _ := Create(path)
+	row := schema().NewRow()
+	l.AppendWrite(0, 0, storage.K1(1), storage.MakeTID(1, 1), false, row)
+	l.AppendEpochMark(1)
+	l.Close()
+	// Append garbage simulating a torn write at crash.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{0xde, 0xad, 0xbe})
+	f.Close()
+
+	in, _ := os.Open(path)
+	defer in.Close()
+	r := NewReader(in)
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d entries, want 2 (garbage tail ignored)", n)
+	}
+}
+
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.log")
+	l, _ := Create(path)
+	row := schema().NewRow()
+	for i := uint64(1); i <= 5; i++ {
+		l.AppendWrite(0, 0, storage.K1(i), storage.MakeTID(1, i), false, row)
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[20] ^= 0xFF // flip a byte inside the first entry's payload
+	os.WriteFile(path, data, 0o644)
+
+	in, _ := os.Open(path)
+	defer in.Close()
+	r := NewReader(in)
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("CRC must reject corrupt entry; read %d", n)
+	}
+}
+
+func TestRecoverFromLogsOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	l, _ := Create(path)
+	s := schema()
+
+	write := func(k uint64, v int64, epoch, seq uint64) {
+		row := s.NewRow()
+		s.SetInt64(row, 0, v)
+		l.AppendWrite(0, int32(k%2), storage.K1(k), storage.MakeTID(epoch, seq), false, row)
+	}
+	write(1, 10, 2, 1)
+	write(2, 20, 2, 2)
+	l.AppendEpochMark(2)
+	write(1, 99, 3, 1) // epoch 3 never committed (no mark): must be discarded
+	l.Close()
+
+	db := newDB(nil, 1)
+	epoch, applied, err := Recover(db, "", []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("recovered epoch %d, want 2", epoch)
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d, want 2", applied)
+	}
+	if v, ok := dbValue(db, 1); !ok || v != 10 {
+		t.Fatalf("k1=%d,%v; uncommitted epoch-3 write must not surface", v, ok)
+	}
+	if v, _ := dbValue(db, 2); v != 20 {
+		t.Fatalf("k2=%d", v)
+	}
+}
+
+func TestCheckpointPlusLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(map[uint64]int64{1: 100, 2: 200, 3: 300}, 2)
+
+	ckpt := filepath.Join(dir, "ckpt")
+	if _, err := WriteCheckpoint(db, ckpt, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := CheckpointEpoch(ckpt); err != nil || e != 2 {
+		t.Fatalf("checkpoint epoch %d err=%v", e, err)
+	}
+
+	// Post-checkpoint activity in epoch 3, committed.
+	logPath := filepath.Join(dir, "w.log")
+	l, _ := Create(logPath)
+	s := schema()
+	row := s.NewRow()
+	s.SetInt64(row, 0, 111)
+	l.AppendWrite(0, 1, storage.K1(1), storage.MakeTID(3, 1), false, row)
+	l.AppendEpochMark(3)
+	l.Close()
+
+	// Fresh node recovers checkpoint + log.
+	db2 := newDB(nil, 1)
+	epoch, _, err := Recover(db2, ckpt, []string{logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 3 {
+		t.Fatalf("epoch=%d", epoch)
+	}
+	if v, _ := dbValue(db2, 1); v != 111 {
+		t.Fatalf("k1=%d, want log to supersede checkpoint", v)
+	}
+	if v, _ := dbValue(db2, 2); v != 200 {
+		t.Fatalf("k2=%d, want checkpoint value", v)
+	}
+	if v, _ := dbValue(db2, 3); v != 300 {
+		t.Fatalf("k3=%d", v)
+	}
+}
+
+// A fuzzy checkpoint can capture a mix of old and new versions; replaying
+// the logs with the Thomas write rule corrects it (§4.5.1: "a checkpoint
+// does not need to be a consistent snapshot").
+func TestFuzzyCheckpointCorrectedByThomasRule(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(map[uint64]int64{5: 50}, 2)
+	// Log contains the epoch-3 update of key 5.
+	logPath := filepath.Join(dir, "w.log")
+	l, _ := Create(logPath)
+	s := schema()
+	row := s.NewRow()
+	s.SetInt64(row, 0, 55)
+	l.AppendWrite(0, 1, storage.K1(5), storage.MakeTID(3, 1), false, row)
+	l.AppendEpochMark(3)
+	l.Close()
+
+	// Checkpoint taken AFTER the epoch-3 write landed (fuzzy: it contains
+	// the newer version even though its header says epoch 2).
+	rec := db.Table(0).Get(1, storage.K1(5))
+	rec.ApplyValueThomas(3, storage.MakeTID(3, 1), row, false)
+	ckpt := filepath.Join(dir, "ckpt")
+	if _, err := WriteCheckpoint(db, ckpt, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := newDB(nil, 1)
+	if _, _, err := Recover(db2, ckpt, []string{logPath}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dbValue(db2, 5); v != 55 {
+		t.Fatalf("k5=%d; replay must converge on the newest committed version", v)
+	}
+}
+
+func TestMaxDurableEpochAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, e := range []uint64{3, 5, 4} {
+		p := filepath.Join(dir, "w"+string(rune('0'+i))+".log")
+		l, _ := Create(p)
+		l.AppendEpochMark(e)
+		l.Close()
+		paths = append(paths, p)
+	}
+	got, err := MaxDurableEpoch(paths)
+	if err != nil || got != 5 {
+		t.Fatalf("max epoch %d err=%v", got, err)
+	}
+}
+
+func TestLoggerOnPlainWriterCountsBytes(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewLogger(&sink)
+	row := schema().NewRow()
+	if err := l.AppendWrite(0, 0, storage.K1(1), 5, false, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(true); err != nil { // sync on non-file is a no-op
+		t.Fatal(err)
+	}
+	if int64(sink.Len()) != l.Bytes() {
+		t.Fatalf("sink=%d accounted=%d", sink.Len(), l.Bytes())
+	}
+}

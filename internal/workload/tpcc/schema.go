@@ -1,0 +1,365 @@
+// Package tpcc implements the TPC-C benchmark as the paper uses it
+// (§7.1.1): the NewOrder and Payment transactions (88% of the standard
+// mix), all nine tables partitioned by warehouse id, with a configurable
+// fraction of cross-partition transactions (defaults: 10% of NewOrder,
+// 15% of Payment). The ITEM table is read-only and replicated to every
+// node. Customer lookup by last name goes through a secondary index.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"star/internal/storage"
+)
+
+// Table ids, in creation order.
+const (
+	TWarehouse storage.TableID = iota
+	TDistrict
+	TCustomer
+	TStock
+	TItem
+	TOrder
+	TNewOrder
+	TOrderLine
+	THistory
+)
+
+// Config parameterises the workload. A partition is one warehouse.
+type Config struct {
+	// Warehouses is the partition count.
+	Warehouses int
+	// Districts per warehouse (standard: 10).
+	Districts int
+	// CustomersPerDistrict (standard: 3000).
+	CustomersPerDistrict int
+	// Items in the catalogue (standard: 100_000).
+	Items int
+	// CrossPctNewOrder is the percentage of NewOrder transactions that
+	// order from a remote warehouse (paper default: 10).
+	CrossPctNewOrder int
+	// CrossPctPayment is the percentage of Payment transactions paying
+	// for a customer of a remote warehouse (paper default: 15).
+	CrossPctPayment int
+	// PaymentByName selects customers by last name this percent of the
+	// time (standard: 60).
+	PaymentByName int
+	// InvalidItemPct is the percentage of NewOrder transactions carrying
+	// an unused item id, which must roll back (standard: 1).
+	InvalidItemPct int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	if c.CustomersPerDistrict == 0 {
+		c.CustomersPerDistrict = 3000
+	}
+	if c.Items == 0 {
+		c.Items = 100_000
+	}
+	if c.CrossPctNewOrder == 0 {
+		c.CrossPctNewOrder = 10
+	}
+	if c.CrossPctPayment == 0 {
+		c.CrossPctPayment = 15
+	}
+	if c.PaymentByName == 0 {
+		c.PaymentByName = 60
+	}
+	if c.InvalidItemPct == 0 {
+		c.InvalidItemPct = 1
+	}
+	return c
+}
+
+// SetCrossPct sets both per-transaction cross-partition percentages —
+// the x-axis knob of the paper's sweeps.
+func (c *Config) SetCrossPct(p int) {
+	c.CrossPctNewOrder = p
+	c.CrossPctPayment = p
+	if p == 0 {
+		c.CrossPctNewOrder = -1 // disable entirely (withDefaults would reset 0)
+		c.CrossPctPayment = -1
+	}
+}
+
+// Workload implements workload.Workload for TPC-C.
+type Workload struct {
+	cfg Config
+
+	warehouse, district, customer *storage.Schema
+	stock, item                   *storage.Schema
+	order, newOrder, orderLine    *storage.Schema
+	history                       *storage.Schema
+}
+
+// Column indexes used by the transactions.
+const (
+	WYtd = iota // warehouse
+	WTax
+	WName
+)
+
+const (
+	DNextOID = iota // district
+	DYtd
+	DTax
+	DName
+)
+
+const (
+	CBalance = iota // customer
+	CYtdPayment
+	CPaymentCnt
+	CDeliveryCnt
+	CDiscount
+	CCreditLim
+	CCredit
+	CLast
+	CFirst
+	CData
+)
+
+const (
+	SQuantity = iota // stock
+	SYtd
+	SOrderCnt
+	SRemoteCnt
+	SDist
+	SData
+)
+
+const (
+	IPrice = iota // item
+	IName
+	IData
+)
+
+const (
+	OCID = iota // order
+	OEntryD
+	OCarrierID
+	OOlCnt
+	OAllLocal
+)
+
+const (
+	OLIID = iota // order line
+	OLSupplyWID
+	OLQuantity
+	OLAmount
+	OLDeliveryD
+	OLDistInfo
+)
+
+const (
+	HAmount = iota // history
+	HDate
+	HData
+)
+
+// New builds the workload.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	if cfg.Warehouses <= 0 {
+		panic("tpcc: Warehouses must be positive")
+	}
+	b := func(name string, capacity int) storage.Field {
+		return storage.Field{Name: name, Type: storage.FieldBytes, Cap: capacity}
+	}
+	f := func(name string) storage.Field { return storage.Field{Name: name, Type: storage.FieldFloat64} }
+	i := func(name string) storage.Field { return storage.Field{Name: name, Type: storage.FieldInt64} }
+	u := func(name string) storage.Field { return storage.Field{Name: name, Type: storage.FieldUint64} }
+
+	return &Workload{
+		cfg: cfg,
+		warehouse: storage.NewSchema(
+			f("w_ytd"), f("w_tax"), b("w_name", 10), b("w_street", 40), b("w_city", 20), b("w_zip", 9),
+		),
+		district: storage.NewSchema(
+			u("d_next_o_id"), f("d_ytd"), f("d_tax"), b("d_name", 10), b("d_street", 40), b("d_city", 20), b("d_zip", 9),
+		),
+		customer: storage.NewSchema(
+			f("c_balance"), f("c_ytd_payment"), i("c_payment_cnt"), i("c_delivery_cnt"),
+			f("c_discount"), f("c_credit_lim"), b("c_credit", 2), b("c_last", 16), b("c_first", 16),
+			b("c_data", 500), b("c_street", 40), b("c_city", 20), b("c_zip", 9), b("c_phone", 16),
+		),
+		stock: storage.NewSchema(
+			i("s_quantity"), f("s_ytd"), i("s_order_cnt"), i("s_remote_cnt"), b("s_dist", 24), b("s_data", 50),
+		),
+		item: storage.NewSchema(
+			f("i_price"), b("i_name", 24), b("i_data", 50),
+		),
+		order: storage.NewSchema(
+			u("o_c_id"), i("o_entry_d"), i("o_carrier_id"), i("o_ol_cnt"), i("o_all_local"),
+		),
+		newOrder:  storage.NewSchema(u("no_o_id")),
+		orderLine: storage.NewSchema(u("ol_i_id"), u("ol_supply_w_id"), i("ol_quantity"), f("ol_amount"), i("ol_delivery_d"), b("ol_dist_info", 24)),
+		history:   storage.NewSchema(f("h_amount"), i("h_date"), b("h_data", 24)),
+	}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "tpcc" }
+
+// Config returns the effective configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// CustomerSchema exposes the customer schema (examples print from it).
+func (w *Workload) CustomerSchema() *storage.Schema { return w.customer }
+
+// ---- key packing ----
+// Partition index == warehouse id (0-based).
+
+// WKey is the warehouse primary key.
+func WKey(wid int) storage.Key { return storage.K2(uint64(wid), 0) }
+
+// DKey is the district primary key.
+func DKey(wid, did int) storage.Key { return storage.K2(uint64(wid), uint64(did)) }
+
+// CKey is the customer primary key.
+func CKey(wid, did, cid int) storage.Key {
+	return storage.K2(uint64(wid), uint64(did)<<32|uint64(cid))
+}
+
+// SKey is the stock primary key.
+func SKey(wid, iid int) storage.Key { return storage.K2(uint64(wid), uint64(iid)) }
+
+// IKey is the item primary key.
+func IKey(iid int) storage.Key { return storage.K1(uint64(iid)) }
+
+// OKey is the order (and new-order) primary key.
+func OKey(wid, did, oid int) storage.Key {
+	return storage.K2(uint64(wid), uint64(did)<<40|uint64(oid))
+}
+
+// OLKey is the order-line primary key.
+func OLKey(wid, did, oid, ol int) storage.Key {
+	return storage.K2(uint64(wid), uint64(did)<<56|uint64(oid)<<8|uint64(ol))
+}
+
+// HKey is the history primary key; uniqueness comes from the generating
+// worker's id and a per-worker sequence number.
+func HKey(wid, genID int, seq uint64) storage.Key {
+	return storage.K2(uint64(wid), uint64(genID)<<40|seq)
+}
+
+// CNameIndex is the name of the customer last-name secondary index.
+const CNameIndex = "customer_by_name"
+
+// nameKey builds the index lookup value for (wid, did, last name).
+func nameKey(wid, did int, last []byte) []byte {
+	return []byte(fmt.Sprintf("%d|%d|%s", wid, did, last))
+}
+
+// BuildDB implements workload.Workload.
+func (w *Workload) BuildDB(nparts int, holds []bool) *storage.DB {
+	if nparts != w.cfg.Warehouses {
+		panic("tpcc: nparts must equal Warehouses")
+	}
+	db := storage.NewDB(nparts, holds)
+	db.AddTable("warehouse", w.warehouse, false)
+	db.AddTable("district", w.district, false)
+	c := db.AddTable("customer", w.customer, false)
+	c.AddIndex(CNameIndex)
+	db.AddTable("stock", w.stock, false)
+	db.AddTable("item", w.item, true) // replicated read-only catalogue
+	db.AddTable("order", w.order, false)
+	db.AddTable("new_order", w.newOrder, false)
+	db.AddTable("order_line", w.orderLine, false)
+	db.AddTable("history", w.history, false)
+	return db
+}
+
+// lastNames are the standard TPC-C syllables.
+var lastSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName renders the standard TPC-C last name for a number in [0,999].
+func LastName(num int) string {
+	return lastSyllables[num/100] + lastSyllables[(num/10)%10] + lastSyllables[num%10]
+}
+
+// Load implements workload.Workload.
+func (w *Workload) Load(db *storage.DB) {
+	w.loadItems(db)
+	for wid := 0; wid < db.NumPartitions(); wid++ {
+		if db.Holds(wid) {
+			w.loadWarehouse(db, wid)
+		}
+	}
+}
+
+func (w *Workload) loadItems(db *storage.DB) {
+	tbl := db.Table(TItem)
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 50)
+	for iid := 0; iid < w.cfg.Items; iid++ {
+		row := w.item.NewRow()
+		w.item.SetFloat64(row, IPrice, 1+rng.Float64()*99)
+		w.item.SetString(row, IName, fmt.Sprintf("item-%d", iid))
+		rng.Read(buf)
+		w.item.SetBytes(row, IData, buf)
+		tbl.Insert(0, IKey(iid), 1, storage.MakeTID(1, uint64(iid+1)), row)
+	}
+}
+
+func (w *Workload) loadWarehouse(db *storage.DB, wid int) {
+	rng := rand.New(rand.NewSource(int64(wid) + 1))
+	seq := uint64(1)
+	tid := func() uint64 { seq++; return storage.MakeTID(1, seq) }
+
+	wt := db.Table(TWarehouse)
+	row := w.warehouse.NewRow()
+	w.warehouse.SetFloat64(row, WYtd, 300000)
+	w.warehouse.SetFloat64(row, WTax, rng.Float64()*0.2)
+	w.warehouse.SetString(row, WName, fmt.Sprintf("W%d", wid))
+	wt.Insert(wid, WKey(wid), 1, tid(), row)
+
+	dt := db.Table(TDistrict)
+	ct := db.Table(TCustomer)
+	idx := ct.Index(CNameIndex)
+	st := db.Table(TStock)
+
+	for did := 0; did < w.cfg.Districts; did++ {
+		drow := w.district.NewRow()
+		w.district.SetUint64(drow, DNextOID, 1)
+		w.district.SetFloat64(drow, DYtd, 30000)
+		w.district.SetFloat64(drow, DTax, rng.Float64()*0.2)
+		w.district.SetString(drow, DName, fmt.Sprintf("D%d-%d", wid, did))
+		dt.Insert(wid, DKey(wid, did), 1, tid(), drow)
+
+		for cid := 0; cid < w.cfg.CustomersPerDistrict; cid++ {
+			crow := w.customer.NewRow()
+			w.customer.SetFloat64(crow, CBalance, -10)
+			w.customer.SetFloat64(crow, CYtdPayment, 10)
+			w.customer.SetFloat64(crow, CDiscount, rng.Float64()*0.5)
+			w.customer.SetFloat64(crow, CCreditLim, 50000)
+			credit := "GC"
+			if rng.Intn(10) == 0 { // 10% bad credit
+				credit = "BC"
+			}
+			w.customer.SetString(crow, CCredit, credit)
+			// First 1000 customers get the standard NURand-reachable names.
+			nameNum := cid % 1000
+			last := LastName(nameNum)
+			w.customer.SetString(crow, CLast, last)
+			w.customer.SetString(crow, CFirst, fmt.Sprintf("f%d", cid))
+			w.customer.SetString(crow, CData, "customer since 2019 "+last)
+			ct.Insert(wid, CKey(wid, did, cid), 1, tid(), crow)
+			idx.Put(nameKey(wid, did, []byte(last)), CKey(wid, did, cid))
+		}
+	}
+
+	sbuf := make([]byte, 24)
+	for iid := 0; iid < w.cfg.Items; iid++ {
+		srow := w.stock.NewRow()
+		w.stock.SetInt64(srow, SQuantity, int64(10+rng.Intn(91)))
+		rng.Read(sbuf)
+		w.stock.SetBytes(srow, SDist, sbuf)
+		w.stock.SetString(srow, SData, "stockdata")
+		st.Insert(wid, SKey(wid, iid), 1, tid(), srow)
+	}
+}

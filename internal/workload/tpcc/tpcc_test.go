@@ -1,0 +1,395 @@
+package tpcc
+
+import (
+	"testing"
+
+	"star/internal/storage"
+	"star/internal/txn"
+)
+
+func smallCfg() Config {
+	return Config{
+		Warehouses:           4,
+		Districts:            2,
+		CustomersPerDistrict: 30,
+		Items:                100,
+	}
+}
+
+func loadSmall(t *testing.T) (*Workload, *storage.DB) {
+	t.Helper()
+	w := New(smallCfg())
+	db := w.BuildDB(4, nil)
+	w.Load(db)
+	return w, db
+}
+
+// executor is the reference single-threaded Ctx (no concurrency control).
+type executor struct {
+	db  *storage.DB
+	set txn.RWSet
+}
+
+func (e *executor) Read(tb storage.TableID, part int, key storage.Key) ([]byte, bool) {
+	rec := e.db.Table(tb).Get(part, key)
+	if rec == nil {
+		return nil, false
+	}
+	val, tid, present := rec.ReadStable(nil)
+	if !present {
+		return nil, false
+	}
+	if !e.db.Table(tb).Replicated() {
+		e.set.AddRead(tb, part, key, rec, tid)
+	}
+	// Apply own pending writes (read-your-writes) — the reference
+	// executor is strict so procedure logic can rely on it.
+	if w := e.set.FindWrite(tb, part, key); w != nil && !w.Insert {
+		val = append([]byte(nil), val...)
+		for _, op := range w.Ops {
+			op.Apply(e.db.Table(tb).Schema(), val)
+		}
+	}
+	return val, true
+}
+
+func (e *executor) Write(tb storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
+	e.set.AddWrite(tb, part, key, ops...)
+}
+
+func (e *executor) Insert(tb storage.TableID, part int, key storage.Key, row []byte) {
+	e.set.AddInsert(tb, part, key, row)
+}
+
+func (e *executor) commit(t *testing.T, db *storage.DB) {
+	t.Helper()
+	for i := range e.set.Writes {
+		w := &e.set.Writes[i]
+		tbl := db.Table(w.Table)
+		part := tbl.Partition(w.Part)
+		rec := part.GetOrCreate(w.Key)
+		rec.Lock()
+		if w.Insert {
+			if !storage.TIDAbsent(rec.TID()) {
+				t.Fatal("duplicate insert")
+			}
+			rec.WriteLocked(2, storage.MakeTID(2, uint64(i+1)), w.Row)
+		} else {
+			if _, err := rec.ApplyOpsLocked(tbl.Schema(), 2, storage.MakeTID(2, uint64(i+1)), w.Ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec.UnlockWithTID(storage.MakeTID(2, uint64(i+1)))
+	}
+	e.set.Reset()
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	w, db := loadSmall(t)
+	cfg := w.Config()
+	if db.Table(TWarehouse).Partition(0).Len() != 1 {
+		t.Fatal("warehouse row missing")
+	}
+	if got := db.Table(TDistrict).Partition(1).Len(); got != cfg.Districts {
+		t.Fatalf("districts=%d", got)
+	}
+	if got := db.Table(TCustomer).Partition(2).Len(); got != cfg.Districts*cfg.CustomersPerDistrict {
+		t.Fatalf("customers=%d", got)
+	}
+	if got := db.Table(TStock).Partition(3).Len(); got != cfg.Items {
+		t.Fatalf("stock=%d", got)
+	}
+	if got := db.Table(TItem).Partition(0).Len(); got != cfg.Items {
+		t.Fatalf("items=%d", got)
+	}
+}
+
+func TestLoadDeterministicAcrossReplicas(t *testing.T) {
+	w := New(smallCfg())
+	a := w.BuildDB(4, nil)
+	w.Load(a)
+	b := w.BuildDB(4, []bool{true, true, false, false})
+	w.Load(b)
+	for p := 0; p < 2; p++ {
+		if a.PartitionChecksum(p) != b.PartitionChecksum(p) {
+			t.Fatalf("partition %d differs", p)
+		}
+	}
+}
+
+func TestCustomerNameIndex(t *testing.T) {
+	w, db := loadSmall(t)
+	idx := db.Table(TCustomer).Index(CNameIndex)
+	// Customer 5 of district 0, warehouse 1 has LastName(5).
+	keys := idx.Lookup(nameKey(1, 0, []byte(LastName(5))))
+	if len(keys) == 0 {
+		t.Fatal("name index empty")
+	}
+	found := false
+	for _, k := range keys {
+		if k == CKey(1, 0, 5) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("customer key missing from index: %v", keys)
+	}
+	_ = w
+}
+
+func TestNewOrderCommitsAndAdvancesOID(t *testing.T) {
+	w, db := loadSmall(t)
+	g := w.NewGen(1).(*Gen)
+	var no *NewOrderTxn
+	for {
+		p := g.Single(0)
+		if nt, ok := p.(*NewOrderTxn); ok && !nt.Invalid {
+			no = nt
+			break
+		}
+	}
+	ex := &executor{db: db}
+	if err := no.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	drow, _, _ := db.Table(TDistrict).Get(no.WID, DKey(no.WID, no.DID)).ReadStable(nil)
+	if got := w.district.GetUint64(drow, DNextOID); got != 2 {
+		t.Fatalf("d_next_o_id=%d, want 2", got)
+	}
+	if db.Table(TOrder).Get(no.WID, OKey(no.WID, no.DID, 1)) == nil {
+		t.Fatal("order row missing")
+	}
+	if db.Table(TNewOrder).Get(no.WID, OKey(no.WID, no.DID, 1)) == nil {
+		t.Fatal("new_order row missing")
+	}
+	for i := range no.Lines {
+		if db.Table(TOrderLine).Get(no.WID, OLKey(no.WID, no.DID, 1, i+1)) == nil {
+			t.Fatalf("order line %d missing", i+1)
+		}
+	}
+}
+
+func TestNewOrderInvalidItemRollsBack(t *testing.T) {
+	w, db := loadSmall(t)
+	g := w.NewGen(2).(*Gen)
+	var no *NewOrderTxn
+	for {
+		if nt, ok := g.Single(1).(*NewOrderTxn); ok && nt.Invalid {
+			no = nt
+			break
+		}
+	}
+	ex := &executor{db: db}
+	if err := no.Run(ex); err != txn.ErrUserAbort {
+		t.Fatalf("err=%v, want ErrUserAbort", err)
+	}
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	w, db := loadSmall(t)
+	g := w.NewGen(3).(*Gen)
+	var pay *PaymentTxn
+	for {
+		if pt, ok := g.Single(2).(*PaymentTxn); ok {
+			pay = pt
+			break
+		}
+	}
+	before, _, _ := db.Table(TWarehouse).Get(pay.WID, WKey(pay.WID)).ReadStable(nil)
+	ytdBefore := w.warehouse.GetFloat64(before, WYtd)
+	cBefore, _, _ := db.Table(TCustomer).Get(pay.CWID, CKey(pay.CWID, pay.CDID, pay.CID)).ReadStable(nil)
+	balBefore := w.customer.GetFloat64(cBefore, CBalance)
+
+	ex := &executor{db: db}
+	if err := pay.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	after, _, _ := db.Table(TWarehouse).Get(pay.WID, WKey(pay.WID)).ReadStable(nil)
+	if got := w.warehouse.GetFloat64(after, WYtd); got != ytdBefore+pay.Amount {
+		t.Fatalf("w_ytd=%v, want %v", got, ytdBefore+pay.Amount)
+	}
+	cAfter, _, _ := db.Table(TCustomer).Get(pay.CWID, CKey(pay.CWID, pay.CDID, pay.CID)).ReadStable(nil)
+	if got := w.customer.GetFloat64(cAfter, CBalance); got != balBefore-pay.Amount {
+		t.Fatalf("c_balance=%v, want %v", got, balBefore-pay.Amount)
+	}
+	if db.Table(THistory).Get(pay.WID, HKey(pay.WID, pay.GenID, pay.HSeq)) == nil {
+		t.Fatal("history row missing")
+	}
+}
+
+func TestBadCreditCustomerGetsCDataPrepend(t *testing.T) {
+	w, db := loadSmall(t)
+	// Find a bad-credit customer in warehouse 0 district 0.
+	var bc int = -1
+	for cid := 0; cid < w.Config().CustomersPerDistrict; cid++ {
+		crow, _, _ := db.Table(TCustomer).Get(0, CKey(0, 0, cid)).ReadStable(nil)
+		if string(w.customer.GetBytes(crow, CCredit)) == "BC" {
+			bc = cid
+			break
+		}
+	}
+	if bc == -1 {
+		t.Skip("no bad-credit customer in tiny config")
+	}
+	pay := &PaymentTxn{W: w, WID: 0, DID: 0, CWID: 0, CDID: 0, CID: bc, Amount: 10, HSeq: 1, GenID: 9}
+	ex := &executor{db: db}
+	if err := pay.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	// The customer write must include a prepend op (the op-replication
+	// payload is tiny compared to the 500-byte C_DATA field).
+	found := false
+	for _, wr := range ex.set.Writes {
+		if wr.Table == TCustomer {
+			for _, op := range wr.Ops {
+				if op.Kind == storage.OpPrepend {
+					found = true
+					if op.Size() > 60 {
+						t.Fatalf("prepend op %dB; should be small", op.Size())
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("bad-credit payment must carry a C_DATA prepend op")
+	}
+}
+
+func TestCrossPartitionFootprints(t *testing.T) {
+	w := New(smallCfg())
+	g := w.NewGen(5)
+	sawNO, sawPay := false, false
+	for i := 0; i < 100; i++ {
+		p := g.Cross(1)
+		req := txn.NewRequest(p, 0)
+		switch pt := p.(type) {
+		case *NewOrderTxn:
+			if !req.Cross {
+				t.Fatal("cross NewOrder stayed local")
+			}
+			sawNO = true
+		case *PaymentTxn:
+			if pt.CWID == pt.WID || !req.Cross {
+				t.Fatal("cross Payment stayed local")
+			}
+			sawPay = true
+		}
+	}
+	if !sawNO || !sawPay {
+		t.Fatal("mix must alternate NewOrder and Payment")
+	}
+}
+
+func TestMixedCrossRates(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CrossPctNewOrder = 10
+	cfg.CrossPctPayment = 15
+	w := New(cfg)
+	g := w.NewGen(6)
+	crossNO, nNO, crossPay, nPay := 0, 0, 0, 0
+	for i := 0; i < 4000; i++ {
+		p := g.Mixed(0)
+		req := txn.NewRequest(p, 0)
+		switch p.(type) {
+		case *NewOrderTxn:
+			nNO++
+			if req.Cross {
+				crossNO++
+			}
+		case *PaymentTxn:
+			nPay++
+			if req.Cross {
+				crossPay++
+			}
+		}
+	}
+	if nNO == 0 || nPay == 0 {
+		t.Fatal("mix broken")
+	}
+	noRate := float64(crossNO) / float64(nNO) * 100
+	payRate := float64(crossPay) / float64(nPay) * 100
+	if noRate < 6 || noRate > 14 {
+		t.Fatalf("NewOrder cross rate %.1f%%, want ≈10%%", noRate)
+	}
+	if payRate < 10 || payRate > 20 {
+		t.Fatalf("Payment cross rate %.1f%%, want ≈15%%", payRate)
+	}
+}
+
+func TestSetCrossPctZeroDisablesCross(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SetCrossPct(0)
+	w := New(cfg)
+	g := w.NewGen(7)
+	for i := 0; i < 500; i++ {
+		if txn.NewRequest(g.Mixed(2), 0).Cross {
+			t.Fatal("cross txn generated with CrossPct=0")
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	w := New(smallCfg())
+	g1, g2 := w.NewGen(11), w.NewGen(11)
+	for i := 0; i < 40; i++ {
+		a, b := g1.Mixed(0), g2.Mixed(0)
+		ra, rb := txn.NewRequest(a, 0), txn.NewRequest(b, 0)
+		if a.Name() != b.Name() || len(ra.Parts) != len(rb.Parts) {
+			t.Fatal("same seed must generate identical streams")
+		}
+		aa, ba := a.Accesses(), b.Accesses()
+		if len(aa) != len(ba) {
+			t.Fatal("access sets differ")
+		}
+		for j := range aa {
+			if aa[j] != ba[j] {
+				t.Fatal("access sets differ")
+			}
+		}
+	}
+}
+
+func TestLastNameSyllables(t *testing.T) {
+	if LastName(0) != "BARBARBAR" || LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName broken: %q %q", LastName(0), LastName(371))
+	}
+}
+
+func TestKeyPackingNoCollisions(t *testing.T) {
+	// Keys only need to be unique within a table (tables are separate
+	// hash maps); check each table's packing over a dense component grid.
+	orders := map[storage.Key]bool{}
+	lines := map[storage.Key]bool{}
+	custs := map[storage.Key]bool{}
+	for d := 0; d < 5; d++ {
+		for o := 0; o < 50; o++ {
+			if k := OKey(1, d, o); orders[k] {
+				t.Fatalf("order key collision d=%d o=%d", d, o)
+			} else {
+				orders[k] = true
+			}
+			for l := 1; l <= 15; l++ {
+				if k := OLKey(1, d, o, l); lines[k] {
+					t.Fatalf("orderline key collision d=%d o=%d l=%d", d, o, l)
+				} else {
+					lines[k] = true
+				}
+			}
+		}
+		for c := 0; c < 100; c++ {
+			if k := CKey(1, d, c); custs[k] {
+				t.Fatalf("customer key collision d=%d c=%d", d, c)
+			} else {
+				custs[k] = true
+			}
+		}
+	}
+	if HKey(1, 3, 9) == HKey(1, 3, 10) || HKey(1, 3, 9) == HKey(1, 4, 9) {
+		t.Fatal("history key collision")
+	}
+}

@@ -1,0 +1,363 @@
+package tpcc
+
+import (
+	"math/rand"
+
+	"star/internal/storage"
+	"star/internal/txn"
+	"star/internal/workload"
+)
+
+// Gen implements workload.Gen for TPC-C. The standard mix is approximated
+// as the paper does: "a NewOrder transaction is followed by a Payment
+// transaction" (50/50 alternation).
+type Gen struct {
+	w     *Workload
+	rng   *rand.Rand
+	id    int // embedded in history keys for uniqueness
+	hseq  uint64
+	next  int // 0 → NewOrder, 1 → Payment
+	cload int // NURand C constant
+}
+
+// NewGen implements workload.Workload.
+func (w *Workload) NewGen(seed int64) workload.Gen {
+	rng := rand.New(rand.NewSource(seed))
+	return &Gen{w: w, rng: rng, id: int(uint64(seed) % 255), cload: rng.Intn(256)}
+}
+
+// nuRand is the standard TPC-C non-uniform random function.
+func (g *Gen) nuRand(a, x, y int) int {
+	return (((g.rng.Intn(a+1) | (x + g.rng.Intn(y-x+1))) + g.cload) % (y - x + 1)) + x
+}
+
+func (g *Gen) customerID() int { return g.nuRand(1023, 0, g.w.cfg.CustomersPerDistrict-1) }
+func (g *Gen) itemID() int     { return g.nuRand(8191, 0, g.w.cfg.Items-1) }
+
+// Mixed implements workload.Gen (NewOrder/Payment alternation, each
+// cross-partition with its configured probability).
+func (g *Gen) Mixed(home int) txn.Procedure {
+	g.next = 1 - g.next
+	if g.next == 1 {
+		return g.newOrder(home, g.rng.Intn(100) < g.w.cfg.CrossPctNewOrder)
+	}
+	return g.payment(home, g.rng.Intn(100) < g.w.cfg.CrossPctPayment)
+}
+
+// Single implements workload.Gen.
+func (g *Gen) Single(home int) txn.Procedure {
+	g.next = 1 - g.next
+	if g.next == 1 {
+		return g.newOrder(home, false)
+	}
+	return g.payment(home, false)
+}
+
+// Cross implements workload.Gen.
+func (g *Gen) Cross(home int) txn.Procedure {
+	g.next = 1 - g.next
+	if g.next == 1 {
+		return g.newOrder(home, true)
+	}
+	return g.payment(home, true)
+}
+
+func (g *Gen) remoteWarehouse(home int) int {
+	if g.w.cfg.Warehouses == 1 {
+		return home
+	}
+	for {
+		if r := g.rng.Intn(g.w.cfg.Warehouses); r != home {
+			return r
+		}
+	}
+}
+
+// ---- NewOrder ----
+
+type orderLineSpec struct {
+	IID      int
+	SupplyW  int
+	Quantity int
+}
+
+// NewOrderTxn is the TPC-C NewOrder transaction.
+type NewOrderTxn struct {
+	W        *Workload
+	WID, DID int
+	CID      int
+	Lines    []orderLineSpec
+	Invalid  bool // carries an unused item id: must roll back
+	EntryD   int64
+}
+
+// Name implements txn.Procedure.
+func (t *NewOrderTxn) Name() string { return "tpcc.neworder" }
+
+// Accesses implements txn.Procedure.
+func (t *NewOrderTxn) Accesses() []txn.Access {
+	accs := make([]txn.Access, 0, 3+len(t.Lines))
+	accs = append(accs,
+		txn.Access{Table: TWarehouse, Part: t.WID, Key: WKey(t.WID)},
+		txn.Access{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, t.DID), Write: true},
+		txn.Access{Table: TCustomer, Part: t.WID, Key: CKey(t.WID, t.DID, t.CID)},
+	)
+	for _, l := range t.Lines {
+		accs = append(accs, txn.Access{Table: TStock, Part: l.SupplyW, Key: SKey(l.SupplyW, l.IID), Write: true})
+	}
+	return accs
+}
+
+// Run implements txn.Procedure, following TPC-C §2.4.2.
+func (t *NewOrderTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	if _, ok := ctx.Read(TWarehouse, t.WID, WKey(t.WID)); !ok {
+		return txn.ErrConflict
+	}
+	drow, ok := ctx.Read(TDistrict, t.WID, DKey(t.WID, t.DID))
+	if !ok {
+		return txn.ErrConflict
+	}
+	oid := int(w.district.GetUint64(drow, DNextOID))
+	ctx.Write(TDistrict, t.WID, DKey(t.WID, t.DID), storage.AddInt64Op(DNextOID, 1))
+	if _, ok := ctx.Read(TCustomer, t.WID, CKey(t.WID, t.DID, t.CID)); !ok {
+		return txn.ErrConflict
+	}
+
+	allLocal := int64(1)
+	var total float64
+	for i, l := range t.Lines {
+		if l.IID >= w.cfg.Items { // invalid item: §2.4.1.5 rollback
+			return txn.ErrUserAbort
+		}
+		irow, ok := ctx.Read(TItem, 0, IKey(l.IID))
+		if !ok {
+			return txn.ErrUserAbort
+		}
+		price := w.item.GetFloat64(irow, IPrice)
+		srow, ok := ctx.Read(TStock, l.SupplyW, SKey(l.SupplyW, l.IID))
+		if !ok {
+			return txn.ErrConflict
+		}
+		qty := w.stock.GetInt64(srow, SQuantity)
+		newQty := qty - int64(l.Quantity)
+		if newQty < 10 {
+			newQty += 91
+		}
+		ops := []storage.FieldOp{
+			storage.AddInt64Op(SQuantity, newQty-qty),
+			storage.AddFloat64Op(SYtd, float64(l.Quantity)),
+			storage.AddInt64Op(SOrderCnt, 1),
+		}
+		if l.SupplyW != t.WID {
+			allLocal = 0
+			ops = append(ops, storage.AddInt64Op(SRemoteCnt, 1))
+		}
+		ctx.Write(TStock, l.SupplyW, SKey(l.SupplyW, l.IID), ops...)
+
+		olrow := w.orderLine.NewRow()
+		w.orderLine.SetUint64(olrow, OLIID, uint64(l.IID))
+		w.orderLine.SetUint64(olrow, OLSupplyWID, uint64(l.SupplyW))
+		w.orderLine.SetInt64(olrow, OLQuantity, int64(l.Quantity))
+		amount := float64(l.Quantity) * price
+		w.orderLine.SetFloat64(olrow, OLAmount, amount)
+		w.orderLine.SetString(olrow, OLDistInfo, "dist-info-123456789012")
+		ctx.Insert(TOrderLine, t.WID, OLKey(t.WID, t.DID, oid, i+1), olrow)
+		total += amount
+	}
+
+	orow := w.order.NewRow()
+	w.order.SetUint64(orow, OCID, uint64(t.CID))
+	w.order.SetInt64(orow, OEntryD, t.EntryD)
+	w.order.SetInt64(orow, OOlCnt, int64(len(t.Lines)))
+	w.order.SetInt64(orow, OAllLocal, allLocal)
+	ctx.Insert(TOrder, t.WID, OKey(t.WID, t.DID, oid), orow)
+
+	norow := w.newOrder.NewRow()
+	w.newOrder.SetUint64(norow, 0, uint64(oid))
+	ctx.Insert(TNewOrder, t.WID, OKey(t.WID, t.DID, oid), norow)
+	_ = total
+	return nil
+}
+
+func (g *Gen) newOrder(home int, cross bool) txn.Procedure {
+	cfg := g.w.cfg
+	t := &NewOrderTxn{
+		W:   g.w,
+		WID: home,
+		DID: g.rng.Intn(cfg.Districts),
+		CID: g.customerID(),
+	}
+	nLines := 5 + g.rng.Intn(11)
+	remote := -1
+	if cross {
+		remote = g.remoteWarehouse(home)
+	}
+	seen := make(map[int]struct{}, nLines)
+	for i := 0; i < nLines; i++ {
+		iid := g.itemID()
+		for attempt := 0; ; attempt++ {
+			if _, dup := seen[iid]; !dup || attempt > 8 {
+				break
+			}
+			iid = g.itemID()
+		}
+		seen[iid] = struct{}{}
+		supply := home
+		if cross && (g.rng.Intn(2) == 0 || i == nLines-1) && remote != home {
+			supply = remote
+		}
+		t.Lines = append(t.Lines, orderLineSpec{IID: iid, SupplyW: supply, Quantity: 1 + g.rng.Intn(10)})
+	}
+	if g.rng.Intn(100) < cfg.InvalidItemPct {
+		t.Invalid = true
+		t.Lines[len(t.Lines)-1].IID = cfg.Items + 1 // unused id → rollback
+	}
+	return t
+}
+
+// ---- Payment ----
+
+// PaymentTxn is the TPC-C Payment transaction.
+type PaymentTxn struct {
+	W          *Workload
+	WID, DID   int // home warehouse/district (takes the money)
+	CWID, CDID int // customer residence (remote on cross-partition runs)
+	CID        int
+	ByName     bool
+	CLast      []byte
+	Amount     float64
+	HSeq       uint64
+	GenID      int
+	Date       int64
+}
+
+// Name implements txn.Procedure.
+func (t *PaymentTxn) Name() string { return "tpcc.payment" }
+
+// Accesses implements txn.Procedure. By-last-name lookups are resolved
+// to the median matching customer at generation time (through the same
+// deterministic rule the loader uses for the secondary index), so the
+// footprint is exact — which deterministic engines require.
+func (t *PaymentTxn) Accesses() []txn.Access {
+	return []txn.Access{
+		{Table: TWarehouse, Part: t.WID, Key: WKey(t.WID), Write: true},
+		{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, t.DID), Write: true},
+		{Table: TCustomer, Part: t.CWID, Key: CKey(t.CWID, t.CDID, t.CID), Write: true},
+	}
+}
+
+// Run implements txn.Procedure, following TPC-C §2.5.2.
+func (t *PaymentTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	if _, ok := ctx.Read(TWarehouse, t.WID, WKey(t.WID)); !ok {
+		return txn.ErrConflict
+	}
+	ctx.Write(TWarehouse, t.WID, WKey(t.WID), storage.AddFloat64Op(WYtd, t.Amount))
+	if _, ok := ctx.Read(TDistrict, t.WID, DKey(t.WID, t.DID)); !ok {
+		return txn.ErrConflict
+	}
+	ctx.Write(TDistrict, t.WID, DKey(t.WID, t.DID), storage.AddFloat64Op(DYtd, t.Amount))
+
+	cid := t.CID
+	ckey := CKey(t.CWID, t.CDID, cid)
+	crow, ok := ctx.Read(TCustomer, t.CWID, ckey)
+	if !ok {
+		return txn.ErrConflict
+	}
+	ops := []storage.FieldOp{
+		storage.AddFloat64Op(CBalance, -t.Amount),
+		storage.AddFloat64Op(CYtdPayment, t.Amount),
+		storage.AddInt64Op(CPaymentCnt, 1),
+	}
+	if string(w.customer.GetBytes(crow, CCredit)) == "BC" {
+		// Bad credit: prepend payment info to C_DATA, truncated at 500 —
+		// the §5 poster child for operation replication.
+		info := paymentInfo(cid, t.CDID, t.CWID, t.DID, t.WID, t.Amount)
+		ops = append(ops, storage.PrependOp(CData, info))
+	}
+	ctx.Write(TCustomer, t.CWID, ckey, ops...)
+
+	hrow := w.history.NewRow()
+	w.history.SetFloat64(hrow, HAmount, t.Amount)
+	w.history.SetInt64(hrow, HDate, t.Date)
+	w.history.SetString(hrow, HData, "payment-history")
+	ctx.Insert(THistory, t.WID, HKey(t.WID, t.GenID, t.HSeq), hrow)
+	return nil
+}
+
+func paymentInfo(cid, cdid, cwid, did, wid int, amount float64) []byte {
+	b := make([]byte, 0, 32)
+	put := func(v int) {
+		b = appendInt(b, v)
+		b = append(b, ' ')
+	}
+	put(cid)
+	put(cdid)
+	put(cwid)
+	put(did)
+	put(wid)
+	b = appendInt(b, int(amount*100))
+	b = append(b, ';')
+	return b
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+func (g *Gen) payment(home int, cross bool) txn.Procedure {
+	cfg := g.w.cfg
+	g.hseq++
+	t := &PaymentTxn{
+		W:      g.w,
+		WID:    home,
+		DID:    g.rng.Intn(cfg.Districts),
+		CWID:   home,
+		CDID:   g.rng.Intn(cfg.Districts),
+		Amount: 1 + float64(g.rng.Intn(499999))/100,
+		HSeq:   g.hseq,
+		GenID:  g.id,
+	}
+	if cross {
+		t.CWID = g.remoteWarehouse(home)
+	}
+	if g.rng.Intn(100) < cfg.PaymentByName {
+		t.ByName = true
+		num := g.nuRand(255, 0, 999)
+		t.CLast = []byte(LastName(num))
+		// Resolve the median matching customer deterministically at
+		// generation time (customers with cid%1000 == num share the name,
+		// ordered by cid which the loader aligns with first name).
+		matches := cfg.CustomersPerDistrict / 1000
+		if cfg.CustomersPerDistrict%1000 > num {
+			matches++
+		}
+		if matches == 0 {
+			t.ByName = false
+			t.CID = g.customerID()
+		} else {
+			t.CID = (matches/2)*1000 + num
+			if t.CID >= cfg.CustomersPerDistrict {
+				t.CID = num % cfg.CustomersPerDistrict
+			}
+		}
+	} else {
+		t.CID = g.customerID()
+	}
+	return t
+}

@@ -1,0 +1,230 @@
+// Package ycsb implements the YCSB workload as configured in the paper
+// (§7.1.1): one table of 10 columns × 10 random bytes keyed by a 64-bit
+// integer, 200k records per partition, 10 accesses per transaction with
+// a 90/10 read/write mix under uniform key distribution. A configurable
+// fraction of transactions is cross-partition, in which case each access
+// picks a uniformly random partition.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"star/internal/storage"
+	"star/internal/txn"
+	"star/internal/workload"
+)
+
+// TableID of the single YCSB table.
+const TableID storage.TableID = 0
+
+// Config parameterises the workload.
+type Config struct {
+	// Partitions is the total number of partitions in the cluster.
+	Partitions int
+	// RecordsPerPartition defaults to 200_000 (paper); tests shrink it.
+	RecordsPerPartition int
+	// OpsPerTxn is the number of record accesses (default 10).
+	OpsPerTxn int
+	// WritesPerTxn is how many of those are read-modify-writes
+	// (default 1, the paper's 90/10 mix).
+	WritesPerTxn int
+	// CrossPct is the percentage (0..100) of cross-partition txns.
+	CrossPct int
+	// FieldSize is the column payload width (default 10 bytes).
+	FieldSize int
+	// Columns is the column count (default 10).
+	Columns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecordsPerPartition == 0 {
+		c.RecordsPerPartition = 200_000
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 10
+	}
+	if c.WritesPerTxn == 0 {
+		c.WritesPerTxn = 1
+	}
+	if c.FieldSize == 0 {
+		c.FieldSize = 10
+	}
+	if c.Columns == 0 {
+		c.Columns = 10
+	}
+	return c
+}
+
+// Workload implements workload.Workload.
+type Workload struct {
+	cfg    Config
+	schema *storage.Schema
+}
+
+// New builds the workload. It panics on a zero partition count.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions <= 0 {
+		panic("ycsb: Partitions must be positive")
+	}
+	fields := make([]storage.Field, cfg.Columns)
+	for i := range fields {
+		fields[i] = storage.Field{
+			Name: fmt.Sprintf("f%d", i),
+			Type: storage.FieldBytes,
+			Cap:  cfg.FieldSize,
+		}
+	}
+	return &Workload{cfg: cfg, schema: storage.NewSchema(fields...)}
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "ycsb" }
+
+// Config returns the effective configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Schema returns the usertable schema.
+func (w *Workload) Schema() *storage.Schema { return w.schema }
+
+// BuildDB implements workload.Workload.
+func (w *Workload) BuildDB(nparts int, holds []bool) *storage.DB {
+	db := storage.NewDB(nparts, holds)
+	db.AddTable("usertable", w.schema, false)
+	return db
+}
+
+// Key builds the primary key for row i of partition p. Keys are global:
+// partition p owns [p*RPP, (p+1)*RPP).
+func (w *Workload) Key(p, i int) storage.Key {
+	return storage.K1(uint64(p)*uint64(w.cfg.RecordsPerPartition) + uint64(i))
+}
+
+// Load implements workload.Workload: deterministic per-partition fill.
+func (w *Workload) Load(db *storage.DB) {
+	tbl := db.Table(TableID)
+	for p := 0; p < db.NumPartitions(); p++ {
+		if !db.Holds(p) {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(p) + 1))
+		buf := make([]byte, w.cfg.FieldSize)
+		for i := 0; i < w.cfg.RecordsPerPartition; i++ {
+			row := w.schema.NewRow()
+			for c := 0; c < w.cfg.Columns; c++ {
+				rng.Read(buf)
+				w.schema.SetBytes(row, c, buf)
+			}
+			tbl.Insert(p, w.Key(p, i), 1, storage.MakeTID(1, uint64(i+1)), row)
+		}
+	}
+}
+
+// Gen implements workload.Gen for YCSB.
+type Gen struct {
+	w   *Workload
+	rng *rand.Rand
+}
+
+// NewGen implements workload.Workload.
+func (w *Workload) NewGen(seed int64) workload.Gen {
+	return &Gen{w: w, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Txn is one YCSB transaction: OpsPerTxn accesses, of which the last
+// WritesPerTxn are read-modify-writes installing fresh random bytes.
+type Txn struct {
+	w      *Workload
+	parts  []int
+	keys   []storage.Key
+	writes []bool
+	val    []byte // payload for the write ops
+}
+
+// Name implements txn.Procedure.
+func (t *Txn) Name() string { return "ycsb.txn" }
+
+// Accesses implements txn.Procedure.
+func (t *Txn) Accesses() []txn.Access {
+	accs := make([]txn.Access, len(t.keys))
+	for i := range t.keys {
+		accs[i] = txn.Access{Table: TableID, Part: t.parts[i], Key: t.keys[i], Write: t.writes[i]}
+	}
+	return accs
+}
+
+// Run implements txn.Procedure: reads every record; for write accesses it
+// installs the new column value (column 1, as a single-field delta).
+func (t *Txn) Run(ctx txn.Ctx) error {
+	row := t.w.schema.NewRow()
+	t.w.schema.SetBytes(row, 1, t.val)
+	op := storage.SetFieldOp(t.w.schema, row, 1)
+	for i := range t.keys {
+		if _, ok := ctx.Read(TableID, t.parts[i], t.keys[i]); !ok {
+			return txn.ErrConflict
+		}
+		if t.writes[i] {
+			ctx.Write(TableID, t.parts[i], t.keys[i], op)
+		}
+	}
+	return nil
+}
+
+func (g *Gen) gen(home int, cross bool) txn.Procedure {
+	cfg := g.w.cfg
+	t := &Txn{
+		w:      g.w,
+		parts:  make([]int, cfg.OpsPerTxn),
+		keys:   make([]storage.Key, cfg.OpsPerTxn),
+		writes: make([]bool, cfg.OpsPerTxn),
+		val:    make([]byte, cfg.FieldSize),
+	}
+	g.rng.Read(t.val)
+	seen := make(map[storage.Key]struct{}, cfg.OpsPerTxn)
+	for i := 0; i < cfg.OpsPerTxn; i++ {
+		p := home
+		if cross && i > 0 {
+			p = g.rng.Intn(cfg.Partitions)
+		}
+		var k storage.Key
+		for attempt := 0; ; attempt++ {
+			k = g.w.Key(p, g.rng.Intn(cfg.RecordsPerPartition))
+			if _, dup := seen[k]; !dup || attempt >= 8 {
+				break
+			}
+		}
+		seen[k] = struct{}{}
+		t.parts[i] = p
+		t.keys[i] = k
+		t.writes[i] = i >= cfg.OpsPerTxn-cfg.WritesPerTxn
+	}
+	if cross {
+		// Guarantee the transaction really is cross-partition.
+		if allSame(t.parts) {
+			t.parts[cfg.OpsPerTxn-1] = (home + 1) % cfg.Partitions
+			t.keys[cfg.OpsPerTxn-1] = g.w.Key(t.parts[cfg.OpsPerTxn-1], g.rng.Intn(cfg.RecordsPerPartition))
+		}
+	}
+	return t
+}
+
+func allSame(ps []int) bool {
+	for _, p := range ps[1:] {
+		if p != ps[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mixed implements workload.Gen.
+func (g *Gen) Mixed(home int) txn.Procedure {
+	return g.gen(home, g.rng.Intn(100) < g.w.cfg.CrossPct)
+}
+
+// Single implements workload.Gen.
+func (g *Gen) Single(home int) txn.Procedure { return g.gen(home, false) }
+
+// Cross implements workload.Gen.
+func (g *Gen) Cross(home int) txn.Procedure { return g.gen(home, true) }
