@@ -1,0 +1,3 @@
+module star
+
+go 1.24

@@ -131,6 +131,7 @@ func (s *stats) snapshot(name string, r rt.Runtime, net *simnet.Network) metrics
 		Aborted:          s.aborted.Load() + s.userAborts.Load(),
 		Latency:          s.latency,
 		ReplicationBytes: net.Bytes(simnet.Replication),
+		ReplicationMsgs:  net.Messages(simnet.Replication),
 		NetworkBytes:     net.TotalBytes(),
 		Extra:            map[string]float64{"user_aborts": float64(s.userAborts.Load())},
 	}

@@ -260,12 +260,11 @@ func execCost(cfg Config, ctx costCtx) time.Duration {
 		time.Duration(w)*cfg.Cost.Write
 }
 
+// batchBytes models an entry payload's wire size, delegating to
+// Batch.Size so the header accounting has one source of truth.
 func batchBytes(entries []replication.Entry) int {
-	n := 16
-	for i := range entries {
-		n += entries[i].Size()
-	}
-	return n
+	b := replication.Batch{Entries: entries}
+	return b.Size()
 }
 
 func applyBatch(cfg Config, n *bnode, b *replication.Batch) {

@@ -29,6 +29,9 @@ type Options struct {
 	// Short shrinks workers, data and measured time for CI-speed runs.
 	Short bool
 	Seed  int64
+	// Duration overrides the measured virtual time per run (0 keeps the
+	// Short/paper default); smoke tests use a few milliseconds.
+	Duration time.Duration
 }
 
 func (o Options) workers() int {
@@ -39,6 +42,9 @@ func (o Options) workers() int {
 }
 
 func (o Options) duration() time.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
 	if o.Short {
 		return 60 * time.Millisecond
 	}

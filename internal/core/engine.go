@@ -254,6 +254,7 @@ func (e *Engine) Stats() metrics.Stats {
 		Aborted:          e.aborted.Load() + e.userAborts.Load(),
 		Latency:          e.latency,
 		ReplicationBytes: e.net.Bytes(simnet.Replication),
+		ReplicationMsgs:  e.net.Messages(simnet.Replication),
 		NetworkBytes:     e.net.TotalBytes(),
 		LogBytes:         e.logBytes.Load(),
 		Extra:            map[string]float64{},

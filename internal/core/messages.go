@@ -3,8 +3,20 @@ package core
 import (
 	"time"
 
+	"star/internal/replication"
 	"star/internal/txn"
 )
+
+// msgReplBatch is the per-destination replication envelope: one worker's
+// coalesced value/operation deltas for a single destination, flushed on
+// a size boundary (Config.FlushBytes / FlushEvery) or at the epoch
+// fence, so a partitioned-phase epoch ships O(destinations) messages
+// instead of O(writes). The fence accounting stays per entry: the
+// sender's Tracker.AddSent counts len(Entries) when the envelope ships,
+// and the receiver's AddApplied counts entries as they are applied, so
+// msgFenceDrain's Expected vector reconciles exactly however the
+// entries were packed.
+type msgReplBatch = replication.Batch
 
 // Phase enumerates STAR's two execution phases.
 type Phase uint8

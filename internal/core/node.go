@@ -83,7 +83,7 @@ func (workerDoneMsg) Size() int { return 8 }
 // syncBatch wraps a replication batch that must be acknowledged before
 // the writer releases its locks (SYNC STAR).
 type syncBatch struct {
-	Batch   *replication.Batch
+	Batch   *msgReplBatch
 	Worker  int
 	Seq     uint64
 	ReplyTo int
@@ -134,7 +134,7 @@ func (n *node) routerLoop() {
 func (n *node) handle(m any) {
 	r := n.e.cfg.RT
 	switch msg := m.(type) {
-	case *replication.Batch:
+	case *msgReplBatch:
 		r.Compute(n.e.cfg.Cost.MsgHandling)
 		n.applyBatch(msg)
 	case syncBatch:
@@ -285,11 +285,19 @@ func (n *node) drainFence(m msgFenceDrain) {
 	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgFenceAck{Node: n.id, Epoch: m.Epoch})
 }
 
-// applyBatch shards a replication batch across the node's applier
+// applyBatch shards a replication envelope across the node's applier
 // processes by partition (value entries commute under the Thomas write
 // rule; operation entries need per-partition FIFO, which sharding by
-// partition preserves).
-func (n *node) applyBatch(b *replication.Batch) {
+// partition preserves — batching keeps each worker's commit order
+// within the envelope, and envelopes per link are FIFO).
+//
+// Entries apply under the receiver's current epoch, not b.Epoch: the
+// fence drains every epoch-E envelope before epoch E closes, so the two
+// agree whenever it matters, and a peer's start-phase command can
+// overtake this node's own on a different link — validating against the
+// stamp would race. The stamp exists for the wire encoding and for
+// post-failure diagnostics.
+func (n *node) applyBatch(b *msgReplBatch) {
 	shards := len(n.appliers)
 	if shards == 0 {
 		n.applyEntries(b.From, b.Entries)

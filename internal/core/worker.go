@@ -41,7 +41,7 @@ func newWorker(n *node, idx int) *worker {
 		idx:  idx,
 		gen:  e.cfg.Workload.NewGen(seed),
 		rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
-		strm: replication.NewStream(e.net, n.tracker, n.id, e.cfg.FlushEvery),
+		strm: replication.NewStream(e.net, n.tracker, n.id, e.cfg.streamLimits()),
 		ctl:  e.cfg.RT.NewChan(4),
 		resp: e.cfg.RT.NewChan(16),
 	}
@@ -50,6 +50,7 @@ func newWorker(n *node, idx int) *worker {
 func (w *worker) loop() {
 	for {
 		cmd := w.ctl.Recv().(msgStartPhase)
+		w.strm.SetEpoch(cmd.Epoch)
 		switch {
 		case cmd.Phase == Partitioned:
 			w.runPartitioned(cmd)
@@ -238,7 +239,7 @@ func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
 	for dst, ents := range perDst {
 		w.n.tracker.AddSent(dst, int64(len(ents)))
 		e.net.Send(w.n.id, dst, simnet.Replication, syncBatch{
-			Batch:   &replication.Batch{From: w.n.id, Entries: ents},
+			Batch:   &msgReplBatch{From: w.n.id, Epoch: epoch, Entries: ents},
 			Worker:  w.idx,
 			Seq:     w.seq,
 			ReplyTo: w.n.id,

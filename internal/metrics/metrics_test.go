@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -14,6 +15,37 @@ func TestCounter(t *testing.T) {
 	c.Add(41)
 	if c.Load() != 42 {
 		t.Fatalf("got %d, want 42", c.Load())
+	}
+}
+
+func TestCounterShardedConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != goroutines*perG {
+		t.Fatalf("lost updates: got %d, want %d", c.Load(), goroutines*perG)
+	}
+	// The stripes must actually spread load: with 80k increments over 8
+	// cells, all landing in one cell is (1/8)^80k — i.e., a broken shard
+	// picker.
+	nonzero := 0
+	for i := range c.cells {
+		if c.cells[i].v.Load() > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2 {
+		t.Fatalf("increments all landed in %d cell(s); sharding inert", nonzero)
 	}
 }
 

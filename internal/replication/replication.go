@@ -115,15 +115,20 @@ func OpEntries(set *txn.RWSet, tid uint64) []Entry {
 	return out
 }
 
-// Batch is the wire message carrying entries from one node to another.
+// Batch is the wire envelope carrying coalesced entries from one node to
+// another: the partitioned phase ships one of these per destination per
+// size/epoch flush instead of one message per write. Epoch is the epoch
+// the entries were committed in (0 when the sender predates epochs, e.g.
+// ad-hoc test streams).
 type Batch struct {
 	From    int
+	Epoch   uint64
 	Entries []Entry
 }
 
 // Size implements simnet.Message.
 func (b *Batch) Size() int {
-	n := 16
+	n := 24
 	for i := range b.Entries {
 		n += b.Entries[i].Size()
 	}
@@ -172,36 +177,73 @@ func (t *Tracker) Drained(expected []int64) bool {
 	return true
 }
 
-// Stream accumulates entries per destination and ships them in batches.
-// One stream per worker thread keeps it contention-free; the shared
-// Tracker is atomic.
+// Limits bounds a stream's per-destination batch growth. A zero field
+// means "no bound on that axis"; an all-zero Limits flushes only at
+// explicit Flush calls (the epoch fence).
+type Limits struct {
+	// Entries flushes a destination once this many entries are buffered.
+	Entries int
+	// Bytes flushes a destination once its buffered modelled wire size
+	// reaches this many bytes.
+	Bytes int
+}
+
+// dstBuf is one destination's pending batch plus its wire-size estimate.
+type dstBuf struct {
+	entries []Entry
+	bytes   int
+}
+
+// Stream accumulates entries per destination and ships them as batched
+// Batch envelopes: a partitioned-phase epoch produces O(destinations ×
+// epochBytes/Limits.Bytes) messages instead of O(writes). One stream per
+// worker thread keeps it contention-free; the shared Tracker is atomic.
+// The fence accounting is per entry, not per envelope: AddSent counts
+// len(entries) at flush time, so Sent/Expected reconcile exactly however
+// the entries were packed.
 type Stream struct {
 	net     *simnet.Network
 	tracker *Tracker
 	src     int
-	flushAt int
-	buf     map[int][]Entry
+	lim     Limits
+	epoch   uint64
+	buf     map[int]*dstBuf
 }
 
 // NewStream creates a stream for worker threads on node src; batches
-// flush automatically after flushAt entries per destination.
-func NewStream(net *simnet.Network, tracker *Tracker, src, flushAt int) *Stream {
-	if flushAt <= 0 {
-		flushAt = 16
-	}
-	return &Stream{net: net, tracker: tracker, src: src, flushAt: flushAt, buf: make(map[int][]Entry)}
+// flush automatically at the given limits and at explicit Flush calls.
+func NewStream(net *simnet.Network, tracker *Tracker, src int, lim Limits) *Stream {
+	return &Stream{net: net, tracker: tracker, src: src, lim: lim, buf: make(map[int]*dstBuf)}
 }
 
-// Append queues e for dst, flushing the destination's batch when full.
-// Local (src==dst) appends are dropped: a node does not replicate to
-// itself.
+// SetEpoch stamps subsequently flushed batches with epoch. Any entries
+// still buffered from the previous epoch are flushed first so an
+// envelope never mixes epochs (callers flush at the fence anyway; this
+// is the backstop).
+func (s *Stream) SetEpoch(epoch uint64) {
+	if epoch != s.epoch {
+		s.Flush()
+		s.epoch = epoch
+	}
+}
+
+// Append queues e for dst, flushing the destination's batch when a limit
+// is hit. Local (src==dst) appends are dropped: a node does not
+// replicate to itself.
 func (s *Stream) Append(dst int, e Entry) {
 	if dst == s.src {
 		return
 	}
-	s.buf[dst] = append(s.buf[dst], e)
-	if len(s.buf[dst]) >= s.flushAt {
-		s.flushDst(dst)
+	b := s.buf[dst]
+	if b == nil {
+		b = &dstBuf{}
+		s.buf[dst] = b
+	}
+	b.entries = append(b.entries, e)
+	b.bytes += e.Size()
+	if (s.lim.Entries > 0 && len(b.entries) >= s.lim.Entries) ||
+		(s.lim.Bytes > 0 && b.bytes >= s.lim.Bytes) {
+		s.flushDst(dst, b)
 	}
 }
 
@@ -212,20 +254,29 @@ func (s *Stream) Broadcast(dsts []int, e Entry) {
 	}
 }
 
-func (s *Stream) flushDst(dst int) {
-	entries := s.buf[dst]
-	if len(entries) == 0 {
+func (s *Stream) flushDst(dst int, b *dstBuf) {
+	if len(b.entries) == 0 {
 		return
 	}
-	s.buf[dst] = nil
+	entries := b.entries
+	b.entries, b.bytes = nil, 0
 	s.tracker.AddSent(dst, int64(len(entries)))
-	s.net.Send(s.src, dst, simnet.Replication, &Batch{From: s.src, Entries: entries})
+	s.net.Send(s.src, dst, simnet.Replication, &Batch{From: s.src, Epoch: s.epoch, Entries: entries})
 }
 
-// Flush ships all buffered batches (called at commit boundaries and
-// before every replication fence).
+// Flush ships all buffered batches (called at every phase end, so the
+// replication fence sees complete Sent counts).
 func (s *Stream) Flush() {
-	for dst := range s.buf {
-		s.flushDst(dst)
+	for dst, b := range s.buf {
+		s.flushDst(dst, b)
 	}
+}
+
+// Buffered returns the number of entries not yet shipped (tests).
+func (s *Stream) Buffered() int {
+	n := 0
+	for _, b := range s.buf {
+		n += len(b.entries)
+	}
+	return n
 }

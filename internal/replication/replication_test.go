@@ -161,7 +161,7 @@ func TestStreamBatchingAndTracker(t *testing.T) {
 	db1 := newDB()
 
 	s.Go("worker0", func() {
-		st := NewStream(net, tr0, 0, 4)
+		st := NewStream(net, tr0, 0, Limits{Entries: 4})
 		row := bankSchema().NewRow()
 		for i := uint64(0); i < 10; i++ {
 			st.Append(1, Entry{Table: 0, Part: 0, Key: storage.K1(i), TID: storage.MakeTID(2, i+10), Row: row})
@@ -193,9 +193,93 @@ func TestStreamBatchingAndTracker(t *testing.T) {
 	if tr1.Drained([]int64{11, 0}) {
 		t.Fatal("tracker must not report drained early")
 	}
-	// Batching: 10 entries with flushAt=4 → 3 messages.
+	// Batching: 10 entries with an entry limit of 4 → 3 messages.
 	if n := net.Messages(simnet.Replication); n != 3 {
 		t.Fatalf("messages=%d, want 3 batches", n)
+	}
+	s.Stop()
+}
+
+// A byte-bounded stream coalesces an entire burst of writes into
+// O(destinations) envelopes: this is the delta-batching the partitioned
+// phase relies on (§4.3 — writes ship in bulk behind the epoch fence).
+func TestStreamByteBoundCoalesces(t *testing.T) {
+	s := rt.NewSim()
+	net := simnet.New(s, simnet.Config{Nodes: 3, Latency: 10 * time.Microsecond})
+	tr := NewTracker(3)
+	row := bankSchema().NewRow()
+	proto := Entry{Table: 0, Part: 0, Key: storage.K1(0), TID: 1, Row: row}
+	entrySize := proto.Size()
+
+	const writes = 100
+	s.Go("worker0", func() {
+		// Byte bound sized to hold ~half the burst per destination (off by
+		// one so the second half stays buffered until the explicit Flush).
+		st := NewStream(net, tr, 0, Limits{Bytes: writes/2*entrySize + 1})
+		st.SetEpoch(7)
+		for i := uint64(0); i < writes; i++ {
+			e := Entry{Table: 0, Part: 0, Key: storage.K1(i), TID: storage.MakeTID(2, i+1), Row: row}
+			st.Broadcast([]int{1, 2}, e)
+		}
+		if st.Buffered() == 0 {
+			t.Error("expected a partial batch still buffered before Flush")
+		}
+		st.Flush()
+		if st.Buffered() != 0 {
+			t.Error("Flush left entries behind")
+		}
+	})
+	drained := make([]int, 3)
+	for _, dst := range []int{1, 2} {
+		dst := dst
+		s.Go("applier", func() {
+			for {
+				b := net.Inbox(dst).Recv().(*Batch)
+				if b.Epoch != 7 {
+					t.Errorf("batch epoch %d, want 7", b.Epoch)
+				}
+				drained[dst] += len(b.Entries)
+			}
+		})
+	}
+	s.Run(time.Second)
+	if drained[1] != writes || drained[2] != writes {
+		t.Fatalf("delivered %v, want %d per destination", drained, writes)
+	}
+	// 100 writes × 2 destinations, byte bound at ~50 entries → 4 envelopes
+	// (2 per destination), not 200.
+	if n := net.Messages(simnet.Replication); n != 4 {
+		t.Fatalf("messages=%d, want 4 byte-bounded envelopes", n)
+	}
+	if v := tr.SentVector(); v[1] != writes || v[2] != writes {
+		t.Fatalf("sent vector %v must count entries, not envelopes", v)
+	}
+	s.Stop()
+}
+
+// SetEpoch must not let an envelope mix epochs: leftovers flush first.
+func TestStreamEpochRolloverFlushes(t *testing.T) {
+	s := rt.NewSim()
+	net := simnet.New(s, simnet.Config{Nodes: 2})
+	tr := NewTracker(2)
+	row := bankSchema().NewRow()
+	var epochs []uint64
+	s.Go("worker", func() {
+		st := NewStream(net, tr, 0, Limits{})
+		st.SetEpoch(3)
+		st.Append(1, Entry{Table: 0, Part: 0, Key: storage.K1(1), TID: 1, Row: row})
+		st.SetEpoch(4) // must ship the epoch-3 entry before relabeling
+		st.Append(1, Entry{Table: 0, Part: 0, Key: storage.K1(2), TID: 2, Row: row})
+		st.Flush()
+	})
+	s.Go("recv", func() {
+		for {
+			epochs = append(epochs, net.Inbox(1).Recv().(*Batch).Epoch)
+		}
+	})
+	s.Run(100 * time.Millisecond)
+	if len(epochs) != 2 || epochs[0] != 3 || epochs[1] != 4 {
+		t.Fatalf("batch epochs %v, want [3 4]", epochs)
 	}
 	s.Stop()
 }

@@ -3,15 +3,27 @@
 // per-node egress bandwidth (token-bucket pacing, modelling the ~4.8
 // Gbit/s NIC the paper's EC2 nodes had). It runs on either rt runtime.
 //
-// Per-link FIFO ordering is guaranteed, which is what STAR's operation
-// replication relies on (§5: deltas from a partition's single writer
-// thread arrive in commit order).
+// Per-link FIFO ordering is guaranteed per sending goroutine: one
+// process's sends on a link are delivered in send order, which is what
+// STAR's operation replication relies on (§5: a partition has a single
+// writer thread, so its deltas arrive in commit order). Interleaving
+// between *different* senders sharing a link carries no ordering
+// promise — on the real runtime the enqueue happens outside the link
+// lock, so two concurrently sending workers may enter the queue in
+// either order.
+//
+// Locking is per-resource, not global: the enqueue path takes the
+// sender's egress gate and then the link's own lock, so concurrent
+// workers shipping replication batches to different destinations never
+// serialise on a network-wide mutex, and byte/message accounting is
+// lock-free.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"star/internal/rt"
@@ -47,7 +59,7 @@ type Config struct {
 	Bandwidth float64
 	// InboxCap bounds each node's inbox (backpressure); 0 means 65536.
 	InboxCap int
-	// Seed drives the jitter RNG.
+	// Seed drives the jitter RNGs (each link derives its own stream).
 	Seed int64
 }
 
@@ -56,9 +68,21 @@ type envelope struct {
 	msg Message
 }
 
+// link is one src→dst FIFO pipe. Its lock covers only this link's jitter
+// RNG and FIFO watermark, so traffic to other destinations is unaffected.
 type link struct {
 	queue  rt.Chan
+	mu     sync.Mutex
+	rng    *rand.Rand
 	lastAt time.Duration
+}
+
+// egressGate serialises a node's NIC: senders reserve wire time here.
+// Padded so gates of neighbouring nodes don't share a cache line.
+type egressGate struct {
+	mu       sync.Mutex
+	nextFree time.Duration
+	_        [48]byte // mutex(8) + nextFree(8) + 48 = one 64-byte line
 }
 
 // Network is a full mesh of FIFO links plus per-node inboxes.
@@ -66,18 +90,16 @@ type Network struct {
 	r   rt.Runtime
 	cfg Config
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nextFree []time.Duration // per-node egress availability
-	links    [][]*link
-	down     []bool
+	links  [][]*link
+	egress []egressGate
+	down   []atomic.Bool
 
 	inboxes []rt.Chan
 
-	bytesByClass [numClasses]int64
-	msgsByClass  [numClasses]int64
-	bytesFrom    []int64
-	dropped      int64
+	bytesByClass [numClasses]atomic.Int64
+	msgsByClass  [numClasses]atomic.Int64
+	bytesFrom    []atomic.Int64
+	dropped      atomic.Int64
 }
 
 // New builds the network and spawns one deliverer process per link.
@@ -88,12 +110,11 @@ func New(r rt.Runtime, cfg Config) *Network {
 	n := &Network{
 		r:         r,
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		nextFree:  make([]time.Duration, cfg.Nodes),
 		links:     make([][]*link, cfg.Nodes),
-		down:      make([]bool, cfg.Nodes),
+		egress:    make([]egressGate, cfg.Nodes),
+		down:      make([]atomic.Bool, cfg.Nodes),
 		inboxes:   make([]rt.Chan, cfg.Nodes),
-		bytesFrom: make([]int64, cfg.Nodes),
+		bytesFrom: make([]atomic.Int64, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.inboxes[i] = r.NewChan(cfg.InboxCap)
@@ -104,12 +125,20 @@ func New(r rt.Runtime, cfg Config) *Network {
 			if src == dst {
 				continue
 			}
-			l := &link{queue: r.NewChan(cfg.InboxCap)}
+			l := &link{
+				queue: r.NewChan(cfg.InboxCap),
+				rng:   rand.New(rand.NewSource(cfg.Seed ^ linkSeed(src, dst))),
+			}
 			n.links[src][dst] = l
 			n.spawnDeliverer(src, dst, l)
 		}
 	}
 	return n
+}
+
+// linkSeed derives a distinct deterministic RNG stream per (src,dst).
+func linkSeed(src, dst int) int64 {
+	return int64(uint64(src<<20|dst) * 0x9e3779b97f4a7c15 >> 1)
 }
 
 func (n *Network) spawnDeliverer(src, dst int, l *link) {
@@ -119,10 +148,8 @@ func (n *Network) spawnDeliverer(src, dst int, l *link) {
 			if d := env.at - n.r.Now(); d > 0 {
 				n.r.Sleep(d)
 			}
-			n.mu.Lock()
-			drop := n.down[src] || n.down[dst]
-			n.mu.Unlock()
-			if drop {
+			if n.down[src].Load() || n.down[dst].Load() {
+				n.dropped.Add(1)
 				continue
 			}
 			n.inboxes[dst].Send(env.msg)
@@ -138,93 +165,70 @@ func (n *Network) Inbox(dst int) rt.Chan { return n.inboxes[dst] }
 // Send never blocks unless the link queue is full (backpressure).
 func (n *Network) Send(src, dst int, class Class, m Message) {
 	size := m.Size()
-	n.mu.Lock()
-	if n.down[src] || n.down[dst] {
-		n.dropped++
-		n.mu.Unlock()
+	if n.down[src].Load() || n.down[dst].Load() {
+		n.dropped.Add(1)
 		return
 	}
-	n.bytesByClass[class] += int64(size)
-	n.msgsByClass[class]++
-	n.bytesFrom[src] += int64(size)
+	n.bytesByClass[class].Add(int64(size))
+	n.msgsByClass[class].Add(1)
+	n.bytesFrom[src].Add(int64(size))
 	if src == dst {
-		n.mu.Unlock()
 		n.inboxes[dst].Send(m)
 		return
 	}
-	now := n.r.Now()
-	start := now
-	if n.nextFree[src] > start {
-		start = n.nextFree[src]
+	// Reserve wire time on the sender's NIC (shared across destinations).
+	eg := &n.egress[src]
+	eg.mu.Lock()
+	start := n.r.Now()
+	if eg.nextFree > start {
+		start = eg.nextFree
 	}
 	var tx time.Duration
 	if n.cfg.Bandwidth > 0 {
 		tx = time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
 	}
-	n.nextFree[src] = start + tx
+	eg.nextFree = start + tx
+	eg.mu.Unlock()
+	// Stamp the delivery time under the link's own lock (jitter RNG +
+	// FIFO watermark are per-link state).
+	l := n.links[src][dst]
+	l.mu.Lock()
 	at := start + tx + n.cfg.Latency
 	if n.cfg.Jitter > 0 {
-		at += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		at += time.Duration(l.rng.Int63n(int64(n.cfg.Jitter)))
 	}
-	l := n.links[src][dst]
 	if at < l.lastAt {
 		at = l.lastAt // enforce per-link FIFO
 	}
 	l.lastAt = at
-	n.mu.Unlock()
+	l.mu.Unlock()
 	l.queue.Send(envelope{at: at, msg: m})
 }
 
 // SetDown marks a node failed (true) or healthy (false). Messages to or
 // from a down node are silently dropped, as with a crashed process.
-func (n *Network) SetDown(node int, down bool) {
-	n.mu.Lock()
-	n.down[node] = down
-	n.mu.Unlock()
-}
+func (n *Network) SetDown(node int, down bool) { n.down[node].Store(down) }
 
 // IsDown reports the failure flag for node.
-func (n *Network) IsDown(node int) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down[node]
-}
+func (n *Network) IsDown(node int) bool { return n.down[node].Load() }
 
 // Bytes returns the bytes sent in the given class.
-func (n *Network) Bytes(c Class) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.bytesByClass[c]
-}
+func (n *Network) Bytes(c Class) int64 { return n.bytesByClass[c].Load() }
 
 // Messages returns the message count in the given class.
-func (n *Network) Messages(c Class) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.msgsByClass[c]
-}
+func (n *Network) Messages(c Class) int64 { return n.msgsByClass[c].Load() }
 
 // TotalBytes returns all bytes sent.
 func (n *Network) TotalBytes() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	var t int64
-	for _, b := range n.bytesByClass {
-		t += b
+	for i := range n.bytesByClass {
+		t += n.bytesByClass[i].Load()
 	}
 	return t
 }
 
 // BytesFrom returns the bytes node src has sent.
-func (n *Network) BytesFrom(src int) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.bytesFrom[src]
-}
+func (n *Network) BytesFrom(src int) int64 { return n.bytesFrom[src].Load() }
 
 // Dropped returns the number of messages dropped due to down nodes.
-func (n *Network) Dropped() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
+func (n *Network) Dropped() int64 { return n.dropped.Load() }

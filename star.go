@@ -92,6 +92,13 @@ type Config struct {
 	Virtual bool
 	// Seed drives all deterministic randomness.
 	Seed int64
+	// FlushBytes bounds a replication batch's modelled wire size
+	// (default 16 KiB; negative disables the byte bound). Batches also
+	// flush at every epoch fence.
+	FlushBytes int
+	// FlushEvery additionally bounds a replication batch in entries
+	// (0 = no entry bound).
+	FlushEvery int
 }
 
 // Cluster is a running STAR cluster.
@@ -136,6 +143,8 @@ func New(cfg Config) (*Cluster, error) {
 		Checkpoint:     cfg.Checkpoint,
 		ReadCommitted:  cfg.ReadCommitted,
 		Seed:           cfg.Seed,
+		FlushBytes:     cfg.FlushBytes,
+		FlushEvery:     cfg.FlushEvery,
 	})
 	return c, nil
 }
