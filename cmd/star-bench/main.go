@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	"star/internal/bench"
@@ -54,8 +53,8 @@ func main() {
 	if *experiment == "" {
 		cfg := bench.SweepConfig{
 			Nodes:     *nodes,
-			Workloads: splitList(*workloads),
-			Engines:   splitList(*engines),
+			Workloads: bench.SplitList(*workloads),
+			Engines:   bench.SplitList(*engines),
 			CrossPcts: parseInts(*cross),
 		}
 		start := time.Now()
@@ -92,23 +91,9 @@ func main() {
 	run(*experiment)
 }
 
-func splitList(s string) []string {
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
 func parseInts(s string) []int {
 	var out []int
-	for _, p := range splitList(s) {
+	for _, p := range bench.SplitList(s) {
 		v, err := strconv.Atoi(p)
 		if err != nil || v < 0 || v > 100 {
 			fmt.Fprintf(os.Stderr, "bad -cross value %q (want a percentage in 0..100)\n", p)

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// PointDelta compares one (workload, engine, cross%) measurement between
+// a committed baseline and a fresh run.
+type PointDelta struct {
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"`
+	CrossPct int     `json:"cross_pct"`
+	BaseTput float64 `json:"base_throughput_txn_s"`
+	CurTput  float64 `json:"cur_throughput_txn_s"`
+	// DeltaPct is the throughput change in percent (+ is faster).
+	DeltaPct float64 `json:"delta_pct"`
+	// BaseMsgs/CurMsgs carry replication msgs per commit for context.
+	BaseMsgs float64 `json:"base_msgs_per_commit"`
+	CurMsgs  float64 `json:"cur_msgs_per_commit"`
+	// Regressed marks deltas below the caller's threshold.
+	Regressed bool `json:"regressed"`
+}
+
+// DiffResults matches the two bundles point-by-point and flags
+// throughput regressions beyond thresholdPct percent. Points present in
+// only one bundle are skipped (the comparison covers the intersection,
+// so a sweep subset can be checked against a full baseline).
+func DiffResults(baseline, current SweepResults, thresholdPct float64) []PointDelta {
+	type key struct {
+		wl     string
+		engine string
+		cross  int
+	}
+	base := map[key]SweepPoint{}
+	for _, p := range baseline.Results {
+		base[key{p.Workload, p.Engine, p.CrossPct}] = p
+	}
+	var out []PointDelta
+	for _, p := range current.Results {
+		b, ok := base[key{p.Workload, p.Engine, p.CrossPct}]
+		if !ok {
+			continue
+		}
+		d := PointDelta{
+			Workload: p.Workload, Engine: p.Engine, CrossPct: p.CrossPct,
+			BaseTput: b.ThroughputTxnS, CurTput: p.ThroughputTxnS,
+			BaseMsgs: b.MsgsPerCommit, CurMsgs: p.MsgsPerCommit,
+		}
+		if b.ThroughputTxnS > 0 {
+			d.DeltaPct = 100 * (p.ThroughputTxnS - b.ThroughputTxnS) / b.ThroughputTxnS
+		}
+		d.Regressed = d.DeltaPct < -thresholdPct
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeltaPct < out[j].DeltaPct })
+	return out
+}
+
+// Regressions filters the deltas down to the flagged ones.
+func Regressions(deltas []PointDelta) []PointDelta {
+	var out []PointDelta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDelta renders one delta as a report line.
+func FormatDelta(d PointDelta) string {
+	mark := " "
+	if d.Regressed {
+		mark = "!"
+	}
+	return fmt.Sprintf("%s %-5s %-10s P=%-3d  %9.0f -> %9.0f txn/s  %+6.1f%%  (%.2f -> %.2f msg/txn)",
+		mark, d.Workload, d.Engine, d.CrossPct,
+		d.BaseTput, d.CurTput, d.DeltaPct, d.BaseMsgs, d.CurMsgs)
+}
+
+// ReadResultsFile loads a BENCH_results.json bundle, validating its
+// schema tag.
+func ReadResultsFile(path string) (SweepResults, error) {
+	var res SweepResults
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if res.Schema != ResultsSchema {
+		return res, fmt.Errorf("bench: %s: schema %q, want %q", path, res.Schema, ResultsSchema)
+	}
+	return res, nil
+}

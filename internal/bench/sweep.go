@@ -6,12 +6,30 @@ import (
 	"os"
 	"slices"
 	"sort"
+	"strings"
 
 	"star/internal/baseline"
 	"star/internal/core"
 	"star/internal/metrics"
 	"star/internal/workload"
 )
+
+// SplitList parses a comma-separated flag value into its non-empty,
+// trimmed elements (nil for an empty string) — the list syntax shared by
+// the star-bench and bench-diff commands.
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // ResultsSchema versions the BENCH_results.json layout so later PRs can
 // evolve it without breaking trajectory tooling.

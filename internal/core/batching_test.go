@@ -12,10 +12,12 @@ import (
 // wire carries coalesced msgReplBatch envelopes: after a quiesced
 // boundary, every node must have applied exactly the entries each
 // source claims to have sent it, and the envelope count must be far
-// below the entry count (otherwise batching is inert).
+// below the entry count (otherwise batching is inert). Pinned to the
+// fixed flush policy: the adaptive default deliberately shrinks
+// low-volume streams' envelopes to overlap application with the phase.
 func TestFenceEntryCountsReconcileUnderBatching(t *testing.T) {
 	s := rt.NewSim()
-	e := ycsbCluster(t, s, 4, 2, 20, nil)
+	e := ycsbCluster(t, s, 4, 2, 20, func(c *Config) { c.FlushPolicy = FlushFixed })
 	s.Run(60 * time.Millisecond)
 	if e.Stats().Committed == 0 {
 		t.Fatal("no commits")
@@ -40,11 +42,46 @@ func TestFenceEntryCountsReconcileUnderBatching(t *testing.T) {
 	if msgs == 0 {
 		t.Fatal("no replication envelopes")
 	}
-	// Default byte-bounded batching must coalesce entries well beyond the
-	// seed's 16-entry flushing.
-	if perMsg := totalEntries / msgs; perMsg < 32 {
+	// Byte-bounded batching must coalesce entries well beyond the seed's
+	// 16-entry flushing even though fence-tail flushing deliberately
+	// ships a few small envelopes at each phase boundary to shorten the
+	// drain (bulk envelopes alone average 2x higher).
+	if perMsg := totalEntries / msgs; perMsg < 20 {
 		t.Fatalf("only %d entries per envelope (%d entries in %d messages); delta batching inert",
 			perMsg, totalEntries, msgs)
+	}
+	s.Stop()
+}
+
+// The adaptive default must also reconcile exactly at the fence, and
+// still coalesce entries into multi-entry envelopes (the thresholds move
+// per destination, the per-entry accounting must not).
+func TestFenceReconcilesUnderAdaptiveFlushing(t *testing.T) {
+	s := rt.NewSim()
+	e := ycsbCluster(t, s, 4, 2, 20, nil) // FlushAdaptive is the default
+	s.Run(60 * time.Millisecond)
+	if e.Stats().Committed == 0 {
+		t.Fatal("no commits")
+	}
+	settle(s, e, 30*time.Millisecond)
+	var totalEntries int64
+	for _, src := range e.nodes {
+		for dst, want := range src.tracker.SentVector() {
+			totalEntries += want
+			if got := e.nodes[dst].tracker.Applied(src.id); got != want {
+				t.Fatalf("node %d applied %d/%d entries from node %d", dst, got, want, src.id)
+			}
+		}
+	}
+	msgs := e.net.Messages(simnet.Replication)
+	if msgs == 0 || totalEntries == 0 {
+		t.Fatal("no replication traffic")
+	}
+	if perMsg := totalEntries / msgs; perMsg < 4 {
+		t.Fatalf("only %d entries per envelope under adaptive flushing; batching inert", perMsg)
+	}
+	if err := e.CheckReplicaConsistency(); err != nil {
+		t.Fatal(err)
 	}
 	s.Stop()
 }

@@ -105,7 +105,27 @@ type Config struct {
 	// Together with the fence flush this makes a partitioned-phase epoch
 	// ship O(destinations) envelopes instead of O(writes) messages.
 	FlushBytes int
+
+	// FlushPolicy selects how the byte threshold evolves: FlushAdaptive
+	// (the default) re-sizes each destination's threshold every epoch
+	// from the previous epoch's measured write volume, so high-volume
+	// streams grow their envelopes past FlushBytes and idle streams
+	// shrink back toward the floor; FlushFixed keeps FlushBytes as-is.
+	FlushPolicy FlushPolicy
 }
+
+// FlushPolicy selects how the replication flush threshold is sized.
+type FlushPolicy uint8
+
+const (
+	// FlushAdaptive sizes the threshold from the previous epoch's
+	// measured per-destination write volume, starting at FlushBytes and
+	// clamped to replication's adaptive bounds.
+	FlushAdaptive FlushPolicy = iota
+	// FlushFixed uses FlushBytes as a fixed threshold (the pre-adaptive
+	// behaviour; bench comparisons use it for reproducible envelopes).
+	FlushFixed
+)
 
 // DefaultFlushBytes is the default replication batch byte bound: large
 // enough to amortise per-message routing cost over dozens of entries
@@ -150,11 +170,13 @@ func (c Config) withDefaults() Config {
 }
 
 // streamLimits converts the flush knobs into replication stream limits
-// (a negative FlushBytes disables the byte bound).
+// (a negative FlushBytes disables the byte bound, which also disables
+// adaptation — there is no threshold to adapt).
 func (c Config) streamLimits() replication.Limits {
 	lim := replication.Limits{Entries: c.FlushEvery}
 	if c.FlushBytes > 0 {
 		lim.Bytes = c.FlushBytes
+		lim.Adaptive = c.FlushPolicy == FlushAdaptive
 	}
 	return lim
 }

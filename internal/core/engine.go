@@ -43,6 +43,14 @@ type Engine struct {
 // New builds a STAR cluster: databases are created and loaded, processes
 // are spawned, and the phase coordinator starts immediately.
 func New(cfg Config) *Engine {
+	e := build(cfg)
+	e.start()
+	return e
+}
+
+// build constructs the cluster without spawning any process; New starts
+// it, and the hot-path benchmarks drive workers synchronously instead.
+func build(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes < 2 {
 		panic("core: need at least 2 nodes (one full replica, one partial)")
@@ -72,6 +80,7 @@ func New(cfg Config) *Engine {
 			failed:  make([]bool, cfg.Nodes),
 		}
 		n.masterQ = cfg.RT.NewChan(1 << 16)
+		n.rebuildReplTargets()
 		n.workers = make([]*worker, cfg.WorkersPerNode)
 		for wi := range n.workers {
 			n.workers[wi] = newWorker(n, wi)
@@ -82,7 +91,6 @@ func New(cfg Config) *Engine {
 	if cfg.LogDir != "" {
 		e.openLogs()
 	}
-	e.start()
 	return e
 }
 
@@ -178,7 +186,7 @@ func (e *Engine) checkpointLoop(n *node) {
 	seq := 0
 	for {
 		e.cfg.RT.Sleep(e.cfg.CheckpointEvery)
-		epoch := n.epoch
+		epoch := n.epoch.Load()
 		path := filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-ckpt%d", n.id, seq))
 		if _, err := wal.WriteCheckpoint(n.db, path, epoch); err != nil {
 			panic("core: checkpoint: " + err.Error())
@@ -311,17 +319,4 @@ func (e *Engine) CheckReplicaConsistency() error {
 		}
 	}
 	return nil
-}
-
-// replicaTargets returns the replica destinations for a write to
-// partition p, excluding self and failed nodes.
-func (e *Engine) replicaTargets(n *node, p int) []int {
-	holders := e.cfg.HoldersOf(p)
-	out := holders[:0:0]
-	for _, h := range holders {
-		if h != n.id && !n.failed[h] {
-			out = append(out, h)
-		}
-	}
-	return out
 }

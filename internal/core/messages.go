@@ -86,6 +86,8 @@ func (msgFenceAck) Size() int { return 24 }
 
 // msgDefer routes a cross-partition request to the master node's queue
 // (§4.3: "the system would re-route the request to the master node").
+// One request per message, deliberately: see the defer path in
+// worker.runPartitioned for why batching these is harmful.
 type msgDefer struct {
 	Req *txn.Request
 }

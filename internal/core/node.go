@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"star/internal/replication"
@@ -29,28 +30,40 @@ type node struct {
 	// designated master).
 	masterQ rt.Chan
 
-	// Cluster view, updated by coordinator messages.
-	epoch   uint64
+	// Cluster view, updated by coordinator messages. epoch is atomic
+	// because the applier processes and the checkpointer read it while
+	// the router advances it at phase starts; the exact epoch observed
+	// mid-transition is immaterial (see applyBatch's comment), but the
+	// access must not race.
+	epoch   atomic.Uint64
 	phase   Phase
 	master  int
 	masters []int32 // partition → mastering node
 	failed  []bool
+
+	// replTargets maps partition → replica destinations for writes from
+	// this node (holders minus self and failed nodes). Precomputed at
+	// construction and rebuilt by the router at fences when the failure
+	// set changes, so the per-entry commit path never allocates a target
+	// list. Workers read it only between the phase-start command and
+	// their done report, which the router's rebuild points respect.
+	replTargets [][]int
 
 	// Fence bookkeeping.
 	workersDone  int
 	drainAborted bool
 	draining     bool
 
-	// mu guards the worker-shared fields below (workers on the real
-	// runtime run concurrently; on the sim runtime it is uncontended).
-	mu sync.Mutex
-	// pendingLat holds GenAt of transactions committed in the current
-	// epoch, released (group commit) at the next phase switch.
-	pendingLat []int64
-	// Phase monitors reported to the coordinator (reset each phase).
+	// Phase monitors, accumulated by the router from the workers' done
+	// reports (reset each phase; the workers shard them locally so the
+	// commit path takes no node mutex).
 	phaseCommitted int64
 	genSingle      int64
 	genCross       int64
+
+	// mu guards lastCheckpoint (written by the checkpoint process, read
+	// by Engine.LastCheckpoint).
+	mu sync.Mutex
 
 	// snapshotsPending counts outstanding snapshot messages during a
 	// rejoin catch-up.
@@ -75,10 +88,17 @@ type applierBatch struct {
 	entries []replication.Entry
 }
 
-// workerDoneMsg is sent node-locally when a worker finishes a phase.
-type workerDoneMsg struct{ Worker int }
+// workerDoneMsg is sent node-locally when a worker finishes a phase,
+// carrying the worker's monitor shard for the router to fold into the
+// node's phase totals.
+type workerDoneMsg struct {
+	Worker    int
+	Committed int64
+	GenSingle int64
+	GenCross  int64
+}
 
-func (workerDoneMsg) Size() int { return 8 }
+func (workerDoneMsg) Size() int { return 32 }
 
 // syncBatch wraps a replication batch that must be acknowledged before
 // the writer releases its locks (SYNC STAR).
@@ -158,6 +178,9 @@ func (n *node) handle(m any) {
 	case msgReplAck:
 		n.workers[msg.Worker].resp.Send(msg)
 	case workerDoneMsg:
+		n.phaseCommitted += msg.Committed
+		n.genSingle += msg.GenSingle
+		n.genCross += msg.GenCross
 		n.workersDone++
 		if n.workersDone == len(n.workers) {
 			n.reportPhaseDone()
@@ -206,55 +229,88 @@ func (n *node) startRecovery(m msgStartRecovery) {
 // startPhase commits the previous epoch (revert info dropped, group-
 // committed results released to clients) and kicks the workers.
 func (n *node) startPhase(m msgStartPhase) {
-	if n.routerLog != nil && m.Epoch > n.epoch && n.epoch > 0 {
+	if n.routerLog != nil && m.Epoch > n.epoch.Load() && n.epoch.Load() > 0 {
 		// The fence for the previous epoch completed: mark it durable.
-		n.routerLog.AppendEpochMark(n.epoch)
+		n.routerLog.AppendEpochMark(n.epoch.Load())
 		n.routerLog.Flush(false)
 	}
 	n.db.CommitEpoch()
 	n.releaseResults()
-	n.epoch = m.Epoch
+	n.epoch.Store(m.Epoch)
 	n.phase = m.Phase
 	n.master = m.Master
-	for i := range n.failed {
-		n.failed[i] = false
-	}
-	for _, f := range m.Failed {
-		n.failed[f] = true
-	}
+	n.setFailed(m.Failed)
 	n.workersDone = 0
-	n.mu.Lock()
 	n.phaseCommitted, n.genSingle, n.genCross = 0, 0, 0
-	n.mu.Unlock()
 	for _, w := range n.workers {
 		w.ctl.Send(m)
 	}
 }
 
+// setFailed installs a new failure set, rebuilding the precomputed
+// replica-target table only when it actually changed. Callers run on the
+// router with the workers idle (phase start or revert), so workers
+// observe a consistent table for the whole phase.
+func (n *node) setFailed(failed []int) {
+	changed := false
+	for i := range n.failed {
+		f := false
+		for _, x := range failed {
+			if x == i {
+				f = true
+				break
+			}
+		}
+		if n.failed[i] != f {
+			n.failed[i] = f
+			changed = true
+		}
+	}
+	if changed || n.replTargets == nil {
+		n.rebuildReplTargets()
+	}
+}
+
+// rebuildReplTargets recomputes partition → replica destinations
+// (holders minus self and failed nodes).
+func (n *node) rebuildReplTargets() {
+	cfg := n.e.cfg
+	if n.replTargets == nil {
+		n.replTargets = make([][]int, cfg.NumPartitions())
+	}
+	for p := range n.replTargets {
+		dsts := n.replTargets[p][:0]
+		for _, h := range cfg.HoldersOf(p) {
+			if h != n.id && !n.failed[h] {
+				dsts = append(dsts, h)
+			}
+		}
+		n.replTargets[p] = dsts
+	}
+}
+
 // releaseResults observes group-commit latency for every transaction
-// committed in the epoch that just closed.
+// committed in the epoch that just closed. It runs on the router while
+// the workers idle between phases (their done reports happened-before
+// this read; the next phase command happens-after the reset).
 func (n *node) releaseResults() {
 	now := int64(n.e.cfg.RT.Now())
-	n.mu.Lock()
-	pend := n.pendingLat
-	n.pendingLat = nil
-	n.mu.Unlock()
-	for _, genAt := range pend {
-		n.e.latency.Observe(time.Duration(now - genAt))
+	for _, w := range n.workers {
+		for _, genAt := range w.pendingLat {
+			n.e.latency.Observe(time.Duration(now - genAt))
+		}
+		w.pendingLat = w.pendingLat[:0]
 	}
 }
 
 func (n *node) reportPhaseDone() {
-	n.mu.Lock()
-	committed, genS, genX := n.phaseCommitted, n.genSingle, n.genCross
-	n.mu.Unlock()
 	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgPhaseDone{
 		Node:      n.id,
-		Epoch:     n.epoch,
+		Epoch:     n.epoch.Load(),
 		Sent:      n.tracker.SentVector(),
-		Committed: committed,
-		GenSingle: genS,
-		GenCross:  genX,
+		Committed: n.phaseCommitted,
+		GenSingle: n.genSingle,
+		GenCross:  n.genCross,
 	})
 }
 
@@ -336,7 +392,7 @@ func (n *node) applyEntriesLogged(from int, entries []replication.Entry, lg *wal
 	cost := n.e.cfg.Cost
 	for i := range entries {
 		en := &entries[i]
-		row, err := replication.Apply(n.db, n.epoch, en, n.e.cfg.Logging)
+		row, err := replication.Apply(n.db, n.epoch.Load(), en, n.e.cfg.Logging)
 		if err != nil {
 			panic("core: replication apply: " + err.Error())
 		}
@@ -370,15 +426,10 @@ func (n *node) chargeLog(bytes int) {
 // and installs the post-failure partition mastership.
 func (n *node) revert(m msgRevert) {
 	n.db.RevertEpoch(m.Epoch)
-	n.mu.Lock()
-	n.pendingLat = nil // uncommitted: results never released
-	n.mu.Unlock()
-	for i := range n.failed {
-		n.failed[i] = false
+	for _, w := range n.workers {
+		w.pendingLat = w.pendingLat[:0] // uncommitted: results never released
 	}
-	for _, f := range m.Failed {
-		n.failed[f] = true
-	}
+	n.setFailed(m.Failed)
 	copy(n.masters, m.NewMasters)
 	// Re-mastered partitions may need local materialisation on a full
 	// replica that already holds them (no-op) or a partial that was the
@@ -437,7 +488,7 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	}
 	for i, key := range pl.keys {
 		rec := part.GetOrCreate(key)
-		rec.ApplyValueThomas(n.epoch, pl.tids[i], pl.rows[i], false)
+		rec.ApplyValueThomas(n.epoch.Load(), pl.tids[i], pl.rows[i], false)
 	}
 	n.snapshotsPending--
 	if n.snapshotsPending == 0 {

@@ -166,6 +166,9 @@ func (t *Tracker) SentVector() []int64 {
 // Applied returns the count applied from src.
 func (t *Tracker) Applied(src int) int64 { return t.applied[src].Load() }
 
+// Nodes returns the cluster size the tracker was built for.
+func (t *Tracker) Nodes() int { return len(t.sent) }
+
 // Drained reports whether everything expected from each source has been
 // applied. expected[i] is the count source i claims to have sent us.
 func (t *Tracker) Drained(expected []int64) bool {
@@ -177,6 +180,21 @@ func (t *Tracker) Drained(expected []int64) bool {
 	return true
 }
 
+// Adaptive flush-threshold bounds: the per-destination byte threshold is
+// re-derived every epoch as max(Limits.Bytes, measuredEpochBytes /
+// AdaptiveTargetFlushes), capped at AdaptiveMaxBytes. Adaptation only
+// ever grows the threshold past the configured bound — the fixed bound
+// already balances fence overlap against per-message cost at normal
+// volume, and shrinking it for short or quiet phases floods the
+// receiving routers with envelope handling; growth caps the envelope
+// count per epoch when a destination's write volume spikes far past the
+// configured threshold (message storms under hot partitions or bigger
+// clusters).
+const (
+	AdaptiveMaxBytes      = 256 << 10
+	AdaptiveTargetFlushes = 64
+)
+
 // Limits bounds a stream's per-destination batch growth. A zero field
 // means "no bound on that axis"; an all-zero Limits flushes only at
 // explicit Flush calls (the epoch fence).
@@ -184,19 +202,40 @@ type Limits struct {
 	// Entries flushes a destination once this many entries are buffered.
 	Entries int
 	// Bytes flushes a destination once its buffered modelled wire size
-	// reaches this many bytes.
+	// reaches this many bytes. With Adaptive set it is only the initial
+	// threshold.
 	Bytes int
+	// Adaptive re-sizes the byte threshold per destination at every
+	// epoch from the previous epoch's measured write volume.
+	Adaptive bool
 }
 
-// dstBuf is one destination's pending batch plus its wire-size estimate.
+// dstBuf is one destination's pending batch: the entry headers plus the
+// arenas their Row/Ops payloads are copied into. Arena-backed copies make
+// Append allocation-free per entry — callers hand in entries whose
+// payload slices they immediately reuse, and the only allocations are
+// the amortised arena growths and the per-envelope handoff at flush.
 type dstBuf struct {
 	entries []Entry
 	bytes   int
+	arena   []byte            // Row bytes and FieldOp args
+	ops     []storage.FieldOp // op-entry headers
+	// limit is this destination's current byte threshold (adaptive mode
+	// re-derives it each epoch; fixed mode mirrors Limits.Bytes).
+	limit int
+	// epochBytes measures this epoch's appended volume for adaptation;
+	// prevEpochBytes keeps the epoch before it. Epochs strictly
+	// alternate partitioned and single-master phases (a stream is busy
+	// in one and usually idle in the other), so adaptation keys off the
+	// max of the two — the busy phase's volume governs both following
+	// epochs instead of collapsing after the idle one.
+	epochBytes     int
+	prevEpochBytes int
 }
 
 // Stream accumulates entries per destination and ships them as batched
 // Batch envelopes: a partitioned-phase epoch produces O(destinations ×
-// epochBytes/Limits.Bytes) messages instead of O(writes). One stream per
+// epochBytes/limit) messages instead of O(writes). One stream per
 // worker thread keeps it contention-free; the shared Tracker is atomic.
 // The fence accounting is per entry, not per envelope: AddSent counts
 // len(entries) at flush time, so Sent/Expected reconcile exactly however
@@ -207,42 +246,111 @@ type Stream struct {
 	src     int
 	lim     Limits
 	epoch   uint64
-	buf     map[int]*dstBuf
+	bufs    []*dstBuf // indexed by destination node
 }
 
 // NewStream creates a stream for worker threads on node src; batches
 // flush automatically at the given limits and at explicit Flush calls.
 func NewStream(net *simnet.Network, tracker *Tracker, src int, lim Limits) *Stream {
-	return &Stream{net: net, tracker: tracker, src: src, lim: lim, buf: make(map[int]*dstBuf)}
+	return &Stream{net: net, tracker: tracker, src: src, lim: lim,
+		bufs: make([]*dstBuf, tracker.Nodes())}
 }
 
 // SetEpoch stamps subsequently flushed batches with epoch. Any entries
 // still buffered from the previous epoch are flushed first so an
 // envelope never mixes epochs (callers flush at the fence anyway; this
-// is the backstop).
+// is the backstop). In adaptive mode this is also where each
+// destination's flush threshold is re-derived from the epoch's volume.
 func (s *Stream) SetEpoch(epoch uint64) {
-	if epoch != s.epoch {
-		s.Flush()
-		s.epoch = epoch
+	if epoch == s.epoch {
+		return
+	}
+	s.Flush()
+	s.epoch = epoch
+	if !s.lim.Adaptive {
+		return
+	}
+	for _, b := range s.bufs {
+		if b == nil {
+			continue
+		}
+		vol := b.epochBytes
+		if b.prevEpochBytes > vol {
+			vol = b.prevEpochBytes
+		}
+		b.limit = adaptedLimit(s.lim.Bytes, vol)
+		b.prevEpochBytes = b.epochBytes
+		b.epochBytes = 0
 	}
 }
 
+// adaptedLimit grows the configured byte bound to keep roughly
+// AdaptiveTargetFlushes envelopes per epoch at the measured volume;
+// it never shrinks below the configured bound.
+func adaptedLimit(configured, epochBytes int) int {
+	v := epochBytes / AdaptiveTargetFlushes
+	if v < configured {
+		return configured
+	}
+	if v > AdaptiveMaxBytes {
+		return AdaptiveMaxBytes
+	}
+	return v
+}
+
+func (s *Stream) dst(dst int) *dstBuf {
+	b := s.bufs[dst]
+	if b == nil {
+		b = &dstBuf{limit: s.lim.Bytes}
+		s.bufs[dst] = b
+	}
+	return b
+}
+
 // Append queues e for dst, flushing the destination's batch when a limit
-// is hit. Local (src==dst) appends are dropped: a node does not
+// is hit. The entry's Row and Ops payloads are copied into the
+// destination's arena, so the caller may reuse their backing arrays
+// immediately. Local (src==dst) appends are dropped: a node does not
 // replicate to itself.
 func (s *Stream) Append(dst int, e Entry) {
 	if dst == s.src {
 		return
 	}
-	b := s.buf[dst]
-	if b == nil {
-		b = &dstBuf{}
-		s.buf[dst] = b
+	b := s.dst(dst)
+	if len(b.entries) < cap(b.entries) {
+		b.entries = b.entries[:len(b.entries)+1]
+	} else {
+		b.entries = append(b.entries, Entry{})
 	}
-	b.entries = append(b.entries, e)
-	b.bytes += e.Size()
+	ne := &b.entries[len(b.entries)-1]
+	*ne = e
+	if e.Ops != nil {
+		// Deep-copy the op headers and their args. Arena growth leaves
+		// earlier entries pointing into the old (immutable) backing
+		// arrays, which stays valid.
+		if b.ops == nil {
+			b.ops = make([]storage.FieldOp, 0, 16)
+		}
+		off := len(b.ops)
+		b.ops = append(b.ops, e.Ops...)
+		ne.Ops = b.ops[off:len(b.ops):len(b.ops)]
+		for i := range ne.Ops {
+			op := &ne.Ops[i]
+			ao := len(b.arena)
+			b.arena = append(b.arena, op.Arg...)
+			op.Arg = b.arena[ao:len(b.arena):len(b.arena)]
+		}
+		ne.Row = nil
+	} else if len(e.Row) > 0 {
+		off := len(b.arena)
+		b.arena = append(b.arena, e.Row...)
+		ne.Row = b.arena[off:len(b.arena):len(b.arena)]
+	}
+	sz := ne.Size()
+	b.bytes += sz
+	b.epochBytes += sz
 	if (s.lim.Entries > 0 && len(b.entries) >= s.lim.Entries) ||
-		(s.lim.Bytes > 0 && b.bytes >= s.lim.Bytes) {
+		(b.limit > 0 && b.bytes >= b.limit) {
 		s.flushDst(dst, b)
 	}
 }
@@ -259,7 +367,10 @@ func (s *Stream) flushDst(dst int, b *dstBuf) {
 		return
 	}
 	entries := b.entries
-	b.entries, b.bytes = nil, 0
+	// The entries and their arenas escape with the envelope; fresh
+	// buffers start the next batch (one amortised allocation per
+	// envelope, not per entry).
+	b.entries, b.bytes, b.arena, b.ops = nil, 0, nil, nil
 	s.tracker.AddSent(dst, int64(len(entries)))
 	s.net.Send(s.src, dst, simnet.Replication, &Batch{From: s.src, Epoch: s.epoch, Entries: entries})
 }
@@ -267,16 +378,20 @@ func (s *Stream) flushDst(dst int, b *dstBuf) {
 // Flush ships all buffered batches (called at every phase end, so the
 // replication fence sees complete Sent counts).
 func (s *Stream) Flush() {
-	for dst, b := range s.buf {
-		s.flushDst(dst, b)
+	for dst, b := range s.bufs {
+		if b != nil {
+			s.flushDst(dst, b)
+		}
 	}
 }
 
 // Buffered returns the number of entries not yet shipped (tests).
 func (s *Stream) Buffered() int {
 	n := 0
-	for _, b := range s.buf {
-		n += len(b.entries)
+	for _, b := range s.bufs {
+		if b != nil {
+			n += len(b.entries)
+		}
 	}
 	return n
 }

@@ -323,3 +323,91 @@ func TestReplicaConvergenceAnyOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The stream must copy entry payloads into its own arenas: callers reuse
+// their Row/Ops buffers immediately after Append (the zero-allocation
+// commit path), and the buffered entries must not see those mutations.
+func TestStreamCopiesPayloads(t *testing.T) {
+	s := rt.NewSim()
+	net := simnet.New(s, simnet.Config{Nodes: 2})
+	tr := NewTracker(2)
+	var got []Entry
+	s.Go("worker", func() {
+		st := NewStream(net, tr, 0, Limits{})
+		row := []byte{1, 2, 3}
+		arg := []byte{7}
+		st.Append(1, Entry{Table: 0, Part: 0, Key: storage.K1(1), TID: 1, Row: row})
+		st.Append(1, Entry{Table: 0, Part: 0, Key: storage.K1(2), TID: 2,
+			Ops: []storage.FieldOp{{Field: 0, Kind: storage.OpAddInt64, Arg: arg}}})
+		row[0] = 99 // caller reuses its buffers
+		arg[0] = 99
+		st.Flush()
+	})
+	s.Go("recv", func() {
+		for {
+			b := net.Inbox(1).Recv().(*Batch)
+			got = append(got, b.Entries...)
+		}
+	})
+	s.Run(100 * time.Millisecond)
+	s.Stop()
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	if !bytes.Equal(got[0].Row, []byte{1, 2, 3}) {
+		t.Fatalf("row mutated through the stream: %v", got[0].Row)
+	}
+	if got[0].IsOp() || !got[1].IsOp() {
+		t.Fatal("entry kinds lost in arena copy")
+	}
+	if !bytes.Equal(got[1].Ops[0].Arg, []byte{7}) {
+		t.Fatalf("op arg mutated through the stream: %v", got[1].Ops[0].Arg)
+	}
+}
+
+// Adaptive mode re-derives each destination's byte threshold at the
+// epoch boundary from the measured volume: growth-only past the
+// configured bound, capped at AdaptiveMaxBytes, falling back to the
+// configured bound on quiet epochs.
+func TestStreamAdaptiveThreshold(t *testing.T) {
+	s := rt.NewSim()
+	net := simnet.New(s, simnet.Config{Nodes: 2})
+	tr := NewTracker(2)
+	row := make([]byte, 1000)
+	s.Go("worker", func() {
+		const configured = 4 << 10
+		st := NewStream(net, tr, 0, Limits{Bytes: configured, Adaptive: true})
+		st.SetEpoch(2)
+		e := Entry{Table: 0, Part: 0, Key: storage.K1(1), TID: 1, Row: row}
+		// ~640KB this epoch → next threshold ≈ 640KB/64 = 10KB.
+		for i := 0; i < 640; i++ {
+			st.Append(1, e)
+		}
+		st.SetEpoch(3)
+		grown := st.bufs[1].limit
+		if grown <= configured || grown > AdaptiveMaxBytes {
+			t.Errorf("epoch-3 threshold %d, want grown above the configured %d", grown, configured)
+		}
+		// Epochs alternate phases, so one idle epoch (the other phase)
+		// must not collapse the threshold...
+		st.Append(1, e)
+		st.SetEpoch(4)
+		if lim := st.bufs[1].limit; lim != grown {
+			t.Errorf("epoch-4 threshold %d, want still %d after one idle epoch", lim, grown)
+		}
+		// ...but two consecutive quiet epochs return it to the
+		// configured bound — adaptation never shrinks below that.
+		st.Append(1, e)
+		st.SetEpoch(5)
+		if lim := st.bufs[1].limit; lim != configured {
+			t.Errorf("epoch-5 threshold %d, want configured %d", lim, configured)
+		}
+	})
+	s.Go("recv", func() {
+		for {
+			net.Inbox(1).Recv()
+		}
+	})
+	s.Run(100 * time.Millisecond)
+	s.Stop()
+}

@@ -1,0 +1,147 @@
+package storage
+
+import "sync/atomic"
+
+// index is a lock-free open-addressing hash table from Key to *Record,
+// built for STAR's execution phases: reads are latch-free (a single
+// atomic load per probe), inserts are serialized by the owning
+// Partition's insert mutex, and growth is copy-on-grow — a full rehash
+// into a larger slot array published with one atomic pointer store, so
+// in-flight readers keep probing a complete (if slightly stale) table.
+//
+// The design exploits two invariants of the engine:
+//
+//   - The partitioned phase has exactly one writer per partition, and the
+//     single-master phase serializes inserts through GetOrCreate, so the
+//     insert path can afford a mutex; the read path — every Get of every
+//     transaction — cannot, and takes none.
+//
+//   - Records are never removed. A key either maps to its record forever,
+//     or (for inserts rolled back by an epoch revert) its slot is
+//     replaced by a tombstone that probes skip. Probe chains therefore
+//     never shrink under a reader's feet.
+//
+// Memory model: an idxEntry is immutable after publication, and both the
+// slot store and the table-pointer store are atomic releases paired with
+// the readers' atomic acquires, so a reader that observes an entry
+// observes its fully initialised fields.
+
+// idxEntry is one published key→record binding. Immutable once stored.
+type idxEntry struct {
+	key Key
+	rec *Record
+}
+
+// idxTombstone marks a slot whose insert was reverted. Probes skip it;
+// inserts may reuse it.
+var idxTombstone = &idxEntry{}
+
+// idxTable is one generation of the slot array. len(slots) is a power of
+// two and at least 1/4 empty, so linear probes always terminate.
+type idxTable struct {
+	slots []atomic.Pointer[idxEntry]
+	used  int // occupied slots incl. tombstones; maintained under the insert mutex
+}
+
+const idxMinSlots = 16
+
+func newIdxTable(slots int) *idxTable {
+	return &idxTable{slots: make([]atomic.Pointer[idxEntry], slots)}
+}
+
+// hashKey mixes both key words through a splitmix64-style finalizer.
+func hashKey(k Key) uint64 {
+	h := k.Lo*0x9e3779b97f4a7c15 ^ k.Hi*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// get is the latch-free read path: probe the current table, return the
+// record or nil. Safe to call concurrently with inserts and growth.
+func (t *idxTable) get(key Key) *Record {
+	mask := uint64(len(t.slots) - 1)
+	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e != idxTombstone && e.key == key {
+			return e.rec
+		}
+	}
+}
+
+// insert publishes key→rec. Caller holds the partition's insert mutex and
+// has verified the key is not present. It reuses the first tombstone on
+// the probe path, else the terminating empty slot.
+func (t *idxTable) insert(key Key, rec *Record) {
+	mask := uint64(len(t.slots) - 1)
+	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			t.used++
+			t.slots[i].Store(&idxEntry{key: key, rec: rec})
+			return
+		}
+		if e == idxTombstone {
+			t.slots[i].Store(&idxEntry{key: key, rec: rec})
+			return
+		}
+		if e.key == key {
+			panic("storage: index insert of present key")
+		}
+	}
+}
+
+// tombstone replaces key's slot with the tombstone sentinel (epoch revert
+// of an insert). Caller holds the insert mutex. A no-op when the key is
+// not indexed.
+func (t *idxTable) tombstone(key Key) {
+	mask := uint64(len(t.slots) - 1)
+	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return
+		}
+		if e != idxTombstone && e.key == key {
+			t.slots[i].Store(idxTombstone)
+			return
+		}
+	}
+}
+
+// needsGrow reports whether one more insert would push occupancy past
+// 3/4, the bound that keeps probe chains short and terminating.
+func (t *idxTable) needsGrow() bool {
+	return (t.used+1)*4 > len(t.slots)*3
+}
+
+// grown rehashes live entries into a table twice the size, dropping
+// tombstones. Caller holds the insert mutex; the caller publishes the
+// result with an atomic store.
+func (t *idxTable) grown() *idxTable {
+	nt := newIdxTable(len(t.slots) * 2)
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil && e != idxTombstone {
+			nt.insertRehash(e)
+		}
+	}
+	return nt
+}
+
+// insertRehash places an existing entry during growth (plain pointer
+// reuse: entries are immutable).
+func (t *idxTable) insertRehash(e *idxEntry) {
+	mask := uint64(len(t.slots) - 1)
+	for i := hashKey(e.key) & mask; ; i = (i + 1) & mask {
+		if t.slots[i].Load() == nil {
+			t.used++
+			t.slots[i].Store(e)
+			return
+		}
+	}
+}

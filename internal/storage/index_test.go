@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestIndexGrowKeepsAllKeys drives the index through many doublings and
+// verifies every inserted key stays reachable.
+func TestIndexGrowKeepsAllKeys(t *testing.T) {
+	p := newPartition()
+	const n = 10_000
+	recs := make([]*Record, n)
+	for i := 0; i < n; i++ {
+		recs[i] = p.GetOrCreate(K2(uint64(i)*7, uint64(i)))
+	}
+	for i := 0; i < n; i++ {
+		if got := p.Get(K2(uint64(i)*7, uint64(i))); got != recs[i] {
+			t.Fatalf("key %d: got %p want %p", i, got, recs[i])
+		}
+	}
+	if p.Get(K2(1, n+1)) != nil {
+		t.Fatal("absent key must return nil")
+	}
+}
+
+// TestIndexConcurrentReadersAndInserter is the single-master-phase shape:
+// one writer inserting (triggering copy-on-grow) while readers probe
+// latch-free. Run with -race.
+func TestIndexConcurrentReadersAndInserter(t *testing.T) {
+	p := newPartition()
+	const n = 20_000
+	var published atomic.Int64
+	published.Store(-1) // nothing inserted yet
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.GetOrCreate(K1(uint64(i)))
+			published.Store(int64(i))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := seed
+			for i := 0; i < 50_000; i++ {
+				h = h*0x9e3779b97f4a7c15 + 1
+				hi := published.Load()
+				if hi < 0 {
+					continue
+				}
+				k := h % uint64(hi+1)
+				// A key at or below the published watermark must be found.
+				if p.Get(K1(k)) == nil {
+					t.Errorf("published key %d not found", k)
+					return
+				}
+			}
+		}(uint64(r) + 1)
+	}
+	wg.Wait()
+}
+
+// TestIndexConcurrentGetOrCreate checks duplicate suppression when two
+// goroutines race to create the same keys.
+func TestIndexConcurrentGetOrCreate(t *testing.T) {
+	p := newPartition()
+	const n = 5_000
+	out := [2][]*Record{}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		out[g] = make([]*Record, n)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				out[g][i] = p.GetOrCreate(K1(uint64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if out[0][i] != out[1][i] {
+			t.Fatalf("key %d: racing GetOrCreate returned distinct records", i)
+		}
+	}
+}
+
+// TestIndexRevertCommitInterleaving interleaves epochs that insert keys
+// and then either commit or revert, with concurrent readers, checking
+// that reverted inserts disappear while committed ones survive — and
+// that a reverted key can be re-inserted afterwards.
+func TestIndexRevertCommitInterleaving(t *testing.T) {
+	db := NewDB(1, nil)
+	tbl := db.AddTable("t", testSchema(), false)
+	p := tbl.Partition(0)
+	row := tbl.Schema().NewRow()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := uint64(0); k < 64; k++ {
+					if rec := p.Get(K1(k)); rec != nil {
+						v, _, _ := rec.ReadStable(buf)
+						buf = v
+					}
+				}
+			}
+		}()
+	}
+
+	seq := uint64(1)
+	for epoch := uint64(2); epoch < 42; epoch++ {
+		base := epoch * 100
+		for k := uint64(0); k < 8; k++ {
+			seq++
+			if _, ok := tbl.Insert(0, K1(base+k), epoch, MakeTID(epoch, seq), row); !ok {
+				t.Fatalf("epoch %d: insert %d failed", epoch, k)
+			}
+		}
+		if epoch%2 == 0 {
+			p.CommitEpoch()
+			for k := uint64(0); k < 8; k++ {
+				if p.Get(K1(base+k)) == nil {
+					t.Fatalf("epoch %d: committed insert %d vanished", epoch, k)
+				}
+			}
+		} else {
+			p.RevertEpoch(epoch)
+			for k := uint64(0); k < 8; k++ {
+				if p.Get(K1(base+k)) != nil {
+					t.Fatalf("epoch %d: reverted insert %d still visible", epoch, k)
+				}
+			}
+			// Tombstoned slots must be reusable.
+			seq++
+			if _, ok := tbl.Insert(0, K1(base), epoch+100, MakeTID(epoch+100, seq), row); !ok {
+				t.Fatalf("epoch %d: re-insert after revert failed", epoch)
+			}
+			if p.Get(K1(base)) == nil {
+				t.Fatalf("epoch %d: re-inserted key not found", epoch)
+			}
+			p.CommitEpoch()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestIndexGetZeroAllocs pins the latch-free read path's allocation
+// count at zero.
+func TestIndexGetZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := newPartition()
+	for i := uint64(0); i < 1000; i++ {
+		p.GetOrCreate(K1(i))
+	}
+	var sink *Record
+	allocs := testing.AllocsPerRun(10_000, func() {
+		sink = p.Get(K1(123))
+	})
+	if sink == nil {
+		t.Fatal("key not found")
+	}
+	if allocs != 0 {
+		t.Fatalf("Partition.Get allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkPartitionGet(b *testing.B) {
+	p := newPartition()
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		p.GetOrCreate(K1(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	h := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		h = h*0x9e3779b97f4a7c15 + 1
+		if p.Get(K1(h%n)) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

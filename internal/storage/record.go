@@ -110,6 +110,25 @@ func (r *Record) ReadStable(buf []byte) (val []byte, tid uint64, present bool) {
 	return buf, tid, present
 }
 
+// ReadStableAppend appends the record's value to arena and returns the
+// extended arena plus the appended region. Hot execution paths use it
+// with a per-worker arena reset each transaction, so steady-state reads
+// allocate nothing; when the arena grows, previously returned regions
+// keep pointing into the old (immutable) backing array and stay valid.
+func (r *Record) ReadStableAppend(arena []byte) (newArena, val []byte, tid uint64, present bool) {
+	r.Lock()
+	cur := r.tid.Load()
+	tid = TIDClean(cur)
+	present = !TIDAbsent(cur)
+	if present {
+		off := len(arena)
+		arena = append(arena, r.data...)
+		val = arena[off:len(arena):len(arena)]
+	}
+	r.Unlock()
+	return arena, val, tid, present
+}
+
 // TryReadStable is ReadStable with bounded latch acquisition: after
 // `attempts` failed TryLocks (with SpinWait between them) it gives up
 // and returns ok=false. Message-router contexts use this so that a

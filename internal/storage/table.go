@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Key is a fixed-width composite key. Workloads pack their key components
@@ -18,12 +19,14 @@ func K2(a, b uint64) Key { return Key{Hi: a, Lo: b} }
 // KeySize is the wire size of a Key.
 const KeySize = 16
 
-// Partition is one hash-partition of a table. During the partitioned
-// phase a partition has exactly one writer; during the single-master
-// phase any master worker may touch it, so map mutations take mu.
+// Partition is one hash-partition of a table, indexed by a lock-free
+// open-addressing table (see index.go): reads take no latch at all —
+// the partitioned phase's single writer and the OCC phase's validation
+// both rely only on the per-record TID latch — while inserts (rare:
+// replication placeholders and new rows) serialize on insertMu.
 type Partition struct {
-	mu   sync.RWMutex
-	recs map[Key]*Record
+	idx      atomic.Pointer[idxTable]
+	insertMu sync.Mutex
 
 	// dirty tracks records first-written in the current epoch, and the
 	// keys inserted in it, for O(writes) epoch revert.
@@ -33,15 +36,15 @@ type Partition struct {
 }
 
 func newPartition() *Partition {
-	return &Partition{recs: make(map[Key]*Record)}
+	p := &Partition{}
+	p.idx.Store(newIdxTable(idxMinSlots))
+	return p
 }
 
-// Get returns the record for key, or nil.
+// Get returns the record for key, or nil. Latch-free: a single atomic
+// load per probe step, safe against concurrent inserts and growth.
 func (p *Partition) Get(key Key) *Record {
-	p.mu.RLock()
-	r := p.recs[key]
-	p.mu.RUnlock()
-	return r
+	return p.idx.Load().get(key)
 }
 
 // GetOrCreate returns the record for key, creating an absent placeholder
@@ -50,18 +53,24 @@ func (p *Partition) GetOrCreate(key Key) *Record {
 	if r := p.Get(key); r != nil {
 		return r
 	}
-	p.mu.Lock()
-	r := p.recs[key]
-	if r == nil {
-		r = NewAbsentRecord(0)
-		p.recs[key] = r
-		p.mu.Unlock()
-		p.dirtyMu.Lock()
-		p.dirtyKeys = append(p.dirtyKeys, key)
-		p.dirtyMu.Unlock()
+	p.insertMu.Lock()
+	t := p.idx.Load()
+	// Re-probe under the insert mutex: another inserter may have won.
+	if r := t.get(key); r != nil {
+		p.insertMu.Unlock()
 		return r
 	}
-	p.mu.Unlock()
+	if t.needsGrow() {
+		nt := t.grown()
+		p.idx.Store(nt)
+		t = nt
+	}
+	r := NewAbsentRecord(0)
+	t.insert(key, r)
+	p.insertMu.Unlock()
+	p.dirtyMu.Lock()
+	p.dirtyKeys = append(p.dirtyKeys, key)
+	p.dirtyMu.Unlock()
 	return r
 }
 
@@ -74,11 +83,10 @@ func (p *Partition) MarkDirty(r *Record) {
 
 // Len returns the number of present records.
 func (p *Partition) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	t := p.idx.Load()
 	n := 0
-	for _, r := range p.recs {
-		if !TIDAbsent(r.TID()) {
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil && e != idxTombstone && !TIDAbsent(e.rec.TID()) {
 			n++
 		}
 	}
@@ -89,24 +97,19 @@ func (p *Partition) Len() int {
 // value. fn must not call back into the partition. Used by checkpointing
 // and consistency checks; the iteration is fuzzy (not a snapshot).
 func (p *Partition) Range(fn func(key Key, tid uint64, val []byte) bool) {
-	p.mu.RLock()
-	keys := make([]Key, 0, len(p.recs))
-	for k := range p.recs {
-		keys = append(keys, k)
-	}
-	p.mu.RUnlock()
+	t := p.idx.Load()
 	var buf []byte
-	for _, k := range keys {
-		r := p.Get(k)
-		if r == nil {
+	for i := range t.slots {
+		e := t.slots[i].Load()
+		if e == nil || e == idxTombstone {
 			continue
 		}
-		val, tid, present := r.ReadStable(buf)
+		val, tid, present := e.rec.ReadStable(buf)
 		buf = val
 		if !present {
 			continue
 		}
-		if !fn(k, tid, val) {
+		if !fn(e.key, tid, val) {
 			return
 		}
 	}
@@ -130,14 +133,17 @@ func (p *Partition) RevertEpoch(epoch uint64) int {
 		r.Unlock()
 		n++
 	}
-	// Placeholders created this epoch that reverted to absent are removed.
-	p.mu.Lock()
+	// Placeholders created this epoch that reverted to absent are
+	// tombstoned out of the index (concurrent probes skip the slot;
+	// chains never break because the slot is replaced, not emptied).
+	p.insertMu.Lock()
+	t := p.idx.Load()
 	for _, k := range inserted {
-		if r := p.recs[k]; r != nil && TIDAbsent(r.TID()) {
-			delete(p.recs, k)
+		if r := t.get(k); r != nil && TIDAbsent(r.TID()) {
+			t.tombstone(k)
 		}
 	}
-	p.mu.Unlock()
+	p.insertMu.Unlock()
 	return n
 }
 

@@ -6,7 +6,6 @@ package txn
 
 import (
 	"errors"
-	"sort"
 
 	"star/internal/storage"
 )
@@ -75,20 +74,48 @@ type Request struct {
 
 // NewRequest computes routing metadata from the procedure's footprint.
 func NewRequest(p Procedure, genAt int64) *Request {
-	accs := p.Accesses()
-	seen := make(map[int]struct{}, 4)
-	parts := make([]int, 0, 4)
-	for _, a := range accs {
-		if _, dup := seen[a.Part]; !dup {
-			seen[a.Part] = struct{}{}
+	r := &Request{}
+	r.ResetFor(p, genAt)
+	return r
+}
+
+// ResetFor re-initialises r in place for a new procedure, reusing the
+// Parts backing array — the partitioned-phase worker keeps one scratch
+// Request and routes every generated transaction through it, so
+// steady-state single-partition commits allocate no Request at all.
+// Footprints are a handful of partitions, so deduplication is a linear
+// scan instead of a map.
+func (r *Request) ResetFor(p Procedure, genAt int64) {
+	r.Proc = p
+	r.GenAt = genAt
+	r.Retries = 0
+	parts := r.Parts[:0]
+	for _, a := range p.Accesses() {
+		dup := false
+		for _, q := range parts {
+			if q == a.Part {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			parts = append(parts, a.Part)
 		}
 	}
-	home := 0
+	r.Parts = parts
+	r.Home = 0
 	if len(parts) > 0 {
-		home = parts[0]
+		r.Home = parts[0]
 	}
-	return &Request{Proc: p, Home: home, Parts: parts, Cross: len(parts) > 1, GenAt: genAt}
+	r.Cross = len(parts) > 1
+}
+
+// Clone returns a heap copy of r with its own Parts array, for requests
+// that escape the generating worker (deferred cross-partition routing).
+func (r *Request) Clone() *Request {
+	c := *r
+	c.Parts = append([]int(nil), r.Parts...)
+	return &c
 }
 
 // ReadEntry is one validated read.
@@ -117,7 +144,10 @@ type RWSet struct {
 	Writes []WriteEntry
 }
 
-// Reset clears the set for reuse.
+// Reset clears the set for reuse. Entry payload buffers (Ops, Row) are
+// kept with the truncated entries and reused by the next transaction's
+// AddWrite/AddInsert, so a steady-state worker's write set allocates
+// nothing.
 func (s *RWSet) Reset() {
 	s.Reads = s.Reads[:0]
 	s.Writes = s.Writes[:0]
@@ -128,8 +158,28 @@ func (s *RWSet) AddRead(t storage.TableID, part int, key storage.Key, rec *stora
 	s.Reads = append(s.Reads, ReadEntry{Table: t, Part: part, Key: key, Rec: rec, TID: tid})
 }
 
+// nextWrite extends Writes by one entry, reviving the retired entry's
+// Ops/Row capacity when the backing array already holds one.
+func (s *RWSet) nextWrite(t storage.TableID, part int, key storage.Key) *WriteEntry {
+	if len(s.Writes) < cap(s.Writes) {
+		s.Writes = s.Writes[:len(s.Writes)+1]
+	} else {
+		s.Writes = append(s.Writes, WriteEntry{})
+	}
+	w := &s.Writes[len(s.Writes)-1]
+	w.Table, w.Part, w.Key = t, part, key
+	w.Rec = nil
+	w.Insert = false
+	w.Ops = w.Ops[:0]
+	w.Row = w.Row[:0]
+	return w
+}
+
 // AddWrite merges ops into an existing entry for the same record or
-// appends a new one.
+// appends a new one. The ops slice is copied into the entry's own
+// buffer, so callers may reuse the slice — but each FieldOp's Arg bytes
+// are aliased until commit, so callers must not overwrite an Arg buffer
+// they have already passed in within the same transaction.
 func (s *RWSet) AddWrite(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
 	for i := range s.Writes {
 		w := &s.Writes[i]
@@ -138,15 +188,15 @@ func (s *RWSet) AddWrite(t storage.TableID, part int, key storage.Key, ops ...st
 			return
 		}
 	}
-	s.Writes = append(s.Writes, WriteEntry{Table: t, Part: part, Key: key, Ops: ops})
+	w := s.nextWrite(t, part, key)
+	w.Ops = append(w.Ops, ops...)
 }
 
-// AddInsert records a new-row write.
+// AddInsert records a new-row write. The row is copied.
 func (s *RWSet) AddInsert(t storage.TableID, part int, key storage.Key, row []byte) {
-	s.Writes = append(s.Writes, WriteEntry{
-		Table: t, Part: part, Key: key, Insert: true,
-		Row: append([]byte(nil), row...),
-	})
+	w := s.nextWrite(t, part, key)
+	w.Insert = true
+	w.Row = append(w.Row, row...)
 }
 
 // FindWrite returns the pending write for a key, or nil.
@@ -161,21 +211,30 @@ func (s *RWSet) FindWrite(t storage.TableID, part int, key storage.Key) *WriteEn
 }
 
 // SortWrites orders the write set globally (table, partition, key) —
-// the deadlock-free lock order used at commit (§4.2).
+// the deadlock-free lock order used at commit (§4.2). Write sets are a
+// handful of entries, so this is an insertion sort: no reflection, no
+// closure, no allocation (sort.Slice allocates its swapper even for a
+// one-element slice, which would be the commit path's only allocation).
 func (s *RWSet) SortWrites() {
-	sort.Slice(s.Writes, func(i, j int) bool {
-		a, b := &s.Writes[i], &s.Writes[j]
-		if a.Table != b.Table {
-			return a.Table < b.Table
+	w := s.Writes
+	for i := 1; i < len(w); i++ {
+		for j := i; j > 0 && writeLess(&w[j], &w[j-1]); j-- {
+			w[j], w[j-1] = w[j-1], w[j]
 		}
-		if a.Part != b.Part {
-			return a.Part < b.Part
-		}
-		if a.Key.Hi != b.Key.Hi {
-			return a.Key.Hi < b.Key.Hi
-		}
-		return a.Key.Lo < b.Key.Lo
-	})
+	}
+}
+
+func writeLess(a, b *WriteEntry) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	if a.Part != b.Part {
+		return a.Part < b.Part
+	}
+	if a.Key.Hi != b.Key.Hi {
+		return a.Key.Hi < b.Key.Hi
+	}
+	return a.Key.Lo < b.Key.Lo
 }
 
 // MaxReadTID returns the largest clean TID across reads and resolved

@@ -125,47 +125,49 @@ func (w *Workload) Load(db *storage.DB) {
 type Gen struct {
 	w   *Workload
 	rng *rand.Rand
+	row []byte // scratch row for building write ops
+	val []byte // scratch payload
 }
 
 // NewGen implements workload.Workload.
 func (w *Workload) NewGen(seed int64) workload.Gen {
-	return &Gen{w: w, rng: rand.New(rand.NewSource(seed))}
+	return &Gen{w: w, rng: rand.New(rand.NewSource(seed)),
+		row: w.schema.NewRow(), val: make([]byte, w.cfg.FieldSize)}
 }
 
 // Txn is one YCSB transaction: OpsPerTxn accesses, of which the last
 // WritesPerTxn are read-modify-writes installing fresh random bytes.
+// The footprint and the write op are precomputed at generation time so
+// that Run — the piece the engine executes, possibly several times under
+// OCC retry — allocates nothing.
 type Txn struct {
 	w      *Workload
 	parts  []int
 	keys   []storage.Key
 	writes []bool
-	val    []byte // payload for the write ops
+	accs   []txn.Access
+	// ops is the precomputed column-1 delta, held as a slice so Run can
+	// pass it through the variadic Ctx.Write without allocating (a
+	// spread of an existing slice reuses it; a bare argument would build
+	// a fresh one per call).
+	ops []storage.FieldOp
 }
 
 // Name implements txn.Procedure.
 func (t *Txn) Name() string { return "ycsb.txn" }
 
 // Accesses implements txn.Procedure.
-func (t *Txn) Accesses() []txn.Access {
-	accs := make([]txn.Access, len(t.keys))
-	for i := range t.keys {
-		accs[i] = txn.Access{Table: TableID, Part: t.parts[i], Key: t.keys[i], Write: t.writes[i]}
-	}
-	return accs
-}
+func (t *Txn) Accesses() []txn.Access { return t.accs }
 
 // Run implements txn.Procedure: reads every record; for write accesses it
 // installs the new column value (column 1, as a single-field delta).
 func (t *Txn) Run(ctx txn.Ctx) error {
-	row := t.w.schema.NewRow()
-	t.w.schema.SetBytes(row, 1, t.val)
-	op := storage.SetFieldOp(t.w.schema, row, 1)
 	for i := range t.keys {
 		if _, ok := ctx.Read(TableID, t.parts[i], t.keys[i]); !ok {
 			return txn.ErrConflict
 		}
 		if t.writes[i] {
-			ctx.Write(TableID, t.parts[i], t.keys[i], op)
+			ctx.Write(TableID, t.parts[i], t.keys[i], t.ops...)
 		}
 	}
 	return nil
@@ -178,9 +180,10 @@ func (g *Gen) gen(home int, cross bool) txn.Procedure {
 		parts:  make([]int, cfg.OpsPerTxn),
 		keys:   make([]storage.Key, cfg.OpsPerTxn),
 		writes: make([]bool, cfg.OpsPerTxn),
-		val:    make([]byte, cfg.FieldSize),
 	}
-	g.rng.Read(t.val)
+	g.rng.Read(g.val)
+	g.w.schema.SetBytes(g.row, 1, g.val)
+	t.ops = []storage.FieldOp{storage.SetFieldOp(g.w.schema, g.row, 1)}
 	seen := make(map[storage.Key]struct{}, cfg.OpsPerTxn)
 	for i := 0; i < cfg.OpsPerTxn; i++ {
 		p := home
@@ -205,6 +208,10 @@ func (g *Gen) gen(home int, cross bool) txn.Procedure {
 			t.parts[cfg.OpsPerTxn-1] = (home + 1) % cfg.Partitions
 			t.keys[cfg.OpsPerTxn-1] = g.w.Key(t.parts[cfg.OpsPerTxn-1], g.rng.Intn(cfg.RecordsPerPartition))
 		}
+	}
+	t.accs = make([]txn.Access, cfg.OpsPerTxn)
+	for i := range t.keys {
+		t.accs[i] = txn.Access{Table: TableID, Part: t.parts[i], Key: t.keys[i], Write: t.writes[i]}
 	}
 	return t
 }

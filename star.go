@@ -99,7 +99,21 @@ type Config struct {
 	// FlushEvery additionally bounds a replication batch in entries
 	// (0 = no entry bound).
 	FlushEvery int
+	// FlushPolicy selects how the replication flush threshold evolves:
+	// FlushAdaptive (default) re-sizes each destination's byte bound at
+	// every epoch fence from the measured write volume (growth-only,
+	// capped), FlushFixed keeps FlushBytes as-is.
+	FlushPolicy FlushPolicy
 }
+
+// FlushPolicy re-exports the replication flush-threshold policy.
+type FlushPolicy = core.FlushPolicy
+
+// Flush policies (see Config.FlushPolicy).
+const (
+	FlushAdaptive = core.FlushAdaptive
+	FlushFixed    = core.FlushFixed
+)
 
 // Cluster is a running STAR cluster.
 type Cluster struct {
@@ -145,6 +159,7 @@ func New(cfg Config) (*Cluster, error) {
 		Seed:           cfg.Seed,
 		FlushBytes:     cfg.FlushBytes,
 		FlushEvery:     cfg.FlushEvery,
+		FlushPolicy:    cfg.FlushPolicy,
 	})
 	return c, nil
 }
