@@ -1,0 +1,134 @@
+// Command star-node runs ONE node of a STAR cluster as its own OS
+// process, connected to its peers over TCP (internal/tcpnet) with the
+// internal/wire binary encoding — the multi-process counterpart of the
+// in-process cluster the library API builds.
+//
+// Every process is started with the same cluster flags plus its own
+// -id. Process 0 additionally hosts the phase coordinator, drives the
+// scripted run, and prints the cluster result as JSON; the other
+// processes exit silently when the coordinator halts the run.
+//
+// A 2-node TPC-C cluster on loopback:
+//
+//	star-node -id 0 -nodes 2 -addrs 127.0.0.1:7101,127.0.0.1:7102 &
+//	star-node -id 1 -nodes 2 -addrs 127.0.0.1:7101,127.0.0.1:7102
+//
+// The run is scripted (-txns generator steps per partition, then one
+// deterministic single-master drain): its committed count and
+// per-partition checksums are a pure function of the flags and -seed,
+// so the same flags on the in-process simnet cluster produce the exact
+// same JSON — the equivalence cmd/star-node's integration test pins.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"star/internal/core"
+	"star/internal/rt"
+	"star/internal/tcpnet"
+	"star/internal/workload"
+	"star/internal/workload/tpcc"
+	"star/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this process's node id (process 0 also hosts the coordinator)")
+		nodes     = flag.Int("nodes", 2, "cluster size f+k")
+		full      = flag.Int("full", 1, "full replicas f")
+		workers   = flag.Int("workers", 2, "worker threads per node (partitions = nodes*workers)")
+		addrs     = flag.String("addrs", "", "comma-separated host:port per process, in id order (required)")
+		wl        = flag.String("workload", "tpcc", "workload: tpcc or ycsb")
+		cross     = flag.Int("cross", -1, "cross-partition percentage (-1 = workload default)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		txns      = flag.Int("txns", 200, "scripted generator steps per partition")
+		districts = flag.Int("districts", 2, "tpcc: districts per warehouse")
+		customers = flag.Int("customers", 300, "tpcc: customers per district")
+		items     = flag.Int("items", 2000, "tpcc: catalogue size")
+		records   = flag.Int("records", 2000, "ycsb: records per partition")
+	)
+	flag.Parse()
+
+	addrList := strings.Split(*addrs, ",")
+	if *addrs == "" || len(addrList) != *nodes {
+		fmt.Fprintf(os.Stderr, "star-node: -addrs must list exactly -nodes addresses (got %d, want %d)\n",
+			len(addrList), *nodes)
+		os.Exit(2)
+	}
+	if *id < 0 || *id >= *nodes {
+		fmt.Fprintf(os.Stderr, "star-node: -id %d out of range [0,%d)\n", *id, *nodes)
+		os.Exit(2)
+	}
+
+	nparts := *nodes * *workers
+	var w workload.Workload
+	switch *wl {
+	case "tpcc":
+		cfg := tpcc.Config{
+			Warehouses:           nparts,
+			Districts:            *districts,
+			CustomersPerDistrict: *customers,
+			Items:                *items,
+		}
+		if *cross >= 0 {
+			cfg.SetCrossPct(*cross)
+		}
+		w = tpcc.New(cfg)
+	case "ycsb":
+		cfg := ycsb.Config{Partitions: nparts, RecordsPerPartition: *records}
+		if *cross >= 0 {
+			cfg.CrossPct = *cross
+		}
+		w = ycsb.New(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "star-node: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	// Endpoint map: node i lives at addrList[i]; the coordinator
+	// endpoint (id = nodes) shares process 0's listener.
+	endpoints := append(append([]string(nil), addrList...), addrList[0])
+	local := []int{*id}
+	if *id == 0 {
+		local = append(local, *nodes) // coordinator endpoint
+	}
+
+	r := rt.NewReal()
+	net, err := tcpnet.New(r, tcpnet.Config{
+		Endpoints: endpoints,
+		Local:     local,
+		Codec:     core.NewWireCodec(w),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "star-node:", err)
+		os.Exit(1)
+	}
+	defer net.Close()
+
+	run := core.StartScripted(core.Config{
+		RT:               r,
+		Nodes:            *nodes,
+		FullReplicas:     *full,
+		WorkersPerNode:   *workers,
+		Workload:         w,
+		Seed:             *seed,
+		Transport:        net,
+		LocalNodes:       []int{*id},
+		LocalCoordinator: *id == 0,
+	}, core.Script{TxnsPerPartition: *txns})
+
+	res := <-run.Done()
+	r.Stop()
+	if *id != 0 {
+		return // node-only process: the coordinator prints the result
+	}
+	out, _ := json.Marshal(res)
+	fmt.Println(string(out))
+	if res.Err != "" {
+		os.Exit(1)
+	}
+}

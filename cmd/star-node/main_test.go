@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"star/internal/core"
+	"star/internal/rt"
+	"star/internal/workload/tpcc"
+)
+
+// freePorts reserves n distinct loopback ports. The listeners close
+// before the processes start, so a port could in principle be stolen in
+// between — acceptable for a test that runs in seconds.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestStarNodeProcessesMatchSimnet is the acceptance check for the
+// multi-process path: two actual star-node OS processes (N=2 on
+// loopback) complete a TPC-C run whose committed-transaction count and
+// post-fence replica checksums exactly match the in-process simnet run
+// with the same seed.
+func TestStarNodeProcessesMatchSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short")
+	}
+	const (
+		nodes, workers = 2, 2
+		txns           = 40
+		seed           = int64(7)
+	)
+	w := func() *tpcc.Workload {
+		// Mirrors the star-node defaults for -districts/-customers/-items.
+		return tpcc.New(tpcc.Config{
+			Warehouses:           nodes * workers,
+			Districts:            2,
+			CustomersPerDistrict: 300,
+			Items:                2000,
+		})
+	}
+
+	// Reference result from the in-process simulated cluster.
+	sim := rt.NewSim()
+	simRun := core.StartScripted(core.Config{
+		RT: sim, Nodes: nodes, WorkersPerNode: workers, Workload: w(), Seed: seed,
+	}, core.Script{TxnsPerPartition: txns})
+	sim.Run(sim.Now() + time.Hour)
+	var want core.ScriptResult
+	select {
+	case want = <-simRun.Done():
+	default:
+		t.Fatal("simnet scripted run did not finish")
+	}
+	sim.Stop()
+	if want.Err != "" || want.Committed == 0 {
+		t.Fatalf("bad simnet reference: %+v", want)
+	}
+
+	bin := filepath.Join(t.TempDir(), "star-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addrs := freePorts(t, nodes)
+	addrList := addrs[0] + "," + addrs[1]
+	args := func(id string) []string {
+		return []string{
+			"-id", id, "-nodes", "2", "-workers", "2", "-txns", "40", "-seed", "7",
+			"-addrs", addrList,
+		}
+	}
+	node1 := exec.Command(bin, args("1")...)
+	if err := node1.Start(); err != nil {
+		t.Fatalf("start node 1: %v", err)
+	}
+	defer node1.Process.Kill()
+	node0 := exec.Command(bin, args("0")...)
+	out, err := node0.Output()
+	if err != nil {
+		t.Fatalf("node 0: %v (output %q)", err, out)
+	}
+	if err := node1.Wait(); err != nil {
+		t.Fatalf("node 1 exited with error: %v", err)
+	}
+
+	var got core.ScriptResult
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("parse node 0 output %q: %v", out, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("star-node cluster diverged from simnet run:\n got %+v\nwant %+v", got, want)
+	}
+}

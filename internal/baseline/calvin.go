@@ -10,6 +10,7 @@ import (
 	"star/internal/rt"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 	"star/internal/workload"
 )
@@ -22,7 +23,7 @@ import (
 // no commit protocol is needed.
 type Calvin struct {
 	cfg   Config
-	net   *simnet.Network
+	net   transport.Transport
 	nodes []*bnode
 	st    stats
 
@@ -182,7 +183,7 @@ func (e *Calvin) sequencerLoop() {
 		}
 		m := msgBatch{No: no, Txns: txns}
 		for i := 0; i < e.cfg.Nodes; i++ {
-			e.net.Send(e.cfg.tickerID(), i, simnet.Replication, m)
+			e.net.Send(e.cfg.tickerID(), i, transport.Replication, m)
 		}
 		done := 0
 		for done < e.cfg.Nodes {
@@ -330,7 +331,7 @@ func (cn *calvinNode) schedule(m msgBatch) {
 	}
 	if cn.left == 0 {
 		cn.mu.Unlock()
-		e.net.Send(cn.id, e.cfg.tickerID(), simnet.Control, msgBatchDone{Node: cn.id, No: m.No})
+		e.net.Send(cn.id, e.cfg.tickerID(), transport.Control, msgBatchDone{Node: cn.id, No: m.No})
 		return
 	}
 	cn.mu.Unlock()
@@ -411,7 +412,7 @@ func (cn *calvinNode) workerLoop(_ int) {
 		no := cn.batchNo
 		cn.mu.Unlock()
 		if finished {
-			e.net.Send(cn.id, e.cfg.tickerID(), simnet.Control, msgBatchDone{Node: cn.id, No: no})
+			e.net.Send(cn.id, e.cfg.tickerID(), transport.Control, msgBatchDone{Node: cn.id, No: no})
 		}
 	}
 }
@@ -446,7 +447,7 @@ func (cn *calvinNode) pushReads(ct *calvinTxn) {
 	m := msgPush{TxnID: ct.id, From: cn.id, Keys: keys, Rows: rows}
 	for p := range participants {
 		if p != cn.id {
-			e.net.Send(cn.id, p, simnet.Data, m)
+			e.net.Send(cn.id, p, transport.Data, m)
 		}
 	}
 }

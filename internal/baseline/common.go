@@ -19,6 +19,7 @@ import (
 	"star/internal/rt"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 	"star/internal/workload"
 )
@@ -123,15 +124,15 @@ func (s *stats) pause(r rt.Runtime) bool {
 	return false
 }
 
-func (s *stats) snapshot(name string, r rt.Runtime, net *simnet.Network) metrics.Stats {
+func (s *stats) snapshot(name string, r rt.Runtime, net transport.Transport) metrics.Stats {
 	return metrics.Stats{
 		Engine:           name,
 		Duration:         r.Now(),
 		Committed:        s.committed.Load(),
 		Aborted:          s.aborted.Load() + s.userAborts.Load(),
 		Latency:          s.latency,
-		ReplicationBytes: net.Bytes(simnet.Replication),
-		ReplicationMsgs:  net.Messages(simnet.Replication),
+		ReplicationBytes: net.Bytes(transport.Replication),
+		ReplicationMsgs:  net.Messages(transport.Replication),
 		NetworkBytes:     net.TotalBytes(),
 		Extra:            map[string]float64{"user_aborts": float64(s.userAborts.Load())},
 	}
@@ -142,7 +143,7 @@ type bnode struct {
 	id      int
 	db      *storage.DB
 	tracker *replication.Tracker
-	net     *simnet.Network
+	net     transport.Transport
 	// onDrainMsg handles engine-specific messages that arrive while the
 	// node is blocked in a group-commit drain.
 	onDrainMsg func(any)
@@ -181,28 +182,38 @@ const (
 	rpcPrepare
 )
 
-// rpcReq is a generic engine RPC; Payload is engine-specific and, being
-// in-process, shipped by pointer with an explicit modelled size.
+// rpcReq is a generic engine RPC. Payload is the wire-encoded,
+// kind-specific payload (see payloads.go) — no in-process pointers, so
+// the message set is wire-encodable; Size derives from the actual
+// encoded length.
 type rpcReq struct {
 	Kind    rpcKind
 	From    int // node
 	Worker  int
 	Seq     uint64
-	Payload any
-	Bytes   int
+	Payload []byte
 }
 
-func (m *rpcReq) Size() int { return 32 + m.Bytes }
+func (m *rpcReq) Size() int { return 16 + len(m.Payload) }
 
 type rpcResp struct {
 	Worker  int
 	Seq     uint64
 	OK      bool
-	Payload any
-	Bytes   int
+	Payload []byte
 }
 
-func (m *rpcResp) Size() int { return 24 + m.Bytes }
+func (m *rpcResp) Size() int { return 16 + len(m.Payload) }
+
+// mustDecode unwraps an RPC payload decode. The baselines run their
+// RPCs in-process, so a malformed payload is a programming error, not
+// input: fail loudly.
+func mustDecode[T any](v T, err error) T {
+	if err != nil {
+		panic("baseline: decode rpc payload: " + err.Error())
+	}
+	return v
+}
 
 // tickMsgs drive the epoch-based group commit for async variants.
 type msgTickDone struct {
@@ -236,7 +247,7 @@ func (msgTick) Size() int { return 16 }
 // results), mirroring Silo's epoch design as the paper's baselines do.
 type epochTicker struct {
 	cfg   Config
-	net   *simnet.Network
+	net   transport.Transport
 	nodes []*bnode
 	lat   *metrics.Hist
 	// epochNow is read by workers to stamp TIDs.
@@ -244,7 +255,7 @@ type epochTicker struct {
 	epoch uint64
 }
 
-func newEpochTicker(cfg Config, net *simnet.Network, nodes []*bnode, lat *metrics.Hist) *epochTicker {
+func newEpochTicker(cfg Config, net transport.Transport, nodes []*bnode, lat *metrics.Hist) *epochTicker {
 	return &epochTicker{cfg: cfg, net: net, nodes: nodes, lat: lat, epoch: 2}
 }
 
@@ -271,7 +282,7 @@ func (t *epochTicker) loop() {
 		r.Sleep(t.cfg.Epoch)
 		epoch := t.Epoch()
 		for i := range t.nodes {
-			t.net.Send(t.cfg.tickerID(), i, simnet.Control, msgTick{Epoch: epoch})
+			t.net.Send(t.cfg.tickerID(), i, transport.Control, msgTick{Epoch: epoch})
 		}
 		// Gather sent vectors.
 		done := map[int]msgTickDone{}
@@ -291,7 +302,7 @@ func (t *epochTicker) loop() {
 			for src, d := range done {
 				expected[src] = d.Sent[i]
 			}
-			t.net.Send(t.cfg.tickerID(), i, simnet.Control, msgTickDrain{Epoch: epoch, Expected: expected})
+			t.net.Send(t.cfg.tickerID(), i, transport.Control, msgTickDrain{Epoch: epoch, Expected: expected})
 		}
 		acks := 0
 		deadline = r.Now() + 10*t.cfg.Epoch
@@ -318,10 +329,10 @@ func newRPCPort(r rt.Runtime) *rpcPort { return &rpcPort{resp: r.NewChan(16)} }
 
 // call performs a blocking RPC from worker w on node src to node dst.
 // Handling happens in the destination's router process.
-func (p *rpcPort) call(net *simnet.Network, src, dst, worker int, kind rpcKind, payload any, bytes int) *rpcResp {
+func (p *rpcPort) call(net transport.Transport, src, dst, worker int, kind rpcKind, payload []byte) *rpcResp {
 	p.seq++
-	net.Send(src, dst, simnet.Data, &rpcReq{
-		Kind: kind, From: src, Worker: worker, Seq: p.seq, Payload: payload, Bytes: bytes,
+	net.Send(src, dst, transport.Data, &rpcReq{
+		Kind: kind, From: src, Worker: worker, Seq: p.seq, Payload: payload,
 	})
 	for {
 		v, ok := p.resp.RecvTimeout(time.Second)

@@ -6,20 +6,20 @@ import (
 	"star/internal/lock"
 	"star/internal/occ"
 	"star/internal/replication"
-	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 )
 
 // callAll issues one RPC per destination in parallel and collects all
 // responses. Local destinations must be handled by the caller directly.
-func (p *rpcPort) callAll(net *simnet.Network, src, worker int, reqs map[int]*rpcReq) map[int]*rpcResp {
+func (p *rpcPort) callAll(net transport.Transport, src, worker int, reqs map[int]*rpcReq) map[int]*rpcResp {
 	bySeq := map[uint64]int{}
 	for dst, req := range reqs {
 		p.seq++
 		req.Seq = p.seq
 		bySeq[p.seq] = dst
-		net.Send(src, dst, simnet.Data, req)
+		net.Send(src, dst, transport.Data, req)
 	}
 	out := make(map[int]*rpcResp, len(reqs))
 	for len(out) < len(reqs) {
@@ -137,7 +137,7 @@ func (e *Dist) doCommitAsync(node int, p *commitPayload) {
 	}
 	if backup != node {
 		n.tracker.AddSent(backup, int64(len(ents)))
-		e.net.Send(node, backup, simnet.Replication, &replication.Batch{From: node, Entries: ents})
+		e.net.Send(node, backup, transport.Replication, &replication.Batch{From: node, Entries: ents})
 	}
 }
 
@@ -222,9 +222,9 @@ func (c *distCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bo
 		if owner == c.node {
 			rep, ok = e.doLockRead(owner, payload)
 		} else {
-			resp := c.port.call(e.net, c.node, owner, c.wi, rpcLockRead, payload, 32)
+			resp := c.port.call(e.net, c.node, owner, c.wi, rpcLockRead, payload.encode())
 			if resp.OK {
-				rep, ok = resp.Payload.(*readReply), true
+				rep, ok = mustDecode(decodeReadReply(resp.Payload)), true
 			}
 		}
 		if !ok {
@@ -242,9 +242,9 @@ func (c *distCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bo
 	if owner == c.node {
 		rep, ok = e.doRead(owner, payload)
 	} else {
-		resp := c.port.call(e.net, c.node, owner, c.wi, rpcRead, payload, 28)
+		resp := c.port.call(e.net, c.node, owner, c.wi, rpcRead, payload.encode())
 		if resp.OK {
-			rep, ok = resp.Payload.(*readReply), true
+			rep, ok = mustDecode(decodeReadReply(resp.Payload)), true
 		}
 	}
 	if !ok {
@@ -335,7 +335,7 @@ func (e *Dist) commitOCC(node, wi int, port *rpcPort, set *txn.RWSet, req *txn.R
 			continue
 		}
 		reqs[owner] = &rpcReq{Kind: rpcLockValidate, From: node, Worker: wi,
-			Payload: payload, Bytes: 24 * (len(payload.Reads) + len(payload.Writes))}
+			Payload: payload.encode()}
 	}
 	resps := port.callAll(e.net, node, wi, reqs)
 	allOK := okLocal && len(resps) == len(reqs)
@@ -344,7 +344,7 @@ func (e *Dist) commitOCC(node, wi int, port *rpcPort, set *txn.RWSet, req *txn.R
 			allOK = false
 			continue
 		}
-		if rep := resp.Payload.(*lvReply); rep.MaxWriteTID > maxTID {
+		if rep := mustDecode(decodeLVReply(resp.Payload)); rep.MaxWriteTID > maxTID {
 			maxTID = rep.MaxWriteTID
 		}
 	}
@@ -363,7 +363,7 @@ func (e *Dist) commitOCC(node, wi int, port *rpcPort, set *txn.RWSet, req *txn.R
 				continue
 			}
 			if resp, ok := resps[owner]; ok && resp.OK {
-				abrt[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap, Bytes: 16 * len(ap.Writes)}
+				abrt[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap.encode()}
 			}
 		}
 		port.callAll(e.net, node, wi, abrt)
@@ -380,7 +380,7 @@ func (e *Dist) commitOCC(node, wi int, port *rpcPort, set *txn.RWSet, req *txn.R
 			e.commitLocal(node, wi, port, payload)
 			continue
 		}
-		creqs[owner] = &rpcReq{Kind: rpcCommitWrites, From: node, Worker: wi, Payload: payload, Bytes: batchBytes(ents)}
+		creqs[owner] = &rpcReq{Kind: rpcCommitWrites, From: node, Worker: wi, Payload: payload.encode()}
 	}
 	port.callAll(e.net, node, wi, creqs)
 	e.finish(node, req)
@@ -410,7 +410,7 @@ func (e *Dist) commitLocal(node, wi int, port *rpcPort, p *commitPayload) {
 	if backup != node {
 		n.tracker.AddSent(backup, int64(len(ents)))
 		resp := port.call(e.net, node, backup, wi, rpcCommitWrites,
-			&commitPayload{TID: p.TID, Entries: ents}, batchBytes(ents))
+			(&commitPayload{TID: p.TID, Entries: ents}).encode())
 		_ = resp
 	}
 	for _, nm := range p.Release {
@@ -462,7 +462,7 @@ func (e *Dist) abortS2PL(node, wi int, port *rpcPort, ctx *distCtx) {
 			e.doAbort(node, ap)
 			continue
 		}
-		reqs[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap, Bytes: 16 * len(names)}
+		reqs[owner] = &rpcReq{Kind: rpcAbort, From: node, Worker: wi, Payload: ap.encode()}
 	}
 	port.callAll(e.net, node, wi, reqs)
 }
@@ -483,7 +483,7 @@ func (e *Dist) commitS2PL(node, wi int, port *rpcPort, ctx *distCtx, set *txn.RW
 			if owner == node {
 				continue
 			}
-			preps[owner] = &rpcReq{Kind: rpcPrepare, From: node, Worker: wi, Bytes: 16}
+			preps[owner] = &rpcReq{Kind: rpcPrepare, From: node, Worker: wi}
 		}
 		port.callAll(e.net, node, wi, preps)
 	}
@@ -510,7 +510,7 @@ func (e *Dist) commitS2PL(node, wi int, port *rpcPort, ctx *distCtx, set *txn.RW
 			continue
 		}
 		creqs[owner] = &rpcReq{Kind: rpcCommitWrites, From: node, Worker: wi,
-			Payload: payload, Bytes: batchBytes(payload.Entries) + 16*len(payload.Release)}
+			Payload: payload.encode()}
 	}
 	port.callAll(e.net, node, wi, creqs)
 	e.finish(node, req)

@@ -7,6 +7,7 @@ import (
 	"star/internal/replication"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 )
 
@@ -36,7 +37,7 @@ func (p Protocol) String() string {
 type Dist struct {
 	cfg    Config
 	proto  Protocol
-	net    *simnet.Network
+	net    transport.Transport
 	nodes  []*bnode
 	locks  []*lock.NoWait // per node (used by S2PL)
 	ports  [][]*rpcPort
@@ -170,12 +171,12 @@ func (e *Dist) start() {
 				for _, nm := range p.names {
 					e.locks[i].Unlock(nm, p.owner)
 				}
-				e.net.Send(i, p.from, simnet.Data, &rpcResp{Worker: p.worker, Seq: p.seq, OK: true})
+				e.net.Send(i, p.from, transport.Data, &rpcResp{Worker: p.worker, Seq: p.seq, OK: true})
 			case *rpcReq:
 				r.Compute(e.cfg.Cost.MsgHandling)
 				e.serve(i, msg, pending, &syncSeq)
 			case msgTick:
-				e.net.Send(i, e.cfg.tickerID(), simnet.Control, msgTickDone{
+				e.net.Send(i, e.cfg.tickerID(), transport.Control, msgTickDone{
 					Node: i, Epoch: msg.Epoch, Sent: n.tracker.SentVector(),
 				})
 			case msgTickDrain:
@@ -204,45 +205,49 @@ func (e *Dist) start() {
 // until the backup's ack arrives.
 func (e *Dist) serve(i int, m *rpcReq, pending map[uint64]*pendingSync, syncSeq *uint64) {
 	n := e.nodes[i]
-	reply := func(ok bool, payload any, bytes int) {
-		e.net.Send(i, m.From, simnet.Data, &rpcResp{Worker: m.Worker, Seq: m.Seq, OK: ok, Payload: payload, Bytes: bytes})
+	reply := func(ok bool, payload []byte) {
+		e.net.Send(i, m.From, transport.Data, &rpcResp{Worker: m.Worker, Seq: m.Seq, OK: ok, Payload: payload})
 	}
 	switch m.Kind {
 	case rpcRead:
-		rep, ok := e.doRead(i, m.Payload.(*readPayload))
-		bytes := 0
-		if ok {
-			bytes = len(rep.Row) + 8
+		rep, ok := e.doRead(i, mustDecode(decodeReadPayload(m.Payload)))
+		if !ok {
+			reply(false, nil)
+			return
 		}
-		reply(ok, rep, bytes)
+		reply(true, rep.encode())
 
 	case rpcLockRead:
-		rep, ok := e.doLockRead(i, m.Payload.(*readPayload))
-		bytes := 0
-		if ok {
-			bytes = len(rep.Row) + 8
+		rep, ok := e.doLockRead(i, mustDecode(decodeReadPayload(m.Payload)))
+		if !ok {
+			reply(false, nil)
+			return
 		}
-		reply(ok, rep, bytes)
+		reply(true, rep.encode())
 
 	case rpcLockValidate:
-		rep, ok := e.doLockValidate(i, m.Payload.(*lvPayload))
-		reply(ok, rep, 16)
+		rep, ok := e.doLockValidate(i, mustDecode(decodeLVPayload(m.Payload)))
+		if !ok {
+			reply(false, nil)
+			return
+		}
+		reply(true, rep.encode())
 
 	case rpcPrepare: // 2PC prepare (S2PL: locks already held → yes vote)
-		reply(true, nil, 0)
+		reply(true, nil)
 
 	case rpcCommitWrites:
 		if m.Worker == -1 {
 			// We are the BACKUP applying a synchronously replicated batch.
-			p := m.Payload.(*commitPayload)
+			p := mustDecode(decodeCommitPayload(m.Payload))
 			applyBatch(e.cfg, n, &replication.Batch{From: m.From, Entries: p.Entries})
-			e.net.Send(i, m.From, simnet.Data, &rpcResp{Worker: -1, Seq: m.Seq, OK: true})
+			e.net.Send(i, m.From, transport.Data, &rpcResp{Worker: -1, Seq: m.Seq, OK: true})
 			return
 		}
-		p := m.Payload.(*commitPayload)
+		p := mustDecode(decodeCommitPayload(m.Payload))
 		if !p.Sync || len(p.Entries) == 0 {
 			e.doCommitAsync(i, p)
-			reply(true, nil, 0)
+			reply(true, nil)
 			return
 		}
 		// Synchronous: apply, forward rows to the backup, and defer the
@@ -260,21 +265,21 @@ func (e *Dist) serve(i int, m *rpcReq, pending map[uint64]*pendingSync, syncSeq 
 			for _, nm := range p.Release {
 				e.locks[i].Unlock(nm, p.Owner)
 			}
-			reply(true, nil, 0)
+			reply(true, nil)
 			return
 		}
 		*syncSeq++
 		token := *syncSeq
 		pending[token] = &pendingSync{from: m.From, worker: m.Worker, seq: m.Seq, owner: p.Owner, names: p.Release}
 		n.tracker.AddSent(backup, int64(len(ents)))
-		e.net.Send(i, backup, simnet.Replication, &rpcReq{
+		e.net.Send(i, backup, transport.Replication, &rpcReq{
 			Kind: rpcCommitWrites, From: i, Worker: -1, Seq: token,
-			Payload: &commitPayload{TID: p.TID, Entries: ents}, Bytes: batchBytes(ents),
+			Payload: (&commitPayload{TID: p.TID, Entries: ents}).encode(),
 		})
 
 	case rpcAbort:
-		e.doAbort(i, m.Payload.(*abortPayload))
-		reply(true, nil, 0)
+		e.doAbort(i, mustDecode(decodeAbortPayload(m.Payload)))
+		reply(true, nil)
 	}
 }
 

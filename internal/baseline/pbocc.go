@@ -10,7 +10,9 @@ import (
 	"star/internal/rt"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
+	"star/internal/wire"
 	"star/internal/workload"
 )
 
@@ -22,7 +24,7 @@ import (
 // epoch-based group commit.
 type PBOCC struct {
 	cfg     Config
-	net     *simnet.Network
+	net     transport.Transport
 	primary *bnode
 	backup  *bnode
 	ticker  *epochTicker
@@ -89,7 +91,7 @@ func (e *PBOCC) start() {
 			case *rpcResp:
 				ports[m.Worker].resp.Send(m)
 			case msgTick:
-				e.net.Send(0, e.cfg.tickerID(), simnet.Control, msgTickDone{
+				e.net.Send(0, e.cfg.tickerID(), transport.Control, msgTickDone{
 					Node: 0, Epoch: m.Epoch, Sent: e.primary.tracker.SentVector(),
 				})
 			case msgTickDrain:
@@ -122,11 +124,11 @@ func (e *PBOCC) start() {
 				nextApplier = (nextApplier + 1) % len(applierChs)
 			case *rpcReq: // sync replication batch
 				r.Compute(e.cfg.Cost.MsgHandling)
-				b := m.Payload.(*replication.Batch)
+				b := mustDecode(wire.DecodeBatch(m.Payload))
 				applyBatch(e.cfg, n, b)
-				e.net.Send(1, m.From, simnet.Data, &rpcResp{Worker: m.Worker, Seq: m.Seq, OK: true})
+				e.net.Send(1, m.From, transport.Data, &rpcResp{Worker: m.Worker, Seq: m.Seq, OK: true})
 			case msgTick:
-				e.net.Send(1, e.cfg.tickerID(), simnet.Control, msgTickDone{
+				e.net.Send(1, e.cfg.tickerID(), transport.Control, msgTickDone{
 					Node: 1, Epoch: m.Epoch, Sent: n.tracker.SentVector(),
 				})
 			case msgTickDrain:
@@ -181,7 +183,7 @@ func (e *PBOCC) workerLoop(wi int, port *rpcPort) {
 				entries := replication.ValueEntries(&set, t)
 				e.primary.tracker.AddSent(1, int64(len(entries)))
 				resp := port.call(e.net, 0, 1, wi, rpcCommitWrites,
-					&replication.Batch{From: 0, Entries: entries}, batchBytes(entries))
+					encodeBatchPayload(&replication.Batch{From: 0, Entries: entries}))
 				occ.ReleaseLocks(&set)
 				if !resp.OK {
 					e.st.aborted.Inc()
@@ -197,7 +199,7 @@ func (e *PBOCC) workerLoop(wi int, port *rpcPort) {
 				}
 				ents := replication.ValueEntries(&set, t)
 				e.primary.tracker.AddSent(1, int64(len(ents)))
-				e.net.Send(0, 1, simnet.Replication, &replication.Batch{From: 0, Entries: ents})
+				e.net.Send(0, 1, transport.Replication, &replication.Batch{From: 0, Entries: ents})
 				e.st.committed.Inc()
 				e.primary.addPending(req.GenAt)
 			}
@@ -260,13 +262,6 @@ func execCost(cfg Config, ctx costCtx) time.Duration {
 		time.Duration(w)*cfg.Cost.Write
 }
 
-// batchBytes models an entry payload's wire size, delegating to
-// Batch.Size so the header accounting has one source of truth.
-func batchBytes(entries []replication.Entry) int {
-	b := replication.Batch{Entries: entries}
-	return b.Size()
-}
-
 func applyBatch(cfg Config, n *bnode, b *replication.Batch) {
 	for i := range b.Entries {
 		if _, err := replication.Apply(n.db, storage.TIDEpoch(b.Entries[i].TID), &b.Entries[i], false); err != nil {
@@ -295,7 +290,7 @@ func drainNode(cfg Config, n *bnode, in rt.Chan, m msgTickDrain, lat *metrics.Hi
 			n.onDrainMsg(msg)
 		}
 	}
-	n.net.Send(n.id, cfg.tickerID(), simnet.Control, msgTickAck{Node: n.id, Epoch: m.Epoch})
+	n.net.Send(n.id, cfg.tickerID(), transport.Control, msgTickAck{Node: n.id, Epoch: m.Epoch})
 	n.release(cfg.RT.Now(), lat)
 }
 

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"star/internal/rt"
-	"star/internal/simnet"
+	"star/internal/transport"
 )
 
 // The replication fence reconciles per-entry counts (§4.3) while the
@@ -38,7 +38,7 @@ func TestFenceEntryCountsReconcileUnderBatching(t *testing.T) {
 	if totalEntries == 0 {
 		t.Fatal("no replication entries shipped")
 	}
-	msgs := e.net.Messages(simnet.Replication)
+	msgs := e.net.Messages(transport.Replication)
 	if msgs == 0 {
 		t.Fatal("no replication envelopes")
 	}
@@ -73,7 +73,7 @@ func TestFenceReconcilesUnderAdaptiveFlushing(t *testing.T) {
 			}
 		}
 	}
-	msgs := e.net.Messages(simnet.Replication)
+	msgs := e.net.Messages(transport.Replication)
 	if msgs == 0 || totalEntries == 0 {
 		t.Fatal("no replication traffic")
 	}

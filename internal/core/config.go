@@ -13,6 +13,7 @@ import (
 	"star/internal/replication"
 	"star/internal/rt"
 	"star/internal/simnet"
+	"star/internal/transport"
 	"star/internal/workload"
 )
 
@@ -55,6 +56,24 @@ type Config struct {
 	WorkersPerNode int
 	Workload       workload.Workload
 	Net            simnet.Config
+
+	// Transport overrides the built-in simulated network: when non-nil
+	// the engine sends and receives on it (endpoints 0..Nodes-1 are the
+	// nodes, endpoint Nodes is the coordinator) and Net is ignored.
+	// Multi-process clusters pass a tcpnet.Network here.
+	Transport transport.Transport
+
+	// LocalNodes restricts which node ids this process hosts (nil =
+	// all of them, the single-process default). Remote nodes are
+	// reachable only through Transport; Engine methods that inspect
+	// node state (DB, Node, CheckReplicaConsistency, LogFiles) cover
+	// local nodes only.
+	LocalNodes []int
+
+	// LocalCoordinator runs the phase coordinator in this process.
+	// Ignored (always true) when LocalNodes is nil; exactly one process
+	// of a multi-process cluster must set it.
+	LocalCoordinator bool
 
 	// Iteration is the phase-switch iteration time e (τp+τs); the paper
 	// defaults to 10ms.

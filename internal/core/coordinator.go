@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"star/internal/simnet"
+	"star/internal/transport"
 )
 
 // msgUpdateMasters installs a new partition→master map outside of a
@@ -73,10 +73,10 @@ func (c *coordinator) failedList() []int {
 	return f
 }
 
-func (c *coordinator) broadcast(m simnet.Message) {
+func (c *coordinator) broadcast(m transport.Message) {
 	for i, a := range c.alive {
 		if a {
-			c.e.net.Send(c.id(), i, simnet.Control, m)
+			c.e.net.Send(c.id(), i, transport.Control, m)
 		}
 	}
 }
@@ -174,7 +174,7 @@ func (c *coordinator) runPhase(tau time.Duration) {
 		for src, pd := range done {
 			expected[src] = pd.Sent[i]
 		}
-		c.e.net.Send(c.id(), i, simnet.Control, msgFenceDrain{Epoch: c.epoch, Expected: expected})
+		c.e.net.Send(c.id(), i, transport.Control, msgFenceDrain{Epoch: c.epoch, Expected: expected})
 	}
 	acks := map[int]bool{}
 	if !c.gather(grace, func(m any) bool {
@@ -438,7 +438,7 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 		c.e.net.SetDown(id, false)
 		// Revert whatever half-epoch state the node accumulated when it
 		// died; it will be re-fetched.
-		c.e.net.Send(c.id(), id, simnet.Control, msgRevert{
+		c.e.net.Send(c.id(), id, transport.Control, msgRevert{
 			Epoch:      c.epoch,
 			Failed:     c.failedList(),
 			NewMasters: append([]int32(nil), c.masters...),
@@ -456,7 +456,7 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 			parts = append(parts, int32(p))
 			from = append(from, int32(h))
 		}
-		c.e.net.Send(c.id(), id, simnet.Control, msgStartRecovery{Parts: parts, From: from})
+		c.e.net.Send(c.id(), id, transport.Control, msgStartRecovery{Parts: parts, From: from})
 		// Snapshot transfer is bandwidth-paced; allow plenty of time.
 		okDone := c.gather(30*time.Second, func(m any) bool {
 			rd, ok := m.(msgRecoveryDone)
@@ -470,7 +470,7 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 		for src, pd := range done {
 			applied[src] = pd.Sent[id]
 		}
-		c.e.net.Send(c.id(), id, simnet.Control, msgResetCounters{Applied: applied})
+		c.e.net.Send(c.id(), id, transport.Control, msgResetCounters{Applied: applied})
 		c.alive[id] = true
 	}
 	// Hand partitions back to their configured masters where possible.

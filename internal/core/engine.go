@@ -13,6 +13,7 @@ import (
 	"star/internal/rt"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/wal"
 )
 
@@ -20,7 +21,7 @@ import (
 // phase-switch coordinator, and the network between them.
 type Engine struct {
 	cfg   Config
-	net   *simnet.Network
+	net   transport.Transport
 	nodes []*node
 	coord *coordinator
 
@@ -38,6 +39,12 @@ type Engine struct {
 	halted     atomic.Bool
 	haltReason atomic.Value // string
 	frozen     atomic.Bool
+
+	// scripted suppresses the time-driven coordinator (StartScripted
+	// drives the phases instead); haltCh delivers the scripted run's
+	// cluster-wide halt to node-only processes.
+	scripted bool
+	haltCh   rt.Chan
 }
 
 // New builds a STAR cluster: databases are created and loaded, processes
@@ -56,14 +63,30 @@ func build(cfg Config) *Engine {
 		panic("core: need at least 2 nodes (one full replica, one partial)")
 	}
 	e := &Engine{cfg: cfg, latency: &metrics.Hist{}}
+	e.haltCh = cfg.RT.NewChan(1)
 	installSpinWait(cfg.RT)
-	e.net = simnet.New(cfg.RT, cfg.Net)
+	if cfg.Transport != nil {
+		e.net = cfg.Transport
+	} else {
+		e.net = simnet.New(cfg.RT, cfg.Net)
+	}
 
+	hostsAll := cfg.LocalNodes == nil
+	local := make(map[int]bool, len(cfg.LocalNodes))
+	for _, id := range cfg.LocalNodes {
+		local[id] = true
+	}
 	masters := make([]int32, cfg.NumPartitions())
 	for p := range masters {
 		masters[p] = int32(cfg.MasterOf(p))
 	}
 	for i := 0; i < cfg.Nodes; i++ {
+		if !hostsAll && !local[i] {
+			// Remote node: hosted by another process, reachable only
+			// through the transport.
+			e.nodes = append(e.nodes, nil)
+			continue
+		}
 		var holds []bool
 		if i >= cfg.FullReplicas {
 			holds = cfg.HoldsMask(i)
@@ -87,7 +110,9 @@ func build(cfg Config) *Engine {
 		}
 		e.nodes = append(e.nodes, n)
 	}
-	e.coord = newCoordinator(e)
+	if hostsAll || cfg.LocalCoordinator {
+		e.coord = newCoordinator(e)
+	}
 	if cfg.LogDir != "" {
 		e.openLogs()
 	}
@@ -105,6 +130,9 @@ func (e *Engine) openLogs() {
 		return l
 	}
 	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
 		n.routerLog = mustCreate(filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-router.log", n.id)))
 		for a := 0; a < e.cfg.WorkersPerNode; a++ {
 			n.applierLogs = append(n.applierLogs,
@@ -136,6 +164,9 @@ func (e *Engine) LogFiles(node int) []string {
 func (e *Engine) CloseLogs() error {
 	var first error
 	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
 		logs := append([]*wal.Logger{n.routerLog}, n.applierLogs...)
 		for _, w := range n.workers {
 			logs = append(logs, w.logger)
@@ -154,6 +185,9 @@ func (e *Engine) CloseLogs() error {
 
 func (e *Engine) start() {
 	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
 		n := n
 		e.cfg.RT.Go(fmt.Sprintf("star-node-%d", n.id), n.routerLoop)
 		// Parallel replication replay, one applier per worker thread
@@ -169,9 +203,14 @@ func (e *Engine) start() {
 			e.cfg.RT.Go(fmt.Sprintf("star-worker-%d-%d", n.id, w.idx), w.loop)
 		}
 	}
-	e.cfg.RT.Go("star-coordinator", e.coord.loop)
+	if e.coord != nil && !e.scripted {
+		e.cfg.RT.Go("star-coordinator", e.coord.loop)
+	}
 	if e.cfg.Checkpoint && e.cfg.LogDir != "" {
 		for _, n := range e.nodes {
+			if n == nil {
+				continue
+			}
 			n := n
 			e.cfg.RT.Go(fmt.Sprintf("star-ckpt-%d", n.id), func() { e.checkpointLoop(n) })
 		}
@@ -217,7 +256,7 @@ func installSpinWait(r rt.Runtime) {
 
 // Net exposes the cluster network (tests and benches read its byte
 // accounting; failure tests flip link state through the engine methods).
-func (e *Engine) Net() *simnet.Network { return e.net }
+func (e *Engine) Net() transport.Transport { return e.net }
 
 // Node returns node i's database (tests check replica consistency).
 func (e *Engine) Node(i int) *node { return e.nodes[i] }
@@ -261,8 +300,8 @@ func (e *Engine) Stats() metrics.Stats {
 		Committed:        e.committed.Load(),
 		Aborted:          e.aborted.Load() + e.userAborts.Load(),
 		Latency:          e.latency,
-		ReplicationBytes: e.net.Bytes(simnet.Replication),
-		ReplicationMsgs:  e.net.Messages(simnet.Replication),
+		ReplicationBytes: e.net.Bytes(transport.Replication),
+		ReplicationMsgs:  e.net.Messages(transport.Replication),
 		NetworkBytes:     e.net.TotalBytes(),
 		LogBytes:         e.logBytes.Load(),
 		Extra:            map[string]float64{},
@@ -270,10 +309,12 @@ func (e *Engine) Stats() metrics.Stats {
 	st.Extra["user_aborts"] = float64(e.userAborts.Load())
 	st.Extra["deferred"] = float64(e.deferred.Load())
 	st.Extra["rejected"] = float64(e.rejected.Load())
-	st.Extra["fence_share"] = e.coord.fenceShare()
-	tauP, tauS := e.coord.taus()
-	st.Extra["tau_p_ms"] = tauP.Seconds() * 1000
-	st.Extra["tau_s_ms"] = tauS.Seconds() * 1000
+	if e.coord != nil {
+		st.Extra["fence_share"] = e.coord.fenceShare()
+		tauP, tauS := e.coord.taus()
+		st.Extra["tau_p_ms"] = tauP.Seconds() * 1000
+		st.Extra["tau_s_ms"] = tauS.Seconds() * 1000
+	}
 	return st
 }
 
@@ -304,7 +345,7 @@ func (e *Engine) CheckReplicaConsistency() error {
 		base := uint64(0)
 		baseNode := -1
 		for _, h := range e.cfg.HoldersOf(p) {
-			if e.net.IsDown(h) {
+			if e.nodes[h] == nil || e.net.IsDown(h) {
 				continue
 			}
 			sum := e.nodes[h].db.PartitionChecksum(p)

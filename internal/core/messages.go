@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"star/internal/replication"
+	"star/internal/storage"
 	"star/internal/txn"
+	"star/internal/wire"
 )
 
 // msgReplBatch is the per-destination replication envelope: one worker's
@@ -46,6 +48,14 @@ type msgStartPhase struct {
 	Deadline time.Duration // workers stop at this virtual time
 	Master   int           // the designated master node
 	Failed   []int         // currently failed nodes (empty normally)
+
+	// Scripted-run fields (see RunScripted; zero on ordinary phases).
+	// ScriptTxns bounds the partitioned phase by generator steps per
+	// owned partition instead of by Deadline; ScriptDeferred is the
+	// exact number of deferred requests the master must drain in the
+	// single-master phase.
+	ScriptTxns     int
+	ScriptDeferred int64
 }
 
 func (msgStartPhase) Size() int { return 64 }
@@ -92,7 +102,21 @@ type msgDefer struct {
 	Req *txn.Request
 }
 
-func (m msgDefer) Size() int { return 48 + 24*len(m.Req.Parts) }
+// wireSizer is implemented by procedures that report their exact encoded
+// parameter size (the workload wire codecs keep WireSize in lock-step
+// with their encoders), so the modelled size below tracks the real frame
+// length; TestModelledSizesTrackEncoding pins the drift.
+type wireSizer interface{ WireSize() int }
+
+// Size is the encoded frame length: frame overhead + request header +
+// the procedure's parameters. Procedures without a wire codec fall back
+// to the legacy footprint model.
+func (m msgDefer) Size() int {
+	if ws, ok := m.Req.Proc.(wireSizer); ok {
+		return wire.FrameOverhead + wire.RequestOverhead(m.Req.GenAt) + ws.WireSize()
+	}
+	return 48 + 24*len(m.Req.Parts)
+}
 
 // msgReplAck acknowledges application of a synchronously replicated
 // batch (SYNC STAR only).
@@ -125,13 +149,49 @@ type msgSnapshotReq struct {
 
 func (msgSnapshotReq) Size() int { return 24 }
 
-// msgSnapshot carries partition state back to a recovering node. Bytes
-// models the wire size of the copied records.
+// msgSnapshot carries one table's slice of a partition back to a
+// recovering node as encoded row images: parallel key/TID/row columns
+// with no in-process pointers, so the message crosses a real wire
+// unchanged (recovering-node catch-up, §4.5.3 case 1).
 type msgSnapshot struct {
-	Part    int
-	Bytes   int
-	Entries int
-	Payload any // *snapshotPayload; opaque to the network
+	Table storage.TableID
+	Part  int
+	Keys  []storage.Key
+	TIDs  []uint64
+	Rows  [][]byte
 }
 
-func (m msgSnapshot) Size() int { return 24 + m.Bytes }
+// Size is the encoded frame length (see the codec in wire.go): header,
+// table id, part, count, then a fixed key+TID plus a length-prefixed row
+// per record.
+func (m *msgSnapshot) Size() int {
+	n := wire.FrameOverhead + 1 + wire.UvarintLen(uint64(m.Part)) +
+		wire.UvarintLen(uint64(len(m.Keys)))
+	n += len(m.Keys) * (wire.KeyLen + 8)
+	for _, r := range m.Rows {
+		n += wire.BytesLen(r)
+	}
+	return n
+}
+
+// msgChecksumReq asks a node for its partition checksums at a quiesced
+// fence boundary (scripted runs; coordinator → nodes).
+type msgChecksumReq struct{ Epoch uint64 }
+
+func (msgChecksumReq) Size() int { return 16 }
+
+// msgChecksumResp reports the checksums of every partition the node
+// holds, aligned with Parts (node → coordinator).
+type msgChecksumResp struct {
+	Node  int
+	Parts []int32
+	Sums  []uint64
+}
+
+func (m msgChecksumResp) Size() int { return 16 + 12*len(m.Parts) }
+
+// msgHalt tells a node process the scripted run is over and it may exit
+// (coordinator → nodes; multi-process clusters only).
+type msgHalt struct{}
+
+func (msgHalt) Size() int { return 8 }

@@ -7,8 +7,8 @@ import (
 
 	"star/internal/replication"
 	"star/internal/rt"
-	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/wal"
 )
 
@@ -132,16 +132,6 @@ type msgStartRecovery struct {
 
 func (m msgStartRecovery) Size() int { return 8 + 8*len(m.Parts) }
 
-type snapshotPayload struct {
-	table   storage.TableID
-	part    int
-	keys    []storage.Key
-	tids    []uint64
-	rows    [][]byte
-	last    bool
-	elapsed int
-}
-
 func (n *node) inbox() rt.Chan { return n.e.net.Inbox(n.id) }
 
 func (n *node) routerLoop() {
@@ -162,7 +152,7 @@ func (n *node) handle(m any) {
 		// Synchronous replication: the ack may only be sent after the
 		// entries are durably applied, so bypass the async appliers.
 		n.applyEntries(msg.Batch.From, msg.Batch.Entries)
-		n.e.net.Send(n.id, msg.ReplyTo, simnet.Control, msgReplAck{Worker: msg.Worker, Seq: msg.Seq})
+		n.e.net.Send(n.id, msg.ReplyTo, transport.Control, msgReplAck{Worker: msg.Worker, Seq: msg.Seq})
 	case msgStartPhase:
 		n.startPhase(msg)
 	case msgFenceDrain:
@@ -201,6 +191,10 @@ func (n *node) handle(m any) {
 		n.startRecovery(msg)
 	case msgUpdateMasters:
 		copy(n.masters, msg.Masters)
+	case msgChecksumReq:
+		n.serveChecksums()
+	case msgHalt:
+		n.e.haltCh.TrySend(struct{}{})
 	default:
 		panic("core: unknown message")
 	}
@@ -217,12 +211,12 @@ func (n *node) startRecovery(m msgStartRecovery) {
 		}
 	}
 	if len(m.Parts) == 0 {
-		n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgRecoveryDone{Node: n.id})
+		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id})
 		return
 	}
 	n.snapshotsPending = nonRepl * len(m.Parts)
 	for i, p := range m.Parts {
-		n.e.net.Send(n.id, int(m.From[i]), simnet.Data, msgSnapshotReq{From: n.id, Part: int(p)})
+		n.e.net.Send(n.id, int(m.From[i]), transport.Data, msgSnapshotReq{From: n.id, Part: int(p)})
 	}
 }
 
@@ -304,7 +298,7 @@ func (n *node) releaseResults() {
 }
 
 func (n *node) reportPhaseDone() {
-	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgPhaseDone{
+	n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgPhaseDone{
 		Node:      n.id,
 		Epoch:     n.epoch.Load(),
 		Sent:      n.tracker.SentVector(),
@@ -338,7 +332,7 @@ func (n *node) drainFence(m msgFenceDrain) {
 		// Fence flush: logs are durable at every epoch boundary (§4.5.1).
 		n.chargeLog(64)
 	}
-	n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgFenceAck{Node: n.id, Epoch: m.Epoch})
+	n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgFenceAck{Node: n.id, Epoch: m.Epoch})
 }
 
 // applyBatch shards a replication envelope across the node's applier
@@ -452,7 +446,8 @@ func (n *node) ownedPartitions(workerIdx int) []int {
 	return out
 }
 
-// serveSnapshot streams a partition's records to a recovering node.
+// serveSnapshot streams a partition's records to a recovering node, one
+// message per table, as encoded row images.
 func (n *node) serveSnapshot(m msgSnapshotReq) {
 	for ti := 0; ti < n.db.NumTables(); ti++ {
 		tbl := n.db.Table(storage.TableID(ti))
@@ -463,35 +458,29 @@ func (n *node) serveSnapshot(m msgSnapshotReq) {
 		if part == nil {
 			continue
 		}
-		pl := &snapshotPayload{table: tbl.ID(), part: m.Part}
-		bytes := 0
+		snap := &msgSnapshot{Table: tbl.ID(), Part: m.Part}
 		part.Range(func(key storage.Key, tid uint64, val []byte) bool {
-			pl.keys = append(pl.keys, key)
-			pl.tids = append(pl.tids, tid)
-			pl.rows = append(pl.rows, append([]byte(nil), val...))
-			bytes += storage.KeySize + 8 + len(val)
+			snap.Keys = append(snap.Keys, key)
+			snap.TIDs = append(snap.TIDs, tid)
+			snap.Rows = append(snap.Rows, append([]byte(nil), val...))
 			return true
 		})
-		pl.last = ti == n.db.NumTables()-1
-		n.e.net.Send(n.id, m.From, simnet.Data, &msgSnapshot{
-			Part: m.Part, Bytes: bytes, Entries: len(pl.keys), Payload: pl,
-		})
+		n.e.net.Send(n.id, m.From, transport.Data, snap)
 	}
 }
 
 func (n *node) applySnapshot(m *msgSnapshot) {
-	pl := m.Payload.(*snapshotPayload)
-	tbl := n.db.Table(pl.table)
-	part := tbl.Partition(pl.part)
+	tbl := n.db.Table(m.Table)
+	part := tbl.Partition(m.Part)
 	if part == nil {
 		return
 	}
-	for i, key := range pl.keys {
+	for i, key := range m.Keys {
 		rec := part.GetOrCreate(key)
-		rec.ApplyValueThomas(n.epoch.Load(), pl.tids[i], pl.rows[i], false)
+		rec.ApplyValueThomas(n.epoch.Load(), m.TIDs[i], m.Rows[i], false)
 	}
 	n.snapshotsPending--
 	if n.snapshotsPending == 0 {
-		n.e.net.Send(n.id, n.e.cfg.coordID(), simnet.Control, msgRecoveryDone{Node: n.id})
+		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id})
 	}
 }

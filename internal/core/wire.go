@@ -1,0 +1,468 @@
+package core
+
+import (
+	"time"
+
+	"star/internal/replication"
+	"star/internal/storage"
+	"star/internal/transport"
+	"star/internal/wire"
+	"star/internal/workload"
+)
+
+// Wire message type ids. Append-only: a new message takes the next id so
+// mixed-version processes fail loudly on unknown ids instead of
+// misparsing.
+const (
+	wireStartPhase uint8 = iota + 1
+	wirePhaseDone
+	wireFenceDrain
+	wireFenceAck
+	wireDefer
+	wireReplAck
+	wireRevert
+	wireSnapshotReq
+	wireSnapshot
+	wireReplBatch
+	wireSyncBatch
+	wireResetCounters
+	wireRecoveryDone
+	wireStartRecovery
+	wireUpdateMasters
+	wireWorkerDone
+	wireChecksumReq
+	wireChecksumResp
+	wireHalt
+)
+
+// wireRegistrar is implemented by workloads whose procedures have a
+// binary codec (tpcc, ycsb). A real transport needs it for msgDefer;
+// without it deferred cross-partition requests cannot leave the process.
+type wireRegistrar interface {
+	RegisterWire(c *wire.Codec)
+}
+
+// NewWireCodec builds the codec a real transport uses for a cluster
+// running workload w: every cross-node engine message plus the
+// workload's procedure parameters. Every process of one cluster must
+// build it from the same workload configuration.
+func NewWireCodec(w workload.Workload) *wire.Codec {
+	c := wire.NewCodec()
+	registerMessages(c)
+	if r, ok := w.(wireRegistrar); ok {
+		r.RegisterWire(c)
+	}
+	return c
+}
+
+func registerMessages(c *wire.Codec) {
+	c.Register(wireStartPhase, msgStartPhase{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgStartPhase)
+			b = append(b, byte(v.Phase))
+			b = wire.AppendUvarint(b, v.Epoch)
+			b = wire.AppendVarint(b, int64(v.Deadline))
+			b = wire.AppendVarint(b, int64(v.Master))
+			b = wire.AppendInts(b, v.Failed)
+			b = wire.AppendVarint(b, int64(v.ScriptTxns))
+			return wire.AppendVarint(b, v.ScriptDeferred)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgStartPhase
+			if len(b) < 1 {
+				return nil, nil, wire.ErrTruncated
+			}
+			v.Phase = Phase(b[0])
+			var err error
+			var x int64
+			if v.Epoch, b, err = wire.Uvarint(b[1:]); err != nil {
+				return nil, nil, err
+			}
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Deadline = time.Duration(x)
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Master = int(x)
+			if v.Failed, b, err = wire.Ints(b); err != nil {
+				return nil, nil, err
+			}
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.ScriptTxns = int(x)
+			if v.ScriptDeferred, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wirePhaseDone, msgPhaseDone{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgPhaseDone)
+			b = wire.AppendVarint(b, int64(v.Node))
+			b = wire.AppendUvarint(b, v.Epoch)
+			b = wire.AppendI64s(b, v.Sent)
+			b = wire.AppendVarint(b, v.Committed)
+			b = wire.AppendVarint(b, v.GenSingle)
+			return wire.AppendVarint(b, v.GenCross)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgPhaseDone
+			var err error
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Node = int(x)
+			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Sent, b, err = wire.I64s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Committed, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.GenSingle, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.GenCross, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireFenceDrain, msgFenceDrain{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgFenceDrain)
+			b = wire.AppendUvarint(b, v.Epoch)
+			return wire.AppendI64s(b, v.Expected)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgFenceDrain
+			var err error
+			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Expected, b, err = wire.I64s(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireFenceAck, msgFenceAck{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgFenceAck)
+			b = wire.AppendVarint(b, int64(v.Node))
+			return wire.AppendUvarint(b, v.Epoch)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgFenceAck
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Node = int(x)
+			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	// msgDefer carries the whole routing request; the request codec
+	// recomputes Home/Parts/Cross from the decoded procedure.
+	c.Register(wireDefer, msgDefer{},
+		func(b []byte, m transport.Message) []byte {
+			b, err := c.AppendRequest(b, m.(msgDefer).Req)
+			if err != nil {
+				panic("core: encode deferred request: " + err.Error())
+			}
+			return b
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			req, rest, err := c.DecodeRequest(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgDefer{Req: req}, rest, nil
+		})
+
+	c.Register(wireReplAck, msgReplAck{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgReplAck)
+			b = wire.AppendVarint(b, int64(v.Worker))
+			return wire.AppendUvarint(b, v.Seq)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgReplAck
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Worker = int(x)
+			if v.Seq, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireRevert, msgRevert{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgRevert)
+			b = wire.AppendUvarint(b, v.Epoch)
+			b = wire.AppendInts(b, v.Failed)
+			return wire.AppendI32s(b, v.NewMasters)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgRevert
+			var err error
+			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Failed, b, err = wire.Ints(b); err != nil {
+				return nil, nil, err
+			}
+			if v.NewMasters, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireSnapshotReq, msgSnapshotReq{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgSnapshotReq)
+			b = wire.AppendVarint(b, int64(v.From))
+			return wire.AppendVarint(b, int64(v.Part))
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgSnapshotReq
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.From = int(x)
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Part = int(x)
+			return v, b, nil
+		})
+
+	c.Register(wireSnapshot, (*msgSnapshot)(nil),
+		func(b []byte, m transport.Message) []byte {
+			v := m.(*msgSnapshot)
+			b = append(b, byte(v.Table))
+			b = wire.AppendUvarint(b, uint64(v.Part))
+			b = wire.AppendUvarint(b, uint64(len(v.Keys)))
+			for i := range v.Keys {
+				b = wire.AppendKey(b, v.Keys[i])
+				b = wire.AppendU64(b, v.TIDs[i])
+				b = wire.AppendBytes(b, v.Rows[i])
+			}
+			return b
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			v := &msgSnapshot{}
+			if len(b) < 1 {
+				return nil, nil, wire.ErrTruncated
+			}
+			v.Table = storage.TableID(b[0])
+			part, b, err := wire.Uvarint(b[1:])
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Part = int(part)
+			n, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Each record costs ≥ 25 bytes; bound allocation by buffer.
+			if n > uint64(len(b))/25+1 {
+				return nil, nil, wire.ErrCorrupt
+			}
+			v.Keys = make([]storage.Key, n)
+			v.TIDs = make([]uint64, n)
+			v.Rows = make([][]byte, n)
+			for i := uint64(0); i < n; i++ {
+				if v.Keys[i], b, err = wire.Key(b); err != nil {
+					return nil, nil, err
+				}
+				if v.TIDs[i], b, err = wire.U64(b); err != nil {
+					return nil, nil, err
+				}
+				if v.Rows[i], b, err = wire.Bytes(b); err != nil {
+					return nil, nil, err
+				}
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireReplBatch, (*replication.Batch)(nil),
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendBatch(b, m.(*replication.Batch))
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			batch, err := wire.DecodeBatch(b)
+			return batch, nil, err
+		})
+
+	c.Register(wireSyncBatch, syncBatch{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(syncBatch)
+			b = wire.AppendVarint(b, int64(v.Worker))
+			b = wire.AppendUvarint(b, v.Seq)
+			b = wire.AppendVarint(b, int64(v.ReplyTo))
+			return wire.AppendBatch(b, v.Batch)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v syncBatch
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Worker = int(x)
+			if v.Seq, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.ReplyTo = int(x)
+			if v.Batch, err = wire.DecodeBatch(b); err != nil {
+				return nil, nil, err
+			}
+			// DecodeBatch consumes the whole remainder (it rejects
+			// trailing bytes itself).
+			return v, nil, nil
+		})
+
+	c.Register(wireResetCounters, msgResetCounters{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendI64s(b, m.(msgResetCounters).Applied)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			applied, rest, err := wire.I64s(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgResetCounters{Applied: applied}, rest, nil
+		})
+
+	c.Register(wireRecoveryDone, msgRecoveryDone{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendVarint(b, int64(m.(msgRecoveryDone).Node))
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgRecoveryDone{Node: int(x)}, b, nil
+		})
+
+	c.Register(wireStartRecovery, msgStartRecovery{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgStartRecovery)
+			b = wire.AppendI32s(b, v.Parts)
+			return wire.AppendI32s(b, v.From)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgStartRecovery
+			var err error
+			if v.Parts, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.From, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireUpdateMasters, msgUpdateMasters{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendI32s(b, m.(msgUpdateMasters).Masters)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			masters, rest, err := wire.I32s(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgUpdateMasters{Masters: masters}, rest, nil
+		})
+
+	// Node-local in both engines today, but registered so a transport
+	// that encodes local sends (or a future split of workers from
+	// routers) keeps working.
+	c.Register(wireWorkerDone, workerDoneMsg{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(workerDoneMsg)
+			b = wire.AppendVarint(b, int64(v.Worker))
+			b = wire.AppendVarint(b, v.Committed)
+			b = wire.AppendVarint(b, v.GenSingle)
+			return wire.AppendVarint(b, v.GenCross)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v workerDoneMsg
+			var err error
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Worker = int(x)
+			if v.Committed, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.GenSingle, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.GenCross, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireChecksumReq, msgChecksumReq{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendUvarint(b, m.(msgChecksumReq).Epoch)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			epoch, rest, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgChecksumReq{Epoch: epoch}, rest, nil
+		})
+
+	c.Register(wireChecksumResp, msgChecksumResp{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgChecksumResp)
+			b = wire.AppendVarint(b, int64(v.Node))
+			b = wire.AppendI32s(b, v.Parts)
+			return wire.AppendU64s(b, v.Sums)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgChecksumResp
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Node = int(x)
+			if v.Parts, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Sums, b, err = wire.U64s(b); err != nil {
+				return nil, nil, err
+			}
+			if len(v.Sums) != len(v.Parts) {
+				return nil, nil, wire.ErrCorrupt
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireHalt, msgHalt{},
+		func(b []byte, m transport.Message) []byte { return b },
+		func(b []byte) (transport.Message, []byte, error) { return msgHalt{}, b, nil })
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"star/internal/replication"
+	"star/internal/storage"
+	"star/internal/transport"
+	"star/internal/txn"
+	"star/internal/wire"
+	"star/internal/workload/tpcc"
+	"star/internal/workload/ycsb"
+)
+
+func testWorkloads() (*tpcc.Workload, *ycsb.Workload) {
+	tw := tpcc.New(tpcc.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 100, Items: 500,
+	})
+	yw := ycsb.New(ycsb.Config{Partitions: 4, RecordsPerPartition: 100})
+	return tw, yw
+}
+
+// testCodec registers every engine message plus both workloads'
+// procedures (their id blocks are disjoint).
+func testCodec(tw *tpcc.Workload, yw *ycsb.Workload) *wire.Codec {
+	c := wire.NewCodec()
+	registerMessages(c)
+	tw.RegisterWire(c)
+	yw.RegisterWire(c)
+	return c
+}
+
+// sampleMessages builds one canonical instance of every wire message
+// type. The deferred requests come from the real generators so the
+// procedure codecs are exercised with realistic parameters.
+func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
+	tg := tw.NewGen(3)
+	yg := yw.NewGen(4)
+	ents := []replication.Entry{
+		{Table: 2, Part: 1, Key: storage.K2(3, 4), TID: storage.MakeTID(5, 6), Row: []byte("row")},
+		{Table: 0, Part: 2, Key: storage.K1(9), TID: storage.MakeTID(5, 7), Ops: []storage.FieldOp{
+			storage.AddFloat64Op(1, 2.5),
+		}},
+	}
+	return []transport.Message{
+		msgStartPhase{Phase: SingleMaster, Epoch: 9, Deadline: 40 * time.Millisecond,
+			Master: 1, Failed: []int{2}, ScriptTxns: 5, ScriptDeferred: 17},
+		msgPhaseDone{Node: 2, Epoch: 9, Sent: []int64{0, 4, 9}, Committed: 120, GenSingle: 110, GenCross: 12},
+		msgFenceDrain{Epoch: 9, Expected: []int64{1, 2, 3}},
+		msgFenceAck{Node: 1, Epoch: 9},
+		msgDefer{Req: txn.NewRequest(tg.Cross(1), 12345)},
+		msgDefer{Req: txn.NewRequest(yg.Cross(2), 777)},
+		msgReplAck{Worker: 3, Seq: 41},
+		msgRevert{Epoch: 8, Failed: []int{1}, NewMasters: []int32{0, 0, 2, 3}},
+		msgSnapshotReq{From: 2, Part: 3},
+		&msgSnapshot{Table: 1, Part: 2,
+			Keys: []storage.Key{storage.K1(1), storage.K2(2, 3)},
+			TIDs: []uint64{storage.MakeTID(2, 1), storage.MakeTID(2, 2)},
+			Rows: [][]byte{[]byte("alpha"), nil}},
+		&replication.Batch{From: 1, Epoch: 9, Entries: ents},
+		syncBatch{Batch: &replication.Batch{From: 0, Epoch: 9, Entries: ents[:1]}, Worker: 2, Seq: 5, ReplyTo: 0},
+		msgResetCounters{Applied: []int64{5, 0, 9}},
+		msgRecoveryDone{Node: 2},
+		msgStartRecovery{Parts: []int32{1, 3}, From: []int32{0, 0}},
+		msgUpdateMasters{Masters: []int32{0, 1, 2, 3}},
+		workerDoneMsg{Worker: 1, Committed: 50, GenSingle: 45, GenCross: 5},
+		msgChecksumReq{Epoch: 9},
+		msgChecksumResp{Node: 1, Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
+		msgHalt{},
+	}
+}
+
+// TestWireMessagesRoundTrip pins decode(encode(m)) == m for every
+// message type the cluster sends, through the full frame path.
+func TestWireMessagesRoundTrip(t *testing.T) {
+	tw, yw := testWorkloads()
+	c := testCodec(tw, yw)
+	for i, m := range sampleMessages(tw, yw) {
+		frame, err := wire.AppendFrame(nil, 2, 4, transport.Control, c, m)
+		if err != nil {
+			t.Fatalf("message %d (%T): encode: %v", i, m, err)
+		}
+		fi, got, err := wire.DecodeFrameBody(frame[4:], c)
+		if err != nil {
+			t.Fatalf("message %d (%T): decode: %v", i, m, err)
+		}
+		if fi.Src != 2 || fi.Dst != 4 || fi.Class != transport.Control {
+			t.Fatalf("message %d (%T): frame header %+v", i, m, fi)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("message %d (%T) round trip:\n got %#v\nwant %#v", i, m, got, m)
+		}
+		// Trailing bytes after a valid message mean stream desync: the
+		// codec must reject them, not silently accept.
+		if _, _, err := wire.DecodeFrameBody(append(frame[4:], 0xee), c); err == nil {
+			t.Fatalf("message %d (%T): trailing byte accepted", i, m)
+		}
+	}
+}
+
+// TestModelledSizesTrackEncoding is the size-model fix's pin: the
+// modelled Size() of the messages whose sizes were re-derived from the
+// codec (msgDefer, msgSnapshot) stays within 10% of the actual encoded
+// frame length, for a large sample of generated transactions.
+func TestModelledSizesTrackEncoding(t *testing.T) {
+	tw, yw := testWorkloads()
+	c := testCodec(tw, yw)
+	rng := rand.New(rand.NewSource(99))
+	check := func(name string, m transport.Message) {
+		t.Helper()
+		frame, err := wire.AppendFrame(nil, 0, 1, transport.Data, c, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		modelled, encoded := m.Size(), len(frame)
+		drift := float64(modelled-encoded) / float64(encoded)
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift >= 0.10 {
+			t.Fatalf("%s: modelled %d vs encoded %d (drift %.1f%% ≥ 10%%)",
+				name, modelled, encoded, drift*100)
+		}
+	}
+	tg := tw.NewGen(7)
+	yg := yw.NewGen(8)
+	for i := 0; i < 200; i++ {
+		home := i % 4
+		check("tpcc defer", msgDefer{Req: txn.NewRequest(tg.Mixed(home), int64(i)*1001)})
+		check("ycsb defer", msgDefer{Req: txn.NewRequest(yg.Mixed(home), int64(i)*77)})
+	}
+	for i := 0; i < 20; i++ {
+		snap := &msgSnapshot{Table: storage.TableID(i % 3), Part: i}
+		for j := 0; j < 1+rng.Intn(50); j++ {
+			row := make([]byte, rng.Intn(200))
+			rng.Read(row)
+			snap.Keys = append(snap.Keys, storage.K2(uint64(i), uint64(j)))
+			snap.TIDs = append(snap.TIDs, storage.MakeTID(3, uint64(j+1)))
+			snap.Rows = append(snap.Rows, row)
+		}
+		check("snapshot", snap)
+	}
+}
+
+// corpusSeed mirrors the wire package's committed-corpus helper.
+func corpusSeed(f *testing.F, target string, idx int, data []byte) {
+	f.Helper()
+	f.Add(data)
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		f.Fatalf("corpus dir: %v", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%02d", idx))
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if existing, err := os.ReadFile(path); err == nil && string(existing) == content {
+		return
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		f.Fatalf("write corpus seed: %v", err)
+	}
+}
+
+// FuzzWireMessages throws arbitrary frame bodies at the full message
+// codec: decoding must never panic (truncated/corrupt frames are
+// rejected with errors), and anything that decodes must survive a
+// canonical re-encode/decode cycle unchanged.
+func FuzzWireMessages(f *testing.F) {
+	tw, yw := testWorkloads()
+	c := testCodec(tw, yw)
+	for i, m := range sampleMessages(tw, yw) {
+		enc, err := c.Append(nil, m)
+		if err != nil {
+			f.Fatalf("seed %d: %v", i, err)
+		}
+		corpusSeed(f, "FuzzWireMessages", i, enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := c.Decode(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		enc, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", m, err)
+		}
+		m2, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding of %T does not decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("canonical round trip changed %T:\n%#v\nvs\n%#v", m, m, m2)
+		}
+	})
+}

@@ -7,8 +7,8 @@ import (
 	"star/internal/occ"
 	"star/internal/replication"
 	"star/internal/rt"
-	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 	"star/internal/wal"
 	"star/internal/workload"
@@ -79,11 +79,23 @@ func (w *worker) loop() {
 		cmd := w.ctl.Recv().(msgStartPhase)
 		w.strm.SetEpoch(cmd.Epoch)
 		w.committed, w.genSingle, w.genCross = 0, 0, 0
+		scripted := cmd.ScriptTxns > 0
 		switch {
+		case cmd.Phase == Partitioned && scripted:
+			w.runPartitionedScripted(cmd)
 		case cmd.Phase == Partitioned:
 			w.runPartitioned(cmd)
+		case cmd.Phase == SingleMaster && w.n.id == cmd.Master && scripted:
+			// Deterministic drain: worker 0 alone executes the deferred
+			// requests serially; the other workers just report done.
+			if w.idx == 0 {
+				w.runMasterScripted(cmd)
+			}
 		case cmd.Phase == SingleMaster && w.n.id == cmd.Master:
 			w.runSingleMaster(cmd)
+		case scripted:
+			// Scripted stand-by: the phase ends when the work is done,
+			// not at a deadline — report immediately.
 		default:
 			// Standing by for replication (§4.3): the router applies the
 			// master's stream; this worker just waits the phase out.
@@ -95,7 +107,7 @@ func (w *worker) loop() {
 		if w.logger != nil {
 			w.logger.Flush(false) // fence flush (§4.5.1)
 		}
-		w.n.e.net.Send(w.n.id, w.n.id, simnet.Control, workerDoneMsg{
+		w.n.e.net.Send(w.n.id, w.n.id, transport.Control, workerDoneMsg{
 			Worker:    w.idx,
 			Committed: w.committed,
 			GenSingle: w.genSingle,
@@ -136,7 +148,7 @@ func (w *worker) runPartitioned(cmd msgStartPhase) {
 			// paper-scale TPC-C at P=10). The request escapes this
 			// worker, so it gets its own heap copy.
 			w.genCross++
-			w.n.e.net.Send(w.n.id, cmd.Master, simnet.Data, msgDefer{Req: w.req.Clone()})
+			w.n.e.net.Send(w.n.id, cmd.Master, transport.Data, msgDefer{Req: w.req.Clone()})
 			r.Compute(w.n.e.cfg.Cost.TxnOverhead / 2)
 			continue
 		}
@@ -294,7 +306,7 @@ func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
 	want := 0
 	for dst, ents := range perDst {
 		w.n.tracker.AddSent(dst, int64(len(ents)))
-		e.net.Send(w.n.id, dst, simnet.Replication, syncBatch{
+		e.net.Send(w.n.id, dst, transport.Replication, syncBatch{
 			Batch:   &msgReplBatch{From: w.n.id, Epoch: epoch, Entries: ents},
 			Worker:  w.idx,
 			Seq:     w.seq,

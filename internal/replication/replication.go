@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 )
 
@@ -241,7 +241,7 @@ type dstBuf struct {
 // len(entries) at flush time, so Sent/Expected reconcile exactly however
 // the entries were packed.
 type Stream struct {
-	net     *simnet.Network
+	net     transport.Transport
 	tracker *Tracker
 	src     int
 	lim     Limits
@@ -251,7 +251,7 @@ type Stream struct {
 
 // NewStream creates a stream for worker threads on node src; batches
 // flush automatically at the given limits and at explicit Flush calls.
-func NewStream(net *simnet.Network, tracker *Tracker, src int, lim Limits) *Stream {
+func NewStream(net transport.Transport, tracker *Tracker, src int, lim Limits) *Stream {
 	return &Stream{net: net, tracker: tracker, src: src, lim: lim,
 		bufs: make([]*dstBuf, tracker.Nodes())}
 }
@@ -372,7 +372,7 @@ func (s *Stream) flushDst(dst int, b *dstBuf) {
 	// envelope, not per entry).
 	b.entries, b.bytes, b.arena, b.ops = nil, 0, nil, nil
 	s.tracker.AddSent(dst, int64(len(entries)))
-	s.net.Send(s.src, dst, simnet.Replication, &Batch{From: s.src, Epoch: s.epoch, Entries: entries})
+	s.net.Send(s.src, dst, transport.Replication, &Batch{From: s.src, Epoch: s.epoch, Entries: entries})
 }
 
 // Flush ships all buffered batches (called at every phase end, so the

@@ -10,6 +10,7 @@ import (
 	"star/internal/rt"
 	"star/internal/simnet"
 	"star/internal/storage"
+	"star/internal/transport"
 	"star/internal/txn"
 )
 
@@ -194,7 +195,7 @@ func TestStreamBatchingAndTracker(t *testing.T) {
 		t.Fatal("tracker must not report drained early")
 	}
 	// Batching: 10 entries with an entry limit of 4 → 3 messages.
-	if n := net.Messages(simnet.Replication); n != 3 {
+	if n := net.Messages(transport.Replication); n != 3 {
 		t.Fatalf("messages=%d, want 3 batches", n)
 	}
 	s.Stop()
@@ -248,7 +249,7 @@ func TestStreamByteBoundCoalesces(t *testing.T) {
 	}
 	// 100 writes × 2 destinations, byte bound at ~50 entries → 4 envelopes
 	// (2 per destination), not 200.
-	if n := net.Messages(simnet.Replication); n != 4 {
+	if n := net.Messages(transport.Replication); n != 4 {
 		t.Fatalf("messages=%d, want 4 byte-bounded envelopes", n)
 	}
 	if v := tr.SentVector(); v[1] != writes || v[2] != writes {

@@ -27,25 +27,26 @@ import (
 	"time"
 
 	"star/internal/rt"
+	"star/internal/transport"
 )
 
-// Message is anything sent over the network. Size is the modelled wire
-// size in bytes, used for bandwidth pacing and byte accounting.
-type Message interface{ Size() int }
+// Message aliases the transport message contract (modelled wire size in
+// bytes, used here for bandwidth pacing and byte accounting).
+type Message = transport.Message
 
-// Class buckets traffic for accounting.
-type Class uint8
+// Class aliases the transport traffic class.
+type Class = transport.Class
 
+// Traffic classes, re-exported for call-site brevity.
 const (
-	// Control is coordination traffic (fences, phase switches, acks).
-	Control Class = iota
-	// Data is transaction execution traffic (remote reads, lock
-	// requests, 2PC rounds).
-	Data
-	// Replication is the replication stream.
-	Replication
-	numClasses
+	Control     = transport.Control
+	Data        = transport.Data
+	Replication = transport.Replication
+	numClasses  = transport.NumClasses
 )
+
+// Network implements transport.Transport.
+var _ transport.Transport = (*Network)(nil)
 
 // Config parameterises the network.
 type Config struct {

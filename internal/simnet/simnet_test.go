@@ -1,10 +1,14 @@
 package simnet
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"star/internal/rt"
+	"star/internal/transport"
+	"star/internal/transport/conformance"
 )
 
 type testMsg struct {
@@ -13,6 +17,62 @@ type testMsg struct {
 }
 
 func (m testMsg) Size() int { return m.bytes }
+
+// TestConformanceSim runs the shared transport contract suite on the
+// simulated runtime (the generic FIFO/SetDown/accounting tests live
+// there; this file keeps only simnet's physics: latency, jitter,
+// bandwidth pacing).
+func TestConformanceSim(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster {
+		s := rt.NewSim()
+		t.Cleanup(s.Stop)
+		n := New(s, Config{Nodes: 3, Latency: 20 * time.Microsecond, Seed: 11})
+		procs := 0
+		return &conformance.Cluster{
+			Endpoint:  func(int) transport.Transport { return n },
+			Endpoints: 3,
+			Spawn: func(fn func()) {
+				procs++
+				s.Go(fmt.Sprintf("conf-%d", procs), fn)
+			},
+			Settle: func() { s.Run(s.Now() + 30*time.Second) },
+			Msg:    func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
+			MsgID:  func(m any) int { return m.(testMsg).id },
+		}
+	})
+}
+
+// TestConformanceReal runs the same suite on the wall-clock runtime.
+func TestConformanceReal(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster {
+		r := rt.NewReal()
+		t.Cleanup(r.Stop)
+		n := New(r, Config{Nodes: 3, Latency: 100 * time.Microsecond, Seed: 11})
+		var wg sync.WaitGroup
+		return &conformance.Cluster{
+			Endpoint:  func(int) transport.Transport { return n },
+			Endpoints: 3,
+			Spawn: func(fn func()) {
+				wg.Add(1)
+				r.Go("conf", func() {
+					defer wg.Done()
+					fn()
+				})
+			},
+			Settle: func() {
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatal("conformance processes did not settle")
+				}
+			},
+			Msg:   func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
+			MsgID: func(m any) int { return m.(testMsg).id },
+		}
+	})
+}
 
 func TestLatencyApplied(t *testing.T) {
 	s := rt.NewSim()
@@ -94,97 +154,6 @@ func TestEgressSharedAcrossDestinations(t *testing.T) {
 		t.Fatalf("t1=%v t2=%v; egress must be shared per node", t1, t2)
 	}
 	s.Stop()
-}
-
-func TestLocalSendIsImmediate(t *testing.T) {
-	s := rt.NewSim()
-	n := New(s, Config{Nodes: 2, Latency: time.Millisecond})
-	var at time.Duration = -1
-	s.Go("p", func() {
-		n.Send(0, 0, Control, testMsg{1, 8})
-		n.Inbox(0).Recv()
-		at = s.Now()
-	})
-	s.Run(time.Second)
-	if at != 0 {
-		t.Fatalf("local delivery at %v, want 0", at)
-	}
-	s.Stop()
-}
-
-func TestDownNodeDropsTraffic(t *testing.T) {
-	s := rt.NewSim()
-	n := New(s, Config{Nodes: 2, Latency: 10 * time.Microsecond})
-	n.SetDown(1, true)
-	delivered := false
-	s.Go("sender", func() { n.Send(0, 1, Data, testMsg{1, 8}) })
-	s.Go("receiver", func() { n.Inbox(1).Recv(); delivered = true })
-	s.Run(10 * time.Millisecond)
-	if delivered {
-		t.Fatal("message delivered to a down node")
-	}
-	if n.Dropped() != 1 {
-		t.Fatalf("dropped=%d, want 1", n.Dropped())
-	}
-	if !n.IsDown(1) {
-		t.Fatal("IsDown")
-	}
-	// Recovery: traffic flows again.
-	n.SetDown(1, false)
-	s.Go("sender2", func() { n.Send(0, 1, Data, testMsg{2, 8}) })
-	s.Run(20 * time.Millisecond)
-	if !delivered {
-		t.Fatal("message not delivered after node recovered")
-	}
-	s.Stop()
-}
-
-func TestByteAccounting(t *testing.T) {
-	s := rt.NewSim()
-	n := New(s, Config{Nodes: 2, Latency: time.Microsecond})
-	s.Go("p", func() {
-		n.Send(0, 1, Replication, testMsg{1, 100})
-		n.Send(0, 1, Replication, testMsg{2, 150})
-		n.Send(1, 0, Data, testMsg{3, 50})
-		n.Send(0, 1, Control, testMsg{4, 10})
-	})
-	s.Go("drain1", func() {
-		for i := 0; i < 3; i++ {
-			n.Inbox(1).Recv()
-		}
-	})
-	s.Go("drain0", func() { n.Inbox(0).Recv() })
-	s.Run(time.Second)
-	if n.Bytes(Replication) != 250 || n.Messages(Replication) != 2 {
-		t.Fatalf("replication: %d bytes %d msgs", n.Bytes(Replication), n.Messages(Replication))
-	}
-	if n.Bytes(Data) != 50 || n.Bytes(Control) != 10 {
-		t.Fatalf("data=%d control=%d", n.Bytes(Data), n.Bytes(Control))
-	}
-	if n.TotalBytes() != 310 {
-		t.Fatalf("total=%d", n.TotalBytes())
-	}
-	if n.BytesFrom(0) != 260 || n.BytesFrom(1) != 50 {
-		t.Fatalf("from0=%d from1=%d", n.BytesFrom(0), n.BytesFrom(1))
-	}
-	s.Stop()
-}
-
-func TestRealRuntimeSmoke(t *testing.T) {
-	r := rt.NewReal()
-	n := New(r, Config{Nodes: 2, Latency: time.Millisecond})
-	done := make(chan int, 1)
-	r.Go("receiver", func() { done <- n.Inbox(1).Recv().(testMsg).id })
-	r.Go("sender", func() { n.Send(0, 1, Data, testMsg{42, 64}) })
-	select {
-	case id := <-done:
-		if id != 42 {
-			t.Fatalf("got %d", id)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("message never delivered on real runtime")
-	}
-	r.Stop()
 }
 
 // FIFO must survive the combination of jitter and bandwidth pacing —

@@ -1,0 +1,121 @@
+package tcpnet
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"star/internal/core"
+	"star/internal/rt"
+	"star/internal/workload/tpcc"
+)
+
+func loopbackTPCC(nodes, workers int) tpcc.Config {
+	return tpcc.Config{
+		Warehouses:           nodes * workers,
+		Districts:            2,
+		CustomersPerDistrict: 300,
+		Items:                2000,
+	}
+}
+
+func scriptedConfig(r rt.Runtime, nodes, workers int, seed int64) core.Config {
+	return core.Config{
+		RT:             r,
+		Nodes:          nodes,
+		WorkersPerNode: workers,
+		Workload:       tpcc.New(loopbackTPCC(nodes, workers)),
+		Seed:           seed,
+	}
+}
+
+// TestLoopbackTPCCMatchesSimnet is the transport-equivalence
+// integration test: a 2-node paper-mix TPC-C scripted run carried over
+// real TCP sockets on 127.0.0.1 (two process-sides, each hosting one
+// node, the first also hosting the coordinator) must produce exactly
+// the committed-transaction count and post-fence replica checksums of
+// the same run on the in-process simulated network with the same seed.
+func TestLoopbackTPCCMatchesSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP integration test skipped in -short")
+	}
+	const (
+		nodes, workers = 2, 2
+		txns           = 60
+		seed           = 42
+	)
+
+	// Reference: the deterministic simnet run.
+	sim := rt.NewSim()
+	simRun := core.StartScripted(scriptedConfig(sim, nodes, workers, seed), core.Script{TxnsPerPartition: txns})
+	sim.Run(sim.Now() + time.Hour)
+	var want core.ScriptResult
+	select {
+	case want = <-simRun.Done():
+	default:
+		t.Fatal("simnet scripted run did not finish")
+	}
+	sim.Stop()
+	if want.Err != "" {
+		t.Fatalf("simnet run failed: %s", want.Err)
+	}
+	if want.Committed == 0 {
+		t.Fatal("simnet run committed nothing")
+	}
+
+	// TCP cluster: two process-sides on loopback. Endpoints 0 and 1 are
+	// the nodes; endpoint 2 is the coordinator, hosted with node 0.
+	r := rt.NewReal()
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	endpoints := []string{addrs[0], addrs[1], addrs[0]}
+	mkNet := func(localEPs []int, ln net.Listener) *Network {
+		codec := core.NewWireCodec(tpcc.New(loopbackTPCC(nodes, workers)))
+		nw, err := New(r, Config{Endpoints: endpoints, Local: localEPs, Codec: codec, Listener: ln})
+		if err != nil {
+			t.Fatalf("tcpnet.New: %v", err)
+		}
+		return nw
+	}
+	netA := mkNet([]int{0, 2}, listeners[0])
+	netB := mkNet([]int{1}, listeners[1])
+
+	cfgA := scriptedConfig(r, nodes, workers, seed)
+	cfgA.Transport, cfgA.LocalNodes, cfgA.LocalCoordinator = netA, []int{0}, true
+	cfgB := scriptedConfig(r, nodes, workers, seed)
+	cfgB.Transport, cfgB.LocalNodes = netB, []int{1}
+
+	runB := core.StartScripted(cfgB, core.Script{TxnsPerPartition: txns})
+	runA := core.StartScripted(cfgA, core.Script{TxnsPerPartition: txns})
+
+	var got core.ScriptResult
+	select {
+	case got = <-runA.Done():
+	case <-time.After(3 * time.Minute):
+		t.Fatal("TCP scripted run did not finish")
+	}
+	select {
+	case <-runB.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("node-only process never received the halt")
+	}
+	r.Stop()
+	netA.Close()
+	netB.Close()
+
+	if got.Err != "" {
+		t.Fatalf("TCP run failed: %s", got.Err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TCP run diverged from simnet run:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,447 @@
+// Package tcpnet is the real-socket transport: the same
+// transport.Transport contract as simnet, carried over TCP with the
+// internal/wire binary encoding, so a STAR cluster can run as N OS
+// processes.
+//
+// Topology: every endpoint (node or coordinator) is hosted by exactly
+// one process; each process runs one listener and hosts one or more
+// endpoints. A directed link (src → dst, dst remote) gets its own
+// framed TCP stream with a dedicated writer goroutine, so per-link FIFO
+// is exactly TCP's byte-stream order — the property STAR's operation
+// replication relies on (§5). Local sends (both endpoints hosted here)
+// bypass the wire, as on simnet.
+//
+// Encoding happens synchronously in Send (the message's buffers may be
+// reused by the caller immediately after, matching simnet's value
+// semantics); writing happens asynchronously on the link's writer.
+// Receivers read each frame into its own buffer, decode (payload slices
+// alias the buffer), and deliver to the destination endpoint's inbox.
+// Byte accounting counts encoded frame lengths on the sending process;
+// modelled Size() is used only for local (in-process) sends.
+//
+// tcpnet runs on the real runtime only: its goroutines block in socket
+// I/O, which the simulated runtime cannot schedule.
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"star/internal/rt"
+	"star/internal/transport"
+	"star/internal/wire"
+)
+
+// Config parameterises one process's view of the cluster network.
+type Config struct {
+	// Endpoints maps endpoint id → "host:port" of its hosting process's
+	// listener. Endpoints sharing a process share an address.
+	Endpoints []string
+	// Local lists the endpoint ids this process hosts. They must all
+	// map to the same address in Endpoints.
+	Local []int
+	// Codec encodes and decodes every message this cluster sends; all
+	// processes must construct it identically (core.NewWireCodec).
+	Codec *wire.Codec
+	// Listener optionally supplies a pre-bound listener (tests bind
+	// ":0" and exchange real addresses); when nil, New listens on the
+	// local endpoints' configured address.
+	Listener net.Listener
+	// InboxCap bounds each local inbox (backpressure); 0 means 65536.
+	InboxCap int
+	// MaxFrame bounds accepted frame bodies; 0 means wire.MaxFrame.
+	MaxFrame int
+	// DialTimeout is the per-attempt dial timeout (default 1s).
+	DialTimeout time.Duration
+	// DialRetry is the backoff between attempts while a peer is still
+	// starting up (default 50ms).
+	DialRetry time.Duration
+	// DialDeadline bounds the total time a link tries to connect before
+	// declaring the peer unreachable and dropping its traffic
+	// (default 15s).
+	DialDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.InboxCap == 0 {
+		c.InboxCap = 65536
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.MaxFrame
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.DialRetry == 0 {
+		c.DialRetry = 50 * time.Millisecond
+	}
+	if c.DialDeadline == 0 {
+		c.DialDeadline = 15 * time.Second
+	}
+	return c
+}
+
+// link is one directed src→dst stream: a frame queue drained by a
+// writer goroutine that owns the connection.
+type link struct {
+	out  chan []byte
+	dead atomic.Bool // peer unreachable or stream broken: drop frames
+}
+
+// Network implements transport.Transport over TCP.
+type Network struct {
+	r     rt.Runtime
+	cfg   Config
+	ln    net.Listener
+	local []bool
+	down  []atomic.Bool
+
+	inboxes []rt.Chan // nil for remote endpoints
+
+	mu       sync.Mutex
+	links    map[uint64]*link
+	accepted map[net.Conn]struct{}
+	dialed   map[net.Conn]struct{}
+
+	bytesByClass [transport.NumClasses]atomic.Int64
+	msgsByClass  [transport.NumClasses]atomic.Int64
+	bytesFrom    []atomic.Int64
+	dropped      atomic.Int64
+	decodeErrs   atomic.Int64
+
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// New builds the process's network: it binds the listener, creates the
+// local inboxes, and starts accepting peer streams. Outgoing links dial
+// lazily on first send (with retry, so peer processes may start in any
+// order).
+func New(r rt.Runtime, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("tcpnet: Config.Codec is required")
+	}
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("tcpnet: Config.Local is empty")
+	}
+	n := &Network{
+		r:         r,
+		cfg:       cfg,
+		local:     make([]bool, len(cfg.Endpoints)),
+		down:      make([]atomic.Bool, len(cfg.Endpoints)),
+		inboxes:   make([]rt.Chan, len(cfg.Endpoints)),
+		bytesFrom: make([]atomic.Int64, len(cfg.Endpoints)),
+		links:     map[uint64]*link{},
+		accepted:  map[net.Conn]struct{}{},
+		dialed:    map[net.Conn]struct{}{},
+		stop:      make(chan struct{}),
+	}
+	addr := ""
+	for _, id := range cfg.Local {
+		if id < 0 || id >= len(cfg.Endpoints) {
+			return nil, fmt.Errorf("tcpnet: local endpoint %d out of range", id)
+		}
+		if addr == "" {
+			addr = cfg.Endpoints[id]
+		} else if cfg.Endpoints[id] != addr {
+			return nil, fmt.Errorf("tcpnet: local endpoints map to different addresses (%s vs %s)",
+				addr, cfg.Endpoints[id])
+		}
+		n.local[id] = true
+		n.inboxes[id] = r.NewChan(cfg.InboxCap)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+		}
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0").
+func (n *Network) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the listener and every link down. Pending frames may be
+// lost (fail-stop semantics, like killing the process).
+func (n *Network) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(n.stop)
+	err := n.ln.Close()
+	// Close both inbound and outbound connections: a reader blocked in a
+	// socket read or a writer blocked in a full-window write cannot
+	// observe stop from inside the syscall.
+	n.mu.Lock()
+	for conn := range n.accepted {
+		conn.Close()
+	}
+	for conn := range n.dialed {
+		conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+// Send implements transport.Transport. Remote sends encode the frame
+// here (so the caller may reuse the message's buffers) and enqueue it on
+// the link's writer.
+func (n *Network) Send(src, dst int, class transport.Class, m transport.Message) {
+	if n.down[src].Load() || n.down[dst].Load() {
+		n.dropped.Add(1)
+		return
+	}
+	if n.local[dst] {
+		// In-process delivery: modelled size, no encoding.
+		size := int64(m.Size())
+		n.bytesByClass[class].Add(size)
+		n.msgsByClass[class].Add(1)
+		n.bytesFrom[src].Add(size)
+		n.inboxes[dst].Send(m)
+		return
+	}
+	frame, err := wire.AppendFrame(nil, src, dst, class, n.cfg.Codec, m)
+	if err != nil {
+		// A message type without a codec cannot cross a process boundary;
+		// this is a wiring error, not input.
+		panic("tcpnet: encode: " + err.Error())
+	}
+	l := n.link(src, dst)
+	if l.dead.Load() {
+		// Dropped frames never left the process: count the drop only,
+		// matching simnet's drop-before-accounting semantics.
+		n.dropped.Add(1)
+		return
+	}
+	n.bytesByClass[class].Add(int64(len(frame)))
+	n.msgsByClass[class].Add(1)
+	n.bytesFrom[src].Add(int64(len(frame)))
+	select {
+	case l.out <- frame:
+	case <-n.stop:
+	}
+}
+
+func (n *Network) link(src, dst int) *link {
+	key := uint64(src)<<32 | uint64(uint32(dst))
+	n.mu.Lock()
+	l := n.links[key]
+	if l == nil {
+		l = &link{out: make(chan []byte, 4096)}
+		n.links[key] = l
+		n.wg.Add(1)
+		go n.runWriter(l, dst)
+	}
+	n.mu.Unlock()
+	return l
+}
+
+// runWriter owns one directed link: dial (with retry while the peer
+// starts up), then stream frames in queue order. Any stream error turns
+// the link dead: subsequent frames are dropped, as with a crashed peer.
+func (n *Network) runWriter(l *link, dst int) {
+	defer n.wg.Done()
+	conn := n.dial(dst)
+	if conn == nil {
+		n.drainDead(l)
+		return
+	}
+	n.mu.Lock()
+	n.dialed[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.dialed, conn)
+		n.mu.Unlock()
+	}()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		select {
+		case frame := <-l.out:
+			if _, err := bw.Write(frame); err != nil {
+				n.drainDead(l)
+				return
+			}
+			// Coalesce: flush only when the queue has drained.
+			if len(l.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					n.drainDead(l)
+					return
+				}
+			}
+		case <-n.stop:
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// drainDead marks a link dead and keeps consuming its queue so senders
+// already blocked in the enqueue select wake up — Send must only ever
+// block for backpressure, never on a crashed peer (fail-stop contract).
+// Drained frames count as dropped even though they were accounted at
+// Send time: they were in flight when the peer died, exactly like
+// simnet messages a deliverer drops after a node goes down (sent AND
+// dropped both tick). Only sends made after the death is known skip
+// the byte accounting.
+func (n *Network) drainDead(l *link) {
+	l.dead.Store(true)
+	for {
+		select {
+		case <-l.out:
+			n.dropped.Add(1)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *Network) dial(dst int) net.Conn {
+	addr := n.cfg.Endpoints[dst]
+	deadline := time.Now().Add(n.cfg.DialDeadline)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn
+		}
+		if time.Now().After(deadline) || n.closed.Load() {
+			return nil
+		}
+		select {
+		case <-time.After(n.cfg.DialRetry):
+		case <-n.stop:
+			return nil
+		}
+	}
+}
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.runReader(conn)
+	}
+}
+
+// runReader demultiplexes one inbound stream into the local inboxes.
+// A malformed frame means the stream is desynchronised: the counter
+// ticks and the connection closes (the peer's writer marks the link
+// dead and its traffic drops — fail-stop, never a crash).
+func (n *Network) runReader(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	defer func() {
+		// Inbox sends unwind with rt.ErrStopped when the runtime stops;
+		// anything else is a real bug and propagates.
+		if r := recover(); r != nil {
+			if err, ok := r.(error); !ok || err != rt.ErrStopped {
+				panic(r)
+			}
+		}
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		body, err := wire.ReadFrame(br, n.cfg.MaxFrame)
+		if err != nil {
+			// Distinguish stream corruption (oversized/garbage length
+			// prefix) from a peer simply closing the connection.
+			if errors.Is(err, wire.ErrCorrupt) {
+				n.decodeErrs.Add(1)
+			}
+			return
+		}
+		fi, msg, err := wire.DecodeFrameBody(body, n.cfg.Codec)
+		if err != nil {
+			n.decodeErrs.Add(1)
+			return
+		}
+		if fi.Dst < 0 || fi.Dst >= len(n.local) || !n.local[fi.Dst] {
+			n.decodeErrs.Add(1)
+			continue // misrouted
+		}
+		if fi.Src < 0 || fi.Src >= len(n.down) {
+			n.decodeErrs.Add(1)
+			continue
+		}
+		if n.down[fi.Src].Load() || n.down[fi.Dst].Load() {
+			n.dropped.Add(1)
+			continue
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.inboxes[fi.Dst].Send(msg)
+	}
+}
+
+// Inbox implements transport.Transport (local endpoints only; a remote
+// endpoint's inbox lives in its hosting process and is nil here).
+func (n *Network) Inbox(dst int) rt.Chan { return n.inboxes[dst] }
+
+// SetDown implements transport.Transport. The flag is process-local:
+// this process stops sending to and delivering from the endpoint. A
+// multi-process failure test sets it on every process (the engine's
+// coordinator already broadcasts failure sets).
+func (n *Network) SetDown(node int, down bool) { n.down[node].Store(down) }
+
+// IsDown implements transport.Transport.
+func (n *Network) IsDown(node int) bool { return n.down[node].Load() }
+
+// Bytes implements transport.Transport (encoded bytes for remote sends,
+// modelled Size for local ones; sender side only).
+func (n *Network) Bytes(c transport.Class) int64 { return n.bytesByClass[c].Load() }
+
+// Messages implements transport.Transport.
+func (n *Network) Messages(c transport.Class) int64 { return n.msgsByClass[c].Load() }
+
+// TotalBytes implements transport.Transport.
+func (n *Network) TotalBytes() int64 {
+	var t int64
+	for i := range n.bytesByClass {
+		t += n.bytesByClass[i].Load()
+	}
+	return t
+}
+
+// BytesFrom implements transport.Transport.
+func (n *Network) BytesFrom(src int) int64 { return n.bytesFrom[src].Load() }
+
+// Dropped implements transport.Transport.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// DecodeErrors counts frames rejected by the codec (tests).
+func (n *Network) DecodeErrors() int64 { return n.decodeErrs.Load() }

@@ -1,0 +1,161 @@
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"star/internal/rt"
+	"star/internal/transport"
+	"star/internal/transport/conformance"
+	"star/internal/wire"
+)
+
+// wtMsg is the conformance test message: its encoding pads the frame to
+// exactly the modelled Size, so the byte-accounting assertions hold on
+// a transport that counts real encoded lengths.
+type wtMsg struct {
+	id   int
+	size int
+}
+
+func (m wtMsg) Size() int { return m.size }
+
+func testCodec() *wire.Codec {
+	c := wire.NewCodec()
+	c.Register(1, wtMsg{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(wtMsg)
+			b = wire.AppendVarint(b, int64(v.id))
+			pad := v.size - wire.FrameOverhead - wire.VarintLen(int64(v.id))
+			for i := 0; i < pad; i++ {
+				b = append(b, 0xa5)
+			}
+			return b
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			id, rest, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			// The padding is the rest of the body: consumed entirely.
+			return wtMsg{id: int(id), size: wire.FrameOverhead + wire.VarintLen(id) + len(rest)}, nil, nil
+		})
+	return c
+}
+
+// newCluster builds a 3-endpoint cluster with one Network ("process")
+// per endpoint, all on loopback.
+func newCluster(t *testing.T) *conformance.Cluster {
+	t.Helper()
+	r := rt.NewReal()
+	const n = 3
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nets := make([]*Network, n)
+	for i := range nets {
+		nw, err := New(r, Config{
+			Endpoints: addrs,
+			Local:     []int{i},
+			Codec:     testCodec(),
+			Listener:  listeners[i],
+			DialRetry: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("tcpnet.New: %v", err)
+		}
+		nets[i] = nw
+	}
+	// LIFO cleanup: stop the runtime first (unblocks inbox waiters),
+	// then close the networks.
+	t.Cleanup(func() {
+		for _, nw := range nets {
+			nw.Close()
+		}
+	})
+	t.Cleanup(r.Stop)
+	var wg sync.WaitGroup
+	return &conformance.Cluster{
+		Endpoint:  func(i int) transport.Transport { return nets[i] },
+		Endpoints: n,
+		Spawn: func(fn func()) {
+			wg.Add(1)
+			r.Go("conf", func() {
+				defer wg.Done()
+				fn()
+			})
+		},
+		Settle: func() {
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("conformance processes did not settle")
+			}
+		},
+		Msg:   func(id, size int) transport.Message { return wtMsg{id: id, size: size} },
+		MsgID: func(m any) int { return m.(wtMsg).id },
+	}
+}
+
+// TestConformance runs the shared transport contract suite — the same
+// one simnet passes — over real loopback TCP with one process per
+// endpoint.
+func TestConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster { return newCluster(t) })
+}
+
+// TestCorruptStreamRejected feeds garbage into a listener and checks the
+// reader rejects it (counter ticks, connection closes) without
+// panicking, and that legitimate traffic still flows afterwards.
+func TestCorruptStreamRejected(t *testing.T) {
+	c := newCluster(t)
+	nw := c.Endpoint(1).(*Network)
+
+	// A frame with a plausible length prefix but corrupt body.
+	conn, err := net.Dial("tcp", nw.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Write([]byte{8, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for nw.DecodeErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nw.DecodeErrors() == 0 {
+		t.Fatal("corrupt frame not counted as a decode error")
+	}
+
+	// An oversized length prefix must be rejected before allocation.
+	conn2, err := net.Dial("tcp", nw.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn2.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	conn2.Close()
+
+	// The transport still works.
+	delivered := false
+	c.Spawn(func() { c.Endpoint(0).Send(0, 1, transport.Data, wtMsg{id: 9, size: 32}) })
+	c.Spawn(func() {
+		if v, ok := nw.Inbox(1).RecvTimeout(5 * time.Second); ok && v.(wtMsg).id == 9 {
+			delivered = true
+		}
+	})
+	c.Settle()
+	if !delivered {
+		t.Fatal("transport wedged after corrupt stream")
+	}
+}

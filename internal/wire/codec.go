@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+
+	"star/internal/transport"
+	"star/internal/txn"
+)
+
+// EncodeFunc appends a message body (no type id) to b.
+type EncodeFunc func(b []byte, m transport.Message) []byte
+
+// DecodeFunc decodes a message body, returning any unconsumed bytes —
+// Codec.Decode rejects the frame if a decoder leaves a remainder, so
+// trailing garbage after a structurally valid message is corrupt, not
+// silently ignored. Byte payloads in the result may alias b.
+type DecodeFunc func(b []byte) (transport.Message, []byte, error)
+
+// ProcEncodeFunc appends a procedure's parameters to b.
+type ProcEncodeFunc func(b []byte, p txn.Procedure) []byte
+
+// ProcDecodeFunc decodes a procedure's parameters, returning the rest of
+// the buffer (procedure encodings are self-delimiting).
+type ProcDecodeFunc func(b []byte) (txn.Procedure, []byte, error)
+
+type msgEntry struct {
+	id  uint8
+	enc EncodeFunc
+	dec DecodeFunc
+}
+
+type procEntry struct {
+	id  uint8
+	enc ProcEncodeFunc
+	dec ProcDecodeFunc
+}
+
+// Codec maps message and procedure types to their binary codecs. A
+// cluster's processes must build identical codecs (same registrations in
+// the same ids); core.NewWireCodec does that from a Config. Codecs are
+// populated at construction and read-only afterwards, so concurrent use
+// by transport goroutines needs no locking.
+type Codec struct {
+	msgByID    map[uint8]*msgEntry
+	msgByType  map[reflect.Type]*msgEntry
+	procByID   map[uint8]*procEntry
+	procByType map[reflect.Type]*procEntry
+}
+
+// NewCodec returns an empty codec.
+func NewCodec() *Codec {
+	return &Codec{
+		msgByID:    map[uint8]*msgEntry{},
+		msgByType:  map[reflect.Type]*msgEntry{},
+		procByID:   map[uint8]*procEntry{},
+		procByType: map[reflect.Type]*procEntry{},
+	}
+}
+
+// Register binds a message type id to its codec. sample carries the
+// concrete type messages of this id have on the wire (value or pointer
+// form must match what senders pass to Transport.Send). Duplicate ids or
+// types panic: registration is a wiring-time error, not input.
+func (c *Codec) Register(id uint8, sample transport.Message, enc EncodeFunc, dec DecodeFunc) {
+	t := reflect.TypeOf(sample)
+	if _, dup := c.msgByID[id]; dup {
+		panic(fmt.Sprintf("wire: message id %d registered twice", id))
+	}
+	if _, dup := c.msgByType[t]; dup {
+		panic(fmt.Sprintf("wire: message type %v registered twice", t))
+	}
+	e := &msgEntry{id: id, enc: enc, dec: dec}
+	c.msgByID[id] = e
+	c.msgByType[t] = e
+}
+
+// RegisterProc binds a procedure type id to its codec.
+func (c *Codec) RegisterProc(id uint8, sample txn.Procedure, enc ProcEncodeFunc, dec ProcDecodeFunc) {
+	t := reflect.TypeOf(sample)
+	if _, dup := c.procByID[id]; dup {
+		panic(fmt.Sprintf("wire: procedure id %d registered twice", id))
+	}
+	if _, dup := c.procByType[t]; dup {
+		panic(fmt.Sprintf("wire: procedure type %v registered twice", t))
+	}
+	e := &procEntry{id: id, enc: enc, dec: dec}
+	c.procByID[id] = e
+	c.procByType[t] = e
+}
+
+// Append encodes m as [type id][body], appending to b.
+func (c *Codec) Append(b []byte, m transport.Message) ([]byte, error) {
+	e := c.msgByType[reflect.TypeOf(m)]
+	if e == nil {
+		return b, fmt.Errorf("wire: no codec for message type %T", m)
+	}
+	b = append(b, e.id)
+	return e.enc(b, m), nil
+}
+
+// Decode decodes one [type id][body] message occupying all of b.
+func (c *Codec) Decode(b []byte) (transport.Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty message", ErrTruncated)
+	}
+	e := c.msgByID[b[0]]
+	if e == nil {
+		return nil, fmt.Errorf("%w: unknown message id %d", ErrCorrupt, b[0])
+	}
+	m, rest, err := e.dec(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after message id %d", ErrCorrupt, len(rest), b[0])
+	}
+	return m, nil
+}
+
+// Knows reports whether m's concrete type has a registered codec.
+func (c *Codec) Knows(m transport.Message) bool {
+	return c.msgByType[reflect.TypeOf(m)] != nil
+}
+
+// ---- transaction requests ----
+
+// RequestOverhead is the encoded size of a request minus its procedure
+// body: [proc id][GenAt zig-zag][Retries uvarint] with Retries ≈ 0.
+func RequestOverhead(genAt int64) int { return 1 + VarintLen(genAt) + 1 }
+
+// AppendRequest encodes a routing request as
+// [proc id][GenAt][Retries][proc body]. Home/Parts/Cross are not shipped:
+// the decoder recomputes them from the procedure's declared footprint,
+// which both keeps the frame small and guarantees the two sides agree.
+func (c *Codec) AppendRequest(b []byte, r *txn.Request) ([]byte, error) {
+	e := c.procByType[reflect.TypeOf(r.Proc)]
+	if e == nil {
+		return b, fmt.Errorf("wire: no codec for procedure type %T", r.Proc)
+	}
+	b = append(b, e.id)
+	b = AppendVarint(b, r.GenAt)
+	b = AppendUvarint(b, uint64(r.Retries))
+	return e.enc(b, r.Proc), nil
+}
+
+// DecodeRequest decodes a request, returning the rest of the buffer.
+func (c *Codec) DecodeRequest(b []byte) (*txn.Request, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty request", ErrTruncated)
+	}
+	e := c.procByID[b[0]]
+	if e == nil {
+		return nil, nil, fmt.Errorf("%w: unknown procedure id %d", ErrCorrupt, b[0])
+	}
+	genAt, b, err := Varint(b[1:])
+	if err != nil {
+		return nil, nil, err
+	}
+	retries, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	proc, rest, err := e.dec(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := txn.NewRequest(proc, genAt)
+	req.Retries = int(retries)
+	return req, rest, nil
+}

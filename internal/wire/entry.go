@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"fmt"
+
+	"star/internal/replication"
+	"star/internal/storage"
+)
+
+// Entry encoding:
+//
+//	[flags u8] bit0 = operation entry, bit1 = absent (tombstone)
+//	[table u8][part uvarint][key 16B][tid u64]
+//	value entry: [row bytes]
+//	op entry:    [nops uvarint] nops × [field u8][kind u8][arg bytes]
+const (
+	entryFlagOp     = 1 << 0
+	entryFlagAbsent = 1 << 1
+)
+
+// AppendFieldOp appends one field operation: [field u8][kind u8][arg].
+func AppendFieldOp(b []byte, op *storage.FieldOp) []byte {
+	b = append(b, op.Field, byte(op.Kind))
+	return AppendBytes(b, op.Arg)
+}
+
+// FieldOpLen returns the encoded size of op.
+func FieldOpLen(op *storage.FieldOp) int { return 2 + BytesLen(op.Arg) }
+
+// DecodeFieldOp consumes one field operation. Arg aliases b.
+func DecodeFieldOp(b []byte) (storage.FieldOp, []byte, error) {
+	var op storage.FieldOp
+	if len(b) < 2 {
+		return op, nil, ErrTruncated
+	}
+	op.Field = b[0]
+	op.Kind = storage.OpKind(b[1])
+	if op.Kind > storage.OpSetRow {
+		return op, nil, fmt.Errorf("%w: op kind %d", ErrCorrupt, op.Kind)
+	}
+	var err error
+	if op.Arg, b, err = Bytes(b[2:]); err != nil {
+		return op, nil, err
+	}
+	return op, b, nil
+}
+
+// AppendEntry appends one replication entry.
+func AppendEntry(b []byte, e *replication.Entry) []byte {
+	var flags byte
+	if e.IsOp() {
+		flags |= entryFlagOp
+	}
+	if e.Absent {
+		flags |= entryFlagAbsent
+	}
+	b = append(b, flags, byte(e.Table))
+	b = AppendUvarint(b, uint64(uint32(e.Part)))
+	b = AppendKey(b, e.Key)
+	b = AppendU64(b, e.TID)
+	if e.IsOp() {
+		b = AppendUvarint(b, uint64(len(e.Ops)))
+		for i := range e.Ops {
+			b = AppendFieldOp(b, &e.Ops[i])
+		}
+		return b
+	}
+	return AppendBytes(b, e.Row)
+}
+
+// EntryLen returns the encoded size of e.
+func EntryLen(e *replication.Entry) int {
+	n := 2 + UvarintLen(uint64(uint32(e.Part))) + KeyLen + 8
+	if e.IsOp() {
+		n += UvarintLen(uint64(len(e.Ops)))
+		for i := range e.Ops {
+			n += 2 + BytesLen(e.Ops[i].Arg)
+		}
+		return n
+	}
+	return n + BytesLen(e.Row)
+}
+
+// DecodeEntry consumes one entry. Row and op args alias b.
+func DecodeEntry(b []byte) (replication.Entry, []byte, error) {
+	var e replication.Entry
+	if len(b) < 2 {
+		return e, nil, ErrTruncated
+	}
+	flags := b[0]
+	if flags&^(entryFlagOp|entryFlagAbsent) != 0 {
+		return e, nil, fmt.Errorf("%w: entry flags %#x", ErrCorrupt, flags)
+	}
+	e.Absent = flags&entryFlagAbsent != 0
+	e.Table = storage.TableID(b[1])
+	part, b, err := Uvarint(b[2:])
+	if err != nil {
+		return e, nil, err
+	}
+	e.Part = int32(uint32(part))
+	if e.Key, b, err = Key(b); err != nil {
+		return e, nil, err
+	}
+	if e.TID, b, err = U64(b); err != nil {
+		return e, nil, err
+	}
+	if flags&entryFlagOp == 0 {
+		if e.Row, b, err = Bytes(b); err != nil {
+			return e, nil, err
+		}
+		return e, b, nil
+	}
+	nops, b, err := Uvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	// Each op costs at least 3 bytes, so nops is bounded by the buffer —
+	// reject early instead of allocating from a corrupt count.
+	if nops > uint64(len(b))/3+1 {
+		return e, nil, fmt.Errorf("%w: %d ops in %d-byte buffer", ErrCorrupt, nops, len(b))
+	}
+	e.Ops = make([]storage.FieldOp, nops)
+	for i := range e.Ops {
+		if e.Ops[i], b, err = DecodeFieldOp(b); err != nil {
+			return e, nil, err
+		}
+	}
+	// IsOp distinguishes op entries by Ops != nil; a corrupt-free decode
+	// must preserve that even for zero ops.
+	if e.Ops == nil {
+		e.Ops = []storage.FieldOp{}
+	}
+	return e, b, nil
+}
+
+// Batch encoding: [from uvarint][epoch uvarint][n uvarint] n × entry.
+
+// AppendBatch appends a replication batch body.
+func AppendBatch(b []byte, batch *replication.Batch) []byte {
+	b = AppendUvarint(b, uint64(batch.From))
+	b = AppendUvarint(b, batch.Epoch)
+	b = AppendUvarint(b, uint64(len(batch.Entries)))
+	for i := range batch.Entries {
+		b = AppendEntry(b, &batch.Entries[i])
+	}
+	return b
+}
+
+// BatchLen returns the encoded size of a batch body.
+func BatchLen(batch *replication.Batch) int {
+	n := UvarintLen(uint64(batch.From)) + UvarintLen(batch.Epoch) +
+		UvarintLen(uint64(len(batch.Entries)))
+	for i := range batch.Entries {
+		n += EntryLen(&batch.Entries[i])
+	}
+	return n
+}
+
+// DecodeBatch decodes a whole batch body. Entry payloads alias b.
+func DecodeBatch(b []byte) (*replication.Batch, error) {
+	from, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	epoch, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	// Entries cost ≥ 27 bytes each; bound the allocation by the buffer.
+	if n > uint64(len(b))/27+1 {
+		return nil, fmt.Errorf("%w: %d entries in %d-byte buffer", ErrCorrupt, n, len(b))
+	}
+	batch := &replication.Batch{From: int(from), Epoch: epoch,
+		Entries: make([]replication.Entry, n)}
+	for i := range batch.Entries {
+		if batch.Entries[i], b, err = DecodeEntry(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(b))
+	}
+	return batch, nil
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"star/internal/transport"
+)
+
+// Frame layout (the unit a TCP stream carries):
+//
+//	[u32 LE body length][body]
+//	body = [class u8][src u16 LE][dst u16 LE][msg id u8][msg payload]
+//
+// The length prefix covers the body only. Src/dst ride in every frame so
+// a receiving process can demux one stream into its local inboxes
+// without per-connection state.
+
+// FrameOverhead is the fixed per-frame cost excluding the message body:
+// length prefix + class + src + dst + message type id.
+const FrameOverhead = 4 + 1 + 2 + 2 + 1
+
+// MaxFrame is the default bound a reader enforces on the body length —
+// far above any legal message (snapshots dominate; they are shipped per
+// partition per table) but small enough to reject corrupt prefixes
+// before allocating.
+const MaxFrame = 64 << 20
+
+// AppendFrame appends a whole frame (length prefix included) for m.
+func AppendFrame(b []byte, src, dst int, class transport.Class, c *Codec, m transport.Message) ([]byte, error) {
+	if src < 0 || src > 0xffff || dst < 0 || dst > 0xffff {
+		return b, fmt.Errorf("wire: endpoint out of range: src=%d dst=%d", src, dst)
+	}
+	lenAt := len(b)
+	b = append(b, 0, 0, 0, 0) // patched below
+	b = append(b, byte(class))
+	b = binary.LittleEndian.AppendUint16(b, uint16(src))
+	b = binary.LittleEndian.AppendUint16(b, uint16(dst))
+	b, err := c.Append(b, m)
+	if err != nil {
+		return b[:lenAt], err
+	}
+	binary.LittleEndian.PutUint32(b[lenAt:], uint32(len(b)-lenAt-4))
+	return b, nil
+}
+
+// FrameInfo is a decoded frame's routing header.
+type FrameInfo struct {
+	Src, Dst int
+	Class    transport.Class
+}
+
+// DecodeFrameBody decodes a frame body (everything after the length
+// prefix). The message's byte payloads alias body.
+func DecodeFrameBody(body []byte, c *Codec) (FrameInfo, transport.Message, error) {
+	var fi FrameInfo
+	if len(body) < 5 {
+		return fi, nil, fmt.Errorf("%w: %d-byte frame body", ErrTruncated, len(body))
+	}
+	fi.Class = transport.Class(body[0])
+	if fi.Class >= transport.NumClasses {
+		return fi, nil, fmt.Errorf("%w: traffic class %d", ErrCorrupt, body[0])
+	}
+	fi.Src = int(binary.LittleEndian.Uint16(body[1:]))
+	fi.Dst = int(binary.LittleEndian.Uint16(body[3:]))
+	m, err := c.Decode(body[5:])
+	return fi, m, err
+}
+
+// ReadFrame reads one length-prefixed frame body from r into a fresh
+// buffer (each frame owns its buffer so decoded messages may alias it
+// for their whole lifetime). max bounds the body length (0 = MaxFrame).
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max == 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: %d-byte frame exceeds %d", ErrCorrupt, n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

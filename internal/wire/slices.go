@@ -1,0 +1,129 @@
+package wire
+
+import "fmt"
+
+// Integer-slice helpers shared by the message codecs: a uvarint count
+// followed by one varint per element. Counts are validated against the
+// remaining buffer (each element costs ≥1 byte) before allocating.
+
+func sliceCount(b []byte) (int, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: %d elements in %d-byte buffer", ErrCorrupt, n, len(rest))
+	}
+	return int(n), rest, nil
+}
+
+// AppendI64s appends a []int64.
+func AppendI64s(b []byte, v []int64) []byte {
+	b = AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = AppendVarint(b, x)
+	}
+	return b
+}
+
+// I64s consumes a []int64 (nil for an empty slice).
+func I64s(b []byte) ([]int64, []byte, error) {
+	n, b, err := sliceCount(b)
+	if err != nil || n == 0 {
+		return nil, b, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], b, err = Varint(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, b, nil
+}
+
+// AppendI32s appends a []int32.
+func AppendI32s(b []byte, v []int32) []byte {
+	b = AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+// I32s consumes a []int32 (nil for an empty slice).
+func I32s(b []byte) ([]int32, []byte, error) {
+	n, b, err := sliceCount(b)
+	if err != nil || n == 0 {
+		return nil, b, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		var x int64
+		if x, b, err = Varint(b); err != nil {
+			return nil, nil, err
+		}
+		if x < -1<<31 || x > 1<<31-1 {
+			return nil, nil, fmt.Errorf("%w: int32 element %d", ErrCorrupt, x)
+		}
+		out[i] = int32(x)
+	}
+	return out, b, nil
+}
+
+// AppendInts appends a []int.
+func AppendInts(b []byte, v []int) []byte {
+	b = AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+// Ints consumes a []int (nil for an empty slice).
+func Ints(b []byte) ([]int, []byte, error) {
+	n, b, err := sliceCount(b)
+	if err != nil || n == 0 {
+		return nil, b, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		var x int64
+		if x, b, err = Varint(b); err != nil {
+			return nil, nil, err
+		}
+		out[i] = int(x)
+	}
+	return out, b, nil
+}
+
+// AppendU64s appends a []uint64 as fixed 8-byte values (TID vectors).
+func AppendU64s(b []byte, v []uint64) []byte {
+	b = AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = AppendU64(b, x)
+	}
+	return b
+}
+
+// U64s consumes a []uint64 (nil for an empty slice).
+func U64s(b []byte) ([]uint64, []byte, error) {
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Divide rather than multiply: n*8 would overflow for corrupt counts.
+	if n > uint64(len(b))/8 {
+		return nil, nil, fmt.Errorf("%w: %d u64s in %d-byte buffer", ErrCorrupt, n, len(b))
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	out := make([]uint64, n)
+	var err2 error
+	for i := range out {
+		if out[i], b, err2 = U64(b); err2 != nil {
+			return nil, nil, err2
+		}
+	}
+	return out, b, nil
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"star/internal/replication"
+	"star/internal/storage"
+	"star/internal/transport"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1, ^uint64(0)}
+	for _, v := range uvals {
+		b := AppendUvarint(nil, v)
+		if len(b) != UvarintLen(v) {
+			t.Fatalf("UvarintLen(%d)=%d, encoded %d", v, UvarintLen(v), len(b))
+		}
+		got, rest, err := Uvarint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("uvarint %d: got %d rest=%d err=%v", v, got, len(rest), err)
+		}
+	}
+	ivals := []int64{0, 1, -1, 63, -64, 1 << 40, -1 << 40, 1<<63 - 1, -1 << 63}
+	for _, v := range ivals {
+		b := AppendVarint(nil, v)
+		if len(b) != VarintLen(v) {
+			t.Fatalf("VarintLen(%d)=%d, encoded %d", v, VarintLen(v), len(b))
+		}
+		got, rest, err := Varint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("varint %d: got %d rest=%d err=%v", v, got, len(rest), err)
+		}
+	}
+}
+
+func TestDecodersRejectTruncation(t *testing.T) {
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty uvarint: %v", err)
+	}
+	if _, _, err := U64([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short u64: %v", err)
+	}
+	if _, _, err := Key([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short key: %v", err)
+	}
+	// A byte string claiming more bytes than the buffer holds.
+	b := AppendUvarint(nil, 1000)
+	if _, _, err := Bytes(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overlong byte string: %v", err)
+	}
+	if _, _, err := Bool([]byte{7}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad bool byte: %v", err)
+	}
+	// A slice count exceeding the buffer.
+	c := AppendUvarint(nil, 1<<40)
+	if _, _, err := I64s(c); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized slice count: %v", err)
+	}
+	// A u64-slice count whose byte size (n*8) would overflow uint64 must
+	// still be rejected, not make a huge allocation or wrap the guard.
+	d := AppendUvarint(nil, 1<<61)
+	if _, _, err := U64s(d); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("overflowing u64s count: %v", err)
+	}
+}
+
+func TestBytesAliasing(t *testing.T) {
+	src := AppendBytes(nil, []byte("payload"))
+	p, _, err := Bytes(src)
+	if err != nil || string(p) != "payload" {
+		t.Fatalf("bytes round trip: %q err=%v", p, err)
+	}
+	// Arena contract: the decoded slice aliases the input buffer.
+	if &p[0] != &src[len(src)-len(p)] {
+		t.Fatal("decoded bytes must alias the input buffer (no copy)")
+	}
+}
+
+func sampleEntries() []replication.Entry {
+	return []replication.Entry{
+		{Table: 3, Part: 7, Key: storage.K2(9, 11), TID: 1<<40 | 5,
+			Row: []byte("rowbytes")},
+		{Table: 1, Part: 0, Key: storage.K1(2), TID: 17, Absent: true, Row: nil},
+		{Table: 2, Part: 15, Key: storage.K2(1, 2), TID: 99, Ops: []storage.FieldOp{
+			storage.AddInt64Op(3, -40),
+			storage.PrependOp(5, []byte("prefix")),
+		}},
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	for i, e := range sampleEntries() {
+		enc := AppendEntry(nil, &e)
+		if len(enc) != EntryLen(&e) {
+			t.Fatalf("entry %d: EntryLen=%d encoded=%d", i, EntryLen(&e), len(enc))
+		}
+		got, rest, err := DecodeEntry(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("entry %d decode: err=%v rest=%d", i, err, len(rest))
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("entry %d round trip:\n got %+v\nwant %+v", i, got, e)
+		}
+		if got.IsOp() != e.IsOp() {
+			t.Fatalf("entry %d: IsOp changed across the wire", i)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := &replication.Batch{From: 3, Epoch: 12, Entries: sampleEntries()}
+	enc := AppendBatch(nil, b)
+	if len(enc) != BatchLen(b) {
+		t.Fatalf("BatchLen=%d encoded=%d", BatchLen(b), len(enc))
+	}
+	got, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("batch round trip:\n got %+v\nwant %+v", got, b)
+	}
+	// Trailing garbage is corrupt, not ignored.
+	if _, err := DecodeBatch(append(enc, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+type frameMsg struct{ V int }
+
+func (frameMsg) Size() int { return 8 }
+
+func TestFrameRoundTrip(t *testing.T) {
+	c := NewCodec()
+	c.Register(9, frameMsg{},
+		func(b []byte, m transport.Message) []byte { return AppendVarint(b, int64(m.(frameMsg).V)) },
+		func(b []byte) (transport.Message, []byte, error) {
+			v, rest, err := Varint(b)
+			return frameMsg{V: int(v)}, rest, err
+		})
+	frame, err := AppendFrame(nil, 2, 5, 1, c, frameMsg{V: -42})
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	// Body length prefix covers everything after the first 4 bytes.
+	body := frame[4:]
+	r := bytes.NewReader(frame)
+	got, err := ReadFrame(r, 0)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("ReadFrame: %v (got %d bytes, want %d)", err, len(got), len(body))
+	}
+	fi, m, err := DecodeFrameBody(got, c)
+	if err != nil {
+		t.Fatalf("DecodeFrameBody: %v", err)
+	}
+	if fi.Src != 2 || fi.Dst != 5 || fi.Class != 1 || m.(frameMsg).V != -42 {
+		t.Fatalf("frame fields: %+v %+v", fi, m)
+	}
+	if len(frame) != FrameOverhead+VarintLen(-42) {
+		t.Fatalf("FrameOverhead accounting: frame=%d overhead=%d body=%d",
+			len(frame), FrameOverhead, VarintLen(-42))
+	}
+	// Unknown message id is corrupt.
+	bad := append([]byte(nil), got...)
+	bad[5] = 200
+	if _, _, err := DecodeFrameBody(bad, c); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown id: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package ycsb
+
+import (
+	"fmt"
+
+	"star/internal/storage"
+	"star/internal/txn"
+	"star/internal/wire"
+)
+
+// wireTxn is the YCSB procedure id (tpcc takes 1–2; ycsb takes 3).
+const wireTxn uint8 = 3
+
+// RegisterWire binds the YCSB transaction codec to c. The decoder binds
+// decoded transactions to this process's Workload instance, so every
+// process must construct the workload with the same configuration.
+func (w *Workload) RegisterWire(c *wire.Codec) {
+	c.RegisterProc(wireTxn, (*Txn)(nil),
+		func(b []byte, p txn.Procedure) []byte {
+			t := p.(*Txn)
+			b = wire.AppendUvarint(b, uint64(len(t.keys)))
+			for i := range t.keys {
+				b = wire.AppendVarint(b, int64(t.parts[i]))
+				b = wire.AppendKey(b, t.keys[i])
+				b = wire.AppendBool(b, t.writes[i])
+			}
+			b = wire.AppendUvarint(b, uint64(len(t.ops)))
+			for i := range t.ops {
+				b = wire.AppendFieldOp(b, &t.ops[i])
+			}
+			return b
+		},
+		func(b []byte) (txn.Procedure, []byte, error) {
+			n, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Each access costs ≥ 18 bytes on the wire.
+			if n > uint64(len(b))/18+1 {
+				return nil, nil, fmt.Errorf("%w: %d ycsb accesses", wire.ErrCorrupt, n)
+			}
+			t := &Txn{
+				w:      w,
+				parts:  make([]int, n),
+				keys:   make([]storage.Key, n),
+				writes: make([]bool, n),
+			}
+			for i := uint64(0); i < n; i++ {
+				var x int64
+				if x, b, err = wire.Varint(b); err != nil {
+					return nil, nil, err
+				}
+				t.parts[i] = int(x)
+				if t.keys[i], b, err = wire.Key(b); err != nil {
+					return nil, nil, err
+				}
+				if t.writes[i], b, err = wire.Bool(b); err != nil {
+					return nil, nil, err
+				}
+			}
+			nops, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if nops > uint64(len(b))/3+1 {
+				return nil, nil, fmt.Errorf("%w: %d ycsb ops", wire.ErrCorrupt, nops)
+			}
+			t.ops = make([]storage.FieldOp, nops)
+			for i := range t.ops {
+				if t.ops[i], b, err = wire.DecodeFieldOp(b); err != nil {
+					return nil, nil, err
+				}
+			}
+			t.accs = make([]txn.Access, n)
+			for i := range t.keys {
+				t.accs[i] = txn.Access{Table: TableID, Part: t.parts[i], Key: t.keys[i], Write: t.writes[i]}
+			}
+			return t, b, nil
+		})
+}
+
+// WireSize returns the exact encoded parameter size (kept in lock-step
+// with the encoder above).
+func (t *Txn) WireSize() int {
+	n := wire.UvarintLen(uint64(len(t.keys)))
+	for i := range t.keys {
+		n += wire.VarintLen(int64(t.parts[i])) + wire.KeyLen + 1
+	}
+	n += wire.UvarintLen(uint64(len(t.ops)))
+	for i := range t.ops {
+		n += wire.FieldOpLen(&t.ops[i])
+	}
+	return n
+}
