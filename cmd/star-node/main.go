@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"star/internal/core"
 	"star/internal/rt"
@@ -43,9 +44,14 @@ func main() {
 		workers   = flag.Int("workers", 2, "worker threads per node (partitions = nodes*workers)")
 		addrs     = flag.String("addrs", "", "comma-separated host:port per process, in id order (required)")
 		wl        = flag.String("workload", "tpcc", "workload: tpcc or ycsb")
+		mix       = flag.String("mix", "paper", "tpcc mix: paper (NewOrder+Payment) or full (adds Delivery+Stock-Level, 45/43/4/4)")
 		cross     = flag.Int("cross", -1, "cross-partition percentage (-1 = workload default)")
+		snapReads = flag.Bool("snapshot-reads", false, "serve read-only transactions from the local fence snapshot")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		txns      = flag.Int("txns", 200, "scripted generator steps per partition")
+		serve     = flag.Bool("serve", false, "time-driven run instead of the scripted one: process the workload until killed (failure-test mode)")
+		iteration = flag.Duration("iteration", 10*time.Millisecond, "serve mode: phase-switch iteration time")
+		probe     = flag.Bool("probe", false, "register an extra probe endpoint (id nodes+1, sharing process 0's address) for an external test/ops observer")
 		districts = flag.Int("districts", 2, "tpcc: districts per warehouse")
 		customers = flag.Int("customers", 300, "tpcc: customers per district")
 		items     = flag.Int("items", 2000, "tpcc: catalogue size")
@@ -74,6 +80,9 @@ func main() {
 			CustomersPerDistrict: *customers,
 			Items:                *items,
 		}
+		if *mix == "full" {
+			cfg.SetFullMix()
+		}
 		if *cross >= 0 {
 			cfg.SetCrossPct(*cross)
 		}
@@ -90,8 +99,12 @@ func main() {
 	}
 
 	// Endpoint map: node i lives at addrList[i]; the coordinator
-	// endpoint (id = nodes) shares process 0's listener.
+	// endpoint (id = nodes) shares process 0's listener, and so does the
+	// optional probe endpoint (id = nodes+1).
 	endpoints := append(append([]string(nil), addrList...), addrList[0])
+	if *probe {
+		endpoints = append(endpoints, addrList[0])
+	}
 	local := []int{*id}
 	if *id == 0 {
 		local = append(local, *nodes) // coordinator endpoint
@@ -109,7 +122,7 @@ func main() {
 	}
 	defer net.Close()
 
-	run := core.StartScripted(core.Config{
+	cfg := core.Config{
 		RT:               r,
 		Nodes:            *nodes,
 		FullReplicas:     *full,
@@ -119,7 +132,20 @@ func main() {
 		Transport:        net,
 		LocalNodes:       []int{*id},
 		LocalCoordinator: *id == 0,
-	}, core.Script{TxnsPerPartition: *txns})
+		SnapshotReads:    *snapReads,
+	}
+
+	if *serve {
+		// Time-driven mode: run the node (and, on process 0, the
+		// coordinator) until the process is killed — the target of the
+		// multi-process kill/restart failure tests. Nothing is printed;
+		// observers use the probe endpoint.
+		cfg.Iteration = *iteration
+		core.New(cfg)
+		select {}
+	}
+
+	run := core.StartScripted(cfg, core.Script{TxnsPerPartition: *txns})
 
 	res := <-run.Done()
 	r.Stop()

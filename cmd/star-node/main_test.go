@@ -11,8 +11,20 @@ import (
 
 	"star/internal/core"
 	"star/internal/rt"
+	"star/internal/tcpnet"
 	"star/internal/workload/tpcc"
 )
+
+// buildStarNode compiles the star-node binary into a temp dir.
+func buildStarNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "star-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // freePorts reserves n distinct loopback ports. The listeners close
 // before the processes start, so a port could in principle be stolen in
@@ -76,11 +88,7 @@ func TestStarNodeProcessesMatchSimnet(t *testing.T) {
 		t.Fatalf("bad simnet reference: %+v", want)
 	}
 
-	bin := filepath.Join(t.TempDir(), "star-node")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
-	}
+	bin := buildStarNode(t)
 
 	addrs := freePorts(t, nodes)
 	addrList := addrs[0] + "," + addrs[1]
@@ -110,5 +118,176 @@ func TestStarNodeProcessesMatchSimnet(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("star-node cluster diverged from simnet run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStarNodeKillRestartSnapshotCatchUp is the multi-process failure
+// test the PR 3 follow-up asked for: a star-node OS process is killed
+// mid-run, the surviving process's coordinator detects the failure,
+// reverts the in-flight epoch and keeps committing; the victim is then
+// restarted from scratch, rejoined via the snapshot catch-up protocol
+// (msgStartRecovery / msgSnapshot over real TCP), and — after a
+// cluster-wide freeze settles replication — its partition checksums
+// must converge to the survivor's.
+//
+// Topology: this test process hosts node 0, the coordinator (endpoint
+// 2) and an observation Probe (endpoint 3) on one listener; node 1 is a
+// real star-node child process in -serve (time-driven) mode, running
+// the full TPC-C mix.
+func TestStarNodeKillRestartSnapshotCatchUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process failure test skipped in -short")
+	}
+	const (
+		nodes, workers = 2, 2
+		seed           = int64(3)
+	)
+	bin := buildStarNode(t)
+	addrs := freePorts(t, nodes)
+	addrList := addrs[0] + "," + addrs[1]
+
+	wcfg := tpcc.Config{
+		Warehouses:           nodes * workers,
+		Districts:            2,
+		CustomersPerDistrict: 300,
+		Items:                2000,
+	}
+	wcfg.SetFullMix()
+	w := tpcc.New(wcfg)
+
+	// Endpoints: nodes 0/1, coordinator (2) and probe (3); everything but
+	// node 1 lives in this process, on one listener.
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	endpoints := []string{addrs[0], addrs[1], addrs[0], addrs[0]}
+	r := rt.NewReal()
+	netA, err := tcpnet.New(r, tcpnet.Config{
+		Endpoints: endpoints,
+		Local:     []int{0, 2, 3},
+		Codec:     core.NewWireCodec(w),
+		Listener:  ln,
+	})
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	defer netA.Close()
+
+	// The restarted incarnation runs with a fresh seed: TPC-C's loader is
+	// seed-independent (replicas stay byte-identical), but a same-seed
+	// restart would regenerate the first life's history keys and collide
+	// with the rows the snapshot catch-up restores — every such payment
+	// would abort. A new process identity is what an operator would
+	// deploy anyway.
+	startChild := func(seed string) *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-id", "1", "-nodes", "2", "-workers", "2", "-seed", seed,
+			"-addrs", addrList, "-mix", "full",
+			"-serve", "-probe", "-iteration", "2ms",
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start star-node child: %v", err)
+		}
+		return cmd
+	}
+	kill := func(cmd *exec.Cmd) {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+
+	// Child first (its workers idle until the coordinator speaks), then
+	// the engine hosting node 0 + the time-driven coordinator.
+	child := startChild("3")
+	defer func() { kill(child) }()
+	time.Sleep(200 * time.Millisecond)
+	eng := core.New(core.Config{
+		RT:               r,
+		Nodes:            nodes,
+		WorkersPerNode:   workers,
+		Workload:         w,
+		Seed:             seed,
+		Transport:        netA,
+		LocalNodes:       []int{0},
+		LocalCoordinator: true,
+		Iteration:        2 * time.Millisecond,
+		SnapshotReads:    true,
+	})
+	defer r.Stop()
+
+	waitCommitsGrow := func(label string, timeout time.Duration) {
+		t.Helper()
+		base := eng.Stats().Committed
+		deadline := time.Now().Add(timeout)
+		for eng.Stats().Committed <= base {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: commits stalled at %d", label, base)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitCommitsGrow("healthy cluster", 15*time.Second)
+
+	// Kill node 1 mid-run. The coordinator must detect the silence,
+	// revert the in-flight epoch, re-master node 1's partitions onto the
+	// full replica and keep committing.
+	kill(child)
+	time.Sleep(100 * time.Millisecond)
+	waitCommitsGrow("after kill", 15*time.Second)
+
+	// Restart the victim from scratch (fresh load state, empty counters)
+	// and schedule its rejoin: the coordinator restores connectivity,
+	// streams partition snapshots over TCP, and hands partitions back.
+	child = startChild("1003")
+	time.Sleep(200 * time.Millisecond)
+	eng.RecoverNode(1)
+	waitCommitsGrow("after rejoin", 15*time.Second)
+
+	// Freeze the whole cluster (probe → both nodes), let fences settle
+	// in-flight replication, then compare the restarted node's checksums
+	// with the survivor's until they converge. A node whose phase report
+	// arrives a moment too late can be spuriously re-failed by the view
+	// service — its state then legitimately diverges until it rejoins —
+	// so the loop re-issues the rejoin like an operator would (RecoverNode
+	// is idempotent on an alive node).
+	probe := core.NewProbe(netA, nodes+1, nodes)
+	probe.Freeze(true)
+	deadline := time.Now().Add(30 * time.Second)
+	lastRecover := time.Now()
+	for {
+		time.Sleep(100 * time.Millisecond)
+		cs, err := probe.Checksums(1, 3*time.Second)
+		mismatch := -1
+		if err == nil {
+			if len(cs.Parts) == 0 {
+				t.Fatal("restarted node reported no partitions")
+			}
+			for i, p := range cs.Parts {
+				if eng.DB(0).PartitionChecksum(int(p)) != cs.Sums[i] {
+					mismatch = int(p)
+					break
+				}
+			}
+			if mismatch == -1 {
+				break // converged
+			}
+		}
+		if time.Since(lastRecover) > 3*time.Second {
+			eng.RecoverNode(1)
+			lastRecover = time.Now()
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				t.Fatalf("probe checksums: %v", err)
+			}
+			for i, p := range cs.Parts {
+				t.Logf("part %d: node1=%x node0=%x", p, cs.Sums[i], eng.DB(0).PartitionChecksum(int(p)))
+			}
+			t.Logf("stats: %+v", eng.Stats().Extra)
+			t.Fatalf("partition %d never converged after snapshot catch-up", mismatch)
+		}
+	}
+	if halted, reason := eng.Halted(); halted {
+		t.Fatalf("cluster halted: %s", reason)
 	}
 }

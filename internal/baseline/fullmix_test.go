@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"star/internal/rt"
+	"star/internal/storage"
+	"star/internal/workload/tpcc"
+)
+
+// fullMixWL is the standard-weighted four-transaction TPC-C mix with a
+// generous Delivery/Stock-Level share so short runs exercise them.
+func fullMixWL(nparts int) *tpcc.Workload {
+	cfg := tpcc.Config{
+		Warehouses:           nparts,
+		Districts:            2,
+		CustomersPerDistrict: 60,
+		Items:                300,
+		DeliveryPct:          10,
+		StockLevelPct:        10,
+		CrossPctStockLevel:   30,
+	}
+	return tpcc.New(cfg)
+}
+
+// deliveredSomething reports whether any district's delivery cursor
+// advanced past its initial value on db (i.e. a Delivery batch ran).
+func deliveredSomething(t *testing.T, wl *tpcc.Workload, db *storage.DB, nparts int) bool {
+	t.Helper()
+	sch := wl.BuildDB(nparts, make([]bool, nparts)).Table(tpcc.TDistrict).Schema()
+	for wid := 0; wid < nparts; wid++ {
+		for did := 0; did < 2; did++ {
+			rec := db.Table(tpcc.TDistrict).Get(wid, tpcc.DKey(wid, did))
+			if rec == nil {
+				continue
+			}
+			drow, _, present := rec.ReadStable(nil)
+			if present && sch.GetUint64(drow, tpcc.DNextDelOID) > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPBOCCFullMix runs the standard mix on the primary/backup baseline
+// and checks that Deliveries execute (cursors advance) and the backup
+// stays byte-identical.
+func TestPBOCCFullMix(t *testing.T) {
+	s := rt.NewSim()
+	wl := fullMixWL(4)
+	cfg := baseCfg(s, 2, 2, wl)
+	cfg.Workload = wl
+	e := NewPBOCC(cfg)
+	s.Run(50 * time.Millisecond)
+	if e.Stats().Committed == 0 {
+		t.Fatal("no commits")
+	}
+	e.Freeze()
+	s.Run(s.Now() + 20*time.Millisecond)
+	if !deliveredSomething(t, wl, e.Primary(), 4) {
+		t.Fatal("no Delivery batch ever advanced a district cursor")
+	}
+	for p := 0; p < 4; p++ {
+		checkPair(t, e.Primary(), e.Backup(), p, "pbocc-fullmix")
+	}
+	s.Stop()
+}
+
+// TestDistFullMix runs the standard mix on both distributed baselines:
+// Delivery's district write locks serialise the batch against NewOrder,
+// Stock-Level's remote stock reads cross the RPC path, and
+// primary/backup copies must converge.
+func TestDistFullMix(t *testing.T) {
+	for _, proto := range []Protocol{DistOCC, DistS2PL} {
+		s := rt.NewSim()
+		wl := fullMixWL(4)
+		cfg := baseCfg(s, 2, 2, wl)
+		cfg.Workload = wl
+		e := NewDist(cfg, proto)
+		s.Run(50 * time.Millisecond)
+		if e.Stats().Committed == 0 {
+			t.Fatalf("%v: no commits", proto)
+		}
+		e.Freeze()
+		s.Run(s.Now() + 25*time.Millisecond)
+		if !deliveredSomething(t, wl, e.NodeDB(0), 4) && !deliveredSomething(t, wl, e.NodeDB(1), 4) {
+			t.Fatalf("%v: no Delivery batch ever ran", proto)
+		}
+		distConsistency(t, e)
+		s.Stop()
+	}
+}
+
+// TestCalvinFullMix runs the standard mix under deterministic
+// execution: Delivery's declared district write locks order it within
+// the batch, and the run must commit work from every class.
+func TestCalvinFullMix(t *testing.T) {
+	s := rt.NewSim()
+	wl := fullMixWL(4)
+	cfg := baseCfg(s, 2, 2, wl)
+	cfg.Workload = wl
+	cfg.BatchSize = 50
+	e := NewCalvin(cfg)
+	s.Run(60 * time.Millisecond)
+	if e.Stats().Committed == 0 {
+		t.Fatal("no commits")
+	}
+	e.Freeze()
+	s.Run(s.Now() + 20*time.Millisecond)
+	if !deliveredSomething(t, wl, e.NodeDB(0), 4) && !deliveredSomething(t, wl, e.NodeDB(1), 4) {
+		t.Fatal("no Delivery batch ever ran under Calvin")
+	}
+	s.Stop()
+}

@@ -127,6 +127,19 @@ func (o Options) tpccWorkload(nodes, crossPct int) workload.Workload {
 	return tpcc.New(cfg)
 }
 
+// tpccFullWorkload is the standard-weighted four-transaction mix
+// (45/43/4/4 NewOrder/Payment/Delivery/Stock-Level): Delivery runs in
+// deferred mode, and the cross-partition percentage also governs the
+// multi-warehouse Stock-Level variant the snapshot-read path serves.
+func (o Options) tpccFullWorkload(nodes, crossPct int) workload.Workload {
+	cfg := o.tpccCfg(nodes * o.workers())
+	cfg.SetFullMix()
+	if crossPct >= 0 {
+		cfg.SetCrossPct(crossPct)
+	}
+	return tpcc.New(cfg)
+}
+
 // ---- engine builders ----
 
 func (o Options) star(nodes int, wl workload.Workload, mod func(*core.Config)) func(*rt.Sim) func() metrics.Stats {

@@ -63,7 +63,7 @@ func TestSweepConfigDefaults(t *testing.T) {
 	if cfg.Nodes != 4 {
 		t.Fatalf("nodes=%d", cfg.Nodes)
 	}
-	if len(cfg.Workloads) != 2 || len(cfg.Engines) != 5 {
+	if len(cfg.Workloads) != 3 || len(cfg.Engines) != 5 {
 		t.Fatalf("defaults: workloads=%v engines=%v", cfg.Workloads, cfg.Engines)
 	}
 	if len(cfg.CrossPcts) == 0 {

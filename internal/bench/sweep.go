@@ -39,8 +39,11 @@ const ResultsSchema = "star-bench/sweep/v1"
 // order: STAR plus the paper's baseline systems (§7.1.2).
 var SweepEngines = []string{"STAR", "PB.OCC", "Dist.OCC", "Dist.S2PL", "Calvin"}
 
-// SweepWorkloads are the workload names RunSweep understands.
-var SweepWorkloads = []string{"ycsb", "tpcc"}
+// SweepWorkloads are the workload names RunSweep understands:
+// "tpcc" is the paper's NewOrder+Payment subset, "tpcc-full" the
+// standard-weighted 45/43/4/4 mix with deferred Delivery and
+// (cross-partition) Stock-Level.
+var SweepWorkloads = []string{"ycsb", "tpcc", "tpcc-full"}
 
 // SweepConfig selects what a sweep covers. Zero fields take the full
 // paper-figure defaults (4 nodes, both workloads, all engines, the
@@ -104,10 +107,26 @@ type BatchingPoint struct {
 	BytesPerCommit float64 `json:"repl_bytes_per_commit"`
 }
 
+// SnapshotPoint is one leg of the read-only snapshot-path comparison:
+// STAR on the full TPC-C mix with cross-partition Stock-Level, with the
+// snapshot-read path off (every read-only transaction routes to the
+// master) versus on (served from the generating node's fence snapshot).
+type SnapshotPoint struct {
+	Mode           string  `json:"mode"` // "master-routed" or "snapshot-reads"
+	CrossPct       int     `json:"cross_pct"`
+	Committed      int64   `json:"committed"`
+	ThroughputTxnS float64 `json:"throughput_txn_s"`
+	AbortRate      float64 `json:"abort_rate"`
+	SnapshotReads  int64   `json:"snapshot_reads"`
+	Deferred       int64   `json:"deferred"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+}
+
 // SweepResults is the machine-readable bundle star-bench writes to
 // BENCH_results.json: the paper's headline cross-partition sweeps plus
-// the replication-batching comparison, so every later PR has a
-// trajectory to beat.
+// the replication-batching and snapshot-read comparisons, so every
+// later PR has a trajectory to beat.
 type SweepResults struct {
 	Schema     string          `json:"schema"`
 	Seed       int64           `json:"seed"`
@@ -120,6 +139,7 @@ type SweepResults struct {
 	CrossPcts  []int           `json:"cross_pcts"`
 	Results    []SweepPoint    `json:"results"`
 	Batching   []BatchingPoint `json:"batching"`
+	Snapshot   []SnapshotPoint `json:"snapshot_reads,omitempty"`
 }
 
 // toPoint converts engine stats into a sweep point.
@@ -140,10 +160,14 @@ func toPoint(wl, engine string, crossPct, nodes int, st metrics.Stats) SweepPoin
 
 // sweepWorkload builds the named workload for an engine run.
 func (o Options) sweepWorkload(name string, nodes, crossPct int) workload.Workload {
-	if name == "ycsb" {
+	switch name {
+	case "ycsb":
 		return o.ycsbWorkload(nodes, crossPct)
+	case "tpcc-full":
+		return o.tpccFullWorkload(nodes, crossPct)
+	default:
+		return o.tpccWorkload(nodes, crossPct)
 	}
-	return o.tpccWorkload(nodes, crossPct)
 }
 
 // runSweepEngine executes one engine at one sweep point, returning the
@@ -218,7 +242,43 @@ func RunSweep(o Options, cfg SweepConfig) (SweepResults, error) {
 	if !cfg.SkipBatching {
 		res.Batching = o.runBatchingComparison(cfg.Nodes, cfg.Workloads)
 	}
+	if slices.Contains(cfg.Workloads, "tpcc-full") {
+		res.Snapshot = o.runSnapshotComparison(cfg.Nodes)
+	}
 	return res, nil
+}
+
+// runSnapshotComparison measures the read-only snapshot path on the
+// full TPC-C mix: with SnapshotReads on, cross-partition Stock-Level
+// scans run against the generating node's fence snapshot instead of the
+// master's OCC queue — no master routing, no group-commit latency, no
+// validation retries against the write-heavy mix.
+func (o Options) runSnapshotComparison(nodes int) []SnapshotPoint {
+	modes := []struct {
+		name string
+		on   bool
+	}{{"master-routed", false}, {"snapshot-reads", true}}
+	var out []SnapshotPoint
+	for _, crossPct := range []int{10, 50} {
+		for _, m := range modes {
+			st := runSim(o.duration(), o.star(nodes, o.tpccFullWorkload(nodes, crossPct),
+				func(c *core.Config) { c.SnapshotReads = m.on }))
+			pt := SnapshotPoint{
+				Mode: m.name, CrossPct: crossPct,
+				Committed:      st.Committed,
+				ThroughputTxnS: st.Throughput(),
+				AbortRate:      st.AbortRate(),
+				SnapshotReads:  int64(st.Extra["snapshot_reads"]),
+				Deferred:       int64(st.Extra["deferred"]),
+				P50Ms:          ms(st.Latency.Quantile(.5)),
+				P99Ms:          ms(st.Latency.Quantile(.99)),
+			}
+			out = append(out, pt)
+			o.printf("# snapshot %-14s P=%-3d  %8.0f txn/s  %7d snapshot reads  %7d deferred\n",
+				m.name, crossPct, pt.ThroughputTxnS, pt.SnapshotReads, pt.Deferred)
+		}
+	}
+	return out
 }
 
 // runBatchingComparison measures STAR's replication messages per

@@ -110,6 +110,20 @@ type Config struct {
 	// instead of serializability (§3: read validation is skipped).
 	ReadCommitted bool
 
+	// SnapshotReads executes read-only transactions (txn.IsReadOnly)
+	// against the latest epoch-fenced replica state on whatever node
+	// generated them, instead of routing them to the master: each read
+	// resolves to the record's pre-epoch version when the record was
+	// written in the in-flight epoch, which is exactly the consistent
+	// snapshot the last replication fence installed on every replica
+	// (SCAR-style consistent reads from asynchronously replicated state).
+	// A node that does not hold every partition the transaction touches
+	// falls back to master routing (counted in Stats as
+	// snapshot_fallbacks). Results release immediately — snapshot reads
+	// observe only group-committed state, so they skip the group-commit
+	// wait entirely.
+	SnapshotReads bool
+
 	Cost CostModel
 	Seed int64
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"star/internal/rt"
 	"star/internal/transport"
 )
 
@@ -28,6 +29,19 @@ type coordinator struct {
 
 	// Monitored quantities (EWMA).
 	tp, ts, pEst float64
+
+	// minGrace floors the failure-detection grace per gather: tight on
+	// the simulated runtime (virtual time is deterministic), generous on
+	// the real one (an OS process can lose tens of milliseconds to GC or
+	// scheduling without being dead). graceBoost is a one-shot extension
+	// consumed by the phase right after a rejoin: the rejoined process
+	// has just applied a full snapshot catch-up and may need a moment.
+	minGrace   time.Duration
+	graceBoost time.Duration
+
+	// ackRetried marks that the current epoch's fence already failed
+	// once and was reverted for retry (see the ack-gather failure path).
+	ackRetried bool
 
 	// Per-iteration accumulators.
 	iterCommitP, iterCommitS int64
@@ -58,6 +72,10 @@ func newCoordinator(e *Engine) *coordinator {
 	}
 	c.lastTauP = e.cfg.Iteration / 2
 	c.lastTauS = e.cfg.Iteration / 2
+	c.minGrace = 20 * time.Millisecond
+	if _, isSim := e.cfg.RT.(*rt.Sim); !isSim {
+		c.minGrace = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -142,15 +160,23 @@ func (c *coordinator) loop() {
 func (c *coordinator) runPhase(tau time.Duration) {
 	r := c.e.cfg.RT
 	prop := 2 * c.e.cfg.Net.Latency // command propagation allowance
-	deadline := r.Now() + prop + tau
+	budget := prop + tau
+	deadline := r.Now() + budget
+	// The phase end crosses process boundaries as a BUDGET relative to
+	// the command's receipt, not an absolute timestamp: each process's
+	// runtime has its own clock origin (a restarted node's clock starts
+	// near zero), so an absolute coordinator-clock deadline would make a
+	// rejoined process sleep out the clock skew and miss every phase.
+	// Each node's ROUTER localises it on receipt (node.startPhase).
 	c.broadcast(msgStartPhase{
 		Phase:    c.phase,
 		Epoch:    c.epoch,
-		Deadline: deadline,
+		Deadline: budget,
 		Master:   c.master,
 		Failed:   c.failedList(),
 	})
-	grace := 10*tau + 20*time.Millisecond
+	grace := 10*tau + c.minGrace + c.graceBoost
+	c.graceBoost = 0
 
 	// Phase execution: gather per-node sent vectors and monitors.
 	done := map[int]msgPhaseDone{}
@@ -160,6 +186,10 @@ func (c *coordinator) runPhase(tau time.Duration) {
 		}
 		return len(done) == c.aliveCount()
 	}) {
+		// A failure detected at the phase gather is properly attributed:
+		// renew the fence's one-shot retry budget (a prior fence stall
+		// may have consumed it to funnel detection here).
+		c.ackRetried = false
 		c.onFailure(missingFrom(done, c.alive))
 		return
 	}
@@ -183,9 +213,25 @@ func (c *coordinator) runPhase(tau time.Duration) {
 		}
 		return len(acks) == c.aliveCount()
 	}) {
+		if !c.ackRetried {
+			// A fence that cannot drain usually means a peer died AFTER
+			// its phase report: its counted-but-in-flight entries are
+			// gone, and every survivor waiting for them misses the ack
+			// too — failing the non-ackers here would blame the stuck
+			// (alive) nodes and can even halt the cluster as "no full
+			// replica left". Revert and retry the epoch once instead:
+			// the revert aborts the survivors' drains, and a genuinely
+			// dead node then misses the next PHASE gather, which
+			// attributes the failure to the right node.
+			c.ackRetried = true
+			c.revertAndRetryEpoch()
+			return
+		}
+		c.ackRetried = false
 		c.onFailure(missingBool(acks, c.alive))
 		return
 	}
+	c.ackRetried = false
 	// Epoch committed. Account monitors, handle rejoins, next phase.
 	c.addFenceTime(r.Now() - fenceStart)
 	c.accountPhase(done, tau)
@@ -351,6 +397,20 @@ func (c *coordinator) hasAliveFull() bool {
 	return false
 }
 
+// revertAndRetryEpoch aborts the in-flight epoch WITHOUT changing the
+// failure set: every (believed-)alive node reverts — which also aborts
+// any fence drain stuck waiting on a dead peer's vanished entries —
+// and the epoch restarts from the partitioned phase.
+func (c *coordinator) revertAndRetryEpoch() {
+	c.broadcast(msgRevert{
+		Epoch:      c.epoch,
+		Failed:     c.failedList(),
+		NewMasters: append([]int32(nil), c.masters...),
+	})
+	c.e.cfg.RT.Sleep(4 * c.e.cfg.Net.Latency)
+	c.phase = Partitioned
+}
+
 // onFailure is the §4.5 path: mark nodes failed, revert the in-flight
 // epoch everywhere, re-master lost partitions, and carry on (or halt if
 // no complete replica remains — case 4).
@@ -436,10 +496,15 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 			continue
 		}
 		c.e.net.SetDown(id, false)
-		// Revert whatever half-epoch state the node accumulated when it
-		// died; it will be re-fetched.
+		// Revert whatever in-flight state the node accumulated when it
+		// was cut off — Epoch 0 is the wildcard: the node may have kept
+		// committing an epoch the cluster reverted and re-executed, and
+		// those uncommitted writes carry TIDs the Thomas write rule would
+		// protect against the snapshot catch-up forever. Discarding them
+		// restores the node to its last group-committed state, which the
+		// snapshot then tops up.
 		c.e.net.Send(c.id(), id, transport.Control, msgRevert{
-			Epoch:      c.epoch,
+			Epoch:      0,
 			Failed:     c.failedList(),
 			NewMasters: append([]int32(nil), c.masters...),
 		})
@@ -458,9 +523,14 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 		}
 		c.e.net.Send(c.id(), id, transport.Control, msgStartRecovery{Parts: parts, From: from})
 		// Snapshot transfer is bandwidth-paced; allow plenty of time.
+		var rejoinSent []int64
 		okDone := c.gather(30*time.Second, func(m any) bool {
 			rd, ok := m.(msgRecoveryDone)
-			return ok && rd.Node == id
+			if ok && rd.Node == id {
+				rejoinSent = rd.Sent
+				return true
+			}
+			return false
 		})
 		if !okDone {
 			c.e.net.SetDown(id, true)
@@ -471,7 +541,19 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 			applied[src] = pd.Sent[id]
 		}
 		c.e.net.Send(c.id(), id, transport.Control, msgResetCounters{Applied: applied})
+		// Reverse alignment: entries the victim counted as sent but the
+		// network dropped at the crash (or a restart zeroed) can never
+		// be applied, so every survivor adopts the rejoined node's own
+		// cumulative count as its applied-from-id baseline — otherwise
+		// the first post-rejoin fence waits on phantom entries forever.
+		for s, a := range c.alive {
+			if !a || s == id || s >= len(rejoinSent) {
+				continue
+			}
+			c.e.net.Send(c.id(), s, transport.Control, msgAlignCounters{Src: id, Applied: rejoinSent[s]})
+		}
 		c.alive[id] = true
+		c.graceBoost = time.Second // lenient first phase for the rejoiner
 	}
 	// Hand partitions back to their configured masters where possible.
 	for p := range c.masters {

@@ -25,13 +25,15 @@ type Engine struct {
 	nodes []*node
 	coord *coordinator
 
-	committed  metrics.Counter
-	aborted    metrics.Counter // concurrency-conflict retries
-	userAborts metrics.Counter
-	deferred   metrics.Counter
-	rejected   metrics.Counter // deferred requests dropped by admission control
-	latency    *metrics.Hist
-	logBytes   atomic.Int64
+	committed    metrics.Counter
+	aborted      metrics.Counter // concurrency-conflict retries
+	userAborts   metrics.Counter
+	deferred     metrics.Counter
+	rejected     metrics.Counter // deferred requests dropped by admission control
+	snapReads    metrics.Counter // read-only txns served from the local fence snapshot
+	snapFallback metrics.Counter // read-only txns deferred anyway (partitions not held)
+	latency      *metrics.Hist
+	logBytes     atomic.Int64
 
 	logFiles   []string
 	mu         sync.Mutex
@@ -309,6 +311,8 @@ func (e *Engine) Stats() metrics.Stats {
 	st.Extra["user_aborts"] = float64(e.userAborts.Load())
 	st.Extra["deferred"] = float64(e.deferred.Load())
 	st.Extra["rejected"] = float64(e.rejected.Load())
+	st.Extra["snapshot_reads"] = float64(e.snapReads.Load())
+	st.Extra["snapshot_fallbacks"] = float64(e.snapFallback.Load())
 	if e.coord != nil {
 		st.Extra["fence_share"] = e.coord.fenceShare()
 		tauP, tauS := e.coord.taus()

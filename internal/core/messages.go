@@ -43,11 +43,15 @@ func (p Phase) String() string {
 // Receiving it also commits the previous epoch: revert information is
 // discarded and the group-committed transactions' results are released.
 type msgStartPhase struct {
-	Phase    Phase
-	Epoch    uint64
-	Deadline time.Duration // workers stop at this virtual time
-	Master   int           // the designated master node
-	Failed   []int         // currently failed nodes (empty normally)
+	Phase Phase
+	Epoch uint64
+	// Deadline is the phase budget, relative to the command's receipt
+	// (the receiving node's router localises it against its own clock in
+	// startPhase — processes do not share a clock origin, so an absolute
+	// time would not survive the wire). Scripted phases ignore it.
+	Deadline time.Duration
+	Master   int   // the designated master node
+	Failed   []int // currently failed nodes (empty normally)
 
 	// Scripted-run fields (see RunScripted; zero on ordinary phases).
 	// ScriptTxns bounds the partitioned phase by generator steps per
@@ -175,10 +179,24 @@ func (m *msgSnapshot) Size() int {
 }
 
 // msgChecksumReq asks a node for its partition checksums at a quiesced
-// fence boundary (scripted runs; coordinator → nodes).
-type msgChecksumReq struct{ Epoch uint64 }
+// fence boundary. From is the endpoint the response is routed to: the
+// scripted coordinator, or an external Probe endpoint (multi-process
+// failure tests verify snapshot catch-up convergence this way).
+type msgChecksumReq struct {
+	Epoch uint64
+	From  int
+}
 
-func (msgChecksumReq) Size() int { return 16 }
+func (msgChecksumReq) Size() int { return 24 }
+
+// msgFreeze toggles workload generation on a node (any endpoint →
+// node): phase switching and replication continue, so a frozen cluster
+// settles to a comparable quiesced state. The in-process Engine.Freeze
+// covers only locally hosted nodes; multi-process clusters freeze
+// remote nodes with this message (Probe.Freeze).
+type msgFreeze struct{ On bool }
+
+func (msgFreeze) Size() int { return 9 }
 
 // msgChecksumResp reports the checksums of every partition the node
 // holds, aligned with Parts (node → coordinator).

@@ -82,9 +82,13 @@ type node struct {
 	lastCheckpoint string
 }
 
-// applierBatch is one applier's share of a replication batch.
+// applierBatch is one applier's share of a replication batch. epoch is
+// the sender's epoch stamp: entries apply (and save their revert/fence
+// snapshots) under the epoch they were committed in, not the receiver's
+// possibly-lagging view.
 type applierBatch struct {
 	from    int
+	epoch   uint64
 	entries []replication.Entry
 }
 
@@ -118,10 +122,29 @@ type msgResetCounters struct{ Applied []int64 }
 func (m msgResetCounters) Size() int { return 8 + 8*len(m.Applied) }
 
 // msgRecoveryDone tells the coordinator a rejoining node finished its
-// snapshot catch-up.
-type msgRecoveryDone struct{ Node int }
+// snapshot catch-up. Sent carries the node's cumulative per-destination
+// replication counts so the coordinator can align every SURVIVOR's
+// applied counter with it: entries the victim had counted as sent but
+// the network dropped at the crash (in-flight envelopes, post-cut
+// flushes) would otherwise leave a permanent sent>applied gap that
+// wedges the first post-rejoin fence. A freshly restarted process
+// reports near-zero counts, which aligns the survivors DOWN — correct
+// too: its pre-crash sends are subsumed by the surviving state.
+type msgRecoveryDone struct {
+	Node int
+	Sent []int64
+}
 
-func (msgRecoveryDone) Size() int { return 8 }
+func (m msgRecoveryDone) Size() int { return 8 + 8*len(m.Sent) }
+
+// msgAlignCounters sets the receiver's applied-from-Src counter to
+// exactly Applied (rejoin reconciliation; see msgRecoveryDone.Sent).
+type msgAlignCounters struct {
+	Src     int
+	Applied int64
+}
+
+func (msgAlignCounters) Size() int { return 24 }
 
 // msgStartRecovery orders a rejoining node to copy the listed partitions
 // from the given healthy holders.
@@ -151,7 +174,7 @@ func (n *node) handle(m any) {
 		r.Compute(n.e.cfg.Cost.MsgHandling)
 		// Synchronous replication: the ack may only be sent after the
 		// entries are durably applied, so bypass the async appliers.
-		n.applyEntries(msg.Batch.From, msg.Batch.Entries)
+		n.applyEntries(msg.Batch.From, n.batchEpoch(msg.Batch), msg.Batch.Entries)
 		n.e.net.Send(n.id, msg.ReplyTo, transport.Control, msgReplAck{Worker: msg.Worker, Seq: msg.Seq})
 	case msgStartPhase:
 		n.startPhase(msg)
@@ -183,6 +206,12 @@ func (n *node) handle(m any) {
 				n.tracker.AddApplied(src, d)
 			}
 		}
+	case msgAlignCounters:
+		// Src came off the wire: a corrupt frame must not panic the
+		// router with an out-of-range counter index.
+		if msg.Src >= 0 && msg.Src < n.tracker.Nodes() {
+			n.tracker.SetApplied(msg.Src, msg.Applied)
+		}
 	case msgSnapshotReq:
 		n.serveSnapshot(msg)
 	case *msgSnapshot:
@@ -192,7 +221,9 @@ func (n *node) handle(m any) {
 	case msgUpdateMasters:
 		copy(n.masters, msg.Masters)
 	case msgChecksumReq:
-		n.serveChecksums()
+		n.serveChecksums(msg)
+	case msgFreeze:
+		n.e.frozen.Store(msg.On)
 	case msgHalt:
 		n.e.haltCh.TrySend(struct{}{})
 	default:
@@ -211,7 +242,7 @@ func (n *node) startRecovery(m msgStartRecovery) {
 		}
 	}
 	if len(m.Parts) == 0 {
-		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id})
+		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id, Sent: n.tracker.SentVector()})
 		return
 	}
 	n.snapshotsPending = nonRepl * len(m.Parts)
@@ -223,12 +254,27 @@ func (n *node) startRecovery(m msgStartRecovery) {
 // startPhase commits the previous epoch (revert info dropped, group-
 // committed results released to clients) and kicks the workers.
 func (n *node) startPhase(m msgStartPhase) {
+	if m.ScriptTxns == 0 {
+		// The deadline arrives as a phase budget relative to receipt
+		// (processes do not share a clock origin — an absolute
+		// coordinator-clock timestamp would make a restarted process
+		// sleep out the skew and miss every phase). Localising it at the
+		// ROUTER, not in the workers, keeps the old absolute semantics
+		// within the process: a worker that dequeues the command late
+		// sees a near-expired deadline and short-circuits instead of
+		// running a full phase past the coordinator's grace.
+		m.Deadline += n.e.cfg.RT.Now()
+	}
 	if n.routerLog != nil && m.Epoch > n.epoch.Load() && n.epoch.Load() > 0 {
 		// The fence for the previous epoch completed: mark it durable.
 		n.routerLog.AppendEpochMark(n.epoch.Load())
 		n.routerLog.Flush(false)
 	}
-	n.db.CommitEpoch()
+	// Commit everything up to (but not including) the epoch now starting:
+	// replication can deliver the new epoch's first entries before this
+	// command (different links), and they must stay revertable in case
+	// the new epoch fails.
+	n.db.CommitEpochBefore(m.Epoch)
 	n.releaseResults()
 	n.epoch.Store(m.Epoch)
 	n.phase = m.Phase
@@ -245,6 +291,13 @@ func (n *node) startPhase(m msgStartPhase) {
 // replica-target table only when it actually changed. Callers run on the
 // router with the workers idle (phase start or revert), so workers
 // observe a consistent table for the whole phase.
+//
+// A peer leaving the failure set (a rejoin) also revives this process's
+// transport links to it: the coordinator only resets ITS OWN process's
+// links in handleRejoins, and on a 3+ process cluster the other
+// survivors' tcpnet links to a crashed-and-restarted peer are dead
+// until someone tells the transport the peer is back (no-op on simnet
+// and for peers whose links never died).
 func (n *node) setFailed(failed []int) {
 	changed := false
 	for i := range n.failed {
@@ -256,6 +309,9 @@ func (n *node) setFailed(failed []int) {
 			}
 		}
 		if n.failed[i] != f {
+			if n.failed[i] && !f {
+				n.e.net.SetDown(i, false)
+			}
 			n.failed[i] = f
 			changed = true
 		}
@@ -341,16 +397,19 @@ func (n *node) drainFence(m msgFenceDrain) {
 // partition preserves — batching keeps each worker's commit order
 // within the envelope, and envelopes per link are FIFO).
 //
-// Entries apply under the receiver's current epoch, not b.Epoch: the
-// fence drains every epoch-E envelope before epoch E closes, so the two
-// agree whenever it matters, and a peer's start-phase command can
-// overtake this node's own on a different link — validating against the
-// stamp would race. The stamp exists for the wire encoding and for
-// post-failure diagnostics.
+// Entries apply under the SENDER's epoch stamp (b.Epoch): a peer's
+// start-phase command can overtake this node's own on a different link,
+// so the receiver's epoch view may lag by one — applying under the
+// stamp keeps each record's revert snapshot (which doubles as the
+// snapshot-read fence version) attributed to the epoch the write really
+// belongs to. Streams never mix epochs in one envelope (SetEpoch
+// flushes at the boundary). A zero stamp (ad-hoc test streams that
+// predate epochs) falls back to the receiver's view.
 func (n *node) applyBatch(b *msgReplBatch) {
+	epoch := n.batchEpoch(b)
 	shards := len(n.appliers)
 	if shards == 0 {
-		n.applyEntries(b.From, b.Entries)
+		n.applyEntries(b.From, epoch, b.Entries)
 		return
 	}
 	var per [][]replication.Entry
@@ -361,9 +420,17 @@ func (n *node) applyBatch(b *msgReplBatch) {
 	}
 	for sh, ents := range per {
 		if len(ents) > 0 {
-			n.appliers[sh].Send(applierBatch{from: b.From, entries: ents})
+			n.appliers[sh].Send(applierBatch{from: b.From, epoch: epoch, entries: ents})
 		}
 	}
+}
+
+// batchEpoch resolves the epoch a replication envelope applies under.
+func (n *node) batchEpoch(b *msgReplBatch) uint64 {
+	if b.Epoch != 0 {
+		return b.Epoch
+	}
+	return n.epoch.Load()
 }
 
 // applierLoop is one parallel replay thread.
@@ -374,19 +441,19 @@ func (n *node) applierLoop(idx int, ch rt.Chan) {
 	}
 	for {
 		ab := ch.Recv().(applierBatch)
-		n.applyEntriesLogged(ab.from, ab.entries, lg)
+		n.applyEntriesLogged(ab.from, ab.epoch, ab.entries, lg)
 	}
 }
 
-func (n *node) applyEntries(from int, entries []replication.Entry) {
-	n.applyEntriesLogged(from, entries, nil)
+func (n *node) applyEntries(from int, epoch uint64, entries []replication.Entry) {
+	n.applyEntriesLogged(from, epoch, entries, nil)
 }
 
-func (n *node) applyEntriesLogged(from int, entries []replication.Entry, lg *wal.Logger) {
+func (n *node) applyEntriesLogged(from int, epoch uint64, entries []replication.Entry, lg *wal.Logger) {
 	cost := n.e.cfg.Cost
 	for i := range entries {
 		en := &entries[i]
-		row, err := replication.Apply(n.db, n.epoch.Load(), en, n.e.cfg.Logging)
+		row, err := replication.Apply(n.db, epoch, en, n.e.cfg.Logging)
 		if err != nil {
 			panic("core: replication apply: " + err.Error())
 		}
@@ -481,6 +548,6 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	}
 	n.snapshotsPending--
 	if n.snapshotsPending == 0 {
-		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id})
+		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id, Sent: n.tracker.SentVector()})
 	}
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"star/internal/transport"
+)
+
+// Probe is an external observation endpoint on a cluster's transport:
+// it does not participate in the protocol, but can freeze workload
+// generation cluster-wide and collect per-node partition checksums.
+// Multi-process failure tests use it to verify that a killed, restarted
+// and re-joined star-node process converged to the survivors' state
+// without touching any node's internals.
+//
+// The probe's endpoint id must be present in every process's endpoint
+// map (star-node's -probe flag registers it as endpoint Nodes+1,
+// sharing process 0's address), and nothing else may consume its inbox.
+type Probe struct {
+	net   transport.Transport
+	id    int // this probe's endpoint
+	nodes int // cluster size (endpoints [0,nodes) are the nodes)
+}
+
+// NewProbe wraps an endpoint the caller hosts on net. nodes is the
+// cluster's node count.
+func NewProbe(net transport.Transport, endpoint, nodes int) *Probe {
+	return &Probe{net: net, id: endpoint, nodes: nodes}
+}
+
+// Freeze toggles workload generation on every node. Phase switching and
+// replication continue, so a few iterations after Freeze(true) the
+// replicas settle to a comparable quiesced state.
+func (p *Probe) Freeze(on bool) {
+	for i := 0; i < p.nodes; i++ {
+		p.net.Send(p.id, i, transport.Control, msgFreeze{On: on})
+	}
+}
+
+// Checksums requests node's partition checksums and waits for the
+// response. The node answers from its router between messages, so on a
+// frozen, settled cluster the result is a stable fence-state snapshot.
+func (p *Probe) Checksums(node int, timeout time.Duration) (NodeChecksums, error) {
+	p.net.Send(p.id, node, transport.Control, msgChecksumReq{From: p.id})
+	in := p.net.Inbox(p.id)
+	deadline := time.Now().Add(timeout)
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return NodeChecksums{}, fmt.Errorf("probe: checksum request to node %d timed out", node)
+		}
+		m, ok := in.RecvTimeout(d)
+		if !ok {
+			continue
+		}
+		if resp, isCS := m.(msgChecksumResp); isCS && resp.Node == node {
+			return NodeChecksums{Node: resp.Node, Parts: resp.Parts, Sums: resp.Sums}, nil
+		}
+	}
+}

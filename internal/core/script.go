@@ -190,7 +190,7 @@ func (e *Engine) scriptLoop(sc Script) ScriptResult {
 	}
 
 	// Post-fence checksums: the replicas are quiesced and must agree.
-	e.broadcastScript(msgChecksumReq{Epoch: 3})
+	e.broadcastScript(msgChecksumReq{Epoch: 3, From: coord})
 	sums := map[int]msgChecksumResp{}
 	ok = scriptGather(r, in, scriptTimeout, func(m any) bool {
 		if cs, isCS := m.(msgChecksumResp); isCS {
@@ -221,8 +221,9 @@ func (e *Engine) broadcastScript(m transport.Message) {
 // ---- node side ----
 
 // serveChecksums answers a checksum request from the node's quiesced
-// database (runs on the router between phases).
-func (n *node) serveChecksums() {
+// database (runs on the router between phases), replying to the
+// requesting endpoint — the scripted coordinator, or an external Probe.
+func (n *node) serveChecksums(m msgChecksumReq) {
 	resp := msgChecksumResp{Node: n.id}
 	for p := 0; p < n.e.cfg.NumPartitions(); p++ {
 		if !n.db.Holds(p) {
@@ -231,7 +232,15 @@ func (n *node) serveChecksums() {
 		resp.Parts = append(resp.Parts, int32(p))
 		resp.Sums = append(resp.Sums, n.db.PartitionChecksum(p))
 	}
-	n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, resp)
+	// From came off the wire: clamp it to the known endpoint range
+	// (nodes, coordinator, probe) — a corrupt frame must not panic the
+	// router with an out-of-range transport index. 0 is the legacy
+	// no-reply-to encoding: the coordinator.
+	to := m.From
+	if to <= 0 || to > n.e.cfg.Nodes+1 {
+		to = n.e.cfg.coordID()
+	}
+	n.e.net.Send(n.id, to, transport.Control, resp)
 }
 
 // ---- worker side ----
@@ -258,7 +267,11 @@ func (w *worker) runPartitionedScripted(cmd msgStartPhase) {
 		for _, home := range parts {
 			seq++
 			w.req.ResetFor(w.gen.Mixed(home), scriptStamp(seq, w.n.id, w.idx))
-			if w.req.Cross {
+			if w.req.Cross || txn.IsDeferred(w.req.Proc) {
+				if w.snapshotServe(&w.req, cmd.Epoch) {
+					w.genSingle++ // served locally; not part of the master drain
+					continue
+				}
 				w.genCross++
 				w.n.e.net.Send(w.n.id, cmd.Master, transport.Data, msgDefer{Req: w.req.Clone()})
 				r.Compute(w.n.e.cfg.Cost.TxnOverhead / 2)
@@ -281,6 +294,12 @@ func (w *worker) runMasterScripted(cmd msgStartPhase) {
 	}
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].GenAt < reqs[j].GenAt })
 	for _, req := range reqs {
+		// Read-only requests deferred by a node that did not hold their
+		// footprint are served from the master's fence snapshot — the
+		// master holds everything, so this never falls through.
+		if w.snapshotServe(req, cmd.Epoch) {
+			continue
+		}
 		w.execOCC(req, cmd)
 	}
 }

@@ -33,6 +33,8 @@ const (
 	wireChecksumReq
 	wireChecksumResp
 	wireHalt
+	wireFreeze
+	wireAlignCounters
 )
 
 // wireRegistrar is implemented by workloads whose procedures have a
@@ -353,14 +355,21 @@ func registerMessages(c *wire.Codec) {
 
 	c.Register(wireRecoveryDone, msgRecoveryDone{},
 		func(b []byte, m transport.Message) []byte {
-			return wire.AppendVarint(b, int64(m.(msgRecoveryDone).Node))
+			v := m.(msgRecoveryDone)
+			b = wire.AppendVarint(b, int64(v.Node))
+			return wire.AppendI64s(b, v.Sent)
 		},
 		func(b []byte) (transport.Message, []byte, error) {
+			var v msgRecoveryDone
 			x, b, err := wire.Varint(b)
 			if err != nil {
 				return nil, nil, err
 			}
-			return msgRecoveryDone{Node: int(x)}, b, nil
+			v.Node = int(x)
+			if v.Sent, b, err = wire.I64s(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
 		})
 
 	c.Register(wireStartRecovery, msgStartRecovery{},
@@ -426,14 +435,22 @@ func registerMessages(c *wire.Codec) {
 
 	c.Register(wireChecksumReq, msgChecksumReq{},
 		func(b []byte, m transport.Message) []byte {
-			return wire.AppendUvarint(b, m.(msgChecksumReq).Epoch)
+			v := m.(msgChecksumReq)
+			b = wire.AppendUvarint(b, v.Epoch)
+			return wire.AppendVarint(b, int64(v.From))
 		},
 		func(b []byte) (transport.Message, []byte, error) {
-			epoch, rest, err := wire.Uvarint(b)
+			var v msgChecksumReq
+			var err error
+			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			x, b, err := wire.Varint(b)
 			if err != nil {
 				return nil, nil, err
 			}
-			return msgChecksumReq{Epoch: epoch}, rest, nil
+			v.From = int(x)
+			return v, b, nil
 		})
 
 	c.Register(wireChecksumResp, msgChecksumResp{},
@@ -465,4 +482,35 @@ func registerMessages(c *wire.Codec) {
 	c.Register(wireHalt, msgHalt{},
 		func(b []byte, m transport.Message) []byte { return b },
 		func(b []byte) (transport.Message, []byte, error) { return msgHalt{}, b, nil })
+
+	c.Register(wireFreeze, msgFreeze{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendBool(b, m.(msgFreeze).On)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			on, rest, err := wire.Bool(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgFreeze{On: on}, rest, nil
+		})
+
+	c.Register(wireAlignCounters, msgAlignCounters{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgAlignCounters)
+			b = wire.AppendVarint(b, int64(v.Src))
+			return wire.AppendVarint(b, v.Applied)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgAlignCounters
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Src = int(x)
+			if v.Applied, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
 }

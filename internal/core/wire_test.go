@@ -57,6 +57,8 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		msgFenceAck{Node: 1, Epoch: 9},
 		msgDefer{Req: txn.NewRequest(tg.Cross(1), 12345)},
 		msgDefer{Req: txn.NewRequest(yg.Cross(2), 777)},
+		msgDefer{Req: txn.NewRequest(&tpcc.DeliveryTxn{W: tw, WID: 1, Carrier: 3, DeliveryD: 99}, 555)},
+		msgDefer{Req: txn.NewRequest(&tpcc.StockLevelTxn{W: tw, WID: 0, DID: 1, Threshold: 15, Remote: []int{2}}, 556)},
 		msgReplAck{Worker: 3, Seq: 41},
 		msgRevert{Epoch: 8, Failed: []int{1}, NewMasters: []int32{0, 0, 2, 3}},
 		msgSnapshotReq{From: 2, Part: 3},
@@ -67,13 +69,15 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		&replication.Batch{From: 1, Epoch: 9, Entries: ents},
 		syncBatch{Batch: &replication.Batch{From: 0, Epoch: 9, Entries: ents[:1]}, Worker: 2, Seq: 5, ReplyTo: 0},
 		msgResetCounters{Applied: []int64{5, 0, 9}},
-		msgRecoveryDone{Node: 2},
+		msgRecoveryDone{Node: 2, Sent: []int64{7, 0, 3}},
+		msgAlignCounters{Src: 1, Applied: 4096},
 		msgStartRecovery{Parts: []int32{1, 3}, From: []int32{0, 0}},
 		msgUpdateMasters{Masters: []int32{0, 1, 2, 3}},
 		workerDoneMsg{Worker: 1, Committed: 50, GenSingle: 45, GenCross: 5},
-		msgChecksumReq{Epoch: 9},
+		msgChecksumReq{Epoch: 9, From: 4},
 		msgChecksumResp{Node: 1, Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
 		msgHalt{},
+		msgFreeze{On: true},
 	}
 }
 
@@ -135,6 +139,15 @@ func TestModelledSizesTrackEncoding(t *testing.T) {
 		home := i % 4
 		check("tpcc defer", msgDefer{Req: txn.NewRequest(tg.Mixed(home), int64(i)*1001)})
 		check("ycsb defer", msgDefer{Req: txn.NewRequest(yg.Mixed(home), int64(i)*77)})
+	}
+	// Full-mix generator: Delivery and Stock-Level defers must track too.
+	ftw := tpcc.New(tpcc.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 100, Items: 500,
+		DeliveryPct: 20, StockLevelPct: 20, CrossPctStockLevel: 50,
+	})
+	fg := ftw.NewGen(9)
+	for i := 0; i < 200; i++ {
+		check("tpcc full-mix defer", msgDefer{Req: txn.NewRequest(fg.Mixed(i%4), int64(i)*501)})
 	}
 	for i := 0; i < 20; i++ {
 		snap := &msgSnapshot{Table: storage.TableID(i % 3), Part: i}

@@ -43,6 +43,8 @@ type worker struct {
 	// lctx is the reusable execution context (its arena backs the row
 	// copies handed to procedures, reset per transaction).
 	lctx localCtx
+	// sctx is the reusable snapshot-read context (Config.SnapshotReads).
+	sctx snapshotCtx
 	// req is the reusable routing scratch for generated transactions;
 	// only deferred cross-partition requests are cloned to the heap.
 	req txn.Request
@@ -71,6 +73,7 @@ func newWorker(n *node, idx int) *worker {
 		resp: e.cfg.RT.NewChan(16),
 	}
 	w.lctx.w = w
+	w.sctx.w = w
 	return w
 }
 
@@ -137,7 +140,13 @@ func (w *worker) runPartitioned(cmd msgStartPhase) {
 		home := parts[pi]
 		pi = (pi + 1) % len(parts)
 		w.req.ResetFor(w.gen.Mixed(home), int64(r.Now()))
-		if w.req.Cross {
+		if w.req.Cross || txn.IsDeferred(w.req.Proc) {
+			if w.snapshotServe(&w.req, cmd.Epoch) {
+				// Served from the local fence snapshot: no master
+				// routing, and no single-master phase needed for it.
+				w.genSingle++
+				continue
+			}
 			// Defer to the master node's queue (§4.1), one request per
 			// message. Deliberately NOT batched: interleaved arrival
 			// from many source workers is what keeps adjacent queue
@@ -233,6 +242,9 @@ func (w *worker) runSingleMaster(cmd msgStartPhase) {
 			req = txn.NewRequest(w.gen.Cross(home), int64(r.Now()))
 			w.genCross++
 		}
+		if w.snapshotServe(req, cmd.Epoch) {
+			continue // read-only: served from the fence snapshot, no OCC
+		}
 		w.execOCC(req, cmd)
 	}
 }
@@ -283,6 +295,55 @@ func (w *worker) execOCC(req *txn.Request, cmd msgStartPhase) {
 			return
 		}
 	}
+}
+
+// ---- read-only snapshot path (Config.SnapshotReads) ----
+
+// snapshotServe serves a routable request (cross-partition footprint or
+// deferred-execution class) from the local fence snapshot when the
+// snapshot path is enabled, the procedure is read-only, and this node
+// holds every partition the footprint touches. Returns true when the
+// request was consumed locally; false means the caller must route it to
+// the master as usual.
+func (w *worker) snapshotServe(req *txn.Request, epoch uint64) bool {
+	e := w.n.e
+	if !e.cfg.SnapshotReads || !txn.IsReadOnly(req.Proc) {
+		return false
+	}
+	for _, p := range req.Parts {
+		if !w.n.db.Holds(p) {
+			e.snapFallback.Inc()
+			return false
+		}
+	}
+	w.execSnapshot(req, epoch)
+	return true
+}
+
+// execSnapshot runs a read-only transaction against the node's last
+// epoch fence: every read resolves to the pre-epoch version of records
+// written in the in-flight epoch, which is the consistent cluster-wide
+// snapshot the previous replication fence installed on every replica.
+// No locks, no validation, no replication, no master routing — and no
+// group-commit wait: the result releases immediately because it only
+// exposes state that already group-committed at the fence.
+func (w *worker) execSnapshot(req *txn.Request, epoch uint64) {
+	e := w.n.e
+	r := e.cfg.RT
+	w.sctx.reset(epoch)
+	err := req.Proc.Run(&w.sctx)
+	r.Compute(e.cfg.Cost.TxnOverhead + time.Duration(w.sctx.reads)*e.cfg.Cost.Read)
+	if w.sctx.wrote {
+		panic("core: read-only transaction wrote on the snapshot path")
+	}
+	if err != nil {
+		e.userAborts.Inc()
+		return
+	}
+	e.snapReads.Inc()
+	e.committed.Inc()
+	w.committed++
+	e.latency.Observe(time.Duration(int64(r.Now()) - req.GenAt))
 }
 
 // commitSync implements SYNC STAR: locks are held while every replica
@@ -449,4 +510,51 @@ func (c *localCtx) Write(t storage.TableID, part int, key storage.Key, ops ...st
 func (c *localCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.w.set.AddInsert(t, part, key, row)
+}
+
+// snapshotCtx executes read-only transactions against the node's last
+// epoch fence via Record.ReadStableAtFenceAppend: records written in
+// the in-flight epoch yield their pre-epoch (revert-snapshot) version,
+// so the transaction observes exactly the database as of the last phase
+// switch. No read set is collected — the snapshot is immutable, so
+// there is nothing to validate — and writes are forbidden. Absent reads
+// (e.g. a row first inserted in the in-flight epoch) report !ok without
+// failing the transaction: read-only procedures skip what the snapshot
+// does not yet contain.
+type snapshotCtx struct {
+	w     *worker
+	epoch uint64
+	reads int
+	wrote bool
+	arena []byte
+}
+
+func (c *snapshotCtx) reset(epoch uint64) {
+	c.epoch = epoch
+	c.reads = 0
+	c.wrote = false
+	c.arena = c.arena[:0]
+}
+
+func (c *snapshotCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bool) {
+	c.reads++
+	rec := c.w.n.db.Table(t).Get(part, key)
+	if rec == nil {
+		return nil, false
+	}
+	var val []byte
+	var present bool
+	c.arena, val, _, present = rec.ReadStableAtFenceAppend(c.arena, c.epoch)
+	if !present {
+		return nil, false
+	}
+	return val, true
+}
+
+func (c *snapshotCtx) Write(storage.TableID, int, storage.Key, ...storage.FieldOp) {
+	c.wrote = true
+}
+
+func (c *snapshotCtx) Insert(storage.TableID, int, storage.Key, []byte) {
+	c.wrote = true
 }

@@ -198,29 +198,48 @@ func lockWrites(db *storage.DB, set *txn.RWSet) bool {
 // phase, where a single worker owns the partition (§4.1: "it's not
 // necessary to lock any record in the write set and do read validation").
 // A TID is still generated and tagged onto the updated records.
+//
+// The abort checks (insert uniqueness, vanished update targets) run
+// BEFORE any write is applied: the partition has a single writer, so
+// the pre-checked facts cannot change mid-commit, and an abort must
+// leave no partial write behind — a half-applied transaction would be
+// local-only state that never replicates and silently diverges the
+// replicas (the restart path hits this for real: a rejoined process
+// re-generating its first life's history keys collides with the rows
+// its snapshot catch-up restored).
 func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
+	for i := range set.Writes {
+		w := &set.Writes[i]
+		tbl := db.Table(w.Table)
+		if w.Insert {
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+			if !storage.TIDAbsent(w.Rec.TID()) {
+				return 0, false // uniqueness violation
+			}
+			for j := 0; j < i; j++ {
+				if set.Writes[j].Insert && set.Writes[j].Rec == w.Rec {
+					return 0, false // duplicate insert within the txn
+				}
+			}
+			continue
+		}
+		if w.Rec == nil {
+			w.Rec = tbl.Get(w.Part, w.Key)
+		}
+		if w.Rec == nil {
+			return 0, false
+		}
+	}
 	tid := gen.Next(epoch, set.MaxReadTID())
 	for i := range set.Writes {
 		w := &set.Writes[i]
 		tbl := db.Table(w.Table)
 		part := tbl.Partition(w.Part)
 		var first bool
+		w.Rec.Lock()
 		if w.Insert {
-			w.Rec = part.GetOrCreate(w.Key)
-			w.Rec.Lock()
-			if !storage.TIDAbsent(w.Rec.TID()) {
-				w.Rec.Unlock()
-				return 0, false // uniqueness violation
-			}
 			first = w.Rec.WriteLocked(epoch, tid, w.Row)
 		} else {
-			if w.Rec == nil {
-				w.Rec = tbl.Get(w.Part, w.Key)
-			}
-			if w.Rec == nil {
-				return 0, false
-			}
-			w.Rec.Lock()
 			var err error
 			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
 			if err != nil {

@@ -154,6 +154,13 @@ func (t *Tracker) AddSent(dst int, n int64) { t.sent[dst].Add(n) }
 // AddApplied records n entries applied from src.
 func (t *Tracker) AddApplied(src int, n int64) { t.applied[src].Add(n) }
 
+// SetApplied aligns the applied-from-src counter to an exact value —
+// the rejoin reconciliation: entries a crashed peer counted as sent but
+// the network dropped can never be applied, so after its snapshot
+// catch-up the survivors adopt the peer's own cumulative sent count as
+// their applied baseline (the snapshot subsumes the data either way).
+func (t *Tracker) SetApplied(src int, v int64) { t.applied[src].Store(v) }
+
 // SentVector snapshots the per-destination sent counts.
 func (t *Tracker) SentVector() []int64 {
 	v := make([]int64, len(t.sent))

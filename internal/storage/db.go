@@ -98,6 +98,19 @@ func (db *DB) RevertEpoch(epoch uint64) int {
 	return n
 }
 
+// CommitEpochBefore discards revert information for records written
+// before epoch, keeping newer-epoch snapshots revertable (see
+// Partition.CommitEpochBefore).
+func (db *DB) CommitEpochBefore(epoch uint64) {
+	for _, t := range db.tables {
+		for _, p := range t.parts {
+			if p != nil {
+				p.CommitEpochBefore(epoch)
+			}
+		}
+	}
+}
+
 // CommitEpoch discards revert information across all partitions.
 func (db *DB) CommitEpoch() {
 	for _, t := range db.tables {

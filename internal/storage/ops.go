@@ -46,6 +46,16 @@ func AddInt64Op(field int, delta int64) FieldOp {
 	return FieldOp{Field: uint8(field), Kind: OpAddInt64, Arg: b[:]}
 }
 
+// SetInt64Op builds an op that overwrites an integer field with v
+// (TPC-C Delivery's O_CARRIER_ID / OL_DELIVERY_D stamps). Fixed-width
+// fields are stored as 8 little-endian bytes, so this is OpSetField with
+// the value's raw encoding.
+func SetInt64Op(field int, v int64) FieldOp {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return FieldOp{Field: uint8(field), Kind: OpSetField, Arg: b[:]}
+}
+
 // AddFloat64Op builds a float-delta op.
 func AddFloat64Op(field int, delta float64) FieldOp {
 	var b [8]byte

@@ -110,13 +110,10 @@ func (r *Record) ReadStable(buf []byte) (val []byte, tid uint64, present bool) {
 	return buf, tid, present
 }
 
-// ReadStableAppend appends the record's value to arena and returns the
-// extended arena plus the appended region. Hot execution paths use it
-// with a per-worker arena reset each transaction, so steady-state reads
-// allocate nothing; when the arena grows, previously returned regions
-// keep pointing into the old (immutable) backing array and stay valid.
-func (r *Record) ReadStableAppend(arena []byte) (newArena, val []byte, tid uint64, present bool) {
-	r.Lock()
+// appendCurrentLocked copies the current version into arena under the
+// latch: the shared body of ReadStableAppend and the fence-read
+// fallback.
+func (r *Record) appendCurrentLocked(arena []byte) (newArena, val []byte, tid uint64, present bool) {
 	cur := r.tid.Load()
 	tid = TIDClean(cur)
 	present = !TIDAbsent(cur)
@@ -125,6 +122,44 @@ func (r *Record) ReadStableAppend(arena []byte) (newArena, val []byte, tid uint6
 		arena = append(arena, r.data...)
 		val = arena[off:len(arena):len(arena)]
 	}
+	return arena, val, tid, present
+}
+
+// ReadStableAppend appends the record's value to arena and returns the
+// extended arena plus the appended region. Hot execution paths use it
+// with a per-worker arena reset each transaction, so steady-state reads
+// allocate nothing; when the arena grows, previously returned regions
+// keep pointing into the old (immutable) backing array and stay valid.
+func (r *Record) ReadStableAppend(arena []byte) (newArena, val []byte, tid uint64, present bool) {
+	r.Lock()
+	arena, val, tid, present = r.appendCurrentLocked(arena)
+	r.Unlock()
+	return arena, val, tid, present
+}
+
+// ReadStableAtFenceAppend is ReadStableAppend pinned to the last epoch
+// fence: if the record has been written in the in-flight epoch (its
+// revert snapshot was saved for `epoch`), the pre-epoch version is
+// returned instead of the current one. Because the replication fence
+// guarantees every epoch-(E-1) write was applied before epoch E began,
+// the set of fence versions across all records is a transactionally
+// consistent snapshot of the database as of the last phase switch —
+// readable on any replica without coordination (the read-only snapshot
+// path). The returned TID is the fence version's TID.
+func (r *Record) ReadStableAtFenceAppend(arena []byte, epoch uint64) (newArena, val []byte, tid uint64, present bool) {
+	r.Lock()
+	if r.savedEpoch == epoch && r.priorValid {
+		tid = TIDClean(r.priorTID)
+		present = !TIDAbsent(r.priorTID)
+		if present {
+			off := len(arena)
+			arena = append(arena, r.priorData...)
+			val = arena[off:len(arena):len(arena)]
+		}
+		r.Unlock()
+		return arena, val, tid, present
+	}
+	arena, val, tid, present = r.appendCurrentLocked(arena)
 	r.Unlock()
 	return arena, val, tid, present
 }
@@ -217,9 +252,13 @@ func (r *Record) DeleteLocked(epoch, newTID uint64) (firstTouch bool) {
 
 // revertLocked restores the pre-epoch version; caller holds the latch.
 // It reports whether the record is absent after the revert (so the
-// partition can drop placeholder inserts).
+// partition can drop placeholder inserts). epoch 0 is a wildcard: the
+// record reverts whatever epoch its snapshot was saved for — the rejoin
+// path uses it to discard ALL of a node's in-flight state, whose epoch
+// the coordinator cannot know (the node may have been cut off several
+// epochs ago).
 func (r *Record) revertLocked(epoch uint64) (absent bool) {
-	if r.savedEpoch != epoch || !r.priorValid {
+	if !r.priorValid || (epoch != 0 && r.savedEpoch != epoch) {
 		return TIDAbsent(r.tid.Load())
 	}
 	if TIDAbsent(r.priorTID) {

@@ -117,7 +117,8 @@ func (p *Partition) Range(fn func(key Key, tid uint64, val []byte) bool) {
 
 // RevertEpoch restores every record written in the epoch to its prior
 // version and removes records inserted in it (paper Fig. 6: "Revert to
-// Epoch 1"). Returns the number of reverted records.
+// Epoch 1"). Returns the number of reverted records. epoch 0 reverts
+// every uncommitted record regardless of its epoch (rejoin cleanup).
 func (p *Partition) RevertEpoch(epoch uint64) int {
 	p.dirtyMu.Lock()
 	dirty := p.dirty
@@ -153,6 +154,54 @@ func (p *Partition) CommitEpoch() {
 	p.dirty = nil
 	p.dirtyKeys = nil
 	p.dirtyMu.Unlock()
+}
+
+// CommitEpochBefore discards revert information for dirty records
+// written BEFORE epoch, keeping records whose snapshot belongs to epoch
+// or later in the dirty set. Replication can deliver a new epoch's
+// entries ahead of the local phase-start command (the stamps travel on
+// different links); committing them with the old epoch would orphan
+// them from a subsequent revert of the new epoch and leave zombie
+// versions the Thomas write rule then defends forever.
+func (p *Partition) CommitEpochBefore(epoch uint64) {
+	p.dirtyMu.Lock()
+	dirty := p.dirty
+	keys := p.dirtyKeys
+	p.dirty = nil
+	p.dirtyKeys = nil
+	p.dirtyMu.Unlock()
+
+	var keepD []*Record
+	for _, r := range dirty {
+		r.Lock()
+		keep := r.priorValid && r.savedEpoch >= epoch
+		r.Unlock()
+		if keep {
+			keepD = append(keepD, r)
+		}
+	}
+	var keepK []Key
+	if len(keys) > 0 {
+		t := p.idx.Load()
+		for _, k := range keys {
+			r := t.get(k)
+			if r == nil {
+				continue
+			}
+			r.Lock()
+			keep := r.priorValid && r.savedEpoch >= epoch
+			r.Unlock()
+			if keep {
+				keepK = append(keepK, k)
+			}
+		}
+	}
+	if len(keepD) > 0 || len(keepK) > 0 {
+		p.dirtyMu.Lock()
+		p.dirty = append(keepD, p.dirty...)
+		p.dirtyKeys = append(keepK, p.dirtyKeys...)
+		p.dirtyMu.Unlock()
+	}
 }
 
 // TableID identifies a table within a database.

@@ -20,14 +20,14 @@ func loopbackTPCC(nodes, workers int) tpcc.Config {
 	}
 }
 
-func scriptedConfig(r rt.Runtime, nodes, workers int, seed int64) core.Config {
-	return core.Config{
-		RT:             r,
-		Nodes:          nodes,
-		WorkersPerNode: workers,
-		Workload:       tpcc.New(loopbackTPCC(nodes, workers)),
-		Seed:           seed,
-	}
+// loopbackFullMixTPCC is the standard-weighted four-transaction mix
+// with cross-partition Stock-Level, so deferred Delivery batches and
+// snapshot-served read-only scans both cross the real sockets.
+func loopbackFullMixTPCC(nodes, workers int) tpcc.Config {
+	cfg := loopbackTPCC(nodes, workers)
+	cfg.SetFullMix()
+	cfg.CrossPctStockLevel = 50
+	return cfg
 }
 
 // TestLoopbackTPCCMatchesSimnet is the transport-equivalence
@@ -37,6 +37,20 @@ func scriptedConfig(r rt.Runtime, nodes, workers int, seed int64) core.Config {
 // the committed-transaction count and post-fence replica checksums of
 // the same run on the in-process simulated network with the same seed.
 func TestLoopbackTPCCMatchesSimnet(t *testing.T) {
+	loopbackMatchesSimnet(t, loopbackTPCC, false)
+}
+
+// TestLoopbackFullMixTPCCMatchesSimnet repeats the equivalence check
+// with the standard-weighted full TPC-C mix and snapshot reads on:
+// deferred Delivery batches and cross-partition Stock-Level parameters
+// cross the real sockets, read-only transactions are served from each
+// process's fence snapshot, and the result still matches simnet
+// bit-for-bit.
+func TestLoopbackFullMixTPCCMatchesSimnet(t *testing.T) {
+	loopbackMatchesSimnet(t, loopbackFullMixTPCC, true)
+}
+
+func loopbackMatchesSimnet(t *testing.T, wcfg func(nodes, workers int) tpcc.Config, snapshotReads bool) {
 	if testing.Short() {
 		t.Skip("loopback TCP integration test skipped in -short")
 	}
@@ -45,10 +59,21 @@ func TestLoopbackTPCCMatchesSimnet(t *testing.T) {
 		txns           = 60
 		seed           = 42
 	)
+	mkConfig := func(r rt.Runtime) core.Config {
+		cfg := core.Config{
+			RT:             r,
+			Nodes:          nodes,
+			WorkersPerNode: workers,
+			Workload:       tpcc.New(wcfg(nodes, workers)),
+			Seed:           seed,
+			SnapshotReads:  snapshotReads,
+		}
+		return cfg
+	}
 
 	// Reference: the deterministic simnet run.
 	sim := rt.NewSim()
-	simRun := core.StartScripted(scriptedConfig(sim, nodes, workers, seed), core.Script{TxnsPerPartition: txns})
+	simRun := core.StartScripted(mkConfig(sim), core.Script{TxnsPerPartition: txns})
 	sim.Run(sim.Now() + time.Hour)
 	var want core.ScriptResult
 	select {
@@ -79,7 +104,7 @@ func TestLoopbackTPCCMatchesSimnet(t *testing.T) {
 	}
 	endpoints := []string{addrs[0], addrs[1], addrs[0]}
 	mkNet := func(localEPs []int, ln net.Listener) *Network {
-		codec := core.NewWireCodec(tpcc.New(loopbackTPCC(nodes, workers)))
+		codec := core.NewWireCodec(tpcc.New(wcfg(nodes, workers)))
 		nw, err := New(r, Config{Endpoints: endpoints, Local: localEPs, Codec: codec, Listener: ln})
 		if err != nil {
 			t.Fatalf("tcpnet.New: %v", err)
@@ -89,9 +114,9 @@ func TestLoopbackTPCCMatchesSimnet(t *testing.T) {
 	netA := mkNet([]int{0, 2}, listeners[0])
 	netB := mkNet([]int{1}, listeners[1])
 
-	cfgA := scriptedConfig(r, nodes, workers, seed)
+	cfgA := mkConfig(r)
 	cfgA.Transport, cfgA.LocalNodes, cfgA.LocalCoordinator = netA, []int{0}, true
-	cfgB := scriptedConfig(r, nodes, workers, seed)
+	cfgB := mkConfig(r)
 	cfgB.Transport, cfgB.LocalNodes = netB, []int{1}
 
 	runB := core.StartScripted(cfgB, core.Script{TxnsPerPartition: txns})

@@ -90,7 +90,8 @@ func (c Config) withDefaults() Config {
 // writer goroutine that owns the connection.
 type link struct {
 	out  chan []byte
-	dead atomic.Bool // peer unreachable or stream broken: drop frames
+	dead atomic.Bool   // peer unreachable or stream broken: drop frames
+	kick chan struct{} // bounce signal: drop the conn and re-dial (cap 1)
 }
 
 // Network implements transport.Transport over TCP.
@@ -203,6 +204,13 @@ func (n *Network) Close() error {
 // here (so the caller may reuse the message's buffers) and enqueue it on
 // the link's writer.
 func (n *Network) Send(src, dst int, class transport.Class, m transport.Message) {
+	if src < 0 || src >= len(n.down) || dst < 0 || dst >= len(n.down) {
+		// Endpoint ids can originate from the wire (e.g. a checksum
+		// request's reply-to); an out-of-range id is a counted drop,
+		// never a panic.
+		n.dropped.Add(1)
+		return
+	}
 	if n.down[src].Load() || n.down[dst].Load() {
 		n.dropped.Add(1)
 		return
@@ -224,9 +232,19 @@ func (n *Network) Send(src, dst int, class transport.Class, m transport.Message)
 	}
 	l := n.link(src, dst)
 	if l.dead.Load() {
-		// Dropped frames never left the process: count the drop only,
-		// matching simnet's drop-before-accounting semantics.
-		n.dropped.Add(1)
+		// Dead (or mid-revival) link: enqueue WITHOUT blocking — a
+		// revival kick already queued (SetDown(node,false) immediately
+		// followed by the rejoin messages) must still be able to deliver
+		// this frame, but a sender must never wedge on a crashed peer
+		// (the writer may be away in a patient re-dial and not draining).
+		select {
+		case l.out <- frame:
+			n.bytesByClass[class].Add(int64(len(frame)))
+			n.msgsByClass[class].Add(1)
+			n.bytesFrom[src].Add(int64(len(frame)))
+		default:
+			n.dropped.Add(1)
+		}
 		return
 	}
 	n.bytesByClass[class].Add(int64(len(frame)))
@@ -243,7 +261,7 @@ func (n *Network) link(src, dst int) *link {
 	n.mu.Lock()
 	l := n.links[key]
 	if l == nil {
-		l = &link{out: make(chan []byte, 4096)}
+		l = &link{out: make(chan []byte, 4096), kick: make(chan struct{}, 1)}
 		n.links[key] = l
 		n.wg.Add(1)
 		go n.runWriter(l, dst)
@@ -252,76 +270,167 @@ func (n *Network) link(src, dst int) *link {
 	return l
 }
 
-// runWriter owns one directed link: dial (with retry while the peer
-// starts up), then stream frames in queue order. Any stream error turns
-// the link dead: subsequent frames are dropped, as with a crashed peer.
+// bounceLinks tells every link to dst to drop its connection and
+// re-dial — the recovery path for a peer PROCESS that crashed and
+// restarted: a dead link (peer away past the dial deadline) comes back
+// to life, and a link still holding a stale connection to the peer's
+// previous incarnation (whose first write would "succeed" into a
+// reset socket and silently vanish) gets a fresh stream. The queue is
+// untouched, so frames already enqueued for the rejoined peer — the
+// rejoin protocol messages themselves — survive the bounce; the signal
+// is idempotent (cap-1 channel), so repeated revivals of a healthy
+// peer cost at most one extra dial.
+func (n *Network) bounceLinks(dst int) {
+	n.mu.Lock()
+	for key, l := range n.links {
+		if int(uint32(key)) != dst {
+			continue
+		}
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	n.mu.Unlock()
+}
+
+// runWriter owns one directed link for the process's lifetime: dial
+// (with retry while the peer starts up), then stream frames in queue
+// order. A broken stream is fail-stop: the link turns DEAD and frames
+// are dropped as with a crashed peer — until a bounce (bounceLinks,
+// the rejoin path) revives it with a fresh dial. Dropped frames count
+// as dropped even though they were accounted at Send time: they were
+// in flight when the peer died, exactly like simnet messages a
+// deliverer drops after a node goes down. While dead the queue keeps
+// draining so senders blocked in the enqueue select wake up — Send
+// must only ever block for backpressure, never on a crashed peer.
 func (n *Network) runWriter(l *link, dst int) {
 	defer n.wg.Done()
-	conn := n.dial(dst)
-	if conn == nil {
-		n.drainDead(l)
-		return
-	}
-	n.mu.Lock()
-	n.dialed[conn] = struct{}{}
-	n.mu.Unlock()
-	defer func() {
+	var conn net.Conn
+	var bw *bufio.Writer
+	untrack := func() {
+		if conn == nil {
+			return
+		}
 		conn.Close()
 		n.mu.Lock()
 		delete(n.dialed, conn)
 		n.mu.Unlock()
-	}()
-	bw := bufio.NewWriterSize(conn, 64<<10)
+		conn, bw = nil, nil
+	}
+	adopt := func(c net.Conn) bool {
+		if c == nil {
+			return false
+		}
+		n.mu.Lock()
+		n.dialed[c] = struct{}{}
+		n.mu.Unlock()
+		conn, bw = c, bufio.NewWriterSize(c, 64<<10)
+		return true
+	}
+	// connect dials patiently (retry up to DialDeadline — peers may
+	// still be starting up). Only used off the frame path: at link
+	// birth and on kicks in the dead branch, where Send drops instead
+	// of blocking.
+	connect := func() bool { return adopt(n.dial(dst)) }
+	defer untrack()
+	// writeFrame streams one frame. A stream error is strictly
+	// fail-stop: frames coalesced in bw but not yet flushed are
+	// unrecoverable (silently resuming on a fresh connection would lose
+	// them while the link still reports healthy — an undetectable
+	// sent>applied gap that wedges the replication fence), so the link
+	// turns dead, the loss is counted, and the failure/rejoin protocol
+	// (whose SetDown(node,false) bounce is what revives links) decides
+	// what happens next.
+	writeFrame := func(frame []byte) bool {
+		if _, err := bw.Write(frame); err == nil {
+			// Coalesce: flush only when the queue has drained.
+			if len(l.out) > 0 || bw.Flush() == nil {
+				return true
+			}
+		}
+		untrack()
+		return false
+	}
+	// bounce drops the current connection (flushing it first — a
+	// healthy peer receives everything already written, and a stale
+	// connection to a crashed incarnation loses only in-flight frames,
+	// the fail-stop loss) and re-dials with a single quick attempt: the
+	// link is still marked alive here, so senders are enqueueing, and a
+	// patient dial to a peer that is in fact down would
+	// backpressure-block them. If the quick dial fails the link turns
+	// dead and a later kick (in the dead branch, where senders drop
+	// instead of blocking) retries patiently.
+	bounce := func() bool {
+		if bw != nil {
+			bw.Flush()
+		}
+		untrack()
+		return adopt(n.dialOnce(dst))
+	}
+	alive := connect()
+	l.dead.Store(!alive)
 	for {
-		select {
-		case frame := <-l.out:
-			if _, err := bw.Write(frame); err != nil {
-				n.drainDead(l)
+		if alive {
+			select {
+			case frame := <-l.out:
+				if !writeFrame(frame) {
+					n.dropped.Add(1) // the frame died with the stream
+					alive = false
+					l.dead.Store(true)
+				}
+			case <-l.kick:
+				alive = bounce()
+				l.dead.Store(!alive)
+			case <-n.stop:
+				if bw != nil {
+					bw.Flush()
+				}
 				return
 			}
-			// Coalesce: flush only when the queue has drained.
-			if len(l.out) == 0 {
-				if err := bw.Flush(); err != nil {
-					n.drainDead(l)
-					return
-				}
+		} else {
+			// Prefer a pending revival over draining, so frames enqueued
+			// right after a SetDown(node, false) survive to the fresh
+			// connection instead of racing the drop loop.
+			select {
+			case <-l.kick:
+				alive = connect()
+				l.dead.Store(!alive)
+				continue
+			default:
 			}
-		case <-n.stop:
-			bw.Flush()
-			return
+			select {
+			case <-l.out:
+				n.dropped.Add(1)
+			case <-l.kick:
+				alive = connect()
+				l.dead.Store(!alive)
+			case <-n.stop:
+				return
+			}
 		}
 	}
 }
 
-// drainDead marks a link dead and keeps consuming its queue so senders
-// already blocked in the enqueue select wake up — Send must only ever
-// block for backpressure, never on a crashed peer (fail-stop contract).
-// Drained frames count as dropped even though they were accounted at
-// Send time: they were in flight when the peer died, exactly like
-// simnet messages a deliverer drops after a node goes down (sent AND
-// dropped both tick). Only sends made after the death is known skip
-// the byte accounting.
-func (n *Network) drainDead(l *link) {
-	l.dead.Store(true)
-	for {
-		select {
-		case <-l.out:
-			n.dropped.Add(1)
-		case <-n.stop:
-			return
-		}
+// dialOnce makes a single bounded connection attempt (the alive-path
+// revival; see bounce in runWriter).
+func (n *Network) dialOnce(dst int) net.Conn {
+	conn, err := net.DialTimeout("tcp", n.cfg.Endpoints[dst], n.cfg.DialTimeout)
+	if err != nil {
+		return nil
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return conn
 }
 
+// dial retries dialOnce up to DialDeadline (peer processes may start in
+// any order).
 func (n *Network) dial(dst int) net.Conn {
-	addr := n.cfg.Endpoints[dst]
 	deadline := time.Now().Add(n.cfg.DialDeadline)
 	for {
-		conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
-		if err == nil {
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
+		if conn := n.dialOnce(dst); conn != nil {
 			return conn
 		}
 		if time.Now().After(deadline) || n.closed.Load() {
@@ -415,8 +524,17 @@ func (n *Network) Inbox(dst int) rt.Chan { return n.inboxes[dst] }
 // SetDown implements transport.Transport. The flag is process-local:
 // this process stops sending to and delivering from the endpoint. A
 // multi-process failure test sets it on every process (the engine's
-// coordinator already broadcasts failure sets).
-func (n *Network) SetDown(node int, down bool) { n.down[node].Store(down) }
+// coordinator already broadcasts failure sets). Bringing an endpoint UP
+// also bounces this process's links to it: the peer process may have
+// crashed and restarted, and the old links are dead or hold stale
+// connections — the rejoin path relies on fresh dials reaching the
+// restarted process.
+func (n *Network) SetDown(node int, down bool) {
+	n.down[node].Store(down)
+	if !down {
+		n.bounceLinks(node)
+	}
+}
 
 // IsDown implements transport.Transport.
 func (n *Network) IsDown(node int) bool { return n.down[node].Load() }

@@ -43,6 +43,35 @@ type Procedure interface {
 	Run(ctx Ctx) error
 }
 
+// ReadOnlyMarker is implemented by procedures that perform no writes
+// (TPC-C Stock-Level). Engines with epoch-fenced replicas may execute
+// them against a local snapshot instead of routing them to a master.
+type ReadOnlyMarker interface {
+	ReadOnly() bool
+}
+
+// IsReadOnly reports whether p declares itself read-only.
+func IsReadOnly(p Procedure) bool {
+	ro, ok := p.(ReadOnlyMarker)
+	return ok && ro.ReadOnly()
+}
+
+// DeferredMarker is implemented by procedures that must be queued and
+// executed asynchronously rather than inline at their home partition —
+// TPC-C Delivery's deferred execution mode (§2.7.2). Phase-switching
+// engines route them to the single-master phase even when their
+// footprint is single-partition; baselines without a deferral queue run
+// them inline.
+type DeferredMarker interface {
+	Deferred() bool
+}
+
+// IsDeferred reports whether p requests deferred execution.
+func IsDeferred(p Procedure) bool {
+	d, ok := p.(DeferredMarker)
+	return ok && d.Deferred()
+}
+
 // Ctx is the data access interface engines hand to procedures.
 type Ctx interface {
 	// Read returns a stable copy of a row; ok is false if the record is

@@ -1,0 +1,216 @@
+package tpcc
+
+import (
+	"testing"
+
+	"star/internal/txn"
+)
+
+// mkOrder builds a deterministic NewOrder for the executor harness.
+func mkOrder(w *Workload, wid, did, cid int, iids []int) *NewOrderTxn {
+	t := &NewOrderTxn{W: w, WID: wid, DID: did, CID: cid, EntryD: 77}
+	for _, iid := range iids {
+		t.Lines = append(t.Lines, orderLineSpec{IID: iid, SupplyW: wid, Quantity: 2})
+	}
+	return t
+}
+
+func TestDeliveryDeliversOldestUndeliveredPerDistrict(t *testing.T) {
+	w, db := loadSmall(t)
+	ex := &executor{db: db}
+	run := func(p txn.Procedure) {
+		t.Helper()
+		if err := p.Run(ex); err != nil {
+			t.Fatal(err)
+		}
+		ex.commit(t, db)
+	}
+	// District 0 of warehouse 0 gets orders 1 and 2; district 1 gets order 1.
+	run(mkOrder(w, 0, 0, 3, []int{10, 11}))
+	run(mkOrder(w, 0, 0, 4, []int{12, 13, 14}))
+	run(mkOrder(w, 0, 1, 5, []int{15}))
+
+	district := func(did int) (nextO, nextDel int) {
+		drow, _, _ := db.Table(TDistrict).Get(0, DKey(0, did)).ReadStable(nil)
+		return int(w.district.GetUint64(drow, DNextOID)), int(w.district.GetUint64(drow, DNextDelOID))
+	}
+	carrier := func(did, oid int) int64 {
+		orow, _, _ := db.Table(TOrder).Get(0, OKey(0, did, oid)).ReadStable(nil)
+		return w.order.GetInt64(orow, OCarrierID)
+	}
+	balance := func(did, cid int) float64 {
+		crow, _, _ := db.Table(TCustomer).Get(0, CKey(0, did, cid)).ReadStable(nil)
+		return w.customer.GetFloat64(crow, CBalance)
+	}
+	bal3, bal4 := balance(0, 3), balance(0, 4)
+
+	// Batch 1: delivers order 1 in BOTH districts (oldest per district).
+	d1 := &DeliveryTxn{W: w, WID: 0, Carrier: 7, DeliveryD: 1234}
+	run(d1)
+	if _, del := district(0); del != 2 {
+		t.Fatalf("district 0 cursor=%d, want 2", del)
+	}
+	if _, del := district(1); del != 2 {
+		t.Fatalf("district 1 cursor=%d, want 2", del)
+	}
+	if got := carrier(0, 1); got != 7 {
+		t.Fatalf("order(0,1) carrier=%d, want 7", got)
+	}
+	if got := carrier(1, 1); got != 7 {
+		t.Fatalf("order(1,1) carrier=%d, want 7", got)
+	}
+	if got := carrier(0, 2); got != 0 {
+		t.Fatalf("order(0,2) carrier=%d, want 0 (undelivered)", got)
+	}
+	// OL_DELIVERY_D stamped on every line of the delivered order, and the
+	// customer credited with the order's total — both visible to a
+	// subsequent Order-Status/Stock-Level-style read.
+	var total float64
+	for ol := 1; ol <= 2; ol++ {
+		olrow, _, _ := db.Table(TOrderLine).Get(0, OLKey(0, 0, 1, ol)).ReadStable(nil)
+		if got := w.orderLine.GetInt64(olrow, OLDeliveryD); got != 1234 {
+			t.Fatalf("order line %d delivery_d=%d, want 1234", ol, got)
+		}
+		total += w.orderLine.GetFloat64(olrow, OLAmount)
+	}
+	if got := balance(0, 3); got != bal3+total {
+		t.Fatalf("customer 3 balance=%v, want %v", got, bal3+total)
+	}
+
+	// Batch 2: delivers order 2 in district 0 and SKIPS the now-empty
+	// district 1 (no cursor advance, no writes for it).
+	d2 := &DeliveryTxn{W: w, WID: 0, Carrier: 9, DeliveryD: 2345}
+	run(d2)
+	if _, del := district(0); del != 3 {
+		t.Fatalf("district 0 cursor=%d after batch 2, want 3", del)
+	}
+	if _, del := district(1); del != 2 {
+		t.Fatalf("district 1 cursor=%d after batch 2, want 2 (skipped)", del)
+	}
+	if got := carrier(0, 2); got != 9 {
+		t.Fatalf("order(0,2) carrier=%d, want 9", got)
+	}
+	if got := balance(0, 4); got == bal4 {
+		t.Fatal("customer 4 balance unchanged after delivery of its order")
+	}
+
+	// Batch 3: everything delivered → a committed no-op (§2.7.4.2).
+	d3 := &DeliveryTxn{W: w, WID: 0, Carrier: 2, DeliveryD: 3456}
+	if err := d3.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.set.Writes) != 0 {
+		t.Fatalf("empty delivery wrote %d entries, want 0", len(ex.set.Writes))
+	}
+}
+
+func TestDeliveryIsDeferredAndSinglePartition(t *testing.T) {
+	w := New(smallCfg())
+	d := &DeliveryTxn{W: w, WID: 2, Carrier: 1, DeliveryD: 1}
+	if !txn.IsDeferred(d) {
+		t.Fatal("Delivery must request deferred execution (§2.7.2)")
+	}
+	req := txn.NewRequest(d, 0)
+	if req.Cross || len(req.Parts) != 1 || req.Parts[0] != 2 {
+		t.Fatalf("delivery footprint parts=%v cross=%v, want single partition 2", req.Parts, req.Cross)
+	}
+	if txn.IsReadOnly(d) {
+		t.Fatal("Delivery is not read-only")
+	}
+	for _, a := range d.Accesses() {
+		if a.Table != TDistrict || !a.Write {
+			t.Fatalf("delivery must declare district write locks, got %+v", a)
+		}
+	}
+}
+
+func TestStockLevelCountsDistinctLowStockItems(t *testing.T) {
+	w, db := loadSmall(t)
+	ex := &executor{db: db}
+	run := func(p txn.Procedure) {
+		t.Helper()
+		if err := p.Run(ex); err != nil {
+			t.Fatal(err)
+		}
+		ex.commit(t, db)
+	}
+	// Two orders sharing item 20: distinct items are {20, 21, 22}.
+	run(mkOrder(w, 0, 0, 1, []int{20, 21}))
+	run(mkOrder(w, 0, 0, 2, []int{20, 22}))
+
+	sl := &StockLevelTxn{W: w, WID: 0, DID: 0, Threshold: 1 << 30} // everything is "low"
+	if err := sl.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	if sl.LowStock != 3 {
+		t.Fatalf("LowStock=%d with infinite threshold, want 3 distinct items", sl.LowStock)
+	}
+	if len(ex.set.Writes) != 0 {
+		t.Fatal("Stock-Level must not write")
+	}
+	sl2 := &StockLevelTxn{W: w, WID: 0, DID: 0, Threshold: 0} // nothing is below 0
+	if err := sl2.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	if sl2.LowStock != 0 {
+		t.Fatalf("LowStock=%d with zero threshold, want 0", sl2.LowStock)
+	}
+	if !txn.IsReadOnly(sl) {
+		t.Fatal("Stock-Level must declare itself read-only")
+	}
+}
+
+func TestStockLevelCrossFootprintAndRemoteCheck(t *testing.T) {
+	w, db := loadSmall(t)
+	ex := &executor{db: db}
+	if err := mkOrder(w, 0, 0, 1, []int{30}).Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	sl := &StockLevelTxn{W: w, WID: 0, DID: 0, Threshold: 1 << 30, Remote: []int{2}}
+	req := txn.NewRequest(sl, 0)
+	if !req.Cross || len(req.Parts) != 2 {
+		t.Fatalf("remote stock-level parts=%v cross=%v, want cross over {0,2}", req.Parts, req.Cross)
+	}
+	if err := sl.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	if sl.LowStock != 1 {
+		t.Fatalf("LowStock=%d, want 1", sl.LowStock)
+	}
+}
+
+func TestFullMixRates(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SetFullMix()
+	w := New(cfg)
+	g := w.NewGen(17)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Mixed(0).Name()]++
+	}
+	pct := func(name string) float64 { return 100 * float64(counts[name]) / n }
+	if p := pct("tpcc.delivery"); p < 2.5 || p > 5.5 {
+		t.Fatalf("delivery share %.1f%%, want ≈4%%", p)
+	}
+	if p := pct("tpcc.stocklevel"); p < 2.5 || p > 5.5 {
+		t.Fatalf("stock-level share %.1f%%, want ≈4%%", p)
+	}
+	no, pay := pct("tpcc.neworder"), pct("tpcc.payment")
+	if no < 42 || no > 53 || pay < 39 || pay > 50 {
+		t.Fatalf("NewOrder/Payment shares %.1f%%/%.1f%%, want ≈48%%/44%%", no, pay)
+	}
+	if no <= pay {
+		t.Fatalf("NewOrder share %.1f%% must exceed Payment share %.1f%% (45:43)", no, pay)
+	}
+	// The paper subset must be untouched by the new classes.
+	g2 := New(smallCfg()).NewGen(17)
+	for i := 0; i < 500; i++ {
+		name := g2.Mixed(0).Name()
+		if name == "tpcc.delivery" || name == "tpcc.stocklevel" {
+			t.Fatal("default config must keep the paper's 2-txn subset")
+		}
+	}
+}

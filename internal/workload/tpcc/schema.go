@@ -1,9 +1,12 @@
-// Package tpcc implements the TPC-C benchmark as the paper uses it
-// (§7.1.1): the NewOrder and Payment transactions (88% of the standard
-// mix), all nine tables partitioned by warehouse id, with a configurable
-// fraction of cross-partition transactions (defaults: 10% of NewOrder,
-// 15% of Payment). The ITEM table is read-only and replicated to every
-// node. Customer lookup by last name goes through a secondary index.
+// Package tpcc implements the TPC-C benchmark: the paper's NewOrder +
+// Payment subset (§7.1.1) by default, and — with Config.SetFullMix —
+// the standard-weighted four-transaction mix adding Delivery (deferred
+// cross-district batch, §2.7) and Stock-Level (read-only multi-record
+// scan, §2.8) at their standard 4%/4% shares. All nine tables are
+// partitioned by warehouse id, with a configurable fraction of
+// cross-partition transactions (defaults: 10% of NewOrder, 15% of
+// Payment). The ITEM table is read-only and replicated to every node.
+// Customer lookup by last name goes through a secondary index.
 package tpcc
 
 import (
@@ -48,6 +51,19 @@ type Config struct {
 	// InvalidItemPct is the percentage of NewOrder transactions carrying
 	// an unused item id, which must roll back (standard: 1).
 	InvalidItemPct int
+	// DeliveryPct is the percentage of generated transactions that are
+	// Delivery batches (standard mix: 4; 0 = paper's 2-txn subset).
+	DeliveryPct int
+	// StockLevelPct is the percentage of generated transactions that are
+	// Stock-Level scans (standard mix: 4; 0 = paper's 2-txn subset).
+	// The NewOrder/Payment remainder keeps its standard 45:43 ratio.
+	StockLevelPct int
+	// CrossPctStockLevel is the percentage of Stock-Level transactions
+	// that additionally check stock in a remote warehouse — the
+	// read-only cross-partition class the snapshot-read path serves
+	// without master routing (standard Stock-Level is single-warehouse;
+	// default: 0).
+	CrossPctStockLevel int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,15 +91,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// SetCrossPct sets both per-transaction cross-partition percentages —
-// the x-axis knob of the paper's sweeps.
+// SetCrossPct sets every per-transaction cross-partition percentage —
+// the x-axis knob of the paper's sweeps. Delivery has no cross-partition
+// form (a delivery batch serves exactly one warehouse).
 func (c *Config) SetCrossPct(p int) {
 	c.CrossPctNewOrder = p
 	c.CrossPctPayment = p
+	c.CrossPctStockLevel = p
 	if p == 0 {
 		c.CrossPctNewOrder = -1 // disable entirely (withDefaults would reset 0)
 		c.CrossPctPayment = -1
+		c.CrossPctStockLevel = 0 // 0 already means "never" (no default to dodge)
 	}
+}
+
+// SetFullMix enables the standard-weighted TPC-C mix: 45/43/4/4
+// NewOrder/Payment/Delivery/Stock-Level.
+func (c *Config) SetFullMix() {
+	c.DeliveryPct = 4
+	c.StockLevelPct = 4
 }
 
 // Workload implements workload.Workload for TPC-C.
@@ -107,6 +133,7 @@ const (
 	DNextOID = iota // district
 	DYtd
 	DTax
+	DNextDelOID // next undelivered order id (Delivery's batch cursor)
 	DName
 )
 
@@ -180,7 +207,8 @@ func New(cfg Config) *Workload {
 			f("w_ytd"), f("w_tax"), b("w_name", 10), b("w_street", 40), b("w_city", 20), b("w_zip", 9),
 		),
 		district: storage.NewSchema(
-			u("d_next_o_id"), f("d_ytd"), f("d_tax"), b("d_name", 10), b("d_street", 40), b("d_city", 20), b("d_zip", 9),
+			u("d_next_o_id"), f("d_ytd"), f("d_tax"), u("d_next_del_o_id"),
+			b("d_name", 10), b("d_street", 40), b("d_city", 20), b("d_zip", 9),
 		),
 		customer: storage.NewSchema(
 			f("c_balance"), f("c_ytd_payment"), i("c_payment_cnt"), i("c_delivery_cnt"),
@@ -326,6 +354,7 @@ func (w *Workload) loadWarehouse(db *storage.DB, wid int) {
 	for did := 0; did < w.cfg.Districts; did++ {
 		drow := w.district.NewRow()
 		w.district.SetUint64(drow, DNextOID, 1)
+		w.district.SetUint64(drow, DNextDelOID, 1) // == next_o_id: nothing undelivered
 		w.district.SetFloat64(drow, DYtd, 30000)
 		w.district.SetFloat64(drow, DTax, rng.Float64()*0.2)
 		w.district.SetString(drow, DName, fmt.Sprintf("D%d-%d", wid, did))

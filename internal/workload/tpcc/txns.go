@@ -8,9 +8,12 @@ import (
 	"star/internal/workload"
 )
 
-// Gen implements workload.Gen for TPC-C. The standard mix is approximated
-// as the paper does: "a NewOrder transaction is followed by a Payment
-// transaction" (50/50 alternation).
+// Gen implements workload.Gen for TPC-C. With the paper's 2-txn subset
+// (the default) the mix is approximated as the paper does: "a NewOrder
+// transaction is followed by a Payment transaction" (50/50 alternation).
+// With Delivery/Stock-Level percentages configured (SetFullMix) classes
+// are drawn by weight, the NewOrder/Payment remainder keeping its
+// standard 45:43 ratio.
 type Gen struct {
 	w     *Workload
 	rng   *rand.Rand
@@ -18,6 +21,42 @@ type Gen struct {
 	hseq  uint64
 	next  int // 0 → NewOrder, 1 → Payment
 	cload int // NURand C constant
+}
+
+// Transaction classes pick() draws from.
+const (
+	clsNewOrder = iota
+	clsPayment
+	clsDelivery
+	clsStockLevel
+)
+
+// pick draws the next transaction class. The paper subset (no Delivery
+// or Stock-Level share) keeps the seed's strict alternation — and its
+// rng stream — so existing runs reproduce bit-for-bit.
+func (g *Gen) pick() int {
+	cfg := g.w.cfg
+	if cfg.DeliveryPct <= 0 && cfg.StockLevelPct <= 0 {
+		g.next = 1 - g.next
+		if g.next == 1 {
+			return clsNewOrder
+		}
+		return clsPayment
+	}
+	r := g.rng.Intn(100)
+	switch {
+	case r < cfg.DeliveryPct:
+		return clsDelivery
+	case r < cfg.DeliveryPct+cfg.StockLevelPct:
+		return clsStockLevel
+	default:
+		rem := r - cfg.DeliveryPct - cfg.StockLevelPct
+		span := 100 - cfg.DeliveryPct - cfg.StockLevelPct
+		if rem*88 < span*45 { // NewOrder:Payment stays 45:43
+			return clsNewOrder
+		}
+		return clsPayment
+	}
 }
 
 // NewGen implements workload.Workload.
@@ -34,32 +73,47 @@ func (g *Gen) nuRand(a, x, y int) int {
 func (g *Gen) customerID() int { return g.nuRand(1023, 0, g.w.cfg.CustomersPerDistrict-1) }
 func (g *Gen) itemID() int     { return g.nuRand(8191, 0, g.w.cfg.Items-1) }
 
-// Mixed implements workload.Gen (NewOrder/Payment alternation, each
-// cross-partition with its configured probability).
+// Mixed implements workload.Gen: the configured mix, each class
+// cross-partition with its configured probability.
 func (g *Gen) Mixed(home int) txn.Procedure {
-	g.next = 1 - g.next
-	if g.next == 1 {
+	switch g.pick() {
+	case clsDelivery:
+		return g.delivery(home)
+	case clsStockLevel:
+		return g.stockLevel(home, g.rng.Intn(100) < g.w.cfg.CrossPctStockLevel)
+	case clsNewOrder:
 		return g.newOrder(home, g.rng.Intn(100) < g.w.cfg.CrossPctNewOrder)
+	default:
+		return g.payment(home, g.rng.Intn(100) < g.w.cfg.CrossPctPayment)
 	}
-	return g.payment(home, g.rng.Intn(100) < g.w.cfg.CrossPctPayment)
 }
 
 // Single implements workload.Gen.
 func (g *Gen) Single(home int) txn.Procedure {
-	g.next = 1 - g.next
-	if g.next == 1 {
+	switch g.pick() {
+	case clsDelivery:
+		return g.delivery(home)
+	case clsStockLevel:
+		return g.stockLevel(home, false)
+	case clsNewOrder:
 		return g.newOrder(home, false)
+	default:
+		return g.payment(home, false)
 	}
-	return g.payment(home, false)
 }
 
-// Cross implements workload.Gen.
+// Cross implements workload.Gen. Delivery has no cross-partition form
+// (a delivery batch serves exactly one warehouse), so its share maps to
+// cross NewOrder here.
 func (g *Gen) Cross(home int) txn.Procedure {
-	g.next = 1 - g.next
-	if g.next == 1 {
+	switch g.pick() {
+	case clsStockLevel:
+		return g.stockLevel(home, true)
+	case clsNewOrder, clsDelivery:
 		return g.newOrder(home, true)
+	default:
+		return g.payment(home, true)
 	}
-	return g.payment(home, true)
 }
 
 func (g *Gen) remoteWarehouse(home int) int {
@@ -318,6 +372,218 @@ func appendInt(b []byte, v int) []byte {
 		}
 	}
 	return append(b, tmp[i:]...)
+}
+
+// ---- Delivery ----
+
+// DeliveryTxn is the TPC-C Delivery transaction (§2.7): one batch that,
+// for every district of a warehouse, delivers the oldest undelivered
+// order — stamping O_CARRIER_ID and OL_DELIVERY_D and crediting the
+// customer's balance with the order's total. Per §2.7.2 it executes in
+// deferred mode (Deferred() is true): phase-switching engines queue it
+// to the single-master phase instead of running it inline.
+//
+// The oldest undelivered order is tracked by the district's
+// D_NEXT_DEL_O_ID cursor (undelivered ids are [cursor, D_NEXT_O_ID)), a
+// standard in-memory TPC-C device that makes the lookup a point read.
+// The programming model has no deletes, so the NEW-ORDER row is kept
+// and the cursor alone defines "undelivered".
+type DeliveryTxn struct {
+	W         *Workload
+	WID       int
+	Carrier   int64 // O_CARRIER_ID ∈ [1,10]
+	DeliveryD int64 // OL_DELIVERY_D stamp
+}
+
+// Name implements txn.Procedure.
+func (t *DeliveryTxn) Name() string { return "tpcc.delivery" }
+
+// Deferred implements txn.DeferredMarker (§2.7.2 deferred execution).
+func (t *DeliveryTxn) Deferred() bool { return true }
+
+// Accesses implements txn.Procedure: the per-district delivery cursors,
+// in write mode. The order/order-line/customer rows depend on cursor
+// values read at execution time and cannot be declared a priori;
+// lock-based engines serialise conflicting Deliveries (and NewOrders)
+// on the district rows, and the dependent updates are commutative
+// record-latched field ops.
+func (t *DeliveryTxn) Accesses() []txn.Access {
+	accs := make([]txn.Access, 0, t.W.cfg.Districts)
+	for did := 0; did < t.W.cfg.Districts; did++ {
+		accs = append(accs, txn.Access{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, did), Write: true})
+	}
+	return accs
+}
+
+// Run implements txn.Procedure, following §2.7.4. Districts with no
+// undelivered order are skipped (§2.7.4.2: the result is still a
+// committed transaction).
+func (t *DeliveryTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	for did := 0; did < w.cfg.Districts; did++ {
+		drow, ok := ctx.Read(TDistrict, t.WID, DKey(t.WID, did))
+		if !ok {
+			return txn.ErrConflict
+		}
+		nextO := int(w.district.GetUint64(drow, DNextOID))
+		oid := int(w.district.GetUint64(drow, DNextDelOID))
+		if oid >= nextO {
+			continue // nothing undelivered in this district
+		}
+		ctx.Write(TDistrict, t.WID, DKey(t.WID, did), storage.AddInt64Op(DNextDelOID, 1))
+		if _, ok := ctx.Read(TNewOrder, t.WID, OKey(t.WID, did, oid)); !ok {
+			return txn.ErrConflict
+		}
+		orow, ok := ctx.Read(TOrder, t.WID, OKey(t.WID, did, oid))
+		if !ok {
+			return txn.ErrConflict
+		}
+		cid := int(w.order.GetUint64(orow, OCID))
+		olCnt := int(w.order.GetInt64(orow, OOlCnt))
+		ctx.Write(TOrder, t.WID, OKey(t.WID, did, oid), storage.SetInt64Op(OCarrierID, t.Carrier))
+		var total float64
+		for ol := 1; ol <= olCnt; ol++ {
+			olrow, ok := ctx.Read(TOrderLine, t.WID, OLKey(t.WID, did, oid, ol))
+			if !ok {
+				return txn.ErrConflict
+			}
+			total += w.orderLine.GetFloat64(olrow, OLAmount)
+			ctx.Write(TOrderLine, t.WID, OLKey(t.WID, did, oid, ol),
+				storage.SetInt64Op(OLDeliveryD, t.DeliveryD))
+		}
+		ctx.Write(TCustomer, t.WID, CKey(t.WID, did, cid),
+			storage.AddFloat64Op(CBalance, total),
+			storage.AddInt64Op(CDeliveryCnt, 1))
+	}
+	return nil
+}
+
+func (g *Gen) delivery(home int) txn.Procedure {
+	return &DeliveryTxn{
+		W:         g.w,
+		WID:       home,
+		Carrier:   int64(1 + g.rng.Intn(10)),
+		DeliveryD: int64(1 + g.rng.Intn(1<<20)),
+	}
+}
+
+// ---- Stock-Level ----
+
+// maxScanLines bounds Stock-Level's distinct-item scratch: 20 orders of
+// at most 15 lines each (§2.8.2.2).
+const maxScanLines = 20 * 15
+
+// StockLevelTxn is the TPC-C Stock-Level transaction (§2.8): count the
+// distinct items of the district's last 20 orders whose stock quantity
+// is below a threshold. It is read-only (ReadOnly() is true), so an
+// engine with epoch-fenced replicas can serve it from a local snapshot.
+// The non-standard Remote variant additionally checks the same items'
+// stock in other warehouses (low anywhere counts) — the read-only
+// cross-partition class the snapshot path exists for.
+type StockLevelTxn struct {
+	W         *Workload
+	WID, DID  int
+	Threshold int64 // §2.8.1.2: uniform within [10,20]
+	Remote    []int // extra warehouses to check (empty = standard)
+
+	// LowStock is the result (set by Run; not a parameter, not encoded).
+	LowStock int
+}
+
+// Name implements txn.Procedure.
+func (t *StockLevelTxn) Name() string { return "tpcc.stocklevel" }
+
+// ReadOnly implements txn.ReadOnlyMarker.
+func (t *StockLevelTxn) ReadOnly() bool { return true }
+
+// Accesses implements txn.Procedure: the district cursor read plus one
+// warehouse-row read per remote warehouse (which also declares the
+// partition for routing). The order/order-line/stock point reads are
+// cursor-dependent and resolved at execution time.
+func (t *StockLevelTxn) Accesses() []txn.Access {
+	accs := make([]txn.Access, 0, 1+len(t.Remote))
+	accs = append(accs, txn.Access{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, t.DID)})
+	for _, rw := range t.Remote {
+		accs = append(accs, txn.Access{Table: TWarehouse, Part: rw, Key: WKey(rw)})
+	}
+	return accs
+}
+
+// Run implements txn.Procedure, following §2.8.2. The count is returned
+// to the terminal and nothing is written, so reads that miss — e.g. a
+// remote row on an engine that cannot serve undeclared remote reads —
+// skip the item instead of aborting.
+func (t *StockLevelTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	drow, ok := ctx.Read(TDistrict, t.WID, DKey(t.WID, t.DID))
+	if !ok {
+		return txn.ErrConflict
+	}
+	nextO := int(w.district.GetUint64(drow, DNextOID))
+	lo := nextO - 20
+	if lo < 1 {
+		lo = 1
+	}
+	var seen [maxScanLines]uint32
+	nSeen, low := 0, 0
+	for oid := lo; oid < nextO; oid++ {
+		orow, ok := ctx.Read(TOrder, t.WID, OKey(t.WID, t.DID, oid))
+		if !ok {
+			continue
+		}
+		olCnt := int(w.order.GetInt64(orow, OOlCnt))
+		for ol := 1; ol <= olCnt; ol++ {
+			olrow, ok := ctx.Read(TOrderLine, t.WID, OLKey(t.WID, t.DID, oid, ol))
+			if !ok {
+				continue
+			}
+			iid := uint32(w.orderLine.GetUint64(olrow, OLIID))
+			dup := false
+			for i := 0; i < nSeen; i++ {
+				if seen[i] == iid {
+					dup = true
+					break
+				}
+			}
+			if dup || nSeen == len(seen) {
+				continue
+			}
+			seen[nSeen] = iid
+			nSeen++
+			below := false
+			if srow, ok := ctx.Read(TStock, t.WID, SKey(t.WID, int(iid))); ok {
+				below = w.stock.GetInt64(srow, SQuantity) < t.Threshold
+			}
+			for _, rw := range t.Remote {
+				if below {
+					break
+				}
+				if srow, ok := ctx.Read(TStock, rw, SKey(rw, int(iid))); ok {
+					below = w.stock.GetInt64(srow, SQuantity) < t.Threshold
+				}
+			}
+			if below {
+				low++
+			}
+		}
+	}
+	t.LowStock = low
+	return nil
+}
+
+func (g *Gen) stockLevel(home int, cross bool) txn.Procedure {
+	t := &StockLevelTxn{
+		W:         g.w,
+		WID:       home,
+		DID:       g.rng.Intn(g.w.cfg.Districts),
+		Threshold: int64(10 + g.rng.Intn(11)),
+	}
+	if cross {
+		if rw := g.remoteWarehouse(home); rw != home {
+			t.Remote = []int{rw}
+		}
+	}
+	return t
 }
 
 func (g *Gen) payment(home int, cross bool) txn.Procedure {

@@ -8,10 +8,13 @@ import (
 )
 
 // Wire procedure ids. The id space is shared with other workloads in
-// one codec, so each workload takes a distinct block (tpcc: 1–2).
+// one codec, so each workload takes a distinct block (tpcc: 1–2 and —
+// ycsb having claimed 3 first — 4–5 for the full-mix extension).
 const (
-	wireNewOrder uint8 = 1
-	wirePayment  uint8 = 2
+	wireNewOrder   uint8 = 1
+	wirePayment    uint8 = 2
+	wireDelivery   uint8 = 4
+	wireStockLevel uint8 = 5
 )
 
 // RegisterWire binds the TPC-C procedure codecs to c. Every process of
@@ -133,6 +136,59 @@ func (w *Workload) RegisterWire(c *wire.Codec) {
 			}
 			return t, b, nil
 		})
+
+	c.RegisterProc(wireDelivery, (*DeliveryTxn)(nil),
+		func(b []byte, p txn.Procedure) []byte {
+			t := p.(*DeliveryTxn)
+			b = wire.AppendVarint(b, int64(t.WID))
+			b = wire.AppendVarint(b, t.Carrier)
+			return wire.AppendVarint(b, t.DeliveryD)
+		},
+		func(b []byte) (txn.Procedure, []byte, error) {
+			t := &DeliveryTxn{W: w}
+			var err error
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			t.WID = int(x)
+			if t.Carrier, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if t.DeliveryD, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return t, b, nil
+		})
+
+	c.RegisterProc(wireStockLevel, (*StockLevelTxn)(nil),
+		func(b []byte, p txn.Procedure) []byte {
+			t := p.(*StockLevelTxn)
+			b = wire.AppendVarint(b, int64(t.WID))
+			b = wire.AppendVarint(b, int64(t.DID))
+			b = wire.AppendVarint(b, t.Threshold)
+			return wire.AppendInts(b, t.Remote)
+		},
+		func(b []byte) (txn.Procedure, []byte, error) {
+			t := &StockLevelTxn{W: w}
+			var err error
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			t.WID = int(x)
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			t.DID = int(x)
+			if t.Threshold, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if t.Remote, b, err = wire.Ints(b); err != nil {
+				return nil, nil, err
+			}
+			return t, b, nil
+		})
 }
 
 // WireSize returns the exact encoded parameter size (kept in lock-step
@@ -155,4 +211,20 @@ func (t *PaymentTxn) WireSize() int {
 		wire.VarintLen(int64(t.CID)) + 1 + wire.BytesLen(t.CLast) + 8 +
 		wire.UvarintLen(t.HSeq) + wire.VarintLen(int64(t.GenID)) +
 		wire.VarintLen(t.Date)
+}
+
+// WireSize returns the exact encoded parameter size.
+func (t *DeliveryTxn) WireSize() int {
+	return wire.VarintLen(int64(t.WID)) + wire.VarintLen(t.Carrier) +
+		wire.VarintLen(t.DeliveryD)
+}
+
+// WireSize returns the exact encoded parameter size.
+func (t *StockLevelTxn) WireSize() int {
+	n := wire.VarintLen(int64(t.WID)) + wire.VarintLen(int64(t.DID)) +
+		wire.VarintLen(t.Threshold) + wire.UvarintLen(uint64(len(t.Remote)))
+	for _, rw := range t.Remote {
+		n += wire.VarintLen(int64(rw))
+	}
+	return n
 }

@@ -8,7 +8,8 @@ import (
 	"star/internal/wire"
 )
 
-// wireTxn is the YCSB procedure id (tpcc takes 1–2; ycsb takes 3).
+// wireTxn is the YCSB procedure id (tpcc takes 1–2 and 4–5; ycsb
+// takes 3).
 const wireTxn uint8 = 3
 
 // RegisterWire binds the YCSB transaction codec to c. The decoder binds

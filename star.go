@@ -87,6 +87,12 @@ type Config struct {
 	// ReadCommitted lowers single-master isolation to READ COMMITTED
 	// (§3): read validation is skipped at commit.
 	ReadCommitted bool
+	// SnapshotReads serves read-only transactions (txn.ReadOnlyMarker,
+	// e.g. TPC-C Stock-Level) from the generating node's epoch-fence
+	// snapshot instead of routing them to the master: consistent as of
+	// the last phase switch, no coordination, results release
+	// immediately.
+	SnapshotReads bool
 	// Virtual runs the cluster on the deterministic simulation runtime;
 	// use Cluster.RunVirtual to advance time.
 	Virtual bool
@@ -156,6 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 		LogDir:         cfg.LogDir,
 		Checkpoint:     cfg.Checkpoint,
 		ReadCommitted:  cfg.ReadCommitted,
+		SnapshotReads:  cfg.SnapshotReads,
 		Seed:           cfg.Seed,
 		FlushBytes:     cfg.FlushBytes,
 		FlushEvery:     cfg.FlushEvery,
