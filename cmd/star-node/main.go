@@ -111,10 +111,20 @@ func main() {
 	}
 
 	r := rt.NewReal()
+	codec := core.NewWireCodec(w)
+	if *serve {
+		// Time-driven mode: re-base request generation stamps at the
+		// transport boundary. Each process's runtime clock has its own
+		// origin, so a raw GenAt crossing the wire would skew every
+		// deferred request's latency sample by the inter-process start
+		// delta. Scripted runs must NOT do this — their GenAt carries
+		// the deterministic total-order stamp the master sorts by.
+		codec.SetClock(func() int64 { return int64(r.Now()) })
+	}
 	net, err := tcpnet.New(r, tcpnet.Config{
 		Endpoints: endpoints,
 		Local:     local,
-		Codec:     core.NewWireCodec(w),
+		Codec:     codec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "star-node:", err)

@@ -37,6 +37,9 @@ type calvinTxn struct {
 	det    *lock.DetTxn
 	local  []txn.Access // accesses on partitions this node masters
 	remote map[remoteKey][]byte
+	// remoteIdx holds pushed secondary-index resolutions for partitions
+	// other nodes master (the matched rows arrive in remote alongside).
+	remoteIdx map[idxRef][]storage.Key
 	// needed counts participant pushes still outstanding.
 	needed  int
 	pushed  bool
@@ -50,6 +53,20 @@ type remoteKey struct {
 	Table storage.TableID
 	Part  int
 	Key   storage.Key
+}
+
+// idxRef names one secondary-index lookup in a push.
+type idxRef struct {
+	Table storage.TableID
+	Part  int
+	Index int
+	Val   string
+}
+
+// idxPush is one resolved lookup shipped with a participant's reads.
+type idxPush struct {
+	Ref  idxRef
+	Keys []storage.Key
 }
 
 // ---- wire messages ----
@@ -72,12 +89,19 @@ type msgPush struct {
 	From  int
 	Keys  []remoteKey
 	Rows  [][]byte
+	// Idx carries resolved secondary-index lookups for the pusher's
+	// partitions (by-name accesses declared with Access.IndexVal); the
+	// matched records' rows travel in Keys/Rows like ordinary reads.
+	Idx []idxPush
 }
 
 func (m msgPush) Size() int {
 	n := 24
 	for _, r := range m.Rows {
 		n += 28 + len(r)
+	}
+	for _, ip := range m.Idx {
+		n += 24 + len(ip.Ref.Val) + 16*len(ip.Keys)
 	}
 	return n
 }
@@ -267,6 +291,11 @@ func (e *Calvin) startNode(i int) {
 // deterministic order.
 func (cn *calvinNode) schedule(m msgBatch) {
 	e := cn.e
+	// All writes of earlier batches are complete (the sequencer gates
+	// each batch on every node's done report) and Calvin never reverts:
+	// drop their revert bookkeeping so dirty/pending buckets stay at one
+	// batch instead of accumulating for the whole run.
+	e.nodes[cn.id].db.CommitEpochBefore(m.No)
 	cn.mu.Lock()
 	cn.batchNo = m.No
 	cn.left = 0
@@ -294,22 +323,21 @@ func (cn *calvinNode) schedule(m msgBatch) {
 			continue
 		}
 		ct := &calvinTxn{
-			id:      m.No<<20 | uint64(idx),
-			req:     req,
-			local:   local,
-			remote:  map[remoteKey][]byte{},
-			needed:  len(participants) - 1,
-			counts:  minPart == cn.id,
-			genAt:   req.GenAt,
-			batchNo: m.No,
-			seq:     uint64(idx + 1),
+			id:        m.No<<20 | uint64(idx),
+			req:       req,
+			local:     local,
+			remote:    map[remoteKey][]byte{},
+			remoteIdx: map[idxRef][]storage.Key{},
+			needed:    len(participants) - 1,
+			counts:    minPart == cn.id,
+			genAt:     req.GenAt,
+			batchNo:   m.No,
+			seq:       uint64(idx + 1),
 		}
 		cn.left++
 		cn.txns[ct.id] = ct
 		for _, pm := range cn.early[ct.id] {
-			for i, k := range pm.Keys {
-				ct.remote[k] = pm.Rows[i]
-			}
+			ct.absorb(pm)
 			ct.needed--
 		}
 		delete(cn.early, ct.id)
@@ -345,6 +373,16 @@ func (cn *calvinNode) schedule(m msgBatch) {
 	}
 }
 
+// absorb folds a participant's push into the transaction's remote state.
+func (ct *calvinTxn) absorb(m msgPush) {
+	for i, k := range m.Keys {
+		ct.remote[k] = m.Rows[i]
+	}
+	for _, ip := range m.Idx {
+		ct.remoteIdx[ip.Ref] = ip.Keys
+	}
+}
+
 func (cn *calvinNode) deliverPush(m msgPush) {
 	cn.mu.Lock()
 	ct := cn.txns[m.TxnID]
@@ -354,9 +392,7 @@ func (cn *calvinNode) deliverPush(m msgPush) {
 		cn.mu.Unlock()
 		return
 	}
-	for i, k := range m.Keys {
-		ct.remote[k] = m.Rows[i]
-	}
+	ct.absorb(m)
 	ct.needed--
 	resume := ct.needed <= 0 && ct.pushed
 	cn.mu.Unlock()
@@ -429,22 +465,44 @@ func (cn *calvinNode) pushReads(ct *calvinTxn) {
 	}
 	var keys []remoteKey
 	var rows [][]byte
-	for _, a := range ct.local {
-		if a.LockOnly {
-			continue
-		}
-		rec := cn.e.nodes[cn.id].db.Table(a.Table).Get(a.Part, a.Key)
+	var idxPushes []idxPush
+	pushRecord := func(t storage.TableID, part int, key storage.Key) {
+		rec := cn.e.nodes[cn.id].db.Table(t).Get(part, key)
 		if rec == nil {
-			continue
+			return
 		}
 		val, _, present := rec.ReadStable(nil)
 		if !present {
-			continue
+			return
 		}
-		keys = append(keys, remoteKey{Table: a.Table, Part: a.Part, Key: a.Key})
+		keys = append(keys, remoteKey{Table: t, Part: part, Key: key})
 		rows = append(rows, append([]byte(nil), val...))
 	}
-	m := msgPush{TxnID: ct.id, From: cn.id, Keys: keys, Rows: rows}
+	for _, a := range ct.local {
+		if a.IndexVal != nil {
+			// Index-prefetch access: resolve the lookup on this (owning)
+			// node and ship the match list plus the matched rows, so
+			// every participant runs the by-name resolution against the
+			// same deterministic answer. An empty match list is pushed
+			// too — remote participants must distinguish "no matches"
+			// from "not resolved here".
+			tbl := cn.e.nodes[cn.id].db.Table(a.Table)
+			matches := tbl.IndexLookup(a.Part, a.Index, a.IndexVal, storage.IndexAllEpochs, nil)
+			idxPushes = append(idxPushes, idxPush{
+				Ref:  idxRef{Table: a.Table, Part: a.Part, Index: a.Index, Val: string(a.IndexVal)},
+				Keys: matches,
+			})
+			for _, mk := range matches {
+				pushRecord(a.Table, a.Part, mk)
+			}
+			continue
+		}
+		if a.LockOnly {
+			continue
+		}
+		pushRecord(a.Table, a.Part, a.Key)
+	}
+	m := msgPush{TxnID: ct.id, From: cn.id, Keys: keys, Rows: rows, Idx: idxPushes}
 	for p := range participants {
 		if p != cn.id {
 			e.net.Send(cn.id, p, transport.Data, m)
@@ -470,7 +528,8 @@ func (e *Calvin) applyCalvinEntry(node int, en *replication.Entry, epoch, tid ui
 	n := e.nodes[node]
 	tbl := n.db.Table(en.Table)
 	part := tbl.Partition(int(en.Part))
-	rec := part.GetOrCreate(en.Key)
+	rec := part.GetOrCreate(en.Key, epoch)
+	wasAbsent := storage.TIDAbsent(rec.TID())
 	rec.Lock()
 	var first bool
 	if en.IsOp() {
@@ -479,9 +538,16 @@ func (e *Calvin) applyCalvinEntry(node int, en *replication.Entry, epoch, tid ui
 		first = rec.WriteLocked(epoch, tid, en.Row)
 	}
 	if first {
-		part.MarkDirty(rec)
+		part.MarkDirty(rec, epoch)
+	}
+	var row []byte
+	if wasAbsent && tbl.NumIndexes() > 0 {
+		row = append(row, rec.ValueLocked()...)
 	}
 	rec.UnlockWithTID(storage.TIDClean(tid))
+	if wasAbsent {
+		tbl.NoteInserted(int(en.Part), en.Key, row, epoch)
+	}
 }
 
 // calvinCtx reads local partitions directly and remote partitions from
@@ -520,4 +586,17 @@ func (c *calvinCtx) Write(t storage.TableID, part int, key storage.Key, ops ...s
 func (c *calvinCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.set.AddInsert(t, part, key, row)
+}
+
+// LookupIndex resolves locally for partitions this node masters and from
+// the pushed match lists otherwise (an undeclared remote lookup finds
+// nothing and the procedure skips, like an unpushed remote read).
+func (c *calvinCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	c.reads++
+	e := c.cn.e
+	tbl := e.nodes[c.cn.id].db.Table(t)
+	if tbl.Replicated() || e.cfg.MasterOf(part) == c.cn.id {
+		return tbl.IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
+	}
+	return append(dst, c.ct.remoteIdx[idxRef{Table: t, Part: part, Index: idx, Val: string(val)}]...)
 }

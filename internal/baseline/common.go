@@ -180,6 +180,7 @@ const (
 	rpcCommitWrites
 	rpcAbort
 	rpcPrepare
+	rpcIndexLookup
 )
 
 // rpcReq is a generic engine RPC. Payload is the wire-encoded,

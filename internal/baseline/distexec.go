@@ -84,7 +84,7 @@ func (e *Dist) doLockValidate(node int, p *lvPayload) (*lvReply, bool) {
 	maxTID := uint64(0)
 	for idx, nm := range p.Writes {
 		part := int(p.Parts[idx])
-		rec := n.db.Table(nm.Table).Partition(part).GetOrCreate(nm.Key)
+		rec := n.db.Table(nm.Table).Partition(part).GetOrCreate(nm.Key, 0)
 		if !rec.TryLock() { // NO_WAIT on write locks
 			return nil, fail()
 		}
@@ -149,7 +149,8 @@ func (e *Dist) applyEntry(node int, en *replication.Entry, epoch, tid uint64) *s
 	n := e.nodes[node]
 	tbl := n.db.Table(en.Table)
 	part := tbl.Partition(int(en.Part))
-	rec := part.GetOrCreate(en.Key)
+	rec := part.GetOrCreate(en.Key, epoch)
+	wasAbsent := storage.TIDAbsent(rec.TID())
 	if e.proto == DistS2PL {
 		rec.Lock()
 	}
@@ -160,9 +161,16 @@ func (e *Dist) applyEntry(node int, en *replication.Entry, epoch, tid uint64) *s
 		first = rec.WriteLocked(epoch, tid, en.Row)
 	}
 	if first {
-		part.MarkDirty(rec)
+		part.MarkDirty(rec, epoch)
+	}
+	var inserted []byte
+	if wasAbsent && tbl.NumIndexes() > 0 {
+		inserted = append(inserted, rec.ValueLocked()...)
 	}
 	rec.UnlockWithTID(storage.TIDClean(tid))
+	if wasAbsent {
+		tbl.NoteInserted(int(en.Part), en.Key, inserted, epoch)
+	}
 	return rec
 }
 
@@ -263,6 +271,28 @@ func (c *distCtx) Write(t storage.TableID, part int, key storage.Key, ops ...sto
 func (c *distCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.set.AddInsert(t, part, key, row)
+}
+
+// LookupIndex resolves a secondary-index lookup: locally when this node
+// masters the partition (or the table is replicated), otherwise as one
+// RPC round trip to the partition's master — the same shape as a remote
+// read (§7.2.2). Lookups take no locks on either protocol; the record
+// reads and commutative writes that follow carry the isolation, the
+// same tolerance Delivery's cursor-dependent accesses rely on.
+func (c *distCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	c.reads++
+	e := c.e
+	tbl := e.nodes[c.node].db.Table(t)
+	if tbl.Replicated() || e.cfg.MasterOf(part) == c.node {
+		return tbl.IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
+	}
+	payload := &idxPayload{Table: t, Part: part, Index: idx, Val: val}
+	resp := c.port.call(e.net, c.node, e.cfg.MasterOf(part), c.wi, rpcIndexLookup, payload.encode())
+	if !resp.OK {
+		c.failed = true
+		return dst
+	}
+	return append(dst, mustDecode(decodeIdxReply(resp.Payload)).Keys...)
 }
 
 // participantEntries groups the write set per mastering node.

@@ -123,6 +123,19 @@ type abortPayload struct {
 	Parts   []int32
 }
 
+// idxPayload asks a partition's master to resolve a secondary-index
+// lookup; idxReply carries the matching primary keys, ascending.
+type idxPayload struct {
+	Table storage.TableID
+	Part  int
+	Index int
+	Val   []byte
+}
+
+type idxReply struct {
+	Keys []storage.Key
+}
+
 // pendingSync tracks a participant-side commit waiting for its backup's
 // ack before releasing locks (2PC + synchronous replication).
 type pendingSync struct {
@@ -280,6 +293,11 @@ func (e *Dist) serve(i int, m *rpcReq, pending map[uint64]*pendingSync, syncSeq 
 	case rpcAbort:
 		e.doAbort(i, mustDecode(decodeAbortPayload(m.Payload)))
 		reply(true, nil)
+
+	case rpcIndexLookup:
+		p := mustDecode(decodeIdxPayload(m.Payload))
+		keys := n.db.Table(p.Table).IndexLookup(p.Part, p.Index, p.Val, storage.IndexAllEpochs, nil)
+		reply(true, (&idxReply{Keys: keys}).encode())
 	}
 }
 

@@ -252,3 +252,63 @@ func decodeAbortPayload(b []byte) (*abortPayload, error) {
 func encodeBatchPayload(batch *replication.Batch) []byte {
 	return wire.AppendBatch(make([]byte, 0, 16+wire.BatchLen(batch)), batch)
 }
+
+// ---- idxPayload / idxReply (secondary-index lookup RPC) ----
+
+func (p *idxPayload) encode() []byte {
+	b := make([]byte, 0, 16+len(p.Val))
+	b = append(b, byte(p.Table))
+	b = wire.AppendVarint(b, int64(p.Part))
+	b = wire.AppendVarint(b, int64(p.Index))
+	return wire.AppendBytes(b, p.Val)
+}
+
+func decodeIdxPayload(b []byte) (*idxPayload, error) {
+	p := &idxPayload{}
+	if len(b) < 1 {
+		return nil, wire.ErrTruncated
+	}
+	p.Table = storage.TableID(b[0])
+	x, b, err := wire.Varint(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	p.Part = int(x)
+	if x, b, err = wire.Varint(b); err != nil {
+		return nil, err
+	}
+	p.Index = int(x)
+	if p.Val, _, err = wire.Bytes(b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (r *idxReply) encode() []byte {
+	b := make([]byte, 0, 8+17*len(r.Keys))
+	b = wire.AppendUvarint(b, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		b = wire.AppendKey(b, k)
+	}
+	return b
+}
+
+func decodeIdxReply(b []byte) (*idxReply, error) {
+	n, b, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b))/16+1 {
+		return nil, fmt.Errorf("%w: %d index matches", wire.ErrCorrupt, n)
+	}
+	r := &idxReply{}
+	if n > 0 {
+		r.Keys = make([]storage.Key, n)
+		for i := range r.Keys {
+			if r.Keys[i], b, err = wire.Key(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}

@@ -173,7 +173,7 @@ func (e *PBOCC) workerLoop(wi int, port *rpcPort) {
 			}
 			epoch := e.ticker.Epoch()
 			if e.cfg.SyncRepl {
-				if !occ.LockAndValidate(e.primary.db, &set) {
+				if !occ.LockAndValidate(e.primary.db, &set, epoch) {
 					e.st.aborted.Inc()
 					continue
 				}
@@ -249,6 +249,19 @@ func (c *dbCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte)
 	c.set.AddInsert(t, part, key, row)
 }
 
+// LookupIndex resolves a secondary-index lookup on the local database
+// (PB. OCC's primary holds everything).
+func (c *dbCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.db.Table(t).IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
+}
+
+// LookupIndexTail implements txn.IndexTailReader.
+func (c *dbCtx) LookupIndexTail(t storage.TableID, part, idx int, val []byte, max int, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.db.Table(t).IndexLookupTail(part, idx, val, storage.IndexAllEpochs, max, dst)
+}
+
 type costCtx interface {
 	counts() (reads, writes int)
 }
@@ -290,6 +303,12 @@ func drainNode(cfg Config, n *bnode, in rt.Chan, m msgTickDrain, lat *metrics.Hi
 			n.onDrainMsg(msg)
 		}
 	}
+	// The epoch group-committed: its revert bookkeeping (dirty buckets,
+	// index pending sets) will never be needed — these engines have no
+	// failure revert — so drop everything older than the fence. Without
+	// this the buckets accumulate one epoch forever (the sync variants
+	// never advance their epoch, so they stay at one bucket regardless).
+	n.db.CommitEpochBefore(m.Epoch)
 	n.net.Send(n.id, cfg.tickerID(), transport.Control, msgTickAck{Node: n.id, Epoch: m.Epoch})
 	n.release(cfg.RT.Now(), lat)
 }

@@ -127,10 +127,24 @@ func (o Options) tpccWorkload(nodes, crossPct int) workload.Workload {
 	return tpcc.New(cfg)
 }
 
-// tpccFullWorkload is the standard-weighted four-transaction mix
-// (45/43/4/4 NewOrder/Payment/Delivery/Stock-Level): Delivery runs in
-// deferred mode, and the cross-partition percentage also governs the
-// multi-warehouse Stock-Level variant the snapshot-read path serves.
+// tpccOrderStatusWorkload is the by-name read-only point: pure
+// Order-Status (60% by last name through the customer_by_name index),
+// every query about a remote warehouse's customer — the class the
+// snapshot-read path serves with zero master routing.
+func (o Options) tpccOrderStatusWorkload(nodes, crossPct int) workload.Workload {
+	cfg := o.tpccCfg(nodes * o.workers())
+	cfg.OrderStatusPct = 100
+	cfg.CrossPctOrderStatus = crossPct
+	return tpcc.New(cfg)
+}
+
+// tpccFullWorkload is the standard-weighted five-transaction mix
+// (45/43/4/4/4 NewOrder/Payment/Delivery/Stock-Level/Order-Status):
+// Delivery runs in deferred mode, Payment and Order-Status resolve
+// by-name customers through the secondary index at execution time, and
+// the cross-partition percentage also governs the multi-warehouse
+// Stock-Level and remote-customer Order-Status variants the
+// snapshot-read path serves.
 func (o Options) tpccFullWorkload(nodes, crossPct int) workload.Workload {
 	cfg := o.tpccCfg(nodes * o.workers())
 	cfg.SetFullMix()

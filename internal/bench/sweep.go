@@ -112,6 +112,9 @@ type BatchingPoint struct {
 // snapshot-read path off (every read-only transaction routes to the
 // master) versus on (served from the generating node's fence snapshot).
 type SnapshotPoint struct {
+	// Workload is "tpcc-full" (the mixed five-transaction run) or
+	// "order-status" (the pure by-name read-only point).
+	Workload       string  `json:"workload,omitempty"`
 	Mode           string  `json:"mode"` // "master-routed" or "snapshot-reads"
 	CrossPct       int     `json:"cross_pct"`
 	Committed      int64   `json:"committed"`
@@ -258,24 +261,35 @@ func (o Options) runSnapshotComparison(nodes int) []SnapshotPoint {
 		name string
 		on   bool
 	}{{"master-routed", false}, {"snapshot-reads", true}}
+	wls := []struct {
+		name string
+		mk   func(nodes, crossPct int) workload.Workload
+	}{
+		{"tpcc-full", o.tpccFullWorkload},
+		// The by-name read-only point: pure cross-partition Order-Status
+		// resolved through the customer_by_name secondary index.
+		{"order-status", o.tpccOrderStatusWorkload},
+	}
 	var out []SnapshotPoint
-	for _, crossPct := range []int{10, 50} {
-		for _, m := range modes {
-			st := runSim(o.duration(), o.star(nodes, o.tpccFullWorkload(nodes, crossPct),
-				func(c *core.Config) { c.SnapshotReads = m.on }))
-			pt := SnapshotPoint{
-				Mode: m.name, CrossPct: crossPct,
-				Committed:      st.Committed,
-				ThroughputTxnS: st.Throughput(),
-				AbortRate:      st.AbortRate(),
-				SnapshotReads:  int64(st.Extra["snapshot_reads"]),
-				Deferred:       int64(st.Extra["deferred"]),
-				P50Ms:          ms(st.Latency.Quantile(.5)),
-				P99Ms:          ms(st.Latency.Quantile(.99)),
+	for _, wl := range wls {
+		for _, crossPct := range []int{10, 50} {
+			for _, m := range modes {
+				st := runSim(o.duration(), o.star(nodes, wl.mk(nodes, crossPct),
+					func(c *core.Config) { c.SnapshotReads = m.on }))
+				pt := SnapshotPoint{
+					Workload: wl.name, Mode: m.name, CrossPct: crossPct,
+					Committed:      st.Committed,
+					ThroughputTxnS: st.Throughput(),
+					AbortRate:      st.AbortRate(),
+					SnapshotReads:  int64(st.Extra["snapshot_reads"]),
+					Deferred:       int64(st.Extra["deferred"]),
+					P50Ms:          ms(st.Latency.Quantile(.5)),
+					P99Ms:          ms(st.Latency.Quantile(.99)),
+				}
+				out = append(out, pt)
+				o.printf("# snapshot %-12s %-14s P=%-3d  %8.0f txn/s  %7d snapshot reads  %7d deferred\n",
+					wl.name, m.name, crossPct, pt.ThroughputTxnS, pt.SnapshotReads, pt.Deferred)
 			}
-			out = append(out, pt)
-			o.printf("# snapshot %-14s P=%-3d  %8.0f txn/s  %7d snapshot reads  %7d deferred\n",
-				m.name, crossPct, pt.ThroughputTxnS, pt.SnapshotReads, pt.Deferred)
 		}
 	}
 	return out

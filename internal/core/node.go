@@ -542,9 +542,16 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	if part == nil {
 		return
 	}
+	epoch := n.epoch.Load()
 	for i, key := range m.Keys {
-		rec := part.GetOrCreate(key)
-		rec.ApplyValueThomas(n.epoch.Load(), m.TIDs[i], m.Rows[i], false)
+		rec := part.GetOrCreate(key, epoch)
+		_, _, inserted := rec.ApplyValueThomas(epoch, m.TIDs[i], m.Rows[i], false)
+		if inserted {
+			// Snapshot catch-up restores secondary-index entries along
+			// with the rows they cover (the rejoin wildcard revert
+			// tombstoned the victim's own uncommitted entries).
+			tbl.NoteInserted(m.Part, key, m.Rows[i], epoch)
+		}
 	}
 	n.snapshotsPending--
 	if n.snapshotsPending == 0 {

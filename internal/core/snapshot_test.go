@@ -19,6 +19,7 @@ func fullMixTPCC(nparts, crossSL int) *tpcc.Workload {
 		CustomersPerDistrict: 100,
 		Items:                1000,
 		CrossPctStockLevel:   crossSL,
+		CrossPctOrderStatus:  crossSL,
 	}
 	cfg.SetFullMix()
 	return tpcc.New(cfg)
@@ -94,6 +95,62 @@ func TestSnapshotReadsServeStockLevelWithoutMasterRouting(t *testing.T) {
 	// Read-only workload: both modes leave the loaded state untouched.
 	if !reflect.DeepEqual(on.Checksums, off.Checksums) {
 		t.Fatal("snapshot and master-routed runs diverged on read-only state")
+	}
+}
+
+// TestSnapshotReadsServeOrderStatusWithoutMasterRouting is the same
+// transport-accounting pin for the new by-name read-only class: a pure
+// cross-partition Order-Status workload (60% by last name, resolved
+// through the customer_by_name index at execution time) with
+// SnapshotReads on completes every transaction with zero master-routed
+// Data messages; with SnapshotReads off every one of them defers to the
+// master. Both runs commit everything and leave the read-only state
+// untouched.
+func TestSnapshotReadsServeOrderStatusWithoutMasterRouting(t *testing.T) {
+	const (
+		nodes, workers = 2, 2
+		txns           = 30
+		nparts         = nodes * workers
+	)
+	mk := func(snapshot bool) (ScriptResult, int64, map[string]float64) {
+		s := rt.NewSim()
+		defer s.Stop()
+		wcfg := tpcc.Config{
+			Warehouses:           nparts,
+			Districts:            2,
+			CustomersPerDistrict: 100,
+			Items:                1000,
+			OrderStatusPct:       100, // Order-Status only...
+			CrossPctOrderStatus:  100, // ...always about a remote customer
+		}
+		res, e := runScriptedResult(t, Config{
+			RT: s, Nodes: nodes, WorkersPerNode: workers,
+			Workload: tpcc.New(wcfg), Seed: 9, SnapshotReads: snapshot,
+		}, txns)
+		return res, e.Net().Messages(transport.Data), e.Stats().Extra
+	}
+
+	on, onData, onExtra := mk(true)
+	off, offData, offExtra := mk(false)
+
+	want := int64(nparts * txns)
+	if on.Committed != want || off.Committed != want {
+		t.Fatalf("committed on=%d off=%d, want %d each", on.Committed, off.Committed, want)
+	}
+	if onData != 0 {
+		t.Fatalf("SnapshotReads on: %d master-routed Data messages, want 0", onData)
+	}
+	if onExtra["snapshot_reads"] != float64(want) || onExtra["deferred"] != 0 {
+		t.Fatalf("SnapshotReads on: snapshot_reads=%v deferred=%v, want %d/0",
+			onExtra["snapshot_reads"], onExtra["deferred"], want)
+	}
+	if offData == 0 || offExtra["deferred"] != float64(want) || offExtra["snapshot_reads"] != 0 {
+		t.Fatalf("SnapshotReads off: data=%d deferred=%v snapshot_reads=%v, want all master-routed",
+			offData, offExtra["deferred"], offExtra["snapshot_reads"])
+	}
+	// Read-only workload: both modes leave the loaded state untouched.
+	if !reflect.DeepEqual(on.Checksums, off.Checksums) {
+		t.Fatal("snapshot and master-routed order-status runs diverged on read-only state")
 	}
 }
 

@@ -59,6 +59,9 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		msgDefer{Req: txn.NewRequest(yg.Cross(2), 777)},
 		msgDefer{Req: txn.NewRequest(&tpcc.DeliveryTxn{W: tw, WID: 1, Carrier: 3, DeliveryD: 99}, 555)},
 		msgDefer{Req: txn.NewRequest(&tpcc.StockLevelTxn{W: tw, WID: 0, DID: 1, Threshold: 15, Remote: []int{2}}, 556)},
+		msgDefer{Req: txn.NewRequest(&tpcc.OrderStatusTxn{W: tw, WID: 1, CWID: 2, CDID: 1, CID: 7}, 557)},
+		msgDefer{Req: txn.NewRequest(&tpcc.OrderStatusTxn{W: tw, WID: 0, CWID: 3, CDID: 0, CID: -1,
+			ByName: true, CLast: []byte("BARBARBAR")}, 558)},
 		msgReplAck{Worker: 3, Seq: 41},
 		msgRevert{Epoch: 8, Failed: []int{1}, NewMasters: []int32{0, 0, 2, 3}},
 		msgSnapshotReq{From: 2, Part: 3},
@@ -159,6 +162,53 @@ func TestModelledSizesTrackEncoding(t *testing.T) {
 			snap.Rows = append(snap.Rows, row)
 		}
 		check("snapshot", snap)
+	}
+}
+
+// TestRequestGenAtRebasedAcrossClockDomains pins the cross-process
+// latency-stamp fix: with clocked codecs on both sides, a request's
+// GenAt is re-based from the sender's clock domain into the receiver's —
+// the request keeps its age instead of carrying a raw foreign timestamp
+// (multi-process runtimes have unrelated clock origins). Unclocked
+// codecs (scripted runs, whose GenAt is a deterministic ordering stamp)
+// pass GenAt through verbatim.
+func TestRequestGenAtRebasedAcrossClockDomains(t *testing.T) {
+	tw, yw := testWorkloads()
+	tg := tw.NewGen(5)
+	req := txn.NewRequest(tg.Cross(1), 0)
+
+	// Sender: its process clock reads 1000 and the request is 400 old.
+	sender := testCodec(tw, yw)
+	sender.SetClock(func() int64 { return 1000 })
+	req.GenAt = 600
+	enc, err := sender.AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Receiver: a different clock origin (reads 5000 at decode).
+	receiver := testCodec(tw, yw)
+	receiver.SetClock(func() int64 { return 5000 })
+	dec, _, err := receiver.DecodeRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GenAt != 5000-400 {
+		t.Fatalf("re-based GenAt = %d, want %d (age preserved)", dec.GenAt, 5000-400)
+	}
+
+	// Unclocked codecs: verbatim (scripted determinism relies on this).
+	plain := testCodec(tw, yw)
+	enc2, err := plain.AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, _, err := plain.DecodeRequest(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.GenAt != 600 {
+		t.Fatalf("unclocked GenAt = %d, want 600 verbatim", dec2.GenAt)
 	}
 }
 

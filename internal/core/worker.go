@@ -350,7 +350,7 @@ func (w *worker) execSnapshot(req *txn.Request, epoch uint64) {
 // acknowledges the writes (§6.1 & Fig 15a).
 func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
 	e := w.n.e
-	if !occ.LockAndValidate(w.n.db, &w.set) {
+	if !occ.LockAndValidate(w.n.db, &w.set, epoch) {
 		return false
 	}
 	tidv := w.tid.Next(epoch, w.set.MaxReadTID())
@@ -512,6 +512,22 @@ func (c *localCtx) Insert(t storage.TableID, part int, key storage.Key, row []by
 	c.w.set.AddInsert(t, part, key, row)
 }
 
+// LookupIndex resolves a secondary-index lookup against current state.
+// Index entries are immutable for the workloads' lookup targets
+// (customer names, order→customer bindings change only by insert), so
+// no read-set entry is collected; the record reads that follow are
+// validated as usual.
+func (c *localCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.w.n.db.Table(t).IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
+}
+
+// LookupIndexTail implements txn.IndexTailReader: bounded newest-first.
+func (c *localCtx) LookupIndexTail(t storage.TableID, part, idx int, val []byte, max int, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.w.n.db.Table(t).IndexLookupTail(part, idx, val, storage.IndexAllEpochs, max, dst)
+}
+
 // snapshotCtx executes read-only transactions against the node's last
 // epoch fence via Record.ReadStableAtFenceAppend: records written in
 // the in-flight epoch yield their pre-epoch (revert-snapshot) version,
@@ -549,6 +565,22 @@ func (c *snapshotCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte
 		return nil, false
 	}
 	return val, true
+}
+
+// LookupIndex resolves a secondary-index lookup at the last epoch fence:
+// entries inserted in the in-flight epoch stay hidden, mirroring the
+// fence-pinned row reads, so index-driven navigation (Order-Status's
+// customer-by-name and last-order lookups) observes the same consistent
+// snapshot as the rows it leads to.
+func (c *snapshotCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.w.n.db.Table(t).IndexLookup(part, idx, val, c.epoch, dst)
+}
+
+// LookupIndexTail implements txn.IndexTailReader at the fence epoch.
+func (c *snapshotCtx) LookupIndexTail(t storage.TableID, part, idx int, val []byte, max int, dst []storage.Key) []storage.Key {
+	c.reads++
+	return c.w.n.db.Table(t).IndexLookupTail(part, idx, val, c.epoch, max, dst)
 }
 
 func (c *snapshotCtx) Write(storage.TableID, int, storage.Key, ...storage.FieldOp) {

@@ -40,8 +40,9 @@ func (g *TIDGen) Next(epoch, maxSeen uint64) uint64 {
 // LockAndValidate resolves and locks the write set in global order, then
 // validates the read set (unchanged TIDs, no foreign locks). On failure
 // everything is unlocked and false is returned; the transaction must
-// abort and may retry.
-func LockAndValidate(db *storage.DB, set *txn.RWSet) bool {
+// abort and may retry. epoch buckets any insert placeholders created
+// here for revert.
+func LockAndValidate(db *storage.DB, set *txn.RWSet, epoch uint64) bool {
 	set.SortWrites()
 	locked := 0
 	abort := func() bool {
@@ -56,7 +57,7 @@ func LockAndValidate(db *storage.DB, set *txn.RWSet) bool {
 		w := &set.Writes[i]
 		tbl := db.Table(w.Table)
 		if w.Insert {
-			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key, epoch)
 		} else if w.Rec == nil {
 			w.Rec = tbl.Get(w.Part, w.Key)
 			if w.Rec == nil {
@@ -109,6 +110,7 @@ func ApplyWrites(db *storage.DB, set *txn.RWSet, epoch, tid uint64, collectRows 
 		var first bool
 		if w.Insert {
 			first = w.Rec.WriteLocked(epoch, tid, w.Row)
+			tbl.NoteInserted(w.Part, w.Key, w.Row, epoch)
 		} else {
 			var err error
 			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
@@ -117,7 +119,7 @@ func ApplyWrites(db *storage.DB, set *txn.RWSet, epoch, tid uint64, collectRows 
 			}
 		}
 		if first {
-			part.MarkDirty(w.Rec)
+			part.MarkDirty(w.Rec, epoch)
 		}
 		if collectRows {
 			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
@@ -137,7 +139,7 @@ func ReleaseLocks(set *txn.RWSet) {
 // Commit is the common fast path: lock+validate, assign a TID, apply,
 // release. It returns the TID and whether the transaction committed.
 func Commit(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
-	if !LockAndValidate(db, set) {
+	if !LockAndValidate(db, set, epoch) {
 		return 0, false
 	}
 	tid := gen.Next(epoch, set.MaxReadTID())
@@ -152,7 +154,7 @@ func Commit(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRo
 // Write locks are still taken in global order; only the read-set check
 // is skipped, so lost-update anomalies become possible by design.
 func CommitReadCommitted(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, collectRows bool) (uint64, bool) {
-	if !lockWrites(db, set) {
+	if !lockWrites(db, set, epoch) {
 		return 0, false
 	}
 	tid := gen.Next(epoch, set.MaxReadTID())
@@ -162,7 +164,7 @@ func CommitReadCommitted(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDG
 }
 
 // lockWrites is LockAndValidate without the read-validation step.
-func lockWrites(db *storage.DB, set *txn.RWSet) bool {
+func lockWrites(db *storage.DB, set *txn.RWSet, epoch uint64) bool {
 	set.SortWrites()
 	locked := 0
 	abort := func() bool {
@@ -177,7 +179,7 @@ func lockWrites(db *storage.DB, set *txn.RWSet) bool {
 		w := &set.Writes[i]
 		tbl := db.Table(w.Table)
 		if w.Insert {
-			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key, epoch)
 		} else if w.Rec == nil {
 			w.Rec = tbl.Get(w.Part, w.Key)
 			if w.Rec == nil {
@@ -212,7 +214,7 @@ func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, col
 		w := &set.Writes[i]
 		tbl := db.Table(w.Table)
 		if w.Insert {
-			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key)
+			w.Rec = tbl.Partition(w.Part).GetOrCreate(w.Key, epoch)
 			if !storage.TIDAbsent(w.Rec.TID()) {
 				return 0, false // uniqueness violation
 			}
@@ -248,12 +250,15 @@ func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, col
 			}
 		}
 		if first {
-			part.MarkDirty(w.Rec)
+			part.MarkDirty(w.Rec, epoch)
 		}
 		if collectRows {
 			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
 		}
 		w.Rec.Unlock()
+		if w.Insert {
+			tbl.NoteInserted(w.Part, w.Key, w.Row, epoch)
+		}
 	}
 	return tid, true
 }

@@ -161,7 +161,7 @@ func TestHeldLocksForSyncReplication(t *testing.T) {
 	var g TIDGen
 	var set txn.RWSet
 	set.AddWrite(tbl.ID(), 0, storage.K1(0), storage.AddInt64Op(0, 7))
-	if !LockAndValidate(db, &set) {
+	if !LockAndValidate(db, &set, 2) {
 		t.Fatal("lock failed")
 	}
 	tid := g.Next(2, set.MaxReadTID())

@@ -48,14 +48,22 @@ func (e *Entry) Size() int {
 // When wantRow is true it returns a copy of the record's value after
 // application (the §5 op→value transformation used before disk logging);
 // for value entries the entry's own Row serves and nil is returned.
+// Entries that create a record (insert replication, placeholder fills)
+// also maintain the table's secondary indexes, so replica indexes
+// converge with replica rows.
 func Apply(db *storage.DB, epoch uint64, e *Entry, wantRow bool) ([]byte, error) {
 	tbl := db.Table(e.Table)
 	part := tbl.Partition(int(e.Part))
 	if part == nil {
 		return nil, fmt.Errorf("replication: partition %d not held", e.Part)
 	}
-	rec := part.GetOrCreate(e.Key)
+	rec := part.GetOrCreate(e.Key, epoch)
 	if e.IsOp() {
+		// Op entries only ship for pre-existing rows (inserts have no
+		// delta form), but a placeholder created above starts absent and
+		// ApplyOpsLocked materialises it — detect the transition so the
+		// indexes stay complete even on that defensive path.
+		wasAbsent := storage.TIDAbsent(rec.TID())
 		rec.Lock()
 		first, err := rec.ApplyOpsLocked(tbl.Schema(), epoch, e.TID, e.Ops)
 		if err != nil {
@@ -63,18 +71,27 @@ func Apply(db *storage.DB, epoch uint64, e *Entry, wantRow bool) ([]byte, error)
 			return nil, err
 		}
 		var row []byte
-		if wantRow {
+		if wantRow || (wasAbsent && tbl.NumIndexes() > 0) {
 			row = append(row, rec.ValueLocked()...)
 		}
 		rec.UnlockWithTID(storage.TIDClean(e.TID))
 		if first {
-			part.MarkDirty(rec)
+			part.MarkDirty(rec, epoch)
+		}
+		if wasAbsent {
+			tbl.NoteInserted(int(e.Part), e.Key, row, epoch)
+		}
+		if !wantRow {
+			row = nil
 		}
 		return row, nil
 	}
-	_, first := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
+	_, first, inserted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
 	if first {
-		part.MarkDirty(rec)
+		part.MarkDirty(rec, epoch)
+	}
+	if inserted {
+		tbl.NoteInserted(int(e.Part), e.Key, e.Row, epoch)
 	}
 	return nil, nil
 }

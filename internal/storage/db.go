@@ -43,7 +43,7 @@ func (db *DB) SetHolds(p int, h bool) {
 			continue
 		}
 		if h && t.parts[p] == nil {
-			t.parts[p] = newPartition()
+			t.parts[p] = t.newPart()
 		}
 	}
 }
@@ -61,12 +61,12 @@ func (db *DB) AddTable(name string, schema *Schema, replicated bool) *Table {
 		replicated: replicated,
 	}
 	if replicated {
-		t.parts = []*Partition{newPartition()}
+		t.parts = []*Partition{t.newPart()}
 	} else {
 		t.parts = make([]*Partition, db.nparts)
 		for p := 0; p < db.nparts; p++ {
 			if db.holds[p] {
-				t.parts[p] = newPartition()
+				t.parts[p] = t.newPart()
 			}
 		}
 	}
@@ -122,10 +122,13 @@ func (db *DB) CommitEpoch() {
 	}
 }
 
-// PartitionChecksum folds every present record of partition p (across all
-// partitioned tables) into an order-independent checksum. Replicas
-// holding the same partition must agree after a replication fence; tests
-// use this to check consistency.
+// PartitionChecksum folds every present record of partition p (across
+// all partitioned tables) AND every live secondary-index entry into an
+// order-independent checksum. Replicas holding the same partition must
+// agree after a replication fence; tests use this to check consistency,
+// and including the index entries makes every convergence check (the
+// scripted determinism pins, CheckReplicaConsistency, the kill/restart
+// Probe comparison) also assert that secondary indexes converged.
 func (db *DB) PartitionChecksum(p int) uint64 {
 	var sum uint64
 	for _, t := range db.tables {
@@ -142,6 +145,13 @@ func (db *DB) PartitionChecksum(p int) uint64 {
 			sum += h // addition is order-independent
 			return true
 		})
+		for i := range t.specs {
+			ixid := tid<<8 | uint64(i) | 1<<63 // distinct domain from rows
+			part.oidx[i].Range(func(val []byte, pk Key) bool {
+				sum += fnv64(ixid, pk, 0, val)
+				return true
+			})
+		}
 	}
 	return sum
 }

@@ -9,11 +9,11 @@ import (
 // TestIndexGrowKeepsAllKeys drives the index through many doublings and
 // verifies every inserted key stays reachable.
 func TestIndexGrowKeepsAllKeys(t *testing.T) {
-	p := newPartition()
+	p := newPartition(0)
 	const n = 10_000
 	recs := make([]*Record, n)
 	for i := 0; i < n; i++ {
-		recs[i] = p.GetOrCreate(K2(uint64(i)*7, uint64(i)))
+		recs[i] = p.GetOrCreate(K2(uint64(i)*7, uint64(i)), 2)
 	}
 	for i := 0; i < n; i++ {
 		if got := p.Get(K2(uint64(i)*7, uint64(i))); got != recs[i] {
@@ -29,7 +29,7 @@ func TestIndexGrowKeepsAllKeys(t *testing.T) {
 // one writer inserting (triggering copy-on-grow) while readers probe
 // latch-free. Run with -race.
 func TestIndexConcurrentReadersAndInserter(t *testing.T) {
-	p := newPartition()
+	p := newPartition(0)
 	const n = 20_000
 	var published atomic.Int64
 	published.Store(-1) // nothing inserted yet
@@ -38,7 +38,7 @@ func TestIndexConcurrentReadersAndInserter(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			p.GetOrCreate(K1(uint64(i)))
+			p.GetOrCreate(K1(uint64(i)), 2)
 			published.Store(int64(i))
 		}
 	}()
@@ -68,7 +68,7 @@ func TestIndexConcurrentReadersAndInserter(t *testing.T) {
 // TestIndexConcurrentGetOrCreate checks duplicate suppression when two
 // goroutines race to create the same keys.
 func TestIndexConcurrentGetOrCreate(t *testing.T) {
-	p := newPartition()
+	p := newPartition(0)
 	const n = 5_000
 	out := [2][]*Record{}
 	var wg sync.WaitGroup
@@ -78,7 +78,7 @@ func TestIndexConcurrentGetOrCreate(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < n; i++ {
-				out[g][i] = p.GetOrCreate(K1(uint64(i)))
+				out[g][i] = p.GetOrCreate(K1(uint64(i)), 2)
 			}
 		}(g)
 	}
@@ -167,9 +167,9 @@ func TestIndexGetZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
-	p := newPartition()
+	p := newPartition(0)
 	for i := uint64(0); i < 1000; i++ {
-		p.GetOrCreate(K1(i))
+		p.GetOrCreate(K1(i), 2)
 	}
 	var sink *Record
 	allocs := testing.AllocsPerRun(10_000, func() {
@@ -184,10 +184,10 @@ func TestIndexGetZeroAllocs(t *testing.T) {
 }
 
 func BenchmarkPartitionGet(b *testing.B) {
-	p := newPartition()
+	p := newPartition(0)
 	const n = 100_000
 	for i := uint64(0); i < n; i++ {
-		p.GetOrCreate(K1(i))
+		p.GetOrCreate(K1(i), 2)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

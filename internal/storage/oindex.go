@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// OrderedIndex is a per-partition secondary index: an ordered set of
+// (value, primary key) entries implemented as a skiplist with the same
+// memory-model discipline as the primary hash index (index.go):
+//
+//   - Reads are latch-free — a lookup is a chain of atomic pointer loads
+//     plus one atomic state load per candidate entry. No reader ever
+//     takes a mutex or a record latch.
+//
+//   - Writers (inserts, epoch reverts, commit bookkeeping) serialize on
+//     the index's own mutex. Inserts publish a fully initialised node
+//     with one atomic store per level, bottom-up, so a reader that
+//     observes a node observes its immutable val/pk and a coherent next
+//     chain. Nodes are never unlinked; an entry whose insert is rolled
+//     back by an epoch revert is tombstoned in place (its state word
+//     gains the dead bit) and may be revived by a later re-insert.
+//
+//   - Tower heights derive from a pure hash of (val, pk), not an RNG, so
+//     every replica builds byte-identical structures from the same
+//     inserts — replica convergence checks can fold index contents into
+//     partition checksums.
+//
+// Epoch visibility: each entry carries the epoch of the insert that
+// created (or revived) it. A fence-snapshot reader at epoch E skips
+// entries inserted at E or later — exactly mirroring how
+// Record.ReadStableAtFenceAppend hides in-flight row versions — so the
+// read-only snapshot path sees a transactionally consistent index.
+// Current-mode readers pass IndexAllEpochs and see every live entry.
+//
+// Entries point at primary keys, not records, and are maintained only on
+// insert (our schemas never update indexed fields). A record deleted and
+// later re-inserted under the same indexed value can leave a live entry
+// spanning the gap; readers that need exactness re-check record presence
+// through the primary index, which every workload transaction does.
+
+// IndexAllEpochs makes a lookup return every live entry regardless of
+// its insert epoch (the current-state read mode).
+const IndexAllEpochs = ^uint64(0)
+
+// oiDead marks a tombstoned entry in the state word; the remaining bits
+// hold the insert epoch.
+const oiDead = uint64(1) << 63
+
+const oiMaxHeight = 16
+
+// oiNode is one skiplist entry. val and pk are immutable after
+// publication; state is atomic (insert epoch + dead bit); next pointers
+// are written only under the index mutex and read atomically.
+type oiNode struct {
+	val   []byte
+	pk    Key
+	state atomic.Uint64
+	next  []atomic.Pointer[oiNode]
+}
+
+// before reports whether n sorts strictly before (val, pk).
+func (n *oiNode) before(val []byte, pk Key) bool {
+	switch bytes.Compare(n.val, val) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	if n.pk.Hi != pk.Hi {
+		return n.pk.Hi < pk.Hi
+	}
+	return n.pk.Lo < pk.Lo
+}
+
+// oiPendBucket tracks the entries inserted while an epoch is still
+// revertable, bucketed so the fence commit is a constant-time drop.
+type oiPendBucket struct {
+	epoch uint64
+	nodes []*oiNode
+}
+
+// OrderedIndex is one partition's instance of a declared secondary
+// index. See the package comment above for the concurrency contract.
+type OrderedIndex struct {
+	head *oiNode
+
+	mu   sync.Mutex // serializes inserts, reverts and commit bookkeeping
+	pend []oiPendBucket
+}
+
+func newOrderedIndex() *OrderedIndex {
+	return &OrderedIndex{head: &oiNode{next: make([]atomic.Pointer[oiNode], oiMaxHeight)}}
+}
+
+// oiHeight derives a deterministic tower height from the entry itself
+// (geometric p=1/2), so replicas build identical structures.
+func oiHeight(val []byte, pk Key) int {
+	h := hashKey(pk)
+	for _, b := range val {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	lvl := 1
+	for h&1 == 1 && lvl < oiMaxHeight {
+		lvl++
+		h >>= 1
+	}
+	return lvl
+}
+
+// findPreds fills preds with the rightmost node before (val, pk) at each
+// level. Caller may hold the mutex (writers) or not (the read path uses
+// only level-0 continuation).
+func (ix *OrderedIndex) findPreds(val []byte, pk Key, preds *[oiMaxHeight]*oiNode) {
+	x := ix.head
+	for lvl := oiMaxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt != nil && nxt.before(val, pk) {
+				x = nxt
+				continue
+			}
+			break
+		}
+		preds[lvl] = x
+	}
+}
+
+// Insert publishes (val, pk) under epoch. A live duplicate is a no-op
+// (replication replay, snapshot catch-up); a tombstoned duplicate is
+// revived under the new epoch. The value bytes are copied.
+func (ix *OrderedIndex) Insert(val []byte, pk Key, epoch uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var preds [oiMaxHeight]*oiNode
+	ix.findPreds(val, pk, &preds)
+	if n := preds[0].next[0].Load(); n != nil && n.pk == pk && bytes.Equal(n.val, val) {
+		if n.state.Load()&oiDead != 0 {
+			n.state.Store(epoch &^ oiDead)
+			ix.logPend(n, epoch)
+		}
+		return
+	}
+	h := oiHeight(val, pk)
+	n := &oiNode{
+		val:  append([]byte(nil), val...),
+		pk:   pk,
+		next: make([]atomic.Pointer[oiNode], h),
+	}
+	n.state.Store(epoch &^ oiDead)
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl].Store(preds[lvl].next[lvl].Load())
+	}
+	// Publish bottom-up: after the level-0 store the node is reachable
+	// and fully initialised; higher levels only add shortcuts.
+	for lvl := 0; lvl < h; lvl++ {
+		preds[lvl].next[lvl].Store(n)
+	}
+	ix.logPend(n, epoch)
+}
+
+// logPend registers a revertable insert in its epoch's bucket (scanned
+// newest-first: inserts target the newest epoch). Caller holds the
+// mutex.
+func (ix *OrderedIndex) logPend(n *oiNode, epoch uint64) {
+	for i := len(ix.pend) - 1; i >= 0; i-- {
+		if ix.pend[i].epoch == epoch {
+			ix.pend[i].nodes = append(ix.pend[i].nodes, n)
+			return
+		}
+	}
+	ix.pend = append(ix.pend, oiPendBucket{epoch: epoch, nodes: []*oiNode{n}})
+}
+
+// LookupAppend appends every primary key stored under val and visible at
+// atEpoch to dst, in ascending key order. atEpoch == IndexAllEpochs sees
+// all live entries; a fence-snapshot reader passes its in-flight epoch
+// and entries inserted at or after it stay hidden. Latch-free.
+func (ix *OrderedIndex) LookupAppend(val []byte, atEpoch uint64, dst []Key) []Key {
+	x := ix.head
+	for lvl := oiMaxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt != nil && nxt.before(val, Key{}) {
+				x = nxt
+				continue
+			}
+			break
+		}
+	}
+	for n := x.next[0].Load(); n != nil && bytes.Equal(n.val, val); n = n.next[0].Load() {
+		s := n.state.Load()
+		if s&oiDead != 0 || s&^oiDead >= atEpoch {
+			continue
+		}
+		dst = append(dst, n.pk)
+	}
+	return dst
+}
+
+// Range calls fn for every live entry in (val, pk) order; fn must not
+// call back into the index. Latch-free and fuzzy like Partition.Range —
+// quiesced callers (checksums, probes) see a stable ordered image.
+func (ix *OrderedIndex) Range(fn func(val []byte, pk Key) bool) {
+	for n := ix.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if n.state.Load()&oiDead != 0 {
+			continue
+		}
+		if !fn(n.val, n.pk) {
+			return
+		}
+	}
+}
+
+// Len counts live entries (tests).
+func (ix *OrderedIndex) Len() int {
+	n := 0
+	ix.Range(func([]byte, Key) bool { n++; return true })
+	return n
+}
+
+// revertEpoch tombstones the entries inserted in epoch (0 = wildcard:
+// every pending entry, the rejoin cleanup) and drops their bucket.
+// Buckets for other epochs are kept revertable.
+func (ix *OrderedIndex) revertEpoch(epoch uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if epoch == 0 {
+		for i := range ix.pend {
+			for _, n := range ix.pend[i].nodes {
+				n.state.Store(n.state.Load() | oiDead)
+			}
+		}
+		ix.pend = nil
+		return
+	}
+	keep := ix.pend[:0]
+	for i := range ix.pend {
+		b := ix.pend[i]
+		if b.epoch != epoch {
+			keep = append(keep, b)
+			continue
+		}
+		for _, n := range b.nodes {
+			if s := n.state.Load(); s&^oiDead == epoch {
+				n.state.Store(s | oiDead)
+			}
+		}
+	}
+	ix.pend = keep
+}
+
+// commitEpochBefore drops the pending buckets of epochs before `epoch` —
+// a constant-time bucket drop per committed epoch, no entry is touched.
+func (ix *OrderedIndex) commitEpochBefore(epoch uint64) {
+	ix.mu.Lock()
+	keep := ix.pend[:0]
+	for i := range ix.pend {
+		if ix.pend[i].epoch >= epoch {
+			keep = append(keep, ix.pend[i])
+		}
+	}
+	ix.pend = keep
+	ix.mu.Unlock()
+}
+
+// commitAll drops every pending bucket.
+func (ix *OrderedIndex) commitAll() {
+	ix.mu.Lock()
+	ix.pend = nil
+	ix.mu.Unlock()
+}
+
+// oiMaxTail caps LookupTailAppend's bound (the ring lives on the stack).
+const oiMaxTail = 64
+
+// LookupTailAppend appends the LAST (greatest-key) visible entries for
+// val — at most max of them, capped at 64 — to dst in ascending order.
+// The common case (the newest entry is live and visible, max == 1) is a
+// single O(log n) descent; only when that entry is hidden, or more than
+// one is wanted, does it fall back to a forward walk that keeps the
+// last max visible entries. Latch-free. Order-Status uses this for
+// "the customer's most recent order" so the query cost stays bounded as
+// the order history grows.
+func (ix *OrderedIndex) LookupTailAppend(val []byte, atEpoch uint64, max int, dst []Key) []Key {
+	if max <= 0 {
+		return dst
+	}
+	if max > oiMaxTail {
+		max = oiMaxTail
+	}
+	var preds [oiMaxHeight]*oiNode
+	ix.findPreds(val, Key{Hi: ^uint64(0), Lo: ^uint64(0)}, &preds)
+	last := preds[0]
+	if last == ix.head || !bytes.Equal(last.val, val) {
+		return dst
+	}
+	if max == 1 {
+		if s := last.state.Load(); s&oiDead == 0 && s&^oiDead < atEpoch {
+			return append(dst, last.pk)
+		}
+		// Newest entry hidden: fall through to the bounded walk.
+	}
+	// Forward walk from the first entry of val, keeping the last max
+	// visible entries in a stack ring.
+	var ring [oiMaxTail]Key
+	n, seen := 0, 0
+	ix.findPreds(val, Key{}, &preds)
+	for x := preds[0].next[0].Load(); x != nil && bytes.Equal(x.val, val); x = x.next[0].Load() {
+		s := x.state.Load()
+		if s&oiDead != 0 || s&^oiDead >= atEpoch {
+			continue
+		}
+		ring[n%max] = x.pk
+		n = (n + 1) % max
+		seen++
+	}
+	if seen > max {
+		seen = max
+	}
+	start := ((n-seen)%max + max) % max
+	for i := 0; i < seen; i++ {
+		dst = append(dst, ring[(start+i)%max])
+	}
+	return dst
+}

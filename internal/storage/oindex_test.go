@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func oiVal(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// TestOrderedIndexLookupOrdering pins the ascending (val, pk) contract:
+// matches come back in primary-key order regardless of insert order, and
+// values do not bleed into each other (including prefix values).
+func TestOrderedIndexLookupOrdering(t *testing.T) {
+	ix := newOrderedIndex()
+	ix.Insert([]byte("AB"), K1(30), 2)
+	ix.Insert([]byte("ABC"), K1(1), 2)
+	ix.Insert([]byte("AB"), K1(10), 2)
+	ix.Insert([]byte("AB"), K2(1, 0), 2)
+	ix.Insert([]byte("A"), K1(99), 2)
+
+	got := ix.LookupAppend([]byte("AB"), IndexAllEpochs, nil)
+	want := []Key{K1(10), K1(30), K2(1, 0)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lookup AB = %v, want %v", got, want)
+	}
+	if got := ix.LookupAppend([]byte("ABC"), IndexAllEpochs, nil); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("lookup ABC = %v", got)
+	}
+	if got := ix.LookupAppend([]byte("ZZ"), IndexAllEpochs, nil); len(got) != 0 {
+		t.Fatalf("lookup miss = %v", got)
+	}
+	// Duplicate insert is idempotent.
+	ix.Insert([]byte("AB"), K1(10), 3)
+	if got := ix.LookupAppend([]byte("AB"), IndexAllEpochs, nil); len(got) != 3 {
+		t.Fatalf("duplicate insert changed contents: %v", got)
+	}
+}
+
+// TestOrderedIndexEpochVisibility pins the fence-snapshot rule: a reader
+// at epoch E does not see entries inserted at E or later, and sees them
+// once the fence passes (reads at E+1).
+func TestOrderedIndexEpochVisibility(t *testing.T) {
+	ix := newOrderedIndex()
+	ix.Insert(oiVal(7), K1(1), 2)
+	ix.Insert(oiVal(7), K1(2), 3) // in-flight at epoch 3
+
+	if got := ix.LookupAppend(oiVal(7), 3, nil); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("epoch-3 fence read = %v, want only the epoch-2 entry", got)
+	}
+	if got := ix.LookupAppend(oiVal(7), 4, nil); len(got) != 2 {
+		t.Fatalf("epoch-4 fence read = %v, want both", got)
+	}
+	if got := ix.LookupAppend(oiVal(7), IndexAllEpochs, nil); len(got) != 2 {
+		t.Fatalf("current read = %v, want both", got)
+	}
+}
+
+// TestOrderedIndexRevertAndRevive pins the tombstone cycle: a reverted
+// epoch's entries disappear (wildcard 0 reverts every pending entry), a
+// committed epoch's entries are immune to later reverts, and a revived
+// entry is visible again under its new epoch.
+func TestOrderedIndexRevertAndRevive(t *testing.T) {
+	ix := newOrderedIndex()
+	ix.Insert(oiVal(1), K1(1), 2)
+	ix.commitEpochBefore(3) // epoch 2 committed
+	ix.Insert(oiVal(1), K1(2), 3)
+	ix.Insert(oiVal(1), K1(3), 4) // early-arriving next epoch
+
+	ix.revertEpoch(3)
+	got := ix.LookupAppend(oiVal(1), IndexAllEpochs, nil)
+	if !reflect.DeepEqual(got, []Key{K1(1), K1(3)}) {
+		t.Fatalf("after revert(3): %v, want the committed and epoch-4 entries", got)
+	}
+	// Epoch 4's bucket survived the epoch-3 revert and stays revertable.
+	ix.revertEpoch(4)
+	if got := ix.LookupAppend(oiVal(1), IndexAllEpochs, nil); !reflect.DeepEqual(got, []Key{K1(1)}) {
+		t.Fatalf("after revert(4): %v", got)
+	}
+	// Revive the tombstoned entry in a later epoch.
+	ix.Insert(oiVal(1), K1(2), 5)
+	if got := ix.LookupAppend(oiVal(1), IndexAllEpochs, nil); !reflect.DeepEqual(got, []Key{K1(1), K1(2)}) {
+		t.Fatalf("after revive: %v", got)
+	}
+	// The revived entry is invisible at its pre-insert fence…
+	if got := ix.LookupAppend(oiVal(1), 5, nil); !reflect.DeepEqual(got, []Key{K1(1)}) {
+		t.Fatalf("fence read at 5 after revive: %v", got)
+	}
+	// …and a wildcard revert (rejoin) kills it again.
+	ix.revertEpoch(0)
+	if got := ix.LookupAppend(oiVal(1), IndexAllEpochs, nil); !reflect.DeepEqual(got, []Key{K1(1)}) {
+		t.Fatalf("after wildcard revert: %v", got)
+	}
+}
+
+// TestOrderedIndexConcurrentReadersAndInserter is the engine shape: one
+// writer inserting while readers look up latch-free. Run with -race.
+func TestOrderedIndexConcurrentReadersAndInserter(t *testing.T) {
+	ix := newOrderedIndex()
+	const n = 20_000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < n; i++ {
+			ix.Insert(oiVal(uint64(i%64)), K1(uint64(i)), 2)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var buf []Key
+			h := seed
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				h = h*0x9e3779b97f4a7c15 + 1
+				buf = ix.LookupAppend(oiVal(h%64), IndexAllEpochs, buf[:0])
+				last := Key{}
+				for _, k := range buf {
+					if k.Hi < last.Hi || (k.Hi == last.Hi && k.Lo < last.Lo) {
+						t.Error("lookup result out of order")
+						return
+					}
+					last = k
+				}
+			}
+		}(uint64(r) + 1)
+	}
+	wg.Wait()
+	if got := ix.Len(); got != n {
+		t.Fatalf("len=%d, want %d", got, n)
+	}
+}
+
+// TestOrderedIndexDeterministicAcrossInsertOrders pins the replica-
+// convergence property the checksums rely on: the same entry set
+// produces the same iteration order (and the same structure does not
+// depend on arrival order).
+func TestOrderedIndexDeterministicAcrossInsertOrders(t *testing.T) {
+	a, b := newOrderedIndex(), newOrderedIndex()
+	for i := 0; i < 500; i++ {
+		a.Insert(oiVal(uint64(i%17)), K1(uint64(i)), 2)
+	}
+	for i := 499; i >= 0; i-- {
+		b.Insert(oiVal(uint64(i%17)), K1(uint64(i)), 2)
+	}
+	var av, bv []string
+	a.Range(func(val []byte, pk Key) bool { av = append(av, fmt.Sprintf("%x/%v", val, pk)); return true })
+	b.Range(func(val []byte, pk Key) bool { bv = append(bv, fmt.Sprintf("%x/%v", val, pk)); return true })
+	if !reflect.DeepEqual(av, bv) {
+		t.Fatal("iteration order depends on insert order")
+	}
+}
+
+// TestPartitionChecksumCoversIndexes: two DBs with identical rows but
+// diverged secondary indexes must disagree on the partition checksum —
+// the property every replica-convergence test leans on.
+func TestPartitionChecksumCoversIndexes(t *testing.T) {
+	mk := func() (*DB, *Table) {
+		db := NewDB(1, nil)
+		tbl := db.AddTable("t", testSchema(), false)
+		tbl.AddIndex(byDataSpec())
+		return db, tbl
+	}
+	row := testSchema().NewRow()
+	testSchema().SetBytes(row, 3, []byte("X"))
+
+	da, ta := mk()
+	db2, tb := mk()
+	ta.Insert(0, K1(1), 1, MakeTID(1, 1), row)
+	tb.Insert(0, K1(1), 1, MakeTID(1, 1), row)
+	if da.PartitionChecksum(0) != db2.PartitionChecksum(0) {
+		t.Fatal("identical DBs disagree")
+	}
+	// Diverge ONLY the index (simulating a maintenance bug).
+	tb.Partition(0).Index(0).Insert([]byte("PHANTOM"), K1(9), 1)
+	if da.PartitionChecksum(0) == db2.PartitionChecksum(0) {
+		t.Fatal("checksum blind to secondary-index divergence")
+	}
+}
+
+// TestLookupZeroAllocs pins the latch-free read path: a lookup into a
+// caller-provided buffer allocates nothing.
+func TestLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ix := newOrderedIndex()
+	for i := 0; i < 1000; i++ {
+		ix.Insert(oiVal(uint64(i%16)), K1(uint64(i)), 2)
+	}
+	buf := make([]Key, 0, 128)
+	val := oiVal(3)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		buf = ix.LookupAppend(val, IndexAllEpochs, buf[:0])
+	})
+	if len(buf) == 0 {
+		t.Fatal("lookup found nothing")
+	}
+	if allocs != 0 {
+		t.Fatalf("LookupAppend allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestLookupTailAppend pins the bounded newest-first lookup: the tail of
+// the full ascending result, honouring epoch visibility and tombstones,
+// via both the fast single-descent path and the ring-walk fallback.
+func TestLookupTailAppend(t *testing.T) {
+	ix := newOrderedIndex()
+	for i := uint64(1); i <= 20; i++ {
+		ix.Insert(oiVal(7), K1(i), 2+i%3) // epochs 2,3,4 interleaved
+	}
+	full := ix.LookupAppend(oiVal(7), IndexAllEpochs, nil)
+	for _, max := range []int{1, 3, 16, 64} {
+		want := full
+		if len(want) > max {
+			want = want[len(want)-max:]
+		}
+		got := ix.LookupTailAppend(oiVal(7), IndexAllEpochs, max, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tail(max=%d) = %v, want %v", max, got, want)
+		}
+	}
+	// Fence visibility: at epoch 4, entries inserted at 4 are hidden.
+	fullAt4 := ix.LookupAppend(oiVal(7), 4, nil)
+	gotAt4 := ix.LookupTailAppend(oiVal(7), 4, 5, nil)
+	if !reflect.DeepEqual(gotAt4, fullAt4[len(fullAt4)-5:]) {
+		t.Fatalf("fence tail = %v, want suffix of %v", gotAt4, fullAt4)
+	}
+	// Hidden newest entry (max=1 fallback path): the newest entry for a
+	// fresh value is in-flight at its own epoch.
+	ix.Insert(oiVal(9), K1(1), 2)
+	ix.Insert(oiVal(9), K1(2), 6)
+	if got := ix.LookupTailAppend(oiVal(9), 6, 1, nil); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("hidden-newest tail = %v, want [K1(1)]", got)
+	}
+	// Tombstoned newest entry.
+	ix.revertEpoch(6)
+	if got := ix.LookupTailAppend(oiVal(9), IndexAllEpochs, 1, nil); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("tombstoned-newest tail = %v, want [K1(1)]", got)
+	}
+	// Missing value.
+	if got := ix.LookupTailAppend(oiVal(99), IndexAllEpochs, 4, nil); len(got) != 0 {
+		t.Fatalf("missing-value tail = %v", got)
+	}
+}

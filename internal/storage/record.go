@@ -275,21 +275,25 @@ func (r *Record) revertLocked(epoch uint64) (absent bool) {
 
 // ApplyValueThomas applies a full-row replicated write using the Thomas
 // write rule: the write lands only if its TID is newer than the record's.
-// Returns whether the write was applied.
-func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (applied, firstTouch bool) {
+// Returns whether the write was applied, whether it was the record's
+// first touch in the epoch (dirty registration), and whether it
+// transitioned the record absent → present — the signal apply paths use
+// to maintain secondary indexes (Table.NoteInserted).
+func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (applied, firstTouch, inserted bool) {
 	r.Lock()
-	cur := TIDClean(r.tid.Load())
-	if TIDClean(tid) <= cur {
+	cur := r.tid.Load()
+	if TIDClean(tid) <= TIDClean(cur) {
 		r.Unlock()
-		return false, false
+		return false, false, false
 	}
+	wasAbsent := TIDAbsent(cur)
 	if absent {
 		firstTouch = r.DeleteLocked(epoch, tid)
 	} else {
 		firstTouch = r.WriteLocked(epoch, tid, row)
 	}
 	r.UnlockWithTID(tid | boolBit(absent))
-	return true, firstTouch
+	return true, firstTouch, wasAbsent && !absent
 }
 
 func boolBit(absent bool) uint64 {

@@ -19,25 +19,44 @@ func K2(a, b uint64) Key { return Key{Hi: a, Lo: b} }
 // KeySize is the wire size of a Key.
 const KeySize = 16
 
+// dirtyBucket holds one epoch's revert bookkeeping: the records whose
+// pre-epoch version was saved in that epoch, and the keys whose index
+// slot was created in it. Bucketing by epoch makes the fence commit a
+// constant-time bucket drop (no record is latched at the phase switch)
+// while revert still touches exactly the epoch's own records.
+type dirtyBucket struct {
+	epoch uint64
+	recs  []*Record
+	keys  []Key
+}
+
 // Partition is one hash-partition of a table, indexed by a lock-free
 // open-addressing table (see index.go): reads take no latch at all —
 // the partitioned phase's single writer and the OCC phase's validation
 // both rely only on the per-record TID latch — while inserts (rare:
-// replication placeholders and new rows) serialize on insertMu.
+// replication placeholders and new rows) serialize on insertMu. Each
+// partition also carries one OrderedIndex per secondary index declared
+// on its table (see oindex.go).
 type Partition struct {
 	idx      atomic.Pointer[idxTable]
 	insertMu sync.Mutex
 
-	// dirty tracks records first-written in the current epoch, and the
-	// keys inserted in it, for O(writes) epoch revert.
-	dirtyMu   sync.Mutex
-	dirty     []*Record
-	dirtyKeys []Key
+	// oidx are this partition's secondary indexes, aligned with the
+	// owning table's IndexSpecs. Immutable after table construction.
+	oidx []*OrderedIndex
+
+	// dirty tracks per-epoch revert state: records first-written in each
+	// in-flight epoch, and the keys inserted in it.
+	dirtyMu sync.Mutex
+	dirty   []dirtyBucket
 }
 
-func newPartition() *Partition {
+func newPartition(nIndexes int) *Partition {
 	p := &Partition{}
 	p.idx.Store(newIdxTable(idxMinSlots))
+	for i := 0; i < nIndexes; i++ {
+		p.oidx = append(p.oidx, newOrderedIndex())
+	}
 	return p
 }
 
@@ -48,8 +67,10 @@ func (p *Partition) Get(key Key) *Record {
 }
 
 // GetOrCreate returns the record for key, creating an absent placeholder
-// when missing (used by replication appliers and inserts).
-func (p *Partition) GetOrCreate(key Key) *Record {
+// when missing (used by replication appliers and inserts). epoch is the
+// epoch the caller is writing under; a created placeholder joins that
+// epoch's revert bucket so a failed epoch removes it again.
+func (p *Partition) GetOrCreate(key Key, epoch uint64) *Record {
 	if r := p.Get(key); r != nil {
 		return r
 	}
@@ -69,17 +90,39 @@ func (p *Partition) GetOrCreate(key Key) *Record {
 	t.insert(key, r)
 	p.insertMu.Unlock()
 	p.dirtyMu.Lock()
-	p.dirtyKeys = append(p.dirtyKeys, key)
+	b := p.bucket(epoch)
+	b.keys = append(b.keys, key)
 	p.dirtyMu.Unlock()
 	return r
 }
 
-// MarkDirty registers a record whose pre-epoch version was just saved.
-func (p *Partition) MarkDirty(r *Record) {
+// bucket returns (creating if needed) the dirty bucket for epoch.
+// Caller holds dirtyMu. Writes target the newest epoch, so the scan
+// runs newest-first and is effectively constant: the STAR engine keeps
+// at most two epochs in flight (fences drop the rest), and the baseline
+// engines drop committed buckets at their group-commit fence / batch
+// hand-off.
+func (p *Partition) bucket(epoch uint64) *dirtyBucket {
+	for i := len(p.dirty) - 1; i >= 0; i-- {
+		if p.dirty[i].epoch == epoch {
+			return &p.dirty[i]
+		}
+	}
+	p.dirty = append(p.dirty, dirtyBucket{epoch: epoch})
+	return &p.dirty[len(p.dirty)-1]
+}
+
+// MarkDirty registers a record whose pre-epoch version was just saved
+// for the given epoch.
+func (p *Partition) MarkDirty(r *Record, epoch uint64) {
 	p.dirtyMu.Lock()
-	p.dirty = append(p.dirty, r)
+	b := p.bucket(epoch)
+	b.recs = append(b.recs, r)
 	p.dirtyMu.Unlock()
 }
+
+// Index returns the partition's i-th secondary index.
+func (p *Partition) Index(i int) *OrderedIndex { return p.oidx[i] }
 
 // Len returns the number of present records.
 func (p *Partition) Len() int {
@@ -117,18 +160,28 @@ func (p *Partition) Range(fn func(key Key, tid uint64, val []byte) bool) {
 
 // RevertEpoch restores every record written in the epoch to its prior
 // version and removes records inserted in it (paper Fig. 6: "Revert to
-// Epoch 1"). Returns the number of reverted records. epoch 0 reverts
-// every uncommitted record regardless of its epoch (rejoin cleanup).
+// Epoch 1"), including their secondary-index entries. Returns the number
+// of reverted records. epoch 0 reverts every uncommitted record
+// regardless of its epoch (rejoin cleanup).
 func (p *Partition) RevertEpoch(epoch uint64) int {
 	p.dirtyMu.Lock()
-	dirty := p.dirty
-	inserted := p.dirtyKeys
-	p.dirty = nil
-	p.dirtyKeys = nil
+	var recs []*Record
+	var inserted []Key
+	keep := p.dirty[:0]
+	for i := range p.dirty {
+		b := p.dirty[i]
+		if epoch == 0 || b.epoch == epoch {
+			recs = append(recs, b.recs...)
+			inserted = append(inserted, b.keys...)
+			continue
+		}
+		keep = append(keep, b)
+	}
+	p.dirty = keep
 	p.dirtyMu.Unlock()
 
 	n := 0
-	for _, r := range dirty {
+	for _, r := range recs {
 		r.Lock()
 		r.revertLocked(epoch)
 		r.Unlock()
@@ -145,71 +198,66 @@ func (p *Partition) RevertEpoch(epoch uint64) int {
 		}
 	}
 	p.insertMu.Unlock()
+	for _, ix := range p.oidx {
+		ix.revertEpoch(epoch)
+	}
 	return n
 }
 
-// CommitEpoch discards the revert information collected for the epoch.
+// CommitEpoch discards all revert information.
 func (p *Partition) CommitEpoch() {
 	p.dirtyMu.Lock()
 	p.dirty = nil
-	p.dirtyKeys = nil
 	p.dirtyMu.Unlock()
+	for _, ix := range p.oidx {
+		ix.commitAll()
+	}
 }
 
-// CommitEpochBefore discards revert information for dirty records
-// written BEFORE epoch, keeping records whose snapshot belongs to epoch
-// or later in the dirty set. Replication can deliver a new epoch's
-// entries ahead of the local phase-start command (the stamps travel on
-// different links); committing them with the old epoch would orphan
-// them from a subsequent revert of the new epoch and leave zombie
-// versions the Thomas write rule then defends forever.
+// CommitEpochBefore discards revert information for epochs BEFORE epoch,
+// keeping newer-epoch snapshots revertable. Replication can deliver a
+// new epoch's entries ahead of the local phase-start command (the stamps
+// travel on different links); committing them with the old epoch would
+// orphan them from a subsequent revert of the new epoch and leave zombie
+// versions the Thomas write rule then defends forever. With the dirty
+// set bucketed by epoch this is a constant-time bucket drop: no record
+// is latched at the phase switch.
 func (p *Partition) CommitEpochBefore(epoch uint64) {
 	p.dirtyMu.Lock()
-	dirty := p.dirty
-	keys := p.dirtyKeys
-	p.dirty = nil
-	p.dirtyKeys = nil
+	keep := p.dirty[:0]
+	for i := range p.dirty {
+		if p.dirty[i].epoch >= epoch {
+			keep = append(keep, p.dirty[i])
+		}
+	}
+	p.dirty = keep
 	p.dirtyMu.Unlock()
-
-	var keepD []*Record
-	for _, r := range dirty {
-		r.Lock()
-		keep := r.priorValid && r.savedEpoch >= epoch
-		r.Unlock()
-		if keep {
-			keepD = append(keepD, r)
-		}
-	}
-	var keepK []Key
-	if len(keys) > 0 {
-		t := p.idx.Load()
-		for _, k := range keys {
-			r := t.get(k)
-			if r == nil {
-				continue
-			}
-			r.Lock()
-			keep := r.priorValid && r.savedEpoch >= epoch
-			r.Unlock()
-			if keep {
-				keepK = append(keepK, k)
-			}
-		}
-	}
-	if len(keepD) > 0 || len(keepK) > 0 {
-		p.dirtyMu.Lock()
-		p.dirty = append(keepD, p.dirty...)
-		p.dirtyKeys = append(keepK, p.dirtyKeys...)
-		p.dirtyMu.Unlock()
+	for _, ix := range p.oidx {
+		ix.commitEpochBefore(epoch)
 	}
 }
 
 // TableID identifies a table within a database.
 type TableID uint8
 
+// IndexSpec declares one secondary index on a table: a name and the
+// extractor that derives the index value from a row. Extract appends the
+// value's canonical byte encoding to dst and returns it; the encoding
+// must be order-preserving for the workload's scan semantics (e.g.
+// big-endian integers). Specs are static program data declared with the
+// schema at BuildDB time.
+type IndexSpec struct {
+	Name string
+	// Extract derives the index value for (key, row). key carries the
+	// primary-key components that are not materialised in the row.
+	Extract func(s *Schema, key Key, row []byte, dst []byte) []byte
+}
+
 // Table is a named, partitioned collection of records with one fixed
 // schema, implemented as per-partition hash tables (paper §3: "Tables in
-// STAR are implemented as collections of hash tables").
+// STAR are implemented as collections of hash tables") plus zero or more
+// ordered secondary indexes maintained at commit time on every insert
+// path (execution, replication apply, snapshot catch-up, log replay).
 type Table struct {
 	id     TableID
 	name   string
@@ -220,7 +268,7 @@ type Table struct {
 	// a single logical partition (TPC-C's ITEM table).
 	replicated bool
 
-	indexes []*SecondaryIndex
+	specs []IndexSpec
 }
 
 // ID returns the table's id.
@@ -237,6 +285,33 @@ func (t *Table) Replicated() bool { return t.replicated }
 
 // NumPartitions returns the partition count (1 for replicated tables).
 func (t *Table) NumPartitions() int { return len(t.parts) }
+
+// newPart builds a partition carrying this table's secondary indexes.
+func (t *Table) newPart() *Partition { return newPartition(len(t.specs)) }
+
+// AddIndex declares a secondary index and returns its id (the position
+// callers pass to IndexLookup / txn.Ctx.LookupIndex). Must be called at
+// schema-declaration time, before any row exists.
+func (t *Table) AddIndex(spec IndexSpec) int {
+	for _, p := range t.parts {
+		if p != nil && p.Len() > 0 {
+			panic("storage: AddIndex after rows were inserted")
+		}
+	}
+	t.specs = append(t.specs, spec)
+	for _, p := range t.parts {
+		if p != nil {
+			p.oidx = append(p.oidx, newOrderedIndex())
+		}
+	}
+	return len(t.specs) - 1
+}
+
+// NumIndexes returns the number of declared secondary indexes.
+func (t *Table) NumIndexes() int { return len(t.specs) }
+
+// IndexName returns index i's declared name.
+func (t *Table) IndexName(i int) string { return t.specs[i].Name }
 
 // Partition returns partition p, or nil when this node does not hold it.
 func (t *Table) Partition(p int) *Partition {
@@ -258,59 +333,60 @@ func (t *Table) Get(part int, key Key) *Record {
 
 // Insert creates a record at (partition, key). It returns the record and
 // whether a *present* record already existed (callers treat that as a
-// uniqueness violation).
+// uniqueness violation). Secondary indexes are maintained inline.
 func (t *Table) Insert(part int, key Key, epoch, tid uint64, row []byte) (*Record, bool) {
 	p := t.Partition(part)
-	r := p.GetOrCreate(key)
+	r := p.GetOrCreate(key, epoch)
 	r.Lock()
 	if !TIDAbsent(r.tid.Load()) {
 		r.Unlock()
 		return r, false
 	}
 	if r.WriteLocked(epoch, tid, row) {
-		p.MarkDirty(r)
+		p.MarkDirty(r, epoch)
 	}
 	r.UnlockWithTID(TIDClean(tid))
+	t.NoteInserted(part, key, row, epoch)
 	return r, true
 }
 
-// SecondaryIndex maps an indexed byte value to the primary keys holding
-// it. STAR's tables may carry zero or more of these (§3). The index is
-// maintained explicitly by loaders/transactions (our workloads never
-// update indexed fields).
-type SecondaryIndex struct {
-	name string
-	mu   sync.RWMutex
-	m    map[string][]Key
-}
-
-// AddIndex attaches a named secondary index to the table.
-func (t *Table) AddIndex(name string) *SecondaryIndex {
-	idx := &SecondaryIndex{name: name, m: make(map[string][]Key)}
-	t.indexes = append(t.indexes, idx)
-	return idx
-}
-
-// Index returns the named index, or nil.
-func (t *Table) Index(name string) *SecondaryIndex {
-	for _, idx := range t.indexes {
-		if idx.name == name {
-			return idx
-		}
+// NoteInserted maintains the table's secondary indexes for a record that
+// just transitioned absent → present at (part, key) with the given row.
+// Every insert path calls it: transaction commit (occ), replication
+// apply, recovery snapshot catch-up, and WAL replay — so every replica's
+// indexes converge with its rows. A no-op for tables without indexes.
+func (t *Table) NoteInserted(part int, key Key, row []byte, epoch uint64) {
+	if len(t.specs) == 0 {
+		return
 	}
-	return nil
+	p := t.Partition(part)
+	var buf [64]byte
+	for i := range t.specs {
+		val := t.specs[i].Extract(t.schema, key, row, buf[:0])
+		p.oidx[i].Insert(val, key, epoch)
+	}
 }
 
-// Put adds key under the index value.
-func (ix *SecondaryIndex) Put(val []byte, key Key) {
-	ix.mu.Lock()
-	ix.m[string(val)] = append(ix.m[string(val)], key)
-	ix.mu.Unlock()
+// IndexLookup appends the primary keys stored under val in index idx of
+// partition part to dst, ascending, honouring atEpoch visibility
+// (IndexAllEpochs = current state; an in-flight epoch = that epoch's
+// fence snapshot). Returns dst unchanged when the partition is not held.
+func (t *Table) IndexLookup(part, idx int, val []byte, atEpoch uint64, dst []Key) []Key {
+	p := t.Partition(part)
+	if p == nil {
+		return dst
+	}
+	return p.oidx[idx].LookupAppend(val, atEpoch, dst)
 }
 
-// Lookup returns the keys stored under val (shared slice; do not mutate).
-func (ix *SecondaryIndex) Lookup(val []byte) []Key {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.m[string(val)]
+// IndexLookupTail is IndexLookup bounded to the last (greatest-key) max
+// matches — an O(log n) descent in the common single-match case instead
+// of materialising a customer's whole history (see
+// OrderedIndex.LookupTailAppend).
+func (t *Table) IndexLookupTail(part, idx int, val []byte, atEpoch uint64, max int, dst []Key) []Key {
+	p := t.Partition(part)
+	if p == nil {
+		return dst
+	}
+	return p.oidx[idx].LookupTailAppend(val, atEpoch, max, dst)
 }

@@ -71,7 +71,7 @@ func TestPartitionRevertEpochRemovesInserts(t *testing.T) {
 	r.Lock()
 	s.SetUint64(row, 0, 999)
 	if r.WriteLocked(2, MakeTID(2, 1), row) {
-		tbl.Partition(0).MarkDirty(r)
+		tbl.Partition(0).MarkDirty(r, 2)
 	}
 	r.UnlockWithTID(MakeTID(2, 1))
 	tbl.Insert(0, K1(2), 2, MakeTID(2, 2), row)
@@ -116,20 +116,44 @@ func TestPartitionLenAndRange(t *testing.T) {
 	}
 }
 
-func TestSecondaryIndex(t *testing.T) {
-	_, tbl := newTestDB(t, 1, nil)
-	idx := tbl.AddIndex("by_name")
-	idx.Put([]byte("SMITH"), K1(1))
-	idx.Put([]byte("SMITH"), K1(2))
-	idx.Put([]byte("JONES"), K1(3))
-	if got := idx.Lookup([]byte("SMITH")); len(got) != 2 {
-		t.Fatalf("lookup: %v", got)
+// byDataSpec indexes the test schema's "data" column (field 3).
+func byDataSpec() IndexSpec {
+	return IndexSpec{
+		Name: "by_data",
+		Extract: func(s *Schema, key Key, row []byte, dst []byte) []byte {
+			return append(dst, s.GetBytes(row, 3)...)
+		},
 	}
-	if got := idx.Lookup([]byte("NOBODY")); got != nil {
-		t.Fatalf("missing key must return nil, got %v", got)
-	}
-	if tbl.Index("by_name") != idx || tbl.Index("nope") != nil {
+}
+
+func TestSecondaryIndexMaintainedOnInsert(t *testing.T) {
+	_, tbl := newTestDB(t, 2, nil)
+	id := tbl.AddIndex(byDataSpec())
+	if id != 0 || tbl.NumIndexes() != 1 || tbl.IndexName(0) != "by_data" {
 		t.Fatal("index registry broken")
+	}
+	s := tbl.Schema()
+	put := func(part int, key Key, name string, seq uint64) {
+		row := s.NewRow()
+		s.SetBytes(row, 3, []byte(name))
+		if _, ok := tbl.Insert(part, key, 1, MakeTID(1, seq), row); !ok {
+			t.Fatalf("insert %v failed", key)
+		}
+	}
+	put(0, K1(2), "SMITH", 1)
+	put(0, K1(1), "SMITH", 2)
+	put(0, K1(3), "JONES", 3)
+	put(1, K1(4), "SMITH", 4) // other partition: invisible to partition 0
+
+	got := tbl.IndexLookup(0, id, []byte("SMITH"), IndexAllEpochs, nil)
+	if len(got) != 2 || got[0] != K1(1) || got[1] != K1(2) {
+		t.Fatalf("lookup returned %v, want ascending [1 2]", got)
+	}
+	if got := tbl.IndexLookup(0, id, []byte("NOBODY"), IndexAllEpochs, nil); len(got) != 0 {
+		t.Fatalf("missing value must return nothing, got %v", got)
+	}
+	if got := tbl.IndexLookup(1, id, []byte("SMITH"), IndexAllEpochs, nil); len(got) != 1 || got[0] != K1(4) {
+		t.Fatalf("partition 1 lookup: %v", got)
 	}
 }
 

@@ -27,8 +27,19 @@ type Access struct {
 	Key   storage.Key
 	Write bool
 	// LockOnly marks a synthetic lock name (insert intents for
-	// deterministic engines); no record is read or validated for it.
+	// deterministic engines, secondary-index prefetch names); no record
+	// is read or validated for it.
 	LockOnly bool
+	// IndexVal, when non-nil, marks this access as a secondary-index
+	// prefetch: the procedure will resolve dependent keys at execution
+	// time with Ctx.LookupIndex(Table, Part, Index, IndexVal). The Key
+	// then names a synthetic lock (LockOnly) that serializes conflicting
+	// lookups on deterministic engines, and push-based engines (Calvin)
+	// resolve the lookup on the partition's master and ship the matches
+	// (plus the matched rows) with the read set.
+	IndexVal []byte
+	// Index is the table's secondary-index id for IndexVal prefetches.
+	Index int
 }
 
 // Procedure is one transaction instance: parameters plus logic.
@@ -82,6 +93,26 @@ type Ctx interface {
 	Write(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp)
 	// Insert buffers a new row for commit.
 	Insert(t storage.TableID, part int, key storage.Key, row []byte)
+	// LookupIndex appends the primary keys stored under val in the
+	// table's secondary index idx (by declaration order) to dst, in
+	// ascending key order, and returns the extended slice. The view is
+	// engine-defined: execution contexts see current state, the
+	// snapshot-read context sees the last epoch fence, and push-based
+	// deterministic engines serve remote partitions from pushed match
+	// lists. Entries may overshoot (an index is maintained on insert
+	// only), so procedures re-verify liveness by reading the record.
+	LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key
+}
+
+// IndexTailReader is optionally implemented by Ctx implementations that
+// can serve a bounded newest-first index lookup: the last (greatest-key)
+// max matches, still appended to dst in ascending order. Procedures that
+// only need the tail of a lookup (Order-Status's "most recent order")
+// use it when available — typically one O(log n) descent — and fall
+// back to LookupIndex (full materialisation) on contexts that cannot
+// bound the walk (remote push/RPC resolution).
+type IndexTailReader interface {
+	LookupIndexTail(t storage.TableID, part, idx int, val []byte, max int, dst []storage.Key) []storage.Key
 }
 
 // Request wraps a generated procedure with its bookkeeping.

@@ -311,9 +311,16 @@ func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, ap
 		if part == nil {
 			return nil // not held here
 		}
-		rec := part.GetOrCreate(e.Key)
-		if ok, _ := rec.ApplyValueThomas(storage.TIDEpoch(e.TID), e.TID, e.Row, e.Absent); ok {
+		epoch := storage.TIDEpoch(e.TID)
+		rec := part.GetOrCreate(e.Key, epoch)
+		ok, _, inserted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
+		if ok {
 			applied++
+		}
+		if inserted {
+			// Secondary indexes are not logged: they rebuild here, from
+			// the same absent→present transitions the live paths index.
+			tbl.NoteInserted(int(e.Part), e.Key, e.Row, epoch)
 		}
 		return nil
 	}

@@ -46,6 +46,10 @@ type Codec struct {
 	msgByType  map[reflect.Type]*msgEntry
 	procByID   map[uint8]*procEntry
 	procByType map[reflect.Type]*procEntry
+
+	// now, when set, is the process-local clock used to re-base request
+	// generation stamps at the transport boundary (see SetClock).
+	now func() int64
 }
 
 // NewCodec returns an empty codec.
@@ -125,14 +129,28 @@ func (c *Codec) Knows(m transport.Message) bool {
 
 // ---- transaction requests ----
 
+// SetClock installs the transport-boundary clock for request stamps.
+// With a clock set, AppendRequest records the sender's "now" next to
+// GenAt, and DecodeRequest re-bases GenAt into the receiver's clock
+// domain: GenAt' = GenAt + (recvNow − sendNow), i.e. the request keeps
+// its age (plus one-way transit) rather than a raw foreign timestamp.
+// Multi-process time-driven clusters need this — each process's runtime
+// clock has its own origin, so raw GenAt stamps skew every wire-deferred
+// latency sample by the inter-process start delta. Scripted runs do NOT
+// set a clock: their GenAt carries a deterministic total-order stamp
+// that must cross the wire verbatim (see core.scriptStamp).
+func (c *Codec) SetClock(now func() int64) { c.now = now }
+
 // RequestOverhead is the encoded size of a request minus its procedure
-// body: [proc id][GenAt zig-zag][Retries uvarint] with Retries ≈ 0.
-func RequestOverhead(genAt int64) int { return 1 + VarintLen(genAt) + 1 }
+// body: [proc id][GenAt zig-zag][sendNow u64][Retries uvarint] with
+// Retries ≈ 0.
+func RequestOverhead(genAt int64) int { return 1 + VarintLen(genAt) + 8 + 1 }
 
 // AppendRequest encodes a routing request as
-// [proc id][GenAt][Retries][proc body]. Home/Parts/Cross are not shipped:
-// the decoder recomputes them from the procedure's declared footprint,
-// which both keeps the frame small and guarantees the two sides agree.
+// [proc id][GenAt][sendNow][Retries][proc body]. Home/Parts/Cross are
+// not shipped: the decoder recomputes them from the procedure's declared
+// footprint, which both keeps the frame small and guarantees the two
+// sides agree. sendNow is zero when no clock is installed.
 func (c *Codec) AppendRequest(b []byte, r *txn.Request) ([]byte, error) {
 	e := c.procByType[reflect.TypeOf(r.Proc)]
 	if e == nil {
@@ -140,11 +158,18 @@ func (c *Codec) AppendRequest(b []byte, r *txn.Request) ([]byte, error) {
 	}
 	b = append(b, e.id)
 	b = AppendVarint(b, r.GenAt)
+	var sendNow int64
+	if c.now != nil {
+		sendNow = c.now()
+	}
+	b = AppendU64(b, uint64(sendNow))
 	b = AppendUvarint(b, uint64(r.Retries))
 	return e.enc(b, r.Proc), nil
 }
 
 // DecodeRequest decodes a request, returning the rest of the buffer.
+// When both sides run clocked codecs, GenAt is re-based into this
+// process's clock domain (see SetClock).
 func (c *Codec) DecodeRequest(b []byte) (*txn.Request, []byte, error) {
 	if len(b) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty request", ErrTruncated)
@@ -157,6 +182,10 @@ func (c *Codec) DecodeRequest(b []byte) (*txn.Request, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sendNow, b, err := U64(b)
+	if err != nil {
+		return nil, nil, err
+	}
 	retries, b, err := Uvarint(b)
 	if err != nil {
 		return nil, nil, err
@@ -164,6 +193,9 @@ func (c *Codec) DecodeRequest(b []byte) (*txn.Request, []byte, error) {
 	proc, rest, err := e.dec(b)
 	if err != nil {
 		return nil, nil, err
+	}
+	if c.now != nil && sendNow != 0 {
+		genAt += c.now() - int64(sendNow)
 	}
 	req := txn.NewRequest(proc, genAt)
 	req.Retries = int(retries)

@@ -10,6 +10,7 @@
 package tpcc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -64,6 +65,19 @@ type Config struct {
 	// without master routing (standard Stock-Level is single-warehouse;
 	// default: 0).
 	CrossPctStockLevel int
+	// OrderStatusPct is the percentage of generated transactions that
+	// are Order-Status queries (standard mix: 4; 0 = no Order-Status).
+	// Order-Status is read-only and resolves its customer by last name
+	// PaymentByName percent of the time, through the secondary index at
+	// execution time.
+	OrderStatusPct int
+	// CrossPctOrderStatus is the percentage of Order-Status transactions
+	// that ask about a customer of a remote warehouse (the home
+	// terminal's warehouse row is still read, making the footprint
+	// cross-partition) — the by-name read-only class the snapshot path
+	// serves without master routing. Default: 0 (standard Order-Status
+	// is local).
+	CrossPctOrderStatus int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,18 +112,21 @@ func (c *Config) SetCrossPct(p int) {
 	c.CrossPctNewOrder = p
 	c.CrossPctPayment = p
 	c.CrossPctStockLevel = p
+	c.CrossPctOrderStatus = p
 	if p == 0 {
 		c.CrossPctNewOrder = -1 // disable entirely (withDefaults would reset 0)
 		c.CrossPctPayment = -1
-		c.CrossPctStockLevel = 0 // 0 already means "never" (no default to dodge)
+		c.CrossPctStockLevel = 0  // 0 already means "never" (no default to dodge)
+		c.CrossPctOrderStatus = 0 // likewise
 	}
 }
 
-// SetFullMix enables the standard-weighted TPC-C mix: 45/43/4/4
-// NewOrder/Payment/Delivery/Stock-Level.
+// SetFullMix enables the standard-weighted TPC-C mix: 45/43/4/4/4
+// NewOrder/Payment/Delivery/Stock-Level/Order-Status.
 func (c *Config) SetFullMix() {
 	c.DeliveryPct = 4
 	c.StockLevelPct = 4
+	c.OrderStatusPct = 4
 }
 
 // Workload implements workload.Workload for TPC-C.
@@ -275,12 +292,55 @@ func HKey(wid, genID int, seq uint64) storage.Key {
 	return storage.K2(uint64(wid), uint64(genID)<<40|seq)
 }
 
-// CNameIndex is the name of the customer last-name secondary index.
-const CNameIndex = "customer_by_name"
+// Secondary-index names and per-table ids (AddIndex declaration order).
+const (
+	// CNameIndex maps (district, C_LAST) → customer keys: Payment's and
+	// Order-Status's by-name lookup.
+	CNameIndex = "customer_by_name"
+	// CustNameIdx is CNameIndex's id on the customer table.
+	CustNameIdx = 0
+	// OCustIndex maps (district, O_C_ID) → order keys, ascending order
+	// id: Order-Status's "customer's most recent order" lookup.
+	OCustIndex = "order_by_customer"
+	// OrderCustIdx is OCustIndex's id on the order table.
+	OrderCustIdx = 0
+)
 
-// nameKey builds the index lookup value for (wid, did, last name).
-func nameKey(wid, did int, last []byte) []byte {
-	return []byte(fmt.Sprintf("%d|%d|%s", wid, did, last))
+// CustNameVal appends the customer_by_name index value for (did, last):
+// one district byte followed by the raw name (partition = warehouse, so
+// the warehouse id is implicit).
+func CustNameVal(dst []byte, did int, last []byte) []byte {
+	dst = append(dst, byte(did))
+	return append(dst, last...)
+}
+
+// OrderCustVal appends the order_by_customer index value for (did, cid):
+// district byte + big-endian customer id, so entries sort by customer
+// and, within one customer, by ascending order id (the primary key).
+func OrderCustVal(dst []byte, did, cid int) []byte {
+	dst = append(dst, byte(did))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(cid))
+	return append(dst, b[:]...)
+}
+
+// CIDOfKey recovers the customer id from a customer primary key.
+func CIDOfKey(k storage.Key) int { return int(k.Lo & 0xffffffff) }
+
+// OIDOfKey recovers the order id from an order primary key.
+func OIDOfKey(k storage.Key) int { return int(k.Lo & (1<<40 - 1)) }
+
+// nameLockKey synthesises the lock name a by-name access declares in its
+// footprint: deterministic engines serialize conflicting by-name lookups
+// on it. Bit 62 of Hi keeps it disjoint from every real customer key
+// (whose Hi is a warehouse id); name hash collisions only cause spurious
+// conflicts, never incorrect data access.
+func nameLockKey(wid, did int, last []byte) storage.Key {
+	h := uint64(14695981039346656037)
+	for _, b := range last {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return storage.K2(uint64(wid)|1<<62, uint64(did)<<32|h&0xffffffff)
 }
 
 // BuildDB implements workload.Workload.
@@ -292,14 +352,29 @@ func (w *Workload) BuildDB(nparts int, holds []bool) *storage.DB {
 	db.AddTable("warehouse", w.warehouse, false)
 	db.AddTable("district", w.district, false)
 	c := db.AddTable("customer", w.customer, false)
-	c.AddIndex(CNameIndex)
+	c.AddIndex(storage.IndexSpec{Name: CNameIndex, Extract: custNameExtract})
 	db.AddTable("stock", w.stock, false)
 	db.AddTable("item", w.item, true) // replicated read-only catalogue
-	db.AddTable("order", w.order, false)
+	o := db.AddTable("order", w.order, false)
+	o.AddIndex(storage.IndexSpec{Name: OCustIndex, Extract: orderCustExtract})
 	db.AddTable("new_order", w.newOrder, false)
 	db.AddTable("order_line", w.orderLine, false)
 	db.AddTable("history", w.history, false)
 	return db
+}
+
+// custNameExtract derives the customer_by_name value from a customer
+// row: the district comes from the key (CKey packs did<<32|cid), the
+// name from C_LAST. Maintained automatically on every insert path.
+func custNameExtract(s *storage.Schema, key storage.Key, row []byte, dst []byte) []byte {
+	return CustNameVal(dst, int(key.Lo>>32), s.GetBytes(row, CLast))
+}
+
+// orderCustExtract derives the order_by_customer value from an order
+// row: district from the key (OKey packs did<<40|oid), customer id from
+// O_C_ID.
+func orderCustExtract(s *storage.Schema, key storage.Key, row []byte, dst []byte) []byte {
+	return OrderCustVal(dst, int(key.Lo>>40), int(s.GetUint64(row, OCID)))
 }
 
 // lastNames are the standard TPC-C syllables.
@@ -348,7 +423,6 @@ func (w *Workload) loadWarehouse(db *storage.DB, wid int) {
 
 	dt := db.Table(TDistrict)
 	ct := db.Table(TCustomer)
-	idx := ct.Index(CNameIndex)
 	st := db.Table(TStock)
 
 	for did := 0; did < w.cfg.Districts; did++ {
@@ -378,7 +452,6 @@ func (w *Workload) loadWarehouse(db *storage.DB, wid int) {
 			w.customer.SetString(crow, CFirst, fmt.Sprintf("f%d", cid))
 			w.customer.SetString(crow, CData, "customer since 2019 "+last)
 			ct.Insert(wid, CKey(wid, did, cid), 1, tid(), crow)
-			idx.Put(nameKey(wid, did, []byte(last)), CKey(wid, did, cid))
 		}
 	}
 

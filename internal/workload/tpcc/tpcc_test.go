@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"reflect"
 	"testing"
 
 	"star/internal/storage"
@@ -61,13 +62,17 @@ func (e *executor) Insert(tb storage.TableID, part int, key storage.Key, row []b
 	e.set.AddInsert(tb, part, key, row)
 }
 
+func (e *executor) LookupIndex(tb storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
+	return e.db.Table(tb).IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
+}
+
 func (e *executor) commit(t *testing.T, db *storage.DB) {
 	t.Helper()
 	for i := range e.set.Writes {
 		w := &e.set.Writes[i]
 		tbl := db.Table(w.Table)
 		part := tbl.Partition(w.Part)
-		rec := part.GetOrCreate(w.Key)
+		rec := part.GetOrCreate(w.Key, 2)
 		rec.Lock()
 		if w.Insert {
 			if !storage.TIDAbsent(rec.TID()) {
@@ -80,6 +85,9 @@ func (e *executor) commit(t *testing.T, db *storage.DB) {
 			}
 		}
 		rec.UnlockWithTID(storage.MakeTID(2, uint64(i+1)))
+		if w.Insert {
+			tbl.NoteInserted(w.Part, w.Key, w.Row, 2)
+		}
 	}
 	e.set.Reset()
 }
@@ -118,10 +126,10 @@ func TestLoadDeterministicAcrossReplicas(t *testing.T) {
 }
 
 func TestCustomerNameIndex(t *testing.T) {
-	w, db := loadSmall(t)
-	idx := db.Table(TCustomer).Index(CNameIndex)
+	_, db := loadSmall(t)
 	// Customer 5 of district 0, warehouse 1 has LastName(5).
-	keys := idx.Lookup(nameKey(1, 0, []byte(LastName(5))))
+	keys := db.Table(TCustomer).IndexLookup(1, CustNameIdx,
+		CustNameVal(nil, 0, []byte(LastName(5))), storage.IndexAllEpochs, nil)
 	if len(keys) == 0 {
 		t.Fatal("name index empty")
 	}
@@ -134,7 +142,122 @@ func TestCustomerNameIndex(t *testing.T) {
 	if !found {
 		t.Fatalf("customer key missing from index: %v", keys)
 	}
-	_ = w
+}
+
+// TestPaymentByNameResolvesMedianThroughIndex pins the §2.5.2.2 rule:
+// the by-name path resolves at execution time to the median of the
+// key-sorted index matches — the same customer the pre-index generator
+// used to compute arithmetically at generation time.
+func TestPaymentByNameResolvesMedianThroughIndex(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CustomersPerDistrict = 25 // names 0..24 have exactly one match
+	w := New(cfg)
+	db := w.BuildDB(4, nil)
+	w.Load(db)
+
+	pay := &PaymentTxn{
+		W: w, WID: 0, DID: 0, CWID: 1, CDID: 1,
+		ByName: true, CLast: []byte(LastName(7)), CID: -1,
+		Amount: 5, HSeq: 1, GenID: 1,
+	}
+	ex := &executor{db: db}
+	if err := pay.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+	// cid 7 is the only (hence median) match for LastName(7).
+	crow, _, _ := db.Table(TCustomer).Get(1, CKey(1, 1, 7)).ReadStable(nil)
+	if got := w.customer.GetFloat64(crow, CBalance); got != -10-pay.Amount {
+		t.Fatalf("median-match customer balance %v, want %v", got, -10-pay.Amount)
+	}
+
+	// An unknown name aborts (generation never produces one, §2.5.2.2
+	// guarantees matches at standard scale).
+	bad := &PaymentTxn{W: w, WID: 0, DID: 0, CWID: 1, CDID: 1,
+		ByName: true, CLast: []byte(LastName(997)), CID: -1, Amount: 5, HSeq: 2, GenID: 1}
+	if err := bad.Run(&executor{db: db}); err != txn.ErrUserAbort {
+		t.Fatalf("unknown name: err=%v, want ErrUserAbort", err)
+	}
+}
+
+// TestOrderStatusReadsLastOrder drives NewOrder then Order-Status by
+// name and by id through the reference executor: the query must find
+// the order just inserted via the order_by_customer index.
+func TestOrderStatusReadsLastOrder(t *testing.T) {
+	w, db := loadSmall(t)
+	no := &NewOrderTxn{
+		W: w, WID: 2, DID: 1, CID: 4,
+		Lines: []orderLineSpec{{IID: 1, SupplyW: 2, Quantity: 3}, {IID: 2, SupplyW: 2, Quantity: 1}},
+	}
+	ex := &executor{db: db}
+	if err := no.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	os := &OrderStatusTxn{W: w, WID: 2, CWID: 2, CDID: 1, CID: 4}
+	if err := os.Run(&executor{db: db}); err != nil {
+		t.Fatal(err)
+	}
+	if os.OrderID != 1 || os.Lines != 2 {
+		t.Fatalf("order-status found oid=%d lines=%d, want 1/2", os.OrderID, os.Lines)
+	}
+
+	// By name: customer 4 carries LastName(4); the median (only) match
+	// is the same customer, so the same order is found.
+	osn := &OrderStatusTxn{W: w, WID: 0, CWID: 2, CDID: 1, CID: -1,
+		ByName: true, CLast: []byte(LastName(4))}
+	if err := osn.Run(&executor{db: db}); err != nil {
+		t.Fatal(err)
+	}
+	if osn.OrderID != 1 || osn.Lines != 2 {
+		t.Fatalf("by-name order-status oid=%d lines=%d, want 1/2", osn.OrderID, osn.Lines)
+	}
+	if osn.Balance != -10 {
+		t.Fatalf("balance %v, want loader's -10", osn.Balance)
+	}
+
+	// A customer with no orders reports an empty status and commits.
+	empty := &OrderStatusTxn{W: w, WID: 2, CWID: 2, CDID: 0, CID: 9}
+	if err := empty.Run(&executor{db: db}); err != nil || empty.OrderID != 0 {
+		t.Fatalf("empty status: err=%v oid=%d", err, empty.OrderID)
+	}
+}
+
+// TestOrderIndexRevertedInsertDisappears is the epoch-revert pin for
+// secondary indexes: a reverted NewOrder's order_by_customer entry must
+// vanish with its row, and re-inserting after the revert must revive it.
+func TestOrderIndexRevertedInsertDisappears(t *testing.T) {
+	w, db := loadSmall(t)
+	tbl := db.Table(TOrder)
+	row := w.order.NewRow()
+	w.order.SetUint64(row, OCID, 4)
+	w.order.SetInt64(row, OOlCnt, 1)
+
+	lookup := func() []storage.Key {
+		return tbl.IndexLookup(2, OrderCustIdx, OrderCustVal(nil, 1, 4), storage.IndexAllEpochs, nil)
+	}
+	if _, ok := tbl.Insert(2, OKey(2, 1, 1), 5, storage.MakeTID(5, 1), row); !ok {
+		t.Fatal("insert failed")
+	}
+	if got := lookup(); len(got) != 1 {
+		t.Fatalf("index after insert: %v", got)
+	}
+	db.RevertEpoch(5)
+	if got := lookup(); len(got) != 0 {
+		t.Fatalf("index entry survived the epoch revert: %v", got)
+	}
+	if tbl.Get(2, OKey(2, 1, 1)) != nil {
+		t.Fatal("order row survived the epoch revert")
+	}
+	// Re-insert (the post-revert re-execution): row and entry revive.
+	if _, ok := tbl.Insert(2, OKey(2, 1, 1), 6, storage.MakeTID(6, 1), row); !ok {
+		t.Fatal("re-insert failed")
+	}
+	if got := lookup(); len(got) != 1 || got[0] != OKey(2, 1, 1) {
+		t.Fatalf("index after re-insert: %v", got)
+	}
+	db.CommitEpoch()
 }
 
 func TestNewOrderCommitsAndAdvancesOID(t *testing.T) {
@@ -347,7 +470,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 			t.Fatal("access sets differ")
 		}
 		for j := range aa {
-			if aa[j] != ba[j] {
+			if !reflect.DeepEqual(aa[j], ba[j]) {
 				t.Fatal("access sets differ")
 			}
 		}

@@ -29,14 +29,16 @@ const (
 	clsPayment
 	clsDelivery
 	clsStockLevel
+	clsOrderStatus
 )
 
-// pick draws the next transaction class. The paper subset (no Delivery
-// or Stock-Level share) keeps the seed's strict alternation — and its
-// rng stream — so existing runs reproduce bit-for-bit.
+// pick draws the next transaction class. The paper subset (no Delivery,
+// Stock-Level or Order-Status share) keeps the seed's strict
+// alternation — and its rng stream — so existing runs reproduce
+// bit-for-bit.
 func (g *Gen) pick() int {
 	cfg := g.w.cfg
-	if cfg.DeliveryPct <= 0 && cfg.StockLevelPct <= 0 {
+	if cfg.DeliveryPct <= 0 && cfg.StockLevelPct <= 0 && cfg.OrderStatusPct <= 0 {
 		g.next = 1 - g.next
 		if g.next == 1 {
 			return clsNewOrder
@@ -44,14 +46,17 @@ func (g *Gen) pick() int {
 		return clsPayment
 	}
 	r := g.rng.Intn(100)
+	d, sl, os := cfg.DeliveryPct, cfg.StockLevelPct, cfg.OrderStatusPct
 	switch {
-	case r < cfg.DeliveryPct:
+	case r < d:
 		return clsDelivery
-	case r < cfg.DeliveryPct+cfg.StockLevelPct:
+	case r < d+sl:
 		return clsStockLevel
+	case r < d+sl+os:
+		return clsOrderStatus
 	default:
-		rem := r - cfg.DeliveryPct - cfg.StockLevelPct
-		span := 100 - cfg.DeliveryPct - cfg.StockLevelPct
+		rem := r - d - sl - os
+		span := 100 - d - sl - os
 		if rem*88 < span*45 { // NewOrder:Payment stays 45:43
 			return clsNewOrder
 		}
@@ -81,6 +86,8 @@ func (g *Gen) Mixed(home int) txn.Procedure {
 		return g.delivery(home)
 	case clsStockLevel:
 		return g.stockLevel(home, g.rng.Intn(100) < g.w.cfg.CrossPctStockLevel)
+	case clsOrderStatus:
+		return g.orderStatus(home, g.rng.Intn(100) < g.w.cfg.CrossPctOrderStatus)
 	case clsNewOrder:
 		return g.newOrder(home, g.rng.Intn(100) < g.w.cfg.CrossPctNewOrder)
 	default:
@@ -95,6 +102,8 @@ func (g *Gen) Single(home int) txn.Procedure {
 		return g.delivery(home)
 	case clsStockLevel:
 		return g.stockLevel(home, false)
+	case clsOrderStatus:
+		return g.orderStatus(home, false)
 	case clsNewOrder:
 		return g.newOrder(home, false)
 	default:
@@ -109,6 +118,8 @@ func (g *Gen) Cross(home int) txn.Procedure {
 	switch g.pick() {
 	case clsStockLevel:
 		return g.stockLevel(home, true)
+	case clsOrderStatus:
+		return g.orderStatus(home, true)
 	case clsNewOrder, clsDelivery:
 		return g.newOrder(home, true)
 	default:
@@ -289,15 +300,26 @@ type PaymentTxn struct {
 // Name implements txn.Procedure.
 func (t *PaymentTxn) Name() string { return "tpcc.payment" }
 
-// Accesses implements txn.Procedure. By-last-name lookups are resolved
-// to the median matching customer at generation time (through the same
-// deterministic rule the loader uses for the secondary index), so the
-// footprint is exact — which deterministic engines require.
+// Accesses implements txn.Procedure. A by-last-name Payment cannot name
+// its customer a priori: it declares an index-prefetch access instead —
+// a synthetic lock name (serializing conflicting by-name lookups on
+// deterministic engines) carrying the index id and lookup value, which
+// push-based engines resolve on the customer partition's master. The
+// dependent customer update is made of commutative record-latched field
+// ops, the same tolerance Delivery's cursor-dependent writes rely on.
 func (t *PaymentTxn) Accesses() []txn.Access {
+	cust := txn.Access{Table: TCustomer, Part: t.CWID, Key: CKey(t.CWID, t.CDID, t.CID), Write: true}
+	if t.ByName {
+		cust = txn.Access{
+			Table: TCustomer, Part: t.CWID, Key: nameLockKey(t.CWID, t.CDID, t.CLast),
+			Write: true, LockOnly: true,
+			Index: CustNameIdx, IndexVal: CustNameVal(nil, t.CDID, t.CLast),
+		}
+	}
 	return []txn.Access{
 		{Table: TWarehouse, Part: t.WID, Key: WKey(t.WID), Write: true},
 		{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, t.DID), Write: true},
-		{Table: TCustomer, Part: t.CWID, Key: CKey(t.CWID, t.CDID, t.CID), Write: true},
+		cust,
 	}
 }
 
@@ -314,6 +336,20 @@ func (t *PaymentTxn) Run(ctx txn.Ctx) error {
 	ctx.Write(TDistrict, t.WID, DKey(t.WID, t.DID), storage.AddFloat64Op(DYtd, t.Amount))
 
 	cid := t.CID
+	if t.ByName {
+		// §2.5.2.2: resolve C_LAST through the secondary index at
+		// execution time — sorted matches, pick the median. The loader
+		// aligns customer ids with first names, so key order is the
+		// standard sort order.
+		var kbuf [8]storage.Key
+		var vbuf [24]byte
+		matches := ctx.LookupIndex(TCustomer, t.CWID, CustNameIdx,
+			CustNameVal(vbuf[:0], t.CDID, t.CLast), kbuf[:0])
+		if len(matches) == 0 {
+			return txn.ErrUserAbort // no customer carries this name
+		}
+		cid = CIDOfKey(matches[len(matches)/2])
+	}
 	ckey := CKey(t.CWID, t.CDID, cid)
 	crow, ok := ctx.Read(TCustomer, t.CWID, ckey)
 	if !ok {
@@ -603,24 +639,177 @@ func (g *Gen) payment(home int, cross bool) txn.Procedure {
 		t.CWID = g.remoteWarehouse(home)
 	}
 	if g.rng.Intn(100) < cfg.PaymentByName {
-		t.ByName = true
 		num := g.nuRand(255, 0, 999)
-		t.CLast = []byte(LastName(num))
-		// Resolve the median matching customer deterministically at
-		// generation time (customers with cid%1000 == num share the name,
-		// ordered by cid which the loader aligns with first name).
-		matches := cfg.CustomersPerDistrict / 1000
-		if cfg.CustomersPerDistrict%1000 > num {
-			matches++
-		}
-		if matches == 0 {
-			t.ByName = false
-			t.CID = g.customerID()
+		if num < cfg.CustomersPerDistrict {
+			// The customer is named, not numbered: resolution to the
+			// median match happens at execution time through the
+			// secondary index (PaymentTxn.Run).
+			t.ByName = true
+			t.CLast = []byte(LastName(num))
+			t.CID = -1
 		} else {
-			t.CID = (matches/2)*1000 + num
-			if t.CID >= cfg.CustomersPerDistrict {
-				t.CID = num % cfg.CustomersPerDistrict
+			// No customer carries this name at this (sub-standard)
+			// scale; fall back to the by-id form. Same rng draws as the
+			// seed's generation-time fallback.
+			t.CID = g.customerID()
+		}
+	} else {
+		t.CID = g.customerID()
+	}
+	return t
+}
+
+// ---- Order-Status ----
+
+// osMaxLines bounds an order's line scratch (§2.6: up to 15 lines).
+const osMaxLines = 15
+
+// OrderStatusTxn is the TPC-C Order-Status transaction (§2.6): report a
+// customer's balance and the state of their most recent order (carrier,
+// entry date, every line's item/quantity/amount/delivery date). The
+// customer is selected by last name PaymentByName percent of the time
+// and resolved — sorted matches, pick the median — through the
+// customer_by_name secondary index at execution time; the most recent
+// order comes from the order_by_customer index (entries sort by
+// ascending order id within a customer, so the last match is the newest
+// order). It is read-only (ReadOnly() is true), so an engine with
+// epoch-fenced replicas serves it from a local snapshot.
+//
+// The non-standard cross variant (CWID != WID) asks about a customer of
+// a remote warehouse from the home terminal — the by-name read-only
+// cross-partition class the snapshot path exists for, symmetric with
+// Payment's remote-customer form.
+type OrderStatusTxn struct {
+	W          *Workload
+	WID        int // home terminal's warehouse (read; declares routing)
+	CWID, CDID int // customer residence (remote on the cross variant)
+	CID        int // -1 when ByName
+	ByName     bool
+	CLast      []byte
+
+	// Results (set by Run; not parameters, not encoded).
+	Balance float64
+	OrderID int
+	Lines   int
+}
+
+// Name implements txn.Procedure.
+func (t *OrderStatusTxn) Name() string { return "tpcc.orderstatus" }
+
+// ReadOnly implements txn.ReadOnlyMarker.
+func (t *OrderStatusTxn) ReadOnly() bool { return true }
+
+// Accesses implements txn.Procedure: the home warehouse row (which also
+// declares the home partition for routing) plus the customer — named
+// directly, or as an index-prefetch access (see PaymentTxn.Accesses).
+// The order/order-line reads depend on index lookups resolved at
+// execution time and are undeclared, like Stock-Level's cursor walk;
+// reads that miss skip instead of aborting.
+func (t *OrderStatusTxn) Accesses() []txn.Access {
+	cust := txn.Access{Table: TCustomer, Part: t.CWID, Key: CKey(t.CWID, t.CDID, t.CID)}
+	if t.ByName {
+		cust = txn.Access{
+			Table: TCustomer, Part: t.CWID, Key: nameLockKey(t.CWID, t.CDID, t.CLast),
+			LockOnly: true,
+			Index:    CustNameIdx, IndexVal: CustNameVal(nil, t.CDID, t.CLast),
+		}
+	}
+	return []txn.Access{
+		{Table: TWarehouse, Part: t.WID, Key: WKey(t.WID)},
+		cust,
+	}
+}
+
+// Run implements txn.Procedure, following §2.6.2. Nothing is written;
+// a snapshot or remote read that misses ends the query early with what
+// was found (still a committed read-only transaction).
+func (t *OrderStatusTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	if _, ok := ctx.Read(TWarehouse, t.WID, WKey(t.WID)); !ok {
+		return txn.ErrConflict
+	}
+	cid := t.CID
+	if t.ByName {
+		var kbuf [8]storage.Key
+		var vbuf [24]byte
+		matches := ctx.LookupIndex(TCustomer, t.CWID, CustNameIdx,
+			CustNameVal(vbuf[:0], t.CDID, t.CLast), kbuf[:0])
+		if len(matches) == 0 {
+			return nil // nobody by that name: empty status, committed
+		}
+		cid = CIDOfKey(matches[len(matches)/2])
+	}
+	crow, ok := ctx.Read(TCustomer, t.CWID, CKey(t.CWID, t.CDID, cid))
+	if !ok {
+		return nil
+	}
+	t.Balance = w.customer.GetFloat64(crow, CBalance)
+
+	// Only the newest few orders matter: contexts that implement the
+	// bounded tail lookup (the STAR execution and snapshot paths) resolve
+	// it in one descent instead of materialising the customer's whole
+	// order history; remote-resolution contexts fall back to the full
+	// lookup and the tail is taken below either way.
+	var obuf [16]storage.Key
+	var vbuf [16]byte
+	oval := OrderCustVal(vbuf[:0], t.CDID, cid)
+	var orders []storage.Key
+	if tr, ok := ctx.(txn.IndexTailReader); ok {
+		orders = tr.LookupIndexTail(TOrder, t.CWID, OrderCustIdx, oval, len(obuf), obuf[:0])
+	} else {
+		orders = ctx.LookupIndex(TOrder, t.CWID, OrderCustIdx, oval, obuf[:0])
+	}
+	if len(orders) == 0 {
+		return nil // no order yet (fresh database): empty status
+	}
+	// Entries are ascending by order id: the last one is the newest.
+	// The index may overshoot (an entry whose insert is in flight on the
+	// snapshot path reads absent) — walk backwards to the newest order
+	// that is actually visible.
+	for i := len(orders) - 1; i >= 0; i-- {
+		okey := orders[i]
+		orow, ok := ctx.Read(TOrder, t.CWID, okey)
+		if !ok {
+			continue
+		}
+		oid := OIDOfKey(okey)
+		t.OrderID = oid
+		olCnt := int(w.order.GetInt64(orow, OOlCnt))
+		if olCnt > osMaxLines {
+			olCnt = osMaxLines
+		}
+		for ol := 1; ol <= olCnt; ol++ {
+			olrow, ok := ctx.Read(TOrderLine, t.CWID, OLKey(t.CWID, t.CDID, oid, ol))
+			if !ok {
+				continue
 			}
+			_ = w.orderLine.GetInt64(olrow, OLDeliveryD)
+			t.Lines++
+		}
+		return nil
+	}
+	return nil
+}
+
+func (g *Gen) orderStatus(home int, cross bool) txn.Procedure {
+	cfg := g.w.cfg
+	t := &OrderStatusTxn{
+		W:    g.w,
+		WID:  home,
+		CWID: home,
+		CDID: g.rng.Intn(cfg.Districts),
+	}
+	if cross {
+		t.CWID = g.remoteWarehouse(home)
+	}
+	if g.rng.Intn(100) < cfg.PaymentByName {
+		num := g.nuRand(255, 0, 999)
+		if num < cfg.CustomersPerDistrict {
+			t.ByName = true
+			t.CLast = []byte(LastName(num))
+			t.CID = -1
+		} else {
+			t.CID = g.customerID()
 		}
 	} else {
 		t.CID = g.customerID()

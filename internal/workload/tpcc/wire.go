@@ -11,10 +11,11 @@ import (
 // one codec, so each workload takes a distinct block (tpcc: 1–2 and —
 // ycsb having claimed 3 first — 4–5 for the full-mix extension).
 const (
-	wireNewOrder   uint8 = 1
-	wirePayment    uint8 = 2
-	wireDelivery   uint8 = 4
-	wireStockLevel uint8 = 5
+	wireNewOrder    uint8 = 1
+	wirePayment     uint8 = 2
+	wireDelivery    uint8 = 4
+	wireStockLevel  uint8 = 5
+	wireOrderStatus uint8 = 6
 )
 
 // RegisterWire binds the TPC-C procedure codecs to c. Every process of
@@ -161,6 +162,39 @@ func (w *Workload) RegisterWire(c *wire.Codec) {
 			return t, b, nil
 		})
 
+	c.RegisterProc(wireOrderStatus, (*OrderStatusTxn)(nil),
+		func(b []byte, p txn.Procedure) []byte {
+			t := p.(*OrderStatusTxn)
+			b = wire.AppendVarint(b, int64(t.WID))
+			b = wire.AppendVarint(b, int64(t.CWID))
+			b = wire.AppendVarint(b, int64(t.CDID))
+			b = wire.AppendVarint(b, int64(t.CID))
+			b = wire.AppendBool(b, t.ByName)
+			return wire.AppendBytes(b, t.CLast)
+		},
+		func(b []byte) (txn.Procedure, []byte, error) {
+			t := &OrderStatusTxn{W: w}
+			var err error
+			var x int64
+			for _, dst := range []*int{&t.WID, &t.CWID, &t.CDID, &t.CID} {
+				if x, b, err = wire.Varint(b); err != nil {
+					return nil, nil, err
+				}
+				*dst = int(x)
+			}
+			if t.ByName, b, err = wire.Bool(b); err != nil {
+				return nil, nil, err
+			}
+			var last []byte
+			if last, b, err = wire.Bytes(b); err != nil {
+				return nil, nil, err
+			}
+			if len(last) > 0 {
+				t.CLast = append([]byte(nil), last...)
+			}
+			return t, b, nil
+		})
+
 	c.RegisterProc(wireStockLevel, (*StockLevelTxn)(nil),
 		func(b []byte, p txn.Procedure) []byte {
 			t := p.(*StockLevelTxn)
@@ -217,6 +251,13 @@ func (t *PaymentTxn) WireSize() int {
 func (t *DeliveryTxn) WireSize() int {
 	return wire.VarintLen(int64(t.WID)) + wire.VarintLen(t.Carrier) +
 		wire.VarintLen(t.DeliveryD)
+}
+
+// WireSize returns the exact encoded parameter size.
+func (t *OrderStatusTxn) WireSize() int {
+	return wire.VarintLen(int64(t.WID)) + wire.VarintLen(int64(t.CWID)) +
+		wire.VarintLen(int64(t.CDID)) + wire.VarintLen(int64(t.CID)) +
+		1 + wire.BytesLen(t.CLast)
 }
 
 // WireSize returns the exact encoded parameter size.

@@ -45,6 +45,9 @@ type (
 	Ctx = txn.Ctx
 	// Access declares one element of a procedure's footprint.
 	Access = txn.Access
+	// IndexSpec declares an ordered secondary index on a table
+	// (Table.AddIndex); procedures query it via Ctx.LookupIndex.
+	IndexSpec = storage.IndexSpec
 	// Stats is a snapshot of cluster metrics.
 	Stats = metrics.Stats
 )
