@@ -1,0 +1,158 @@
+// Command star-client drives transactions against a live STAR cluster's
+// client front door (star-node -serve -client <addr>) and prints a JSON
+// summary of the session.
+//
+// The cluster flags (-nodes, -workers, -records, -cross) must match the
+// serving cluster's: the wire codec is constructed from the workload
+// configuration, and both sides must build it identically.
+//
+// A minimal session against a 2-process YCSB cluster:
+//
+//	star-node -id 0 -nodes 2 -workload ycsb -serve -snapshot-reads \
+//	    -client 127.0.0.1:7200 -addrs 127.0.0.1:7101,127.0.0.1:7102 &
+//	star-node -id 1 -nodes 2 -workload ycsb -serve -snapshot-reads \
+//	    -addrs 127.0.0.1:7101,127.0.0.1:7102 &
+//	star-client -addr 127.0.0.1:7200 -nodes 2 -workload ycsb -writes 10 -reads 10
+//
+// The session alternates like a real client: each write's response
+// carries the fence epoch it committed in (the session freshness token),
+// and each read ships the token back, so a replica may serve it from its
+// epoch-fence snapshot only once that fence covers the session's own
+// writes — read-your-own-writes without routing reads to the master.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"star/internal/client"
+	"star/internal/core"
+	"star/internal/workload/ycsb"
+)
+
+type summary struct {
+	Writes    int    `json:"writes"`
+	Reads     int    `json:"reads"`
+	Busy      int    `json:"busy"`
+	Aborted   int    `json:"aborted"`
+	Errors    int    `json:"errors"`
+	RowsRead  int64  `json:"rows_read"`
+	Token     uint64 `json:"token"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "front door host:port (required)")
+		nodes   = flag.Int("nodes", 2, "cluster size (must match the serving cluster)")
+		workers = flag.Int("workers", 2, "workers per node (partitions = nodes*workers; must match)")
+		wl      = flag.String("workload", "ycsb", "workload (must match; star-client drives ycsb)")
+		cross   = flag.Int("cross", -1, "cross-partition percentage (must match)")
+		records = flag.Int("records", 2000, "ycsb records per partition (must match)")
+		writes  = flag.Int("writes", 10, "write transactions to run")
+		reads   = flag.Int("reads", 10, "read-only transactions to run")
+		part    = flag.Int("part", 0, "home partition the session's rows live in")
+		span    = flag.Int("span", 1, "partitions each transaction touches (footprint spreads from -part)")
+		window  = flag.Int("window", 16, "client in-flight window")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		retries = flag.Int("retries", 8, "busy-shed retries per transaction")
+	)
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "star-client: -addr is required")
+		os.Exit(2)
+	}
+	if *wl != "ycsb" {
+		fmt.Fprintf(os.Stderr, "star-client: unsupported workload %q (star-client drives ycsb sessions)\n", *wl)
+		os.Exit(2)
+	}
+	nparts := *nodes * *workers
+	if *part < 0 || *part >= nparts || *span < 1 || *span > nparts {
+		fmt.Fprintf(os.Stderr, "star-client: -part/-span out of range for %d partitions\n", nparts)
+		os.Exit(2)
+	}
+	ycfg := ycsb.Config{Partitions: nparts, RecordsPerPartition: *records}
+	if *cross >= 0 {
+		ycfg.CrossPct = *cross
+	}
+	w := ycsb.New(ycfg)
+
+	codec := core.NewWireCodec(w)
+	start := time.Now()
+	// The serving cluster runs clocked (star-node -serve installs a
+	// codec clock), so the client re-bases GenAt stamps the same way.
+	codec.SetClock(func() int64 { return int64(time.Since(start)) })
+
+	c, err := client.Dial(client.Config{
+		Addr:       *addr,
+		Codec:      codec,
+		Window:     *window,
+		ReqTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "star-client:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	// The session's footprint: -span partitions starting at -part, one
+	// row per partition, stepped through the keyspace per transaction.
+	footprint := func(i int) (parts, rows []int) {
+		for s := 0; s < *span; s++ {
+			parts = append(parts, (*part+s)%nparts)
+			rows = append(rows, i%*records)
+		}
+		return parts, rows
+	}
+
+	var sum summary
+	account := func(res client.Result, err error, isRead bool) {
+		switch {
+		case err == nil:
+			if isRead {
+				sum.Reads++
+				sum.RowsRead += res.Reads
+			} else {
+				sum.Writes++
+			}
+		case errors.Is(err, client.ErrBusy):
+			sum.Busy++
+		case errors.Is(err, client.ErrAborted):
+			sum.Aborted++
+		default:
+			sum.Errors++
+			fmt.Fprintln(os.Stderr, "star-client:", err)
+		}
+	}
+
+	n := *writes
+	if *reads > n {
+		n = *reads
+	}
+	val := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		parts, rows := footprint(i)
+		if i < *writes {
+			copy(val, fmt.Sprintf("w%06d", i))
+			res, err := c.DoRetry(w.WriteTxn(parts, rows, val), *retries)
+			account(res, err, false)
+		}
+		if i < *reads {
+			res, err := c.DoRetry(w.ReadTxn(parts, rows), *retries)
+			account(res, err, true)
+		}
+	}
+
+	sum.Token = c.Token()
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	out, _ := json.Marshal(sum)
+	fmt.Println(string(out))
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildBin compiles one of this module's commands into a temp dir.
+func buildBin(t *testing.T, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct loopback ports (closed again before the
+// processes start; a steal in between is acceptable for a seconds-long
+// test).
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestStarClientLiveCluster is the end-to-end acceptance check for the
+// client front door: a real 2-process star-node cluster (-serve
+// -snapshot-reads) opens a client door on the REPLICA (node 1), and the
+// star-client binary runs a session of interleaved writes and reads
+// against it. Every write must commit (the response carrying its fence
+// epoch as the session token), every read must complete with the full
+// row count — reads ride the replica's snapshot when the token allows
+// and are forwarded to the master when it does not, but either way the
+// session sees its own writes. The printed summary is the contract.
+func TestStarClientLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short")
+	}
+	nodeBin := buildBin(t, "star/cmd/star-node", "star-node")
+	clientBin := buildBin(t, "star/cmd/star-client", "star-client")
+
+	addrs := freePorts(t, 3)
+	addrList := addrs[0] + "," + addrs[1]
+	doorAddr := addrs[2]
+
+	nodeArgs := func(id string, extra ...string) []string {
+		args := []string{
+			"-id", id, "-nodes", "2", "-workers", "2", "-seed", "5",
+			"-addrs", addrList, "-workload", "ycsb", "-records", "512",
+			"-serve", "-snapshot-reads", "-iteration", "2ms",
+		}
+		return append(args, extra...)
+	}
+	start := func(args []string) *exec.Cmd {
+		cmd := exec.Command(nodeBin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start star-node: %v", err)
+		}
+		return cmd
+	}
+	// The replica hosts the door: session-fresh reads are served from its
+	// fence snapshot, writes are forwarded across the cluster transport
+	// to the master on node 0.
+	node1 := start(nodeArgs("1", "-client", doorAddr))
+	defer func() { node1.Process.Kill(); node1.Wait() }()
+	node0 := start(nodeArgs("0"))
+	defer func() { node0.Process.Kill(); node0.Wait() }()
+
+	const (
+		writes, reads, span = 8, 8, 2
+	)
+	client := exec.Command(clientBin,
+		"-addr", doorAddr, "-nodes", "2", "-workers", "2",
+		"-workload", "ycsb", "-records", "512",
+		"-writes", "8", "-reads", "8", "-span", "2",
+		"-timeout", "20s",
+	)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = client.Output()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		client.Process.Kill()
+		t.Fatal("star-client did not finish in 60s")
+	}
+	if err != nil {
+		t.Fatalf("star-client: %v (output %q)", err, out)
+	}
+
+	var sum struct {
+		Writes   int    `json:"writes"`
+		Reads    int    `json:"reads"`
+		Busy     int    `json:"busy"`
+		Aborted  int    `json:"aborted"`
+		Errors   int    `json:"errors"`
+		RowsRead int64  `json:"rows_read"`
+		Token    uint64 `json:"token"`
+	}
+	if err := json.Unmarshal(out, &sum); err != nil {
+		t.Fatalf("parse summary %q: %v", out, err)
+	}
+	if sum.Writes != writes || sum.Reads != reads {
+		t.Fatalf("session lost transactions: %+v, want %d writes / %d reads", sum, writes, reads)
+	}
+	if sum.Errors != 0 || sum.Aborted != 0 {
+		t.Fatalf("session had failures: %+v", sum)
+	}
+	if sum.RowsRead != int64(reads*span) {
+		t.Fatalf("rows_read = %d, want %d (every read must see its full footprint)", sum.RowsRead, reads*span)
+	}
+	// Every write returns its commit fence; a session that committed
+	// anything holds a non-zero token (epoch fences start above 1).
+	if sum.Token < 2 {
+		t.Fatalf("session token = %d after %d commits, want ≥ 2", sum.Token, writes)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	stdnet "net"
 	"os"
 	"strings"
 	"time"
@@ -51,6 +52,8 @@ func main() {
 		txns      = flag.Int("txns", 200, "scripted generator steps per partition")
 		serve     = flag.Bool("serve", false, "time-driven run instead of the scripted one: process the workload until killed (failure-test mode)")
 		iteration = flag.Duration("iteration", 10*time.Millisecond, "serve mode: phase-switch iteration time")
+		clientAt  = flag.String("client", "", "serve mode: host:port to serve star-client connections on (the client front door; off when empty)")
+		clientWin = flag.Int("client-window", core.DefaultClientWindow, "serve mode: per-connection in-flight request bound")
 		probe     = flag.Bool("probe", false, "register an extra probe endpoint (id nodes+1, sharing process 0's address) for an external test/ops observer")
 		districts = flag.Int("districts", 2, "tpcc: districts per warehouse")
 		customers = flag.Int("customers", 300, "tpcc: customers per district")
@@ -121,7 +124,7 @@ func main() {
 		// the deterministic total-order stamp the master sorts by.
 		codec.SetClock(func() int64 { return int64(r.Now()) })
 	}
-	net, err := tcpnet.New(r, tcpnet.Config{
+	nw, err := tcpnet.New(r, tcpnet.Config{
 		Endpoints: endpoints,
 		Local:     local,
 		Codec:     codec,
@@ -130,7 +133,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "star-node:", err)
 		os.Exit(1)
 	}
-	defer net.Close()
+	defer nw.Close()
 
 	cfg := core.Config{
 		RT:               r,
@@ -139,7 +142,7 @@ func main() {
 		WorkersPerNode:   *workers,
 		Workload:         w,
 		Seed:             *seed,
-		Transport:        net,
+		Transport:        nw,
 		LocalNodes:       []int{*id},
 		LocalCoordinator: *id == 0,
 		SnapshotReads:    *snapReads,
@@ -151,7 +154,15 @@ func main() {
 		// multi-process kill/restart failure tests. Nothing is printed;
 		// observers use the probe endpoint.
 		cfg.Iteration = *iteration
-		core.New(cfg)
+		eng := core.New(cfg)
+		if *clientAt != "" {
+			ln, err := stdnet.Listen("tcp", *clientAt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "star-node: client listener:", err)
+				os.Exit(1)
+			}
+			eng.ServeClients(*id, ln, codec, *clientWin)
+		}
 		select {}
 	}
 

@@ -1,0 +1,44 @@
+// Package backoff computes capped exponential retry delays with jitter.
+// Both reconnect paths use it — tcpnet's lazy link dial and the
+// star-client's connection retry — so a cluster-wide restart does not
+// turn into a synchronised reconnect storm: without jitter, every peer
+// that observed the outage at the same moment re-dials at the same
+// instants, and the listener absorbs the whole cluster's SYNs in bursts
+// exactly when it is busiest.
+package backoff
+
+import "time"
+
+// Policy is a capped exponential backoff: attempt 0 waits about Base,
+// each following attempt doubles, capped at Max, with the top Jitter
+// fraction of each delay randomised.
+type Policy struct {
+	Base time.Duration
+	Max  time.Duration
+	// Jitter is the randomised fraction of each delay in [0,1]: 0 is a
+	// deterministic schedule, 0.5 spreads attempts over the top half of
+	// the exponential envelope.
+	Jitter float64
+}
+
+// Delay returns the wait before retry number attempt (0-based). rng01
+// supplies the jitter sample in [0,1); callers own their randomness so
+// schedules stay reproducible under seeded tests.
+func (p Policy) Delay(attempt int, rng01 float64) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		lo := float64(d) * (1 - j)
+		d = time.Duration(lo + rng01*(float64(d)-lo))
+	}
+	return d
+}

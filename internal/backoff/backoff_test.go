@@ -1,0 +1,46 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayEnvelope(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 320 * time.Millisecond, Jitter: 0.5}
+	for attempt := 0; attempt < 12; attempt++ {
+		full := 10 * time.Millisecond << attempt
+		if full > p.Max {
+			full = p.Max
+		}
+		for _, r := range []float64{0, 0.25, 0.999} {
+			d := p.Delay(attempt, r)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d rng %.3f: delay %v outside [%v, %v]", attempt, r, d, full/2, full)
+			}
+		}
+		// Jitter spreads: the extremes of the rng range must differ once
+		// the envelope is wide enough to express it.
+		if full >= 2*time.Millisecond && p.Delay(attempt, 0) == p.Delay(attempt, 0.999) {
+			t.Fatalf("attempt %d: no jitter spread", attempt)
+		}
+	}
+}
+
+func TestDelayNoJitterIsDeterministic(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Max: 200 * time.Millisecond}
+	want := []time.Duration{50, 100, 200, 200, 200}
+	for i, w := range want {
+		if d := p.Delay(i, 0.7); d != w*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayOverflowSafe(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 30 * time.Second, Jitter: 0.5}
+	for attempt := 0; attempt < 100; attempt++ {
+		if d := p.Delay(attempt, 0.5); d <= 0 || d > 30*time.Second {
+			t.Fatalf("attempt %d: delay %v escaped the cap", attempt, d)
+		}
+	}
+}

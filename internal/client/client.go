@@ -1,0 +1,316 @@
+// Package client is the star-client library: a session-aware client for
+// a STAR cluster's front door (core.ServeClients), speaking the
+// internal/wire framing over one TCP connection.
+//
+// Sessions and freshness: every committed write returns the fence epoch
+// it committed in, and the client keeps the running maximum as its
+// session token. Read-only transactions carry the token, which lets any
+// replica whose epoch fence has advanced past it serve the read from its
+// local snapshot — read-your-own-writes with bounded staleness (the
+// SCAR-style session guarantee) — while writes and too-fresh reads are
+// forwarded to the master by the server.
+//
+// Flow control is cooperative: the client bounds its own in-flight
+// window, and the server sheds excess with an explicit StatusBusy
+// response (ErrBusy here) rather than queueing unboundedly; callers back
+// off and retry.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"star/internal/backoff"
+	"star/internal/core"
+	"star/internal/txn"
+	"star/internal/wire"
+)
+
+// ErrBusy reports that the server shed the request under admission
+// control (session window, deferred queue, or front-door window full).
+// The request did NOT execute; retry after a backoff.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrAborted reports that the procedure aborted for application reasons;
+// the server does not retry user aborts and neither does the client.
+var ErrAborted = errors.New("client: transaction aborted by application")
+
+// ErrClosed reports that the connection is gone (Close was called or the
+// stream broke); outstanding and future requests fail with it.
+var ErrClosed = errors.New("client: connection closed")
+
+// Config parameterises one client connection.
+type Config struct {
+	// Addr is the front door's "host:port" (star-node -client).
+	Addr string
+	// Codec must be constructed exactly like the serving cluster's
+	// (core.NewWireCodec with the same workload configuration).
+	Codec *wire.Codec
+	// Window bounds the client's own in-flight requests (default 32).
+	// Keep it at or below the server's front-door window, or the excess
+	// just bounces back as ErrBusy.
+	Window int
+	// DialTimeout is the per-attempt dial timeout (default 1s).
+	DialTimeout time.Duration
+	// DialRetry / DialRetryMax / DialDeadline shape the connect retry:
+	// capped exponential backoff with jitter from DialRetry (default
+	// 50ms) up to DialRetryMax (default 2s), giving up after
+	// DialDeadline (default 15s). The server may still be starting.
+	DialRetry    time.Duration
+	DialRetryMax time.Duration
+	DialDeadline time.Duration
+	// ReqTimeout bounds one request round trip (default 30s). A timed-out
+	// request's late response is discarded.
+	ReqTimeout time.Duration
+	// Now supplies GenAt stamps (default: nanoseconds since Dial). With a
+	// clocked codec the stamp is re-based into the server's clock domain
+	// on the wire, feeding its group-commit latency accounting.
+	Now func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.DialRetry == 0 {
+		c.DialRetry = 50 * time.Millisecond
+	}
+	if c.DialRetryMax == 0 {
+		c.DialRetryMax = 2 * time.Second
+	}
+	if c.DialRetryMax < c.DialRetry {
+		c.DialRetryMax = c.DialRetry
+	}
+	if c.DialDeadline == 0 {
+		c.DialDeadline = 15 * time.Second
+	}
+	if c.ReqTimeout == 0 {
+		c.ReqTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result is one transaction's outcome.
+type Result struct {
+	Status core.ClientStatus
+	// Token is the freshness token the operation established: the commit
+	// epoch for writes, the observed fence epoch for snapshot reads.
+	Token uint64
+	// Reads is the server's read count for the execution (0 for writes).
+	Reads int64
+}
+
+// Client is one connection-bound session.
+type Client struct {
+	cfg   Config
+	conn  net.Conn
+	start time.Time
+
+	writeMu sync.Mutex // frames must hit the stream whole
+	wbuf    []byte
+
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]chan core.ClientResp
+	token   uint64
+	closed  bool
+
+	sem chan struct{} // in-flight window
+}
+
+// Dial connects to a front door, retrying with capped exponential
+// backoff until DialDeadline (the serving process may start after the
+// client does).
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("client: Config.Codec is required")
+	}
+	pol := backoff.Policy{Base: cfg.DialRetry, Max: cfg.DialRetryMax, Jitter: 0.5}
+	deadline := time.Now().Add(cfg.DialDeadline)
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		conn, err = net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: dial %s: %w", cfg.Addr, err)
+		}
+		time.Sleep(pol.Delay(attempt, rand.Float64()))
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		cfg:     cfg,
+		conn:    conn,
+		start:   time.Now(),
+		pending: map[uint64]chan core.ClientResp{},
+		sem:     make(chan struct{}, cfg.Window),
+	}
+	if c.cfg.Now == nil {
+		c.cfg.Now = func() int64 { return int64(time.Since(c.start)) }
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Token returns the session's current freshness token (the highest fence
+// epoch this session has observed).
+func (c *Client) Token() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// Close tears the connection down; outstanding requests fail ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail()
+	return err
+}
+
+// fail marks the client closed and unblocks every waiter.
+func (c *Client) fail() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for t, ch := range c.pending {
+		delete(c.pending, t)
+		close(ch)
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.fail()
+	for {
+		body, err := wire.ReadFrame(c.conn, wire.MaxClientFrame)
+		if err != nil {
+			return
+		}
+		_, m, err := wire.DecodeFrameBody(body, c.cfg.Codec)
+		if err != nil {
+			return
+		}
+		resp, ok := m.(core.ClientResp)
+		if !ok {
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Ticket]
+		if ok {
+			delete(c.pending, resp.Ticket)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // cap 1: never blocks
+		}
+	}
+}
+
+// Do runs one transaction through the session and blocks for its result:
+// writes resolve when their fence completes cluster-wide (the group
+// commit), session-fresh snapshot reads immediately. The session token
+// advances to the response's token. Errors: ErrBusy (shed, retry after
+// backoff), ErrAborted (application abort), ErrClosed, or a timeout.
+func (c *Client) Do(p txn.Procedure) (Result, error) {
+	timeout := time.NewTimer(c.cfg.ReqTimeout)
+	defer timeout.Stop()
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-timeout.C:
+		return Result{}, fmt.Errorf("client: window wait: timeout after %v", c.cfg.ReqTimeout)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	c.next++
+	ticket := c.next
+	ch := make(chan core.ClientResp, 1)
+	c.pending[ticket] = ch
+	token := c.token
+	c.mu.Unlock()
+
+	req := txn.NewRequest(p, c.cfg.Now())
+	req.Ticket = ticket // client-side correlation; the gate re-stamps on forward
+	if err := c.writeReq(core.ClientReq{Token: token, Req: req}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, ticket)
+		c.mu.Unlock()
+		return Result{}, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Result{}, ErrClosed
+		}
+		res := Result{Status: resp.Status, Token: resp.Token, Reads: resp.Reads}
+		switch resp.Status {
+		case core.StatusBusy:
+			return res, ErrBusy
+		case core.StatusAborted:
+			return res, ErrAborted
+		}
+		c.mu.Lock()
+		if resp.Token > c.token {
+			c.token = resp.Token
+		}
+		c.mu.Unlock()
+		return res, nil
+	case <-timeout.C:
+		c.mu.Lock()
+		delete(c.pending, ticket) // a late response is discarded
+		c.mu.Unlock()
+		return Result{}, fmt.Errorf("client: %s: timeout after %v", p.Name(), c.cfg.ReqTimeout)
+	}
+}
+
+// DoRetry runs Do, retrying ErrBusy shed with capped exponential backoff
+// up to attempts tries.
+func (c *Client) DoRetry(p txn.Procedure, attempts int) (Result, error) {
+	pol := backoff.Policy{Base: 2 * time.Millisecond, Max: 200 * time.Millisecond, Jitter: 0.5}
+	var res Result
+	var err error
+	for i := 0; i < attempts; i++ {
+		res, err = c.Do(p)
+		if !errors.Is(err, ErrBusy) {
+			return res, err
+		}
+		time.Sleep(pol.Delay(i, rand.Float64()))
+	}
+	return res, err
+}
+
+func (c *Client) writeReq(m core.ClientReq) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var err error
+	// src/dst are routing hints the front door ignores (the accepting
+	// node serves or forwards on its own authority); zeros keep the frame
+	// well-formed.
+	c.wbuf, err = wire.AppendFrame(c.wbuf[:0], 0, 0, 0, c.cfg.Codec, m)
+	if err != nil {
+		return fmt.Errorf("client: encode: %w", err)
+	}
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return fmt.Errorf("client: write: %w", err)
+	}
+	return nil
+}

@@ -53,6 +53,12 @@ type coordinator struct {
 	lastTauP, lastTauS time.Duration
 	fenceTime          time.Duration
 	startTime          time.Duration
+	// backlog is the cluster's master-queue depth at the last phase
+	// report. Client sessions submit out of band of the workload
+	// generators, so a purely single-partition generated load tunes τs
+	// to zero while forwarded client writes pile up at the master; a
+	// non-zero backlog forces a drain slice regardless of the tuning.
+	backlog int64
 }
 
 func newCoordinator(e *Engine) *coordinator {
@@ -120,9 +126,27 @@ func (c *coordinator) curTau(phase Phase) time.Duration {
 	c.statMu.Lock()
 	defer c.statMu.Unlock()
 	if phase == SingleMaster {
+		if c.lastTauS <= 0 && c.backlog > 0 {
+			// Backlog-forced drain slice: τs is tuned to zero (no
+			// cross-partition work in the generated load), but forwarded
+			// client requests are waiting at the master.
+			return c.e.cfg.Iteration / 50
+		}
 		return c.lastTauS
 	}
 	return c.lastTauP
+}
+
+func (c *coordinator) setBacklog(q int64) {
+	c.statMu.Lock()
+	c.backlog = q
+	c.statMu.Unlock()
+}
+
+func (c *coordinator) queuedBacklog() int64 {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.backlog
 }
 
 func (c *coordinator) setTaus(tauP, tauS time.Duration) {
@@ -234,6 +258,11 @@ func (c *coordinator) runPhase(tau time.Duration) {
 	c.ackRetried = false
 	// Epoch committed. Account monitors, handle rejoins, next phase.
 	c.addFenceTime(r.Now() - fenceStart)
+	var queued int64
+	for _, pd := range done {
+		queued += pd.Queued
+	}
+	c.setBacklog(queued)
 	c.accountPhase(done, tau)
 	c.handleRejoins(done)
 	c.epoch++
@@ -370,7 +399,7 @@ func (c *coordinator) retune() {
 func (c *coordinator) advancePhase() {
 	tauP, tauS := c.taus()
 	if c.phase == Partitioned {
-		if tauS > 0 && c.hasAliveFull() {
+		if (tauS > 0 || c.queuedBacklog() > 0) && c.hasAliveFull() {
 			c.phase = SingleMaster
 			return
 		}

@@ -105,11 +105,15 @@ func build(cfg Config) *Engine {
 			failed:  make([]bool, cfg.Nodes),
 		}
 		n.masterQ = cfg.RT.NewChan(1 << 16)
+		// Until the first phase command arrives, the designated master is
+		// the first full replica (the coordinator's own default).
+		n.curMaster.Store(0)
 		n.rebuildReplTargets()
 		n.workers = make([]*worker, cfg.WorkersPerNode)
 		for wi := range n.workers {
 			n.workers[wi] = newWorker(n, wi)
 		}
+		n.gate = newClientGate(n)
 		e.nodes = append(e.nodes, n)
 	}
 	if hostsAll || cfg.LocalCoordinator {
@@ -262,6 +266,15 @@ func (e *Engine) Net() transport.Transport { return e.net }
 
 // Node returns node i's database (tests check replica consistency).
 func (e *Engine) Node(i int) *node { return e.nodes[i] }
+
+// Gate returns node i's client-session gate (the star-client front
+// door's in-process half); nil for nodes this process does not host.
+func (e *Engine) Gate(i int) *ClientGate {
+	if n := e.nodes[i]; n != nil {
+		return n.gate
+	}
+	return nil
+}
 
 // DB returns node i's database copy (read-only inspection).
 func (e *Engine) DB(i int) *storage.DB { return e.nodes[i].db }

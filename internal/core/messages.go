@@ -77,9 +77,15 @@ type msgPhaseDone struct {
 	Committed int64
 	GenSingle int64
 	GenCross  int64
+	// Queued is the node's master-queue backlog (deferred + forwarded
+	// client requests) at the phase end. Client sessions submit out of
+	// band of the generators, so they are invisible to the P estimate;
+	// the coordinator uses the backlog to schedule a single-master drain
+	// slice even when the generated workload alone tunes τs to zero.
+	Queued int64
 }
 
-func (m msgPhaseDone) Size() int { return 48 + 8*len(m.Sent) }
+func (m msgPhaseDone) Size() int { return 56 + 8*len(m.Sent) }
 
 // msgFenceDrain tells a node how many replication entries to expect from
 // each source before the fence may complete.
@@ -213,3 +219,72 @@ func (m msgChecksumResp) Size() int { return 16 + 12*len(m.Parts) }
 type msgHalt struct{}
 
 func (msgHalt) Size() int { return 8 }
+
+// ClientStatus is the outcome of a client-submitted request.
+type ClientStatus uint8
+
+const (
+	// StatusOK: the request committed (writes: after its fence completed
+	// cluster-wide) or the read was served.
+	StatusOK ClientStatus = iota + 1
+	// StatusBusy: shed by admission control (the session window, the
+	// master's deferred queue, or the front door) — retry later.
+	StatusBusy
+	// StatusAborted: the procedure aborted for application reasons;
+	// engines do not retry user aborts.
+	StatusAborted
+)
+
+func (s ClientStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// ClientReq is a client-submitted transaction request — the star-client
+// front door's unit of work. The socket handler decodes it off a client
+// connection; the session gate serves read-only requests from the local
+// epoch-fence snapshot when the freshness token allows, and forwards
+// everything else (re-encoded, with the gate's Origin/Ticket stamped
+// into Req) to the current master's deferred queue.
+type ClientReq struct {
+	// Token is the client session's freshness token: the fence epoch its
+	// last acknowledged write committed in (0 = no freshness demand). A
+	// replica may serve the read from its snapshot only when its own
+	// in-flight epoch has advanced PAST the token — i.e. the token's
+	// fence has completed locally (SCAR-style session guarantee:
+	// read-your-own-writes with bounded staleness).
+	Token uint64
+	Req   *txn.Request
+}
+
+// Size mirrors msgDefer's encoded-length model plus the client header.
+func (m ClientReq) Size() int {
+	if ws, ok := m.Req.Proc.(wireSizer); ok {
+		return wire.FrameOverhead + wire.RequestOverhead(m.Req.GenAt) + ws.WireSize() + 24
+	}
+	return 72 + 24*len(m.Req.Parts)
+}
+
+// ClientResp answers one ClientReq (master → origin gate → client).
+type ClientResp struct {
+	// Ticket echoes the request's correlation id.
+	Ticket uint64
+	Status ClientStatus
+	// Token is the freshness token the operation established: the commit
+	// epoch for writes (released only after that fence completed
+	// cluster-wide), the observed fence epoch for snapshot-served reads.
+	// Sessions keep the running maximum.
+	Token uint64
+	// Reads counts the record reads the procedure performed — a cheap
+	// execution fingerprint for clients and tests. Zero for writes.
+	Reads int64
+}
+
+func (ClientResp) Size() int { return 40 }

@@ -9,6 +9,7 @@ import (
 	"star/internal/rt"
 	"star/internal/storage"
 	"star/internal/transport"
+	"star/internal/txn"
 	"star/internal/wal"
 )
 
@@ -40,6 +41,13 @@ type node struct {
 	master  int
 	masters []int32 // partition → mastering node
 	failed  []bool
+
+	// curMaster mirrors master for readers outside the router (the
+	// client-session gate routes write forwards by it).
+	curMaster atomic.Int32
+
+	// gate is the node's client-session layer (star-client front door).
+	gate *ClientGate
 
 	// replTargets maps partition → replica destinations for writes from
 	// this node (holders minus self and failed nodes). Precomputed at
@@ -188,6 +196,20 @@ func (n *node) handle(m any) {
 		if !n.masterQ.TrySend(msg.Req) {
 			n.e.rejected.Inc()
 		}
+	case ClientReq:
+		r.Compute(n.e.cfg.Cost.MsgHandling)
+		n.e.deferred.Inc()
+		// Same admission control as msgDefer, but the shed is explicit:
+		// the originating session gets a busy response instead of a
+		// silent drop, so clients back off instead of timing out.
+		if !n.masterQ.TrySend(msg.Req) {
+			n.e.rejected.Inc()
+			n.respondClient(msg.Req, ClientResp{Status: StatusBusy})
+		}
+	case ClientResp:
+		if n.gate != nil {
+			n.gate.deliver(msg)
+		}
 	case msgReplAck:
 		n.workers[msg.Worker].resp.Send(msg)
 	case workerDoneMsg:
@@ -279,6 +301,7 @@ func (n *node) startPhase(m msgStartPhase) {
 	n.epoch.Store(m.Epoch)
 	n.phase = m.Phase
 	n.master = m.Master
+	n.curMaster.Store(int32(m.Master))
 	n.setFailed(m.Failed)
 	n.workersDone = 0
 	n.phaseCommitted, n.genSingle, n.genCross = 0, 0, 0
@@ -340,9 +363,13 @@ func (n *node) rebuildReplTargets() {
 }
 
 // releaseResults observes group-commit latency for every transaction
-// committed in the epoch that just closed. It runs on the router while
-// the workers idle between phases (their done reports happened-before
-// this read; the next phase command happens-after the reset).
+// committed in the epoch that just closed, and releases the pending
+// client responses: a ticketed commit's response (carrying its commit
+// epoch as the session freshness token) may only leave once that fence
+// completed cluster-wide, which is exactly what the next phase-start
+// command certifies. It runs on the router while the workers idle
+// between phases (their done reports happened-before this read; the
+// next phase command happens-after the reset).
 func (n *node) releaseResults() {
 	now := int64(n.e.cfg.RT.Now())
 	for _, w := range n.workers {
@@ -350,7 +377,22 @@ func (n *node) releaseResults() {
 			n.e.latency.Observe(time.Duration(now - genAt))
 		}
 		w.pendingLat = w.pendingLat[:0]
+		for _, pc := range w.pendingClient {
+			n.e.net.Send(n.id, pc.origin, transport.Control,
+				ClientResp{Ticket: pc.ticket, Status: StatusOK, Token: pc.epoch})
+		}
+		w.pendingClient = w.pendingClient[:0]
 	}
+}
+
+// respondClient routes a response for a ticketed request back to its
+// originating session gate. No-op for engine-internal requests.
+func (n *node) respondClient(req *txn.Request, resp ClientResp) {
+	if req.Ticket == 0 {
+		return
+	}
+	resp.Ticket = req.Ticket
+	n.e.net.Send(n.id, req.Origin, transport.Control, resp)
 }
 
 func (n *node) reportPhaseDone() {
@@ -361,6 +403,7 @@ func (n *node) reportPhaseDone() {
 		Committed: n.phaseCommitted,
 		GenSingle: n.genSingle,
 		GenCross:  n.genCross,
+		Queued:    int64(n.masterQ.Len()),
 	})
 }
 
@@ -489,6 +532,10 @@ func (n *node) revert(m msgRevert) {
 	n.db.RevertEpoch(m.Epoch)
 	for _, w := range n.workers {
 		w.pendingLat = w.pendingLat[:0] // uncommitted: results never released
+		// Reverted ticketed commits rolled back with the epoch; their
+		// clients time out and retry rather than receive a token for a
+		// fence that never completed.
+		w.pendingClient = w.pendingClient[:0]
 	}
 	n.setFailed(m.Failed)
 	copy(n.masters, m.NewMasters)

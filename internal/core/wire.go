@@ -35,6 +35,8 @@ const (
 	wireHalt
 	wireFreeze
 	wireAlignCounters
+	wireClientReq
+	wireClientResp
 )
 
 // wireRegistrar is implemented by workloads whose procedures have a
@@ -109,7 +111,8 @@ func registerMessages(c *wire.Codec) {
 			b = wire.AppendI64s(b, v.Sent)
 			b = wire.AppendVarint(b, v.Committed)
 			b = wire.AppendVarint(b, v.GenSingle)
-			return wire.AppendVarint(b, v.GenCross)
+			b = wire.AppendVarint(b, v.GenCross)
+			return wire.AppendVarint(b, v.Queued)
 		},
 		func(b []byte) (transport.Message, []byte, error) {
 			var v msgPhaseDone
@@ -132,6 +135,9 @@ func registerMessages(c *wire.Codec) {
 				return nil, nil, err
 			}
 			if v.GenCross, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Queued, b, err = wire.Varint(b); err != nil {
 				return nil, nil, err
 			}
 			return v, b, nil
@@ -493,6 +499,76 @@ func registerMessages(c *wire.Codec) {
 				return nil, nil, err
 			}
 			return msgFreeze{On: on}, rest, nil
+		})
+
+	// ClientReq carries the session header (token, origin, ticket) ahead
+	// of the request body: AppendRequest does not ship Origin/Ticket (the
+	// engine-internal msgDefer has no use for them), so the client
+	// envelope encodes them itself and stamps the decoded request.
+	c.Register(wireClientReq, ClientReq{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(ClientReq)
+			b = wire.AppendUvarint(b, v.Token)
+			b = wire.AppendVarint(b, int64(v.Req.Origin))
+			b = wire.AppendU64(b, v.Req.Ticket)
+			b, err := c.AppendRequest(b, v.Req)
+			if err != nil {
+				panic("core: encode client request: " + err.Error())
+			}
+			return b
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v ClientReq
+			var err error
+			if v.Token, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			var origin int64
+			if origin, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			var ticket uint64
+			if ticket, b, err = wire.U64(b); err != nil {
+				return nil, nil, err
+			}
+			req, rest, err := c.DecodeRequest(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			req.Origin = int(origin)
+			req.Ticket = ticket
+			v.Req = req
+			return v, rest, nil
+		})
+
+	c.Register(wireClientResp, ClientResp{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(ClientResp)
+			b = wire.AppendU64(b, v.Ticket)
+			b = append(b, byte(v.Status))
+			b = wire.AppendUvarint(b, v.Token)
+			return wire.AppendVarint(b, v.Reads)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v ClientResp
+			var err error
+			if v.Ticket, b, err = wire.U64(b); err != nil {
+				return nil, nil, err
+			}
+			if len(b) < 1 {
+				return nil, nil, wire.ErrTruncated
+			}
+			v.Status = ClientStatus(b[0])
+			if v.Status < StatusOK || v.Status > StatusAborted {
+				return nil, nil, wire.ErrCorrupt
+			}
+			if v.Token, b, err = wire.Uvarint(b[1:]); err != nil {
+				return nil, nil, err
+			}
+			if v.Reads, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
 		})
 
 	c.Register(wireAlignCounters, msgAlignCounters{},

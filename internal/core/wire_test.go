@@ -81,7 +81,20 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		msgChecksumResp{Node: 1, Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
 		msgHalt{},
 		msgFreeze{On: true},
+		ClientReq{Token: 8, Req: ticketed(txn.NewRequest(tg.Cross(1), 999), 1, 77)},
+		ClientReq{Token: 0, Req: ticketed(txn.NewRequest(&tpcc.StockLevelTxn{
+			W: tw, WID: 1, DID: 0, Threshold: 12, Remote: []int{0}}, 600), 2, 1)},
+		ClientReq{Token: 3, Req: ticketed(txn.NewRequest(yg.Cross(3), 444), 0, 1<<40)},
+		ClientResp{Ticket: 12, Status: StatusOK, Token: 9, Reads: 31},
+		ClientResp{Ticket: 13, Status: StatusBusy},
+		ClientResp{Ticket: 14, Status: StatusAborted, Token: 2},
 	}
+}
+
+// ticketed stamps the session routing fields a client envelope carries.
+func ticketed(r *txn.Request, origin int, ticket uint64) *txn.Request {
+	r.Origin, r.Ticket = origin, ticket
+	return r
 }
 
 // TestWireMessagesRoundTrip pins decode(encode(m)) == m for every

@@ -58,6 +58,17 @@ type worker struct {
 	// epoch; the router (sole reader while workers idle at the fence)
 	// releases them as group-commit latencies at the next phase start.
 	pendingLat []int64
+	// pendingClient holds ticketed client commits awaiting their fence:
+	// the router releases their responses (with the commit epoch as the
+	// session freshness token) alongside pendingLat.
+	pendingClient []clientDone
+}
+
+// clientDone is one ticketed commit awaiting group-commit release.
+type clientDone struct {
+	origin int
+	ticket uint64
+	epoch  uint64
 }
 
 func newWorker(n *node, idx int) *worker {
@@ -73,7 +84,7 @@ func newWorker(n *node, idx int) *worker {
 		resp: e.cfg.RT.NewChan(16),
 	}
 	w.lctx.w = w
-	w.sctx.w = w
+	w.sctx.n = n
 	return w
 }
 
@@ -193,7 +204,7 @@ func (w *worker) execSerial(req *txn.Request, epoch uint64) {
 	if e.cfg.Logging {
 		w.chargeTxnLog()
 	}
-	w.finishCommit(req)
+	w.finishCommit(req, epoch)
 }
 
 // emitEntries streams the committed write set to the replica targets of
@@ -264,6 +275,9 @@ func (w *worker) execOCC(req *txn.Request, cmd msgStartPhase) {
 		r.Compute(w.execCost(&w.lctx))
 		if err == txn.ErrUserAbort {
 			e.userAborts.Inc()
+			// Nothing committed: a ticketed client request answers
+			// immediately — there is no fence to wait for.
+			w.n.respondClient(req, ClientResp{Status: StatusAborted})
 			return
 		}
 		if err == nil && !w.lctx.failed {
@@ -282,7 +296,7 @@ func (w *worker) execOCC(req *txn.Request, cmd msgStartPhase) {
 					if e.cfg.Logging {
 						w.chargeTxnLog()
 					}
-					w.finishCommit(req)
+					w.finishCommit(req, cmd.Epoch)
 					return
 				}
 			}
@@ -338,12 +352,18 @@ func (w *worker) execSnapshot(req *txn.Request, epoch uint64) {
 	}
 	if err != nil {
 		e.userAborts.Inc()
+		w.n.respondClient(req, ClientResp{Status: StatusAborted})
 		return
 	}
 	e.snapReads.Inc()
 	e.committed.Inc()
 	w.committed++
 	e.latency.Observe(time.Duration(int64(r.Now()) - req.GenAt))
+	// Snapshot reads expose only fenced state, so the response releases
+	// immediately; the token it establishes is the fence it observed.
+	w.n.respondClient(req, ClientResp{
+		Status: StatusOK, Token: epoch - 1, Reads: int64(w.sctx.reads),
+	})
 }
 
 // commitSync implements SYNC STAR: locks are held while every replica
@@ -388,14 +408,22 @@ func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
 	if e.cfg.Logging {
 		w.chargeTxnLog()
 	}
-	w.finishCommit(req)
+	w.finishCommit(req, epoch)
 	return true
 }
 
-func (w *worker) finishCommit(req *txn.Request) {
+func (w *worker) finishCommit(req *txn.Request, epoch uint64) {
 	w.n.e.committed.Inc()
 	w.committed++
 	w.pendingLat = append(w.pendingLat, req.GenAt)
+	if req.Ticket != 0 {
+		// The response waits for the fence like the latency stamp does:
+		// the router releases it at the next phase start, carrying the
+		// commit epoch as the session's freshness token.
+		w.pendingClient = append(w.pendingClient, clientDone{
+			origin: req.Origin, ticket: req.Ticket, epoch: epoch,
+		})
+	}
 }
 
 // chargeTxnLog models logging the write set locally (§4.5.1) and, in
@@ -538,7 +566,7 @@ func (c *localCtx) LookupIndexTail(t storage.TableID, part, idx int, val []byte,
 // failing the transaction: read-only procedures skip what the snapshot
 // does not yet contain.
 type snapshotCtx struct {
-	w     *worker
+	n     *node
 	epoch uint64
 	reads int
 	wrote bool
@@ -554,7 +582,7 @@ func (c *snapshotCtx) reset(epoch uint64) {
 
 func (c *snapshotCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bool) {
 	c.reads++
-	rec := c.w.n.db.Table(t).Get(part, key)
+	rec := c.n.db.Table(t).Get(part, key)
 	if rec == nil {
 		return nil, false
 	}
@@ -574,13 +602,13 @@ func (c *snapshotCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte
 // snapshot as the rows it leads to.
 func (c *snapshotCtx) LookupIndex(t storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
 	c.reads++
-	return c.w.n.db.Table(t).IndexLookup(part, idx, val, c.epoch, dst)
+	return c.n.db.Table(t).IndexLookup(part, idx, val, c.epoch, dst)
 }
 
 // LookupIndexTail implements txn.IndexTailReader at the fence epoch.
 func (c *snapshotCtx) LookupIndexTail(t storage.TableID, part, idx int, val []byte, max int, dst []storage.Key) []storage.Key {
 	c.reads++
-	return c.w.n.db.Table(t).IndexLookupTail(part, idx, val, c.epoch, max, dst)
+	return c.n.db.Table(t).IndexLookupTail(part, idx, val, c.epoch, max, dst)
 }
 
 func (c *snapshotCtx) Write(storage.TableID, int, storage.Key, ...storage.FieldOp) {

@@ -27,11 +27,13 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"star/internal/backoff"
 	"star/internal/rt"
 	"star/internal/transport"
 	"star/internal/wire"
@@ -58,9 +60,13 @@ type Config struct {
 	MaxFrame int
 	// DialTimeout is the per-attempt dial timeout (default 1s).
 	DialTimeout time.Duration
-	// DialRetry is the backoff between attempts while a peer is still
-	// starting up (default 50ms).
+	// DialRetry is the FIRST retry delay while a peer is still starting
+	// up (default 50ms); later attempts back off exponentially with
+	// jitter up to DialRetryMax, so a whole cluster re-dialling one
+	// restarted process does not hammer it in lockstep.
 	DialRetry time.Duration
+	// DialRetryMax caps the backoff between attempts (default 2s).
+	DialRetryMax time.Duration
 	// DialDeadline bounds the total time a link tries to connect before
 	// declaring the peer unreachable and dropping its traffic
 	// (default 15s).
@@ -79,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialRetry == 0 {
 		c.DialRetry = 50 * time.Millisecond
+	}
+	if c.DialRetryMax == 0 {
+		c.DialRetryMax = 2 * time.Second
+	}
+	if c.DialRetryMax < c.DialRetry {
+		c.DialRetryMax = c.DialRetry
 	}
 	if c.DialDeadline == 0 {
 		c.DialDeadline = 15 * time.Second
@@ -114,6 +126,7 @@ type Network struct {
 	bytesFrom    []atomic.Int64
 	dropped      atomic.Int64
 	decodeErrs   atomic.Int64
+	dialAttempts atomic.Int64
 
 	stop   chan struct{}
 	closed atomic.Bool
@@ -415,6 +428,7 @@ func (n *Network) runWriter(l *link, dst int) {
 // dialOnce makes a single bounded connection attempt (the alive-path
 // revival; see bounce in runWriter).
 func (n *Network) dialOnce(dst int) net.Conn {
+	n.dialAttempts.Add(1)
 	conn, err := net.DialTimeout("tcp", n.cfg.Endpoints[dst], n.cfg.DialTimeout)
 	if err != nil {
 		return nil
@@ -426,10 +440,19 @@ func (n *Network) dialOnce(dst int) net.Conn {
 }
 
 // dial retries dialOnce up to DialDeadline (peer processes may start in
-// any order).
+// any order), backing off exponentially with jitter: a peer that is not
+// up within the first few quick attempts is probably restarting or gone,
+// and N processes × M links of fixed-interval retries against one
+// recovering listener is a reconnect storm — each link alone would make
+// DialDeadline/DialRetry attempts (300 at the defaults), synchronised
+// across every link that observed the outage at the same moment. The
+// capped-exponential schedule keeps the first reconnects fast and cuts
+// the long-haul rate to ~1/DialRetryMax per link, desynchronised by the
+// jitter.
 func (n *Network) dial(dst int) net.Conn {
 	deadline := time.Now().Add(n.cfg.DialDeadline)
-	for {
+	pol := backoff.Policy{Base: n.cfg.DialRetry, Max: n.cfg.DialRetryMax, Jitter: 0.5}
+	for attempt := 0; ; attempt++ {
 		if conn := n.dialOnce(dst); conn != nil {
 			return conn
 		}
@@ -437,12 +460,16 @@ func (n *Network) dial(dst int) net.Conn {
 			return nil
 		}
 		select {
-		case <-time.After(n.cfg.DialRetry):
+		case <-time.After(pol.Delay(attempt, rand.Float64())):
 		case <-n.stop:
 			return nil
 		}
 	}
 }
+
+// DialAttempts counts outgoing connection attempts (tests pin the
+// backoff schedule against reconnect storms).
+func (n *Network) DialAttempts() int64 { return n.dialAttempts.Load() }
 
 func (n *Network) acceptLoop() {
 	defer n.wg.Done()

@@ -159,3 +159,62 @@ func TestCorruptStreamRejected(t *testing.T) {
 		t.Fatal("transport wedged after corrupt stream")
 	}
 }
+
+// TestDialBackoffBoundsAttempts pins the reconnect-storm fix: a link
+// dialling a dead peer must back off exponentially, so the attempt count
+// over the dial deadline stays an order of magnitude below the old
+// fixed-interval schedule (deadline/retry attempts — 120 at these
+// settings; the capped-exponential policy needs at most ~35 even with
+// every jittered delay landing at its halved minimum).
+func TestDialBackoffBoundsAttempts(t *testing.T) {
+	r := rt.NewReal()
+	t.Cleanup(r.Stop)
+
+	// Reserve a loopback address, then free it: nothing listens there.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	nw, err := New(r, Config{
+		Endpoints:    []string{ln.Addr().String(), deadAddr},
+		Local:        []int{0},
+		Codec:        testCodec(),
+		Listener:     ln,
+		DialTimeout:  100 * time.Millisecond,
+		DialRetry:    5 * time.Millisecond,
+		DialRetryMax: 50 * time.Millisecond,
+		DialDeadline: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	t.Cleanup(func() { nw.Close() })
+
+	// First send spawns the link's writer, which dials until the deadline.
+	nw.Send(0, 1, transport.Data, wtMsg{id: 1, size: 32})
+
+	// Wait for the dial deadline to expire and the link to go dead (the
+	// queued frame is then drained as dropped).
+	waitUntil := time.Now().Add(5 * time.Second)
+	for nw.Dropped() == 0 && time.Now().Before(waitUntil) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nw.Dropped() == 0 {
+		t.Fatal("link to dead peer never gave up")
+	}
+
+	attempts := nw.DialAttempts()
+	if attempts < 3 {
+		t.Fatalf("only %d dial attempts: retry loop did not run", attempts)
+	}
+	if attempts > 60 {
+		t.Fatalf("%d dial attempts over a 600ms deadline: backoff is not in effect (fixed 5ms interval would make ~120)", attempts)
+	}
+}

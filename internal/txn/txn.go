@@ -130,6 +130,14 @@ type Request struct {
 	GenAt int64
 	// Retries counts concurrency-conflict re-executions.
 	Retries int
+	// Origin is the endpoint a client response is routed back to (the
+	// session gate that admitted the request); meaningful only when
+	// Ticket is non-zero. Engine-internal requests leave both zero.
+	Origin int
+	// Ticket correlates the response with the originating session slot.
+	// A committed request with a non-zero Ticket releases an explicit
+	// client response at the group-commit fence.
+	Ticket uint64
 }
 
 // NewRequest computes routing metadata from the procedure's footprint.
@@ -149,6 +157,7 @@ func (r *Request) ResetFor(p Procedure, genAt int64) {
 	r.Proc = p
 	r.GenAt = genAt
 	r.Retries = 0
+	r.Origin, r.Ticket = 0, 0
 	parts := r.Parts[:0]
 	for _, a := range p.Accesses() {
 		dup := false

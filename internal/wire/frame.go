@@ -27,6 +27,17 @@ const FrameOverhead = 4 + 1 + 2 + 2 + 1
 // before allocating.
 const MaxFrame = 64 << 20
 
+// MaxClientFrame bounds frames accepted from untrusted client
+// connections. Client requests are a session header plus one procedure's
+// parameters — kilobytes, not megabytes — so the front door rejects
+// anything bigger before buffering it.
+const MaxClientFrame = 1 << 20
+
+// frameReadChunk is ReadFrame's initial/incremental buffer step: the
+// length prefix is a claim, not a fact, so allocation grows with the
+// bytes that actually arrive instead of trusting the header.
+const frameReadChunk = 64 << 10
+
 // AppendFrame appends a whole frame (length prefix included) for m.
 func AppendFrame(b []byte, src, dst int, class transport.Class, c *Codec, m transport.Message) ([]byte, error) {
 	if src < 0 || src > 0xffff || dst < 0 || dst > 0xffff {
@@ -71,6 +82,13 @@ func DecodeFrameBody(body []byte, c *Codec) (FrameInfo, transport.Message, error
 // ReadFrame reads one length-prefixed frame body from r into a fresh
 // buffer (each frame owns its buffer so decoded messages may alias it
 // for their whole lifetime). max bounds the body length (0 = MaxFrame).
+//
+// The length prefix is attacker-controlled on a real wire, so it is
+// never trusted for allocation: the buffer starts at one chunk and grows
+// (doubling, capped by the claimed length) only as payload bytes
+// actually arrive. A peer that claims max bytes and sends none costs one
+// 64 KiB chunk, not max; a claim over max is rejected before any
+// allocation at all.
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if max == 0 {
 		max = MaxFrame
@@ -79,13 +97,24 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > uint32(max) {
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > max {
 		return nil, fmt.Errorf("%w: %d-byte frame exceeds %d", ErrCorrupt, n, max)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	body := make([]byte, min(n, frameReadChunk))
+	filled := 0
+	for filled < n {
+		if filled == len(body) {
+			grow := min(n-filled, len(body)) // double, capped by the claim
+			nb := make([]byte, filled+grow)
+			copy(nb, body)
+			body = nb
+		}
+		got, err := io.ReadFull(r, body[filled:])
+		filled += got
+		if err != nil {
+			return nil, err
+		}
 	}
 	return body, nil
 }

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -85,6 +87,45 @@ func FuzzPrimitives(f *testing.F) {
 			if err2 != nil || !reflect.DeepEqual(got, op) {
 				t.Fatalf("field op canonical round trip failed (%v)", err2)
 			}
+		}
+	})
+}
+
+// FuzzFrameRead streams arbitrary bytes through ReadFrame under the
+// client-facing cap: no input may panic or allocate past the cap (the
+// length prefix is attacker-controlled), and an accepted body must match
+// the prefix's claim and re-read identically when re-framed.
+func FuzzFrameRead(f *testing.F) {
+	frame := func(claim uint32, body []byte) []byte {
+		return append(binary.LittleEndian.AppendUint32(nil, claim), body...)
+	}
+	seeds := [][]byte{
+		frame(5, []byte("hello")),
+		// The offending frame: a huge claimed length backed by almost no
+		// payload (the pre-hardening reader allocated the claim up front).
+		frame(0xfffffff0, []byte{1, 2, 3}),
+		frame(MaxClientFrame+1, nil),
+		frame(1000, []byte("short")), // truncated body
+		frame(0, nil),
+	}
+	for i, s := range seeds {
+		corpusSeed(f, "FuzzFrameRead", i, s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := ReadFrame(bytes.NewReader(data), MaxClientFrame)
+		if err != nil {
+			return // rejected without panicking: the property under test
+		}
+		if len(data) < 4 {
+			t.Fatal("accepted a frame with no length prefix")
+		}
+		if claim := binary.LittleEndian.Uint32(data); int(claim) != len(body) {
+			t.Fatalf("claimed %d bytes, returned %d", claim, len(body))
+		}
+		reframed := append(binary.LittleEndian.AppendUint32(nil, uint32(len(body))), body...)
+		again, err := ReadFrame(bytes.NewReader(reframed), MaxClientFrame)
+		if err != nil || !bytes.Equal(again, body) {
+			t.Fatalf("re-read of accepted frame: %v", err)
 		}
 	})
 }

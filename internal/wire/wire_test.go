@@ -2,9 +2,13 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"io"
 	"reflect"
+	"runtime"
 	"testing"
+	"testing/iotest"
 
 	"star/internal/replication"
 	"star/internal/storage"
@@ -168,5 +172,55 @@ func TestFrameRoundTrip(t *testing.T) {
 	bad[5] = 200
 	if _, _, err := DecodeFrameBody(bad, c); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("unknown id: %v", err)
+	}
+}
+
+// rejectBodyReader fails the test if ReadFrame asks for body bytes: an
+// over-max length prefix must be rejected on the header alone.
+type rejectBodyReader struct{ t *testing.T }
+
+func (r rejectBodyReader) Read([]byte) (int, error) {
+	r.t.Fatal("ReadFrame read body bytes for a rejected frame")
+	return 0, io.EOF
+}
+
+// TestReadFrameLyingLength pins the untrusted-length-prefix hardening:
+// a frame claiming more than max is rejected before any body read, and
+// a frame claiming a huge (but accepted) length with almost no payload
+// behind it costs memory proportional to the bytes that arrived, not to
+// the claim.
+func TestReadFrameLyingLength(t *testing.T) {
+	// Claim over the cap: rejected from the header, no body read at all.
+	hdr := binary.LittleEndian.AppendUint32(nil, MaxClientFrame+1)
+	r := io.MultiReader(bytes.NewReader(hdr), rejectBodyReader{t})
+	if _, err := ReadFrame(r, MaxClientFrame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-max claim: %v", err)
+	}
+
+	// Claim just under the default cap, deliver 16 bytes, then EOF.
+	lying := binary.LittleEndian.AppendUint32(nil, MaxFrame-1)
+	lying = append(lying, make([]byte, 16)...)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := ReadFrame(bytes.NewReader(lying), 0)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated lying frame: %v", err)
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 1<<20 {
+		t.Fatalf("lying 64MB prefix allocated %d bytes before payload arrived", alloc)
+	}
+
+	// A genuinely large frame still round-trips through the incremental
+	// reader (growth path: several doublings).
+	big := make([]byte, 5*frameReadChunk+123)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	framed := binary.LittleEndian.AppendUint32(nil, uint32(len(big)))
+	framed = append(framed, big...)
+	got, err := ReadFrame(iotest.OneByteReader(bytes.NewReader(framed)), 0)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large frame: err=%v len=%d want %d", err, len(got), len(big))
 	}
 }

@@ -173,6 +173,72 @@ func (t *Txn) Run(ctx txn.Ctx) error {
 	return nil
 }
 
+// ReadOnly implements txn.ReadOnlyMarker: a transaction with no write
+// accesses may be served from an epoch-fence snapshot instead of being
+// routed to the master. Generated transactions always carry at least one
+// write (WritesPerTxn ≥ 1), so this only fires for explicitly built
+// read transactions (ReadTxn — the star-client read path).
+func (t *Txn) ReadOnly() bool {
+	for _, w := range t.writes {
+		if w {
+			return false
+		}
+	}
+	return true
+}
+
+// newExplicitTxn builds a transaction with a caller-chosen footprint:
+// access i touches row rows[i] of partition parts[i]. Write accesses
+// install val into column 1. The star-client CLI and tests use these for
+// deterministic, targeted transactions; generated workloads use Gen.
+func (w *Workload) newExplicitTxn(parts, rows []int, writes []bool, val []byte) *Txn {
+	if len(rows) != len(parts) || (writes != nil && len(writes) != len(parts)) {
+		panic("ycsb: explicit txn footprint slices disagree")
+	}
+	t := &Txn{
+		w:      w,
+		parts:  append([]int(nil), parts...),
+		keys:   make([]storage.Key, len(parts)),
+		writes: make([]bool, len(parts)),
+		accs:   make([]txn.Access, len(parts)),
+	}
+	anyWrite := false
+	for i := range parts {
+		t.keys[i] = w.Key(parts[i], rows[i])
+		if writes != nil && writes[i] {
+			t.writes[i] = true
+			anyWrite = true
+		}
+		t.accs[i] = txn.Access{Table: TableID, Part: t.parts[i], Key: t.keys[i], Write: t.writes[i]}
+	}
+	if anyWrite {
+		row := w.schema.NewRow()
+		buf := make([]byte, w.cfg.FieldSize)
+		copy(buf, val)
+		w.schema.SetBytes(row, 1, buf)
+		t.ops = []storage.FieldOp{storage.SetFieldOp(w.schema, row, 1)}
+	}
+	return t
+}
+
+// ReadTxn builds a read-only transaction over the given rows (ReadOnly
+// reports true, so session-fresh replicas may serve it from their fence
+// snapshot).
+func (w *Workload) ReadTxn(parts, rows []int) *Txn {
+	return w.newExplicitTxn(parts, rows, nil, nil)
+}
+
+// WriteTxn builds a read-modify-write transaction: every access reads
+// its row and installs val (padded or truncated to FieldSize) into
+// column 1.
+func (w *Workload) WriteTxn(parts, rows []int, val []byte) *Txn {
+	writes := make([]bool, len(parts))
+	for i := range writes {
+		writes[i] = true
+	}
+	return w.newExplicitTxn(parts, rows, writes, val)
+}
+
 func (g *Gen) gen(home int, cross bool) txn.Procedure {
 	cfg := g.w.cfg
 	t := &Txn{
