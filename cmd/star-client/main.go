@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"star/internal/client"
@@ -47,7 +48,7 @@ type summary struct {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "front door host:port (required)")
+		addr    = flag.String("addr", "", "front door host:port, or a comma-separated failover list tried in order (required)")
 		nodes   = flag.Int("nodes", 2, "cluster size (must match the serving cluster)")
 		workers = flag.Int("workers", 2, "workers per node (partitions = nodes*workers; must match)")
 		wl      = flag.String("workload", "ycsb", "workload (must match; star-client drives ycsb)")
@@ -89,7 +90,7 @@ func main() {
 	codec.SetClock(func() int64 { return int64(time.Since(start)) })
 
 	c, err := client.Dial(client.Config{
-		Addr:       *addr,
+		Addrs:      strings.Split(*addr, ","),
 		Codec:      codec,
 		Window:     *window,
 		ReqTimeout: *timeout,

@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"star/internal/core"
+	"star/internal/faultnet"
 	"star/internal/rt"
 	"star/internal/tcpnet"
+	"star/internal/transport"
 	"star/internal/workload"
 	"star/internal/workload/tpcc"
 	"star/internal/workload/ycsb"
@@ -55,6 +57,7 @@ func main() {
 		clientAt  = flag.String("client", "", "serve mode: host:port to serve star-client connections on (the client front door; off when empty)")
 		clientWin = flag.Int("client-window", core.DefaultClientWindow, "serve mode: per-connection in-flight request bound")
 		probe     = flag.Bool("probe", false, "register an extra probe endpoint (id nodes+1, sharing process 0's address) for an external test/ops observer")
+		faults    = flag.String("faults", "", "JSON fault plan (internal/faultnet) injected into this process's outbound traffic; start every process with the same plan file")
 		districts = flag.Int("districts", 2, "tpcc: districts per warehouse")
 		customers = flag.Int("customers", 300, "tpcc: customers per district")
 		items     = flag.Int("items", 2000, "tpcc: catalogue size")
@@ -135,6 +138,22 @@ func main() {
 	}
 	defer nw.Close()
 
+	// Optional deterministic fault injection: wrap the TCP transport with
+	// the shared plan. Sends are faulted on the process hosting their
+	// source endpoint, so identical plan files across processes yield one
+	// coherent cluster-wide schedule. Plans for unattended runs must be
+	// self-terminating (epoch-/count-bounded windows) — nothing calls
+	// Heal() here.
+	var tr transport.Transport = nw
+	if *faults != "" {
+		plan, err := faultnet.LoadPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "star-node:", err)
+			os.Exit(2)
+		}
+		tr = faultnet.Wrap(r, nw, plan)
+	}
+
 	cfg := core.Config{
 		RT:               r,
 		Nodes:            *nodes,
@@ -142,7 +161,7 @@ func main() {
 		WorkersPerNode:   *workers,
 		Workload:         w,
 		Seed:             *seed,
-		Transport:        nw,
+		Transport:        tr,
 		LocalNodes:       []int{*id},
 		LocalCoordinator: *id == 0,
 		SnapshotReads:    *snapReads,

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"star/internal/core"
+	"star/internal/faultnet"
 	"star/internal/rt"
 	"star/internal/tcpnet"
+	"star/internal/transport"
 	"star/internal/workload/tpcc"
 )
 
@@ -285,6 +287,184 @@ func TestStarNodeKillRestartSnapshotCatchUp(t *testing.T) {
 			}
 			t.Logf("stats: %+v", eng.Stats().Extra)
 			t.Fatalf("partition %d never converged after snapshot catch-up", mismatch)
+		}
+	}
+	if halted, reason := eng.Halted(); halted {
+		t.Fatalf("cluster halted: %s", reason)
+	}
+}
+
+// TestStarNodeFaultPlanConverges exercises the multi-process chaos path:
+// both processes (this test hosting node 0 + coordinator + probe, and a
+// real star-node child hosting node 1 started with -faults plan.json)
+// inject the SAME self-terminating fault plan — Data-class drops,
+// duplicates and reorders over real TCP. The cluster must keep
+// committing through the fault window, and once the window closes the
+// replicas must converge to identical partition checksums.
+func TestStarNodeFaultPlanConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos test skipped in -short")
+	}
+	const (
+		nodes, workers = 2, 2
+		seed           = int64(11)
+	)
+	bin := buildStarNode(t)
+	addrs := freePorts(t, nodes)
+	addrList := addrs[0] + "," + addrs[1]
+
+	// Self-terminating plan: the window closes by cluster epoch, with no
+	// Heal() call anywhere — exactly how an unattended star-node run uses
+	// -faults. Only the Data class carries per-frame faults (control and
+	// replication streams assume reliable FIFO links; they are attacked
+	// by whole-link partitions/crashes, covered by the kill/restart test
+	// and the in-process soak).
+	plan := faultnet.Plan{
+		Seed: seed,
+		Rules: []faultnet.Rule{{
+			Src: faultnet.AnyNode, Dst: faultnet.AnyNode, Class: int(transport.Data),
+			Drop: 0.05, Dup: 0.05, Reorder: 0.05, ReorderSpan: 3,
+			Window: faultnet.Window{FromEpoch: 4, UntilEpoch: 40},
+		}},
+	}
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	if err := faultnet.SavePlan(planPath, plan); err != nil {
+		t.Fatalf("save plan: %v", err)
+	}
+
+	wcfg := tpcc.Config{
+		Warehouses:           nodes * workers,
+		Districts:            2,
+		CustomersPerDistrict: 300,
+		Items:                2000,
+	}
+	wcfg.SetFullMix()
+	w := tpcc.New(wcfg)
+
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	endpoints := []string{addrs[0], addrs[1], addrs[0], addrs[0]}
+	r := rt.NewReal()
+	netA, err := tcpnet.New(r, tcpnet.Config{
+		Endpoints: endpoints,
+		Local:     []int{0, 2, 3},
+		Codec:     core.NewWireCodec(w),
+		Listener:  ln,
+	})
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	defer netA.Close()
+	fn := faultnet.Wrap(r, netA, plan)
+
+	child := exec.Command(bin,
+		"-id", "1", "-nodes", "2", "-workers", "2", "-seed", "11",
+		"-addrs", addrList, "-mix", "full",
+		"-serve", "-probe", "-iteration", "2ms",
+		"-faults", planPath,
+	)
+	if err := child.Start(); err != nil {
+		t.Fatalf("start star-node child: %v", err)
+	}
+	defer func() { child.Process.Kill(); child.Wait() }()
+	time.Sleep(200 * time.Millisecond)
+
+	eng := core.New(core.Config{
+		RT:               r,
+		Nodes:            nodes,
+		WorkersPerNode:   workers,
+		Workload:         w,
+		Seed:             seed,
+		Transport:        fn,
+		LocalNodes:       []int{0},
+		LocalCoordinator: true,
+		Iteration:        2 * time.Millisecond,
+		SnapshotReads:    true,
+	})
+	defer r.Stop()
+
+	waitCommitsGrow := func(label string, timeout time.Duration) {
+		t.Helper()
+		base := eng.Stats().Committed
+		deadline := time.Now().Add(timeout)
+		for eng.Stats().Committed <= base {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: commits stalled at %d", label, base)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitCommitsGrow("healthy cluster", 15*time.Second)
+
+	// Ride out the fault window: the cluster must keep committing while
+	// Data frames vanish, double up and arrive out of order.
+	deadline := time.Now().Add(20 * time.Second)
+	for fn.Epoch() < plan.Rules[0].Window.UntilEpoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached epoch %d (at %d)", plan.Rules[0].Window.UntilEpoch, fn.Epoch())
+		}
+		if halted, reason := eng.Halted(); halted {
+			t.Fatalf("cluster halted inside the fault window: %s", reason)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitCommitsGrow("after fault window", 15*time.Second)
+
+	// The plan must have fired on the child's side: deferred cross-
+	// partition requests flow partial → full replica, so node 1 is where
+	// the Data-class traffic originates. Its counters travel back over
+	// the probe protocol. (This process's own fn sees near-zero Data
+	// sends — node 0 executes deferred work locally — so its counters
+	// are informational only.)
+	probe := core.NewProbe(netA, nodes+1, nodes)
+	childStats, err := probe.FaultStats(1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("probe fault stats: %v", err)
+	}
+	var childTotal int64
+	for _, v := range childStats {
+		childTotal += v
+	}
+	if childTotal == 0 {
+		t.Fatalf("child's -faults plan injected nothing: %v", childStats)
+	}
+	t.Logf("child injected: %v; node 0 side injected: %v", childStats, fn.Injected())
+
+	// Freeze and require byte-identical partition checksums. A node that
+	// lost a phase report to the faults may have been evicted — re-issue
+	// the rejoin like an operator until it converges.
+	probe.Freeze(true)
+	deadline = time.Now().Add(30 * time.Second)
+	lastRecover := time.Now()
+	for {
+		time.Sleep(100 * time.Millisecond)
+		cs, err := probe.Checksums(1, 3*time.Second)
+		mismatch := -1
+		if err == nil {
+			if len(cs.Parts) == 0 {
+				t.Fatal("child reported no partitions")
+			}
+			for i, p := range cs.Parts {
+				if eng.DB(0).PartitionChecksum(int(p)) != cs.Sums[i] {
+					mismatch = int(p)
+					break
+				}
+			}
+			if mismatch == -1 {
+				break // converged
+			}
+		}
+		if time.Since(lastRecover) > 3*time.Second {
+			eng.RecoverNode(1)
+			lastRecover = time.Now()
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				t.Fatalf("probe checksums: %v", err)
+			}
+			t.Fatalf("partition %d never converged after the fault window", mismatch)
 		}
 	}
 	if halted, reason := eng.Halted(); halted {

@@ -1,0 +1,351 @@
+// Package chaos is the seeded fault-schedule soak harness: it generates
+// randomized-but-deterministic faultnet plans, drives a full-mix TPC-C
+// cluster through them on the simulated runtime, and asserts the
+// invariants the codebase already knows how to check — the cluster
+// never halts on survivable faults, commits keep flowing, a
+// read-your-own-writes session probe is never served a snapshot older
+// than its token, and after the faults heal every replica converges to
+// byte-identical partition+index checksums.
+//
+// Everything is a pure function of the seed: the workload, the fault
+// plan, and the simulated runtime are all seeded, so a failing seed
+// replays bit-identically (see TestChaosSoakDeterministicReplay, which
+// pins that two runs of the same seed produce the same committed count
+// and the same database digest). Reproduce a CI failure with:
+//
+//	go test ./internal/chaos -run TestChaosSoak -v -args -chaos.seed=<seed>
+//
+// The multi-process variant of the same idea drives `star-node -faults
+// plan.json` over real TCP; see cmd/star-node's chaos test.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"star/internal/core"
+	"star/internal/faultnet"
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/storage"
+	"star/internal/transport"
+	"star/internal/txn"
+	"star/internal/workload/tpcc"
+)
+
+// Options scales a soak. The zero value selects the defaults.
+type Options struct {
+	Nodes    int           // cluster size f+k (default 4; FullReplicas is 1)
+	Workers  int           // workers (= owned partitions) per node (default 2)
+	Duration time.Duration // virtual time under faults before Heal (default 400ms)
+
+	// Fault families to include in the generated plan. NoX naming keeps
+	// the zero Options meaning "everything on" — the interesting soak.
+	NoDrops, NoDups, NoReorders, NoPartition, NoCrash bool
+
+	// Logf, when set, receives progress lines (tests pass t.Logf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// GeneratePlan derives one fault schedule from the seed: per-frame
+// drop/dup/reorder rules on the Data class (request forwards and
+// snapshot transfer — the plane designed to tolerate lossy, at-least-
+// once delivery), one asymmetric partition between two partial
+// replicas, and one crash/heal window on a partial replica — all keyed
+// to bounded epoch windows, so the plan is self-terminating even
+// without an explicit Heal.
+//
+// Per-frame probability faults are deliberately NOT generated for the
+// Control and Replication classes: those streams ride per-link
+// reliable FIFO order (a TCP stream delivers in order or the whole
+// link dies — it never silently drops an interior frame), and the
+// replication fence counts cumulative entries against that guarantee.
+// Whole-link failures are the real-world failure mode for them, and
+// the partition and crash windows sever Control and Replication
+// wholesale — that is the failure-detection/eviction/rejoin path under
+// test. Node 0 (the sole full replica) is never crashed or partitioned
+// away: losing the last full copy is a designed halt (§4.5 case 2),
+// not a survivable fault.
+func GeneratePlan(seed int64, o Options) faultnet.Plan {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	p := faultnet.Plan{Seed: seed}
+	// Epochs start at 2; Iteration is ~2ms virtual, so windows in the
+	// [4, 40) range land well inside the default 400ms soak.
+	ruleWin := faultnet.Window{FromEpoch: 4, UntilEpoch: 4 + 16 + uint64(rng.Intn(16))}
+	// One combined rule: faultnet resolves the first matching rule with a
+	// single uniform draw across drop/dup/reorder, so the three families
+	// must share a Rule (three stacked rules would let the first shadow
+	// the rest).
+	ru := faultnet.Rule{
+		Src: faultnet.AnyNode, Dst: faultnet.AnyNode, Class: int(transport.Data),
+		Window: ruleWin,
+	}
+	if !o.NoDrops {
+		ru.Drop = 0.01 + 0.03*rng.Float64()
+	}
+	if !o.NoDups {
+		ru.Dup = 0.02 + 0.04*rng.Float64()
+	}
+	if !o.NoReorders {
+		ru.Reorder = 0.03 + 0.05*rng.Float64()
+		ru.ReorderSpan = 2 + rng.Intn(4)
+	}
+	if ru.Drop+ru.Dup+ru.Reorder > 0 {
+		p.Rules = append(p.Rules, ru)
+	}
+	partials := o.Nodes - 1 // nodes 1..Nodes-1 (node 0 is the full replica)
+	var partDst int
+	if !o.NoPartition && partials >= 2 {
+		// Asymmetric inbound partition: everyone can hear dst, dst hears
+		// no one. A single partial→partial link carries too little Data
+		// traffic in-process to guarantee drops; deafening one node hits
+		// control frames every epoch, forces the failure detector to
+		// evict it mid-soak, and exercises the rejoin path after heal.
+		partDst = 1 + rng.Intn(partials)
+		from := 6 + uint64(rng.Intn(4))
+		p.Partitions = append(p.Partitions, faultnet.PartitionSpec{
+			Src: faultnet.AnyNode, Dst: partDst,
+			Window: faultnet.Window{FromEpoch: from, UntilEpoch: from + 4 + uint64(rng.Intn(4))},
+		})
+	}
+	if !o.NoCrash && partials >= 1 {
+		victim := 1 + rng.Intn(partials)
+		if victim == partDst && partials >= 2 {
+			// Keep the crash victim distinct from the partitioned node so
+			// both fault families draw real traffic (a node already
+			// evicted by the partition attracts none to blackhole).
+			victim = 1 + victim%partials
+		}
+		from := 10 + uint64(rng.Intn(6))
+		p.Crashes = append(p.Crashes, faultnet.CrashSpec{
+			Node:   victim,
+			Window: faultnet.Window{FromEpoch: from, UntilEpoch: from + 4 + uint64(rng.Intn(4))},
+		})
+	}
+	return p
+}
+
+// Result is what one soak run produced. Two runs of the same seed must
+// return identical Committed, Digest and Injected values.
+type Result struct {
+	Committed int64            // cluster-wide committed transactions
+	Digest    uint64           // folded partition+index checksums, post-convergence
+	Epoch     uint64           // last cluster epoch observed on the wire
+	Injected  map[string]int64 // per-fault-type injection counters
+
+	// Read-your-own-writes probe accounting: reads served from fence
+	// snapshots vs refused for freshness (the refusals prove replica lag
+	// actually exercised the token check during the soak).
+	ProbeServed    int64
+	ProbeFallbacks int64
+}
+
+// probeRead is the session probe's transaction: one warehouse-row read,
+// scoped to a partition its target node masters (so a refusal is always
+// the freshness check, never partition residency).
+type probeRead struct {
+	part int
+	accs []txn.Access
+}
+
+func newProbeRead(part int) *probeRead {
+	p := &probeRead{part: part}
+	p.accs = []txn.Access{{Table: tpcc.TWarehouse, Part: part, Key: tpcc.WKey(part)}}
+	return p
+}
+
+func (p *probeRead) Name() string           { return "chaos.probe-read" }
+func (p *probeRead) Accesses() []txn.Access { return p.accs }
+func (p *probeRead) ReadOnly() bool         { return true }
+func (p *probeRead) Run(ctx txn.Ctx) error {
+	if _, ok := ctx.Read(tpcc.TWarehouse, p.part, tpcc.WKey(p.part)); !ok {
+		return txn.ErrConflict
+	}
+	return nil
+}
+
+// RunSoak drives one full-mix TPC-C chaos soak from the seed: generate
+// the plan, run Duration of virtual time under faults (rejoining
+// crashed nodes as their windows close), heal, converge, verify. The
+// returned error is the verdict — nil means every invariant held.
+func RunSoak(seed int64, o Options) (Result, error) {
+	o = o.withDefaults()
+	plan := GeneratePlan(seed, o)
+	s := rt.NewSim()
+	defer s.Stop()
+
+	nparts := o.Nodes * o.Workers
+	tc := tpcc.Config{
+		Warehouses:           nparts,
+		Districts:            2,
+		CustomersPerDistrict: 64,
+		Items:                256,
+		CrossPctStockLevel:   10,
+		CrossPctOrderStatus:  10,
+	}
+	tc.SetFullMix()
+	wl := tpcc.New(tc)
+
+	inner := simnet.New(s, simnet.Config{
+		Nodes:     o.Nodes + 1, // + coordinator endpoint
+		Latency:   50 * time.Microsecond,
+		Jitter:    10 * time.Microsecond,
+		Bandwidth: 600e6,
+		Seed:      seed,
+	})
+	fn := faultnet.Wrap(s, inner, plan)
+	cfg := core.Config{
+		RT:             s,
+		Nodes:          o.Nodes,
+		FullReplicas:   1,
+		WorkersPerNode: o.Workers,
+		Workload:       wl,
+		Iteration:      2 * time.Millisecond,
+		Seed:           seed,
+		SnapshotReads:  true,
+		Transport:      fn,
+	}
+	e := core.New(cfg)
+
+	// The read-your-own-writes probe: a synthetic session whose token is
+	// the last group-committed epoch seen on the wire. Safety invariant:
+	// a gate may refuse (fall back) under lag, but a SERVED read's fence
+	// must cover the token — a served snapshot older than the session's
+	// last commit would be a read-your-own-writes violation.
+	var served, fallbacks int64
+	var violation string
+	s.Go("chaos-ryw-probe", func() {
+		for i := 0; ; i++ {
+			s.Sleep(700 * time.Microsecond)
+			e2 := fn.Epoch()
+			if e2 < 3 {
+				continue
+			}
+			token := e2 - 1 // last epoch a commit could have returned
+			node := i % o.Nodes
+			resp, ok := e.Gate(node).TryRead(token, txn.NewRequest(newProbeRead(node*o.Workers), 0))
+			if !ok {
+				fallbacks++
+				continue
+			}
+			served++
+			if resp.Token < token && violation == "" {
+				violation = fmt.Sprintf("node %d served token-%d session from fence %d", node, token, resp.Token)
+			}
+		}
+	})
+
+	// Fault phase: run in slices, rejoining each crashed node once its
+	// blackhole window closes (detection and eviction are the protocol's
+	// own job — the harness only plays the operator restarting a box).
+	const slice = 5 * time.Millisecond
+	crashSeen := map[int]bool{}
+	for s.Now() < o.Duration {
+		s.Run(s.Now() + slice)
+		if halted, reason := e.Halted(); halted {
+			return Result{}, fmt.Errorf("seed %d: cluster halted mid-soak: %s", seed, reason)
+		}
+		for _, c := range plan.Crashes {
+			if fn.CrashActive(c.Node) {
+				crashSeen[c.Node] = true
+			} else if crashSeen[c.Node] {
+				crashSeen[c.Node] = false
+				o.Logf("chaos: seed %d: crash window on node %d closed at epoch %d, rejoining", seed, c.Node, fn.Epoch())
+				e.RecoverNode(c.Node)
+			}
+		}
+	}
+	if c := e.Stats().Committed; c == 0 {
+		return Result{}, fmt.Errorf("seed %d: nothing committed under faults", seed)
+	}
+
+	// Heal and converge: no new faults, parked messages released; rejoin
+	// whatever the coordinator still considers failed until every node is
+	// back and all replica checksums agree. The budget is virtual TIME,
+	// not attempts: a rejoin whose snapshot transfer lost a frame to a
+	// still-armed fault window parks the coordinator in a 30s (virtual)
+	// recovery gather, and the harness must outwait it (virtual seconds
+	// are cheap) before the re-issued RecoverNode can succeed.
+	fn.Heal()
+	o.Logf("chaos: seed %d: healed at epoch %d, injected %v", seed, fn.Epoch(), fn.Injected())
+	var lastErr error
+	converged := false
+	budget := s.Now() + 12*time.Second
+	for attempt := 0; s.Now() < budget && !converged; attempt++ {
+		failed := e.FailedNodes()
+		for _, id := range failed {
+			e.RecoverNode(id)
+		}
+		if attempt%20 == 19 {
+			o.Logf("chaos: seed %d: converging at epoch %d, failed=%v, last: %v", seed, fn.Epoch(), failed, lastErr)
+		}
+		s.Run(s.Now() + 30*time.Millisecond)
+		if halted, reason := e.Halted(); halted {
+			return Result{}, fmt.Errorf("seed %d: cluster halted post-heal: %s", seed, reason)
+		}
+		e.Freeze()
+		s.Run(s.Now() + 30*time.Millisecond)
+		lastErr = e.CheckReplicaConsistency()
+		if lastErr == nil && len(e.FailedNodes()) == 0 {
+			converged = true
+			break
+		}
+		e.Unfreeze()
+	}
+	if !converged {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("nodes still evicted: %v", e.FailedNodes())
+		}
+		return Result{}, fmt.Errorf("seed %d: no convergence after heal: %w", seed, lastErr)
+	}
+	if violation != "" {
+		return Result{}, fmt.Errorf("seed %d: read-your-own-writes violated: %s", seed, violation)
+	}
+
+	// Fold every partition's checksum (which already covers the ordered
+	// secondary indexes) into one digest; CheckReplicaConsistency proved
+	// all holders agree, so any holder's copy represents the partition.
+	digest := uint64(1469598103934665603)
+	for p := 0; p < cfg.NumPartitions(); p++ {
+		digest ^= dbChecksum(e, cfg, p)
+		digest *= 1099511628211
+	}
+	st := e.Stats()
+	return Result{
+		Committed:      st.Committed,
+		Digest:         digest,
+		Epoch:          fn.Epoch(),
+		Injected:       fn.Injected(),
+		ProbeServed:    served,
+		ProbeFallbacks: fallbacks,
+	}, nil
+}
+
+func dbChecksum(e *core.Engine, cfg core.Config, p int) uint64 {
+	var db *storage.DB
+	for _, h := range cfg.HoldersOf(p) {
+		if d := e.DB(h); d != nil {
+			db = d
+			break
+		}
+	}
+	return db.PartitionChecksum(p)
+}

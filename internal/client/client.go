@@ -47,6 +47,13 @@ var ErrClosed = errors.New("client: connection closed")
 type Config struct {
 	// Addr is the front door's "host:port" (star-node -client).
 	Addr string
+	// Addrs lists additional front doors for failover. Dial tries Addr
+	// (if set) and then each entry in order until one answers; when an
+	// established connection later breaks, DoRetry fails over to the
+	// next endpoint, carrying the session token with it — the freshness
+	// guarantee survives the switch because every replica checks the
+	// token against its own fence epoch.
+	Addrs []string
 	// Codec must be constructed exactly like the serving cluster's
 	// (core.NewWireCodec with the same workload configuration).
 	Codec *wire.Codec
@@ -97,6 +104,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// endpoints flattens Addr + Addrs into the failover list.
+func (c Config) endpoints() []string {
+	var a []string
+	if c.Addr != "" {
+		a = append(a, c.Addr)
+	}
+	return append(a, c.Addrs...)
+}
+
 // Result is one transaction's outcome.
 type Result struct {
 	Status core.ClientStatus
@@ -107,52 +123,43 @@ type Result struct {
 	Reads int64
 }
 
-// Client is one connection-bound session.
+// Client is one session, bound to one front door at a time (failover
+// re-binds it to the next endpoint, keeping the session token).
 type Client struct {
 	cfg   Config
-	conn  net.Conn
+	addrs []string
 	start time.Time
 
 	writeMu sync.Mutex // frames must hit the stream whole
 	wbuf    []byte
 
 	mu      sync.Mutex
+	conn    net.Conn
+	cur     int // index into addrs of the live endpoint
 	next    uint64
 	pending map[uint64]chan core.ClientResp
 	token   uint64
-	closed  bool
+	closed  bool // current connection broke; Failover may re-bind
+	stopped bool // Close was called; the session is over for good
 
 	sem chan struct{} // in-flight window
 }
 
-// Dial connects to a front door, retrying with capped exponential
-// backoff until DialDeadline (the serving process may start after the
-// client does).
+// Dial connects to the first answering front door, retrying across the
+// endpoint list with capped exponential backoff until DialDeadline (the
+// serving processes may start after the client does).
 func Dial(cfg Config) (*Client, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Codec == nil {
 		return nil, fmt.Errorf("client: Config.Codec is required")
 	}
-	pol := backoff.Policy{Base: cfg.DialRetry, Max: cfg.DialRetryMax, Jitter: 0.5}
-	deadline := time.Now().Add(cfg.DialDeadline)
-	var conn net.Conn
-	var err error
-	for attempt := 0; ; attempt++ {
-		conn, err = net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("client: dial %s: %w", cfg.Addr, err)
-		}
-		time.Sleep(pol.Delay(attempt, rand.Float64()))
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+	addrs := cfg.endpoints()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no address: set Config.Addr or Config.Addrs")
 	}
 	c := &Client{
 		cfg:     cfg,
-		conn:    conn,
+		addrs:   addrs,
 		start:   time.Now(),
 		pending: map[uint64]chan core.ClientResp{},
 		sem:     make(chan struct{}, cfg.Window),
@@ -160,8 +167,79 @@ func Dial(cfg Config) (*Client, error) {
 	if c.cfg.Now == nil {
 		c.cfg.Now = func() int64 { return int64(time.Since(c.start)) }
 	}
-	go c.readLoop()
+	conn, idx, err := c.dialAny(0)
+	if err != nil {
+		return nil, err
+	}
+	c.conn, c.cur = conn, idx
+	go c.readLoop(conn)
 	return c, nil
+}
+
+// dialAny tries every endpoint round-robin starting at addrs[from],
+// sleeping the backoff between full sweeps, until DialDeadline.
+func (c *Client) dialAny(from int) (net.Conn, int, error) {
+	pol := backoff.Policy{Base: c.cfg.DialRetry, Max: c.cfg.DialRetryMax, Jitter: 0.5}
+	deadline := time.Now().Add(c.cfg.DialDeadline)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		idx := (from + attempt) % len(c.addrs)
+		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.cfg.DialTimeout)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, idx, nil
+		}
+		lastErr = fmt.Errorf("client: dial %s: %w", c.addrs[idx], err)
+		if time.Now().After(deadline) {
+			return nil, 0, lastErr
+		}
+		if (attempt+1)%len(c.addrs) == 0 {
+			time.Sleep(pol.Delay(attempt/len(c.addrs), rand.Float64()))
+		}
+	}
+}
+
+// Failover re-dials after the connection broke, starting from the
+// endpoint after the dead one, and carries the session (token) across
+// the swap. It is a no-op on a healthy connection and fails with
+// ErrClosed after Close. Requests in flight when the stream broke have
+// already failed with ErrClosed; whether a write among them committed
+// is unknowable from this side, so retry-after-failover is safe for
+// read-only or idempotent procedures (DoRetry's contract).
+func (c *Client) Failover() error {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if !c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	from := (c.cur + 1) % len(c.addrs)
+	c.mu.Unlock()
+
+	conn, idx, err := c.dialAny(from)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.stopped || !c.closed {
+		// Closed for good, or a concurrent Failover already won.
+		stopped := c.stopped
+		c.mu.Unlock()
+		conn.Close()
+		if stopped {
+			return ErrClosed
+		}
+		return nil
+	}
+	c.conn, c.cur, c.closed = conn, idx, false
+	c.mu.Unlock()
+	go c.readLoop(conn)
+	return nil
 }
 
 // Token returns the session's current freshness token (the highest fence
@@ -172,18 +250,25 @@ func (c *Client) Token() uint64 {
 	return c.token
 }
 
-// Close tears the connection down; outstanding requests fail ErrClosed.
+// Close tears the session down for good; outstanding requests fail
+// ErrClosed and Failover no longer re-binds.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	c.fail()
+	c.mu.Lock()
+	c.stopped = true
+	conn := c.conn
+	c.mu.Unlock()
+	err := conn.Close()
+	c.fail(conn)
 	return err
 }
 
-// fail marks the client closed and unblocks every waiter.
-func (c *Client) fail() {
+// fail marks conn's generation closed and unblocks every waiter. A
+// stale generation (the connection was already replaced by Failover)
+// is a no-op.
+func (c *Client) fail(conn net.Conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if conn != c.conn || c.closed {
 		return
 	}
 	c.closed = true
@@ -193,10 +278,10 @@ func (c *Client) fail() {
 	}
 }
 
-func (c *Client) readLoop() {
-	defer c.fail()
+func (c *Client) readLoop(conn net.Conn) {
+	defer c.fail(conn)
 	for {
-		body, err := wire.ReadFrame(c.conn, wire.MaxClientFrame)
+		body, err := wire.ReadFrame(conn, wire.MaxClientFrame)
 		if err != nil {
 			return
 		}
@@ -282,18 +367,28 @@ func (c *Client) Do(p txn.Procedure) (Result, error) {
 	}
 }
 
-// DoRetry runs Do, retrying ErrBusy shed with capped exponential backoff
-// up to attempts tries.
+// DoRetry runs Do, retrying ErrBusy shed with capped exponential
+// backoff and failing over to the next endpoint on a broken connection,
+// up to attempts tries. A request that was in flight when the stream
+// broke is re-submitted after failover — safe for read-only and
+// idempotent procedures; for non-idempotent writes the caller must
+// treat an eventual error as an ambiguous outcome, as with any RPC.
 func (c *Client) DoRetry(p txn.Procedure, attempts int) (Result, error) {
 	pol := backoff.Policy{Base: 2 * time.Millisecond, Max: 200 * time.Millisecond, Jitter: 0.5}
 	var res Result
 	var err error
 	for i := 0; i < attempts; i++ {
 		res, err = c.Do(p)
-		if !errors.Is(err, ErrBusy) {
+		switch {
+		case errors.Is(err, ErrBusy):
+			time.Sleep(pol.Delay(i, rand.Float64()))
+		case errors.Is(err, ErrClosed):
+			if ferr := c.Failover(); ferr != nil {
+				return res, ferr
+			}
+		default:
 			return res, err
 		}
-		time.Sleep(pol.Delay(i, rand.Float64()))
 	}
 	return res, err
 }
@@ -301,6 +396,12 @@ func (c *Client) DoRetry(p txn.Procedure, attempts int) (Result, error) {
 func (c *Client) writeReq(m core.ClientReq) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	conn, closed := c.conn, c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
 	var err error
 	// src/dst are routing hints the front door ignores (the accepting
 	// node serves or forwards on its own authority); zeros keep the frame
@@ -309,8 +410,10 @@ func (c *Client) writeReq(m core.ClientReq) error {
 	if err != nil {
 		return fmt.Errorf("client: encode: %w", err)
 	}
-	if _, err := c.conn.Write(c.wbuf); err != nil {
-		return fmt.Errorf("client: write: %w", err)
+	if _, err := conn.Write(c.wbuf); err != nil {
+		// A failed write means the stream is gone: report it as the
+		// closed connection it is so DoRetry's failover path engages.
+		return fmt.Errorf("client: write %v: %w", err, ErrClosed)
 	}
 	return nil
 }

@@ -1,0 +1,210 @@
+package client_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"star/internal/client"
+	"star/internal/core"
+	"star/internal/rt"
+	"star/internal/workload/ycsb"
+)
+
+// killableProxy forwards TCP connections to a target and can cut every
+// established stream at once — the server-side connection loss the
+// failover path exists for, without needing the front door itself to
+// track connections.
+type killableProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	dead  bool
+}
+
+func newKillableProxy(t *testing.T, target string) *killableProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &killableProxy{ln: ln, target: target}
+	go p.accept()
+	return p
+}
+
+func (p *killableProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *killableProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		s, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.dead {
+			p.mu.Unlock()
+			c.Close()
+			s.Close()
+			continue
+		}
+		p.conns = append(p.conns, c, s)
+		p.mu.Unlock()
+		go func() { io.Copy(s, c); s.Close() }()
+		go func() { io.Copy(c, s); c.Close() }()
+	}
+}
+
+// kill stops accepting and severs every live stream.
+func (p *killableProxy) kill() {
+	p.ln.Close()
+	p.mu.Lock()
+	p.dead = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestClientFailoverAcrossFrontDoors pins the multi-address session:
+// a client dialed with two front doors loses its connection mid-session
+// (the first door dies) and DoRetry must transparently re-dial the next
+// endpoint — carrying the session freshness token across the switch, so
+// read-your-own-writes holds on the new door too.
+func TestClientFailoverAcrossFrontDoors(t *testing.T) {
+	wl := ycsb.New(ycsb.Config{Partitions: 2, RecordsPerPartition: 64})
+	r := rt.NewReal()
+	defer r.Stop()
+	e := core.New(core.Config{
+		RT: r, Nodes: 2, FullReplicas: 2, WorkersPerNode: 1,
+		Workload: wl, Iteration: 2 * time.Millisecond, Seed: 1,
+		SnapshotReads: true,
+	})
+	codec := core.NewWireCodec(wl)
+
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln0.Close()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln1.Close()
+	e.ServeClients(0, ln0, codec, 16)
+	e.ServeClients(1, ln1, codec, 16)
+
+	// The session's first door is a killable proxy to node 0; the backup
+	// endpoint is node 1's door, direct.
+	px := newKillableProxy(t, ln0.Addr().String())
+	c, err := client.Dial(client.Config{
+		Addrs:        []string{px.addr(), ln1.Addr().String()},
+		Codec:        codec,
+		DialDeadline: 5 * time.Second,
+		ReqTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// Establish session state through door 0: a committed write yields a
+	// nonzero freshness token.
+	if _, err := c.DoRetry(wl.WriteTxn([]int{0}, []int{0}, []byte("pre-fail")), 32); err != nil {
+		t.Fatalf("write via door 0: %v", err)
+	}
+	token := c.Token()
+	if token == 0 {
+		t.Fatal("committed write did not advance the session token")
+	}
+
+	// Door 0 dies. The very next DoRetry must fail over to door 1 and
+	// complete; a plain Do must keep failing with ErrClosed (failover is
+	// DoRetry's job, not a silent side effect of Do).
+	px.kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Do(wl.ReadTxn([]int{0}, []int{0})); errors.Is(err, client.ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection through the killed proxy never broke")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err := c.DoRetry(wl.ReadTxn([]int{0}, []int{0}), 32)
+	if err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if res.Status != core.StatusOK {
+		t.Fatalf("read after failover: status %v", res.Status)
+	}
+	if c.Token() < token {
+		t.Fatalf("session token regressed across failover: %d < %d", c.Token(), token)
+	}
+
+	// The re-bound session keeps writing too.
+	if _, err := c.DoRetry(wl.WriteTxn([]int{0}, []int{1}, []byte("post-fail")), 32); err != nil {
+		t.Fatalf("write via door 1: %v", err)
+	}
+	if c.Token() < token {
+		t.Fatalf("token regressed after post-failover write: %d < %d", c.Token(), token)
+	}
+}
+
+// TestClientDialFailsOverToSecondAddress pins Dial-time failover: the
+// first endpoint refuses connections entirely, and Dial must come up on
+// the second without burning the whole DialDeadline.
+func TestClientDialFailsOverToSecondAddress(t *testing.T) {
+	wl := ycsb.New(ycsb.Config{Partitions: 2, RecordsPerPartition: 64})
+	r := rt.NewReal()
+	defer r.Stop()
+	e := core.New(core.Config{
+		RT: r, Nodes: 2, FullReplicas: 2, WorkersPerNode: 1,
+		Workload: wl, Iteration: 2 * time.Millisecond, Seed: 1,
+		SnapshotReads: true,
+	})
+	codec := core.NewWireCodec(wl)
+
+	// Reserve an address nobody listens on.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	e.ServeClients(1, ln, codec, 16)
+
+	c, err := client.Dial(client.Config{
+		Addrs:        []string{deadAddr, ln.Addr().String()},
+		Codec:        codec,
+		DialDeadline: 10 * time.Second,
+		ReqTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial with one dead endpoint: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.DoRetry(wl.ReadTxn([]int{0}, []int{0}), 32); err != nil {
+		t.Fatalf("read via surviving endpoint: %v", err)
+	}
+}

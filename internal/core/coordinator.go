@@ -39,6 +39,15 @@ type coordinator struct {
 	minGrace   time.Duration
 	graceBoost time.Duration
 
+	// recoveryGrace bounds the wait for a rejoining node's snapshot
+	// catch-up. Like minGrace it is runtime-dependent: generous on the
+	// real runtime (bandwidth-paced transfer of a real database), tight
+	// on the simulated one — virtual seconds are cheap to model but cost
+	// real event-loop work, and a rejoin wedged by an injected fault
+	// should release the coordinator quickly so the rejoin can be
+	// re-requested.
+	recoveryGrace time.Duration
+
 	// ackRetried marks that the current epoch's fence already failed
 	// once and was reverted for retry (see the ack-gather failure path).
 	ackRetried bool
@@ -79,8 +88,10 @@ func newCoordinator(e *Engine) *coordinator {
 	c.lastTauP = e.cfg.Iteration / 2
 	c.lastTauS = e.cfg.Iteration / 2
 	c.minGrace = 20 * time.Millisecond
+	c.recoveryGrace = 2 * time.Second
 	if _, isSim := e.cfg.RT.(*rt.Sim); !isSim {
 		c.minGrace = 250 * time.Millisecond
+		c.recoveryGrace = 30 * time.Second
 	}
 	return c
 }
@@ -553,7 +564,7 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 		c.e.net.Send(c.id(), id, transport.Control, msgStartRecovery{Parts: parts, From: from})
 		// Snapshot transfer is bandwidth-paced; allow plenty of time.
 		var rejoinSent []int64
-		okDone := c.gather(30*time.Second, func(m any) bool {
+		okDone := c.gather(c.recoveryGrace, func(m any) bool {
 			rd, ok := m.(msgRecoveryDone)
 			if ok && rd.Node == id {
 				rejoinSent = rd.Sent

@@ -290,6 +290,17 @@ func (e *Engine) Halted() (bool, string) {
 // and the coordinator will detect it at the next replication fence.
 func (e *Engine) FailNode(id int) { e.net.SetDown(id, true) }
 
+// FailedNodes returns the coordinator's current view of evicted nodes
+// (nil when this process does not host the coordinator). Chaos/soak
+// harnesses poll it after healing injected faults to schedule rejoins;
+// read it between run slices on the simulated runtime.
+func (e *Engine) FailedNodes() []int {
+	if e.coord == nil {
+		return nil
+	}
+	return e.coord.failedList()
+}
+
 // RecoverNode schedules a failed node's rejoin: at the next fence the
 // coordinator restores connectivity, the node copies partition state
 // from healthy holders (Thomas write rule), and it rejoins the cluster.

@@ -64,6 +64,11 @@ type msgStartPhase struct {
 
 func (msgStartPhase) Size() int { return 64 }
 
+// InjectionEpoch lets a fault-injecting transport decorator key fault
+// windows to cluster epochs (faultnet.EpochCarrier): the coordinator's
+// phase commands announce the epoch on every process that sends them.
+func (m msgStartPhase) InjectionEpoch() uint64 { return m.Epoch }
+
 // msgPhaseDone reports a node's workers finished the phase; Sent carries
 // the node's cumulative per-destination replication entry counts
 // (the coordinator aggregates them for the fence, §4.3) and the phase
@@ -86,6 +91,10 @@ type msgPhaseDone struct {
 }
 
 func (m msgPhaseDone) Size() int { return 56 + 8*len(m.Sent) }
+
+// InjectionEpoch mirrors msgStartPhase's: phase reports carry the epoch
+// on node-hosting processes, which never send phase commands.
+func (m msgPhaseDone) InjectionEpoch() uint64 { return m.Epoch }
 
 // msgFenceDrain tells a node how many replication entries to expect from
 // each source before the fence may complete.
@@ -219,6 +228,29 @@ func (m msgChecksumResp) Size() int { return 16 + 12*len(m.Parts) }
 type msgHalt struct{}
 
 func (msgHalt) Size() int { return 8 }
+
+// msgFaultStatsReq asks a node for its transport's fault-injection
+// counters (Probe → node). A node whose transport is not wrapped by a
+// fault injector answers with empty counters.
+type msgFaultStatsReq struct{ From int }
+
+func (msgFaultStatsReq) Size() int { return 16 }
+
+// msgFaultStatsResp reports a node's injected-fault counters (node →
+// probe), Vals aligned with Keys.
+type msgFaultStatsResp struct {
+	Node int
+	Keys []string
+	Vals []int64
+}
+
+func (m msgFaultStatsResp) Size() int {
+	n := 16 + 8*len(m.Vals)
+	for _, k := range m.Keys {
+		n += len(k) + 8
+	}
+	return n
+}
 
 // ClientStatus is the outcome of a client-submitted request.
 type ClientStatus uint8

@@ -73,9 +73,14 @@ type node struct {
 	// by Engine.LastCheckpoint).
 	mu sync.Mutex
 
-	// snapshotsPending counts outstanding snapshot messages during a
-	// rejoin catch-up.
-	snapshotsPending int
+	// snapPending tracks the (table, partition) snapshot messages still
+	// outstanding during a rejoin catch-up. A set, not a counter: the
+	// request/snapshot plane tolerates duplicate delivery (re-dialled
+	// links, chaos testing), and a duplicated snapshot must not make the
+	// node report recovery-done while other partitions are still in
+	// flight — the coordinator would align its counters around a copy
+	// that is missing data.
+	snapPending map[uint64]bool
 
 	// appliers parallelise replication replay (SiloR-style): entries are
 	// sharded by partition so operation entries keep their per-partition
@@ -244,6 +249,8 @@ func (n *node) handle(m any) {
 		copy(n.masters, msg.Masters)
 	case msgChecksumReq:
 		n.serveChecksums(msg)
+	case msgFaultStatsReq:
+		n.serveFaultStats(msg)
 	case msgFreeze:
 		n.e.frozen.Store(msg.On)
 	case msgHalt:
@@ -257,20 +264,26 @@ func (n *node) handle(m any) {
 // (§4.5.3 case 1: "it copies data from remote nodes and applies them to
 // its database ... using the Thomas write rule").
 func (n *node) startRecovery(m msgStartRecovery) {
-	nonRepl := 0
-	for ti := 0; ti < n.db.NumTables(); ti++ {
-		if !n.db.Table(storage.TableID(ti)).Replicated() {
-			nonRepl++
-		}
-	}
 	if len(m.Parts) == 0 {
 		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id, Sent: n.tracker.SentVector()})
 		return
 	}
-	n.snapshotsPending = nonRepl * len(m.Parts)
+	n.snapPending = make(map[uint64]bool)
+	for ti := 0; ti < n.db.NumTables(); ti++ {
+		if n.db.Table(storage.TableID(ti)).Replicated() {
+			continue
+		}
+		for _, p := range m.Parts {
+			n.snapPending[snapKey(storage.TableID(ti), int(p))] = true
+		}
+	}
 	for i, p := range m.Parts {
 		n.e.net.Send(n.id, int(m.From[i]), transport.Data, msgSnapshotReq{From: n.id, Part: int(p)})
 	}
+}
+
+func snapKey(t storage.TableID, part int) uint64 {
+	return uint64(t)<<32 | uint64(uint32(part))
 }
 
 // startPhase commits the previous epoch (revert info dropped, group-
@@ -592,7 +605,18 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	epoch := n.epoch.Load()
 	for i, key := range m.Keys {
 		rec := part.GetOrCreate(key, epoch)
-		_, _, inserted := rec.ApplyValueThomas(epoch, m.TIDs[i], m.Rows[i], false)
+		_, first, inserted := rec.ApplyValueThomas(epoch, m.TIDs[i], m.Rows[i], false)
+		if first {
+			// Catch-up writes must be registered for revert exactly like
+			// replication applies: if THIS catch-up is abandoned (a lost
+			// snapshot frame, a re-crash) the next attempt starts with a
+			// wildcard revert, and an unregistered row would survive it
+			// with the donor's TID while its secondary-index entries (pend-
+			// tracked) are tombstoned — the retried snapshot then loses the
+			// Thomas race against the leftover row and never revives the
+			// index entries, leaving the replica permanently diverged.
+			part.MarkDirty(rec, epoch)
+		}
 		if inserted {
 			// Snapshot catch-up restores secondary-index entries along
 			// with the rows they cover (the rejoin wildcard revert
@@ -600,8 +624,14 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 			tbl.NoteInserted(m.Part, key, m.Rows[i], epoch)
 		}
 	}
-	n.snapshotsPending--
-	if n.snapshotsPending == 0 {
+	// The rows themselves applied idempotently above (Thomas write rule);
+	// only the first copy of a (table, partition) snapshot advances the
+	// catch-up accounting.
+	if !n.snapPending[snapKey(m.Table, m.Part)] {
+		return
+	}
+	delete(n.snapPending, snapKey(m.Table, m.Part))
+	if len(n.snapPending) == 0 {
 		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id, Sent: n.tracker.SentVector()})
 	}
 }

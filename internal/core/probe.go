@@ -59,3 +59,29 @@ func (p *Probe) Checksums(node int, timeout time.Duration) (NodeChecksums, error
 		}
 	}
 }
+
+// FaultStats requests node's per-fault-type injection counters — what
+// that process's faultnet decorator (star-node -faults) actually
+// injected. Nodes without an injecting transport answer an empty map.
+func (p *Probe) FaultStats(node int, timeout time.Duration) (map[string]int64, error) {
+	p.net.Send(p.id, node, transport.Control, msgFaultStatsReq{From: p.id})
+	in := p.net.Inbox(p.id)
+	deadline := time.Now().Add(timeout)
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, fmt.Errorf("probe: fault-stats request to node %d timed out", node)
+		}
+		m, ok := in.RecvTimeout(d)
+		if !ok {
+			continue
+		}
+		if resp, isFS := m.(msgFaultStatsResp); isFS && resp.Node == node {
+			out := make(map[string]int64, len(resp.Keys))
+			for i, k := range resp.Keys {
+				out[k] = resp.Vals[i]
+			}
+			return out, nil
+		}
+	}
+}

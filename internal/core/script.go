@@ -243,6 +243,36 @@ func (n *node) serveChecksums(m msgChecksumReq) {
 	n.e.net.Send(n.id, to, transport.Control, resp)
 }
 
+// faultInjector is implemented by fault-injecting transport decorators
+// (internal/faultnet.Network): serveFaultStats surfaces its counters
+// over the probe protocol without core importing the injector package.
+type faultInjector interface{ Injected() map[string]int64 }
+
+// serveFaultStats answers a fault-counter request: the per-fault-type
+// injection counters of this process's transport decorator, or empty
+// when the transport injects nothing. Multi-process chaos tests use it
+// to verify a -faults plan actually fired on a remote star-node.
+func (n *node) serveFaultStats(m msgFaultStatsReq) {
+	resp := msgFaultStatsResp{Node: n.id}
+	if fi, ok := n.e.net.(faultInjector); ok {
+		inj := fi.Injected()
+		keys := make([]string, 0, len(inj))
+		for k := range inj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			resp.Keys = append(resp.Keys, k)
+			resp.Vals = append(resp.Vals, inj[k])
+		}
+	}
+	to := m.From
+	if to <= 0 || to > n.e.cfg.Nodes+1 {
+		to = n.e.cfg.coordID()
+	}
+	n.e.net.Send(n.id, to, transport.Control, resp)
+}
+
 // ---- worker side ----
 
 // scriptStamp derives the deterministic total-order stamp scripted

@@ -37,6 +37,8 @@ const (
 	wireAlignCounters
 	wireClientReq
 	wireClientResp
+	wireFaultStatsReq
+	wireFaultStatsResp
 )
 
 // wireRegistrar is implemented by workloads whose procedures have a
@@ -499,6 +501,61 @@ func registerMessages(c *wire.Codec) {
 				return nil, nil, err
 			}
 			return msgFreeze{On: on}, rest, nil
+		})
+
+	c.Register(wireFaultStatsReq, msgFaultStatsReq{},
+		func(b []byte, m transport.Message) []byte {
+			return wire.AppendVarint(b, int64(m.(msgFaultStatsReq).From))
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return msgFaultStatsReq{From: int(x)}, b, nil
+		})
+
+	c.Register(wireFaultStatsResp, msgFaultStatsResp{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgFaultStatsResp)
+			b = wire.AppendVarint(b, int64(v.Node))
+			b = wire.AppendUvarint(b, uint64(len(v.Keys)))
+			for _, k := range v.Keys {
+				b = wire.AppendBytes(b, []byte(k))
+			}
+			return wire.AppendI64s(b, v.Vals)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgFaultStatsResp
+			x, b, err := wire.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			v.Node = int(x)
+			nk, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if nk > 1<<12 {
+				return nil, nil, wire.ErrCorrupt
+			}
+			if nk > 0 {
+				v.Keys = make([]string, nk)
+				for i := range v.Keys {
+					var kb []byte
+					if kb, b, err = wire.Bytes(b); err != nil {
+						return nil, nil, err
+					}
+					v.Keys[i] = string(kb)
+				}
+			}
+			if v.Vals, b, err = wire.I64s(b); err != nil {
+				return nil, nil, err
+			}
+			if len(v.Vals) != len(v.Keys) {
+				return nil, nil, wire.ErrCorrupt
+			}
+			return v, b, nil
 		})
 
 	// ClientReq carries the session header (token, origin, ticket) ahead

@@ -81,6 +81,9 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		msgChecksumResp{Node: 1, Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
 		msgHalt{},
 		msgFreeze{On: true},
+		msgFaultStatsReq{From: 4},
+		msgFaultStatsResp{Node: 1, Keys: []string{"fault_drops", "fault_dups"}, Vals: []int64{12, 3}},
+		msgFaultStatsResp{Node: 2},
 		ClientReq{Token: 8, Req: ticketed(txn.NewRequest(tg.Cross(1), 999), 1, 77)},
 		ClientReq{Token: 0, Req: ticketed(txn.NewRequest(&tpcc.StockLevelTxn{
 			W: tw, WID: 1, DID: 0, Threshold: 12, Remote: []int{0}}, 600), 2, 1)},

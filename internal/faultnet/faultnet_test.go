@@ -1,0 +1,376 @@
+package faultnet
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"star/internal/rt"
+	"star/internal/simnet"
+	"star/internal/transport"
+	"star/internal/transport/conformance"
+)
+
+type testMsg struct {
+	id    int
+	bytes int
+}
+
+func (m testMsg) Size() int { return m.bytes }
+
+// epochMsg mimics a protocol message that carries the cluster epoch.
+type epochMsg struct {
+	testMsg
+	epoch uint64
+}
+
+func (m epochMsg) InjectionEpoch() uint64 { return m.epoch }
+
+// TestConformanceEmptyPlanSim pins transparency: with no faults the
+// decorator must pass the exact contract the inner transport passes.
+func TestConformanceEmptyPlanSim(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster {
+		s := rt.NewSim()
+		t.Cleanup(s.Stop)
+		inner := simnet.New(s, simnet.Config{Nodes: 3, Latency: 20 * time.Microsecond, Seed: 11})
+		n := Wrap(s, inner, Plan{})
+		procs := 0
+		return &conformance.Cluster{
+			Endpoint:  func(int) transport.Transport { return n },
+			Endpoints: 3,
+			Spawn: func(fn func()) {
+				procs++
+				s.Go(fmt.Sprintf("conf-%d", procs), fn)
+			},
+			Settle: func() { s.Run(s.Now() + 30*time.Second) },
+			Msg:    func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
+			MsgID:  func(m any) int { return m.(testMsg).id },
+			Yield:  func() { s.Sleep(time.Millisecond) },
+		}
+	})
+}
+
+// TestConformanceEmptyPlanReal: same transparency pin on wall clock.
+func TestConformanceEmptyPlanReal(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster {
+		r := rt.NewReal()
+		t.Cleanup(r.Stop)
+		inner := simnet.New(r, simnet.Config{Nodes: 3, Latency: 100 * time.Microsecond, Seed: 11})
+		n := Wrap(r, inner, Plan{})
+		var wg sync.WaitGroup
+		return &conformance.Cluster{
+			Endpoint:  func(int) transport.Transport { return n },
+			Endpoints: 3,
+			Spawn: func(fn func()) {
+				wg.Add(1)
+				r.Go("conf", func() {
+					defer wg.Done()
+					fn()
+				})
+			},
+			Settle: func() {
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatal("conformance processes did not settle")
+				}
+			},
+			Msg:   func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
+			MsgID: func(m any) int { return m.(testMsg).id },
+			Yield: func() { r.Sleep(200 * time.Microsecond) },
+		}
+	})
+}
+
+// run drives `send` against a 3-node wrapped simnet on the simulated
+// runtime and returns the ids delivered to each endpoint's inbox, in
+// arrival order.
+func run(t *testing.T, plan Plan, send func(n *Network)) (got [3][]int, n *Network) {
+	t.Helper()
+	s := rt.NewSim()
+	defer s.Stop()
+	inner := simnet.New(s, simnet.Config{Nodes: 3, Latency: 20 * time.Microsecond, Seed: 5})
+	n = Wrap(s, inner, plan)
+	s.Go("sender", func() { send(n) })
+	for ep := 0; ep < 3; ep++ {
+		ep := ep
+		s.Go(fmt.Sprintf("recv-%d", ep), func() {
+			in := n.Inbox(ep)
+			for {
+				v, ok := in.RecvTimeout(100 * time.Millisecond)
+				if !ok {
+					return
+				}
+				got[ep] = append(got[ep], v.(testMsg).id)
+			}
+		})
+	}
+	s.Run(s.Now() + 10*time.Second)
+	return got, n
+}
+
+func TestDropRuleIsDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{{Src: 0, Dst: 1, Class: AnyClass, Drop: 0.3}}}
+	const msgs = 300
+	send := func(n *Network) {
+		for i := 0; i < msgs; i++ {
+			n.Send(0, 1, transport.Replication, testMsg{id: i, bytes: 32})
+		}
+	}
+	got1, n1 := run(t, plan, send)
+	if len(got1[1]) == msgs || len(got1[1]) == 0 {
+		t.Fatalf("drop 0.3 delivered %d/%d", len(got1[1]), msgs)
+	}
+	if d := n1.Injected()["fault_drops"]; d != int64(msgs-len(got1[1])) {
+		t.Fatalf("fault_drops=%d, want %d", d, msgs-len(got1[1]))
+	}
+	if n1.Dropped() != n1.Injected()["fault_drops"] {
+		t.Fatalf("Dropped()=%d must include injected drops %d", n1.Dropped(), n1.Injected()["fault_drops"])
+	}
+	got2, _ := run(t, plan, send)
+	if !reflect.DeepEqual(got1[1], got2[1]) {
+		t.Fatal("same plan+seed produced different drop patterns")
+	}
+	// A different seed produces a different pattern.
+	plan.Seed = 43
+	got3, _ := run(t, plan, send)
+	if reflect.DeepEqual(got1[1], got3[1]) {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func TestDuplicateRule(t *testing.T) {
+	plan := Plan{Seed: 7, Rules: []Rule{{Src: AnyNode, Dst: AnyNode, Class: AnyClass, Dup: 0.4}}}
+	const msgs = 200
+	got, n := run(t, plan, func(n *Network) {
+		for i := 0; i < msgs; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+		}
+	})
+	dups := n.Injected()["fault_dups"]
+	if dups == 0 {
+		t.Fatal("dup 0.4 injected nothing")
+	}
+	if int64(len(got[1])) != int64(msgs)+dups {
+		t.Fatalf("delivered %d, want %d + %d dups", len(got[1]), msgs, dups)
+	}
+}
+
+func TestReorderRuleDeliversAll(t *testing.T) {
+	plan := Plan{Seed: 9, Rules: []Rule{{Src: 0, Dst: 1, Class: AnyClass, Reorder: 0.2, ReorderSpan: 4}}}
+	const msgs = 200
+	got, n := run(t, plan, func(n *Network) {
+		for i := 0; i < msgs; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+		}
+	})
+	if n.Injected()["fault_reorders"] == 0 {
+		t.Fatal("reorder 0.2 injected nothing")
+	}
+	if len(got[1]) != msgs {
+		t.Fatalf("reordering lost messages: %d/%d", len(got[1]), msgs)
+	}
+	seen := map[int]int{}
+	inOrder := true
+	for i, id := range got[1] {
+		seen[id]++
+		if id != i {
+			inOrder = false
+		}
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("id %d delivered %d times", id, c)
+		}
+	}
+	if inOrder {
+		t.Fatal("reorder fault delivered everything in order")
+	}
+}
+
+// TestDelayRuleTickerReleases: with delay probability 1 every message is
+// parked; only the ticker can release them (no later send pushes the
+// link index). All must still arrive.
+func TestDelayRuleTickerReleases(t *testing.T) {
+	plan := Plan{Seed: 3, Rules: []Rule{{Src: 0, Dst: 1, Class: AnyClass, Delay: 1, DelayFor: 3 * time.Millisecond}}}
+	const msgs = 50
+	got, n := run(t, plan, func(n *Network) {
+		for i := 0; i < msgs; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+		}
+	})
+	if len(got[1]) != msgs {
+		t.Fatalf("delay stranded messages: %d/%d delivered", len(got[1]), msgs)
+	}
+	if d := n.Injected()["fault_delays"]; d != msgs {
+		t.Fatalf("fault_delays=%d, want %d", d, msgs)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	plan := Plan{Partitions: []PartitionSpec{{Src: 0, Dst: 1}}}
+	got, n := run(t, plan, func(n *Network) {
+		for i := 0; i < 50; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+			n.Send(1, 0, transport.Data, testMsg{id: 100 + i, bytes: 32})
+		}
+	})
+	if len(got[1]) != 0 {
+		t.Fatalf("partitioned direction delivered %d messages", len(got[1]))
+	}
+	if len(got[0]) != 50 {
+		t.Fatalf("reverse direction delivered %d/50 (partition must be asymmetric)", len(got[0]))
+	}
+	if p := n.Injected()["fault_part_drops"]; p != 50 {
+		t.Fatalf("fault_part_drops=%d, want 50", p)
+	}
+}
+
+// TestCrashWindowCountKeyed: a count-keyed crash blackholes a node in
+// both directions for a slice of the run, then traffic resumes — the
+// network-level fail-stop the protocol must detect by silence.
+func TestCrashWindowCountKeyed(t *testing.T) {
+	plan := Plan{Crashes: []CrashSpec{{Node: 1, Window: Window{FromCount: 1, UntilCount: 51}}}}
+	got, n := run(t, plan, func(n *Network) {
+		for i := 0; i < 100; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+		}
+	})
+	if c := n.Injected()["fault_crash_drops"]; c != 50 {
+		t.Fatalf("fault_crash_drops=%d, want 50", c)
+	}
+	if len(got[1]) != 50 || got[1][0] != 50 {
+		t.Fatalf("delivered %d msgs starting at id %v, want ids 50..99", len(got[1]), got[1][:min(3, len(got[1]))])
+	}
+	if n.CrashActive(1) {
+		t.Fatal("crash window must be inactive once its count bound passed")
+	}
+}
+
+// TestEpochKeyedWindow: a rule keyed FromEpoch:2 stays dormant until a
+// message carrying epoch ≥ 2 passes through the decorator.
+func TestEpochKeyedWindow(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Src: AnyNode, Dst: AnyNode, Class: AnyClass, Drop: 1, Window: Window{FromEpoch: 2}}}}
+	s := rt.NewSim()
+	defer s.Stop()
+	inner := simnet.New(s, simnet.Config{Nodes: 3, Latency: 20 * time.Microsecond, Seed: 5})
+	n := Wrap(s, inner, plan)
+	var delivered int
+	s.Go("recv", func() {
+		in := n.Inbox(1)
+		for {
+			if _, ok := in.RecvTimeout(100 * time.Millisecond); !ok {
+				return
+			}
+			delivered++
+		}
+	})
+	s.Go("send", func() {
+		n.Send(0, 1, transport.Control, epochMsg{testMsg{1, 32}, 1}) // epoch 1: rule dormant
+		n.Send(0, 1, transport.Control, epochMsg{testMsg{2, 32}, 2}) // epoch 2: rule arms, drops this
+		n.Send(0, 1, transport.Data, testMsg{3, 32})                 // still armed
+	})
+	s.Run(10 * time.Second)
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (only the pre-epoch-2 message)", delivered)
+	}
+	if n.Epoch() != 2 {
+		t.Fatalf("observed epoch %d, want 2", n.Epoch())
+	}
+}
+
+func TestClassScopedRule(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Src: AnyNode, Dst: AnyNode, Class: int(transport.Data), Drop: 1}}}
+	got, _ := run(t, plan, func(n *Network) {
+		for i := 0; i < 20; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+			n.Send(0, 2, transport.Control, testMsg{id: i, bytes: 32})
+		}
+	})
+	if len(got[1]) != 0 {
+		t.Fatalf("Data-scoped drop leaked %d Data messages", len(got[1]))
+	}
+	if len(got[2]) != 20 {
+		t.Fatalf("Data-scoped drop ate Control traffic: %d/20", len(got[2]))
+	}
+}
+
+// TestHealReleasesAndDisables: Heal must flush parked messages and stop
+// all further injection, so post-heal convergence checks see a clean
+// network.
+func TestHealReleasesAndDisables(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Src: 0, Dst: 1, Class: AnyClass, Reorder: 1, ReorderSpan: 1 << 30}}}
+	s := rt.NewSim()
+	defer s.Stop()
+	inner := simnet.New(s, simnet.Config{Nodes: 3, Latency: 20 * time.Microsecond, Seed: 5})
+	n := Wrap(s, inner, plan)
+	var got []int
+	s.Go("recv", func() {
+		in := n.Inbox(1)
+		for {
+			v, ok := in.RecvTimeout(100 * time.Millisecond)
+			if !ok {
+				return
+			}
+			got = append(got, v.(testMsg).id)
+		}
+	})
+	s.Go("send", func() {
+		for i := 0; i < 5; i++ {
+			n.Send(0, 1, transport.Data, testMsg{id: i, bytes: 32})
+		}
+		// Everything is parked (span unreachable, deadline maxHold).
+		n.Heal()
+		n.Send(0, 1, transport.Data, testMsg{id: 5, bytes: 32})
+	})
+	s.Run(s.Now() + 10*time.Second)
+	if len(got) != 6 {
+		t.Fatalf("after heal %d/6 delivered", len(got))
+	}
+	if !n.Healed() {
+		t.Fatal("Healed() false after Heal")
+	}
+	if total := n.InjectedTotal(); total != 5 {
+		t.Fatalf("InjectedTotal=%d, want 5 reorders", total)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed: 1234,
+		Rules: []Rule{
+			{Src: 0, Dst: 1, Class: int(transport.Data), Drop: 0.05, Dup: 0.02, Reorder: 0.1, ReorderSpan: 4, Window: Window{FromEpoch: 2, UntilEpoch: 9}},
+			{Src: AnyNode, Dst: AnyNode, Class: AnyClass, Delay: 0.2, DelayFor: 3 * time.Millisecond},
+		},
+		Partitions: []PartitionSpec{{Src: 2, Dst: 0, Window: Window{FromCount: 100, UntilCount: 500}}},
+		Crashes:    []CrashSpec{{Node: 1, Window: Window{FromEpoch: 3, UntilEpoch: 5}}},
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SavePlan(path, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := LoadPlan(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip changed plan:\n%+v\n%+v", p, back)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Rules: []Rule{{Drop: 0.9, Dup: 0.9}}}).Validate(); err == nil {
+		t.Fatal("probability sum > 1 must be rejected")
+	}
+	if err := (Plan{Crashes: []CrashSpec{{Node: 1}}}).Validate(); err == nil {
+		t.Fatal("unbounded crash window must be rejected")
+	}
+	if err := (Plan{Rules: []Rule{{Src: AnyNode, Dst: AnyNode, Class: AnyClass, Drop: 0.5}}}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}

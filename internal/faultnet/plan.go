@@ -1,0 +1,56 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadPlan reads a JSON fault plan (the star-node -faults argument).
+func LoadPlan(path string) (Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Plan{}, fmt.Errorf("faultnet: parse %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("faultnet: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SavePlan writes the plan as indented JSON, for sharing one schedule
+// across the processes of a multi-node chaos run.
+func SavePlan(path string, p Plan) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Validate rejects plans whose probabilities cannot be evaluated
+// against a single uniform draw.
+func (p Plan) Validate() error {
+	for i, r := range p.Rules {
+		sum := r.Drop + r.Dup + r.Reorder + r.Delay
+		if sum < 0 || sum > 1 {
+			return fmt.Errorf("rule %d: probabilities sum to %v, want [0,1]", i, sum)
+		}
+		if r.Src < AnyNode || r.Dst < AnyNode || r.Class < AnyClass {
+			return fmt.Errorf("rule %d: negative matcher that is not a wildcard", i)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("crash %d: node %d", i, c.Node)
+		}
+		if c.Window.zero() {
+			return fmt.Errorf("crash %d: unbounded window would blackhole node %d forever", i, c.Node)
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ func TestConformanceSim(t *testing.T) {
 			Settle: func() { s.Run(s.Now() + 30*time.Second) },
 			Msg:    func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
 			MsgID:  func(m any) int { return m.(testMsg).id },
+			Yield:  func() { s.Sleep(time.Millisecond) },
 		}
 	})
 }
@@ -70,6 +71,7 @@ func TestConformanceReal(t *testing.T) {
 			},
 			Msg:   func(id, size int) transport.Message { return testMsg{id: id, bytes: size} },
 			MsgID: func(m any) int { return m.(testMsg).id },
+			Yield: func() { r.Sleep(200 * time.Microsecond) },
 		}
 	})
 }

@@ -71,6 +71,13 @@ type Config struct {
 	// declaring the peer unreachable and dropping its traffic
 	// (default 15s).
 	DialDeadline time.Duration
+	// LinkQueueBytes caps the bytes queued on a DEAD link (default
+	// 16 MiB). While a peer is down its writer can be away in a patient
+	// re-dial for DialDeadline at a time (the rejoin path kicks links
+	// repeatedly), not draining; the frame-count channel cap alone would
+	// let a never-returning peer pin count×MaxFrame bytes per link.
+	// Frames over the cap are shed (counted in ShedFrames and Dropped).
+	LinkQueueBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -95,15 +102,19 @@ func (c Config) withDefaults() Config {
 	if c.DialDeadline == 0 {
 		c.DialDeadline = 15 * time.Second
 	}
+	if c.LinkQueueBytes == 0 {
+		c.LinkQueueBytes = 16 << 20
+	}
 	return c
 }
 
 // link is one directed src→dst stream: a frame queue drained by a
 // writer goroutine that owns the connection.
 type link struct {
-	out  chan []byte
-	dead atomic.Bool   // peer unreachable or stream broken: drop frames
-	kick chan struct{} // bounce signal: drop the conn and re-dial (cap 1)
+	out    chan []byte
+	dead   atomic.Bool   // peer unreachable or stream broken: drop frames
+	kick   chan struct{} // bounce signal: drop the conn and re-dial (cap 1)
+	queued atomic.Int64  // bytes sitting in out (capped while dead)
 }
 
 // Network implements transport.Transport over TCP.
@@ -125,6 +136,7 @@ type Network struct {
 	msgsByClass  [transport.NumClasses]atomic.Int64
 	bytesFrom    []atomic.Int64
 	dropped      atomic.Int64
+	shed         atomic.Int64
 	decodeErrs   atomic.Int64
 	dialAttempts atomic.Int64
 
@@ -250,8 +262,17 @@ func (n *Network) Send(src, dst int, class transport.Class, m transport.Message)
 		// followed by the rejoin messages) must still be able to deliver
 		// this frame, but a sender must never wedge on a crashed peer
 		// (the writer may be away in a patient re-dial and not draining).
+		// While the writer is away nothing drains the queue, so the byte
+		// cap is what keeps a never-returning peer from pinning
+		// count×MaxFrame of memory on this link.
+		if l.queued.Load()+int64(len(frame)) > n.cfg.LinkQueueBytes {
+			n.shed.Add(1)
+			n.dropped.Add(1)
+			return
+		}
 		select {
 		case l.out <- frame:
+			l.queued.Add(int64(len(frame)))
 			n.bytesByClass[class].Add(int64(len(frame)))
 			n.msgsByClass[class].Add(1)
 			n.bytesFrom[src].Add(int64(len(frame)))
@@ -265,6 +286,7 @@ func (n *Network) Send(src, dst int, class transport.Class, m transport.Message)
 	n.bytesFrom[src].Add(int64(len(frame)))
 	select {
 	case l.out <- frame:
+		l.queued.Add(int64(len(frame)))
 	case <-n.stop:
 	}
 }
@@ -387,6 +409,7 @@ func (n *Network) runWriter(l *link, dst int) {
 		if alive {
 			select {
 			case frame := <-l.out:
+				l.queued.Add(-int64(len(frame)))
 				if !writeFrame(frame) {
 					n.dropped.Add(1) // the frame died with the stream
 					alive = false
@@ -413,7 +436,8 @@ func (n *Network) runWriter(l *link, dst int) {
 			default:
 			}
 			select {
-			case <-l.out:
+			case frame := <-l.out:
+				l.queued.Add(-int64(len(frame)))
 				n.dropped.Add(1)
 			case <-l.kick:
 				alive = connect()
@@ -587,6 +611,10 @@ func (n *Network) BytesFrom(src int) int64 { return n.bytesFrom[src].Load() }
 
 // Dropped implements transport.Transport.
 func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// ShedFrames counts frames shed by the dead-link byte cap — the subset
+// of Dropped caused by queue memory pressure rather than the drain loop.
+func (n *Network) ShedFrames() int64 { return n.shed.Load() }
 
 // DecodeErrors counts frames rejected by the codec (tests).
 func (n *Network) DecodeErrors() int64 { return n.decodeErrs.Load() }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"star/internal/faultnet"
 	"star/internal/rt"
 	"star/internal/transport"
 	"star/internal/transport/conformance"
@@ -105,6 +106,7 @@ func newCluster(t *testing.T) *conformance.Cluster {
 		},
 		Msg:   func(id, size int) transport.Message { return wtMsg{id: id, size: size} },
 		MsgID: func(m any) int { return m.(wtMsg).id },
+		Yield: func() { r.Sleep(200 * time.Microsecond) },
 	}
 }
 
@@ -217,4 +219,96 @@ func TestDialBackoffBoundsAttempts(t *testing.T) {
 	if attempts > 60 {
 		t.Fatalf("%d dial attempts over a 600ms deadline: backoff is not in effect (fixed 5ms interval would make ~120)", attempts)
 	}
+}
+
+// TestDeadLinkQueueByteCap pins that a link to a never-returning peer
+// cannot grow its writer queue past LinkQueueBytes. The window under
+// test: after a revival kick the writer is away in a patient re-dial
+// (up to DialDeadline) and nothing drains the queue — without the byte
+// cap, the frame-count channel cap alone would admit count×frame-size
+// bytes of snapshots and deltas destined for a corpse.
+func TestDeadLinkQueueByteCap(t *testing.T) {
+	r := rt.NewReal()
+	t.Cleanup(r.Stop)
+
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	const cap = 4096 // bytes
+	nw, err := New(r, Config{
+		Endpoints:      []string{ln.Addr().String(), deadAddr},
+		Local:          []int{0},
+		Codec:          testCodec(),
+		Listener:       ln,
+		DialTimeout:    100 * time.Millisecond,
+		DialRetry:      10 * time.Millisecond,
+		DialRetryMax:   50 * time.Millisecond,
+		DialDeadline:   300 * time.Millisecond,
+		LinkQueueBytes: cap,
+	})
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	t.Cleanup(func() { nw.Close() })
+
+	// Spawn the link and let its initial dial give up: the probe frame is
+	// drained as dropped once the link turns dead.
+	nw.Send(0, 1, transport.Control, wtMsg{id: 0, size: 32})
+	waitUntil := time.Now().Add(5 * time.Second)
+	for nw.Dropped() == 0 && time.Now().Before(waitUntil) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nw.Dropped() == 0 {
+		t.Fatal("link to dead peer never gave up")
+	}
+
+	// Revival kick (the rejoin path): the writer leaves the drain loop
+	// for a patient re-dial. Flood the dead link while nothing drains it.
+	nw.SetDown(1, false)
+	time.Sleep(30 * time.Millisecond)
+	const flood = 2000
+	const frameSize = 128
+	for i := 0; i < flood; i++ {
+		nw.Send(0, 1, transport.Data, wtMsg{id: i, size: frameSize})
+	}
+	shed := nw.ShedFrames()
+	if shed == 0 {
+		t.Fatalf("flooded %d×%dB into a %dB dead-link queue and nothing was shed", flood, frameSize, cap)
+	}
+	enqueued := nw.Messages(transport.Data)
+	if shed+enqueued != flood {
+		t.Fatalf("shed %d + enqueued %d != %d sends", shed, enqueued, flood)
+	}
+	if got := nw.Bytes(transport.Data); got > cap+frameSize {
+		t.Fatalf("dead link holds %dB, cap is %dB", got, cap)
+	}
+	if nw.Dropped() < shed {
+		t.Fatal("shed frames must also count as dropped")
+	}
+}
+
+// TestConformanceFaultnetWrapped re-runs the contract suite with every
+// endpoint's Network wrapped in a no-fault faultnet decorator: the
+// fault-injection layer must be transparent over real sockets too.
+func TestConformanceFaultnetWrapped(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Cluster {
+		c := newCluster(t)
+		r := rt.NewReal()
+		t.Cleanup(r.Stop)
+		inner := c.Endpoint
+		wrapped := make([]transport.Transport, c.Endpoints)
+		for i := range wrapped {
+			wrapped[i] = faultnet.Wrap(r, inner(i), faultnet.Plan{})
+		}
+		c.Endpoint = func(i int) transport.Transport { return wrapped[i] }
+		return c
+	})
 }

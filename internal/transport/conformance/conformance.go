@@ -34,6 +34,10 @@ type Cluster struct {
 	Msg func(id, size int) transport.Message
 	// MsgID extracts the id from a received test message.
 	MsgID func(m any) int
+	// Yield briefly parks the calling process so concurrently spawned
+	// ones interleave (a short runtime Sleep; required on cooperative
+	// simulated runtimes where a tight loop never preempts).
+	Yield func()
 }
 
 // setDownEverywhere applies a failure flag on every process, matching
@@ -137,6 +141,94 @@ func Run(t *testing.T, mk func(t *testing.T) *Cluster) {
 		c.Settle()
 		if !recovered {
 			t.Fatal("message not delivered after endpoint recovered")
+		}
+	})
+
+	// SetDown flapping: rapid down/up cycles on one endpoint while
+	// concurrent senders hammer it and a healthy peer. Pins that no
+	// combination of flap timing can deadlock a sender, duplicate a
+	// delivery, or run any accounting counter backwards — the flapped
+	// path's only permitted outcomes per message are exactly-once or
+	// counted-drop.
+	t.Run("SetDownFlapping", func(t *testing.T) {
+		c := mk(t)
+		const healthyMsgs, flappedMsgs, flaps = 200, 200, 40
+		var mu sync.Mutex
+		var healthy []int
+		flapped := map[int]int{}
+		var acct [][3]int64 // (Messages(Data), TotalBytes, Dropped) samples
+
+		c.Spawn(func() { // healthy path: 0 → 2, untouched by the flapping
+			for i := 0; i < healthyMsgs; i++ {
+				c.Endpoint(0).Send(0, 2, transport.Data, c.Msg(i, 32))
+			}
+		})
+		c.Spawn(func() { // flapped path: 0 → 1
+			for i := 0; i < flappedMsgs; i++ {
+				c.Endpoint(0).Send(0, 1, transport.Data, c.Msg(i, 32))
+				if i%4 == 0 {
+					c.Yield()
+				}
+			}
+		})
+		c.Spawn(func() { // the flapper
+			for k := 0; k < flaps; k++ {
+				c.setDownEverywhere(1, true)
+				c.Yield()
+				c.setDownEverywhere(1, false)
+				c.Yield()
+				ep := c.Endpoint(0)
+				mu.Lock()
+				acct = append(acct, [3]int64{ep.Messages(transport.Data), ep.TotalBytes(), ep.Dropped()})
+				mu.Unlock()
+			}
+		})
+		c.Spawn(func() {
+			in := c.Endpoint(2).Inbox(2)
+			for i := 0; i < healthyMsgs; i++ {
+				v, ok := in.RecvTimeout(5 * time.Second)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				healthy = append(healthy, c.MsgID(v))
+				mu.Unlock()
+			}
+		})
+		c.Spawn(func() {
+			in := c.Endpoint(1).Inbox(1)
+			for {
+				v, ok := in.RecvTimeout(500 * time.Millisecond)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				flapped[c.MsgID(v)]++
+				mu.Unlock()
+			}
+		})
+		c.Settle()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(healthy) != healthyMsgs {
+			t.Fatalf("healthy path delivered %d/%d while another endpoint flapped", len(healthy), healthyMsgs)
+		}
+		for i, id := range healthy {
+			if id != i {
+				t.Fatalf("healthy path message %d out of order (id %d)", i, id)
+			}
+		}
+		for id, n := range flapped {
+			if n > 1 {
+				t.Fatalf("flapped path delivered id %d %d times (at-most-once violated)", id, n)
+			}
+		}
+		for i := 1; i < len(acct); i++ {
+			for f := 0; f < 3; f++ {
+				if acct[i][f] < acct[i-1][f] {
+					t.Fatalf("accounting field %d decreased under flapping: %d → %d", f, acct[i-1][f], acct[i][f])
+				}
+			}
 		}
 	})
 
