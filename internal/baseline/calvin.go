@@ -531,6 +531,20 @@ func (e *Calvin) applyCalvinEntry(node int, en *replication.Entry, epoch, tid ui
 	rec := part.GetOrCreate(en.Key, epoch)
 	wasAbsent := storage.TIDAbsent(rec.TID())
 	rec.Lock()
+	if en.Absent && !en.IsOp() {
+		var prior []byte
+		if !wasAbsent && tbl.NumIndexes() > 0 {
+			prior = append(prior, rec.ValueLocked()...)
+		}
+		if rec.DeleteLocked(epoch, tid) {
+			part.MarkDirty(rec, epoch)
+		}
+		rec.UnlockWithTID(storage.TIDClean(tid) | storage.TIDAbsentBit)
+		if !wasAbsent {
+			tbl.NoteDeleted(int(en.Part), en.Key, prior, epoch)
+		}
+		return
+	}
 	var first bool
 	if en.IsOp() {
 		first, _ = rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, en.Ops)
@@ -586,6 +600,11 @@ func (c *calvinCtx) Write(t storage.TableID, part int, key storage.Key, ops ...s
 func (c *calvinCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.set.AddInsert(t, part, key, row)
+}
+
+func (c *calvinCtx) Delete(t storage.TableID, part int, key storage.Key) {
+	c.writes++
+	c.set.AddDelete(t, part, key)
 }
 
 // LookupIndex resolves locally for partitions this node masters and from

@@ -41,15 +41,18 @@ func (p *rpcPort) callAll(net transport.Transport, src, worker int, reqs map[int
 func (e *Dist) doRead(node int, p *readPayload) (*readReply, bool) {
 	rec := e.nodes[node].db.Table(p.Table).Get(p.Part, p.Key)
 	if rec == nil {
-		return nil, false
+		return &readReply{Absent: true}, true
 	}
 	// Bounded read: if the record is latched by an in-flight commit we
 	// fail the read (conflict abort) rather than spin — the router
 	// serving this read is also the process that must deliver the
 	// latch-holder's commit, so unbounded spinning would deadlock.
 	val, tidv, present, ok := rec.TryReadStable(nil, 16)
-	if !ok || !present {
+	if !ok {
 		return nil, false
+	}
+	if !present {
+		return &readReply{TID: tidv, Absent: true}, true
 	}
 	return &readReply{Row: val, TID: tidv}, true
 }
@@ -62,12 +65,19 @@ func (e *Dist) doLockRead(node int, p *readPayload) (*readReply, bool) {
 	rec := e.nodes[node].db.Table(p.Table).Get(p.Part, p.Key)
 	if rec == nil {
 		e.locks[node].Unlock(nm, p.Owner)
-		return nil, false
+		return &readReply{Absent: true}, true
 	}
-	val, tidv, _, ok := rec.TryReadStable(nil, 64)
+	val, tidv, present, ok := rec.TryReadStable(nil, 64)
 	if !ok {
 		e.locks[node].Unlock(nm, p.Owner)
 		return nil, false
+	}
+	if !present {
+		// A tombstone is a successful "row missing" read; the name lock
+		// is released — readers of trimmed ranges serialise on the
+		// district rows, not on the reclaimed rows themselves.
+		e.locks[node].Unlock(nm, p.Owner)
+		return &readReply{TID: tidv, Absent: true}, true
 	}
 	return &readReply{Row: val, TID: tidv}, true
 }
@@ -127,9 +137,9 @@ func (e *Dist) doCommitAsync(node int, p *commitPayload) {
 	for idx := range p.Entries {
 		en := &p.Entries[idx]
 		rec := e.applyEntry(node, en, epoch, p.TID)
-		row, _, _ := rec.ReadStable(nil)
+		row, _, present := rec.ReadStable(nil)
 		ents = append(ents, replication.Entry{
-			Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row,
+			Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row, Absent: !present,
 		})
 	}
 	for _, nm := range p.Release {
@@ -153,6 +163,22 @@ func (e *Dist) applyEntry(node int, en *replication.Entry, epoch, tid uint64) *s
 	wasAbsent := storage.TIDAbsent(rec.TID())
 	if e.proto == DistS2PL {
 		rec.Lock()
+	}
+	if en.Absent && !en.IsOp() {
+		// Delete entry: capture the pre-delete row for index maintenance,
+		// then tombstone. The absent bit must survive the unlock.
+		var prior []byte
+		if !wasAbsent && tbl.NumIndexes() > 0 {
+			prior = append(prior, rec.ValueLocked()...)
+		}
+		if rec.DeleteLocked(epoch, tid) {
+			part.MarkDirty(rec, epoch)
+		}
+		rec.UnlockWithTID(storage.TIDClean(tid) | storage.TIDAbsentBit)
+		if !wasAbsent {
+			tbl.NoteDeleted(int(en.Part), en.Key, prior, epoch)
+		}
+		return rec
 	}
 	var first bool
 	if en.IsOp() {
@@ -239,6 +265,9 @@ func (c *distCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bo
 			c.failed = true
 			return nil, false
 		}
+		if rep.Absent {
+			return nil, false // row missing: skippable, not an abort
+		}
 		c.held[owner] = append(c.held[owner], nm)
 		c.set.AddRead(t, part, key, nil, rep.TID)
 		return rep.Row, true
@@ -259,6 +288,9 @@ func (c *distCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bo
 		c.failed = true
 		return nil, false
 	}
+	if rep.Absent {
+		return nil, false // row missing: skippable, not an abort
+	}
 	c.set.AddRead(t, part, key, nil, rep.TID)
 	return rep.Row, true
 }
@@ -271,6 +303,11 @@ func (c *distCtx) Write(t storage.TableID, part int, key storage.Key, ops ...sto
 func (c *distCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.set.AddInsert(t, part, key, row)
+}
+
+func (c *distCtx) Delete(t storage.TableID, part int, key storage.Key) {
+	c.writes++
+	c.set.AddDelete(t, part, key)
 }
 
 // LookupIndex resolves a secondary-index lookup: locally when this node
@@ -434,8 +471,8 @@ func (e *Dist) commitLocal(node, wi int, port *rpcPort, p *commitPayload) {
 		en := &p.Entries[idx]
 		rec := e.applyEntry(node, en, epoch, p.TID)
 		recs = append(recs, rec)
-		row, _, _ := rec.ReadStable(nil)
-		ents = append(ents, replication.Entry{Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row})
+		row, _, present := rec.ReadStable(nil)
+		ents = append(ents, replication.Entry{Table: en.Table, Part: en.Part, Key: en.Key, TID: p.TID, Row: row, Absent: !present})
 	}
 	if backup != node {
 		n.tracker.AddSent(backup, int64(len(ents)))

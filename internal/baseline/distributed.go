@@ -96,6 +96,11 @@ type readPayload struct {
 type readReply struct {
 	Row []byte
 	TID uint64
+	// Absent distinguishes "the row does not exist" (a successful read
+	// the procedure can skip over — trimmed orders, delivered NEW-ORDER
+	// rows) from a failed call (lock conflict / latched record), which
+	// aborts the transaction.
+	Absent bool
 }
 
 type lvPayload struct { // Dist. OCC lock+validate

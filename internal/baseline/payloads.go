@@ -85,9 +85,10 @@ func decodeReadPayload(b []byte) (*readPayload, error) {
 }
 
 func (r *readReply) encode() []byte {
-	b := make([]byte, 0, 16+len(r.Row))
+	b := make([]byte, 0, 17+len(r.Row))
 	b = wire.AppendBytes(b, r.Row)
-	return wire.AppendU64(b, r.TID)
+	b = wire.AppendU64(b, r.TID)
+	return wire.AppendBool(b, r.Absent)
 }
 
 func decodeReadReply(b []byte) (*readReply, error) {
@@ -96,7 +97,10 @@ func decodeReadReply(b []byte) (*readReply, error) {
 	if r.Row, b, err = wire.Bytes(b); err != nil {
 		return nil, err
 	}
-	if r.TID, _, err = wire.U64(b); err != nil {
+	if r.TID, b, err = wire.U64(b); err != nil {
+		return nil, err
+	}
+	if r.Absent, _, err = wire.Bool(b); err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -225,13 +225,11 @@ func (c *dbCtx) Read(t storage.TableID, part int, key storage.Key) ([]byte, bool
 	tbl := c.db.Table(t)
 	rec := tbl.Get(part, key)
 	if rec == nil {
-		c.failed = true
-		return nil, false
+		return nil, false // row missing: skippable, not an abort
 	}
 	val, tidv, present := rec.ReadStable(nil)
 	if !present {
-		c.failed = true
-		return nil, false
+		return nil, false // tombstone: same as missing
 	}
 	if !tbl.Replicated() {
 		c.set.AddRead(t, part, key, rec, tidv)
@@ -247,6 +245,11 @@ func (c *dbCtx) Write(t storage.TableID, part int, key storage.Key, ops ...stora
 func (c *dbCtx) Insert(t storage.TableID, part int, key storage.Key, row []byte) {
 	c.writes++
 	c.set.AddInsert(t, part, key, row)
+}
+
+func (c *dbCtx) Delete(t storage.TableID, part int, key storage.Key) {
+	c.writes++
+	c.set.AddDelete(t, part, key)
 }
 
 // LookupIndex resolves a secondary-index lookup on the local database

@@ -202,6 +202,11 @@ func RunSoak(seed int64, o Options) (Result, error) {
 		CrossPctOrderStatus:  10,
 	}
 	tc.SetFullMix()
+	// Deletes under fire: Delivery reclaims NEW-ORDER rows and trimmer
+	// batches ride in the mix, so every fault plan also has to carry
+	// tombstones and trim cursors byte-identically through heal+converge.
+	tc.TrimPct = 4
+	tc.TrimRetain = 8
 	wl := tpcc.New(tc)
 
 	inner := simnet.New(s, simnet.Config{

@@ -101,8 +101,10 @@ type Config struct {
 
 	// Checkpoint enables a dedicated checkpointing process per node
 	// (§4.5.1): every CheckpointEvery (default 10 iterations) it writes a
-	// fuzzy snapshot to LogDir; logs older than the checkpoint's epoch
-	// may then be deleted. Requires LogDir.
+	// fuzzy snapshot to LogDir, rotates every logger onto a fresh
+	// segment, and deletes segments (and the superseded checkpoint)
+	// covered by the new snapshot — restart replay stays bounded by
+	// checkpoint cadence instead of run length. Requires LogDir.
 	Checkpoint      bool
 	CheckpointEvery time.Duration
 

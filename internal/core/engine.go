@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -150,13 +151,16 @@ func (e *Engine) openLogs() {
 	}
 }
 
-// LogFiles returns the recovery-log paths written in LogDir mode.
-// Node i's database can be rebuilt with wal.Recover from the subset of
-// files whose name starts with "node<i>-" (a full replica's set covers
-// the whole database).
+// LogFiles returns the live recovery-log paths written in LogDir mode
+// (segments already covered by a checkpoint are truncated away). Node
+// i's database can be rebuilt with wal.Recover from the subset of files
+// whose name starts with "node<i>-" (a full replica's set covers the
+// whole database).
 func (e *Engine) LogFiles(node int) []string {
 	var out []string
 	prefix := fmt.Sprintf("node%d-", node)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, f := range e.logFiles {
 		if strings.HasPrefix(filepath.Base(f), prefix) {
 			out = append(out, f)
@@ -226,21 +230,88 @@ func (e *Engine) start() {
 // checkpointLoop periodically writes a fuzzy checkpoint of the node's
 // database (§4.5.1: "a checkpoint does not need to be a consistent
 // snapshot ... on recovery, STAR uses the logs since the checkpoint to
-// correct the inconsistent snapshot with the Thomas write rule").
+// correct the inconsistent snapshot with the Thomas write rule") and
+// truncates the recovery log behind it. Each round first rotates every
+// logger onto a fresh segment, then checkpoints; a segment retired one
+// full round earlier had all its writes applied to the database long
+// before this round's scan began, so the new checkpoint covers it and
+// the file — like the superseded checkpoint — is deleted. Restart
+// replay is thereby bounded by checkpoint cadence, not run length.
 func (e *Engine) checkpointLoop(n *node) {
 	seq := 0
+	var retired []string // segments closed at the previous round
 	for {
 		e.cfg.RT.Sleep(e.cfg.CheckpointEvery)
 		epoch := n.epoch.Load()
+		closed := e.rotateLogs(n, seq)
 		path := filepath.Join(e.cfg.LogDir, fmt.Sprintf("node%d-ckpt%d", n.id, seq))
 		if _, err := wal.WriteCheckpoint(n.db, path, epoch); err != nil {
 			panic("core: checkpoint: " + err.Error())
 		}
 		n.mu.Lock()
+		prevCkpt := n.lastCheckpoint
 		n.lastCheckpoint = path
 		n.mu.Unlock()
+		e.dropLogFiles(retired)
+		if prevCkpt != "" {
+			os.Remove(prevCkpt)
+		}
+		retired = closed
 		seq++
 	}
+}
+
+// rotateLogs retires every recovery-log segment of n onto a fresh file
+// and returns the closed segments' paths.
+func (e *Engine) rotateLogs(n *node, seq int) []string {
+	var closed []string
+	rotate := func(l *wal.Logger) {
+		if l == nil {
+			return
+		}
+		old := l.Path()
+		base := old
+		if i := strings.LastIndex(base, ".log."); i >= 0 {
+			base = base[:i+4]
+		}
+		next := fmt.Sprintf("%s.%d", base, seq+1)
+		if err := l.Rotate(next); err != nil {
+			panic("core: rotate log: " + err.Error())
+		}
+		closed = append(closed, old)
+		e.mu.Lock()
+		e.logFiles = append(e.logFiles, next)
+		e.mu.Unlock()
+	}
+	rotate(n.routerLog)
+	for _, l := range n.applierLogs {
+		rotate(l)
+	}
+	for _, w := range n.workers {
+		rotate(w.logger)
+	}
+	return closed
+}
+
+// dropLogFiles deletes retired log segments and forgets them.
+func (e *Engine) dropLogFiles(paths []string) {
+	if len(paths) == 0 {
+		return
+	}
+	gone := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		gone[p] = true
+		os.Remove(p)
+	}
+	e.mu.Lock()
+	kept := e.logFiles[:0]
+	for _, f := range e.logFiles {
+		if !gone[f] {
+			kept = append(kept, f)
+		}
+	}
+	e.logFiles = kept
+	e.mu.Unlock()
 }
 
 // LastCheckpoint returns the most recent checkpoint file written for a

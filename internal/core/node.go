@@ -520,10 +520,14 @@ func (n *node) applyEntriesLogged(from int, epoch uint64, entries []replication.
 		if lg != nil {
 			// §5: operation entries are transformed into whole rows
 			// before logging, so recovery can replay in any order.
-			if row == nil {
-				row = en.Row
+			if en.Absent {
+				lg.AppendDelete(en.Table, en.Part, en.Key, en.TID)
+			} else {
+				if row == nil {
+					row = en.Row
+				}
+				lg.AppendWrite(en.Table, en.Part, en.Key, en.TID, false, row)
 			}
-			lg.AppendWrite(en.Table, en.Part, en.Key, en.TID, en.Absent, row)
 		}
 	}
 	if lg != nil {
@@ -605,7 +609,7 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	epoch := n.epoch.Load()
 	for i, key := range m.Keys {
 		rec := part.GetOrCreate(key, epoch)
-		_, first, inserted := rec.ApplyValueThomas(epoch, m.TIDs[i], m.Rows[i], false)
+		_, first, inserted, _ := rec.ApplyValueThomas(epoch, m.TIDs[i], m.Rows[i], false)
 		if first {
 			// Catch-up writes must be registered for revert exactly like
 			// replication applies: if THIS catch-up is abandoned (a lost
@@ -629,6 +633,30 @@ func (n *node) applySnapshot(m *msgSnapshot) {
 	// catch-up accounting.
 	if !n.snapPending[snapKey(m.Table, m.Part)] {
 		return
+	}
+	// Removal sweep: a row the cluster deleted (and reclaimed) while this
+	// node was down is simply missing from the donor's snapshot, so
+	// additive catch-up alone would leave it alive here forever. Any
+	// present local row the snapshot does not mention is deleted under its
+	// own TID — a genuinely newer write still beats the tombstone by the
+	// Thomas rule. Guarded by the pending check above: a duplicate
+	// (re-delivered, stale) snapshot must not delete rows inserted since
+	// the first copy applied.
+	seen := make(map[storage.Key]struct{}, len(m.Keys))
+	for _, key := range m.Keys {
+		seen[key] = struct{}{}
+	}
+	var stale []storage.Key
+	var staleTIDs []uint64
+	part.Range(func(key storage.Key, tid uint64, val []byte) bool {
+		if _, ok := seen[key]; !ok {
+			stale = append(stale, key)
+			staleTIDs = append(staleTIDs, tid)
+		}
+		return true
+	})
+	for i, key := range stale {
+		tbl.Delete(m.Part, key, epoch, staleTIDs[i])
 	}
 	delete(n.snapPending, snapKey(m.Table, m.Part))
 	if len(n.snapPending) == 0 {

@@ -220,10 +220,12 @@ func (w *worker) emitEntries(tidv uint64, hybrid bool) {
 			continue
 		}
 		var ent replication.Entry
-		if hybrid && !wr.Insert {
+		if hybrid && !wr.Insert && !wr.Delete {
 			ent = replication.Entry{Table: wr.Table, Part: int32(wr.Part), Key: wr.Key, TID: tidv, Ops: wr.Ops}
 		} else {
-			ent = replication.Entry{Table: wr.Table, Part: int32(wr.Part), Key: wr.Key, TID: tidv, Row: wr.Row}
+			// Inserts and deletes have no delta form even in hybrid mode;
+			// a delete ships as an absent value entry (empty row).
+			ent = replication.Entry{Table: wr.Table, Part: int32(wr.Part), Key: wr.Key, TID: tidv, Row: wr.Row, Absent: wr.Delete}
 		}
 		for _, dst := range dsts {
 			w.strm.Append(dst, ent)
@@ -440,7 +442,11 @@ func (w *worker) chargeTxnLog() {
 	for i := range w.set.Writes {
 		wr := &w.set.Writes[i]
 		tid := storage.TIDClean(wr.Rec.TID())
-		w.logger.AppendWrite(wr.Table, int32(wr.Part), wr.Key, tid, false, wr.Row)
+		if wr.Delete {
+			w.logger.AppendDelete(wr.Table, int32(wr.Part), wr.Key, tid)
+		} else {
+			w.logger.AppendWrite(wr.Table, int32(wr.Part), wr.Key, tid, false, wr.Row)
+		}
 	}
 }
 
@@ -540,6 +546,11 @@ func (c *localCtx) Insert(t storage.TableID, part int, key storage.Key, row []by
 	c.w.set.AddInsert(t, part, key, row)
 }
 
+func (c *localCtx) Delete(t storage.TableID, part int, key storage.Key) {
+	c.writes++
+	c.w.set.AddDelete(t, part, key)
+}
+
 // LookupIndex resolves a secondary-index lookup against current state.
 // Index entries are immutable for the workloads' lookup targets
 // (customer names, order→customer bindings change only by insert), so
@@ -616,5 +627,9 @@ func (c *snapshotCtx) Write(storage.TableID, int, storage.Key, ...storage.FieldO
 }
 
 func (c *snapshotCtx) Insert(storage.TableID, int, storage.Key, []byte) {
+	c.wrote = true
+}
+
+func (c *snapshotCtx) Delete(storage.TableID, int, storage.Key) {
 	c.wrote = true
 }

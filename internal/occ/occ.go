@@ -71,7 +71,7 @@ func LockAndValidate(db *storage.DB, set *txn.RWSet, epoch uint64) bool {
 			return abort() // uniqueness violation
 		}
 		if !w.Insert && absent {
-			return abort() // update of a vanished record
+			return abort() // update/delete of a vanished record
 		}
 	}
 	for i := range set.Reads {
@@ -111,6 +111,13 @@ func ApplyWrites(db *storage.DB, set *txn.RWSet, epoch, tid uint64, collectRows 
 		if w.Insert {
 			first = w.Rec.WriteLocked(epoch, tid, w.Row)
 			tbl.NoteInserted(w.Part, w.Key, w.Row, epoch)
+		} else if w.Delete {
+			// Capture the final value before tombstoning: NoteDeleted
+			// derives the index entries to kill from it. LockAndValidate
+			// already aborted if the record was absent.
+			row := w.Rec.ValueLocked()
+			first = w.Rec.DeleteLocked(epoch, tid)
+			tbl.NoteDeleted(w.Part, w.Key, row, epoch)
 		} else {
 			var err error
 			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
@@ -122,7 +129,11 @@ func ApplyWrites(db *storage.DB, set *txn.RWSet, epoch, tid uint64, collectRows 
 			part.MarkDirty(w.Rec, epoch)
 		}
 		if collectRows {
-			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
+			if w.Delete {
+				w.Row = w.Row[:0] // a delete replicates as an absent value entry
+			} else {
+				w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
+			}
 		}
 	}
 }
@@ -231,6 +242,9 @@ func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, col
 		if w.Rec == nil {
 			return 0, false
 		}
+		if w.Delete && storage.TIDAbsent(w.Rec.TID()) {
+			return 0, false // delete of a vanished record
+		}
 	}
 	tid := gen.Next(epoch, set.MaxReadTID())
 	for i := range set.Writes {
@@ -241,6 +255,11 @@ func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, col
 		w.Rec.Lock()
 		if w.Insert {
 			first = w.Rec.WriteLocked(epoch, tid, w.Row)
+		} else if w.Delete {
+			row := w.Rec.ValueLocked()
+			first = w.Rec.DeleteLocked(epoch, tid)
+			tbl.NoteDeleted(w.Part, w.Key, row, epoch)
+			w.Row = w.Row[:0]
 		} else {
 			var err error
 			first, err = w.Rec.ApplyOpsLocked(tbl.Schema(), epoch, tid, w.Ops)
@@ -252,7 +271,7 @@ func CommitSerial(db *storage.DB, set *txn.RWSet, epoch uint64, gen *TIDGen, col
 		if first {
 			part.MarkDirty(w.Rec, epoch)
 		}
-		if collectRows {
+		if collectRows && !w.Delete {
 			w.Row = append(w.Row[:0], w.Rec.ValueLocked()...)
 		}
 		w.Rec.Unlock()

@@ -86,12 +86,25 @@ func Apply(db *storage.DB, epoch uint64, e *Entry, wantRow bool) ([]byte, error)
 		}
 		return row, nil
 	}
-	_, first, inserted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
+	// A tombstone entry that lands must also kill the row's secondary
+	// index entries, and those are derived from the pre-delete value —
+	// capture it before the apply (the partition's apply path is the
+	// only writer on a replica, so the read is not racing the apply).
+	var prior []byte
+	if e.Absent && tbl.NumIndexes() > 0 {
+		if v, _, present := rec.ReadStable(nil); present {
+			prior = v
+		}
+	}
+	_, first, inserted, deleted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
 	if first {
 		part.MarkDirty(rec, epoch)
 	}
 	if inserted {
 		tbl.NoteInserted(int(e.Part), e.Key, e.Row, epoch)
+	}
+	if deleted {
+		tbl.NoteDeleted(int(e.Part), e.Key, prior, epoch)
 	}
 	return nil, nil
 }
@@ -104,18 +117,25 @@ func ValueEntries(set *txn.RWSet, tid uint64) []Entry {
 		w := &set.Writes[i]
 		out = append(out, Entry{
 			Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid,
-			Row: append([]byte(nil), w.Row...),
+			Row: append([]byte(nil), w.Row...), Absent: w.Delete,
 		})
 	}
 	return out
 }
 
 // OpEntries builds operation entries from a committed write set; inserts
-// (which have no delta form) become value entries.
+// and deletes (which have no delta form) become value entries.
 func OpEntries(set *txn.RWSet, tid uint64) []Entry {
 	out := make([]Entry, 0, len(set.Writes))
 	for i := range set.Writes {
 		w := &set.Writes[i]
+		if w.Delete {
+			out = append(out, Entry{
+				Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid,
+				Absent: true,
+			})
+			continue
+		}
 		if w.Insert {
 			out = append(out, Entry{
 				Table: w.Table, Part: int32(w.Part), Key: w.Key, TID: tid,

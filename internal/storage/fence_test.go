@@ -49,7 +49,7 @@ func TestReadStableAtFenceAbsentPrior(t *testing.T) {
 	// A record first inserted in epoch 3 (e.g. by replication) is absent
 	// at the epoch-3 fence and present at the epoch-4 fence.
 	r := NewAbsentRecord(MakeTID(1, 1))
-	if applied, _, _ := r.ApplyValueThomas(3, MakeTID(3, 7), []byte("new"), false); !applied {
+	if applied, _, _, _ := r.ApplyValueThomas(3, MakeTID(3, 7), []byte("new"), false); !applied {
 		t.Fatal("Thomas apply refused a newer TID")
 	}
 	if _, _, present := fenceRead(t, r, 3); present {

@@ -16,10 +16,12 @@ import "sync/atomic"
 //     insert path can afford a mutex; the read path — every Get of every
 //     transaction — cannot, and takes none.
 //
-//   - Records are never removed. A key either maps to its record forever,
-//     or (for inserts rolled back by an epoch revert) its slot is
-//     replaced by a tombstone that probes skip. Probe chains therefore
-//     never shrink under a reader's feet.
+//   - Slots are removed only by replacing them with a tombstone sentinel
+//     that probes skip (reverted inserts, and committed deletes reclaimed
+//     at the epoch fence). Probe chains therefore never shrink under a
+//     reader's feet; tombstoned slots are recycled by later inserts and
+//     swept out wholesale by a copy-on-write compaction once their ratio
+//     crosses idxCompactNum/idxCompactDen.
 //
 // Memory model: an idxEntry is immutable after publication, and both the
 // slot store and the table-pointer store are atomic releases paired with
@@ -32,8 +34,8 @@ type idxEntry struct {
 	rec *Record
 }
 
-// idxTombstone marks a slot whose insert was reverted. Probes skip it;
-// inserts may reuse it.
+// idxTombstone marks a slot whose binding was removed (reverted insert
+// or fence-reclaimed delete). Probes skip it; inserts may reuse it.
 var idxTombstone = &idxEntry{}
 
 // idxTable is one generation of the slot array. len(slots) is a power of
@@ -41,9 +43,20 @@ var idxTombstone = &idxEntry{}
 type idxTable struct {
 	slots []atomic.Pointer[idxEntry]
 	used  int // occupied slots incl. tombstones; maintained under the insert mutex
+	dead  int // tombstoned slots (subset of used); maintained under the insert mutex
 }
 
 const idxMinSlots = 16
+
+// A table whose tombstones exceed 1/4 of its slots is compacted in place
+// (same or smaller size) instead of doubled: a steady-size churn
+// workload (insert/revert, delete/re-insert) would otherwise inflate
+// probe chains and trigger spurious capacity-doubling rehashes, since
+// `used` counts tombstones against the 3/4 occupancy bound.
+const (
+	idxCompactNum = 1
+	idxCompactDen = 4
+)
 
 func newIdxTable(slots int) *idxTable {
 	return &idxTable{slots: make([]atomic.Pointer[idxEntry], slots)}
@@ -88,6 +101,7 @@ func (t *idxTable) insert(key Key, rec *Record) {
 			return
 		}
 		if e == idxTombstone {
+			t.dead--
 			t.slots[i].Store(&idxEntry{key: key, rec: rec})
 			return
 		}
@@ -98,8 +112,8 @@ func (t *idxTable) insert(key Key, rec *Record) {
 }
 
 // tombstone replaces key's slot with the tombstone sentinel (epoch revert
-// of an insert). Caller holds the insert mutex. A no-op when the key is
-// not indexed.
+// of an insert, or fence reclamation of a committed delete). Caller
+// holds the insert mutex. A no-op when the key is not indexed.
 func (t *idxTable) tombstone(key Key) {
 	mask := uint64(len(t.slots) - 1)
 	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
@@ -108,11 +122,15 @@ func (t *idxTable) tombstone(key Key) {
 			return
 		}
 		if e != idxTombstone && e.key == key {
+			t.dead++
 			t.slots[i].Store(idxTombstone)
 			return
 		}
 	}
 }
+
+// live is the number of real key→record bindings.
+func (t *idxTable) live() int { return t.used - t.dead }
 
 // needsGrow reports whether one more insert would push occupancy past
 // 3/4, the bound that keeps probe chains short and terminating.
@@ -120,11 +138,18 @@ func (t *idxTable) needsGrow() bool {
 	return (t.used+1)*4 > len(t.slots)*3
 }
 
-// grown rehashes live entries into a table twice the size, dropping
-// tombstones. Caller holds the insert mutex; the caller publishes the
+// needsCompact reports whether tombstones alone justify a rehash: probe
+// chains walk through them, so a churning table degrades even when its
+// live count is flat.
+func (t *idxTable) needsCompact() bool {
+	return t.dead*idxCompactDen > len(t.slots)*idxCompactNum
+}
+
+// rebuilt rehashes live entries into a fresh table of the given size,
+// dropping tombstones. Caller holds the insert mutex and publishes the
 // result with an atomic store.
-func (t *idxTable) grown() *idxTable {
-	nt := newIdxTable(len(t.slots) * 2)
+func (t *idxTable) rebuilt(slots int) *idxTable {
+	nt := newIdxTable(slots)
 	for i := range t.slots {
 		if e := t.slots[i].Load(); e != nil && e != idxTombstone {
 			nt.insertRehash(e)
@@ -133,7 +158,30 @@ func (t *idxTable) grown() *idxTable {
 	return nt
 }
 
-// insertRehash places an existing entry during growth (plain pointer
+// grown rehashes into a table sized for the live count: if tombstones
+// are what pushed occupancy over the bound, the table is compacted at
+// its current (or a halved) size rather than doubled.
+func (t *idxTable) grown() *idxTable {
+	size := len(t.slots) * 2
+	// Size down to the smallest power of two that keeps the live set
+	// under 1/2 full — compaction, not growth, when churn dominates.
+	for size/2 >= idxMinSlots && t.live()*2 <= size/2 {
+		size /= 2
+	}
+	return t.rebuilt(size)
+}
+
+// compacted rehashes at the current size (halving while the live set
+// stays under 1/4 of the result) to sweep tombstones without growing.
+func (t *idxTable) compacted() *idxTable {
+	size := len(t.slots)
+	for size/2 >= idxMinSlots && t.live()*2 <= size/2 {
+		size /= 2
+	}
+	return t.rebuilt(size)
+}
+
+// insertRehash places an existing entry during a rebuild (plain pointer
 // reuse: entries are immutable).
 func (t *idxTable) insertRehash(e *idxEntry) {
 	mask := uint64(len(t.slots) - 1)

@@ -183,6 +183,88 @@ func TestIndexGetZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestIndexChurnCompactsTombstones drives insert→delete→fence cycles
+// over a bounded live set and pins the tombstone-slot accounting: the
+// slot array must not grow monotonically under churn, tombstones must
+// sit below the compaction threshold after every fence, and probe
+// lengths for live keys must stay short — a leak of dead slots shows up
+// here as unbounded probing long before it shows up as memory.
+func TestIndexChurnCompactsTombstones(t *testing.T) {
+	db, tbl := newTestDB(t, 1, nil)
+	p := tbl.Partition(0)
+	row := testSchema().NewRow()
+	const permanent = 64 // keys that live forever
+	const churn = 64     // keys inserted and deleted every cycle
+	seq, epoch := uint64(0), uint64(2)
+	for k := uint64(0); k < permanent; k++ {
+		seq++
+		if _, ok := tbl.Insert(0, K1(k), epoch, MakeTID(epoch, seq), row); !ok {
+			t.Fatalf("permanent insert %d failed", k)
+		}
+	}
+	db.CommitEpoch()
+	for cycle := 0; cycle < 50; cycle++ {
+		epoch++
+		base := uint64(cycle+1) * 1000
+		for k := uint64(0); k < churn; k++ {
+			seq++
+			if _, ok := tbl.Insert(0, K1(base+k), epoch, MakeTID(epoch, seq), row); !ok {
+				t.Fatalf("cycle %d: insert %d failed", cycle, k)
+			}
+		}
+		db.CommitEpoch()
+		epoch++
+		for k := uint64(0); k < churn; k++ {
+			seq++
+			if !tbl.Delete(0, K1(base+k), epoch, MakeTID(epoch, seq)) {
+				t.Fatalf("cycle %d: delete %d failed", cycle, k)
+			}
+		}
+		db.CommitEpoch() // fence: deletes reclaimed, slots tombstoned
+	}
+
+	idx := p.idx.Load()
+	// 3200 churned keys passed through; the live set never exceeded 128.
+	// An index that never recycled or compacted tombstones would sit at
+	// ≥4096 slots (3264 used keys at ≤75% occupancy).
+	if n := len(idx.slots); n > 1024 {
+		t.Fatalf("slot array at %d slots for %d live keys: churn is leaking slots", n, idx.live())
+	}
+	if idx.live() != permanent {
+		t.Fatalf("live()=%d, want %d", idx.live(), permanent)
+	}
+	if idx.dead*idxCompactDen > len(idx.slots)*idxCompactNum {
+		t.Fatalf("tombstones above compaction threshold after a fence: dead=%d slots=%d", idx.dead, len(idx.slots))
+	}
+	// Probe-length regression: live keys must resolve in a handful of
+	// steps (≤50% occupancy after compaction).
+	maxProbe := 0
+	mask := uint64(len(idx.slots) - 1)
+	for k := uint64(0); k < permanent; k++ {
+		key := K1(k)
+		probes := 1
+		for i := hashKey(key) & mask; ; i = (i + 1) & mask {
+			e := idx.slots[i].Load()
+			if e == nil {
+				t.Fatalf("live key %d fell out of the index", k)
+			}
+			if e != idxTombstone && e.key == key {
+				break
+			}
+			probes++
+			if probes > len(idx.slots) {
+				t.Fatalf("probe for key %d wrapped the table", k)
+			}
+		}
+		if probes > maxProbe {
+			maxProbe = probes
+		}
+	}
+	if maxProbe > 16 {
+		t.Fatalf("max probe length %d for %d live keys in %d slots", maxProbe, permanent, len(idx.slots))
+	}
+}
+
 func BenchmarkPartitionGet(b *testing.B) {
 	p := newPartition(0)
 	const n = 100_000

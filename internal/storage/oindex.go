@@ -14,13 +14,17 @@ import (
 //     plus one atomic state load per candidate entry. No reader ever
 //     takes a mutex or a record latch.
 //
-//   - Writers (inserts, epoch reverts, commit bookkeeping) serialize on
-//     the index's own mutex. Inserts publish a fully initialised node
-//     with one atomic store per level, bottom-up, so a reader that
-//     observes a node observes its immutable val/pk and a coherent next
-//     chain. Nodes are never unlinked; an entry whose insert is rolled
-//     back by an epoch revert is tombstoned in place (its state word
-//     gains the dead bit) and may be revived by a later re-insert.
+//   - Writers (inserts, deletes, epoch reverts, commit bookkeeping)
+//     serialize on the index's own mutex. Inserts publish a fully
+//     initialised node with one atomic store per level, bottom-up, so a
+//     reader that observes a node observes its immutable val/pk and a
+//     coherent next chain. An entry whose insert is rolled back by an
+//     epoch revert is tombstoned in place (its state word gains the dead
+//     bit) and may be revived by a later re-insert. A committed delete is
+//     physically unlinked at the epoch fence (commitEpochBefore), once no
+//     fence reader can see it: unlinking only redirects predecessor
+//     pointers forward under the mutex, so a concurrent latch-free reader
+//     standing on the node still follows its (immutable) next chain.
 //
 //   - Tower heights derive from a pure hash of (val, pk), not an RNG, so
 //     every replica builds byte-identical structures from the same
@@ -53,11 +57,32 @@ const oiMaxHeight = 16
 // oiNode is one skiplist entry. val and pk are immutable after
 // publication; state is atomic (insert epoch + dead bit); next pointers
 // are written only under the index mutex and read atomically.
+//
+// delEpoch disambiguates the two meanings of the dead bit: 0 means the
+// entry's insert was reverted (never committed — invisible at every
+// fence), non-zero is the epoch a committed-path delete tombstoned it
+// (still visible to fence-snapshot readers whose epoch the delete has
+// not passed).
 type oiNode struct {
-	val   []byte
-	pk    Key
-	state atomic.Uint64
-	next  []atomic.Pointer[oiNode]
+	val      []byte
+	pk       Key
+	state    atomic.Uint64
+	delEpoch atomic.Uint64
+	next     []atomic.Pointer[oiNode]
+}
+
+// visibleAt reports whether the entry is visible to a reader pinned at
+// atEpoch (IndexAllEpochs = current state).
+func (n *oiNode) visibleAt(atEpoch uint64) bool {
+	s := n.state.Load()
+	if s&^oiDead >= atEpoch {
+		return false // inserted at or after the fence
+	}
+	if s&oiDead == 0 {
+		return true
+	}
+	de := n.delEpoch.Load()
+	return de != 0 && de >= atEpoch // deleted, but not yet at this fence
 }
 
 // before reports whether n sorts strictly before (val, pk).
@@ -86,8 +111,9 @@ type oiPendBucket struct {
 type OrderedIndex struct {
 	head *oiNode
 
-	mu   sync.Mutex // serializes inserts, reverts and commit bookkeeping
-	pend []oiPendBucket
+	mu      sync.Mutex // serializes inserts, deletes, reverts and commit bookkeeping
+	pend    []oiPendBucket
+	pendDel []oiPendBucket // entries deleted while their epoch is revertable
 }
 
 func newOrderedIndex() *OrderedIndex {
@@ -139,9 +165,21 @@ func (ix *OrderedIndex) Insert(val []byte, pk Key, epoch uint64) {
 	var preds [oiMaxHeight]*oiNode
 	ix.findPreds(val, pk, &preds)
 	if n := preds[0].next[0].Load(); n != nil && n.pk == pk && bytes.Equal(n.val, val) {
-		if n.state.Load()&oiDead != 0 {
-			n.state.Store(epoch &^ oiDead)
-			ix.logPend(n, epoch)
+		if s := n.state.Load(); s&oiDead != 0 {
+			if n.delEpoch.Load() != 0 {
+				// Re-insert over a not-yet-reclaimed delete: undo the
+				// delete, keeping the original insert epoch so fence
+				// readers that predate it still see the entry. The stale
+				// pendDel entry is skipped by its delEpoch check on both
+				// revert and reclaim.
+				n.delEpoch.Store(0)
+				n.state.Store(s &^ oiDead)
+			} else {
+				// Revived reverted insert: a fresh revertable insert.
+				n.delEpoch.Store(0)
+				n.state.Store(epoch &^ oiDead)
+				ix.pend = logPend(ix.pend, n, epoch)
+			}
 		}
 		return
 	}
@@ -160,20 +198,43 @@ func (ix *OrderedIndex) Insert(val []byte, pk Key, epoch uint64) {
 	for lvl := 0; lvl < h; lvl++ {
 		preds[lvl].next[lvl].Store(n)
 	}
-	ix.logPend(n, epoch)
+	ix.pend = logPend(ix.pend, n, epoch)
 }
 
-// logPend registers a revertable insert in its epoch's bucket (scanned
-// newest-first: inserts target the newest epoch). Caller holds the
-// mutex.
-func (ix *OrderedIndex) logPend(n *oiNode, epoch uint64) {
-	for i := len(ix.pend) - 1; i >= 0; i-- {
-		if ix.pend[i].epoch == epoch {
-			ix.pend[i].nodes = append(ix.pend[i].nodes, n)
-			return
+// Delete tombstones the live entry (val, pk) under epoch. The entry
+// stays visible to fence-snapshot readers the delete has not passed
+// (delEpoch >= their fence) and is revertable until the epoch commits;
+// commitEpochBefore then unlinks it physically. Deleting a missing or
+// already-dead entry is a no-op (replication replay, Thomas-rule skips).
+func (ix *OrderedIndex) Delete(val []byte, pk Key, epoch uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var preds [oiMaxHeight]*oiNode
+	ix.findPreds(val, pk, &preds)
+	n := preds[0].next[0].Load()
+	if n == nil || n.pk != pk || !bytes.Equal(n.val, val) {
+		return
+	}
+	s := n.state.Load()
+	if s&oiDead != 0 {
+		return
+	}
+	n.delEpoch.Store(epoch)
+	n.state.Store(s | oiDead)
+	ix.pendDel = logPend(ix.pendDel, n, epoch)
+}
+
+// logPend registers a revertable insert or delete in its epoch's bucket
+// (scanned newest-first: writes target the newest epoch). Caller holds
+// the mutex.
+func logPend(pend []oiPendBucket, n *oiNode, epoch uint64) []oiPendBucket {
+	for i := len(pend) - 1; i >= 0; i-- {
+		if pend[i].epoch == epoch {
+			pend[i].nodes = append(pend[i].nodes, n)
+			return pend
 		}
 	}
-	ix.pend = append(ix.pend, oiPendBucket{epoch: epoch, nodes: []*oiNode{n}})
+	return append(pend, oiPendBucket{epoch: epoch, nodes: []*oiNode{n}})
 }
 
 // LookupAppend appends every primary key stored under val and visible at
@@ -193,8 +254,7 @@ func (ix *OrderedIndex) LookupAppend(val []byte, atEpoch uint64, dst []Key) []Ke
 		}
 	}
 	for n := x.next[0].Load(); n != nil && bytes.Equal(n.val, val); n = n.next[0].Load() {
-		s := n.state.Load()
-		if s&oiDead != 0 || s&^oiDead >= atEpoch {
+		if !n.visibleAt(atEpoch) {
 			continue
 		}
 		dst = append(dst, n.pk)
@@ -223,15 +283,33 @@ func (ix *OrderedIndex) Len() int {
 	return n
 }
 
-// revertEpoch tombstones the entries inserted in epoch (0 = wildcard:
-// every pending entry, the rejoin cleanup) and drops their bucket.
-// Buckets for other epochs are kept revertable.
+// revertEpoch rolls back the epoch's index writes (0 = wildcard: every
+// pending write, the rejoin cleanup): deleted entries are resurrected,
+// then inserted entries are tombstoned — in that order, so an entry both
+// inserted and deleted in the reverted epoch ends up dead, as if the
+// epoch never ran. Buckets for other epochs are kept revertable.
 func (ix *OrderedIndex) revertEpoch(epoch uint64) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	keepDel := ix.pendDel[:0]
+	for i := range ix.pendDel {
+		b := ix.pendDel[i]
+		if epoch != 0 && b.epoch != epoch {
+			keepDel = append(keepDel, b)
+			continue
+		}
+		for _, n := range b.nodes {
+			if n.state.Load()&oiDead != 0 && n.delEpoch.Load() == b.epoch {
+				n.delEpoch.Store(0)
+				n.state.Store(n.state.Load() &^ oiDead)
+			}
+		}
+	}
+	ix.pendDel = keepDel
 	if epoch == 0 {
 		for i := range ix.pend {
 			for _, n := range ix.pend[i].nodes {
+				n.delEpoch.Store(0)
 				n.state.Store(n.state.Load() | oiDead)
 			}
 		}
@@ -247,6 +325,7 @@ func (ix *OrderedIndex) revertEpoch(epoch uint64) {
 		}
 		for _, n := range b.nodes {
 			if s := n.state.Load(); s&^oiDead == epoch {
+				n.delEpoch.Store(0)
 				n.state.Store(s | oiDead)
 			}
 		}
@@ -254,8 +333,33 @@ func (ix *OrderedIndex) revertEpoch(epoch uint64) {
 	ix.pend = keep
 }
 
-// commitEpochBefore drops the pending buckets of epochs before `epoch` —
-// a constant-time bucket drop per committed epoch, no entry is touched.
+// unlink splices n out of the list at every level it occupies. Caller
+// holds the mutex; readers standing on n still follow its next chain.
+func (ix *OrderedIndex) unlink(n *oiNode) {
+	var preds [oiMaxHeight]*oiNode
+	ix.findPreds(n.val, n.pk, &preds)
+	for lvl := 0; lvl < len(n.next); lvl++ {
+		if preds[lvl].next[lvl].Load() == n {
+			preds[lvl].next[lvl].Store(n.next[lvl].Load())
+		}
+	}
+}
+
+// reclaimDel unlinks the nodes of one committed delete bucket. A node
+// revived by a later re-insert (delEpoch reset) is left alone.
+func (ix *OrderedIndex) reclaimDel(b *oiPendBucket) {
+	for _, n := range b.nodes {
+		if n.state.Load()&oiDead != 0 && n.delEpoch.Load() == b.epoch {
+			ix.unlink(n)
+		}
+	}
+}
+
+// commitEpochBefore commits the epochs before `epoch`: pending-insert
+// buckets are dropped (constant time), and committed deletes are
+// physically unlinked — the fence guarantees no snapshot reader at
+// epoch >= `epoch` can see an entry deleted earlier, so reclamation
+// here is epoch-safe.
 func (ix *OrderedIndex) commitEpochBefore(epoch uint64) {
 	ix.mu.Lock()
 	keep := ix.pend[:0]
@@ -265,13 +369,27 @@ func (ix *OrderedIndex) commitEpochBefore(epoch uint64) {
 		}
 	}
 	ix.pend = keep
+	keepDel := ix.pendDel[:0]
+	for i := range ix.pendDel {
+		if ix.pendDel[i].epoch >= epoch {
+			keepDel = append(keepDel, ix.pendDel[i])
+			continue
+		}
+		ix.reclaimDel(&ix.pendDel[i])
+	}
+	ix.pendDel = keepDel
 	ix.mu.Unlock()
 }
 
-// commitAll drops every pending bucket.
+// commitAll commits every pending bucket (and unlinks every committed
+// delete).
 func (ix *OrderedIndex) commitAll() {
 	ix.mu.Lock()
 	ix.pend = nil
+	for i := range ix.pendDel {
+		ix.reclaimDel(&ix.pendDel[i])
+	}
+	ix.pendDel = nil
 	ix.mu.Unlock()
 }
 
@@ -300,7 +418,7 @@ func (ix *OrderedIndex) LookupTailAppend(val []byte, atEpoch uint64, max int, ds
 		return dst
 	}
 	if max == 1 {
-		if s := last.state.Load(); s&oiDead == 0 && s&^oiDead < atEpoch {
+		if last.visibleAt(atEpoch) {
 			return append(dst, last.pk)
 		}
 		// Newest entry hidden: fall through to the bounded walk.
@@ -311,8 +429,7 @@ func (ix *OrderedIndex) LookupTailAppend(val []byte, atEpoch uint64, max int, ds
 	n, seen := 0, 0
 	ix.findPreds(val, Key{}, &preds)
 	for x := preds[0].next[0].Load(); x != nil && bytes.Equal(x.val, val); x = x.next[0].Load() {
-		s := x.state.Load()
-		if s&oiDead != 0 || s&^oiDead >= atEpoch {
+		if !x.visibleAt(atEpoch) {
 			continue
 		}
 		ring[n%max] = x.pk

@@ -250,6 +250,21 @@ func (r *Record) DeleteLocked(epoch, newTID uint64) (firstTouch bool) {
 	return firstTouch
 }
 
+// CollectibleAt reports whether the record is a committed tombstone that
+// no fence reader at or after epoch can observe — absent, unlatched, and
+// last touched before the committing epoch (epoch 0 accepts any absent
+// record: the full-commit path). The partition uses it at the fence to
+// decide whether the record's index slot can be physically reclaimed. A
+// latched record is simply skipped this round; the next fence retries.
+func (r *Record) CollectibleAt(epoch uint64) bool {
+	if !r.TryLock() {
+		return false
+	}
+	ok := TIDAbsent(r.tid.Load()) && (epoch == 0 || r.savedEpoch < epoch)
+	r.Unlock()
+	return ok
+}
+
 // revertLocked restores the pre-epoch version; caller holds the latch.
 // It reports whether the record is absent after the revert (so the
 // partition can drop placeholder inserts). epoch 0 is a wildcard: the
@@ -277,14 +292,15 @@ func (r *Record) revertLocked(epoch uint64) (absent bool) {
 // write rule: the write lands only if its TID is newer than the record's.
 // Returns whether the write was applied, whether it was the record's
 // first touch in the epoch (dirty registration), and whether it
-// transitioned the record absent → present — the signal apply paths use
-// to maintain secondary indexes (Table.NoteInserted).
-func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (applied, firstTouch, inserted bool) {
+// transitioned the record absent → present or present → absent — the
+// signals apply paths use to maintain secondary indexes
+// (Table.NoteInserted / Table.NoteDeleted).
+func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (applied, firstTouch, inserted, deleted bool) {
 	r.Lock()
 	cur := r.tid.Load()
 	if TIDClean(tid) <= TIDClean(cur) {
 		r.Unlock()
-		return false, false, false
+		return false, false, false, false
 	}
 	wasAbsent := TIDAbsent(cur)
 	if absent {
@@ -293,7 +309,7 @@ func (r *Record) ApplyValueThomas(epoch, tid uint64, row []byte, absent bool) (a
 		firstTouch = r.WriteLocked(epoch, tid, row)
 	}
 	r.UnlockWithTID(tid | boolBit(absent))
-	return true, firstTouch, wasAbsent && !absent
+	return true, firstTouch, wasAbsent && !absent, !wasAbsent && absent
 }
 
 func boolBit(absent bool) uint64 {

@@ -137,15 +137,15 @@ func TestThomasWriteRuleConvergence(t *testing.T) {
 
 func TestThomasWriteRuleRejectsStale(t *testing.T) {
 	r := NewRecord(MakeTID(3, 10), []byte("new"))
-	applied, _, _ := r.ApplyValueThomas(3, MakeTID(3, 9), []byte("old"), false)
+	applied, _, _, _ := r.ApplyValueThomas(3, MakeTID(3, 9), []byte("old"), false)
 	if applied {
 		t.Fatal("stale write must be rejected")
 	}
-	applied, _, _ = r.ApplyValueThomas(3, MakeTID(3, 10), []byte("same"), false)
+	applied, _, _, _ = r.ApplyValueThomas(3, MakeTID(3, 10), []byte("same"), false)
 	if applied {
 		t.Fatal("equal-TID write must be rejected")
 	}
-	if applied, _, _ = r.ApplyValueThomas(3, MakeTID(3, 11), []byte("newer"), false); !applied {
+	if applied, _, _, _ = r.ApplyValueThomas(3, MakeTID(3, 11), []byte("newer"), false); !applied {
 		t.Fatal("newer write must apply")
 	}
 }

@@ -20,14 +20,16 @@ func K2(a, b uint64) Key { return Key{Hi: a, Lo: b} }
 const KeySize = 16
 
 // dirtyBucket holds one epoch's revert bookkeeping: the records whose
-// pre-epoch version was saved in that epoch, and the keys whose index
-// slot was created in it. Bucketing by epoch makes the fence commit a
+// pre-epoch version was saved in that epoch, the keys whose index slot
+// was created in it, and the keys deleted in it (reclaimed once the
+// epoch's fence passes). Bucketing by epoch makes the fence commit a
 // constant-time bucket drop (no record is latched at the phase switch)
 // while revert still touches exactly the epoch's own records.
 type dirtyBucket struct {
-	epoch uint64
-	recs  []*Record
-	keys  []Key
+	epoch   uint64
+	recs    []*Record
+	keys    []Key
+	delKeys []Key
 }
 
 // Partition is one hash-partition of a table, indexed by a lock-free
@@ -121,6 +123,19 @@ func (p *Partition) MarkDirty(r *Record, epoch uint64) {
 	p.dirtyMu.Unlock()
 }
 
+// MarkDeleted registers a key deleted in the epoch. Once the epoch's
+// fence passes (CommitEpochBefore / CommitEpoch), the key's index slot
+// is tombstoned and the record becomes unreachable — physical
+// reclamation, deferred to the horizon where no snapshot reader can
+// still need the record's prior version. Table.NoteDeleted calls this;
+// apply paths do not call it directly.
+func (p *Partition) MarkDeleted(key Key, epoch uint64) {
+	p.dirtyMu.Lock()
+	b := p.bucket(epoch)
+	b.delKeys = append(b.delKeys, key)
+	p.dirtyMu.Unlock()
+}
+
 // Index returns the partition's i-th secondary index.
 func (p *Partition) Index(i int) *OrderedIndex { return p.oidx[i] }
 
@@ -204,14 +219,41 @@ func (p *Partition) RevertEpoch(epoch uint64) int {
 	return n
 }
 
-// CommitEpoch discards all revert information.
+// CommitEpoch discards all revert information and reclaims every
+// committed delete.
 func (p *Partition) CommitEpoch() {
 	p.dirtyMu.Lock()
+	var reclaim []Key
+	for i := range p.dirty {
+		reclaim = append(reclaim, p.dirty[i].delKeys...)
+	}
 	p.dirty = nil
 	p.dirtyMu.Unlock()
+	p.reclaim(reclaim, 0)
 	for _, ix := range p.oidx {
 		ix.commitAll()
 	}
+}
+
+// reclaim tombstones the index slots of committed deletes (skipping keys
+// that were re-inserted or are still latched), then compacts the slot
+// array if tombstones dominate it. Runs at the epoch fence, after which
+// no snapshot reader can see the deleted records.
+func (p *Partition) reclaim(keys []Key, epoch uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	p.insertMu.Lock()
+	t := p.idx.Load()
+	for _, k := range keys {
+		if r := t.get(k); r != nil && r.CollectibleAt(epoch) {
+			t.tombstone(k)
+		}
+	}
+	if t.needsCompact() {
+		p.idx.Store(t.compacted())
+	}
+	p.insertMu.Unlock()
 }
 
 // CommitEpochBefore discards revert information for epochs BEFORE epoch,
@@ -224,14 +266,18 @@ func (p *Partition) CommitEpoch() {
 // is latched at the phase switch.
 func (p *Partition) CommitEpochBefore(epoch uint64) {
 	p.dirtyMu.Lock()
+	var reclaim []Key
 	keep := p.dirty[:0]
 	for i := range p.dirty {
 		if p.dirty[i].epoch >= epoch {
 			keep = append(keep, p.dirty[i])
+			continue
 		}
+		reclaim = append(reclaim, p.dirty[i].delKeys...)
 	}
 	p.dirty = keep
 	p.dirtyMu.Unlock()
+	p.reclaim(reclaim, epoch)
 	for _, ix := range p.oidx {
 		ix.commitEpochBefore(epoch)
 	}
@@ -350,6 +396,31 @@ func (t *Table) Insert(part int, key Key, epoch, tid uint64, row []byte) (*Recor
 	return r, true
 }
 
+// Delete marks the record at (partition, key) absent under the epoch and
+// TID. Returns false when no present record exists (the caller decides
+// whether that is a conflict). Secondary indexes and reclamation
+// bookkeeping are maintained inline; physical reclamation happens at the
+// epoch fence.
+func (t *Table) Delete(part int, key Key, epoch, tid uint64) bool {
+	p := t.Partition(part)
+	r := p.Get(key)
+	if r == nil {
+		return false
+	}
+	r.Lock()
+	if TIDAbsent(r.tid.Load()) {
+		r.Unlock()
+		return false
+	}
+	row := append([]byte(nil), r.ValueLocked()...)
+	if r.DeleteLocked(epoch, tid) {
+		p.MarkDirty(r, epoch)
+	}
+	r.UnlockWithTID(TIDClean(tid) | TIDAbsentBit)
+	t.NoteDeleted(part, key, row, epoch)
+	return true
+}
+
 // NoteInserted maintains the table's secondary indexes for a record that
 // just transitioned absent → present at (part, key) with the given row.
 // Every insert path calls it: transaction commit (occ), replication
@@ -365,6 +436,28 @@ func (t *Table) NoteInserted(part int, key Key, row []byte, epoch uint64) {
 		val := t.specs[i].Extract(t.schema, key, row, buf[:0])
 		p.oidx[i].Insert(val, key, epoch)
 	}
+}
+
+// NoteDeleted is NoteInserted's inverse: it maintains the secondary
+// indexes and reclamation bookkeeping for a record that just
+// transitioned present → absent at (part, key). row is the row as it
+// stood immediately before the delete (the caller captures it before
+// marking the record absent) — index values must be derivable from it,
+// which holds because indexed fields are never updated after insert.
+// Every delete path calls it: transaction commit (occ), replication
+// apply, snapshot catch-up, and WAL replay. The index entries stay
+// visible to fence-snapshot readers until the epoch commits; the fence
+// then unlinks them and tombstones the primary-index slot.
+func (t *Table) NoteDeleted(part int, key Key, row []byte, epoch uint64) {
+	p := t.Partition(part)
+	if row != nil {
+		var buf [64]byte
+		for i := range t.specs {
+			val := t.specs[i].Extract(t.schema, key, row, buf[:0])
+			p.oidx[i].Delete(val, key, epoch)
+		}
+	}
+	p.MarkDeleted(key, epoch)
 }
 
 // IndexLookup appends the primary keys stored under val in index idx of

@@ -157,6 +157,73 @@ func TestSecondaryIndexMaintainedOnInsert(t *testing.T) {
 	}
 }
 
+// TestDeleteRevertReinsertRoundTrip walks one key through the full
+// delete lifecycle — delete in a failed epoch (reverted), delete in a
+// committed epoch (reclaimed at the fence), re-insert under a new value
+// — and checks the primary index and the ordered secondary index agree
+// with the record state at every step.
+func TestDeleteRevertReinsertRoundTrip(t *testing.T) {
+	db, tbl := newTestDB(t, 1, nil)
+	id := tbl.AddIndex(byDataSpec())
+	s := tbl.Schema()
+	row := s.NewRow()
+	s.SetBytes(row, 3, []byte("SMITH"))
+	if _, ok := tbl.Insert(0, K1(1), 2, MakeTID(2, 1), row); !ok {
+		t.Fatal("insert failed")
+	}
+	db.CommitEpoch()
+	lookup := func(name string) []Key {
+		return tbl.IndexLookup(0, id, []byte(name), IndexAllEpochs, nil)
+	}
+
+	// Epoch 3: delete, then the epoch fails and reverts.
+	if !tbl.Delete(0, K1(1), 3, MakeTID(3, 1)) {
+		t.Fatal("delete failed")
+	}
+	if got := lookup("SMITH"); len(got) != 0 {
+		t.Fatalf("deleted row still indexed: %v", got)
+	}
+	db.RevertEpoch(3)
+	rec := tbl.Get(0, K1(1))
+	if rec == nil {
+		t.Fatal("reverted delete lost the record")
+	}
+	if val, _, present := rec.ReadStable(nil); !present || string(s.GetBytes(val, 3)) != "SMITH" {
+		t.Fatalf("record wrong after delete revert: present=%v", present)
+	}
+	if got := lookup("SMITH"); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("index entry not revived by delete revert: %v", got)
+	}
+
+	// Epoch 4: delete for real; the fence reclaims record and slot.
+	if !tbl.Delete(0, K1(1), 4, MakeTID(4, 1)) {
+		t.Fatal("second delete failed")
+	}
+	db.CommitEpoch()
+	if tbl.Get(0, K1(1)) != nil {
+		t.Fatal("reclaimed record still reachable through the primary index")
+	}
+	if got := lookup("SMITH"); len(got) != 0 {
+		t.Fatalf("reclaimed row still indexed: %v", got)
+	}
+
+	// Epoch 5: re-insert the same key with a different indexed value.
+	s.SetBytes(row, 3, []byte("JONES"))
+	if _, ok := tbl.Insert(0, K1(1), 5, MakeTID(5, 1), row); !ok {
+		t.Fatal("re-insert after reclamation failed")
+	}
+	db.CommitEpoch()
+	if got := lookup("JONES"); len(got) != 1 || got[0] != K1(1) {
+		t.Fatalf("re-inserted key missing from index: %v", got)
+	}
+	if got := lookup("SMITH"); len(got) != 0 {
+		t.Fatalf("stale index value survived the round trip: %v", got)
+	}
+	if val, _, present := tbl.Get(0, K1(1)).ReadStable(nil); !present || string(s.GetBytes(val, 3)) != "JONES" {
+		t.Fatal("re-inserted record unreadable")
+	}
+}
+
 func TestDBChecksumDetectsDivergence(t *testing.T) {
 	mk := func(v uint64) *DB {
 		db := NewDB(2, nil)

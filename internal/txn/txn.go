@@ -93,6 +93,11 @@ type Ctx interface {
 	Write(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp)
 	// Insert buffers a new row for commit.
 	Insert(t storage.TableID, part int, key storage.Key, row []byte)
+	// Delete buffers removal of an existing row for commit. Deleting a
+	// key that is absent at commit time is a concurrency conflict (the
+	// procedure is expected to have read the row first), so engines
+	// abort and retry rather than silently no-op.
+	Delete(t storage.TableID, part int, key storage.Key)
 	// LookupIndex appends the primary keys stored under val in the
 	// table's secondary index idx (by declaration order) to dst, in
 	// ascending key order, and returns the extended slice. The view is
@@ -196,7 +201,8 @@ type ReadEntry struct {
 	TID   uint64
 }
 
-// WriteEntry is one buffered write (update via ops, or insert via Row).
+// WriteEntry is one buffered write (update via ops, insert via Row, or
+// delete via the Delete flag).
 type WriteEntry struct {
 	Table  storage.TableID
 	Part   int
@@ -204,6 +210,7 @@ type WriteEntry struct {
 	Rec    *storage.Record // resolved at commit when nil (inserts, remote)
 	Ops    []storage.FieldOp
 	Insert bool
+	Delete bool
 	Row    []byte
 }
 
@@ -239,6 +246,7 @@ func (s *RWSet) nextWrite(t storage.TableID, part int, key storage.Key) *WriteEn
 	w.Table, w.Part, w.Key = t, part, key
 	w.Rec = nil
 	w.Insert = false
+	w.Delete = false
 	w.Ops = w.Ops[:0]
 	w.Row = w.Row[:0]
 	return w
@@ -252,7 +260,7 @@ func (s *RWSet) nextWrite(t storage.TableID, part int, key storage.Key) *WriteEn
 func (s *RWSet) AddWrite(t storage.TableID, part int, key storage.Key, ops ...storage.FieldOp) {
 	for i := range s.Writes {
 		w := &s.Writes[i]
-		if w.Table == t && w.Part == part && w.Key == key && !w.Insert {
+		if w.Table == t && w.Part == part && w.Key == key && !w.Insert && !w.Delete {
 			w.Ops = append(w.Ops, ops...)
 			return
 		}
@@ -266,6 +274,23 @@ func (s *RWSet) AddInsert(t storage.TableID, part int, key storage.Key, row []by
 	w := s.nextWrite(t, part, key)
 	w.Insert = true
 	w.Row = append(w.Row, row...)
+}
+
+// AddDelete records removal of an existing row. A pending update for the
+// same key collapses into the delete (the row is going away, so its field
+// mutations are moot). Deleting a row inserted by the same transaction is
+// not supported — the commit-time existence check would abort it.
+func (s *RWSet) AddDelete(t storage.TableID, part int, key storage.Key) {
+	for i := range s.Writes {
+		w := &s.Writes[i]
+		if w.Table == t && w.Part == part && w.Key == key && !w.Insert {
+			w.Delete = true
+			w.Ops = w.Ops[:0]
+			return
+		}
+	}
+	w := s.nextWrite(t, part, key)
+	w.Delete = true
 }
 
 // FindWrite returns the pending write for a key, or nil.

@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"star/internal/storage"
 )
@@ -22,6 +23,7 @@ import (
 const (
 	kindWrite     = 1
 	kindEpochMark = 2
+	kindDelete    = 3
 )
 
 // Entry is one durable record: a whole-row write or an epoch marker.
@@ -37,10 +39,14 @@ type Entry struct {
 }
 
 // Logger frames entries onto a writer with length+CRC headers.
-// One logger per worker thread, as in the paper.
+// One logger per worker thread, as in the paper. The mutex exists for
+// segment rotation: the checkpointer retires a file-backed logger's
+// segment concurrently with the owning thread's appends.
 type Logger struct {
+	mu    sync.Mutex
 	w     *bufio.Writer
 	f     *os.File // nil when backed by a plain writer
+	path  string   // current file path ("" when not file-backed)
 	bytes int64
 	buf   []byte
 }
@@ -58,11 +64,54 @@ func Create(path string) (*Logger, error) {
 	}
 	l := NewLogger(f)
 	l.f = f
+	l.path = path
 	return l, nil
 }
 
-// Bytes returns the total payload bytes appended so far.
-func (l *Logger) Bytes() int64 { return l.bytes }
+// Bytes returns the total payload bytes appended so far (cumulative
+// across rotations).
+func (l *Logger) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Path returns the current segment's file path ("" when the logger is
+// not file-backed).
+func (l *Logger) Path() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.path
+}
+
+// Rotate durably closes the current segment and continues appending to
+// a fresh file at path. Entries already appended stay in the retired
+// segment; the caller owns deciding when a checkpoint covers it and the
+// file can be deleted.
+func (l *Logger) Rotate(path string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: rotate on a non-file logger")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.path = path
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
 
 func (l *Logger) append(payload []byte) error {
 	var hdr [8]byte
@@ -97,13 +146,33 @@ func encodeWrite(buf []byte, table storage.TableID, part int32, key storage.Key,
 
 // AppendWrite logs one whole-record write.
 func (l *Logger) AppendWrite(table storage.TableID, part int32, key storage.Key, tid uint64, absent bool, row []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.buf = encodeWrite(l.buf, table, part, key, tid, absent, row)
+	return l.append(l.buf)
+}
+
+// AppendDelete logs a committed delete in compact form: the same header
+// as a write but no row payload at all (a tombstone has no value, and
+// the dedicated kind lets recovery distinguish "deleted" from "written
+// with an empty row").
+func (l *Logger) AppendDelete(table storage.TableID, part int32, key storage.Key, tid uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, kindDelete, byte(table))
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(part))
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, key.Hi)
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, key.Lo)
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, tid)
 	return l.append(l.buf)
 }
 
 // AppendEpochMark logs a group-commit boundary: every entry of epoch e is
 // durable once the mark for e is.
 func (l *Logger) AppendEpochMark(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, kindEpochMark)
 	l.buf = binary.LittleEndian.AppendUint64(l.buf, epoch)
@@ -113,6 +182,12 @@ func (l *Logger) AppendEpochMark(epoch uint64) error {
 // Flush drains buffers; when sync is true and the logger is file-backed
 // it also fsyncs (the fence flush, §4.5.1).
 func (l *Logger) Flush(sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(sync)
+}
+
+func (l *Logger) flushLocked(sync bool) error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -124,7 +199,9 @@ func (l *Logger) Flush(sync bool) error {
 
 // Close flushes and closes the underlying file, if any.
 func (l *Logger) Close() error {
-	if err := l.Flush(true); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(true); err != nil {
 		return err
 	}
 	if l.f != nil {
@@ -202,6 +279,20 @@ func decode(b []byte) (*Entry, error) {
 			return nil, fmt.Errorf("wal: row length mismatch")
 		}
 		e.Row = append([]byte(nil), b[off:]...)
+		return e, nil
+	case kindDelete:
+		if len(b) != 2+4+16+8 {
+			return nil, errors.New("wal: bad delete entry")
+		}
+		e := &Entry{Kind: kindDelete, Table: storage.TableID(b[1]), Absent: true}
+		off := 2
+		e.Part = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.Key.Hi = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		e.Key.Lo = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		e.TID = binary.LittleEndian.Uint64(b[off:])
 		return e, nil
 	default:
 		return nil, fmt.Errorf("wal: unknown kind %d", b[0])
@@ -289,18 +380,40 @@ func MaxDurableEpoch(paths []string) (uint64, error) {
 	return max, nil
 }
 
+// recKey identifies one record across the recovery pass.
+type recKey struct {
+	Table storage.TableID
+	Part  int32
+	Key   storage.Key
+}
+
 // Recover rebuilds db from a checkpoint (optional, "" to skip) plus log
 // files, applying writes with the Thomas write rule and discarding
 // entries newer than the last durable epoch (they were never group-
 // committed). Returns the recovered epoch and the number of applied
 // writes.
+//
+// Deletes participate like writes (a newer tombstone beats an older row
+// and vice versa, so per-worker logs still replay in any order), and
+// they rebuild the secondary indexes' deletions just as inserts rebuild
+// their additions. A delete whose target is never written by ANY log is
+// rejected at the end of the pass: it can only come from a corrupt or
+// mismatched log set, and applying it would silently materialise a
+// record that never existed. The check is deferred to the end because a
+// legitimate multi-log replay may visit a key's delete (one worker's
+// log) before its insert (another's). With a checkpoint the check is
+// waived: the fuzzy scan can reclaim a tombstone between passing its
+// bucket and the log suffix being cut, so an orphan delete there is
+// indistinguishable from legitimate truncation.
 func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, applied int, err error) {
 	durable, err := MaxDurableEpoch(logs)
 	if err != nil {
 		return 0, 0, err
 	}
+	written := make(map[recKey]struct{}) // keys seen as a value (checkpoint or log write)
+	ghosts := make(map[recKey]struct{})  // keys materialised only by deletes so far
 	apply := func(e *Entry) error {
-		if e.Kind != kindWrite {
+		if e.Kind != kindWrite && e.Kind != kindDelete {
 			return nil
 		}
 		if storage.TIDEpoch(e.TID) > durable && durable > 0 {
@@ -311,9 +424,24 @@ func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, ap
 		if part == nil {
 			return nil // not held here
 		}
+		rk := recKey{e.Table, e.Part, e.Key}
+		if e.Absent {
+			if _, ok := written[rk]; !ok {
+				ghosts[rk] = struct{}{}
+			}
+		} else {
+			written[rk] = struct{}{}
+			delete(ghosts, rk)
+		}
 		epoch := storage.TIDEpoch(e.TID)
 		rec := part.GetOrCreate(e.Key, epoch)
-		ok, _, inserted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
+		var prior []byte
+		if e.Absent && tbl.NumIndexes() > 0 {
+			if v, _, present := rec.ReadStable(nil); present {
+				prior = v
+			}
+		}
+		ok, _, inserted, deleted := rec.ApplyValueThomas(epoch, e.TID, e.Row, e.Absent)
 		if ok {
 			applied++
 		}
@@ -321,6 +449,9 @@ func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, ap
 			// Secondary indexes are not logged: they rebuild here, from
 			// the same absent→present transitions the live paths index.
 			tbl.NoteInserted(int(e.Part), e.Key, e.Row, epoch)
+		}
+		if deleted {
+			tbl.NoteDeleted(int(e.Part), e.Key, prior, epoch)
 		}
 		return nil
 	}
@@ -359,6 +490,11 @@ func Recover(db *storage.DB, checkpoint string, logs []string) (epoch uint64, ap
 			}
 		}
 		f.Close()
+	}
+	if checkpoint == "" && len(ghosts) > 0 {
+		for rk := range ghosts {
+			return 0, 0, fmt.Errorf("wal: delete of never-written key %v in table %d part %d (corrupt or mismatched log set)", rk.Key, rk.Table, rk.Part)
+		}
 	}
 	db.CommitEpoch()
 	return durable, applied, nil

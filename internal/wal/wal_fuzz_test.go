@@ -22,13 +22,17 @@ func fuzzLog(t testing.TB) ([]byte, []Entry) {
 		{Kind: kindWrite, Table: 1, Part: 1, Key: storage.Key{Hi: 7, Lo: 7}, TID: 0x20, Absent: true, Row: nil},
 		{Kind: kindWrite, Table: 3, Part: 2, Key: storage.Key{Hi: 5, Lo: 5}, TID: 0x21, Row: long},
 		{Kind: kindWrite, Table: 1, Part: 0, Key: storage.Key{Hi: 1, Lo: 2}, TID: 0x22, Row: []byte("beta")},
+		{Kind: kindDelete, Table: 1, Part: 0, Key: storage.Key{Hi: 1, Lo: 2}, TID: 0x23, Absent: true},
 		{Kind: kindEpochMark, Epoch: 3},
 	}
 	for _, e := range writes {
 		var err error
-		if e.Kind == kindEpochMark {
+		switch e.Kind {
+		case kindEpochMark:
 			err = l.AppendEpochMark(e.Epoch)
-		} else {
+		case kindDelete:
+			err = l.AppendDelete(e.Table, e.Part, e.Key, e.TID)
+		default:
 			err = l.AppendWrite(e.Table, e.Part, e.Key, e.TID, e.Absent, e.Row)
 		}
 		if err != nil {
@@ -67,7 +71,7 @@ func sameEntry(a, b Entry) bool {
 // written. The reader stops at the first bad frame instead of
 // resynchronizing, so damage can only ever cost a suffix.
 func FuzzWALCorruption(f *testing.F) {
-	log, _ := fuzzLog(f)
+	log, ents := fuzzLog(f)
 	f.Add(uint32(0), byte(0x01))            // header of the first frame
 	f.Add(uint32(4), byte(0x80))            // CRC field
 	f.Add(uint32(9), byte(0xff))            // kind byte of the first payload
@@ -75,6 +79,10 @@ func FuzzWALCorruption(f *testing.F) {
 	f.Add(uint32(len(log)-1), byte(0x01))   // last byte
 	f.Add(uint32(30), byte(0))              // truncation mid-frame
 	f.Add(uint32(len(log)), byte(0))        // no-op truncation at the end
+	deleteFrame := entryStarts(log, len(ents))[6]
+	f.Add(uint32(deleteFrame+8), byte(0xfe)) // kind byte of the delete frame
+	f.Add(uint32(deleteFrame+20), byte(0x01)) // key bytes of the delete frame
+	f.Add(uint32(deleteFrame+12), byte(0))   // truncation inside the delete frame
 	f.Fuzz(func(t *testing.T, pos uint32, xor byte) {
 		log, want := fuzzLog(t)
 		starts := entryStarts(log, len(want))

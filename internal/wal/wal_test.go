@@ -249,6 +249,88 @@ func TestFuzzyCheckpointCorrectedByThomasRule(t *testing.T) {
 	}
 }
 
+// TestRecoverRejectsDeleteOfNeverWrittenKey pins the ghost-delete
+// check: in a log-only recovery every deleted key must have appeared as
+// a value first (the engine only deletes rows its own logs created), so
+// an orphan delete means a corrupt or mismatched log set.
+func TestRecoverRejectsDeleteOfNeverWrittenKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	l, _ := Create(path)
+	s := schema()
+	row := s.NewRow()
+	s.SetInt64(row, 0, 1)
+	l.AppendWrite(0, 1, storage.K1(1), storage.MakeTID(2, 1), false, row)
+	l.AppendDelete(0, 1, storage.K1(9), storage.MakeTID(2, 2)) // key 9 was never written
+	l.AppendEpochMark(2)
+	l.Close()
+
+	db := newDB(nil, 1)
+	if _, _, err := Recover(db, "", []string{path}); err == nil {
+		t.Fatal("delete of a never-written key must fail log-only recovery")
+	}
+}
+
+// TestRecoverGhostDeleteWaivedWithCheckpoint: with a checkpoint, the
+// fuzzy scan can legitimately have reclaimed a tombstone between
+// passing its bucket and the log suffix being cut, so the same orphan
+// delete is indistinguishable from truncation and must be tolerated.
+func TestRecoverGhostDeleteWaivedWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(map[uint64]int64{1: 100}, 2)
+	ckpt := filepath.Join(dir, "ckpt")
+	if _, err := WriteCheckpoint(db, ckpt, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "w.log")
+	l, _ := Create(path)
+	l.AppendDelete(0, 1, storage.K1(9), storage.MakeTID(3, 1)) // not in checkpoint or log
+	l.AppendEpochMark(3)
+	l.Close()
+
+	db2 := newDB(nil, 1)
+	if _, _, err := Recover(db2, ckpt, []string{path}); err != nil {
+		t.Fatalf("orphan delete must be waived under a checkpoint: %v", err)
+	}
+	if v, ok := dbValue(db2, 1); !ok || v != 100 {
+		t.Fatalf("checkpoint row lost: %d %v", v, ok)
+	}
+	if _, ok := dbValue(db2, 9); ok {
+		t.Fatal("deleted key resurfaced")
+	}
+}
+
+// TestRecoverDeleteBeforeInsertAcrossLogs: worker A's log holds the
+// epoch-3 delete, worker B's the epoch-2 insert, and replay visits the
+// delete first. The ghost must clear when the insert arrives and the
+// Thomas write rule must leave the key absent.
+func TestRecoverDeleteBeforeInsertAcrossLogs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.log")
+	la, _ := Create(a)
+	la.AppendDelete(0, 1, storage.K1(5), storage.MakeTID(3, 1))
+	la.AppendEpochMark(3)
+	la.Close()
+
+	b := filepath.Join(dir, "b.log")
+	lb, _ := Create(b)
+	s := schema()
+	row := s.NewRow()
+	s.SetInt64(row, 0, 50)
+	lb.AppendWrite(0, 1, storage.K1(5), storage.MakeTID(2, 1), false, row)
+	lb.AppendEpochMark(3)
+	lb.Close()
+
+	db := newDB(nil, 1)
+	if _, _, err := Recover(db, "", []string{a, b}); err != nil {
+		t.Fatalf("legitimate out-of-order delete rejected: %v", err)
+	}
+	if _, ok := dbValue(db, 5); ok {
+		t.Fatal("epoch-3 delete must win over the epoch-2 write")
+	}
+}
+
 func TestMaxDurableEpochAcrossWorkers(t *testing.T) {
 	dir := t.TempDir()
 	var paths []string

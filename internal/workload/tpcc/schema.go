@@ -78,6 +78,18 @@ type Config struct {
 	// serves without master routing. Default: 0 (standard Order-Status
 	// is local).
 	CrossPctOrderStatus int
+	// TrimPct is the percentage of generated transactions that are Trim
+	// batches physically reclaiming delivered orders (and the
+	// generator's old payment-history rows) via Ctx.Delete. 0 = no
+	// trimming (the default): delivered rows are kept forever, which is
+	// fine for bounded runs but grows memory without bound under
+	// sustained load.
+	TrimPct int
+	// TrimRetain is how many delivered orders per district (and history
+	// rows per generator) a Trim batch leaves in place behind the
+	// delivery cursor, keeping Stock-Level's and Order-Status's recent
+	// read windows intact (default when TrimPct > 0: 100).
+	TrimRetain int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InvalidItemPct == 0 {
 		c.InvalidItemPct = 1
+	}
+	if c.TrimPct > 0 && c.TrimRetain == 0 {
+		c.TrimRetain = 100
 	}
 	return c
 }
@@ -151,6 +166,7 @@ const (
 	DYtd
 	DTax
 	DNextDelOID // next undelivered order id (Delivery's batch cursor)
+	DTrimOID    // next untrimmed order id (the trimmer's low-water cursor)
 	DName
 )
 
@@ -224,7 +240,7 @@ func New(cfg Config) *Workload {
 			f("w_ytd"), f("w_tax"), b("w_name", 10), b("w_street", 40), b("w_city", 20), b("w_zip", 9),
 		),
 		district: storage.NewSchema(
-			u("d_next_o_id"), f("d_ytd"), f("d_tax"), u("d_next_del_o_id"),
+			u("d_next_o_id"), f("d_ytd"), f("d_tax"), u("d_next_del_o_id"), u("d_trim_o_id"),
 			b("d_name", 10), b("d_street", 40), b("d_city", 20), b("d_zip", 9),
 		),
 		customer: storage.NewSchema(
@@ -429,6 +445,7 @@ func (w *Workload) loadWarehouse(db *storage.DB, wid int) {
 		drow := w.district.NewRow()
 		w.district.SetUint64(drow, DNextOID, 1)
 		w.district.SetUint64(drow, DNextDelOID, 1) // == next_o_id: nothing undelivered
+		w.district.SetUint64(drow, DTrimOID, 1)    // == next_del_o_id: nothing trimmable
 		w.district.SetFloat64(drow, DYtd, 30000)
 		w.district.SetFloat64(drow, DTax, rng.Float64()*0.2)
 		w.district.SetString(drow, DName, fmt.Sprintf("D%d-%d", wid, did))

@@ -62,6 +62,10 @@ func (e *executor) Insert(tb storage.TableID, part int, key storage.Key, row []b
 	e.set.AddInsert(tb, part, key, row)
 }
 
+func (e *executor) Delete(tb storage.TableID, part int, key storage.Key) {
+	e.set.AddDelete(tb, part, key)
+}
+
 func (e *executor) LookupIndex(tb storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
 	return e.db.Table(tb).IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
 }
@@ -79,6 +83,17 @@ func (e *executor) commit(t *testing.T, db *storage.DB) {
 				t.Fatal("duplicate insert")
 			}
 			rec.WriteLocked(2, storage.MakeTID(2, uint64(i+1)), w.Row)
+		} else if w.Delete {
+			if storage.TIDAbsent(rec.TID()) {
+				t.Fatal("delete of absent record")
+			}
+			row := append([]byte(nil), rec.ValueLocked()...)
+			if rec.DeleteLocked(2, storage.MakeTID(2, uint64(i+1))) {
+				part.MarkDirty(rec, 2)
+			}
+			rec.UnlockWithTID(storage.MakeTID(2, uint64(i+1)) | storage.TIDAbsentBit)
+			tbl.NoteDeleted(w.Part, w.Key, row, 2)
+			continue
 		} else {
 			if _, err := rec.ApplyOpsLocked(tbl.Schema(), 2, storage.MakeTID(2, uint64(i+1)), w.Ops); err != nil {
 				t.Fatal(err)
@@ -380,6 +395,165 @@ func TestBadCreditCustomerGetsCDataPrepend(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("bad-credit payment must carry a C_DATA prepend op")
+	}
+}
+
+// deliver runs one Delivery batch through the reference executor.
+func deliver(t *testing.T, w *Workload, db *storage.DB, wid int) {
+	t.Helper()
+	d := &DeliveryTxn{W: w, WID: wid, Carrier: 3, DeliveryD: 77}
+	ex := &executor{db: db}
+	if err := d.Run(ex); err != nil {
+		t.Fatalf("delivery: %v", err)
+	}
+	ex.commit(t, db)
+}
+
+// TestDeliveryDeletesNewOrderRow: a delivered order's NEW-ORDER row is
+// physically deleted, not just stamped (the unbounded-memory fix).
+func TestDeliveryDeletesNewOrderRow(t *testing.T) {
+	w, db := loadSmall(t)
+	no := &NewOrderTxn{W: w, WID: 1, DID: 0, CID: 2,
+		Lines: []orderLineSpec{{IID: 1, SupplyW: 1, Quantity: 1}}}
+	ex := &executor{db: db}
+	if err := no.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+	if db.Table(TNewOrder).Get(1, OKey(1, 0, 1)) == nil {
+		t.Fatal("new_order row missing before delivery")
+	}
+
+	deliver(t, w, db, 1)
+	rec := db.Table(TNewOrder).Get(1, OKey(1, 0, 1))
+	if rec != nil {
+		if _, _, present := rec.ReadStable(nil); present {
+			t.Fatal("delivered NEW-ORDER row still present")
+		}
+	}
+	// The order itself survives, stamped with the carrier.
+	orow, _, ok := db.Table(TOrder).Get(1, OKey(1, 0, 1)).ReadStable(nil)
+	if !ok || w.order.GetInt64(orow, OCarrierID) != 3 {
+		t.Fatal("order row lost or carrier not stamped")
+	}
+}
+
+// TestDeliverySkipsDistrictWithMissingNewOrder pins §2.7.4.2: when the
+// NEW-ORDER row at the cursor is gone, Delivery skips the district —
+// the batch still commits (nil, not an abort) and, because the row is
+// confirmed before the cursor write is buffered, it leaves no district
+// write behind for that district.
+func TestDeliverySkipsDistrictWithMissingNewOrder(t *testing.T) {
+	w, db := loadSmall(t)
+	no := &NewOrderTxn{W: w, WID: 1, DID: 0, CID: 2,
+		Lines: []orderLineSpec{{IID: 1, SupplyW: 1, Quantity: 1}}}
+	ex := &executor{db: db}
+	if err := no.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	// Corrupt the queue: remove the NEW-ORDER row out from under the
+	// cursor (the only way a miss can arise — deliveries themselves
+	// always advance the cursor past the rows they delete).
+	ex = &executor{db: db}
+	ex.Delete(TNewOrder, 1, OKey(1, 0, 1))
+	ex.commit(t, db)
+
+	d := &DeliveryTxn{W: w, WID: 1, Carrier: 5, DeliveryD: 9}
+	ex = &executor{db: db}
+	if err := d.Run(ex); err != nil {
+		t.Fatalf("delivery with a missing NEW-ORDER must still commit: %v", err)
+	}
+	for _, wr := range ex.set.Writes {
+		if wr.Table == TDistrict {
+			t.Fatal("skipped district must not buffer a cursor write")
+		}
+	}
+	ex.commit(t, db)
+	drow, _, _ := db.Table(TDistrict).Get(1, DKey(1, 0)).ReadStable(nil)
+	if got := w.district.GetUint64(drow, DNextDelOID); got != 1 {
+		t.Fatalf("d_next_del_o_id=%d after a skipped district, want 1", got)
+	}
+}
+
+// TestTrimReclaimsDeliveredOrdersAndHistory drives the trimmer through
+// the reference executor: delivered orders more than Retain behind the
+// cursor are deleted with their order lines, the low-water cursor
+// advances exactly over the reclaimed range, undelivered and retained
+// orders survive, and the listed history rows are reclaimed.
+func TestTrimReclaimsDeliveredOrdersAndHistory(t *testing.T) {
+	w, db := loadSmall(t)
+	// Four orders in (w1, d0), three of them delivered.
+	for oid := 1; oid <= 4; oid++ {
+		no := &NewOrderTxn{W: w, WID: 1, DID: 0, CID: 2,
+			Lines: []orderLineSpec{{IID: oid, SupplyW: 1, Quantity: 1}, {IID: oid + 10, SupplyW: 1, Quantity: 2}}}
+		ex := &executor{db: db}
+		if err := no.Run(ex); err != nil {
+			t.Fatal(err)
+		}
+		ex.commit(t, db)
+	}
+	for i := 0; i < 3; i++ {
+		deliver(t, w, db, 1)
+	}
+	// One history row from a payment, to ride along.
+	pay := &PaymentTxn{W: w, WID: 1, DID: 0, CWID: 1, CDID: 0, CID: 2, Amount: 5, HSeq: 7, GenID: 9}
+	ex := &executor{db: db}
+	if err := pay.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	// Cursor state: d_next_o_id=5, d_next_del_o_id=4, d_trim_o_id=1.
+	// Retain=1 → trim oids [1, 4-1-1] = {1, 2}.
+	tr := &TrimTxn{W: w, WID: 1, Retain: 1, Batch: 8, GenID: 9, HistSeqs: []uint64{7}}
+	ex = &executor{db: db}
+	if err := tr.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	ex.commit(t, db)
+
+	present := func(tb storage.TableID, key storage.Key) bool {
+		rec := db.Table(tb).Get(1, key)
+		if rec == nil {
+			return false
+		}
+		_, _, p := rec.ReadStable(nil)
+		return p
+	}
+	for oid := 1; oid <= 2; oid++ {
+		if present(TOrder, OKey(1, 0, oid)) {
+			t.Fatalf("trimmed order %d still present", oid)
+		}
+		for ol := 1; ol <= 2; ol++ {
+			if present(TOrderLine, OLKey(1, 0, oid, ol)) {
+				t.Fatalf("order line %d/%d survived the trim", oid, ol)
+			}
+		}
+	}
+	for oid := 3; oid <= 4; oid++ {
+		if !present(TOrder, OKey(1, 0, oid)) {
+			t.Fatalf("order %d above the trim horizon was deleted", oid)
+		}
+	}
+	if present(THistory, HKey(1, 9, 7)) {
+		t.Fatal("listed history row survived the trim")
+	}
+	drow, _, _ := db.Table(TDistrict).Get(1, DKey(1, 0)).ReadStable(nil)
+	if got := w.district.GetUint64(drow, DTrimOID); got != 3 {
+		t.Fatalf("d_trim_o_id=%d, want 3", got)
+	}
+	// A second trim with nothing below the horizon is a no-op commit.
+	tr2 := &TrimTxn{W: w, WID: 1, Retain: 1, Batch: 8, GenID: 9}
+	ex = &executor{db: db}
+	if err := tr2.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	for _, wr := range ex.set.Writes {
+		if wr.Delete {
+			t.Fatal("idle trim deleted something")
+		}
 	}
 }
 

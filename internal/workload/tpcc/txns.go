@@ -21,6 +21,14 @@ type Gen struct {
 	hseq  uint64
 	next  int // 0 → NewOrder, 1 → Payment
 	cload int // NURand C constant
+	hist  []histEnt // payment-history FIFO the trimmer drains (TrimPct > 0)
+}
+
+// histEnt remembers where one Payment put its history row so a later
+// Trim batch can reclaim it.
+type histEnt struct {
+	wid int
+	seq uint64
 }
 
 // Transaction classes pick() draws from.
@@ -30,15 +38,16 @@ const (
 	clsDelivery
 	clsStockLevel
 	clsOrderStatus
+	clsTrim
 )
 
 // pick draws the next transaction class. The paper subset (no Delivery,
-// Stock-Level or Order-Status share) keeps the seed's strict
+// Stock-Level, Order-Status or Trim share) keeps the seed's strict
 // alternation — and its rng stream — so existing runs reproduce
 // bit-for-bit.
 func (g *Gen) pick() int {
 	cfg := g.w.cfg
-	if cfg.DeliveryPct <= 0 && cfg.StockLevelPct <= 0 && cfg.OrderStatusPct <= 0 {
+	if cfg.DeliveryPct <= 0 && cfg.StockLevelPct <= 0 && cfg.OrderStatusPct <= 0 && cfg.TrimPct <= 0 {
 		g.next = 1 - g.next
 		if g.next == 1 {
 			return clsNewOrder
@@ -46,7 +55,7 @@ func (g *Gen) pick() int {
 		return clsPayment
 	}
 	r := g.rng.Intn(100)
-	d, sl, os := cfg.DeliveryPct, cfg.StockLevelPct, cfg.OrderStatusPct
+	d, sl, os, tr := cfg.DeliveryPct, cfg.StockLevelPct, cfg.OrderStatusPct, cfg.TrimPct
 	switch {
 	case r < d:
 		return clsDelivery
@@ -54,9 +63,11 @@ func (g *Gen) pick() int {
 		return clsStockLevel
 	case r < d+sl+os:
 		return clsOrderStatus
+	case r < d+sl+os+tr:
+		return clsTrim
 	default:
-		rem := r - d - sl - os
-		span := 100 - d - sl - os
+		rem := r - d - sl - os - tr
+		span := 100 - d - sl - os - tr
 		if rem*88 < span*45 { // NewOrder:Payment stays 45:43
 			return clsNewOrder
 		}
@@ -84,6 +95,8 @@ func (g *Gen) Mixed(home int) txn.Procedure {
 	switch g.pick() {
 	case clsDelivery:
 		return g.delivery(home)
+	case clsTrim:
+		return g.trim(home)
 	case clsStockLevel:
 		return g.stockLevel(home, g.rng.Intn(100) < g.w.cfg.CrossPctStockLevel)
 	case clsOrderStatus:
@@ -100,6 +113,8 @@ func (g *Gen) Single(home int) txn.Procedure {
 	switch g.pick() {
 	case clsDelivery:
 		return g.delivery(home)
+	case clsTrim:
+		return g.trim(home)
 	case clsStockLevel:
 		return g.stockLevel(home, false)
 	case clsOrderStatus:
@@ -111,16 +126,16 @@ func (g *Gen) Single(home int) txn.Procedure {
 	}
 }
 
-// Cross implements workload.Gen. Delivery has no cross-partition form
-// (a delivery batch serves exactly one warehouse), so its share maps to
-// cross NewOrder here.
+// Cross implements workload.Gen. Delivery and Trim have no
+// cross-partition form (both serve exactly one warehouse), so their
+// shares map to cross NewOrder here.
 func (g *Gen) Cross(home int) txn.Procedure {
 	switch g.pick() {
 	case clsStockLevel:
 		return g.stockLevel(home, true)
 	case clsOrderStatus:
 		return g.orderStatus(home, true)
-	case clsNewOrder, clsDelivery:
+	case clsNewOrder, clsDelivery, clsTrim:
 		return g.newOrder(home, true)
 	default:
 		return g.payment(home, true)
@@ -422,8 +437,11 @@ func appendInt(b []byte, v int) []byte {
 // The oldest undelivered order is tracked by the district's
 // D_NEXT_DEL_O_ID cursor (undelivered ids are [cursor, D_NEXT_O_ID)), a
 // standard in-memory TPC-C device that makes the lookup a point read.
-// The programming model has no deletes, so the NEW-ORDER row is kept
-// and the cursor alone defines "undelivered".
+// Delivery deletes the NEW-ORDER row it serves (§2.7.4.2's "the row in
+// the NEW-ORDER table is deleted"), so row presence and the cursor
+// agree on "undelivered". The NEW-ORDER read happens before the cursor
+// write: read-first means a missing row skips the district per
+// §2.7.4.2 with no cursor advance left behind to revert on abort.
 type DeliveryTxn struct {
 	W         *Workload
 	WID       int
@@ -466,10 +484,14 @@ func (t *DeliveryTxn) Run(ctx txn.Ctx) error {
 		if oid >= nextO {
 			continue // nothing undelivered in this district
 		}
-		ctx.Write(TDistrict, t.WID, DKey(t.WID, did), storage.AddInt64Op(DNextDelOID, 1))
+		// Confirm the NEW-ORDER row before touching the cursor: a miss
+		// skips the district (§2.7.4.2 — the batch still commits), and
+		// read-first leaves no cursor write behind to revert on abort.
 		if _, ok := ctx.Read(TNewOrder, t.WID, OKey(t.WID, did, oid)); !ok {
-			return txn.ErrConflict
+			continue
 		}
+		ctx.Write(TDistrict, t.WID, DKey(t.WID, did), storage.AddInt64Op(DNextDelOID, 1))
+		ctx.Delete(TNewOrder, t.WID, OKey(t.WID, did, oid))
 		orow, ok := ctx.Read(TOrder, t.WID, OKey(t.WID, did, oid))
 		if !ok {
 			return txn.ErrConflict
@@ -501,6 +523,111 @@ func (g *Gen) delivery(home int) txn.Procedure {
 		Carrier:   int64(1 + g.rng.Intn(10)),
 		DeliveryD: int64(1 + g.rng.Intn(1<<20)),
 	}
+}
+
+// ---- Trim ----
+
+// trimBatch bounds one Trim's work per district; trimHistBatch bounds
+// the history rows riding along.
+const (
+	trimBatch     = 8
+	trimHistBatch = 32
+)
+
+// TrimTxn is the garbage-collecting batch behind sustained-load runs:
+// for every district of a warehouse it physically deletes delivered
+// orders — and their order lines — more than Retain behind the
+// delivery cursor, advancing the district's D_TRIM_O_ID low-water
+// cursor; the generating worker's old payment-history rows ride along.
+// Delivery stamps rows and moves on, so without trimming a long
+// full-mix run grows ORDER/ORDER-LINE/HISTORY without bound. Like
+// Delivery it executes deferred and declares only the district
+// cursors: conflicting Trims, Deliveries and NewOrders serialise on
+// those rows, and the trimmed range sits below every reader's window
+// (Stock-Level reads near D_NEXT_O_ID, Order-Status walks back from
+// the newest visible order; both tolerate missing rows by design).
+type TrimTxn struct {
+	W        *Workload
+	WID      int
+	Retain   int // delivered orders left in place per district
+	Batch    int // max orders reclaimed per district per batch
+	GenID    int
+	HistSeqs []uint64 // this generator's history rows to reclaim
+}
+
+// Name implements txn.Procedure.
+func (t *TrimTxn) Name() string { return "tpcc.trim" }
+
+// Deferred implements txn.DeferredMarker: like Delivery, trimming is
+// background work queued to the single-master phase.
+func (t *TrimTxn) Deferred() bool { return true }
+
+// Accesses implements txn.Procedure: the per-district trim cursors, in
+// write mode (the same declaration shape as Delivery — the deleted
+// rows depend on cursor values read at execution time).
+func (t *TrimTxn) Accesses() []txn.Access {
+	accs := make([]txn.Access, 0, t.W.cfg.Districts)
+	for did := 0; did < t.W.cfg.Districts; did++ {
+		accs = append(accs, txn.Access{Table: TDistrict, Part: t.WID, Key: DKey(t.WID, did), Write: true})
+	}
+	return accs
+}
+
+// Run implements txn.Procedure. Only rows read as present are deleted,
+// so a batch racing a snapshot or an earlier trim skips instead of
+// aborting; the cursor advances over skipped ids too (they are gone
+// either way).
+func (t *TrimTxn) Run(ctx txn.Ctx) error {
+	w := t.W
+	for did := 0; did < w.cfg.Districts; did++ {
+		drow, ok := ctx.Read(TDistrict, t.WID, DKey(t.WID, did))
+		if !ok {
+			return txn.ErrConflict
+		}
+		lo := int(w.district.GetUint64(drow, DTrimOID))
+		hi := int(w.district.GetUint64(drow, DNextDelOID)) - 1 - t.Retain
+		n := 0
+		for oid := lo; oid <= hi && n < t.Batch; oid++ {
+			if orow, ok := ctx.Read(TOrder, t.WID, OKey(t.WID, did, oid)); ok {
+				olCnt := int(w.order.GetInt64(orow, OOlCnt))
+				for ol := 1; ol <= olCnt; ol++ {
+					if _, ok := ctx.Read(TOrderLine, t.WID, OLKey(t.WID, did, oid, ol)); ok {
+						ctx.Delete(TOrderLine, t.WID, OLKey(t.WID, did, oid, ol))
+					}
+				}
+				ctx.Delete(TOrder, t.WID, OKey(t.WID, did, oid))
+			}
+			n++
+		}
+		if n > 0 {
+			ctx.Write(TDistrict, t.WID, DKey(t.WID, did), storage.AddInt64Op(DTrimOID, int64(n)))
+		}
+	}
+	for _, seq := range t.HistSeqs {
+		if _, ok := ctx.Read(THistory, t.WID, HKey(t.WID, t.GenID, seq)); ok {
+			ctx.Delete(THistory, t.WID, HKey(t.WID, t.GenID, seq))
+		}
+	}
+	return nil
+}
+
+func (g *Gen) trim(home int) txn.Procedure {
+	cfg := g.w.cfg
+	t := &TrimTxn{W: g.w, WID: home, Retain: cfg.TrimRetain, Batch: trimBatch, GenID: g.id}
+	// Drain this generator's payment-history FIFO: entries beyond the
+	// retained tail that were written at the home warehouse ride along.
+	if excess := len(g.hist) - cfg.TrimRetain; excess > 0 {
+		kept := g.hist[:0]
+		for i, h := range g.hist {
+			if i < excess && h.wid == home && len(t.HistSeqs) < trimHistBatch {
+				t.HistSeqs = append(t.HistSeqs, h.seq)
+				continue
+			}
+			kept = append(kept, h)
+		}
+		g.hist = kept
+	}
+	return t
 }
 
 // ---- Stock-Level ----
@@ -637,6 +764,11 @@ func (g *Gen) payment(home int, cross bool) txn.Procedure {
 	}
 	if cross {
 		t.CWID = g.remoteWarehouse(home)
+	}
+	if cfg.TrimPct > 0 {
+		// Remember where the history row lands so a later Trim batch
+		// can reclaim it once it falls out of the retained tail.
+		g.hist = append(g.hist, histEnt{wid: home, seq: g.hseq})
 	}
 	if g.rng.Intn(100) < cfg.PaymentByName {
 		num := g.nuRand(255, 0, 999)

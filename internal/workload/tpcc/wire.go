@@ -9,13 +9,15 @@ import (
 
 // Wire procedure ids. The id space is shared with other workloads in
 // one codec, so each workload takes a distinct block (tpcc: 1–2 and —
-// ycsb having claimed 3 first — 4–5 for the full-mix extension).
+// ycsb having claimed 3 first — 4–7 for the full-mix extension and
+// the trimmer).
 const (
 	wireNewOrder    uint8 = 1
 	wirePayment     uint8 = 2
 	wireDelivery    uint8 = 4
 	wireStockLevel  uint8 = 5
 	wireOrderStatus uint8 = 6
+	wireTrim        uint8 = 7
 )
 
 // RegisterWire binds the TPC-C procedure codecs to c. Every process of
@@ -195,6 +197,45 @@ func (w *Workload) RegisterWire(c *wire.Codec) {
 			return t, b, nil
 		})
 
+	c.RegisterProc(wireTrim, (*TrimTxn)(nil),
+		func(b []byte, p txn.Procedure) []byte {
+			t := p.(*TrimTxn)
+			b = wire.AppendVarint(b, int64(t.WID))
+			b = wire.AppendVarint(b, int64(t.Retain))
+			b = wire.AppendVarint(b, int64(t.Batch))
+			b = wire.AppendVarint(b, int64(t.GenID))
+			b = wire.AppendUvarint(b, uint64(len(t.HistSeqs)))
+			for _, s := range t.HistSeqs {
+				b = wire.AppendUvarint(b, s)
+			}
+			return b
+		},
+		func(b []byte) (txn.Procedure, []byte, error) {
+			t := &TrimTxn{W: w}
+			var err error
+			var x int64
+			for _, dst := range []*int{&t.WID, &t.Retain, &t.Batch, &t.GenID} {
+				if x, b, err = wire.Varint(b); err != nil {
+					return nil, nil, err
+				}
+				*dst = int(x)
+			}
+			n, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if n > uint64(len(b))+1 {
+				return nil, nil, fmt.Errorf("%w: %d history seqs", wire.ErrCorrupt, n)
+			}
+			t.HistSeqs = make([]uint64, n)
+			for i := range t.HistSeqs {
+				if t.HistSeqs[i], b, err = wire.Uvarint(b); err != nil {
+					return nil, nil, err
+				}
+			}
+			return t, b, nil
+		})
+
 	c.RegisterProc(wireStockLevel, (*StockLevelTxn)(nil),
 		func(b []byte, p txn.Procedure) []byte {
 			t := p.(*StockLevelTxn)
@@ -258,6 +299,17 @@ func (t *OrderStatusTxn) WireSize() int {
 	return wire.VarintLen(int64(t.WID)) + wire.VarintLen(int64(t.CWID)) +
 		wire.VarintLen(int64(t.CDID)) + wire.VarintLen(int64(t.CID)) +
 		1 + wire.BytesLen(t.CLast)
+}
+
+// WireSize returns the exact encoded parameter size.
+func (t *TrimTxn) WireSize() int {
+	n := wire.VarintLen(int64(t.WID)) + wire.VarintLen(int64(t.Retain)) +
+		wire.VarintLen(int64(t.Batch)) + wire.VarintLen(int64(t.GenID)) +
+		wire.UvarintLen(uint64(len(t.HistSeqs)))
+	for _, s := range t.HistSeqs {
+		n += wire.UvarintLen(s)
+	}
+	return n
 }
 
 // WireSize returns the exact encoded parameter size.

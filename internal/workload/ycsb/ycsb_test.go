@@ -134,6 +134,10 @@ func (e *executor) Insert(tb storage.TableID, part int, key storage.Key, row []b
 	e.set.AddInsert(tb, part, key, row)
 }
 
+func (e *executor) Delete(tb storage.TableID, part int, key storage.Key) {
+	e.set.AddDelete(tb, part, key)
+}
+
 func (e *executor) LookupIndex(tb storage.TableID, part, idx int, val []byte, dst []storage.Key) []storage.Key {
 	return e.db.Table(tb).IndexLookup(part, idx, val, storage.IndexAllEpochs, dst)
 }
