@@ -1,0 +1,121 @@
+// star-admin drives a live STAR cluster's unified control-plane API
+// through any node's client front door (star-node -client): freezing
+// the workload, reading per-node checksums and fault-injection
+// counters, inspecting the installed topology, and changing membership
+// at epoch fences (join / drain / rebalance).
+//
+// Usage:
+//
+//	star-admin -addr HOST:PORT freeze|unfreeze
+//	star-admin -addr HOST:PORT -node N checksums
+//	star-admin -addr HOST:PORT -node N fault-stats
+//	star-admin -addr HOST:PORT -node N join
+//	star-admin -addr HOST:PORT -node N drain
+//	star-admin -addr HOST:PORT rebalance
+//	star-admin -addr HOST:PORT topology
+//
+// Exit status 0 on success; the failure reason goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"star/internal/admin"
+)
+
+func main() {
+	addr := flag.String("addr", "", "front-door address (host:port) of any cluster member")
+	node := flag.Int("node", -1, "target slot id for node-scoped and membership verbs")
+	opTimeout := flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	dialDeadline := flag.Duration("dial-deadline", 15*time.Second, "overall connect deadline")
+	flag.Parse()
+
+	verb := flag.Arg(0)
+	if *addr == "" || verb == "" {
+		fmt.Fprintln(os.Stderr, "usage: star-admin -addr HOST:PORT [-node N] freeze|unfreeze|checksums|fault-stats|join|drain|rebalance|topology")
+		os.Exit(2)
+	}
+	needNode := func() int {
+		if *node < 0 {
+			fatalf("%s: -node is required", verb)
+		}
+		return *node
+	}
+
+	c, err := admin.Dial(admin.Config{Addr: *addr, OpTimeout: *opTimeout, DialDeadline: *dialDeadline})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+
+	switch verb {
+	case "freeze":
+		check(c.Freeze(true))
+		fmt.Println("frozen")
+	case "unfreeze":
+		check(c.Freeze(false))
+		fmt.Println("unfrozen")
+	case "checksums":
+		cs, err := c.Checksums(needNode())
+		check(err)
+		for i, p := range cs.Parts {
+			fmt.Printf("part %d sum %016x\n", p, cs.Sums[i])
+		}
+	case "fault-stats":
+		stats, err := c.FaultStats(needNode())
+		check(err)
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s %d\n", k, stats[k])
+		}
+	case "join":
+		t, err := c.Join(needNode())
+		check(err)
+		printTopology(t)
+	case "drain":
+		t, err := c.Drain(needNode())
+		check(err)
+		printTopology(t)
+	case "rebalance":
+		t, err := c.Rebalance()
+		check(err)
+		printTopology(t)
+	case "topology":
+		t, err := c.Topology()
+		check(err)
+		printTopology(t)
+	default:
+		fatalf("unknown verb %q", verb)
+	}
+}
+
+func printTopology(t admin.Topology) {
+	fmt.Printf("version %d\n", t.Version)
+	for i, m := range t.Members {
+		addr := ""
+		if i < len(t.ClientAddrs) {
+			addr = t.ClientAddrs[i]
+		}
+		fmt.Printf("member %d addr %s\n", m, addr)
+	}
+	fmt.Printf("masters %v\n", t.Masters)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "star-admin: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -52,9 +52,12 @@ func main() {
 		snapReads = flag.Bool("snapshot-reads", false, "serve read-only transactions from the local fence snapshot")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		txns      = flag.Int("txns", 200, "scripted generator steps per partition")
-		serve     = flag.Bool("serve", false, "time-driven run instead of the scripted one: process the workload until killed (failure-test mode)")
+		serve     = flag.Bool("serve", false, "time-driven run instead of the scripted one: process the workload until killed or drained (failure-test mode)")
 		iteration = flag.Duration("iteration", 10*time.Millisecond, "serve mode: phase-switch iteration time")
+		members   = flag.String("members", "", "serve mode: comma-separated boot member ids (empty = all slots; -nodes is capacity, dark slots join later)")
+		join      = flag.Bool("join", false, "serve mode: ask the coordinator to admit this dark slot at an epoch fence, retrying until membership is installed")
 		clientAt  = flag.String("client", "", "serve mode: host:port to serve star-client connections on (the client front door; off when empty)")
+		clients   = flag.String("clients", "", "serve mode: comma-separated per-slot front-door addresses, in id order (advertised via the admin topology API; empty entries allowed)")
 		clientWin = flag.Int("client-window", core.DefaultClientWindow, "serve mode: per-connection in-flight request bound")
 		probe     = flag.Bool("probe", false, "register an extra probe endpoint (id nodes+1, sharing process 0's address) for an external test/ops observer")
 		faults    = flag.String("faults", "", "JSON fault plan (internal/faultnet) injected into this process's outbound traffic; start every process with the same plan file")
@@ -74,6 +77,30 @@ func main() {
 	if *id < 0 || *id >= *nodes {
 		fmt.Fprintf(os.Stderr, "star-node: -id %d out of range [0,%d)\n", *id, *nodes)
 		os.Exit(2)
+	}
+	var memberList []int
+	if *members != "" {
+		if !*serve {
+			fmt.Fprintln(os.Stderr, "star-node: -members requires -serve (scripted runs use every slot)")
+			os.Exit(2)
+		}
+		for _, s := range strings.Split(*members, ",") {
+			var m int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &m); err != nil || m < 0 || m >= *nodes {
+				fmt.Fprintf(os.Stderr, "star-node: -members: bad id %q\n", s)
+				os.Exit(2)
+			}
+			memberList = append(memberList, m)
+		}
+	}
+	var clientAddrs []string
+	if *clients != "" {
+		clientAddrs = strings.Split(*clients, ",")
+		if len(clientAddrs) != *nodes {
+			fmt.Fprintf(os.Stderr, "star-node: -clients must list exactly -nodes addresses (got %d, want %d; empty entries allowed)\n",
+				len(clientAddrs), *nodes)
+			os.Exit(2)
+		}
 	}
 
 	nparts := *nodes * *workers
@@ -165,6 +192,8 @@ func main() {
 		LocalNodes:       []int{*id},
 		LocalCoordinator: *id == 0,
 		SnapshotReads:    *snapReads,
+		Members:          memberList,
+		ClientAddrs:      clientAddrs,
 	}
 
 	if *serve {
@@ -182,7 +211,29 @@ func main() {
 			}
 			eng.ServeClients(*id, ln, codec, *clientWin)
 		}
-		select {}
+		if *join && !eng.Topology().IsMember(*id) {
+			// Elastic scale-out: keep asking the coordinator to admit this
+			// slot until the new topology version lands here. The request
+			// rides the node's own transport endpoint; the coordinator's
+			// snapshot catch-up and fence install do the rest.
+			go func() {
+				for !eng.Topology().IsMember(*id) {
+					tr.Send(*id, *nodes, transport.Control,
+						core.AdminReq{V: core.AdminProtoVersion, Op: core.AdminJoin, From: *id, Node: *id})
+					time.Sleep(time.Second)
+				}
+			}()
+		}
+		// Run until killed — or until the cluster drains this node out of
+		// the member set, which is the clean exit: give the front door a
+		// beat to flush any in-flight admin response first.
+		for drained := range eng.Drained() {
+			if drained == *id {
+				time.Sleep(time.Second)
+				return
+			}
+		}
+		return
 	}
 
 	run := core.StartScripted(cfg, core.Script{TxnsPerPartition: *txns})

@@ -2,19 +2,24 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"star/internal/client"
 	"star/internal/core"
 	"star/internal/faultnet"
 	"star/internal/rt"
 	"star/internal/tcpnet"
 	"star/internal/transport"
 	"star/internal/workload/tpcc"
+	"star/internal/workload/ycsb"
 )
 
 // buildStarNode compiles the star-node binary into a temp dir.
@@ -47,6 +52,17 @@ func freePorts(t *testing.T, n int) []string {
 		ln.Close()
 	}
 	return addrs
+}
+
+// buildStarAdmin compiles the star-admin binary into a temp dir.
+func buildStarAdmin(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "star-admin")
+	build := exec.Command("go", "build", "-o", bin, "star/cmd/star-admin")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build star-admin: %v\n%s", err, out)
+	}
+	return bin
 }
 
 // TestStarNodeProcessesMatchSimnet is the acceptance check for the
@@ -466,6 +482,282 @@ func TestStarNodeFaultPlanConverges(t *testing.T) {
 			}
 			t.Fatalf("partition %d never converged after the fault window", mismatch)
 		}
+	}
+	if halted, reason := eng.Halted(); halted {
+		t.Fatalf("cluster halted: %s", reason)
+	}
+}
+
+// TestStarNodeScaleOutJoinDrain is the live elastic-membership
+// acceptance run: a 3-member cluster (capacity 4) of real processes
+// under TPC-C load admits the dark 4th slot through the star-admin CLI
+// at an epoch fence, every member's partition checksums converge
+// byte-identically, a star-client session stays available and learns
+// the new front door from a topology refresh — and then node 1 is
+// drained out through ANOTHER node's door, its process exits 0, and the
+// survivors re-converge.
+//
+// Topology: this test process hosts node 0 and the coordinator
+// (endpoint 4) on one listener; nodes 1-3 are star-node children, each
+// with a client front door. All control traffic in this test flows
+// through the unified admin envelope: the star-admin binary drives
+// freeze / checksums / fault-stats / join / drain / rebalance /
+// topology against the live doors.
+func TestStarNodeScaleOutJoinDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short")
+	}
+	const (
+		capacity, workers = 4, 2
+		seed              = int64(13)
+	)
+	nodeBin := buildStarNode(t)
+	adminBin := buildStarAdmin(t)
+
+	ports := freePorts(t, capacity+3)
+	addrs, doors := ports[:capacity], ports[capacity:] // doors for nodes 1..3
+	addrList := strings.Join(addrs, ",")
+	doorList := "," + strings.Join(doors, ",") // node 0 advertises no door
+
+	// YCSB: its one wire-registered transaction doubles as the client
+	// availability probe (star-client's session idiom).
+	ycfg := ycsb.Config{Partitions: capacity * workers, RecordsPerPartition: 512}
+	w := ycsb.New(ycfg)
+
+	// Endpoints: nodes 0-3 plus the coordinator (4); node 0 and the
+	// coordinator live in this process on one listener.
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	endpoints := append(append([]string(nil), addrs...), addrs[0])
+	r := rt.NewReal()
+	netA, err := tcpnet.New(r, tcpnet.Config{
+		Endpoints: endpoints,
+		Local:     []int{0, capacity},
+		Codec:     core.NewWireCodec(w),
+		Listener:  ln,
+	})
+	if err != nil {
+		t.Fatalf("tcpnet.New: %v", err)
+	}
+	defer netA.Close()
+
+	startChild := func(id int) *exec.Cmd {
+		cmd := exec.Command(nodeBin,
+			"-id", strconv.Itoa(id), "-nodes", "4", "-workers", "2", "-seed", "13",
+			"-addrs", addrList, "-workload", "ycsb", "-records", "512",
+			"-serve", "-snapshot-reads", "-iteration", "2ms",
+			"-members", "0,1,2",
+			"-client", doors[id-1], "-clients", doorList,
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start star-node %d: %v", id, err)
+		}
+		return cmd
+	}
+	node1 := startChild(1)
+	defer func() { node1.Process.Kill(); node1.Wait() }()
+	node2 := startChild(2)
+	defer func() { node2.Process.Kill(); node2.Wait() }()
+	node3 := startChild(3) // dark slot: provisioned, not a member
+	defer func() { node3.Process.Kill(); node3.Wait() }()
+	time.Sleep(200 * time.Millisecond)
+
+	eng := core.New(core.Config{
+		RT:               r,
+		Nodes:            capacity,
+		FullReplicas:     1,
+		WorkersPerNode:   workers,
+		Workload:         w,
+		Seed:             seed,
+		Transport:        netA,
+		LocalNodes:       []int{0},
+		LocalCoordinator: true,
+		Iteration:        2 * time.Millisecond,
+		SnapshotReads:    true,
+		Members:          []int{0, 1, 2},
+		ClientAddrs:      append([]string{""}, doors...),
+	})
+	defer r.Stop()
+
+	waitCommitsGrow := func(label string, timeout time.Duration) {
+		t.Helper()
+		base := eng.Stats().Committed
+		deadline := time.Now().Add(timeout)
+		for eng.Stats().Committed <= base {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: commits stalled at %d", label, base)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	adminTry := func(args ...string) (string, error) {
+		out, err := exec.Command(adminBin, args...).CombinedOutput()
+		return string(out), err
+	}
+	adminRun := func(args ...string) string {
+		t.Helper()
+		out, err := adminTry(args...)
+		if err != nil {
+			t.Fatalf("star-admin %v: %v\n%s", args, err, out)
+		}
+		return out
+	}
+	parseChecksums := func(out string) map[int]uint64 {
+		sums := map[int]uint64{}
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			var p int
+			var s uint64
+			if _, err := fmt.Sscanf(line, "part %d sum %x", &p, &s); err == nil {
+				sums[p] = s
+			}
+		}
+		return sums
+	}
+	// waitChecksums freezes nothing itself: callers freeze first. Every
+	// listed node's reported partitions must match node 0's copy (the
+	// full replica holds everything, so it is the reference). A node
+	// spuriously evicted mid-check is re-joined like an operator would.
+	waitChecksums := func(label, door string, nodes []int) {
+		t.Helper()
+		deadline := time.Now().Add(45 * time.Second)
+		lastRecover := time.Now()
+		for {
+			time.Sleep(100 * time.Millisecond)
+			mismatch := ""
+			for _, n := range nodes {
+				out, err := adminTry("-addr", door, "-node", strconv.Itoa(n), "-timeout", "5s", "checksums")
+				if err != nil {
+					mismatch = fmt.Sprintf("node %d: %v (%s)", n, err, strings.TrimSpace(out))
+					break
+				}
+				sums := parseChecksums(out)
+				if len(sums) == 0 {
+					mismatch = fmt.Sprintf("node %d reported no partitions", n)
+					break
+				}
+				for p, s := range sums {
+					if eng.DB(0).PartitionChecksum(p) != s {
+						mismatch = fmt.Sprintf("node %d partition %d diverges", n, p)
+						break
+					}
+				}
+				if mismatch != "" {
+					break
+				}
+			}
+			if mismatch == "" {
+				return
+			}
+			if time.Since(lastRecover) > 3*time.Second {
+				for _, id := range eng.FailedNodes() {
+					eng.RecoverNode(id)
+				}
+				lastRecover = time.Now()
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: checksums never converged: %s", label, mismatch)
+			}
+		}
+	}
+	waitCommitsGrow("healthy 3-member cluster", 15*time.Second)
+
+	door2 := doors[1]
+	out := adminRun("-addr", door2, "topology")
+	if !strings.Contains(out, "version 1\n") || strings.Contains(out, "member 3 ") {
+		t.Fatalf("boot topology wrong:\n%s", out)
+	}
+
+	// A client session riding the doors, before, through, and after the
+	// membership changes.
+	wc := ycsb.New(ycfg)
+	clCodec := core.NewWireCodec(wc)
+	clStart := time.Now()
+	clCodec.SetClock(func() int64 { return int64(time.Since(clStart)) })
+	cl, err := client.Dial(client.Config{
+		Addrs: append([]string(nil), doors...),
+		Codec: clCodec,
+	})
+	if err != nil {
+		t.Fatalf("client dial: %v", err)
+	}
+	defer cl.Close()
+	readAll := func(label string) {
+		t.Helper()
+		for p := 0; p < capacity*workers; p++ {
+			if _, err := cl.DoRetry(wc.ReadTxn([]int{p}, []int{0}), 20); err != nil {
+				t.Fatalf("%s: client read of partition %d: %v", label, p, err)
+			}
+		}
+	}
+	readAll("before join")
+
+	// Join the dark slot through node 2's door: the coordinator fences,
+	// streams partition snapshots to node 3 over TCP, and installs v2.
+	out = adminRun("-addr", door2, "-node", "3", "-timeout", "90s", "join")
+	if !strings.Contains(out, "member 3 ") {
+		t.Fatalf("join did not report node 3 as a member:\n%s", out)
+	}
+	waitCommitsGrow("after join", 15*time.Second)
+
+	// All four members byte-identical under a cluster-wide freeze.
+	adminRun("-addr", door2, "freeze")
+	waitChecksums("after join", door2, []int{1, 2, 3})
+	adminRun("-addr", door2, "unfreeze")
+	waitCommitsGrow("after unfreeze", 15*time.Second)
+
+	// The client learns the joined member's door from a topology refresh.
+	if err := cl.RefreshTopology(10 * time.Second); err != nil {
+		t.Fatalf("client topology refresh: %v", err)
+	}
+	if eps := cl.Endpoints(); len(eps) != 3 {
+		t.Fatalf("client endpoints after join = %v, want the 3 member doors", eps)
+	}
+	readAll("after join")
+
+	// fault-stats must answer over the same envelope (empty: no -faults).
+	adminRun("-addr", door2, "-node", "1", "fault-stats")
+
+	// Drain node 1 through node 2's door — NOT its own, so the response
+	// does not race its process exit. Its partitions migrate away at a
+	// fence, v3 installs without it, and the process exits 0.
+	out = adminRun("-addr", door2, "-node", "1", "-timeout", "90s", "drain")
+	if strings.Contains(out, "member 1 ") {
+		t.Fatalf("drain still reports node 1 as a member:\n%s", out)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- node1.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("drained star-node exited with error: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("drained star-node did not exit")
+	}
+	waitCommitsGrow("after drain", 15*time.Second)
+
+	// Rebalance over the shrunk member set: the canonical layout is
+	// already installed, so this is a pure fence-coordinated version bump.
+	adminRun("-addr", door2, "-timeout", "90s", "rebalance")
+
+	// Survivors re-converge; the client sheds the drained door.
+	adminRun("-addr", door2, "freeze")
+	waitChecksums("after drain", door2, []int{2, 3})
+	adminRun("-addr", door2, "unfreeze")
+	readAll("after drain")
+	if err := cl.RefreshTopology(10 * time.Second); err != nil {
+		t.Fatalf("client topology refresh after drain: %v", err)
+	}
+	eps := cl.Endpoints()
+	if len(eps) != 2 || eps[0] != doors[1] || eps[1] != doors[2] {
+		t.Fatalf("client endpoints after drain = %v, want [%s %s]", eps, doors[1], doors[2])
+	}
+
+	out = adminRun("-addr", door2, "topology")
+	if strings.Contains(out, "member 1 ") || !strings.Contains(out, "member 3 ") {
+		t.Fatalf("final topology wrong:\n%s", out)
 	}
 	if halted, reason := eng.Halted(); halted {
 		t.Fatalf("cluster halted: %s", reason)

@@ -1,0 +1,215 @@
+// Package admin is the star-admin client library: it drives the
+// unified control-plane envelope (core.AdminReq / core.AdminResp)
+// against any node's client front door over TCP.
+//
+// One connection serves any number of sequential operations. The
+// connected node answers node-local ops itself, forwards node-scoped
+// ops (checksums, fault stats) to their target, and relays membership
+// ops (join, drain, rebalance) to the coordinator — the caller never
+// needs to know which node is which.
+//
+// Admin envelopes carry no workload payloads, so the codec needs no
+// workload registration: core.NewWireCodec(nil) on both sides.
+package admin
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"star/internal/backoff"
+	"star/internal/core"
+	"star/internal/wire"
+)
+
+// Config parameterises one admin connection.
+type Config struct {
+	// Addr is a front door's "host:port" (star-node -client).
+	Addr string
+	// DialTimeout is the per-attempt dial timeout (default 1s).
+	DialTimeout time.Duration
+	// DialDeadline bounds the whole connect retry (default 15s; the
+	// serving process may still be starting).
+	DialDeadline time.Duration
+	// OpTimeout bounds one operation round trip (default 30s; membership
+	// ops wait for an epoch fence plus a snapshot migration).
+	OpTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.DialDeadline == 0 {
+		c.DialDeadline = 15 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Client is one admin connection to a front door.
+type Client struct {
+	cfg   Config
+	conn  net.Conn
+	codec *wire.Codec
+	wbuf  []byte
+	next  uint64
+}
+
+// Dial connects to the front door, retrying with capped exponential
+// backoff until Config.DialDeadline.
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("admin: Config.Addr is required")
+	}
+	pol := backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	deadline := time.Now().Add(cfg.DialDeadline)
+	for attempt := 0; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return &Client{cfg: cfg, conn: conn, codec: core.NewWireCodec(nil)}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("admin: dial %s: %w", cfg.Addr, err)
+		}
+		time.Sleep(pol.Delay(attempt, rand.Float64()))
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do runs one envelope round trip: write the request, read frames until
+// the matching ticket answers. The connection is dedicated to this
+// client, so no demultiplexing is needed.
+func (c *Client) do(req core.AdminReq) (core.AdminResp, error) {
+	c.next++
+	req.V, req.Ticket = core.AdminProtoVersion, c.next
+	var err error
+	c.wbuf, err = wire.AppendFrame(c.wbuf[:0], 0, 0, 0, c.codec, req)
+	if err != nil {
+		return core.AdminResp{}, fmt.Errorf("admin: encode %s: %w", req.Op, err)
+	}
+	deadline := time.Now().Add(c.cfg.OpTimeout)
+	c.conn.SetDeadline(deadline)
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return core.AdminResp{}, fmt.Errorf("admin: write %s: %w", req.Op, err)
+	}
+	for {
+		body, err := wire.ReadFrame(c.conn, wire.MaxClientFrame)
+		if err != nil {
+			return core.AdminResp{}, fmt.Errorf("admin: %s: %w", req.Op, err)
+		}
+		_, m, err := wire.DecodeFrameBody(body, c.codec)
+		if err != nil {
+			return core.AdminResp{}, fmt.Errorf("admin: %s: decode: %w", req.Op, err)
+		}
+		resp, ok := m.(core.AdminResp)
+		if !ok || resp.Ticket != req.Ticket {
+			continue // stale response from a timed-out earlier op
+		}
+		if !resp.OK {
+			return resp, fmt.Errorf("admin: %s: %s", req.Op, resp.Err)
+		}
+		return resp, nil
+	}
+}
+
+// Freeze toggles workload generation cluster-wide (the connected door
+// fans the toggle out to every member).
+func (c *Client) Freeze(on bool) error {
+	_, err := c.do(core.AdminReq{Op: core.AdminFreeze, Node: -1, On: on})
+	return err
+}
+
+// Checksums returns node's per-partition checksums (its own planned
+// holdings under the installed topology).
+func (c *Client) Checksums(node int) (core.NodeChecksums, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminChecksums, Node: node})
+	if err != nil {
+		return core.NodeChecksums{}, err
+	}
+	return core.NodeChecksums{Node: resp.Node, Parts: resp.Parts, Sums: resp.Sums}, nil
+}
+
+// FaultStats returns node's fault-injection counters (star-node
+// -faults), empty when its transport injects nothing.
+func (c *Client) FaultStats(node int) (map[string]int64, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminFaultStats, Node: node})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(resp.Keys))
+	for i, k := range resp.Keys {
+		out[k] = resp.Vals[i]
+	}
+	return out, nil
+}
+
+// Topology describes the installed cluster layout as the admin API
+// reports it.
+type Topology struct {
+	Version uint64
+	// Members are the live slot ids, ascending.
+	Members []int
+	// Masters maps partition -> master slot.
+	Masters []int32
+	// ClientAddrs aligns with Members ("" when a member advertises no
+	// front door).
+	ClientAddrs []string
+}
+
+func topologyOf(resp core.AdminResp) Topology {
+	t := Topology{Version: resp.Version, Masters: resp.Masters, ClientAddrs: resp.ClientAddrs}
+	for _, m := range resp.Members {
+		t.Members = append(t.Members, int(m))
+	}
+	return t
+}
+
+// Topology returns the installed topology.
+func (c *Client) Topology() (Topology, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminTopologyGet, Node: -1})
+	if err != nil {
+		return Topology{}, err
+	}
+	return topologyOf(resp), nil
+}
+
+// Join admits slot node at the next epoch fence (snapshot catch-up
+// first) and returns the installed topology.
+func (c *Client) Join(node int) (Topology, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminJoin, Node: node})
+	if err != nil {
+		return Topology{}, err
+	}
+	return topologyOf(resp), nil
+}
+
+// Drain migrates slot node's partitions away at the next fence and
+// removes it from the member set; its process exits cleanly.
+func (c *Client) Drain(node int) (Topology, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminDrain, Node: node})
+	if err != nil {
+		return Topology{}, err
+	}
+	return topologyOf(resp), nil
+}
+
+// Rebalance reinstalls the canonical mastership layout over the current
+// member set (no data moves on a stable layout).
+func (c *Client) Rebalance() (Topology, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminRebalance, Node: -1})
+	if err != nil {
+		return Topology{}, err
+	}
+	return topologyOf(resp), nil
+}

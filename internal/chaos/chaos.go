@@ -330,7 +330,7 @@ func RunSoak(seed int64, o Options) (Result, error) {
 	// all holders agree, so any holder's copy represents the partition.
 	digest := uint64(1469598103934665603)
 	for p := 0; p < cfg.NumPartitions(); p++ {
-		digest ^= dbChecksum(e, cfg, p)
+		digest ^= dbChecksum(e, p)
 		digest *= 1099511628211
 	}
 	st := e.Stats()
@@ -344,9 +344,11 @@ func RunSoak(seed int64, o Options) (Result, error) {
 	}, nil
 }
 
-func dbChecksum(e *core.Engine, cfg core.Config, p int) uint64 {
+func dbChecksum(e *core.Engine, p int) uint64 {
+	// Holders come from the INSTALLED topology, not the static config:
+	// elastic membership may have moved the partition since boot.
 	var db *storage.DB
-	for _, h := range cfg.HoldersOf(p) {
+	for _, h := range e.Topology().HoldersOf(p) {
 		if d := e.DB(h); d != nil {
 			db = d
 			break

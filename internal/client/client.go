@@ -26,6 +26,7 @@ import (
 
 	"star/internal/backoff"
 	"star/internal/core"
+	"star/internal/transport"
 	"star/internal/txn"
 	"star/internal/wire"
 )
@@ -138,9 +139,13 @@ type Client struct {
 	cur     int // index into addrs of the live endpoint
 	next    uint64
 	pending map[uint64]chan core.ClientResp
-	token   uint64
-	closed  bool // current connection broke; Failover may re-bind
-	stopped bool // Close was called; the session is over for good
+	// pendingAdmin tracks in-flight admin envelopes (topology refresh) —
+	// a separate rendezvous map because the response type differs; the
+	// ticket counter is shared, so tickets stay unique across both.
+	pendingAdmin map[uint64]chan core.AdminResp
+	token        uint64
+	closed       bool // current connection broke; Failover may re-bind
+	stopped      bool // Close was called; the session is over for good
 
 	sem chan struct{} // in-flight window
 }
@@ -158,11 +163,12 @@ func Dial(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: no address: set Config.Addr or Config.Addrs")
 	}
 	c := &Client{
-		cfg:     cfg,
-		addrs:   addrs,
-		start:   time.Now(),
-		pending: map[uint64]chan core.ClientResp{},
-		sem:     make(chan struct{}, cfg.Window),
+		cfg:          cfg,
+		addrs:        addrs,
+		start:        time.Now(),
+		pending:      map[uint64]chan core.ClientResp{},
+		pendingAdmin: map[uint64]chan core.AdminResp{},
+		sem:          make(chan struct{}, cfg.Window),
 	}
 	if c.cfg.Now == nil {
 		c.cfg.Now = func() int64 { return int64(time.Since(c.start)) }
@@ -239,7 +245,85 @@ func (c *Client) Failover() error {
 	c.conn, c.cur, c.closed = conn, idx, false
 	c.mu.Unlock()
 	go c.readLoop(conn)
+	// The endpoint that died may be gone for good (drained); learn the
+	// current member doors from the cluster. Best-effort and async — the
+	// session is already usable on the re-bound connection.
+	go c.RefreshTopology(c.cfg.ReqTimeout)
 	return nil
+}
+
+// RefreshTopology asks the connected front door for the installed
+// topology and replaces the failover endpoint list with the members'
+// advertised client addresses (elastic membership: joined nodes become
+// dial targets, drained nodes stop being retried). Endpoints the
+// cluster does not advertise are kept only if nothing was returned.
+func (c *Client) RefreshTopology(timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.next++
+	ticket := c.next
+	ch := make(chan core.AdminResp, 1)
+	c.pendingAdmin[ticket] = ch
+	c.mu.Unlock()
+
+	req := core.AdminReq{V: core.AdminProtoVersion, Op: core.AdminTopologyGet, Ticket: ticket, Node: -1}
+	if err := c.writeReq(req); err != nil {
+		c.mu.Lock()
+		delete(c.pendingAdmin, ticket)
+		c.mu.Unlock()
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if !resp.OK {
+			return fmt.Errorf("client: topology refresh: %s", resp.Err)
+		}
+		var doors []string
+		for _, a := range resp.ClientAddrs {
+			if a != "" {
+				doors = append(doors, a)
+			}
+		}
+		if len(doors) == 0 {
+			return nil // cluster advertises no doors; keep what we have
+		}
+		c.mu.Lock()
+		curAddr := ""
+		if c.cur < len(c.addrs) {
+			curAddr = c.addrs[c.cur]
+		}
+		c.addrs = doors
+		c.cur = 0
+		for i, a := range doors {
+			if a == curAddr {
+				c.cur = i
+				break
+			}
+		}
+		c.mu.Unlock()
+		return nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pendingAdmin, ticket)
+		c.mu.Unlock()
+		return fmt.Errorf("client: topology refresh: timeout after %v", timeout)
+	}
+}
+
+// Endpoints returns the current failover list (tests observe topology
+// refreshes).
+func (c *Client) Endpoints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
 }
 
 // Token returns the session's current freshness token (the highest fence
@@ -276,6 +360,10 @@ func (c *Client) fail(conn net.Conn) {
 		delete(c.pending, t)
 		close(ch)
 	}
+	for t, ch := range c.pendingAdmin {
+		delete(c.pendingAdmin, t)
+		close(ch)
+	}
 }
 
 func (c *Client) readLoop(conn net.Conn) {
@@ -289,18 +377,29 @@ func (c *Client) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, ok := m.(core.ClientResp)
-		if !ok {
+		switch resp := m.(type) {
+		case core.ClientResp:
+			c.mu.Lock()
+			ch, ok := c.pending[resp.Ticket]
+			if ok {
+				delete(c.pending, resp.Ticket)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- resp // cap 1: never blocks
+			}
+		case core.AdminResp:
+			c.mu.Lock()
+			ch, ok := c.pendingAdmin[resp.Ticket]
+			if ok {
+				delete(c.pendingAdmin, resp.Ticket)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+			}
+		default:
 			return
-		}
-		c.mu.Lock()
-		ch, ok := c.pending[resp.Ticket]
-		if ok {
-			delete(c.pending, resp.Ticket)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- resp // cap 1: never blocks
 		}
 	}
 }
@@ -393,7 +492,7 @@ func (c *Client) DoRetry(p txn.Procedure, attempts int) (Result, error) {
 	return res, err
 }
 
-func (c *Client) writeReq(m core.ClientReq) error {
+func (c *Client) writeReq(m transport.Message) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.mu.Lock()

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"sort"
+
+	"star/internal/transport"
+)
+
+// AdminProtoVersion is the admin envelope version. Both sides reject
+// frames from a future protocol rather than misparse them.
+const AdminProtoVersion = 1
+
+// AdminOp discriminates the unified control-plane protocol: one
+// versioned request/response envelope covers everything the old
+// hand-wired Probe pairs did (freeze, checksums, fault stats) plus the
+// elastic-membership operations. Every node serves the envelope — from
+// the transport (Probe, tests) and from its client front door
+// (star-admin) — forwarding node-scoped ops to their target and
+// membership ops to the coordinator.
+type AdminOp uint8
+
+const (
+	// AdminFreeze toggles workload generation on the receiving node.
+	// Front-door requests (Ticket != 0) fan out to every member, so one
+	// door freezes the whole cluster; transport requests (Probe) carry
+	// Ticket 0 and apply locally only — the probe does its own fanout.
+	AdminFreeze AdminOp = iota + 1
+	// AdminChecksums returns the target node's per-partition checksums.
+	AdminChecksums
+	// AdminFaultStats returns the target node's fault-injection counters.
+	AdminFaultStats
+	// AdminJoin asks the coordinator to admit node Node at the next
+	// fence: snapshot catch-up first, then a new topology version.
+	AdminJoin
+	// AdminDrain asks the coordinator to migrate node Node's partitions
+	// away at the next fence and remove it from the member set.
+	AdminDrain
+	// AdminRebalance asks the coordinator to reinstall the canonical
+	// partition-mastership layout over the current member set.
+	AdminRebalance
+	// AdminTopologyGet returns the installed topology version, member
+	// set, master map, and the members' client front-door addresses.
+	AdminTopologyGet
+)
+
+func (op AdminOp) String() string {
+	switch op {
+	case AdminFreeze:
+		return "freeze"
+	case AdminChecksums:
+		return "checksums"
+	case AdminFaultStats:
+		return "fault-stats"
+	case AdminJoin:
+		return "join"
+	case AdminDrain:
+		return "drain"
+	case AdminRebalance:
+		return "rebalance"
+	case AdminTopologyGet:
+		return "topology-get"
+	}
+	return "unknown"
+}
+
+// AdminReq is the unified admin request envelope.
+type AdminReq struct {
+	// V is the protocol version (AdminProtoVersion).
+	V uint8
+	// Op selects the operation.
+	Op AdminOp
+	// From is the endpoint the response is routed back to: a node
+	// hosting the submitting front-door connection, the probe endpoint,
+	// or the coordinator.
+	From int
+	// Ticket correlates the response with a waiting submitter. 0 means
+	// fire-and-forget (probe freeze fanout, engine-internal requests).
+	Ticket uint64
+	// Node is the target for node-scoped ops (Checksums, FaultStats) and
+	// the subject for membership ops (Join, Drain). -1 targets the
+	// receiving node itself.
+	Node int
+	// On is the AdminFreeze toggle.
+	On bool
+}
+
+func (AdminReq) Size() int { return 32 }
+
+// AdminResp is the unified admin response envelope. Fields beyond the
+// correlation header are op-specific; unused ones stay zero.
+type AdminResp struct {
+	V      uint8
+	Op     AdminOp
+	Ticket uint64
+	// Node is the responder (the target node for forwarded ops, the
+	// coordinator's endpoint for membership ops).
+	Node int
+	OK   bool
+	// Err carries the failure reason when OK is false.
+	Err string
+
+	// AdminChecksums: partition checksums, Sums aligned with Parts.
+	Parts []int32
+	Sums  []uint64
+
+	// AdminFaultStats: injection counters, Vals aligned with Keys.
+	Keys []string
+	Vals []int64
+
+	// AdminTopologyGet and membership ops: the installed (or just
+	// installed) topology version; Members ascending; Masters maps
+	// partition → master; ClientAddrs aligned with Members ("" when a
+	// member has no front door).
+	Version     uint64
+	Members     []int32
+	Masters     []int32
+	ClientAddrs []string
+}
+
+func (m AdminResp) Size() int {
+	n := 48 + len(m.Err) + 12*len(m.Parts) + 8*len(m.Vals) + 4*len(m.Members) + 4*len(m.Masters)
+	for _, k := range m.Keys {
+		n += len(k) + 8
+	}
+	for _, a := range m.ClientAddrs {
+		n += len(a) + 4
+	}
+	return n
+}
+
+// msgTopology installs a new topology version on a node (coordinator →
+// nodes, between fences). It is also sent to a node that just drained
+// OUT of the member set, whose install signals Engine.Drained so the
+// process can exit cleanly.
+type msgTopology struct {
+	Version uint64
+	// Master is the designated single-master under the new layout, so
+	// client-session forwarding switches immediately instead of waiting
+	// for the next phase command.
+	Master    int32
+	Members   []int32
+	Masters   []int32
+	Secondary []int32
+}
+
+func (m msgTopology) Size() int {
+	return 24 + 4*len(m.Members) + 4*len(m.Masters) + 4*len(m.Secondary)
+}
+
+// serveAdmin handles an admin envelope on the node router: local ops
+// are answered in place, node-scoped ops for a peer are forwarded
+// verbatim (the peer replies straight to From), and membership ops are
+// relayed to the coordinator with the submitter's reply address intact.
+func (n *node) serveAdmin(req AdminReq) {
+	if req.V > AdminProtoVersion {
+		n.replyAdmin(req, AdminResp{Err: "admin protocol version unsupported"})
+		return
+	}
+	cfg := n.e.cfg
+	switch req.Op {
+	case AdminFreeze:
+		n.e.frozen.Store(req.On)
+		if req.Ticket == 0 {
+			return // fanned-out / probe copy: apply locally only
+		}
+		// Front-door origin: one door freezes the cluster. The copies
+		// carry Ticket 0 so they cannot fan out again.
+		for _, m := range n.e.topo.Load().Members() {
+			if m != n.id {
+				n.e.net.Send(n.id, m, transport.Control, AdminReq{V: AdminProtoVersion, Op: AdminFreeze, On: req.On})
+			}
+		}
+		n.replyAdmin(req, AdminResp{OK: true})
+	case AdminChecksums:
+		if fwd, done := n.forwardAdmin(req); done {
+			if !fwd {
+				n.replyAdmin(req, AdminResp{Err: "checksum target out of range"})
+			}
+			return
+		}
+		resp := AdminResp{OK: true}
+		topo := n.e.topo.Load()
+		for p := 0; p < cfg.NumPartitions(); p++ {
+			// Planned holdership, not raw storage residency: an abandoned
+			// migration can leave provisionally materialised partitions
+			// behind, which are not part of this node's replicated state.
+			if !topo.Holds(n.id, p) {
+				continue
+			}
+			resp.Parts = append(resp.Parts, int32(p))
+			resp.Sums = append(resp.Sums, n.db.PartitionChecksum(p))
+		}
+		n.replyAdmin(req, resp)
+	case AdminFaultStats:
+		if fwd, done := n.forwardAdmin(req); done {
+			if !fwd {
+				n.replyAdmin(req, AdminResp{Err: "fault-stats target out of range"})
+			}
+			return
+		}
+		resp := AdminResp{OK: true}
+		if fi, ok := n.e.net.(faultInjector); ok {
+			inj := fi.Injected()
+			keys := make([]string, 0, len(inj))
+			for k := range inj {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				resp.Keys = append(resp.Keys, k)
+				resp.Vals = append(resp.Vals, inj[k])
+			}
+		}
+		n.replyAdmin(req, resp)
+	case AdminTopologyGet:
+		n.replyAdmin(req, n.e.topologyResp())
+	case AdminJoin, AdminDrain, AdminRebalance:
+		// Membership changes belong to the coordinator; keep From/Ticket
+		// so it answers the submitter directly.
+		n.e.net.Send(n.id, cfg.coordID(), transport.Control, req)
+	default:
+		n.replyAdmin(req, AdminResp{Err: "unknown admin op"})
+	}
+}
+
+// forwardAdmin relays a node-scoped request to its target when that is
+// not this node. Returns done=true when the request needs no local
+// serving (forwarded, or dropped as out of range with fwd=false).
+func (n *node) forwardAdmin(req AdminReq) (fwd, done bool) {
+	if req.Node < 0 || req.Node == n.id {
+		return false, false
+	}
+	if req.Node >= n.e.cfg.Nodes {
+		return false, true
+	}
+	n.e.net.Send(n.id, req.Node, transport.Control, req)
+	return true, true
+}
+
+// replyAdmin stamps the correlation header and routes the response to
+// the requester's endpoint.
+func (n *node) replyAdmin(req AdminReq, resp AdminResp) {
+	resp.V, resp.Op, resp.Ticket = AdminProtoVersion, req.Op, req.Ticket
+	if resp.Node == 0 {
+		resp.Node = n.id
+	}
+	// From came off the wire: clamp it to the known endpoint range
+	// (nodes, coordinator, probe) — a corrupt frame must not panic the
+	// router with an out-of-range transport index.
+	to := req.From
+	if to < 0 || to > n.e.cfg.Nodes+1 {
+		to = n.e.cfg.coordID()
+	}
+	n.e.net.Send(n.id, to, transport.Control, resp)
+}
+
+// topologyResp renders the installed topology as an AdminTopologyGet
+// response body.
+func (e *Engine) topologyResp() AdminResp {
+	topo := e.topo.Load()
+	resp := AdminResp{OK: true, Version: topo.Version}
+	resp.Masters = append([]int32(nil), topo.Masters...)
+	for _, m := range topo.Members() {
+		resp.Members = append(resp.Members, int32(m))
+		addr := ""
+		if m < len(e.cfg.ClientAddrs) {
+			addr = e.cfg.ClientAddrs[m]
+		}
+		resp.ClientAddrs = append(resp.ClientAddrs, addr)
+	}
+	return resp
+}
+
+// installTopology commits a new topology version on this node: storage
+// residency, live mastership, replication targets and client routing
+// all rebuild from it. Runs on the router between fences (the
+// coordinator broadcasts it only at a committed, quiesced boundary). A
+// node that is no longer a member drops every partition and signals
+// Engine.Drained.
+func (n *node) installTopology(m msgTopology) {
+	t := topologyFromMsg(m, n.e.cfg)
+	n.e.topo.Store(t)
+	copy(n.masters, m.Masters)
+	n.master = int(m.Master)
+	n.curMaster.Store(m.Master)
+	for p := 0; p < t.Partitions; p++ {
+		n.db.SetHolds(p, t.Holds(n.id, p))
+	}
+	n.rebuildReplTargets()
+	if !t.IsMember(n.id) {
+		n.e.noteDrained(n.id)
+	}
+}

@@ -75,6 +75,19 @@ type Config struct {
 	// of a multi-process cluster must set it.
 	LocalCoordinator bool
 
+	// Members lists the node ids that are live cluster members at boot
+	// (nil = every id in [0,Nodes)). Nodes is the provisioned capacity:
+	// every id gets a transport endpoint, but only members hold data,
+	// master partitions, and run phases. Dark slots join later through
+	// the admin API (AdminJoin) and catch up at an epoch fence.
+	Members []int
+
+	// ClientAddrs lists every slot's client front-door address
+	// (host:port), indexed by node id, for AdminTopologyGet responses —
+	// how clients discover the doors of nodes added after they dialed.
+	// Empty entries mean "no front door on that slot".
+	ClientAddrs []string
+
 	// Iteration is the phase-switch iteration time e (τp+τs); the paper
 	// defaults to 10ms.
 	Iteration time.Duration

@@ -52,6 +52,11 @@ type coordinator struct {
 	// once and was reverted for retry (see the ack-gather failure path).
 	ackRetried bool
 
+	// pendingAdmin stashes membership envelopes that arrived mid-gather:
+	// the inbox gathers discard non-matching messages, so AdminReqs are
+	// parked here and processed at the next committed fence.
+	pendingAdmin []AdminReq
+
 	// Per-iteration accumulators.
 	iterCommitP, iterCommitS int64
 	iterGenSingle, iterGenX  int64
@@ -71,19 +76,17 @@ type coordinator struct {
 }
 
 func newCoordinator(e *Engine) *coordinator {
+	topo := e.topo.Load()
 	c := &coordinator{
 		e:       e,
 		alive:   make([]bool, e.cfg.Nodes),
-		masters: make([]int32, e.cfg.NumPartitions()),
+		masters: append([]int32(nil), topo.Masters...),
 		epoch:   2, // epoch 1 is the initial load
 		phase:   Partitioned,
-		master:  0,
+		master:  firstFullMember(topo),
 	}
 	for i := range c.alive {
-		c.alive[i] = true
-	}
-	for p := range c.masters {
-		c.masters[p] = int32(e.cfg.MasterOf(p))
+		c.alive[i] = topo.IsMember(i)
 	}
 	c.lastTauP = e.cfg.Iteration / 2
 	c.lastTauS = e.cfg.Iteration / 2
@@ -99,9 +102,12 @@ func newCoordinator(e *Engine) *coordinator {
 func (c *coordinator) id() int { return c.e.cfg.coordID() }
 
 func (c *coordinator) failedList() []int {
+	// Failed = a member that stopped answering. Dark slots (capacity not
+	// yet joined) and drained slots are not failures.
+	topo := c.e.topo.Load()
 	var f []int
 	for i, a := range c.alive {
-		if !a {
+		if topo.IsMember(i) && !a {
 			f = append(f, i)
 		}
 	}
@@ -276,6 +282,7 @@ func (c *coordinator) runPhase(tau time.Duration) {
 	c.setBacklog(queued)
 	c.accountPhase(done, tau)
 	c.handleRejoins(done)
+	c.processAdmin(done)
 	c.epoch++
 	c.advancePhase()
 }
@@ -291,7 +298,9 @@ func (c *coordinator) aliveCount() int {
 }
 
 // gather pumps the coordinator inbox until pred is satisfied or the
-// timeout expires.
+// timeout expires. Membership envelopes that arrive mid-gather are
+// parked for the next committed fence; everything else non-matching is
+// discarded.
 func (c *coordinator) gather(timeout time.Duration, take func(any) bool) bool {
 	r := c.e.cfg.RT
 	in := c.e.net.Inbox(c.id())
@@ -307,6 +316,10 @@ func (c *coordinator) gather(timeout time.Duration, take func(any) bool) bool {
 		m, ok := in.RecvTimeout(d)
 		if !ok {
 			return take(nil)
+		}
+		if req, isAdmin := m.(AdminReq); isAdmin {
+			c.pendingAdmin = append(c.pendingAdmin, req)
+			continue
 		}
 		if take(m) {
 			return true
@@ -506,18 +519,25 @@ func (c *coordinator) onFailure(missing []int) {
 	c.phase = Partitioned
 }
 
-// aliveHolder prefers the partition's secondary, then any full replica.
+// aliveHolder prefers the partition's secondary, then any full replica,
+// under the installed topology.
 func (c *coordinator) aliveHolder(p int) int {
-	if s := c.e.cfg.SecondaryOf(p); s >= 0 && c.alive[s] {
+	return c.aliveHolderIn(c.e.topo.Load(), p)
+}
+
+// aliveHolderIn is aliveHolder against an explicit layout: migrations
+// pick donors from the OLD topology while the new one is being
+// installed.
+func (c *coordinator) aliveHolderIn(t *Topology, p int) int {
+	if s := t.SecondaryOf(p); s >= 0 && c.alive[s] {
 		return s
 	}
-	for i := 0; i < c.e.cfg.FullReplicas; i++ {
-		if c.alive[i] {
+	for i := 0; i < t.Full; i++ {
+		if t.Member[i] && c.alive[i] {
 			return i
 		}
 	}
-	m := c.e.cfg.MasterOf(p)
-	if c.alive[m] {
+	if m := t.MasterOf(p); c.alive[m] {
 		return m
 	}
 	return -1
@@ -531,8 +551,11 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 	if len(reqs) == 0 {
 		return
 	}
+	topo := c.e.topo.Load()
 	for _, id := range reqs {
-		if id < 0 || id >= c.e.cfg.Nodes || c.alive[id] {
+		// Only failed MEMBERS rejoin here; dark or drained slots enter
+		// through AdminJoin instead.
+		if id < 0 || id >= c.e.cfg.Nodes || c.alive[id] || !topo.IsMember(id) {
 			continue
 		}
 		c.e.net.SetDown(id, false)
@@ -548,13 +571,13 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 			Failed:     c.failedList(),
 			NewMasters: append([]int32(nil), c.masters...),
 		})
-		mask := c.e.cfg.HoldsMask(id)
+		mask := topo.HoldsMask(id)
 		var parts, from []int32
 		for p, holds := range mask {
 			if !holds {
 				continue
 			}
-			h := c.aliveHolder(p)
+			h := c.aliveHolderIn(topo, p)
 			if h == -1 || h == id {
 				continue
 			}
@@ -595,18 +618,248 @@ func (c *coordinator) handleRejoins(done map[int]msgPhaseDone) {
 		c.alive[id] = true
 		c.graceBoost = time.Second // lenient first phase for the rejoiner
 	}
-	// Hand partitions back to their configured masters where possible.
+	// Hand partitions back to their planned masters where possible.
 	for p := range c.masters {
-		if m := c.e.cfg.MasterOf(p); c.alive[m] {
+		if m := topo.MasterOf(p); c.alive[m] {
 			c.masters[p] = int32(m)
 		}
 	}
-	c.master = 0
-	for i := 0; i < c.e.cfg.FullReplicas; i++ {
+	c.master = c.firstAliveFull(topo)
+	c.broadcast(msgUpdateMasters{Masters: append([]int32(nil), c.masters...)})
+}
+
+// firstAliveFull returns the lowest alive full member, or the current
+// designated master if none (the caller halts on that path anyway).
+func (c *coordinator) firstAliveFull(t *Topology) int {
+	for i := 0; i < t.Full; i++ {
 		if c.alive[i] {
-			c.master = i
-			break
+			return i
 		}
 	}
-	c.broadcast(msgUpdateMasters{Masters: append([]int32(nil), c.masters...)})
+	return c.master
+}
+
+// ---- elastic membership (admin envelope) ----
+
+// processAdmin runs the queued membership changes at a committed,
+// quiesced fence: replication has fully drained, so partition state can
+// move between members with no counter deltas in flight. One change is
+// processed at a time; each installs a new topology version before the
+// next starts.
+func (c *coordinator) processAdmin(done map[int]msgPhaseDone) {
+	reqs := append(c.e.takeAdminReqs(), c.pendingAdmin...)
+	c.pendingAdmin = nil
+	for _, req := range reqs {
+		c.processOneAdmin(req, done)
+	}
+}
+
+func (c *coordinator) processOneAdmin(req AdminReq, done map[int]msgPhaseDone) {
+	if req.V > AdminProtoVersion {
+		c.replyAdmin(req, AdminResp{Err: "admin protocol version unsupported"})
+		return
+	}
+	if c.e.halted.Load() {
+		c.replyAdmin(req, AdminResp{Err: "cluster halted"})
+		return
+	}
+	if len(c.failedList()) > 0 {
+		// Membership changes and failure recovery do not compose: a
+		// failed member cannot ack the new version or donate state.
+		// Refuse; the submitter retries after the cluster heals.
+		c.replyAdmin(req, AdminResp{Err: req.Op.String() + ": cluster has failed members; retry after recovery"})
+		return
+	}
+	topo := c.e.topo.Load()
+	switch req.Op {
+	case AdminJoin:
+		c.adminJoin(req, topo, done)
+	case AdminDrain:
+		c.adminDrain(req, topo)
+	case AdminRebalance:
+		next := topo.Rebalanced()
+		if _, err := c.migrate(topo, next, nil); err != nil {
+			c.replyAdmin(req, AdminResp{Err: "rebalance: " + err.Error()})
+			return
+		}
+		c.install(topo, next)
+		c.replyAdmin(req, c.e.topologyResp())
+	default:
+		c.replyAdmin(req, AdminResp{Err: "op not served by the coordinator"})
+	}
+}
+
+// adminJoin admits a dark (or previously drained) slot: open its links,
+// discard any in-flight state a previous membership left behind, stream
+// it (and every other gaining member) the partitions the new layout
+// assigns, align replication counters, then install the new version.
+func (c *coordinator) adminJoin(req AdminReq, topo *Topology, done map[int]msgPhaseDone) {
+	id := req.Node
+	if id < 0 || id >= c.e.cfg.Nodes {
+		c.replyAdmin(req, AdminResp{Err: "join: slot out of range"})
+		return
+	}
+	if topo.IsMember(id) {
+		c.replyAdmin(req, c.e.topologyResp()) // idempotent
+		return
+	}
+	next := topo.Joined(id)
+	c.e.net.SetDown(id, false)
+	// Wildcard revert (epoch 0): a slot that was a member before may
+	// carry uncommitted writes whose TIDs the Thomas write rule would
+	// protect against the snapshot catch-up forever.
+	c.e.net.Send(c.id(), id, transport.Control, msgRevert{
+		Epoch:      0,
+		Failed:     c.failedList(),
+		NewMasters: append([]int32(nil), c.masters...),
+	})
+	sent, err := c.migrate(topo, next, []int{id})
+	if err != nil {
+		c.e.net.SetDown(id, true)
+		c.replyAdmin(req, AdminResp{Err: "join: " + err.Error()})
+		return
+	}
+	// Counter alignment, the same dance as a crash rejoin: the joiner's
+	// applied counters jump to the cluster's cumulative sent counts (its
+	// snapshot subsumes them), and every survivor adopts the joiner's
+	// own sent counts as its applied-from-joiner baseline.
+	applied := make([]int64, c.e.cfg.Nodes)
+	for src, pd := range done {
+		applied[src] = pd.Sent[id]
+	}
+	c.e.net.Send(c.id(), id, transport.Control, msgResetCounters{Applied: applied})
+	joinerSent := sent[id]
+	for s, a := range c.alive {
+		if !a || s == id || s >= len(joinerSent) {
+			continue
+		}
+		c.e.net.Send(c.id(), s, transport.Control, msgAlignCounters{Src: id, Applied: joinerSent[s]})
+	}
+	c.install(topo, next)
+	c.replyAdmin(req, c.e.topologyResp())
+}
+
+// adminDrain migrates a member's partitions to the remaining members
+// and removes it: the drained node's own msgTopology install signals
+// Engine.Drained so its process can exit cleanly.
+func (c *coordinator) adminDrain(req AdminReq, topo *Topology) {
+	id := req.Node
+	if !topo.IsMember(id) {
+		c.replyAdmin(req, AdminResp{Err: "drain: not a member"})
+		return
+	}
+	next := topo.Drained(id)
+	if err := next.Validate(); err != nil {
+		c.replyAdmin(req, AdminResp{Err: "drain: " + err.Error()})
+		return
+	}
+	if _, err := c.migrate(topo, next, nil); err != nil {
+		c.replyAdmin(req, AdminResp{Err: "drain: " + err.Error()})
+		return
+	}
+	c.install(topo, next)
+	c.replyAdmin(req, c.e.topologyResp())
+}
+
+// migrate moves partition state so every member of next holds what the
+// new layout assigns it: each gaining member streams its gained
+// partitions from a holder under the OLD layout (the standard snapshot
+// catch-up path, Thomas write rule plus removal sweep). force lists
+// ids that must report recovery-done even when they gain nothing (a
+// joiner's Sent vector is needed for counter alignment). On timeout the
+// topology is NOT installed; provisionally materialised partitions on
+// gaining members are invisible (checksum serving and replication
+// targets follow the installed topology) and a later retry converges
+// them idempotently.
+func (c *coordinator) migrate(old, next *Topology, force []int) (map[int][]int64, error) {
+	type xfer struct{ parts, from []int32 }
+	xfers := map[int]*xfer{}
+	need := func(i int) *xfer {
+		x := xfers[i]
+		if x == nil {
+			x = &xfer{}
+			xfers[i] = x
+		}
+		return x
+	}
+	for i := 0; i < next.Capacity; i++ {
+		if !next.IsMember(i) {
+			continue
+		}
+		for p := 0; p < next.Partitions; p++ {
+			if !next.Holds(i, p) || old.Holds(i, p) {
+				continue
+			}
+			h := c.aliveHolderIn(old, p)
+			if h == -1 || h == i {
+				continue
+			}
+			x := need(i)
+			x.parts = append(x.parts, int32(p))
+			x.from = append(x.from, int32(h))
+		}
+	}
+	for _, id := range force {
+		need(id)
+	}
+	for id, x := range xfers {
+		c.e.net.Send(c.id(), id, transport.Control, msgStartRecovery{Parts: x.parts, From: x.from})
+	}
+	sent := map[int][]int64{}
+	ok := c.gather(c.recoveryGrace, func(m any) bool {
+		if rd, isRD := m.(msgRecoveryDone); isRD {
+			if _, want := xfers[rd.Node]; want {
+				sent[rd.Node] = rd.Sent
+			}
+		}
+		return len(sent) == len(xfers)
+	})
+	if !ok {
+		return sent, fmt.Errorf("partition migration incomplete: %d/%d members caught up", len(sent), len(xfers))
+	}
+	return sent, nil
+}
+
+// install commits a new topology version: the coordinator's own state
+// rebuilds from it and every old-or-new member installs the broadcast
+// copy (residency, mastership, replication targets, client routing).
+func (c *coordinator) install(old, next *Topology) {
+	c.e.topo.Store(next)
+	c.masters = append([]int32(nil), next.Masters...)
+	for i := range c.alive {
+		c.alive[i] = next.IsMember(i)
+	}
+	c.master = firstFullMember(next)
+	m := msgTopology{
+		Version:   next.Version,
+		Master:    int32(c.master),
+		Masters:   append([]int32(nil), next.Masters...),
+		Secondary: append([]int32(nil), next.Secondary...),
+	}
+	for _, id := range next.Members() {
+		m.Members = append(m.Members, int32(id))
+	}
+	// A just-drained node installs too: that is what flips it out of the
+	// member set locally and signals Engine.Drained.
+	for i := 0; i < next.Capacity; i++ {
+		if old.IsMember(i) || next.IsMember(i) {
+			c.e.net.Send(c.id(), i, transport.Control, m)
+		}
+	}
+	c.graceBoost = time.Second // lenient first phase under the new layout
+}
+
+// replyAdmin answers a membership envelope's submitter. Engine-queued
+// requests (RequestJoin and friends: no ticket, no origin) have nobody
+// waiting.
+func (c *coordinator) replyAdmin(req AdminReq, resp AdminResp) {
+	if req.Ticket == 0 && req.From == 0 {
+		return
+	}
+	resp.V, resp.Op, resp.Ticket, resp.Node = AdminProtoVersion, req.Op, req.Ticket, req.Node
+	to := req.From
+	if to < 0 || to > c.e.cfg.Nodes+1 {
+		return // corrupt origin: nowhere safe to answer
+	}
+	c.e.net.Send(c.id(), to, transport.Control, resp)
 }

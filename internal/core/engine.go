@@ -38,10 +38,22 @@ type Engine struct {
 
 	logFiles   []string
 	mu         sync.Mutex
-	recoverReq []int // nodes waiting to rejoin at the next fence
+	recoverReq []int      // nodes waiting to rejoin at the next fence
+	adminQ     []AdminReq // engine-queued admin ops awaiting the next fence
 	halted     atomic.Bool
 	haltReason atomic.Value // string
 	frozen     atomic.Bool
+
+	// topo is the installed cluster topology. The coordinator commits
+	// new versions between fences and every local node installs the
+	// broadcast copy, so all stores within one process are equivalent;
+	// readers (replication targets, checksum serving, consistency
+	// checks) take whatever the latest install was.
+	topo atomic.Pointer[Topology]
+
+	// drainedCh reports node ids this process hosts that left the
+	// member set (AdminDrain): star-node -serve exits cleanly on it.
+	drainedCh chan int
 
 	// scripted suppresses the time-driven coordinator (StartScripted
 	// drives the phases instead); haltCh delivers the scripted run's
@@ -67,6 +79,8 @@ func build(cfg Config) *Engine {
 	}
 	e := &Engine{cfg: cfg, latency: &metrics.Hist{}}
 	e.haltCh = cfg.RT.NewChan(1)
+	e.drainedCh = make(chan int, cfg.Nodes)
+	e.topo.Store(cfg.Topology())
 	installSpinWait(cfg.RT)
 	if cfg.Transport != nil {
 		e.net = cfg.Transport
@@ -79,10 +93,8 @@ func build(cfg Config) *Engine {
 	for _, id := range cfg.LocalNodes {
 		local[id] = true
 	}
-	masters := make([]int32, cfg.NumPartitions())
-	for p := range masters {
-		masters[p] = int32(cfg.MasterOf(p))
-	}
+	topo := e.topo.Load()
+	masters := topo.Masters
 	for i := 0; i < cfg.Nodes; i++ {
 		if !hostsAll && !local[i] {
 			// Remote node: hosted by another process, reachable only
@@ -90,10 +102,11 @@ func build(cfg Config) *Engine {
 			e.nodes = append(e.nodes, nil)
 			continue
 		}
-		var holds []bool
-		if i >= cfg.FullReplicas {
-			holds = cfg.HoldsMask(i)
-		}
+		// Residency comes from the boot topology: full members hold
+		// everything, partial members their master/secondary stripes, and
+		// dark slots (capacity provisioned for a later join) nothing —
+		// the workload loader skips partitions a node does not hold.
+		holds := topo.HoldsMask(i)
 		db := cfg.Workload.BuildDB(cfg.NumPartitions(), holds)
 		cfg.Workload.Load(db)
 		db.CommitEpoch()
@@ -107,8 +120,8 @@ func build(cfg Config) *Engine {
 		}
 		n.masterQ = cfg.RT.NewChan(1 << 16)
 		// Until the first phase command arrives, the designated master is
-		// the first full replica (the coordinator's own default).
-		n.curMaster.Store(0)
+		// the first full member (the coordinator's own default).
+		n.curMaster.Store(int32(firstFullMember(topo)))
 		n.rebuildReplTargets()
 		n.workers = make([]*worker, cfg.WorkersPerNode)
 		for wi := range n.workers {
@@ -436,14 +449,60 @@ func (e *Engine) Freeze() { e.frozen.Store(true) }
 // Unfreeze resumes workload generation after Freeze.
 func (e *Engine) Unfreeze() { e.frozen.Store(false) }
 
+// Topology returns the currently installed cluster topology.
+func (e *Engine) Topology() *Topology { return e.topo.Load() }
+
+// Drained delivers node ids hosted by this process that left the
+// member set via AdminDrain; star-node -serve exits cleanly on it.
+func (e *Engine) Drained() <-chan int { return e.drainedCh }
+
+// noteDrained reports a locally hosted node's exit from the member set.
+// Non-blocking: the channel is sized for every hostable node, and a
+// repeat drain of the same id (rejoin then drain again) may be dropped
+// if nobody consumed the first signal — the consumer exits on one.
+func (e *Engine) noteDrained(id int) {
+	select {
+	case e.drainedCh <- id:
+	default:
+	}
+}
+
+// RequestJoin queues an engine-internal membership change: admit node
+// id at the next fence. Used by in-process tests and harnesses; remote
+// processes submit AdminJoin through a front door or the transport.
+func (e *Engine) RequestJoin(id int) { e.queueAdmin(AdminJoin, id) }
+
+// RequestDrain queues node id's removal from the member set at the
+// next fence (its partitions migrate to the remaining members first).
+func (e *Engine) RequestDrain(id int) { e.queueAdmin(AdminDrain, id) }
+
+// RequestRebalance queues a reinstall of the canonical mastership
+// layout over the current member set at the next fence.
+func (e *Engine) RequestRebalance() { e.queueAdmin(AdminRebalance, -1) }
+
+func (e *Engine) queueAdmin(op AdminOp, node int) {
+	e.mu.Lock()
+	e.adminQ = append(e.adminQ, AdminReq{V: AdminProtoVersion, Op: op, Node: node})
+	e.mu.Unlock()
+}
+
+func (e *Engine) takeAdminReqs() []AdminReq {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.adminQ
+	e.adminQ = nil
+	return r
+}
+
 // CheckReplicaConsistency verifies that every live holder of every
 // partition agrees on its checksum. Meaningful only after Freeze has
 // settled (a couple of iterations). Failed nodes are skipped.
 func (e *Engine) CheckReplicaConsistency() error {
+	topo := e.topo.Load()
 	for p := 0; p < e.cfg.NumPartitions(); p++ {
 		base := uint64(0)
 		baseNode := -1
-		for _, h := range e.cfg.HoldersOf(p) {
+		for _, h := range topo.HoldersOf(p) {
 			if e.nodes[h] == nil || e.net.IsDown(h) {
 				continue
 			}

@@ -48,7 +48,7 @@ func (e *Engine) ServeClients(id int, ln net.Listener, codec *wire.Codec, window
 				c:      c,
 				codec:  codec,
 				window: int32(window),
-				out:    make(chan ClientResp, window),
+				out:    make(chan transport.Message, window),
 				done:   make(chan struct{}),
 			}
 			go cc.readLoop()
@@ -67,7 +67,7 @@ type clientConn struct {
 	// inflight counts forwarded requests awaiting their master response
 	// (incremented by the reader, decremented by waiters).
 	inflight atomic.Int32
-	out      chan ClientResp
+	out      chan transport.Message
 	done     chan struct{}
 	closer   sync.Once
 }
@@ -83,9 +83,9 @@ func (cc *clientConn) close() {
 	})
 }
 
-// send queues a response for the writer, giving up if the connection is
-// being torn down.
-func (cc *clientConn) send(resp ClientResp) {
+// send queues a response frame for the writer, giving up if the
+// connection is being torn down.
+func (cc *clientConn) send(resp transport.Message) {
 	select {
 	case cc.out <- resp:
 	case <-cc.done:
@@ -103,6 +103,22 @@ func (cc *clientConn) readLoop() {
 		_, m, err := wire.DecodeFrameBody(body, cc.codec)
 		if err != nil {
 			return // a malformed client is disconnected, not served
+		}
+		if areq, isAdmin := m.(AdminReq); isAdmin {
+			// Admin envelope over the front door (star-admin): forward it
+			// through the gate under a server ticket, answering with the
+			// client's own correlation id restored.
+			ticket := areq.Ticket
+			_, ch := cc.n.gate.SubmitAdmin(cc.id, areq)
+			go func() {
+				resp, ok := <-ch
+				if !ok {
+					return // connection dropped; ticket abandoned
+				}
+				resp.Ticket = ticket
+				cc.send(resp)
+			}()
+			continue
 		}
 		creq, ok := m.(ClientReq)
 		if !ok {

@@ -193,64 +193,11 @@ func (m *msgSnapshot) Size() int {
 	return n
 }
 
-// msgChecksumReq asks a node for its partition checksums at a quiesced
-// fence boundary. From is the endpoint the response is routed to: the
-// scripted coordinator, or an external Probe endpoint (multi-process
-// failure tests verify snapshot catch-up convergence this way).
-type msgChecksumReq struct {
-	Epoch uint64
-	From  int
-}
-
-func (msgChecksumReq) Size() int { return 24 }
-
-// msgFreeze toggles workload generation on a node (any endpoint →
-// node): phase switching and replication continue, so a frozen cluster
-// settles to a comparable quiesced state. The in-process Engine.Freeze
-// covers only locally hosted nodes; multi-process clusters freeze
-// remote nodes with this message (Probe.Freeze).
-type msgFreeze struct{ On bool }
-
-func (msgFreeze) Size() int { return 9 }
-
-// msgChecksumResp reports the checksums of every partition the node
-// holds, aligned with Parts (node → coordinator).
-type msgChecksumResp struct {
-	Node  int
-	Parts []int32
-	Sums  []uint64
-}
-
-func (m msgChecksumResp) Size() int { return 16 + 12*len(m.Parts) }
-
 // msgHalt tells a node process the scripted run is over and it may exit
 // (coordinator → nodes; multi-process clusters only).
 type msgHalt struct{}
 
 func (msgHalt) Size() int { return 8 }
-
-// msgFaultStatsReq asks a node for its transport's fault-injection
-// counters (Probe → node). A node whose transport is not wrapped by a
-// fault injector answers with empty counters.
-type msgFaultStatsReq struct{ From int }
-
-func (msgFaultStatsReq) Size() int { return 16 }
-
-// msgFaultStatsResp reports a node's injected-fault counters (node →
-// probe), Vals aligned with Keys.
-type msgFaultStatsResp struct {
-	Node int
-	Keys []string
-	Vals []int64
-}
-
-func (m msgFaultStatsResp) Size() int {
-	n := 16 + 8*len(m.Vals)
-	for _, k := range m.Keys {
-		n += len(k) + 8
-	}
-	return n
-}
 
 // ClientStatus is the outcome of a client-submitted request.
 type ClientStatus uint8

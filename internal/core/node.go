@@ -247,12 +247,15 @@ func (n *node) handle(m any) {
 		n.startRecovery(msg)
 	case msgUpdateMasters:
 		copy(n.masters, msg.Masters)
-	case msgChecksumReq:
-		n.serveChecksums(msg)
-	case msgFaultStatsReq:
-		n.serveFaultStats(msg)
-	case msgFreeze:
-		n.e.frozen.Store(msg.On)
+	case msgTopology:
+		n.installTopology(msg)
+	case AdminReq:
+		n.serveAdmin(msg)
+	case AdminResp:
+		// A response routed back to a front-door submission hosted here.
+		if n.gate != nil {
+			n.gate.deliverAdmin(msg)
+		}
 	case msgHalt:
 		n.e.haltCh.TrySend(struct{}{})
 	default:
@@ -267,6 +270,12 @@ func (n *node) startRecovery(m msgStartRecovery) {
 	if len(m.Parts) == 0 {
 		n.e.net.Send(n.id, n.e.cfg.coordID(), transport.Control, msgRecoveryDone{Node: n.id, Sent: n.tracker.SentVector()})
 		return
+	}
+	// Materialise the partitions first: a joining node (or a member
+	// gaining partitions in a planned migration) has never held them, and
+	// applySnapshot skips unmaterialised partitions.
+	for _, p := range m.Parts {
+		n.db.SetHolds(int(p), true)
 	}
 	n.snapPending = make(map[uint64]bool)
 	for ti := 0; ti < n.db.NumTables(); ti++ {
@@ -357,16 +366,16 @@ func (n *node) setFailed(failed []int) {
 	}
 }
 
-// rebuildReplTargets recomputes partition → replica destinations
-// (holders minus self and failed nodes).
+// rebuildReplTargets recomputes partition → replica destinations from
+// the installed topology (holders minus self and failed nodes).
 func (n *node) rebuildReplTargets() {
-	cfg := n.e.cfg
+	topo := n.e.topo.Load()
 	if n.replTargets == nil {
-		n.replTargets = make([][]int, cfg.NumPartitions())
+		n.replTargets = make([][]int, topo.Partitions)
 	}
 	for p := range n.replTargets {
 		dsts := n.replTargets[p][:0]
-		for _, h := range cfg.HoldersOf(p) {
+		for _, h := range topo.HoldersOf(p) {
 			if h != n.id && !n.failed[h] {
 				dsts = append(dsts, h)
 			}

@@ -8,8 +8,10 @@ import (
 )
 
 // Probe is an external observation endpoint on a cluster's transport:
-// it does not participate in the protocol, but can freeze workload
-// generation cluster-wide and collect per-node partition checksums.
+// it does not participate in the protocol, but speaks the unified admin
+// envelope (AdminReq/AdminResp) to freeze workload generation
+// cluster-wide, collect per-node partition checksums and fault
+// counters, read the installed topology, and submit membership changes.
 // Multi-process failure tests use it to verify that a killed, restarted
 // and re-joined star-node process converged to the survivors' state
 // without touching any node's internals.
@@ -20,21 +22,61 @@ import (
 type Probe struct {
 	net   transport.Transport
 	id    int // this probe's endpoint
-	nodes int // cluster size (endpoints [0,nodes) are the nodes)
+	nodes int // cluster capacity (endpoints [0,nodes) are the slots)
 }
 
 // NewProbe wraps an endpoint the caller hosts on net. nodes is the
-// cluster's node count.
+// cluster's slot capacity.
 func NewProbe(net transport.Transport, endpoint, nodes int) *Probe {
 	return &Probe{net: net, id: endpoint, nodes: nodes}
 }
 
-// Freeze toggles workload generation on every node. Phase switching and
+// Freeze toggles workload generation on every slot. The copies carry
+// Ticket 0 (apply locally, no reply, no re-fanout); phase switching and
 // replication continue, so a few iterations after Freeze(true) the
 // replicas settle to a comparable quiesced state.
 func (p *Probe) Freeze(on bool) {
 	for i := 0; i < p.nodes; i++ {
-		p.net.Send(p.id, i, transport.Control, msgFreeze{On: on})
+		p.net.Send(p.id, i, transport.Control, AdminReq{V: AdminProtoVersion, Op: AdminFreeze, From: p.id, On: on})
+	}
+}
+
+// do sends one admin request to node and waits for the matching
+// response (same op, same responder).
+func (p *Probe) do(node int, req AdminReq, timeout time.Duration) (AdminResp, error) {
+	req.V, req.From = AdminProtoVersion, p.id
+	p.net.Send(p.id, node, transport.Control, req)
+	in := p.net.Inbox(p.id)
+	deadline := time.Now().Add(timeout)
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return AdminResp{}, fmt.Errorf("probe: %s request to node %d timed out", req.Op, node)
+		}
+		m, ok := in.RecvTimeout(d)
+		if !ok {
+			continue
+		}
+		resp, isResp := m.(AdminResp)
+		if !isResp || resp.Op != req.Op {
+			continue
+		}
+		// Node-scoped ops are matched on the responder; membership ops
+		// are answered by the coordinator and matched on the subject.
+		switch req.Op {
+		case AdminChecksums, AdminFaultStats:
+			if resp.Node != node {
+				continue
+			}
+		case AdminJoin, AdminDrain:
+			if resp.Node != req.Node {
+				continue
+			}
+		}
+		if !resp.OK && resp.Err != "" {
+			return resp, fmt.Errorf("probe: %s: %s", req.Op, resp.Err)
+		}
+		return resp, nil
 	}
 }
 
@@ -42,46 +84,48 @@ func (p *Probe) Freeze(on bool) {
 // response. The node answers from its router between messages, so on a
 // frozen, settled cluster the result is a stable fence-state snapshot.
 func (p *Probe) Checksums(node int, timeout time.Duration) (NodeChecksums, error) {
-	p.net.Send(p.id, node, transport.Control, msgChecksumReq{From: p.id})
-	in := p.net.Inbox(p.id)
-	deadline := time.Now().Add(timeout)
-	for {
-		d := time.Until(deadline)
-		if d <= 0 {
-			return NodeChecksums{}, fmt.Errorf("probe: checksum request to node %d timed out", node)
-		}
-		m, ok := in.RecvTimeout(d)
-		if !ok {
-			continue
-		}
-		if resp, isCS := m.(msgChecksumResp); isCS && resp.Node == node {
-			return NodeChecksums{Node: resp.Node, Parts: resp.Parts, Sums: resp.Sums}, nil
-		}
+	resp, err := p.do(node, AdminReq{Op: AdminChecksums, Node: node}, timeout)
+	if err != nil {
+		return NodeChecksums{}, err
 	}
+	return NodeChecksums{Node: resp.Node, Parts: resp.Parts, Sums: resp.Sums}, nil
 }
 
 // FaultStats requests node's per-fault-type injection counters — what
 // that process's faultnet decorator (star-node -faults) actually
 // injected. Nodes without an injecting transport answer an empty map.
 func (p *Probe) FaultStats(node int, timeout time.Duration) (map[string]int64, error) {
-	p.net.Send(p.id, node, transport.Control, msgFaultStatsReq{From: p.id})
-	in := p.net.Inbox(p.id)
-	deadline := time.Now().Add(timeout)
-	for {
-		d := time.Until(deadline)
-		if d <= 0 {
-			return nil, fmt.Errorf("probe: fault-stats request to node %d timed out", node)
-		}
-		m, ok := in.RecvTimeout(d)
-		if !ok {
-			continue
-		}
-		if resp, isFS := m.(msgFaultStatsResp); isFS && resp.Node == node {
-			out := make(map[string]int64, len(resp.Keys))
-			for i, k := range resp.Keys {
-				out[k] = resp.Vals[i]
-			}
-			return out, nil
-		}
+	resp, err := p.do(node, AdminReq{Op: AdminFaultStats, Node: node}, timeout)
+	if err != nil {
+		return nil, err
 	}
+	out := make(map[string]int64, len(resp.Keys))
+	for i, k := range resp.Keys {
+		out[k] = resp.Vals[i]
+	}
+	return out, nil
+}
+
+// Topology asks node for the installed topology: version, members,
+// partition->master map, and the members' client front-door addresses.
+func (p *Probe) Topology(node int, timeout time.Duration) (AdminResp, error) {
+	return p.do(node, AdminReq{Op: AdminTopologyGet, Node: node}, timeout)
+}
+
+// Join asks the coordinator (via any node) to admit slot `joiner` at
+// the next epoch fence and waits for the installed-topology response.
+func (p *Probe) Join(via, joiner int, timeout time.Duration) (AdminResp, error) {
+	return p.do(via, AdminReq{Op: AdminJoin, Node: joiner}, timeout)
+}
+
+// Drain asks the coordinator (via any node) to migrate slot `leaver`'s
+// partitions away and remove it from the member set.
+func (p *Probe) Drain(via, leaver int, timeout time.Duration) (AdminResp, error) {
+	return p.do(via, AdminReq{Op: AdminDrain, Node: leaver}, timeout)
+}
+
+// Rebalance asks the coordinator (via any node) to reinstall the
+// canonical mastership layout over the current member set.
+func (p *Probe) Rebalance(via int, timeout time.Duration) (AdminResp, error) {
+	return p.do(via, AdminReq{Op: AdminRebalance, Node: -1}, timeout)
 }

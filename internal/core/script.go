@@ -190,10 +190,11 @@ func (e *Engine) scriptLoop(sc Script) ScriptResult {
 	}
 
 	// Post-fence checksums: the replicas are quiesced and must agree.
-	e.broadcastScript(msgChecksumReq{Epoch: 3, From: coord})
-	sums := map[int]msgChecksumResp{}
+	// Served through the unified admin envelope (Node -1 = yourself).
+	e.broadcastScript(AdminReq{V: AdminProtoVersion, Op: AdminChecksums, From: coord, Node: -1})
+	sums := map[int]AdminResp{}
 	ok = scriptGather(r, in, scriptTimeout, func(m any) bool {
-		if cs, isCS := m.(msgChecksumResp); isCS {
+		if cs, isCS := m.(AdminResp); isCS && cs.Op == AdminChecksums {
 			sums[cs.Node] = cs
 		}
 		return len(sums) == nodes
@@ -218,60 +219,11 @@ func (e *Engine) broadcastScript(m transport.Message) {
 	}
 }
 
-// ---- node side ----
-
-// serveChecksums answers a checksum request from the node's quiesced
-// database (runs on the router between phases), replying to the
-// requesting endpoint — the scripted coordinator, or an external Probe.
-func (n *node) serveChecksums(m msgChecksumReq) {
-	resp := msgChecksumResp{Node: n.id}
-	for p := 0; p < n.e.cfg.NumPartitions(); p++ {
-		if !n.db.Holds(p) {
-			continue
-		}
-		resp.Parts = append(resp.Parts, int32(p))
-		resp.Sums = append(resp.Sums, n.db.PartitionChecksum(p))
-	}
-	// From came off the wire: clamp it to the known endpoint range
-	// (nodes, coordinator, probe) — a corrupt frame must not panic the
-	// router with an out-of-range transport index. 0 is the legacy
-	// no-reply-to encoding: the coordinator.
-	to := m.From
-	if to <= 0 || to > n.e.cfg.Nodes+1 {
-		to = n.e.cfg.coordID()
-	}
-	n.e.net.Send(n.id, to, transport.Control, resp)
-}
-
 // faultInjector is implemented by fault-injecting transport decorators
-// (internal/faultnet.Network): serveFaultStats surfaces its counters
-// over the probe protocol without core importing the injector package.
+// (internal/faultnet.Network): serveAdmin's AdminFaultStats surfaces
+// its counters over the admin protocol without core importing the
+// injector package.
 type faultInjector interface{ Injected() map[string]int64 }
-
-// serveFaultStats answers a fault-counter request: the per-fault-type
-// injection counters of this process's transport decorator, or empty
-// when the transport injects nothing. Multi-process chaos tests use it
-// to verify a -faults plan actually fired on a remote star-node.
-func (n *node) serveFaultStats(m msgFaultStatsReq) {
-	resp := msgFaultStatsResp{Node: n.id}
-	if fi, ok := n.e.net.(faultInjector); ok {
-		inj := fi.Injected()
-		keys := make([]string, 0, len(inj))
-		for k := range inj {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			resp.Keys = append(resp.Keys, k)
-			resp.Vals = append(resp.Vals, inj[k])
-		}
-	}
-	to := m.From
-	if to <= 0 || to > n.e.cfg.Nodes+1 {
-		to = n.e.cfg.coordID()
-	}
-	n.e.net.Send(n.id, to, transport.Control, resp)
-}
 
 // ---- worker side ----
 

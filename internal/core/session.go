@@ -38,6 +38,10 @@ type ClientGate struct {
 	mu      sync.Mutex
 	next    uint64
 	pending map[uint64]pendingTicket
+	// pendingAdmin tracks forwarded admin envelopes (star-admin over the
+	// front door) by server ticket — a namespace separate from the
+	// transaction tickets above, since the response types differ.
+	pendingAdmin map[uint64]pendingAdminTicket
 	// sctx is the gate-owned snapshot-read context (guarded by mu; the
 	// fence snapshot itself tolerates concurrent appliers, same as the
 	// workers' snapshot path).
@@ -55,8 +59,15 @@ type pendingTicket struct {
 	ch   chan ClientResp
 }
 
+// pendingAdminTicket is one forwarded admin envelope awaiting its
+// response.
+type pendingAdminTicket struct {
+	conn uint64
+	ch   chan AdminResp
+}
+
 func newClientGate(n *node) *ClientGate {
-	g := &ClientGate{n: n, pending: map[uint64]pendingTicket{}}
+	g := &ClientGate{n: n, pending: map[uint64]pendingTicket{}, pendingAdmin: map[uint64]pendingAdminTicket{}}
 	g.sctx.n = n
 	return g
 }
@@ -122,6 +133,41 @@ func (g *ClientGate) Submit(conn, token uint64, req *txn.Request) (uint64, <-cha
 	return ticket, ch
 }
 
+// SubmitAdmin routes an admin envelope from a front-door connection
+// into the cluster under a fresh ticket: the request is self-sent to
+// this node's own router (actor order with everything else it serves),
+// which answers local ops in place and forwards the rest — the
+// response finds its way back here by ticket. The channel is closed
+// without a value if the connection is dropped first.
+func (g *ClientGate) SubmitAdmin(conn uint64, req AdminReq) (uint64, <-chan AdminResp) {
+	g.mu.Lock()
+	g.next++
+	ticket := g.next
+	ch := make(chan AdminResp, 1)
+	g.pendingAdmin[ticket] = pendingAdminTicket{conn: conn, ch: ch}
+	g.mu.Unlock()
+
+	req.V = AdminProtoVersion
+	req.From = g.n.id
+	req.Ticket = ticket
+	g.n.e.net.Send(g.n.id, g.n.id, transport.Control, req)
+	return ticket, ch
+}
+
+// deliverAdmin rendezvouses an admin response with its waiting
+// front-door handler. Called from the node router.
+func (g *ClientGate) deliverAdmin(resp AdminResp) {
+	g.mu.Lock()
+	pt, ok := g.pendingAdmin[resp.Ticket]
+	if ok {
+		delete(g.pendingAdmin, resp.Ticket)
+	}
+	g.mu.Unlock()
+	if ok {
+		pt.ch <- resp
+	}
+}
+
 // deliver rendezvouses a response with its waiting handler. Responses
 // for unknown tickets (connection dropped before the master answered)
 // are discarded. Called from the node router.
@@ -147,6 +193,12 @@ func (g *ClientGate) dropConn(conn uint64) {
 	for t, pt := range g.pending {
 		if pt.conn == conn {
 			delete(g.pending, t)
+			close(pt.ch)
+		}
+	}
+	for t, pt := range g.pendingAdmin {
+		if pt.conn == conn {
+			delete(g.pendingAdmin, t)
 			close(pt.ch)
 		}
 	}

@@ -1,0 +1,276 @@
+package core
+
+// Topology is the first-class cluster layout: which endpoint slots are
+// live members, which of those are full replicas, and the planned
+// partition->master / partition->secondary assignment. It replaces the
+// scattered Config.Nodes / FullReplicas / LocalNodes reads inside the
+// engine so membership can change at an epoch fence without rebuilding
+// the world.
+//
+// Endpoint slots are fixed at construction (Capacity = Config.Nodes):
+// the transport pre-provisions one endpoint per slot plus coordinator
+// and probe, and membership toggles slots live or dark. Slot ids below
+// Full are full replicas when live; the rest are partial replicas.
+//
+// The coordinator owns the committed Topology and installs new versions
+// only between fences (msgTopology); nodes rebuild replication targets,
+// storage residency, and client routing from the installed value.
+type Topology struct {
+	// Version increments on every installed change (join/drain/
+	// rebalance). Version 1 is the boot layout derived from Config.
+	Version uint64
+	// Capacity is the number of provisioned endpoint slots (Config.Nodes).
+	Capacity int
+	// Full bounds the full-replica slots: ids [0,Full) hold every
+	// partition when they are members.
+	Full int
+	// Partitions is the cluster partition count (fixed for life).
+	Partitions int
+	// Member[i] reports whether slot i is a live cluster member.
+	Member []bool
+	// Masters[p] is the planned master of partition p (always a member
+	// that holds p). Failure re-mastering overlays this at runtime but
+	// never changes the planned assignment.
+	Masters []int32
+	// Secondary[p] is the partial replica holding p in addition to the
+	// full replicas, or -1 when the master itself is partial (then the
+	// master is the extra copy) or no partial members exist.
+	Secondary []int32
+}
+
+// workersPerSlot returns the canonical partitions-per-slot stripe width.
+func (t *Topology) workersPerSlot() int { return t.Partitions / t.Capacity }
+
+// IsMember reports whether slot i is a live member.
+func (t *Topology) IsMember(i int) bool { return i >= 0 && i < t.Capacity && t.Member[i] }
+
+// IsFull reports whether slot i is a live full replica.
+func (t *Topology) IsFull(i int) bool { return i < t.Full && t.IsMember(i) }
+
+// Members returns the live slot ids in ascending order.
+func (t *Topology) Members() []int {
+	out := make([]int, 0, t.Capacity)
+	for i, m := range t.Member {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumMembers returns the live member count.
+func (t *Topology) NumMembers() int {
+	n := 0
+	for _, m := range t.Member {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// MasterOf returns the planned master of partition p.
+func (t *Topology) MasterOf(p int) int { return int(t.Masters[p]) }
+
+// SecondaryOf returns the partial replica holding p besides the full
+// replicas, or -1 (see Secondary).
+func (t *Topology) SecondaryOf(p int) int { return int(t.Secondary[p]) }
+
+// Holds reports whether member i holds partition p under this layout.
+func (t *Topology) Holds(i, p int) bool {
+	if !t.IsMember(i) {
+		return false
+	}
+	if i < t.Full {
+		return true
+	}
+	return int(t.Masters[p]) == i || int(t.Secondary[p]) == i
+}
+
+// HoldersOf returns every member holding partition p: the full members,
+// then the master if partial, then the secondary. Never empty on a
+// valid topology (at least one full member is required).
+func (t *Topology) HoldersOf(p int) []int {
+	out := make([]int, 0, t.Full+2)
+	for i := 0; i < t.Full; i++ {
+		if t.Member[i] {
+			out = append(out, i)
+		}
+	}
+	if m := int(t.Masters[p]); m >= t.Full {
+		out = append(out, m)
+	}
+	if s := int(t.Secondary[p]); s >= 0 && s != int(t.Masters[p]) {
+		out = append(out, s)
+	}
+	return out
+}
+
+// HoldsMask returns the residency bitmap for slot i (all false for a
+// non-member, all true for a full member).
+func (t *Topology) HoldsMask(i int) []bool {
+	mask := make([]bool, t.Partitions)
+	for p := range mask {
+		mask[p] = t.Holds(i, p)
+	}
+	return mask
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	c := *t
+	c.Member = append([]bool(nil), t.Member...)
+	c.Masters = append([]int32(nil), t.Masters...)
+	c.Secondary = append([]int32(nil), t.Secondary...)
+	return &c
+}
+
+// relayout recomputes the canonical master/secondary assignment for the
+// current member set. Deterministic: every process computing the same
+// member set derives the same layout. Each partition's preferred owner
+// is its striped slot (p / workersPerSlot); orphaned stripes (owner not
+// a member) spread round-robin over the members. Partitions mastered by
+// a full replica get one partial secondary so the replication factor
+// stays Full+1 everywhere partials exist.
+func (t *Topology) relayout() {
+	w := t.workersPerSlot()
+	members := t.Members()
+	partials := make([]int, 0, len(members))
+	for _, m := range members {
+		if m >= t.Full {
+			partials = append(partials, m)
+		}
+	}
+	for p := 0; p < t.Partitions; p++ {
+		owner := p / w
+		if !t.IsMember(owner) {
+			owner = members[p%len(members)]
+		}
+		t.Masters[p] = int32(owner)
+		if owner >= t.Full || len(partials) == 0 {
+			t.Secondary[p] = -1
+		} else {
+			t.Secondary[p] = int32(partials[p%len(partials)])
+		}
+	}
+}
+
+// Joined returns the next topology version with slot id live. Data
+// migration to the new layout is the coordinator's job.
+func (t *Topology) Joined(id int) *Topology {
+	n := t.Clone()
+	n.Version++
+	n.Member[id] = true
+	n.relayout()
+	return n
+}
+
+// Drained returns the next topology version with slot id removed.
+func (t *Topology) Drained(id int) *Topology {
+	n := t.Clone()
+	n.Version++
+	n.Member[id] = false
+	n.relayout()
+	return n
+}
+
+// Rebalanced returns the next version with the canonical layout
+// recomputed over the unchanged member set — used to move mastership
+// back to the planned owners after failure re-mastering skewed the
+// live overlay, without any membership change.
+func (t *Topology) Rebalanced() *Topology {
+	n := t.Clone()
+	n.Version++
+	n.relayout()
+	return n
+}
+
+// Validate rejects layouts the engine cannot run: fewer than two
+// members or no live full replica (partitioned-phase re-mastering and
+// the single-master phase both need one).
+func (t *Topology) Validate() error {
+	if t.NumMembers() < 2 {
+		return errTopoMembers
+	}
+	for i := 0; i < t.Full; i++ {
+		if t.Member[i] {
+			return nil
+		}
+	}
+	return errTopoNoFull
+}
+
+// firstFullMember returns the lowest live full-replica slot — the
+// default designated master. Valid topologies always have one.
+func firstFullMember(t *Topology) int {
+	for i := 0; i < t.Full; i++ {
+		if t.Member[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+type topoError string
+
+func (e topoError) Error() string { return string(e) }
+
+const (
+	errTopoMembers topoError = "topology: fewer than two members"
+	errTopoNoFull  topoError = "topology: no live full replica"
+)
+
+// Topology builds the version-1 boot layout from the Config: capacity
+// from Nodes, full set from FullReplicas, members from Members (nil =
+// every slot). With every slot a member this reproduces the classic
+// static layout (MasterOf = p/WorkersPerNode, SecondaryOf striped over
+// the partials) exactly.
+func (c Config) Topology() *Topology {
+	c = c.withDefaults()
+	t := &Topology{
+		Version:    1,
+		Capacity:   c.Nodes,
+		Full:       c.FullReplicas,
+		Partitions: c.NumPartitions(),
+		Member:     make([]bool, c.Nodes),
+		Masters:    make([]int32, c.NumPartitions()),
+		Secondary:  make([]int32, c.NumPartitions()),
+	}
+	if len(c.Members) == 0 {
+		for i := range t.Member {
+			t.Member[i] = true
+		}
+	} else {
+		for _, id := range c.Members {
+			if id < 0 || id >= c.Nodes {
+				panic("core: Config.Members id out of range")
+			}
+			t.Member[id] = true
+		}
+	}
+	if err := t.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	t.relayout()
+	return t
+}
+
+// topologyFromMsg reconstructs an installed Topology from the fence
+// broadcast plus the fixed Config constants.
+func topologyFromMsg(m msgTopology, cfg Config) *Topology {
+	t := &Topology{
+		Version:    m.Version,
+		Capacity:   cfg.Nodes,
+		Full:       cfg.FullReplicas,
+		Partitions: cfg.NumPartitions(),
+		Member:     make([]bool, cfg.Nodes),
+		Masters:    append([]int32(nil), m.Masters...),
+		Secondary:  append([]int32(nil), m.Secondary...),
+	}
+	for _, id := range m.Members {
+		if int(id) >= 0 && int(id) < cfg.Nodes {
+			t.Member[id] = true
+		}
+	}
+	return t
+}

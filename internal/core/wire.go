@@ -30,15 +30,18 @@ const (
 	wireStartRecovery
 	wireUpdateMasters
 	wireWorkerDone
-	wireChecksumReq
-	wireChecksumResp
+	_ // retired: wireChecksumReq (folded into the admin envelope)
+	_ // retired: wireChecksumResp
 	wireHalt
-	wireFreeze
+	_ // retired: wireFreeze
 	wireAlignCounters
 	wireClientReq
 	wireClientResp
-	wireFaultStatsReq
-	wireFaultStatsResp
+	_ // retired: wireFaultStatsReq
+	_ // retired: wireFaultStatsResp
+	wireAdminReq
+	wireAdminResp
+	wireTopology
 )
 
 // wireRegistrar is implemented by workloads whose procedures have a
@@ -441,40 +444,90 @@ func registerMessages(c *wire.Codec) {
 			return v, b, nil
 		})
 
-	c.Register(wireChecksumReq, msgChecksumReq{},
+	c.Register(wireHalt, msgHalt{},
+		func(b []byte, m transport.Message) []byte { return b },
+		func(b []byte) (transport.Message, []byte, error) { return msgHalt{}, b, nil })
+
+	c.Register(wireAdminReq, AdminReq{},
 		func(b []byte, m transport.Message) []byte {
-			v := m.(msgChecksumReq)
-			b = wire.AppendUvarint(b, v.Epoch)
-			return wire.AppendVarint(b, int64(v.From))
+			v := m.(AdminReq)
+			b = append(b, v.V, byte(v.Op))
+			b = wire.AppendVarint(b, int64(v.From))
+			b = wire.AppendU64(b, v.Ticket)
+			b = wire.AppendVarint(b, int64(v.Node))
+			return wire.AppendBool(b, v.On)
 		},
 		func(b []byte) (transport.Message, []byte, error) {
-			var v msgChecksumReq
-			var err error
-			if v.Epoch, b, err = wire.Uvarint(b); err != nil {
-				return nil, nil, err
+			var v AdminReq
+			if len(b) < 2 {
+				return nil, nil, wire.ErrTruncated
 			}
-			x, b, err := wire.Varint(b)
+			v.V, v.Op = b[0], AdminOp(b[1])
+			x, b, err := wire.Varint(b[2:])
 			if err != nil {
 				return nil, nil, err
 			}
 			v.From = int(x)
-			return v, b, nil
-		})
-
-	c.Register(wireChecksumResp, msgChecksumResp{},
-		func(b []byte, m transport.Message) []byte {
-			v := m.(msgChecksumResp)
-			b = wire.AppendVarint(b, int64(v.Node))
-			b = wire.AppendI32s(b, v.Parts)
-			return wire.AppendU64s(b, v.Sums)
-		},
-		func(b []byte) (transport.Message, []byte, error) {
-			var v msgChecksumResp
-			x, b, err := wire.Varint(b)
-			if err != nil {
+			if v.Ticket, b, err = wire.U64(b); err != nil {
+				return nil, nil, err
+			}
+			if x, b, err = wire.Varint(b); err != nil {
 				return nil, nil, err
 			}
 			v.Node = int(x)
+			if v.On, b, err = wire.Bool(b); err != nil {
+				return nil, nil, err
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireAdminResp, AdminResp{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(AdminResp)
+			b = append(b, v.V, byte(v.Op))
+			b = wire.AppendU64(b, v.Ticket)
+			b = wire.AppendVarint(b, int64(v.Node))
+			b = wire.AppendBool(b, v.OK)
+			b = wire.AppendBytes(b, []byte(v.Err))
+			b = wire.AppendI32s(b, v.Parts)
+			b = wire.AppendU64s(b, v.Sums)
+			b = wire.AppendUvarint(b, uint64(len(v.Keys)))
+			for _, k := range v.Keys {
+				b = wire.AppendBytes(b, []byte(k))
+			}
+			b = wire.AppendI64s(b, v.Vals)
+			b = wire.AppendUvarint(b, v.Version)
+			b = wire.AppendI32s(b, v.Members)
+			b = wire.AppendI32s(b, v.Masters)
+			b = wire.AppendUvarint(b, uint64(len(v.ClientAddrs)))
+			for _, a := range v.ClientAddrs {
+				b = wire.AppendBytes(b, []byte(a))
+			}
+			return b
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v AdminResp
+			if len(b) < 2 {
+				return nil, nil, wire.ErrTruncated
+			}
+			v.V, v.Op = b[0], AdminOp(b[1])
+			var err error
+			if v.Ticket, b, err = wire.U64(b[2:]); err != nil {
+				return nil, nil, err
+			}
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Node = int(x)
+			if v.OK, b, err = wire.Bool(b); err != nil {
+				return nil, nil, err
+			}
+			var eb []byte
+			if eb, b, err = wire.Bytes(b); err != nil {
+				return nil, nil, err
+			}
+			v.Err = string(eb)
 			if v.Parts, b, err = wire.I32s(b); err != nil {
 				return nil, nil, err
 			}
@@ -484,54 +537,6 @@ func registerMessages(c *wire.Codec) {
 			if len(v.Sums) != len(v.Parts) {
 				return nil, nil, wire.ErrCorrupt
 			}
-			return v, b, nil
-		})
-
-	c.Register(wireHalt, msgHalt{},
-		func(b []byte, m transport.Message) []byte { return b },
-		func(b []byte) (transport.Message, []byte, error) { return msgHalt{}, b, nil })
-
-	c.Register(wireFreeze, msgFreeze{},
-		func(b []byte, m transport.Message) []byte {
-			return wire.AppendBool(b, m.(msgFreeze).On)
-		},
-		func(b []byte) (transport.Message, []byte, error) {
-			on, rest, err := wire.Bool(b)
-			if err != nil {
-				return nil, nil, err
-			}
-			return msgFreeze{On: on}, rest, nil
-		})
-
-	c.Register(wireFaultStatsReq, msgFaultStatsReq{},
-		func(b []byte, m transport.Message) []byte {
-			return wire.AppendVarint(b, int64(m.(msgFaultStatsReq).From))
-		},
-		func(b []byte) (transport.Message, []byte, error) {
-			x, b, err := wire.Varint(b)
-			if err != nil {
-				return nil, nil, err
-			}
-			return msgFaultStatsReq{From: int(x)}, b, nil
-		})
-
-	c.Register(wireFaultStatsResp, msgFaultStatsResp{},
-		func(b []byte, m transport.Message) []byte {
-			v := m.(msgFaultStatsResp)
-			b = wire.AppendVarint(b, int64(v.Node))
-			b = wire.AppendUvarint(b, uint64(len(v.Keys)))
-			for _, k := range v.Keys {
-				b = wire.AppendBytes(b, []byte(k))
-			}
-			return wire.AppendI64s(b, v.Vals)
-		},
-		func(b []byte) (transport.Message, []byte, error) {
-			var v msgFaultStatsResp
-			x, b, err := wire.Varint(b)
-			if err != nil {
-				return nil, nil, err
-			}
-			v.Node = int(x)
 			nk, b, err := wire.Uvarint(b)
 			if err != nil {
 				return nil, nil, err
@@ -553,6 +558,67 @@ func registerMessages(c *wire.Codec) {
 				return nil, nil, err
 			}
 			if len(v.Vals) != len(v.Keys) {
+				return nil, nil, wire.ErrCorrupt
+			}
+			if v.Version, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Members, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Masters, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			na, b, err := wire.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if na > 1<<12 {
+				return nil, nil, wire.ErrCorrupt
+			}
+			if na > 0 {
+				v.ClientAddrs = make([]string, na)
+				for i := range v.ClientAddrs {
+					var ab []byte
+					if ab, b, err = wire.Bytes(b); err != nil {
+						return nil, nil, err
+					}
+					v.ClientAddrs[i] = string(ab)
+				}
+			}
+			return v, b, nil
+		})
+
+	c.Register(wireTopology, msgTopology{},
+		func(b []byte, m transport.Message) []byte {
+			v := m.(msgTopology)
+			b = wire.AppendUvarint(b, v.Version)
+			b = wire.AppendVarint(b, int64(v.Master))
+			b = wire.AppendI32s(b, v.Members)
+			b = wire.AppendI32s(b, v.Masters)
+			return wire.AppendI32s(b, v.Secondary)
+		},
+		func(b []byte) (transport.Message, []byte, error) {
+			var v msgTopology
+			var err error
+			if v.Version, b, err = wire.Uvarint(b); err != nil {
+				return nil, nil, err
+			}
+			var x int64
+			if x, b, err = wire.Varint(b); err != nil {
+				return nil, nil, err
+			}
+			v.Master = int32(x)
+			if v.Members, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Masters, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if v.Secondary, b, err = wire.I32s(b); err != nil {
+				return nil, nil, err
+			}
+			if len(v.Secondary) != len(v.Masters) {
 				return nil, nil, wire.ErrCorrupt
 			}
 			return v, b, nil

@@ -77,13 +77,20 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		msgStartRecovery{Parts: []int32{1, 3}, From: []int32{0, 0}},
 		msgUpdateMasters{Masters: []int32{0, 1, 2, 3}},
 		workerDoneMsg{Worker: 1, Committed: 50, GenSingle: 45, GenCross: 5},
-		msgChecksumReq{Epoch: 9, From: 4},
-		msgChecksumResp{Node: 1, Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
 		msgHalt{},
-		msgFreeze{On: true},
-		msgFaultStatsReq{From: 4},
-		msgFaultStatsResp{Node: 1, Keys: []string{"fault_drops", "fault_dups"}, Vals: []int64{12, 3}},
-		msgFaultStatsResp{Node: 2},
+		AdminReq{V: 1, Op: AdminFreeze, From: 5, Ticket: 9, Node: -1, On: true},
+		AdminReq{V: 1, Op: AdminChecksums, From: 4, Node: 2},
+		AdminReq{V: 1, Op: AdminJoin, From: 0, Ticket: 31, Node: 3},
+		AdminResp{V: 1, Op: AdminChecksums, Ticket: 9, Node: 1, OK: true,
+			Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
+		AdminResp{V: 1, Op: AdminFaultStats, Node: 1, OK: true,
+			Keys: []string{"fault_drops", "fault_dups"}, Vals: []int64{12, 3}},
+		AdminResp{V: 1, Op: AdminDrain, Ticket: 4, Node: 2, Err: "drain: not a member"},
+		AdminResp{V: 1, Op: AdminTopologyGet, Node: 0, OK: true, Version: 7,
+			Members: []int32{0, 2, 3}, Masters: []int32{0, 0, 2, 3},
+			ClientAddrs: []string{"127.0.0.1:7001", "", "127.0.0.1:7003"}},
+		msgTopology{Version: 7, Master: 0, Members: []int32{0, 2, 3},
+			Masters: []int32{0, 0, 2, 3}, Secondary: []int32{2, 3, -1, -1}},
 		ClientReq{Token: 8, Req: ticketed(txn.NewRequest(tg.Cross(1), 999), 1, 77)},
 		ClientReq{Token: 0, Req: ticketed(txn.NewRequest(&tpcc.StockLevelTxn{
 			W: tw, WID: 1, DID: 0, Threshold: 12, Remote: []int{0}}, 600), 2, 1)},
