@@ -13,6 +13,14 @@
 //	star-admin -addr HOST:PORT -node N drain
 //	star-admin -addr HOST:PORT rebalance
 //	star-admin -addr HOST:PORT topology
+//	star-admin -addr HOST:PORT [-node N] stat
+//	star-admin -addr HOST:PORT [-node N] [-interval D] [-iters N] top
+//
+// stat prints one metric-registry snapshot — the targeted node's, or
+// (without -node) the cluster-merged aggregate of every member, all
+// fetched through the single connected door. top re-samples every
+// -interval and prints delta rates (txn/s, abort/s, epochs/s) plus the
+// window's latency quantiles, like a tiny cluster-wide htop.
 //
 // Exit status 0 on success; the failure reason goes to stderr.
 package main
@@ -22,9 +30,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"star/internal/admin"
+	"star/internal/metrics"
 )
 
 func main() {
@@ -32,11 +42,13 @@ func main() {
 	node := flag.Int("node", -1, "target slot id for node-scoped and membership verbs")
 	opTimeout := flag.Duration("timeout", 30*time.Second, "per-operation timeout")
 	dialDeadline := flag.Duration("dial-deadline", 15*time.Second, "overall connect deadline")
+	interval := flag.Duration("interval", 2*time.Second, "top: sampling interval")
+	iters := flag.Int("iters", 0, "top: number of refreshes (0 = until interrupted)")
 	flag.Parse()
 
 	verb := flag.Arg(0)
 	if *addr == "" || verb == "" {
-		fmt.Fprintln(os.Stderr, "usage: star-admin -addr HOST:PORT [-node N] freeze|unfreeze|checksums|fault-stats|join|drain|rebalance|topology")
+		fmt.Fprintln(os.Stderr, "usage: star-admin -addr HOST:PORT [-node N] freeze|unfreeze|checksums|fault-stats|join|drain|rebalance|topology|stat|top")
 		os.Exit(2)
 	}
 	needNode := func() int {
@@ -92,9 +104,112 @@ func main() {
 		t, err := c.Topology()
 		check(err)
 		printTopology(t)
+	case "stat":
+		s, err := clusterStats(c, *node)
+		check(err)
+		printSnapshot(s)
+	case "top":
+		runTop(c, *node, *interval, *iters)
 	default:
 		fatalf("unknown verb %q", verb)
 	}
+}
+
+// clusterStats fetches one node's metric snapshot, or — when node < 0 —
+// every member's through the single connected door (the door forwards
+// node-targeted AdminStats internally) merged into the cluster view.
+func clusterStats(c *admin.Client, node int) (metrics.Snapshot, error) {
+	if node >= 0 {
+		return c.Stats(node)
+	}
+	t, err := c.Topology()
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var agg metrics.Snapshot
+	for _, m := range t.Members {
+		s, err := c.Stats(m)
+		if err != nil {
+			return metrics.Snapshot{}, err
+		}
+		agg.Merge(s)
+	}
+	return agg, nil
+}
+
+// printSnapshot renders a snapshot in sorted name order: scalars one per
+// line, histograms as count + quantiles.
+func printSnapshot(s metrics.Snapshot) {
+	scalars := func(kind string, m map[string]int64) {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s %s %d\n", kind, n, m[n])
+		}
+	}
+	scalars("counter", s.Counters)
+	scalars("gauge", s.Gauges)
+	names := make([]string, 0, len(s.Hists))
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		fmt.Printf("hist %s count %d mean %v p50 %v p99 %v max %v\n",
+			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), time.Duration(h.Max))
+	}
+}
+
+// runTop samples the cluster-merged (or node-targeted) snapshot every
+// interval and prints per-window delta rates plus the window's latency
+// quantiles.
+func runTop(c *admin.Client, node int, interval time.Duration, iters int) {
+	prev, err := clusterStats(c, node)
+	check(err)
+	for i := 0; iters <= 0 || i < iters; i++ {
+		time.Sleep(interval)
+		cur, err := clusterStats(c, node)
+		check(err)
+		rate := func(name string) float64 {
+			return float64(cur.Counters[name]-prev.Counters[name]) / interval.Seconds()
+		}
+		lat := histDelta(cur.Hists["latency"], prev.Hists["latency"])
+		var lag int64
+		for name, v := range cur.Gauges {
+			if strings.HasPrefix(name, "repl_lag{") {
+				lag += v
+			}
+		}
+		fmt.Printf("txn/s %8.0f  abort/s %6.0f  epoch/s %5.1f  p50 %-10v p99 %-10v shed/s %5.0f  repl_lag %d\n",
+			rate("committed"), rate("aborted")+rate("user_aborts"), rate("epochs"),
+			lat.Quantile(0.5), lat.Quantile(0.99),
+			rate("shed_frontdoor")+rate("rejected"), lag)
+		prev = cur
+	}
+}
+
+// histDelta subtracts two cumulative snapshots of the same histogram,
+// yielding the window's samples (Max stays the cumulative max — the
+// buckets bound the window quantiles fine without it).
+func histDelta(cur, prev metrics.HistSnapshot) metrics.HistSnapshot {
+	d := metrics.HistSnapshot{
+		Count: cur.Count - prev.Count,
+		Sum:   cur.Sum - prev.Sum,
+		Max:   cur.Max,
+	}
+	for b, n := range cur.Buckets {
+		if delta := n - prev.Buckets[b]; delta > 0 {
+			if d.Buckets == nil {
+				d.Buckets = make(map[int]int64)
+			}
+			d.Buckets[b] = delta
+		}
+	}
+	return d
 }
 
 func printTopology(t admin.Topology) {

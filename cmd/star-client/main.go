@@ -32,6 +32,7 @@ import (
 
 	"star/internal/client"
 	"star/internal/core"
+	"star/internal/metrics"
 	"star/internal/workload/ycsb"
 )
 
@@ -44,6 +45,10 @@ type summary struct {
 	RowsRead  int64  `json:"rows_read"`
 	Token     uint64 `json:"token"`
 	ElapsedMS int64  `json:"elapsed_ms"`
+	// Client-observed request latency (successful transactions, request
+	// write to response read — group-commit wait included for writes).
+	P50US int64 `json:"p50_us"`
+	P99US int64 `json:"p99_us"`
 }
 
 func main() {
@@ -112,6 +117,7 @@ func main() {
 	}
 
 	var sum summary
+	lat := &metrics.Hist{}
 	account := func(res client.Result, err error, isRead bool) {
 		switch {
 		case err == nil:
@@ -140,15 +146,25 @@ func main() {
 		parts, rows := footprint(i)
 		if i < *writes {
 			copy(val, fmt.Sprintf("w%06d", i))
+			t0 := time.Now()
 			res, err := c.DoRetry(w.WriteTxn(parts, rows, val), *retries)
+			if err == nil {
+				lat.Observe(time.Since(t0))
+			}
 			account(res, err, false)
 		}
 		if i < *reads {
+			t0 := time.Now()
 			res, err := c.DoRetry(w.ReadTxn(parts, rows), *retries)
+			if err == nil {
+				lat.Observe(time.Since(t0))
+			}
 			account(res, err, true)
 		}
 	}
 
+	sum.P50US = lat.Quantile(0.50).Microseconds()
+	sum.P99US = lat.Quantile(0.99).Microseconds()
 	sum.Token = c.Token()
 	sum.ElapsedMS = time.Since(start).Milliseconds()
 	out, _ := json.Marshal(sum)

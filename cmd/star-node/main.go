@@ -25,12 +25,15 @@ import (
 	"flag"
 	"fmt"
 	stdnet "net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"star/internal/core"
 	"star/internal/faultnet"
+	"star/internal/metrics"
 	"star/internal/rt"
 	"star/internal/tcpnet"
 	"star/internal/transport"
@@ -59,6 +62,8 @@ func main() {
 		clientAt  = flag.String("client", "", "serve mode: host:port to serve star-client connections on (the client front door; off when empty)")
 		clients   = flag.String("clients", "", "serve mode: comma-separated per-slot front-door addresses, in id order (advertised via the admin topology API; empty entries allowed)")
 		clientWin = flag.Int("client-window", core.DefaultClientWindow, "serve mode: per-connection in-flight request bound")
+		httpAt    = flag.String("http", "", "serve mode: host:port for the observability endpoint (Prometheus text at /metrics, pprof at /debug/pprof/); no listener when empty")
+		traceAt   = flag.String("trace", "", "serve mode: write the coordinator's per-epoch timeline (JSONL, core.TraceEvent) to this file; only the coordinator-hosting process (id 0) emits")
 		probe     = flag.Bool("probe", false, "register an extra probe endpoint (id nodes+1, sharing process 0's address) for an external test/ops observer")
 		faults    = flag.String("faults", "", "JSON fault plan (internal/faultnet) injected into this process's outbound traffic; start every process with the same plan file")
 		districts = flag.Int("districts", 2, "tpcc: districts per warehouse")
@@ -202,7 +207,40 @@ func main() {
 		// multi-process kill/restart failure tests. Nothing is printed;
 		// observers use the probe endpoint.
 		cfg.Iteration = *iteration
+		if *traceAt != "" && *id == 0 {
+			// Only the coordinator-hosting process emits; gating the file on
+			// id 0 lets every process share one flag line without the others
+			// truncating the coordinator's output.
+			tf, err := os.Create(*traceAt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "star-node: trace file:", err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			cfg.Trace = tf
+		}
 		eng := core.New(cfg)
+		if *httpAt != "" {
+			// Explicit mux, explicit listener: nothing is served unless the
+			// flag is given, and the pprof handlers never land on the
+			// DefaultServeMux.
+			mux := http.NewServeMux()
+			mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				metrics.WritePrometheus(w, eng.StatsSnapshot())
+			})
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			hln, err := stdnet.Listen("tcp", *httpAt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "star-node: http listener:", err)
+				os.Exit(1)
+			}
+			go http.Serve(hln, mux)
+		}
 		if *clientAt != "" {
 			ln, err := stdnet.Listen("tcp", *clientAt)
 			if err != nil {

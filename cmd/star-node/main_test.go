@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
@@ -12,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"star/internal/admin"
 	"star/internal/client"
 	"star/internal/core"
 	"star/internal/faultnet"
@@ -761,5 +766,239 @@ func TestStarNodeScaleOutJoinDrain(t *testing.T) {
 	}
 	if halted, reason := eng.Halted(); halted {
 		t.Fatalf("cluster halted: %s", reason)
+	}
+}
+
+// TestStarNodeObservabilityLiveCluster pins the observability plane on a
+// live all-process cluster: the same node's committed counter must agree
+// between the HTTP /metrics Prometheus scrape and the AdminStats wire
+// envelope (sampled under a workload freeze so both paths see one stable
+// state), the star-admin stat/top CLI must render the cluster-merged
+// view, the coordinator's -trace file must be parseable ascending-epoch
+// JSONL, out-of-range AdminStats targets must reject cleanly, and a
+// process started WITHOUT -http must leave its reserved scrape port
+// closed — no listener unless the flag is given.
+func TestStarNodeObservabilityLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short")
+	}
+	const (
+		nodes, workers = 2, 2
+	)
+	nodeBin := buildStarNode(t)
+	adminBin := buildStarAdmin(t)
+
+	ports := freePorts(t, nodes+4)
+	addrs, doors := ports[:nodes], ports[nodes:nodes+2]
+	httpAddr, darkAddr := ports[nodes+2], ports[nodes+3]
+	addrList := strings.Join(addrs, ",")
+	doorList := strings.Join(doors, ",")
+	tracePath := filepath.Join(t.TempDir(), "timeline.jsonl")
+
+	ycfg := ycsb.Config{Partitions: nodes * workers, RecordsPerPartition: 512}
+
+	// Every process shares one flag line, -trace included: only the
+	// coordinator-hosting process (id 0) may create the file — node 1
+	// getting the same flag must not truncate it. Node 0 additionally
+	// serves -http; node 1 does not, and darkAddr is the port it would
+	// have been given.
+	startChild := func(id int, extra ...string) *exec.Cmd {
+		args := []string{
+			"-id", strconv.Itoa(id), "-nodes", "2", "-workers", "2", "-seed", "21",
+			"-addrs", addrList, "-workload", "ycsb", "-records", "512",
+			"-serve", "-snapshot-reads", "-iteration", "2ms",
+			"-client", doors[id], "-clients", doorList,
+			"-trace", tracePath,
+		}
+		args = append(args, extra...)
+		cmd := exec.Command(nodeBin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start star-node %d: %v", id, err)
+		}
+		return cmd
+	}
+	node0 := startChild(0, "-http", httpAddr)
+	defer func() { node0.Process.Kill(); node0.Wait() }()
+	node1 := startChild(1)
+	defer func() { node1.Process.Kill(); node1.Wait() }()
+
+	// Admin through node 1's door: Stats(0) then exercises the internal
+	// forwarding hop, not just the node-local answer.
+	ac, err := admin.Dial(admin.Config{Addr: doors[1]})
+	if err != nil {
+		t.Fatalf("admin dial: %v", err)
+	}
+	defer ac.Close()
+
+	committedOf := func(node int) int64 {
+		t.Helper()
+		s, err := ac.Stats(node)
+		if err != nil {
+			t.Fatalf("admin stats node %d: %v", node, err)
+		}
+		return s.Counters["committed"]
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for committedOf(0)+committedOf(1) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster committed nothing")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A short client session so the front-door paths see real traffic too.
+	wc := ycsb.New(ycfg)
+	clCodec := core.NewWireCodec(wc)
+	clStart := time.Now()
+	clCodec.SetClock(func() int64 { return int64(time.Since(clStart)) })
+	cl, err := client.Dial(client.Config{Addrs: append([]string(nil), doors...), Codec: clCodec})
+	if err != nil {
+		t.Fatalf("client dial: %v", err)
+	}
+	defer cl.Close()
+	val := []byte("observed")
+	for i := 0; i < 8; i++ {
+		p := i % (nodes * workers)
+		if _, err := cl.DoRetry(wc.WriteTxn([]int{p}, []int{i}, val), 20); err != nil {
+			t.Fatalf("client write %d: %v", i, err)
+		}
+		if _, err := cl.DoRetry(wc.ReadTxn([]int{p}, []int{i}), 20); err != nil {
+			t.Fatalf("client read %d: %v", i, err)
+		}
+	}
+
+	// Freeze the workload and wait for the committed counters to go quiet:
+	// the scrape paths below must all sample one stable state or the
+	// cross-path equality would race the workload.
+	if err := ac.Freeze(true); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	stable := int64(-1)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		cur := committedOf(0) + committedOf(1)
+		if cur == stable {
+			break
+		}
+		stable = cur
+		if time.Now().After(deadline) {
+			t.Fatalf("committed never settled under freeze (at %d)", cur)
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	s0, err := ac.Stats(0)
+	if err != nil {
+		t.Fatalf("admin stats node 0: %v", err)
+	}
+	s1, err := ac.Stats(1)
+	if err != nil {
+		t.Fatalf("admin stats node 1: %v", err)
+	}
+	if s0.Counters["committed"] == 0 {
+		t.Fatal("node 0 snapshot reports zero commits")
+	}
+
+	// Path 2: the HTTP Prometheus scrape of the SAME node must agree with
+	// the AdminStats envelope.
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape /metrics: status %d, read err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	promVal := func(name string) int64 {
+		t.Helper()
+		for _, line := range strings.Split(string(body), "\n") {
+			f := strings.Fields(line)
+			if len(f) == 2 && f[0] == name {
+				v, err := strconv.ParseInt(f[1], 10, 64)
+				if err != nil {
+					t.Fatalf("metric %s: bad value %q", name, f[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s absent from scrape:\n%s", name, body)
+		return 0
+	}
+	if got, want := promVal("star_committed"), s0.Counters["committed"]; got != want {
+		t.Fatalf("/metrics committed %d != AdminStats committed %d", got, want)
+	}
+	if promVal("star_latency_count") == 0 {
+		t.Fatal("latency histogram empty on a node that committed")
+	}
+	var partSum int64
+	for _, line := range strings.Split(string(body), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && strings.HasPrefix(f[0], `star_partition_commits{`) {
+			v, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad partition gauge line %q", line)
+			}
+			partSum += v
+		}
+	}
+	// Snapshot-path reads commit without a partition home, so the gauges
+	// bound the counter from below.
+	if partSum == 0 || partSum > s0.Counters["committed"] {
+		t.Fatalf("partition gauges sum %d inconsistent with committed %d", partSum, s0.Counters["committed"])
+	}
+
+	// Path 3: the star-admin CLI's cluster-merged view.
+	out, err := exec.Command(adminBin, "-addr", doors[0], "stat").CombinedOutput()
+	if err != nil {
+		t.Fatalf("star-admin stat: %v\n%s", err, out)
+	}
+	wantLine := fmt.Sprintf("counter committed %d", s0.Counters["committed"]+s1.Counters["committed"])
+	if !strings.Contains(string(out), wantLine+"\n") {
+		t.Fatalf("star-admin stat merged view missing %q:\n%s", wantLine, out)
+	}
+	out, err = exec.Command(adminBin, "-addr", doors[0], "-interval", "300ms", "-iters", "1", "top").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "txn/s") {
+		t.Fatalf("star-admin top: %v\n%s", err, out)
+	}
+
+	// Out-of-range AdminStats targets reject cleanly instead of hanging.
+	if _, err := ac.Stats(nodes + 7); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range stats target not rejected: %v", err)
+	}
+
+	// The coordinator's timeline: complete lines (the file is still being
+	// appended to) must parse as TraceEvents with ascending epochs.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+		t.Fatalf("trace file has no complete lines (%d bytes)", len(data))
+	} else {
+		data = data[:i]
+	}
+	var last uint64
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		var ev core.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d does not parse: %v\n%s", i, err, line)
+		}
+		if ev.Epoch <= last {
+			t.Fatalf("trace line %d: epoch %d not ascending (prev %d)", i, ev.Epoch, last)
+		}
+		last = ev.Epoch
+	}
+	t.Logf("observability: committed node0=%d node1=%d, %d trace epochs", s0.Counters["committed"], s1.Counters["committed"], len(lines))
+
+	// No listener unless -http is given: node 1 never got the flag, and
+	// the port reserved for it must refuse connections.
+	if conn, err := net.DialTimeout("tcp", darkAddr, 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatalf("port %s is listening but no process was given -http", darkAddr)
 	}
 }

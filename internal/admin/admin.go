@@ -20,6 +20,7 @@ import (
 
 	"star/internal/backoff"
 	"star/internal/core"
+	"star/internal/metrics"
 	"star/internal/wire"
 )
 
@@ -152,6 +153,18 @@ func (c *Client) FaultStats(node int) (map[string]int64, error) {
 		out[k] = resp.Vals[i]
 	}
 	return out, nil
+}
+
+// Stats returns node's live metric-registry snapshot (counters, gauges,
+// histograms — AdminStats). Node -1 asks the connected door's own node;
+// any other id is forwarded to its target internally. Merge the members'
+// snapshots with metrics.Snapshot.Merge for a cluster view.
+func (c *Client) Stats(node int) (metrics.Snapshot, error) {
+	resp, err := c.do(core.AdminReq{Op: core.AdminStats, Node: node})
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return metrics.DecodeSnapshot(resp.Stats)
 }
 
 // Topology describes the installed cluster layout as the admin API

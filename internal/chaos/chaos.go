@@ -21,6 +21,7 @@ package chaos
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -43,6 +44,12 @@ type Options struct {
 	// Fault families to include in the generated plan. NoX naming keeps
 	// the zero Options meaning "everything on" — the interesting soak.
 	NoDrops, NoDups, NoReorders, NoPartition, NoCrash bool
+
+	// Trace, when set, receives the coordinator's per-epoch timeline
+	// (JSONL, core.TraceEvent) — the soak's flight recorder: which epochs
+	// ran which phase, what committed where, and which fault counters
+	// were climbing when a seed went sideways.
+	Trace io.Writer
 
 	// Logf, when set, receives progress lines (tests pass t.Logf).
 	Logf func(format string, args ...any)
@@ -227,6 +234,7 @@ func RunSoak(seed int64, o Options) (Result, error) {
 		Seed:           seed,
 		SnapshotReads:  true,
 		Transport:      fn,
+		Trace:          o.Trace,
 	}
 	e := core.New(cfg)
 

@@ -1,10 +1,14 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"reflect"
 	"strconv"
 	"testing"
+
+	"star/internal/core"
 )
 
 // chaosSeed reruns the soak on one specific seed — the one-command
@@ -30,10 +34,12 @@ func TestChaosSoakConvergesFixedSeed(t *testing.T) {
 	for _, seed := range chaosSeeds() {
 		seed := seed
 		t.Run(seedName(seed), func(t *testing.T) {
-			res, err := RunSoak(seed, Options{Logf: t.Logf})
+			var trace bytes.Buffer
+			res, err := RunSoak(seed, Options{Logf: t.Logf, Trace: &trace})
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkTimeline(t, &trace, res)
 			t.Logf("seed %d: committed=%d epoch=%d digest=%016x injected=%v probe served=%d fallbacks=%d",
 				seed, res.Committed, res.Epoch, res.Digest, res.Injected, res.ProbeServed, res.ProbeFallbacks)
 			if res.Committed == 0 {
@@ -102,4 +108,44 @@ func TestGeneratePlanDeterministic(t *testing.T) {
 
 func seedName(seed int64) string {
 	return "seed=" + strconv.FormatInt(seed, 10)
+}
+
+// checkTimeline asserts the coordinator's per-epoch trace is usable as a
+// flight recorder: every line is a well-formed core.TraceEvent, epochs
+// ascend monotonically, phases alternate over legal names, the traced
+// commits account for work the soak actually did, and the fault counters
+// show up once injection starts.
+func checkTimeline(t *testing.T, trace *bytes.Buffer, res Result) {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSpace(trace.Bytes()), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("soak emitted no timeline trace")
+	}
+	var last uint64
+	var traced int64
+	sawFaults := false
+	for i, line := range lines {
+		var ev core.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d does not parse: %v\n%s", i, err, line)
+		}
+		if ev.Epoch <= last {
+			t.Fatalf("trace line %d: epoch %d not ascending (prev %d)", i, ev.Epoch, last)
+		}
+		last = ev.Epoch
+		if ev.Phase != "partitioned" && ev.Phase != "single-master" {
+			t.Fatalf("trace line %d: unknown phase %q", i, ev.Phase)
+		}
+		traced += ev.Committed
+		if len(ev.Faults) > 0 {
+			sawFaults = true
+		}
+	}
+	if traced == 0 || traced > res.Committed {
+		t.Errorf("traced commits %d inconsistent with soak committed %d", traced, res.Committed)
+	}
+	if !sawFaults {
+		t.Error("no trace event carried fault-injection counters")
+	}
+	t.Logf("timeline: %d epochs traced, %d commits accounted", len(lines), traced)
 }

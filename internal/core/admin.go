@@ -41,6 +41,10 @@ const (
 	// AdminTopologyGet returns the installed topology version, member
 	// set, master map, and the members' client front-door addresses.
 	AdminTopologyGet
+	// AdminStats returns the target node's metric-registry snapshot
+	// (counters, gauges, histograms — see Engine.StatsSnapshot) as an
+	// encoded metrics.Snapshot blob in Stats.
+	AdminStats
 )
 
 func (op AdminOp) String() string {
@@ -59,6 +63,8 @@ func (op AdminOp) String() string {
 		return "rebalance"
 	case AdminTopologyGet:
 		return "topology-get"
+	case AdminStats:
+		return "stats"
 	}
 	return "unknown"
 }
@@ -115,10 +121,16 @@ type AdminResp struct {
 	Members     []int32
 	Masters     []int32
 	ClientAddrs []string
+
+	// AdminStats: the responding node's metric-registry snapshot
+	// (metrics.Snapshot.Encode; decode with metrics.DecodeSnapshot). An
+	// opaque blob on the wire so the envelope codec stays stable while
+	// nodes add metrics.
+	Stats []byte
 }
 
 func (m AdminResp) Size() int {
-	n := 48 + len(m.Err) + 12*len(m.Parts) + 8*len(m.Vals) + 4*len(m.Members) + 4*len(m.Masters)
+	n := 48 + len(m.Err) + 12*len(m.Parts) + 8*len(m.Vals) + 4*len(m.Members) + 4*len(m.Masters) + len(m.Stats)
 	for _, k := range m.Keys {
 		n += len(k) + 8
 	}
@@ -212,6 +224,14 @@ func (n *node) serveAdmin(req AdminReq) {
 			}
 		}
 		n.replyAdmin(req, resp)
+	case AdminStats:
+		if fwd, done := n.forwardAdmin(req); done {
+			if !fwd {
+				n.replyAdmin(req, AdminResp{Err: "stats target out of range"})
+			}
+			return
+		}
+		n.replyAdmin(req, AdminResp{OK: true, Stats: n.e.StatsSnapshot().Encode()})
 	case AdminTopologyGet:
 		n.replyAdmin(req, n.e.topologyResp())
 	case AdminJoin, AdminDrain, AdminRebalance:

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"io"
 	"time"
 
 	"star/internal/replication"
@@ -138,6 +139,15 @@ type Config struct {
 	// observe only group-committed state, so they skip the group-commit
 	// wait entirely.
 	SnapshotReads bool
+
+	// Trace, when non-nil, receives one JSON line per committed epoch
+	// from the coordinator (core.TraceEvent: epoch, phase kind, phase and
+	// fence durations, per-node commit deltas, backlog, fault-injection
+	// counters, topology version). Only the process hosting the
+	// coordinator emits; writes happen on the coordinator goroutine
+	// between fences, off every hot path. star-node -trace points this at
+	// a file; the chaos/gc soaks at an in-memory buffer.
+	Trace io.Writer
 
 	Cost CostModel
 	Seed int64

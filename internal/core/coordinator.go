@@ -274,13 +274,15 @@ func (c *coordinator) runPhase(tau time.Duration) {
 	}
 	c.ackRetried = false
 	// Epoch committed. Account monitors, handle rejoins, next phase.
-	c.addFenceTime(r.Now() - fenceStart)
+	fenceDur := r.Now() - fenceStart
+	c.addFenceTime(fenceDur)
 	var queued int64
 	for _, pd := range done {
 		queued += pd.Queued
 	}
 	c.setBacklog(queued)
 	c.accountPhase(done, tau)
+	c.noteEpoch(done, tau, fenceDur)
 	c.handleRejoins(done)
 	c.processAdmin(done)
 	c.epoch++

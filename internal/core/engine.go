@@ -36,6 +36,27 @@ type Engine struct {
 	latency      *metrics.Hist
 	logBytes     atomic.Int64
 
+	// reg is the live observability plane: every counter above plus the
+	// metrics below register into it by name, AdminStats serves its
+	// snapshot from any node, and star-node -http renders it at /metrics.
+	// Hot paths keep their direct pointers/fields; the registry is only
+	// walked at snapshot time.
+	reg *metrics.Registry
+	// partCommits counts committed transactions per partition (indexed by
+	// partition id, incremented by the local workers' commit paths) — the
+	// live skew signal the rebalance roadmap item consumes.
+	partCommits []metrics.Gauge
+	shedClient  metrics.Counter // front-door admission sheds (StatusBusy)
+	checkpoints metrics.Counter // fuzzy checkpoints written
+	// Coordinator-fed metrics (zero on processes not hosting it).
+	epochsC      metrics.Counter // committed epochs
+	phasePart    metrics.Counter // partitioned phases run
+	phaseSingle  metrics.Counter // single-master phases run
+	commitPart   metrics.Counter // txns committed in partitioned phases
+	commitSingle metrics.Counter // txns committed in single-master phases
+	fenceHist    *metrics.Hist   // fence duration per committed epoch
+	drainHist    *metrics.Hist   // router wall time spent in fence drains
+
 	logFiles   []string
 	mu         sync.Mutex
 	recoverReq []int      // nodes waiting to rejoin at the next fence
@@ -78,6 +99,7 @@ func build(cfg Config) *Engine {
 		panic("core: need at least 2 nodes (one full replica, one partial)")
 	}
 	e := &Engine{cfg: cfg, latency: &metrics.Hist{}}
+	e.buildRegistry()
 	e.haltCh = cfg.RT.NewChan(1)
 	e.drainedCh = make(chan int, cfg.Nodes)
 	e.topo.Store(cfg.Topology())
@@ -118,6 +140,7 @@ func build(cfg Config) *Engine {
 			masters: append([]int32(nil), masters...),
 			failed:  make([]bool, cfg.Nodes),
 		}
+		n.replLag = e.reg.Gauge(fmt.Sprintf(`repl_lag{node="%d"}`, i))
 		n.masterQ = cfg.RT.NewChan(1 << 16)
 		// Until the first phase command arrives, the designated master is
 		// the first full member (the coordinator's own default).
@@ -137,6 +160,59 @@ func build(cfg Config) *Engine {
 		e.openLogs()
 	}
 	return e
+}
+
+// buildRegistry publishes the engine's metric fields into the named
+// registry. Hot paths keep incrementing their direct fields — the
+// registry is only walked at snapshot time (AdminStats, /metrics), so
+// registration costs the steady state nothing.
+func (e *Engine) buildRegistry() {
+	r := metrics.NewRegistry()
+	e.reg = r
+	r.RegisterCounter("committed", &e.committed)
+	r.RegisterCounter("aborted", &e.aborted)
+	r.RegisterCounter("user_aborts", &e.userAborts)
+	r.RegisterCounter("deferred", &e.deferred)
+	r.RegisterCounter("rejected", &e.rejected)
+	r.RegisterCounter("snapshot_reads", &e.snapReads)
+	r.RegisterCounter("snapshot_fallbacks", &e.snapFallback)
+	r.RegisterCounter("shed_frontdoor", &e.shedClient)
+	r.RegisterCounter("checkpoints", &e.checkpoints)
+	r.RegisterCounter("epochs", &e.epochsC)
+	r.RegisterCounter("phases_partitioned", &e.phasePart)
+	r.RegisterCounter("phases_single_master", &e.phaseSingle)
+	r.RegisterCounter("committed_partitioned", &e.commitPart)
+	r.RegisterCounter("committed_single_master", &e.commitSingle)
+	r.RegisterHist("latency", e.latency)
+	e.fenceHist = r.Hist("fence")
+	e.drainHist = r.Hist("drain_stall")
+	e.partCommits = make([]metrics.Gauge, e.cfg.NumPartitions())
+	for p := range e.partCommits {
+		r.RegisterGauge(fmt.Sprintf(`partition_commits{partition="%d"}`, p), &e.partCommits[p])
+	}
+}
+
+// StatsSnapshot captures the live metric registry, folding in process
+// quantities tracked outside it: log bytes, the transport's byte and
+// message accounting, and — when the transport injects faults
+// (star-node -faults, chaos soaks) — the cumulative injection counters
+// under a fault_ prefix. This is what AdminStats serves and what the
+// -http /metrics endpoint renders.
+func (e *Engine) StatsSnapshot() metrics.Snapshot {
+	e.reg.Gauge("log_bytes").Set(e.logBytes.Load())
+	e.reg.Gauge("net_bytes").Set(e.net.TotalBytes())
+	e.reg.Gauge("repl_bytes").Set(e.net.Bytes(transport.Replication))
+	e.reg.Gauge("repl_msgs").Set(e.net.Messages(transport.Replication))
+	snap := e.reg.Snapshot()
+	if fi, ok := e.net.(faultInjector); ok {
+		for k, v := range fi.Injected() {
+			if snap.Counters == nil {
+				snap.Counters = map[string]int64{}
+			}
+			snap.Counters["fault_"+k] = v
+		}
+	}
+	return snap
 }
 
 // openLogs creates the per-thread recovery-log files (§4.5.1).
@@ -261,6 +337,7 @@ func (e *Engine) checkpointLoop(n *node) {
 		if _, err := wal.WriteCheckpoint(n.db, path, epoch); err != nil {
 			panic("core: checkpoint: " + err.Error())
 		}
+		e.checkpoints.Inc()
 		n.mu.Lock()
 		prevCkpt := n.lastCheckpoint
 		n.lastCheckpoint = path

@@ -136,6 +136,7 @@ func (cc *clientConn) readLoop() {
 		if cc.inflight.Load() >= cc.window {
 			// Window full: shed explicitly rather than queue. The client
 			// library backs off and retries.
+			cc.n.e.shedClient.Inc()
 			cc.send(ClientResp{Ticket: ticket, Status: StatusBusy})
 			continue
 		}

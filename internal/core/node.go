@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"star/internal/metrics"
 	"star/internal/replication"
 	"star/internal/rt"
 	"star/internal/storage"
@@ -48,6 +49,12 @@ type node struct {
 
 	// gate is the node's client-session layer (star-client front door).
 	gate *ClientGate
+
+	// replLag is this node's registry gauge for replication backlog: the
+	// entries still unapplied at the moment the fence drain began
+	// (repl_lag{node="<id>"}). A scrape mid-phase sees the last fence's
+	// starting backlog — the drain work the fence had to absorb.
+	replLag *metrics.Gauge
 
 	// replTargets maps partition → replica destinations for writes from
 	// this node (holders minus self and failed nodes). Precomputed at
@@ -439,6 +446,20 @@ func (n *node) drainFence(m msgFenceDrain) {
 	}
 	n.draining = true
 	defer func() { n.draining = false }()
+	// Observability: the backlog this drain starts with (how far the
+	// appliers were behind when the fence arrived) and the wall time the
+	// router stalls absorbing it.
+	var lag int64
+	for src, exp := range m.Expected {
+		if d := exp - n.tracker.Applied(src); d > 0 {
+			lag += d
+		}
+	}
+	if n.replLag != nil {
+		n.replLag.Set(lag)
+	}
+	start := n.e.cfg.RT.Now()
+	defer func() { n.e.drainHist.Observe(n.e.cfg.RT.Now() - start) }()
 	in := n.inbox()
 	for !n.tracker.Drained(m.Expected) {
 		if n.drainAborted {

@@ -503,7 +503,7 @@ func registerMessages(c *wire.Codec) {
 			for _, a := range v.ClientAddrs {
 				b = wire.AppendBytes(b, []byte(a))
 			}
-			return b
+			return wire.AppendBytes(b, v.Stats)
 		},
 		func(b []byte) (transport.Message, []byte, error) {
 			var v AdminResp
@@ -585,6 +585,16 @@ func registerMessages(c *wire.Codec) {
 					}
 					v.ClientAddrs[i] = string(ab)
 				}
+			}
+			var sb []byte
+			if sb, b, err = wire.Bytes(b); err != nil {
+				return nil, nil, err
+			}
+			if len(sb) > 0 {
+				// wire.Bytes aliases the frame buffer; the snapshot blob
+				// outlives the frame (the admin client hands it to the
+				// decoder after more frames arrive), so copy it out.
+				v.Stats = append([]byte(nil), sb...)
 			}
 			return v, b, nil
 		})

@@ -81,11 +81,14 @@ func sampleMessages(tw *tpcc.Workload, yw *ycsb.Workload) []transport.Message {
 		AdminReq{V: 1, Op: AdminFreeze, From: 5, Ticket: 9, Node: -1, On: true},
 		AdminReq{V: 1, Op: AdminChecksums, From: 4, Node: 2},
 		AdminReq{V: 1, Op: AdminJoin, From: 0, Ticket: 31, Node: 3},
+		AdminReq{V: 1, Op: AdminStats, From: 3, Ticket: 17, Node: 1},
 		AdminResp{V: 1, Op: AdminChecksums, Ticket: 9, Node: 1, OK: true,
 			Parts: []int32{0, 2}, Sums: []uint64{0xdead, 0xbeef}},
 		AdminResp{V: 1, Op: AdminFaultStats, Node: 1, OK: true,
 			Keys: []string{"fault_drops", "fault_dups"}, Vals: []int64{12, 3}},
 		AdminResp{V: 1, Op: AdminDrain, Ticket: 4, Node: 2, Err: "drain: not a member"},
+		AdminResp{V: 1, Op: AdminStats, Ticket: 17, Node: 1, OK: true,
+			Stats: []byte(`{"counters":{"committed":42},"hists":{"latency":{"count":1,"sum":5,"max":5,"buckets":{"3":1}}}}`)},
 		AdminResp{V: 1, Op: AdminTopologyGet, Node: 0, OK: true, Version: 7,
 			Members: []int32{0, 2, 3}, Masters: []int32{0, 0, 2, 3},
 			ClientAddrs: []string{"127.0.0.1:7001", "", "127.0.0.1:7003"}},

@@ -359,6 +359,9 @@ func (w *worker) execSnapshot(req *txn.Request, epoch uint64) {
 	}
 	e.snapReads.Inc()
 	e.committed.Inc()
+	if h := req.Home; h >= 0 && h < len(e.partCommits) {
+		e.partCommits[h].Inc()
+	}
 	w.committed++
 	e.latency.Observe(time.Duration(int64(r.Now()) - req.GenAt))
 	// Snapshot reads expose only fenced state, so the response releases
@@ -415,7 +418,11 @@ func (w *worker) commitSync(req *txn.Request, epoch uint64) bool {
 }
 
 func (w *worker) finishCommit(req *txn.Request, epoch uint64) {
-	w.n.e.committed.Inc()
+	e := w.n.e
+	e.committed.Inc()
+	if h := req.Home; h >= 0 && h < len(e.partCommits) {
+		e.partCommits[h].Inc()
+	}
 	w.committed++
 	w.pendingLat = append(w.pendingLat, req.GenAt)
 	if req.Ticket != 0 {

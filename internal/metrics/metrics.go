@@ -7,9 +7,9 @@ package metrics
 import (
 	"fmt"
 	"math"
-	randv2 "math/rand/v2"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // counterShards is the stripe count of Counter (power of two). Eight
@@ -30,9 +30,16 @@ type counterCell struct {
 // cells instead of contending on one cache line.
 type Counter struct{ cells [counterShards]counterCell }
 
-// Add increments the counter by n.
+// Add increments the counter by n. The stripe is picked by hashing the
+// address of a stack local: goroutines occupy distinct stacks, so
+// concurrent writers land on different cells, while one goroutine keeps
+// re-hitting the same (cached) cell. This replaces a per-increment
+// math/rand/v2 call — a full ChaCha8 step on the zero-allocation commit
+// path — with two arithmetic ops.
 func (c *Counter) Add(n int64) {
-	c.cells[randv2.Uint32()&(counterShards-1)].v.Add(n)
+	var pin byte
+	h := uint64(uintptr(unsafe.Pointer(&pin))) * 0x9E3779B97F4A7C15
+	c.cells[(h>>59)&(counterShards-1)].v.Add(n)
 }
 
 // Inc increments the counter by one.
@@ -141,6 +148,130 @@ func (h *Hist) Quantile(q float64) time.Duration {
 		}
 	}
 	return h.Max()
+}
+
+// Snapshot captures the histogram's current state, sparse over its
+// non-empty buckets. Concurrent Observes may land between the field
+// reads (count can lag the buckets by a sample or two), exactly as a
+// sequence of independent atomic loads would; the copy is internally
+// usable regardless because quantile ranks are computed against the
+// bucket sum, not the count.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for b := 0; b < histBuckets; b++ {
+		if n := h.buckets[b].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]int64)
+			}
+			s.Buckets[b] = n
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot into the live histogram. Merging is commutative
+// and associative: any merge order over a set of snapshots yields the
+// same buckets, count, sum and max, so cluster-wide quantiles do not
+// depend on which node answered first. Out-of-range bucket indexes (a
+// foreign or corrupt snapshot) are clamped into the overflow bucket.
+func (h *Hist) Merge(s HistSnapshot) {
+	for b, n := range s.Buckets {
+		if n <= 0 {
+			continue
+		}
+		if b < 0 {
+			b = 0
+		}
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		h.buckets[b].Add(n)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		m := h.max.Load()
+		if s.Max <= m || h.max.CompareAndSwap(m, s.Max) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time, mergeable copy of a Hist: sparse
+// non-empty buckets plus the count/sum/max scalars. It is the unit the
+// registry snapshot ships over the admin plane and what star-admin top
+// merges across nodes.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"` // nanoseconds
+	Max   int64 `json:"max"` // nanoseconds
+	// Buckets maps log-bucket index → sample count (empty buckets
+	// omitted). Indexes follow bucketFor: ~4% relative width over
+	// 100ns..100s.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Merge folds another snapshot into this one (commutative/associative,
+// same semantics as Hist.Merge).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(o.Buckets) > 0 && s.Buckets == nil {
+		s.Buckets = make(map[int]int64, len(o.Buckets))
+	}
+	for b, n := range o.Buckets {
+		s.Buckets[b] += n
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Mean returns the snapshot's mean latency, or 0 with no samples.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Quantile returns the latency at quantile q in [0,1] (same bucket
+// interpolation as Hist.Quantile), or 0 with no samples.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		n, ok := s.Buckets[b]
+		if !ok {
+			continue
+		}
+		seen += n
+		if seen >= rank {
+			if b == histBuckets-1 {
+				return time.Duration(s.Max)
+			}
+			u := bucketUpper(b)
+			if m := time.Duration(s.Max); u > m {
+				return m
+			}
+			return u
+		}
+	}
+	return time.Duration(s.Max)
 }
 
 // Stats is the per-run result bundle every engine returns.

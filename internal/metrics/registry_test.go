@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreateAndRegister(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter must return the same instance for one name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge must return the same instance for one name")
+	}
+	if r.Hist("h") != r.Hist("h") {
+		t.Fatal("Hist must return the same instance for one name")
+	}
+	var own Counter
+	own.Add(7)
+	r.RegisterCounter("own", &own)
+	if r.Counter("own") != &own {
+		t.Fatal("RegisterCounter must publish the existing instance")
+	}
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(-3)
+	r.Hist("h").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Counters["own"] != 7 {
+		t.Fatalf("counters: %v", s.Counters)
+	}
+	if s.Gauges["g"] != -3 {
+		t.Fatalf("gauges: %v", s.Gauges)
+	}
+	if s.Hists["h"].Count != 1 {
+		t.Fatalf("hists: %+v", s.Hists)
+	}
+}
+
+// TestRegistryStress hammers get-or-create, updates and Snapshot from
+// many goroutines at once; run under -race this pins the registry's
+// locking discipline (CI runs it by name in the race job).
+func TestRegistryStress(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				n := names[(g+i)%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n).Add(1)
+				r.Hist(n).Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(g)
+	}
+	// Scrape concurrently with the writers until they finish.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+scrape:
+	for {
+		_ = r.Snapshot()
+		select {
+		case <-done:
+			break scrape
+		default:
+		}
+	}
+	total := int64(0)
+	s := r.Snapshot()
+	for _, n := range names {
+		total += s.Counters[n]
+	}
+	if total != 8*5000 {
+		t.Fatalf("lost counter updates: %d", total)
+	}
+	for _, n := range names {
+		if s.Counters[n] != s.Gauges[n] || s.Counters[n] != s.Hists[n].Count {
+			t.Fatalf("metric %q skewed: counter=%d gauge=%d hist=%d",
+				n, s.Counters[n], s.Gauges[n], s.Hists[n].Count)
+		}
+	}
+}
+
+// TestHistMergeOrderStability: merging the same set of snapshots in any
+// order yields identical quantiles — the property star-admin top's
+// cluster aggregation relies on.
+func TestHistMergeOrderStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var snaps []HistSnapshot
+	for i := 0; i < 5; i++ {
+		h := &Hist{}
+		for j := 0; j < 4000; j++ {
+			h.Observe(time.Duration(rng.Int63n(int64(250 * time.Millisecond))))
+		}
+		snaps = append(snaps, h.Snapshot())
+	}
+	quantilesOf := func(order []int) (out []time.Duration) {
+		m := &Hist{}
+		for _, i := range order {
+			m.Merge(snaps[i])
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			out = append(out, m.Quantile(q))
+		}
+		return out
+	}
+	ref := quantilesOf([]int{0, 1, 2, 3, 4})
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(snaps))
+		got := quantilesOf(order)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order %v: quantile[%d] = %v, want %v", order, i, got[i], ref[i])
+			}
+		}
+	}
+	// Snapshot-level merge must agree with Hist-level merge.
+	var agg HistSnapshot
+	for _, s := range snaps {
+		agg.Merge(s)
+	}
+	m := &Hist{}
+	m.Merge(agg)
+	for i, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		if got := agg.Quantile(q); got != ref[i] {
+			t.Fatalf("snapshot-merge quantile(%g) = %v, want %v", q, got, ref[i])
+		}
+	}
+	if m.Count() != agg.Count {
+		t.Fatalf("count drift: %d vs %d", m.Count(), agg.Count)
+	}
+}
+
+func TestHistMergeAccuracyAgainstSingle(t *testing.T) {
+	// Splitting one sample stream across three hists and merging their
+	// snapshots must reproduce the single-hist quantiles exactly.
+	rng := rand.New(rand.NewSource(11))
+	one := &Hist{}
+	parts := []*Hist{{}, {}, {}}
+	for i := 0; i < 9000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Second)))
+		one.Observe(d)
+		parts[i%3].Observe(d)
+	}
+	merged := &Hist{}
+	for _, p := range parts {
+		merged.Merge(p.Snapshot())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != one.Quantile(q) {
+			t.Fatalf("q=%g: merged %v != single %v", q, merged.Quantile(q), one.Quantile(q))
+		}
+	}
+	if merged.Count() != one.Count() || merged.Max() != one.Max() || merged.Mean() != one.Mean() {
+		t.Fatal("merged scalars diverge from the single hist")
+	}
+}
+
+func TestSnapshotEncodeDecodeMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("committed").Add(10)
+	r.Gauge(`partition_commits{partition="0"}`).Set(4)
+	r.Hist("latency").Observe(3 * time.Millisecond)
+	s := r.Snapshot()
+	back, err := DecodeSnapshot(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["committed"] != 10 || back.Gauges[`partition_commits{partition="0"}`] != 4 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if back.Hists["latency"].Count != 1 {
+		t.Fatalf("round trip lost hist: %+v", back.Hists)
+	}
+	if got := back.Hists["latency"].Quantile(0.5); got < 2*time.Millisecond || got > 4*time.Millisecond {
+		t.Fatalf("round-trip quantile off: %v", got)
+	}
+	// Empty and garbage blobs.
+	if _, err := DecodeSnapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("garbage blob must error")
+	}
+	// Merging two copies doubles counters/gauges and hist counts.
+	agg := Snapshot{}
+	agg.Merge(s)
+	agg.Merge(back)
+	if agg.Counters["committed"] != 20 || agg.Hists["latency"].Count != 2 {
+		t.Fatalf("merge: %+v", agg)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("committed").Add(42)
+	r.Gauge(`partition_commits{partition="3"}`).Set(7)
+	r.Gauge(`partition_commits{partition="10"}`).Set(9)
+	r.Hist("latency").Observe(10 * time.Millisecond)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE star_committed counter\nstar_committed 42\n",
+		"# TYPE star_partition_commits gauge\n",
+		`star_partition_commits{partition="3"} 7`,
+		`star_partition_commits{partition="10"} 9`,
+		"# TYPE star_latency summary\n",
+		`star_latency{quantile="0.99"}`,
+		"star_latency_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE star_partition_commits gauge") != 1 {
+		t.Fatalf("duplicate TYPE line:\n%s", out)
+	}
+}
